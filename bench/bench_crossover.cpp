@@ -1,0 +1,68 @@
+// Experiment C8: the migration/remote-access crossover.
+//
+// Section 3: "the combination with EM2 is therefore uniquely poised to
+// address both the one-off remote cache accesses and the runs of
+// consequent accesses shown in Figure 2."  We sweep the mean non-native
+// run length with the controlled geometric generator and report cost per
+// access for always-migrate (pure EM2), always-remote (pure RA coherence,
+// the paper's reference [15]), the history hybrid, and the DP optimal —
+// exposing where the poles cross and how the hybrid tracks the lower
+// envelope.
+#include <cstdio>
+#include <iostream>
+
+#include "api/system.hpp"
+#include "optimal/policy_eval.hpp"
+#include "util/table.hpp"
+#include "workload/synthetic.hpp"
+
+int main() {
+  std::printf("=== Run-length crossover: pure EM2 vs pure RA vs hybrid vs "
+              "optimal ===\n");
+  std::printf("16 threads (4x4), geometric non-native run lengths, "
+              "first-touch placement; cells = network cycles per access\n\n");
+
+  em2::SystemConfig cfg;
+  cfg.threads = 16;
+  cfg.em2.guest_contexts = 16;  // match the model's no-eviction assumption
+  em2::System sys(cfg);
+
+  em2::Table t({"mean_run_len", "always-migrate", "always-remote",
+                "history", "cost-estimate", "optimal", "winner(poles)"});
+  for (const double mean : {1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0}) {
+    em2::workload::GeometricRunsParams p;
+    p.threads = 16;
+    p.accesses_per_thread = 3000;
+    p.mean_run_length = mean;
+    p.remote_fraction = 0.5;
+    const em2::TraceSet traces = em2::workload::make_geometric_runs(p);
+    const double n = static_cast<double>(traces.total_accesses());
+
+    auto cost_of = [&](const std::string& spec) {
+      return static_cast<double>(
+                 sys.run_em2ra(traces, spec).network_cost) /
+             n;
+    };
+    const double c_mig = cost_of("always-migrate");
+    const double c_ra = cost_of("always-remote");
+    const double c_hist = cost_of("history");
+    const double c_est = cost_of("cost-estimate");
+    const double c_opt =
+        static_cast<double>(sys.run_optimal(traces).optimal_cost) / n;
+
+    t.begin_row()
+        .add_cell(mean, 1)
+        .add_cell(c_mig, 3)
+        .add_cell(c_ra, 3)
+        .add_cell(c_hist, 3)
+        .add_cell(c_est, 3)
+        .add_cell(c_opt, 3)
+        .add_cell(c_mig < c_ra ? "migrate" : "remote");
+  }
+  t.print(std::cout);
+  std::printf("\nExpected shape: always-remote wins at mean run length 1 "
+              "(the 'about half' of Figure 2), always-migrate wins for "
+              "long runs, and the hybrid policies track the lower "
+              "envelope toward the DP optimal.\n");
+  return 0;
+}

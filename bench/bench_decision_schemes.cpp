@@ -1,0 +1,73 @@
+// Experiment C5 (+F3): migrate-vs-remote-access decision schemes against
+// the paper's DP optimal upper bound.
+//
+// Section 3 introduces the analytical model precisely so that
+// "hardware-implementable scheme[s]" can be judged against the optimum.
+// For every workload we solve the DP per thread (the model considers one
+// thread at a time) and evaluate each core-local policy on the same
+// traces; the figure of merit is policy_cost / optimal_cost.
+#include <cstdio>
+#include <iostream>
+
+#include "api/system.hpp"
+#include "optimal/policy_eval.hpp"
+#include "util/table.hpp"
+#include "workload/registry.hpp"
+
+int main() {
+  std::printf("=== EM2-RA decision schemes vs DP optimal (Section 3) ===\n");
+  std::printf("16 threads on a 4x4 mesh, first-touch placement; cost = "
+              "network cycles of the analytical model\n\n");
+
+  const std::int32_t threads = 16;
+  em2::SystemConfig cfg;
+  cfg.threads = threads;
+  em2::System sys(cfg);
+
+  em2::Table t({"workload", "optimal", "always-migrate", "always-remote",
+                "distance:4", "history", "cost-estimate"});
+  for (const auto& name : em2::workload::workload_names()) {
+    const auto traces = em2::workload::make_by_name(name, threads, 2, 1);
+    if (!traces) {
+      continue;
+    }
+    const auto placement = sys.make_placement_for(*traces);
+
+    em2::Cost optimal = 0;
+    std::vector<em2::ModelTrace> model_traces;
+    for (const auto& thread : traces->threads()) {
+      const auto homes = em2::home_sequence(thread, *traces, *placement);
+      std::vector<em2::MemOp> ops;
+      ops.reserve(thread.size());
+      for (const auto& a : thread.accesses()) {
+        ops.push_back(a.op);
+      }
+      model_traces.push_back(
+          em2::make_model_trace(homes, ops, thread.native_core()));
+      optimal +=
+          em2::solve_optimal_migrate_ra(model_traces.back(), sys.cost_model())
+              .total_cost;
+    }
+
+    t.begin_row().add_cell(name).add_cell(optimal);
+    for (const auto& spec : em2::standard_policy_specs()) {
+      em2::Cost policy_cost = 0;
+      for (const auto& mt : model_traces) {
+        auto policy = em2::make_policy(spec, sys.mesh(), sys.cost_model());
+        policy_cost +=
+            em2::evaluate_policy_model(mt, sys.cost_model(), *policy)
+                .total_cost;
+      }
+      const double ratio =
+          optimal ? static_cast<double>(policy_cost) /
+                        static_cast<double>(optimal)
+                  : 1.0;
+      t.add_cell(ratio, 3);
+    }
+  }
+  t.print(std::cout);
+  std::printf("\n(cells are policy cost / optimal cost; 1.000 = optimal;"
+              " the best implementable scheme per row is the one closest"
+              " to 1)\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Experiment F2 (+C3): Figure 2 of the paper.
+//
+// "The number of accesses to memory cached at non-native cores for a
+// SPLASH-2 OCEAN benchmark run, binned by the number of consequent
+// accesses to the same core (the run length).  About half of the accesses
+// migrate after one memory reference, while the other half keep accessing
+// memory at the core where they have migrated.  64-core/64-thread EM2
+// simulation using Graphite, with 16KB L1 + 64KB L2 data caches and
+// first-touch data placement."
+//
+// We reproduce the same measurement on the ocean kernel (see DESIGN.md
+// section 2 for the substitution argument): the histogram series, the
+// ~50% run-length-1 share, and the return-to-origin claim, plus a
+// placement ablation (the "good data placement is critical" sentence).
+#include <cstdio>
+#include <iostream>
+
+#include "api/system.hpp"
+#include "util/table.hpp"
+#include "workload/kernels.hpp"
+
+namespace {
+
+void print_histogram(const em2::RunLengthReport& r) {
+  em2::Table t({"run_length", "accesses", "runs", "cum_frac_accesses"});
+  const std::uint64_t max_len = r.accesses_by_run_length.max_bin_used();
+  std::uint64_t cumulative = 0;
+  for (std::uint64_t len = 1; len <= max_len; ++len) {
+    const std::uint64_t acc = r.accesses_by_run_length.count(len);
+    if (acc == 0) {
+      continue;
+    }
+    cumulative += acc;
+    t.begin_row()
+        .add_cell(len)
+        .add_cell(acc)
+        .add_cell(r.runs_by_run_length.count(len))
+        .add_cell(static_cast<double>(cumulative) /
+                      static_cast<double>(r.nonnative_accesses),
+                  4);
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 2: run lengths of non-native accesses ===\n");
+  std::printf("ocean kernel, 64 threads on an 8x8 mesh, 16KB L1 + 64KB L2,"
+              " first-touch placement\n\n");
+
+  em2::workload::OceanParams op;
+  op.threads = 64;
+  op.rows_per_thread = 4;
+  op.cols = 64;
+  op.iterations = 4;
+  const em2::TraceSet traces = em2::workload::make_ocean(op);
+
+  em2::SystemConfig cfg;
+  cfg.threads = 64;
+  cfg.placement = "first-touch";
+  cfg.em2.model_caches = true;  // the paper's 16KB L1 + 64KB L2 per core
+  em2::System sys(cfg);
+
+  const em2::RunSummary run = sys.run_em2(traces);
+  const em2::RunLengthReport& r = run.run_lengths;
+
+  print_histogram(r);
+
+  std::printf("\n--- headline numbers (paper vs measured) ---\n");
+  em2::Table s({"metric", "paper", "measured"});
+  s.begin_row()
+      .add_cell("fraction of non-native accesses with run length 1")
+      .add_cell("~0.5 (\"about half\")")
+      .add_cell(r.fraction_accesses_in_len1_runs(), 3);
+  s.begin_row()
+      .add_cell("run-length-1 visits returning to origin")
+      .add_cell("most (\"usually back\")")
+      .add_cell(r.fraction_len1_returning(), 3);
+  s.begin_row()
+      .add_cell("total accesses")
+      .add_cell("~1.3e8 (full OCEAN)")
+      .add_cell(r.total_accesses);
+  s.begin_row()
+      .add_cell("non-native accesses")
+      .add_cell("-")
+      .add_cell(r.nonnative_accesses);
+  s.begin_row()
+      .add_cell("migrations (pure EM2)")
+      .add_cell("-")
+      .add_cell(run.migrations);
+  s.print(std::cout);
+
+  std::printf("\n--- placement ablation (\"good data placement is "
+              "critical\") ---\n");
+  em2::Table a({"placement", "nonnative_frac", "len1_frac", "migrations",
+                "net_cycles_per_access"});
+  for (const char* scheme :
+       {"first-touch", "profile-greedy", "striped", "hashed"}) {
+    em2::SystemConfig c2 = cfg;
+    c2.placement = scheme;
+    c2.em2.model_caches = false;
+    const em2::RunSummary s2 = em2::System(c2).run_em2(traces);
+    a.begin_row()
+        .add_cell(scheme)
+        .add_cell(static_cast<double>(s2.run_lengths.nonnative_accesses) /
+                      static_cast<double>(s2.run_lengths.total_accesses),
+                  3)
+        .add_cell(s2.run_lengths.fraction_accesses_in_len1_runs(), 3)
+        .add_cell(s2.migrations)
+        .add_cell(s2.cost_per_access, 2);
+  }
+  a.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Experiment F1: the Figure-1 protocol machinery under pressure — guest
+// context counts, eviction rates, and eviction policies.
+//
+// "when all contexts are occupied, an incoming migration causes one of
+// them to be evicted.  For deadlock-free migrations, each core has one
+// native context for each of the threads that originated on that core in
+// addition [to] the guest contexts ...: an evicted thread travels to its
+// dedicated native context on a separate virtual network."
+//
+// The DP model deliberately ignores evictions; this bench quantifies what
+// that assumption hides as guest contexts shrink and sharing intensifies.
+#include <cstdio>
+#include <iostream>
+
+#include "api/system.hpp"
+#include "util/table.hpp"
+#include "workload/registry.hpp"
+#include "workload/synthetic.hpp"
+
+int main() {
+  std::printf("=== Migration protocol: guest contexts and evictions ===\n");
+  std::printf("16 threads (4x4), first-touch placement\n\n");
+
+  em2::Table t({"workload", "guest_ctxs", "migrations", "evictions",
+                "evictions/migration", "net_cycles/access"});
+  for (const char* name : {"ocean", "hotspot", "uniform", "barnes"}) {
+    const auto traces = em2::workload::make_by_name(name, 16, 2, 1);
+    if (!traces) {
+      continue;
+    }
+    for (const std::int32_t guests : {1, 2, 4, 8, 15}) {
+      em2::SystemConfig cfg;
+      cfg.threads = 16;
+      cfg.em2.guest_contexts = guests;
+      em2::System sys(cfg);
+      const em2::RunSummary s = sys.run_em2(*traces);
+      const em2::RunLengthReport& r = s.run_lengths;
+      (void)r;
+      const double ev_per_mig =
+          s.migrations ? static_cast<double>(s.evictions) /
+                             static_cast<double>(s.migrations)
+                       : 0.0;
+      t.begin_row()
+          .add_cell(name)
+          .add_cell(guests)
+          .add_cell(s.migrations)
+          .add_cell(s.evictions)
+          .add_cell(ev_per_mig, 4)
+          .add_cell(s.cost_per_access, 2);
+    }
+  }
+  t.print(std::cout);
+
+  std::printf("\n--- eviction policy ablation (hotspot, 1 guest context) "
+              "---\n");
+  em2::Table e({"policy", "evictions", "total_network_cycles"});
+  for (const auto& [label, policy] :
+       {std::pair<const char*, em2::EvictionPolicy>{
+            "oldest-guest", em2::EvictionPolicy::kOldestGuest},
+        {"random", em2::EvictionPolicy::kRandom}}) {
+    const auto traces = em2::workload::make_by_name("hotspot", 16, 2, 1);
+    em2::SystemConfig cfg;
+    cfg.threads = 16;
+    cfg.em2.guest_contexts = 1;
+    cfg.em2.eviction = policy;
+    em2::System sys(cfg);
+    const em2::RunSummary s = sys.run_em2(*traces);
+    e.begin_row().add_cell(label).add_cell(s.evictions).add_cell(
+        static_cast<std::uint64_t>(s.network_cost));
+  }
+  e.print(std::cout);
+  return 0;
+}

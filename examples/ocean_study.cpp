@@ -1,0 +1,72 @@
+// The Figure-2 workload, end to end: runs the OCEAN-like stencil on a
+// 64-core EM2 chip, prints the run-length histogram, and shows how the
+// picture changes with placement and with the EM2-RA hybrid.
+//
+//   ./ocean_study [--threads=64] [--iterations=4] [--cols=64]
+//                 [--csv=fig2.csv]
+#include <cstdio>
+#include <iostream>
+
+#include "api/system.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "workload/kernels.hpp"
+
+int main(int argc, char** argv) {
+  const em2::Args args(argc, argv);
+  em2::workload::OceanParams op;
+  op.threads = static_cast<std::int32_t>(args.get_int("threads", 64));
+  op.iterations =
+      static_cast<std::int32_t>(args.get_int("iterations", 4));
+  op.cols = static_cast<std::int32_t>(args.get_int("cols", 64));
+  const em2::TraceSet traces = em2::workload::make_ocean(op);
+
+  em2::SystemConfig cfg;
+  cfg.threads = op.threads;
+  cfg.em2.model_caches = true;  // 16KB L1 + 64KB L2 per core, as in Fig 2
+  em2::System sys(cfg);
+
+  std::printf("OCEAN-like stencil: %d threads, %d iterations, %llu "
+              "accesses\n\n",
+              op.threads, op.iterations,
+              static_cast<unsigned long long>(traces.total_accesses()));
+
+  const em2::RunLengthReport r = sys.analyze_run_lengths(traces);
+  std::printf("--- run-length histogram of non-native accesses (Figure 2) "
+              "---\n");
+  em2::Table h({"run_length", "accesses"});
+  for (std::uint64_t len = 1; len <= r.accesses_by_run_length.max_bin_used();
+       ++len) {
+    if (r.accesses_by_run_length.count(len) > 0) {
+      h.begin_row().add_cell(len).add_cell(
+          r.accesses_by_run_length.count(len));
+    }
+  }
+  h.print(std::cout);
+  const std::string csv = args.get_string("csv", "");
+  if (!csv.empty() && h.write_csv(csv)) {
+    std::printf("(histogram written to %s)\n", csv.c_str());
+  }
+
+  std::printf("\nrun-length-1 share of non-native accesses: %.1f%% "
+              "(paper: ~50%%)\n",
+              100.0 * r.fraction_accesses_in_len1_runs());
+  std::printf("run-length-1 visits returning to origin:    %.1f%% "
+              "(paper: \"usually\")\n\n",
+              100.0 * r.fraction_len1_returning());
+
+  std::printf("--- what the hybrid buys on this workload ---\n");
+  em2::Table t({"arch", "net_cost/access", "migrations", "remote"});
+  for (const em2::RunSummary& s :
+       {sys.run_em2(traces), sys.run_em2ra(traces, "always-remote"),
+        sys.run_em2ra(traces, "history"),
+        sys.run_em2ra(traces, "cost-estimate")}) {
+    t.begin_row()
+        .add_cell(s.arch)
+        .add_cell(s.cost_per_access, 2)
+        .add_cell(s.migrations)
+        .add_cell(s.remote_accesses);
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: stand up an EM2 chip, run a workload, compare the three
+// memory architectures the library implements.
+//
+//   ./quickstart [--threads=16] [--workload=ocean] [--scale=1]
+//                [--placement=first-touch] [--seed=1]
+//
+// This is the ~40-line tour of the public API: build a SystemConfig,
+// construct a System, generate (or load) a TraceSet, and call the run_*
+// entry points.
+#include <cstdio>
+#include <iostream>
+
+#include "api/system.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "workload/registry.hpp"
+
+int main(int argc, char** argv) {
+  const em2::Args args(argc, argv);
+  for (const auto& err : args.errors()) {
+    std::fprintf(stderr, "warning: %s\n", err.c_str());
+  }
+  const auto threads =
+      static_cast<std::int32_t>(args.get_int("threads", 16));
+  const std::string workload = args.get_string("workload", "ocean");
+  const auto scale = static_cast<std::int32_t>(args.get_int("scale", 1));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  // 1. Configure the chip: threads == cores, near-square mesh, paper
+  //    defaults everywhere else (1Kbit contexts, 128-bit links).
+  em2::SystemConfig cfg;
+  cfg.threads = threads;
+  cfg.placement = args.get_string("placement", "first-touch");
+  em2::System sys(cfg);
+  std::printf("EM2 system: %d cores (%dx%d mesh), placement=%s\n",
+              sys.mesh().num_cores(), sys.mesh().width(),
+              sys.mesh().height(), cfg.placement.c_str());
+
+  // 2. Generate a workload trace (or build your own TraceSet / load one
+  //    with em2::load_trace).
+  const auto traces =
+      em2::workload::make_by_name(workload, threads, scale, seed);
+  if (!traces) {
+    std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+    return 1;
+  }
+  std::printf("workload '%s': %llu accesses across %zu threads\n\n",
+              workload.c_str(),
+              static_cast<unsigned long long>(traces->total_accesses()),
+              traces->num_threads());
+
+  // 3. Run the three architectures on identical traces.
+  em2::Table t({"arch", "migrations", "remote_accesses", "net_cost/access",
+                "traffic_bits/access"});
+  const double n = static_cast<double>(traces->total_accesses());
+  for (const em2::RunSummary& s :
+       {sys.run_em2(*traces), sys.run_em2ra(*traces, "history"),
+        sys.run_cc(*traces)}) {
+    t.begin_row()
+        .add_cell(s.arch)
+        .add_cell(s.migrations)
+        .add_cell(s.remote_accesses)
+        .add_cell(s.cost_per_access, 2)
+        .add_cell(static_cast<double>(s.traffic_bits) / n, 1);
+  }
+  t.print(std::cout);
+
+  // 4. The analytical model's lower bound (paper Section 3).
+  const em2::OptimalSummary opt = sys.run_optimal(*traces);
+  std::printf("\nDP optimal (single-thread model): %.2f net cycles/access "
+              "(%llu migrations, %llu remote accesses)\n",
+              static_cast<double>(opt.optimal_cost) / n,
+              static_cast<unsigned long long>(opt.optimal_migrations),
+              static_cast<unsigned long long>(opt.optimal_remote));
+  return 0;
+}

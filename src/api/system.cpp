@@ -1,0 +1,141 @@
+#include "api/system.hpp"
+
+#include <numeric>
+
+#include "em2/replication.hpp"
+#include "optimal/policy_eval.hpp"
+#include "util/assert.hpp"
+
+namespace em2 {
+
+System::System(const SystemConfig& config)
+    : config_(config),
+      mesh_(Mesh::near_square(config.threads)),
+      cost_(mesh_, config.cost) {
+  EM2_ASSERT(config.threads >= 1, "need at least one thread");
+}
+
+std::unique_ptr<Placement> System::make_placement_for(
+    const TraceSet& traces) const {
+  auto placement =
+      make_placement(config_.placement, traces, mesh_.num_cores());
+  EM2_ASSERT(placement != nullptr, "unknown placement scheme");
+  return placement;
+}
+
+RunSummary System::run_em2(const TraceSet& traces) const {
+  const auto placement = make_placement_for(traces);
+  const Em2RunReport r =
+      em2::run_em2(traces, *placement, mesh_, cost_, config_.em2);
+  RunSummary s;
+  s.arch = "em2";
+  s.accesses = r.counters.get("accesses");
+  s.migrations = r.counters.get("migrations");
+  s.evictions = r.counters.get("evictions");
+  s.network_cost = r.total_thread_cost + r.total_eviction_cost;
+  for (const std::uint64_t bits : r.vnet_bits) {
+    s.traffic_bits += bits;
+  }
+  s.cost_per_access =
+      s.accesses ? static_cast<double>(s.network_cost) /
+                       static_cast<double>(s.accesses)
+                 : 0.0;
+  s.run_lengths = r.run_lengths;
+  return s;
+}
+
+RunSummary System::run_em2ra(const TraceSet& traces,
+                             const std::string& policy_spec) const {
+  const auto placement = make_placement_for(traces);
+  auto policy = make_policy(policy_spec, mesh_, cost_);
+  EM2_ASSERT(policy != nullptr, "unknown EM2-RA policy spec");
+  const HybridRunReport r = em2::run_em2ra(traces, *placement, mesh_, cost_,
+                                           config_.em2, *policy);
+  RunSummary s;
+  s.arch = "em2-ra(" + r.policy_name + ")";
+  s.accesses = r.em2.counters.get("accesses");
+  s.migrations = r.em2.counters.get("migrations");
+  s.evictions = r.em2.counters.get("evictions");
+  s.remote_accesses = r.remote_accesses;
+  s.network_cost = r.em2.total_thread_cost + r.em2.total_eviction_cost;
+  for (const std::uint64_t bits : r.em2.vnet_bits) {
+    s.traffic_bits += bits;
+  }
+  s.cost_per_access =
+      s.accesses ? static_cast<double>(s.network_cost) /
+                       static_cast<double>(s.accesses)
+                 : 0.0;
+  s.run_lengths = r.em2.run_lengths;
+  return s;
+}
+
+RunSummary System::run_em2_replicated(const TraceSet& traces) const {
+  const auto placement = make_placement_for(traces);
+  const auto replicable = replicable_blocks(traces, 1);
+  const Em2RunReport r = em2::run_em2_replicated(
+      traces, *placement, mesh_, cost_, config_.em2, replicable);
+  RunSummary s;
+  s.arch = "em2+ro-replication";
+  s.accesses = r.counters.get("accesses");
+  s.migrations = r.counters.get("migrations");
+  s.evictions = r.counters.get("evictions");
+  s.network_cost = r.total_thread_cost + r.total_eviction_cost;
+  for (const std::uint64_t bits : r.vnet_bits) {
+    s.traffic_bits += bits;
+  }
+  s.cost_per_access =
+      s.accesses ? static_cast<double>(s.network_cost) /
+                       static_cast<double>(s.accesses)
+                 : 0.0;
+  s.run_lengths = r.run_lengths;
+  return s;
+}
+
+RunSummary System::run_cc(const TraceSet& traces) const {
+  const auto placement = make_placement_for(traces);
+  DirCcParams cc = config_.cc;
+  cc.private_cache.line_bytes = traces.block_bytes();
+  const CcRunReport r = em2::run_cc(traces, *placement, mesh_, cost_, cc);
+  RunSummary s;
+  s.arch = "cc-msi";
+  s.accesses = r.counters.get("accesses");
+  s.messages = r.counters.get("messages");
+  s.network_cost = r.total_latency;
+  s.traffic_bits = r.traffic_bits;
+  s.cost_per_access = r.mean_latency_per_access();
+  return s;
+}
+
+OptimalSummary System::run_optimal(const TraceSet& traces) const {
+  const auto placement = make_placement_for(traces);
+  OptimalSummary s;
+  for (const auto& thread : traces.threads()) {
+    const std::vector<CoreId> homes =
+        home_sequence(thread, traces, *placement);
+    std::vector<MemOp> ops;
+    ops.reserve(thread.size());
+    for (const auto& a : thread.accesses()) {
+      ops.push_back(a.op);
+    }
+    const ModelTrace mt =
+        make_model_trace(homes, ops, thread.native_core());
+    const MigrateRaSolution sol = solve_optimal_migrate_ra(mt, cost_);
+    s.optimal_cost += sol.total_cost;
+    s.optimal_migrations += sol.migrations;
+    s.optimal_remote += sol.remote_accesses;
+  }
+  return s;
+}
+
+RunLengthReport System::analyze_run_lengths(const TraceSet& traces) const {
+  const auto placement = make_placement_for(traces);
+  RunLengthAnalyzer analyzer;
+  for (const auto& thread : traces.threads()) {
+    const std::vector<CoreId> homes =
+        home_sequence(thread, traces, *placement);
+    analyzer.add_thread(thread.native_core(), homes);
+  }
+  return analyzer.report();
+}
+
+}  // namespace em2

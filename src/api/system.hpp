@@ -1,0 +1,113 @@
+// em2::System — the public entry point of the library.
+//
+// Wires together the mesh, cost model, placement, and the three memory
+// architectures (EM2, EM2-RA, directory CC) behind one configuration
+// struct, and exposes uniform run/report calls over memory traces.  The
+// examples and most benches go through this façade; the underlying
+// modules remain directly usable for finer control.
+//
+// Typical use:
+//
+//   em2::SystemConfig cfg;
+//   cfg.threads = 64;
+//   em2::System sys(cfg);
+//   em2::TraceSet traces = em2::workload::make_ocean({.threads = 64});
+//   em2::RunSummary em2_run  = sys.run_em2(traces);
+//   em2::RunSummary ra_run   = sys.run_em2ra(traces, "distance:4");
+//   em2::RunSummary cc_run   = sys.run_cc(traces);
+//   em2::OptimalSummary opt  = sys.run_optimal(traces);
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coherence/cc_sim.hpp"
+#include "em2/trace_sim.hpp"
+#include "em2ra/hybrid_sim.hpp"
+#include "geom/mesh.hpp"
+#include "noc/cost_model.hpp"
+#include "optimal/dp_migrate.hpp"
+#include "placement/placement.hpp"
+#include "trace/run_length.hpp"
+#include "trace/trace.hpp"
+
+namespace em2 {
+
+/// Everything needed to stand up a simulated EM2 chip.
+struct SystemConfig {
+  /// Number of threads == number of cores (thread t native to core t),
+  /// arranged in the smallest near-square mesh.
+  std::int32_t threads = 64;
+  /// Placement scheme: "first-touch" (paper default), "striped",
+  /// "hashed", or "profile-greedy".
+  std::string placement = "first-touch";
+  CostModelParams cost{};
+  Em2Params em2{};
+  DirCcParams cc{};
+};
+
+/// Architecture-independent run summary (one row of a comparison table).
+struct RunSummary {
+  std::string arch;
+  std::uint64_t accesses = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t remote_accesses = 0;
+  /// Network cycles on the threads' critical paths.
+  Cost network_cost = 0;
+  /// Total traffic in bits (context + remote + protocol).
+  std::uint64_t traffic_bits = 0;
+  /// CC only: protocol messages.
+  std::uint64_t messages = 0;
+  double cost_per_access = 0.0;
+  RunLengthReport run_lengths;
+};
+
+/// Per-thread DP-vs-policies summary.
+struct OptimalSummary {
+  Cost optimal_cost = 0;
+  std::uint64_t optimal_migrations = 0;
+  std::uint64_t optimal_remote = 0;
+};
+
+/// The façade.
+class System {
+ public:
+  explicit System(const SystemConfig& config);
+
+  const Mesh& mesh() const noexcept { return mesh_; }
+  const CostModel& cost_model() const noexcept { return cost_; }
+  const SystemConfig& config() const noexcept { return config_; }
+
+  /// Builds the configured placement for `traces` (first-touch and
+  /// profile-greedy derive from the trace itself).
+  std::unique_ptr<Placement> make_placement_for(
+      const TraceSet& traces) const;
+
+  /// Pure EM2 (paper Section 2 / Figure 1).
+  RunSummary run_em2(const TraceSet& traces) const;
+  /// EM2-RA hybrid with the given decision policy (Section 3 / Figure 3).
+  RunSummary run_em2ra(const TraceSet& traces,
+                       const std::string& policy_spec) const;
+  /// EM2 with profile-driven read-only replication (the Section-2 [12]
+  /// extension): blocks whose words are written at most once classify as
+  /// replicable and are read locally everywhere.
+  RunSummary run_em2_replicated(const TraceSet& traces) const;
+  /// Directory-MSI baseline.
+  RunSummary run_cc(const TraceSet& traces) const;
+
+  /// Sums the DP optimum of the paper's analytical model over all threads
+  /// (each thread solved independently, as the model prescribes).
+  OptimalSummary run_optimal(const TraceSet& traces) const;
+
+  /// Figure 2: run-length analysis only (no protocol simulation).
+  RunLengthReport analyze_run_lengths(const TraceSet& traces) const;
+
+ private:
+  SystemConfig config_;
+  Mesh mesh_;
+  CostModel cost_;
+};
+
+}  // namespace em2

@@ -1,0 +1,32 @@
+#include "arch/context.hpp"
+
+#include "util/assert.hpp"
+
+namespace em2 {
+
+std::vector<std::uint32_t> ExecutionContext::pack() const {
+  std::vector<std::uint32_t> words;
+  words.reserve(1 + kNumRegs + 1);
+  words.push_back(pc);
+  words.insert(words.end(), regs.begin(), regs.end());
+  words.push_back(halted ? 1u : 0u);
+  return words;
+}
+
+ExecutionContext ExecutionContext::unpack(
+    ThreadId thread, CoreId native_core,
+    const std::vector<std::uint32_t>& words) {
+  EM2_ASSERT(words.size() == 1 + kNumRegs + 1,
+             "packed context has the wrong word count");
+  ExecutionContext ctx;
+  ctx.thread = thread;
+  ctx.native_core = native_core;
+  ctx.pc = words[0];
+  for (std::uint32_t i = 0; i < kNumRegs; ++i) {
+    ctx.regs[i] = words[1 + i];
+  }
+  ctx.halted = words[1 + kNumRegs] != 0;
+  return ctx;
+}
+
+}  // namespace em2

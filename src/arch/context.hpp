@@ -1,0 +1,71 @@
+// Architectural execution contexts — the payload of an EM2 migration.
+//
+// The paper: "the architectural context (program counter, register file,
+// and possibly other state like the TLB) is unloaded onto the interconnect
+// network, travels to the destination core, and is loaded into the
+// architectural state elements there"; "each migration must transfer the
+// entire execution context (1-2KBits in a 32-bit Atom-like processor)".
+//
+// This header defines the register-machine context (32x32-bit GPRs + PC
+// ~ 1056 bits; ~2 Kbits with TLB shadow state) and the context-size models
+// shared by the cost layer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace em2 {
+
+/// Number of general-purpose registers in the register machine.
+inline constexpr std::uint32_t kNumRegs = 32;
+
+/// Context-size accounting for the register machine and the stack machine.
+struct ContextSizeModel {
+  std::uint32_t pc_bits = 32;
+  std::uint32_t reg_bits = 32;
+  std::uint32_t num_regs = kNumRegs;
+  /// Optional extra architectural state carried on migration (TLB entries,
+  /// status registers).  0 gives the ~1 Kbit context; ~992 gives ~2 Kbit.
+  std::uint32_t extra_bits = 0;
+  std::uint32_t word_bits = 32;
+
+  /// Full register-machine context: PC + register file + extra state.
+  std::uint64_t register_context_bits() const noexcept {
+    return pc_bits + static_cast<std::uint64_t>(reg_bits) * num_regs +
+           extra_bits;
+  }
+
+  /// Stack-machine context when carrying `depth` data-stack entries and
+  /// `rdepth` return-stack entries: dramatically smaller because "only the
+  /// top few entries must be sent over to a remote core".
+  std::uint64_t stack_context_bits(std::uint32_t depth,
+                                   std::uint32_t rdepth = 0) const noexcept {
+    return pc_bits +
+           static_cast<std::uint64_t>(word_bits) * (depth + rdepth) +
+           extra_bits;
+  }
+};
+
+/// Register-machine execution context: everything that crosses the network
+/// on an EM2 migration.
+struct ExecutionContext {
+  ThreadId thread = kNoThread;
+  CoreId native_core = kNoCore;
+  std::uint32_t pc = 0;
+  std::array<std::uint32_t, kNumRegs> regs{};
+  bool halted = false;
+
+  /// Serializes the architectural state to 32-bit words, in the order the
+  /// hardware would unload it onto the network (PC first).  Used by tests
+  /// to prove migrations preserve state bit-exactly.
+  std::vector<std::uint32_t> pack() const;
+
+  /// Restores architectural state from pack() output.
+  static ExecutionContext unpack(ThreadId thread, CoreId native_core,
+                                 const std::vector<std::uint32_t>& words);
+};
+
+}  // namespace em2

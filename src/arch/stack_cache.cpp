@@ -1,0 +1,67 @@
+#include "arch/stack_cache.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace em2 {
+
+StackCache::StackCache(std::uint32_t capacity) : capacity_(capacity) {
+  EM2_ASSERT(capacity >= 1, "stack cache needs at least one register slot");
+}
+
+StackCacheEvent StackCache::push() noexcept {
+  ++total_depth_;
+  if (cached_ == capacity_) {
+    // Window full: deepest cached entry spills; the new entry takes the top.
+    ++spills_;
+    return StackCacheEvent::kSpill;
+  }
+  ++cached_;
+  return StackCacheEvent::kNone;
+}
+
+StackCacheEvent StackCache::pop() noexcept {
+  EM2_ASSERT(total_depth_ > 0, "pop of an empty architectural stack");
+  --total_depth_;
+  if (cached_ == 0) {
+    // Underflow of the window: refill one entry from backing memory, then
+    // consume it.
+    ++refills_;
+    return StackCacheEvent::kRefill;
+  }
+  --cached_;
+  return StackCacheEvent::kNone;
+}
+
+std::uint32_t StackCache::flush_below(std::uint32_t keep) noexcept {
+  const std::uint32_t kept = std::min(keep, cached_);
+  const std::uint32_t flushed = cached_ - kept;
+  cached_ = kept;
+  spills_ += flushed;
+  return flushed;
+}
+
+void StackCache::arrive_with(std::uint32_t carried) noexcept {
+  EM2_ASSERT(carried <= capacity_,
+             "cannot carry more entries than the window holds");
+  EM2_ASSERT(carried <= total_depth_,
+             "cannot carry more entries than the stack holds");
+  cached_ = carried;
+}
+
+std::uint32_t StackCache::refill_to(std::uint32_t target) noexcept {
+  target = std::min(target, capacity_);
+  const std::uint64_t available = total_depth_;
+  const auto reachable =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(target, available));
+  if (reachable <= cached_) {
+    return 0;
+  }
+  const std::uint32_t loaded = reachable - cached_;
+  cached_ = reachable;
+  refills_ += loaded;
+  return loaded;
+}
+
+}  // namespace em2

@@ -1,0 +1,86 @@
+// Hardware stack cache: the top few entries of the architectural stack held
+// in registers, backed by a stack-memory region at the thread's native core.
+//
+// Paper, Section 4: "the top few entries of each stack are typically cached
+// in registers and backed by a region of main memory with overflows and
+// underflows of the stack cache automatically and transparently handled in
+// hardware" and, under stack-EM2, "since stack overflows and underflows are
+// handled by loads and stores to memory, the offending thread will
+// automatically migrate back to its native core (where its stack memory is
+// assigned) when the migrated stack overflows or underflows."
+//
+// This class models the *occupancy* of the cached window (not the values —
+// values live in StackContext) and reports the spill/refill/underflow
+// events the stack-EM2 engine turns into memory accesses and forced
+// migrations.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace em2 {
+
+/// What a stack-cache operation required.
+enum class StackCacheEvent : std::uint8_t {
+  kNone = 0,      ///< served entirely from the cached window
+  kSpill,         ///< push overflowed: deepest cached entry written to stack memory
+  kRefill,        ///< pop underflowed into backing memory: entry read from stack memory
+};
+
+/// Occupancy model of a single stack's cache window.
+///
+/// Invariant: cached_ <= capacity_ and cached_ <= total_depth_.  Entries
+/// below the cached window live in the backing stack memory at the
+/// thread's native core.
+class StackCache {
+ public:
+  /// `capacity`: number of register slots for the cached top-of-stack.
+  explicit StackCache(std::uint32_t capacity);
+
+  std::uint32_t capacity() const noexcept { return capacity_; }
+  /// Entries currently held in registers.
+  std::uint32_t cached() const noexcept { return cached_; }
+  /// Total architectural stack depth (cached + memory-backed).
+  std::uint64_t total_depth() const noexcept { return total_depth_; }
+  /// Entries residing only in backing stack memory.
+  std::uint64_t in_memory() const noexcept { return total_depth_ - cached_; }
+
+  /// Pushes one entry.  If the window is full, the deepest cached entry
+  /// spills to backing memory (one stack-memory write).
+  StackCacheEvent push() noexcept;
+
+  /// Pops one entry.  If the window is empty but the architectural stack
+  /// is not, one entry refills from backing memory (one stack-memory
+  /// read).  Popping an empty architectural stack is a program fault the
+  /// interpreter catches first; here it is asserted.
+  StackCacheEvent pop() noexcept;
+
+  /// Migration support: retains only the top `keep` cached entries; the
+  /// rest of the cached window is flushed to backing memory.  Returns the
+  /// number of entries flushed (stack-memory writes at the *native* core).
+  /// `keep` may exceed cached(), in which case nothing is flushed and the
+  /// carried depth is just cached().
+  std::uint32_t flush_below(std::uint32_t keep) noexcept;
+
+  /// Migration support (arrival): declares that `carried` entries arrived
+  /// in registers at the destination; everything else is memory-backed.
+  void arrive_with(std::uint32_t carried) noexcept;
+
+  /// Refills the window up to `target` cached entries from backing memory
+  /// (native core); returns the number of refill reads performed.
+  std::uint32_t refill_to(std::uint32_t target) noexcept;
+
+  // Lifetime statistics.
+  std::uint64_t spills() const noexcept { return spills_; }
+  std::uint64_t refills() const noexcept { return refills_; }
+
+ private:
+  std::uint32_t capacity_;
+  std::uint32_t cached_ = 0;
+  std::uint64_t total_depth_ = 0;
+  std::uint64_t spills_ = 0;
+  std::uint64_t refills_ = 0;
+};
+
+}  // namespace em2

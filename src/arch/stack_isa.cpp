@@ -1,0 +1,198 @@
+#include "arch/stack_isa.hpp"
+
+#include "util/assert.hpp"
+
+namespace em2 {
+
+StackInterpreter::StackInterpreter(SProgram program)
+    : program_(std::move(program)) {}
+
+SStepResult StackInterpreter::step(StackContext& ctx) const {
+  SStepResult result;
+  if (ctx.halted || ctx.fault || ctx.pc >= program_.size()) {
+    ctx.halted = true;
+    result.kind = StepKind::kDone;
+    return result;
+  }
+  const SInstr& ins = program_[ctx.pc];
+
+  auto pop = [&]() -> std::uint32_t {
+    if (ctx.dstack.empty()) {
+      ctx.fault = true;
+      return 0;
+    }
+    const std::uint32_t v = ctx.dstack.back();
+    ctx.dstack.pop_back();
+    ++result.delta.pops;
+    return v;
+  };
+  auto push = [&](std::uint32_t v) {
+    ctx.dstack.push_back(v);
+    ++result.delta.pushes;
+  };
+  auto rpop = [&]() -> std::uint32_t {
+    if (ctx.rstack.empty()) {
+      ctx.fault = true;
+      return 0;
+    }
+    const std::uint32_t v = ctx.rstack.back();
+    ctx.rstack.pop_back();
+    ++result.delta.rpops;
+    return v;
+  };
+  auto rpush = [&](std::uint32_t v) {
+    ctx.rstack.push_back(v);
+    ++result.delta.rpushes;
+  };
+  auto binop = [&](auto f) {
+    const std::uint32_t b = pop();
+    const std::uint32_t a = pop();
+    push(f(a, b));
+  };
+
+  std::uint32_t next_pc = ctx.pc + 1;
+  switch (ins.op) {
+    case SOp::kNop:
+      break;
+    case SOp::kHalt:
+      ctx.halted = true;
+      result.kind = StepKind::kDone;
+      return result;
+    case SOp::kPush:
+      push(static_cast<std::uint32_t>(ins.imm));
+      break;
+    case SOp::kDup: {
+      const std::uint32_t a = pop();
+      push(a);
+      push(a);
+      break;
+    }
+    case SOp::kDrop:
+      pop();
+      break;
+    case SOp::kSwap: {
+      const std::uint32_t b = pop();
+      const std::uint32_t a = pop();
+      push(b);
+      push(a);
+      break;
+    }
+    case SOp::kOver: {
+      const std::uint32_t b = pop();
+      const std::uint32_t a = pop();
+      push(a);
+      push(b);
+      push(a);
+      break;
+    }
+    case SOp::kAdd:
+      binop([](std::uint32_t a, std::uint32_t b) { return a + b; });
+      break;
+    case SOp::kSub:
+      binop([](std::uint32_t a, std::uint32_t b) { return a - b; });
+      break;
+    case SOp::kMul:
+      binop([](std::uint32_t a, std::uint32_t b) { return a * b; });
+      break;
+    case SOp::kAnd:
+      binop([](std::uint32_t a, std::uint32_t b) { return a & b; });
+      break;
+    case SOp::kOr:
+      binop([](std::uint32_t a, std::uint32_t b) { return a | b; });
+      break;
+    case SOp::kXor:
+      binop([](std::uint32_t a, std::uint32_t b) { return a ^ b; });
+      break;
+    case SOp::kLt:
+      binop([](std::uint32_t a, std::uint32_t b) {
+        return static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b)
+                   ? 1u
+                   : 0u;
+      });
+      break;
+    case SOp::kEq:
+      binop([](std::uint32_t a, std::uint32_t b) { return a == b ? 1u : 0u; });
+      break;
+    case SOp::kLoad: {
+      const std::uint32_t addr = pop();
+      result.kind = StepKind::kMem;
+      result.mem.addr = addr;
+      result.mem.op = MemOp::kRead;
+      // The value push is completed by complete_load(), but it is
+      // architecturally part of this instruction's stack motion.
+      ++result.delta.pushes;
+      break;
+    }
+    case SOp::kStore: {
+      const std::uint32_t addr = pop();
+      const std::uint32_t value = pop();
+      result.kind = StepKind::kMem;
+      result.mem.addr = addr;
+      result.mem.op = MemOp::kWrite;
+      result.mem.store_value = value;
+      break;
+    }
+    case SOp::kJmp:
+      next_pc = static_cast<std::uint32_t>(ins.imm);
+      break;
+    case SOp::kJz: {
+      const std::uint32_t f = pop();
+      if (f == 0) {
+        next_pc = static_cast<std::uint32_t>(ins.imm);
+      }
+      break;
+    }
+    case SOp::kCall:
+      rpush(ctx.pc + 1);
+      next_pc = static_cast<std::uint32_t>(ins.imm);
+      break;
+    case SOp::kRet:
+      next_pc = rpop();
+      break;
+    case SOp::kToR:
+      rpush(pop());
+      break;
+    case SOp::kFromR:
+      push(rpop());
+      break;
+    case SOp::kRFetch:
+      if (ctx.rstack.empty()) {
+        ctx.fault = true;
+      } else {
+        push(ctx.rstack.back());
+      }
+      break;
+  }
+  ctx.pc = next_pc;
+  if (ctx.fault) {
+    ctx.halted = true;
+    result.kind = StepKind::kDone;
+  }
+  return result;
+}
+
+std::optional<std::uint64_t> StackInterpreter::run_functional(
+    StackContext& ctx, FunctionalMemory& mem,
+    std::uint64_t max_steps) const {
+  std::uint64_t retired = 0;
+  while (retired < max_steps) {
+    const SStepResult r = step(ctx);
+    ++retired;
+    switch (r.kind) {
+      case StepKind::kDone:
+        return retired;
+      case StepKind::kMem:
+        if (r.mem.op == MemOp::kRead) {
+          complete_load(ctx, mem.load(r.mem.addr));
+        } else {
+          mem.store(r.mem.addr, r.mem.store_value);
+        }
+        break;
+      case StepKind::kOk:
+        break;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace em2

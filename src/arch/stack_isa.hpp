@@ -1,0 +1,160 @@
+// A two-stack (expression + return) machine ISA with a yielding
+// interpreter — the architectural substrate of Section 4 of the paper.
+//
+// "In a stack-based ISA, most instructions do not specify their operands
+// but instead access the top of the stack ... Most often, there are two
+// stacks (the expression stack, used for evaluation, and the return stack,
+// used for procedure return addresses and loop counters)."
+//
+// The interpreter keeps *functional* stacks (full contents, for
+// correctness); the hardware stack cache in stack_cache.hpp separately
+// models which top entries are register-resident vs backed by stack
+// memory, which is where stack-EM2's tiny migration contexts come from.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arch/reg_isa.hpp"  // FunctionalMemory, StepKind, PendingAccess
+#include "util/types.hpp"
+
+namespace em2 {
+
+/// Stack-machine opcodes (a practical Forth-like subset).
+enum class SOp : std::uint8_t {
+  kNop,
+  kHalt,
+  kPush,   // push imm
+  kDup,    // ( a -- a a )
+  kDrop,   // ( a -- )
+  kSwap,   // ( a b -- b a )
+  kOver,   // ( a b -- a b a )
+  kAdd,    // ( a b -- a+b )
+  kSub,    // ( a b -- a-b )
+  kMul,
+  kAnd,
+  kOr,
+  kXor,
+  kLt,     // ( a b -- a<b ) signed
+  kEq,
+  kLoad,   // ( addr -- value )            yields a read
+  kStore,  // ( value addr -- )            yields a write
+  kJmp,    // pc = imm
+  kJz,     // ( f -- ) jump to imm if f == 0
+  kCall,   // rstack.push(pc+1); pc = imm
+  kRet,    // pc = rstack.pop()
+  kToR,    // ( a -- ) rstack.push(a)
+  kFromR,  // ( -- a ) a = rstack.pop()
+  kRFetch, // ( -- a ) a = rstack.top()  (loop counters)
+};
+
+/// One stack-machine instruction.
+struct SInstr {
+  SOp op = SOp::kNop;
+  std::int32_t imm = 0;
+};
+
+using SProgram = std::vector<SInstr>;
+
+/// Functional stack-machine context.  The *architectural* stacks can grow
+/// arbitrarily (they are memory-backed); only the cached top is ever
+/// migrated — see StackCache.
+struct StackContext {
+  ThreadId thread = kNoThread;
+  CoreId native_core = kNoCore;
+  std::uint32_t pc = 0;
+  std::vector<std::uint32_t> dstack;  // expression stack, back() = top
+  std::vector<std::uint32_t> rstack;  // return stack, back() = top
+  bool halted = false;
+  /// Set when a pop was attempted on an empty architectural stack — a
+  /// program bug, surfaced loudly rather than silently wrapped.
+  bool fault = false;
+};
+
+/// Per-step stack-motion summary, consumed by the stack-cache model and by
+/// the stack-trace extractor that feeds the optimal-depth DP: how many
+/// existing entries the instruction consumed (pops below the pre-step
+/// top) and how many it left (pushes).
+struct StackDelta {
+  std::uint32_t pops = 0;
+  std::uint32_t pushes = 0;
+  std::uint32_t rpops = 0;
+  std::uint32_t rpushes = 0;
+};
+
+/// Result of a stack-machine step.
+struct SStepResult {
+  StepKind kind = StepKind::kOk;
+  PendingAccess mem;  ///< valid when kind == kMem (dst_reg unused)
+  StackDelta delta;   ///< stack motion of the retired instruction
+};
+
+/// Executes SPrograms one instruction at a time.
+class StackInterpreter {
+ public:
+  explicit StackInterpreter(SProgram program);
+
+  const SProgram& program() const noexcept { return program_; }
+
+  /// Retires one instruction.  For kLoad, the address has been popped and
+  /// the caller must push the loaded value via complete_load(); for
+  /// kStore, both operands are popped and carried in `mem`.
+  SStepResult step(StackContext& ctx) const;
+
+  /// Finishes a yielded load by pushing the value.
+  static void complete_load(StackContext& ctx, std::uint32_t value) {
+    ctx.dstack.push_back(value);
+  }
+
+  /// Runs to completion against a functional memory, up to `max_steps`.
+  std::optional<std::uint64_t> run_functional(StackContext& ctx,
+                                              FunctionalMemory& mem,
+                                              std::uint64_t max_steps) const;
+
+ private:
+  SProgram program_;
+};
+
+/// Fluent program builder for tests and examples.
+class SAsm {
+ public:
+  SAsm& push(std::int32_t v) { return emit({SOp::kPush, v}); }
+  SAsm& dup() { return emit({SOp::kDup, 0}); }
+  SAsm& drop() { return emit({SOp::kDrop, 0}); }
+  SAsm& swap() { return emit({SOp::kSwap, 0}); }
+  SAsm& over() { return emit({SOp::kOver, 0}); }
+  SAsm& add() { return emit({SOp::kAdd, 0}); }
+  SAsm& sub() { return emit({SOp::kSub, 0}); }
+  SAsm& mul() { return emit({SOp::kMul, 0}); }
+  SAsm& lt() { return emit({SOp::kLt, 0}); }
+  SAsm& eq() { return emit({SOp::kEq, 0}); }
+  SAsm& load() { return emit({SOp::kLoad, 0}); }
+  SAsm& store() { return emit({SOp::kStore, 0}); }
+  SAsm& jmp(std::int32_t t) { return emit({SOp::kJmp, t}); }
+  SAsm& jz(std::int32_t t) { return emit({SOp::kJz, t}); }
+  SAsm& call(std::int32_t t) { return emit({SOp::kCall, t}); }
+  SAsm& ret() { return emit({SOp::kRet, 0}); }
+  SAsm& to_r() { return emit({SOp::kToR, 0}); }
+  SAsm& from_r() { return emit({SOp::kFromR, 0}); }
+  SAsm& r_fetch() { return emit({SOp::kRFetch, 0}); }
+  SAsm& halt() { return emit({SOp::kHalt, 0}); }
+  SAsm& nop() { return emit({SOp::kNop, 0}); }
+  SAsm& patch_imm(std::int32_t index, std::int32_t imm) {
+    program_[static_cast<std::size_t>(index)].imm = imm;
+    return *this;
+  }
+  std::int32_t here() const noexcept {
+    return static_cast<std::int32_t>(program_.size());
+  }
+  SProgram build() const { return program_; }
+
+ private:
+  SAsm& emit(SInstr i) {
+    program_.push_back(i);
+    return *this;
+  }
+  SProgram program_;
+};
+
+}  // namespace em2

@@ -1,0 +1,56 @@
+#include "coherence/cc_sim.hpp"
+
+#include "util/assert.hpp"
+
+namespace em2 {
+
+double CcRunReport::mean_latency_per_access() const noexcept {
+  const std::uint64_t accesses = counters.get("accesses");
+  return accesses == 0 ? 0.0
+                       : static_cast<double>(total_latency) /
+                             static_cast<double>(accesses);
+}
+
+double CcRunReport::messages_per_access() const noexcept {
+  const std::uint64_t accesses = counters.get("accesses");
+  return accesses == 0 ? 0.0
+                       : static_cast<double>(counters.get("messages")) /
+                             static_cast<double>(accesses);
+}
+
+CcRunReport run_cc(const TraceSet& traces, const Placement& placement,
+                   const Mesh& mesh, const CostModel& cost,
+                   const DirCcParams& params) {
+  EM2_ASSERT(params.private_cache.line_bytes == traces.block_bytes(),
+             "CC line size must match the trace block size so the "
+             "directory and the placement agree on line identity");
+  DirectoryCC cc(mesh, cost, params, placement);
+
+  std::vector<std::size_t> cursor(traces.num_threads(), 0);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t t = 0; t < traces.num_threads(); ++t) {
+      const ThreadTrace& trace = traces.thread(t);
+      if (cursor[t] >= trace.size()) {
+        continue;
+      }
+      const Access& a = trace[cursor[t]];
+      ++cursor[t];
+      progressed = true;
+      cc.access(trace.native_core(), a.addr, a.op);
+    }
+  }
+
+  CcRunReport report;
+  report.counters = cc.counters();
+  report.total_latency = cc.total_latency();
+  report.traffic_bits = cc.traffic_bits();
+  report.replication_factor = cc.replication_factor();
+  report.directory_bits = cc.directory_bits();
+  report.distinct_lines = cc.distinct_resident_lines();
+  report.valid_lines = cc.total_valid_lines();
+  return report;
+}
+
+}  // namespace em2

@@ -1,0 +1,229 @@
+#include "coherence/directory.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace em2 {
+namespace {
+
+std::uint8_t to_byte(MsiState s) { return static_cast<std::uint8_t>(s); }
+MsiState from_byte(std::uint8_t b) { return static_cast<MsiState>(b); }
+
+}  // namespace
+
+DirectoryCC::DirectoryCC(const Mesh& mesh, const CostModel& cost,
+                         const DirCcParams& params,
+                         const Placement& placement)
+    : mesh_(mesh), cost_(cost), params_(params), placement_(placement) {
+  EM2_ASSERT(std::has_single_bit(params.private_cache.line_bytes),
+             "line size must be a power of two");
+  line_shift_ = static_cast<std::uint32_t>(
+      std::countr_zero(params.private_cache.line_bytes));
+  caches_.reserve(static_cast<std::size_t>(mesh_.num_cores()));
+  for (CoreId c = 0; c < mesh_.num_cores(); ++c) {
+    caches_.push_back(std::make_unique<Cache>(params.private_cache));
+  }
+}
+
+DirectoryCC::DirEntry& DirectoryCC::dir_entry(Addr line) {
+  return directory_[line];
+}
+
+Cost DirectoryCC::send(CoreId src, CoreId dst, std::uint64_t payload_bits,
+                       const char* counter) {
+  counters_.inc(counter);
+  counters_.inc("messages");
+  traffic_bits_ += payload_bits + cost_.params().header_bits;
+  return cost_.message(src, dst, payload_bits);
+}
+
+void DirectoryCC::handle_eviction(CoreId core,
+                                  const CacheAccessResult& fill) {
+  if (!fill.evicted) {
+    return;
+  }
+  const Addr victim = fill.victim_line;
+  const CoreId home = placement_.home_of_block(victim);
+  DirEntry& entry = dir_entry(victim);
+  const MsiState vstate = from_byte(fill.victim_state);
+  const std::uint64_t line_bits =
+      static_cast<std::uint64_t>(params_.private_cache.line_bytes) * 8;
+
+  auto remove_sharer = [&](CoreId c) {
+    entry.sharers.erase(
+        std::remove(entry.sharers.begin(), entry.sharers.end(), c),
+        entry.sharers.end());
+  };
+
+  if (vstate == MsiState::kModified) {
+    // PutM: write the dirty line back to the home.
+    send(core, home, line_bits, "putm");
+    remove_sharer(core);
+    entry.state = MsiState::kInvalid;
+    EM2_ASSERT(entry.sharers.empty(),
+               "M line had other sharers in the directory");
+  } else if (vstate == MsiState::kShared) {
+    // PutS: notify the directory so its sharer vector stays precise.
+    send(core, home, 0, "puts");
+    remove_sharer(core);
+    if (entry.sharers.empty()) {
+      entry.state = MsiState::kInvalid;
+    }
+  }
+}
+
+CcAccessResult DirectoryCC::access(CoreId core, Addr addr, MemOp op) {
+  EM2_ASSERT(core >= 0 && core < mesh_.num_cores(),
+             "access from a core outside the mesh");
+  counters_.inc("accesses");
+  CcAccessResult result;
+  const Addr line = line_of(addr);
+  const CoreId home = placement_.home_of_block(line);
+  Cache& cache = *caches_[static_cast<std::size_t>(core)];
+  const auto state_byte = cache.state_of(line);
+  const MsiState cstate =
+      state_byte ? from_byte(*state_byte) : MsiState::kInvalid;
+  const std::uint64_t line_bits =
+      static_cast<std::uint64_t>(params_.private_cache.line_bytes) * 8;
+  const std::uint64_t addr_bits = cost_.params().addr_bits;
+
+  Cost latency = params_.hit_latency;
+
+  if (op == MemOp::kRead && cstate != MsiState::kInvalid) {
+    // Read hit in S or M.
+    cache.touch(line);
+    counters_.inc("hits");
+    result.hit = true;
+  } else if (op == MemOp::kWrite && cstate == MsiState::kModified) {
+    // Write hit in M.
+    cache.touch(line);
+    counters_.inc("hits");
+    result.hit = true;
+  } else if (op == MemOp::kRead) {
+    // Read miss: GetS to the directory.
+    counters_.inc("misses");
+    latency += send(core, home, addr_bits, "gets") + params_.dir_latency;
+    DirEntry& entry = dir_entry(line);
+    if (entry.state == MsiState::kModified) {
+      // Forward to the owner; owner sends data to the requester and a
+      // downgrade copy to the home.  Critical path: home->owner->requester.
+      EM2_ASSERT(entry.sharers.size() == 1, "M line must have one owner");
+      const CoreId owner = entry.sharers[0];
+      latency += send(home, owner, addr_bits, "fwd_gets");
+      const Cost to_req = send(owner, core, line_bits, "data_owner");
+      send(owner, home, line_bits, "wb_downgrade");
+      latency += to_req;
+      caches_[static_cast<std::size_t>(owner)]->set_state(
+          line, to_byte(MsiState::kShared));
+      entry.state = MsiState::kShared;
+      if (std::find(entry.sharers.begin(), entry.sharers.end(), core) ==
+          entry.sharers.end()) {
+        entry.sharers.push_back(core);
+      }
+    } else {
+      if (entry.state == MsiState::kInvalid) {
+        latency += params_.dram_latency;  // home fetches from memory
+        counters_.inc("dram_fills");
+        entry.state = MsiState::kShared;
+        entry.sharers.clear();
+      }
+      latency += send(home, core, line_bits, "data_home");
+      if (std::find(entry.sharers.begin(), entry.sharers.end(), core) ==
+          entry.sharers.end()) {
+        entry.sharers.push_back(core);
+      }
+    }
+    const CacheAccessResult fill =
+        cache.fill(line, to_byte(MsiState::kShared), false);
+    handle_eviction(core, fill);
+  } else {
+    // Write miss or upgrade: GetM/Upgrade to the directory.
+    counters_.inc("misses");
+    const bool upgrade = cstate == MsiState::kShared;
+    latency += send(core, home, addr_bits, upgrade ? "upgrade" : "getm") +
+               params_.dir_latency;
+    DirEntry& entry = dir_entry(line);
+    if (entry.state == MsiState::kModified) {
+      EM2_ASSERT(entry.sharers.size() == 1, "M line must have one owner");
+      const CoreId owner = entry.sharers[0];
+      latency += send(home, owner, addr_bits, "fwd_getm");
+      latency += send(owner, core, line_bits, "data_owner");
+      caches_[static_cast<std::size_t>(owner)]->invalidate(line);
+      entry.sharers.clear();
+    } else {
+      // Invalidate all sharers (other than the requester); acks return to
+      // the requester in parallel — the critical path is the slowest one.
+      Cost worst_inv = 0;
+      for (const CoreId sharer : entry.sharers) {
+        if (sharer == core) {
+          continue;
+        }
+        const Cost inv = send(home, sharer, addr_bits, "inv");
+        const Cost ack = send(sharer, core, 0, "inv_ack");
+        caches_[static_cast<std::size_t>(sharer)]->invalidate(line);
+        worst_inv = std::max(worst_inv, inv + ack);
+      }
+      latency += worst_inv;
+      if (entry.state == MsiState::kInvalid) {
+        latency += params_.dram_latency;
+        counters_.inc("dram_fills");
+      }
+      if (!upgrade) {
+        latency += send(home, core, line_bits, "data_home");
+      } else {
+        latency += send(home, core, 0, "upgrade_ack");
+      }
+      entry.sharers.clear();
+    }
+    entry.state = MsiState::kModified;
+    entry.sharers.push_back(core);
+    const CacheAccessResult fill =
+        cache.fill(line, to_byte(MsiState::kModified), true);
+    handle_eviction(core, fill);
+  }
+
+  result.latency = latency;
+  total_latency_ += latency;
+  return result;
+}
+
+double DirectoryCC::replication_factor() const {
+  const std::uint64_t valid = total_valid_lines();
+  const std::uint64_t distinct = distinct_resident_lines();
+  return distinct == 0 ? 1.0
+                       : static_cast<double>(valid) /
+                             static_cast<double>(distinct);
+}
+
+std::uint64_t DirectoryCC::total_valid_lines() const {
+  std::uint64_t total = 0;
+  for (const auto& c : caches_) {
+    total += c->valid_lines();
+  }
+  return total;
+}
+
+std::uint64_t DirectoryCC::distinct_resident_lines() const {
+  std::unordered_set<Addr> distinct;
+  for (const auto& [line, entry] : directory_) {
+    if (entry.state != MsiState::kInvalid && !entry.sharers.empty()) {
+      distinct.insert(line);
+    }
+  }
+  return distinct.size();
+}
+
+std::uint64_t DirectoryCC::directory_bits() const {
+  std::uint64_t tracked = 0;
+  for (const auto& [line, entry] : directory_) {
+    if (entry.state != MsiState::kInvalid) {
+      ++tracked;
+    }
+  }
+  return tracked * (2 + static_cast<std::uint64_t>(mesh_.num_cores()));
+}
+
+}  // namespace em2

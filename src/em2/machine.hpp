@@ -1,0 +1,184 @@
+// The EM2 protocol engine — the paper's primary contribution.
+//
+// EM2 "maintains memory coherence by allowing each address to be cached in
+// only one core cache (the home), and efficiently migrating execution to
+// the home core whenever another core wishes to access that address."
+//
+// This class implements the full Figure 1 access flow at the protocol
+// level:
+//
+//     memory access in core A
+//       -> address cacheable in A?   yes: access memory, continue
+//       -> no: migrate thread to home core
+//            -> # threads exceeded?  yes: migrate another thread (a guest)
+//                                         back to its native core
+//            -> access memory, continue
+//
+// Deadlock freedom (after Cho et al., NOCS 2011): every thread has a
+// reserved *native context* at its origin core that is never occupied by
+// any other thread, and evicted threads travel to it on a separate virtual
+// network (vnet::kMigrationNative) so eviction traffic can always sink.
+// Because each address is only ever accessed at its home core, "threads
+// never disagree about the contents of memory locations so sequential
+// consistency is trivially ensured."
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "geom/mesh.hpp"
+#include "mem/hierarchy.hpp"
+#include "noc/cost_model.hpp"
+#include "noc/network.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace em2 {
+
+/// How a full guest-context file chooses its eviction victim.
+enum class EvictionPolicy : std::uint8_t {
+  kOldestGuest = 0,  ///< FIFO by arrival time at the core
+  kRandom = 1,       ///< uniformly random occupied guest slot
+};
+
+/// Protocol-engine configuration.
+struct Em2Params {
+  /// Guest contexts per core ("each core may be capable of multiplexing
+  /// execution among several contexts"); native contexts are reserved
+  /// per-thread on top of these.
+  std::int32_t guest_contexts = 2;
+  EvictionPolicy eviction = EvictionPolicy::kOldestGuest;
+  /// Model per-core cache hierarchies (hit/miss latency and DRAM traffic)
+  /// in addition to network costs.  The paper's analytical model turns
+  /// this off; the Figure 2 configuration turns it on.
+  bool model_caches = false;
+  CacheParams l1{16 * 1024, 4, 64};   // 16KB L1, paper Figure 2
+  CacheParams l2{64 * 1024, 8, 64};   // 64KB L2, paper Figure 2
+  HierarchyLatency latency{};
+  std::uint64_t rng_seed = 1;
+};
+
+/// Per-access outcome (one Figure-1 traversal).
+struct AccessOutcome {
+  /// Served at the thread's current core with no network traffic.
+  bool local = false;
+  /// The thread migrated to the home core for this access.
+  bool migrated = false;
+  /// The migration displaced a guest thread at the destination.
+  bool caused_eviction = false;
+  /// The displaced thread (kNoThread if none) — execution-driven
+  /// simulators use this to restall the victim.
+  ThreadId evicted_thread = kNoThread;
+  /// Network cycles experienced by the accessing thread (its migration).
+  Cost thread_cost = 0;
+  /// Network cycles experienced by the displaced thread, if any.
+  Cost eviction_cost = 0;
+  /// Memory latency at the serving core (0 unless model_caches).
+  std::uint32_t memory_latency = 0;
+};
+
+/// The EM2 protocol engine.  Trace-driven: the caller supplies each
+/// access's home core (from a Placement); the engine tracks thread
+/// locations, guest occupancy, evictions, costs, and virtual-network
+/// traffic.
+class Em2Machine {
+ public:
+  /// `native_core[t]` gives thread t's origin core (and reserved native
+  /// context).  Threads start at their native cores.
+  Em2Machine(const Mesh& mesh, const CostModel& cost, const Em2Params& params,
+             std::vector<CoreId> native_core);
+
+  /// Executes one memory access for thread `t` whose address is homed at
+  /// `home`.  `addr` is used only for cache modelling.
+  AccessOutcome access(ThreadId t, CoreId home, MemOp op, Addr addr);
+
+  CoreId location(ThreadId t) const noexcept {
+    return location_[static_cast<std::size_t>(t)];
+  }
+  CoreId native(ThreadId t) const noexcept {
+    return native_[static_cast<std::size_t>(t)];
+  }
+  std::int32_t guests_at(CoreId core) const noexcept {
+    return static_cast<std::int32_t>(
+        guests_[static_cast<std::size_t>(core)].size());
+  }
+
+  const CounterSet& counters() const noexcept { return counters_; }
+  /// Bits moved per virtual network (contexts on the migration vnets) — a
+  /// first-order traffic/power proxy.
+  std::uint64_t vnet_bits(int vn) const noexcept {
+    return vnet_bits_[static_cast<std::size_t>(vn)];
+  }
+  /// Total network cycles experienced by accessing threads.
+  Cost total_thread_cost() const noexcept { return total_thread_cost_; }
+  /// Total network cycles experienced by evicted threads.
+  Cost total_eviction_cost() const noexcept { return total_eviction_cost_; }
+  Cost thread_cost(ThreadId t) const noexcept {
+    return per_thread_cost_[static_cast<std::size_t>(t)];
+  }
+
+  /// Aggregated cache statistics (zeros unless model_caches).
+  struct CacheTotals {
+    std::uint64_t l1_hits = 0;
+    std::uint64_t l2_hits = 0;
+    std::uint64_t dram_fills = 0;
+    std::uint64_t dram_writebacks = 0;
+  };
+  CacheTotals cache_totals() const;
+
+  const CostModel& cost_model() const noexcept { return cost_; }
+
+ protected:
+  /// Moves thread `t` to `dest`, handling native-vs-guest context
+  /// occupancy and any eviction chain.  Returns (thread cost, eviction
+  /// cost).  Exposed to the EM2-RA subclassing machinery.
+  std::pair<Cost, Cost> migrate_thread(ThreadId t, CoreId dest);
+
+  /// Thread displaced by the most recent migrate_thread (kNoThread if
+  /// none); cleared at the start of each migration.
+  ThreadId last_evicted() const noexcept { return last_evicted_; }
+
+  /// Serves the memory access at `core` through its cache hierarchy (if
+  /// modelled); returns the latency.
+  std::uint32_t serve_memory(CoreId core, Addr addr, MemOp op);
+
+  void account_thread_cost(ThreadId t, Cost c) {
+    per_thread_cost_[static_cast<std::size_t>(t)] += c;
+    total_thread_cost_ += c;
+  }
+
+  void add_vnet_bits(int vn, std::uint64_t bits) {
+    vnet_bits_[static_cast<std::size_t>(vn)] += bits;
+  }
+
+  CounterSet counters_;
+
+ private:
+  /// Removes `t` from its current guest slot, if it occupies one.
+  void leave_current(ThreadId t);
+  /// Installs `t` at `dest`; may evict.  Returns the eviction cost.
+  Cost arrive(ThreadId t, CoreId dest);
+
+  Mesh mesh_;
+  CostModel cost_;
+  Em2Params params_;
+  std::vector<CoreId> native_;
+  std::vector<CoreId> location_;
+  /// Guest occupancy per core, in arrival order (front = oldest).
+  /// A thread at its native core does NOT occupy a guest slot.
+  std::vector<std::deque<ThreadId>> guests_;
+  std::vector<std::unique_ptr<CacheHierarchy>> caches_;
+  std::vector<Cost> per_thread_cost_;
+  std::array<std::uint64_t, vnet::kNumVnets> vnet_bits_{};
+  Cost total_thread_cost_ = 0;
+  Cost total_eviction_cost_ = 0;
+  ThreadId last_evicted_ = kNoThread;
+  Rng rng_;
+};
+
+}  // namespace em2

@@ -1,0 +1,125 @@
+#include "em2/replication.hpp"
+
+#include <bit>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace em2 {
+
+std::unordered_set<Addr> replicable_blocks(const TraceSet& traces,
+                                           std::uint32_t max_writes) {
+  // Per-word write counts (word = 4-byte granule).
+  std::unordered_map<Addr, std::uint32_t> word_writes;
+  for (const auto& thread : traces.threads()) {
+    for (const auto& a : thread.accesses()) {
+      if (a.op == MemOp::kWrite) {
+        ++word_writes[a.addr >> 2];
+      }
+    }
+  }
+  // A block is disqualified if any of its words exceeds the threshold.
+  std::unordered_set<Addr> bad;
+  const std::uint32_t word_shift =
+      traces.block_bytes() >= 4
+          ? static_cast<std::uint32_t>(
+                std::countr_zero(traces.block_bytes() / 4))
+          : 0;
+  for (const auto& [word, count] : word_writes) {
+    if (count > max_writes) {
+      bad.insert(word >> word_shift);
+    }
+  }
+  std::unordered_set<Addr> result;
+  for (const auto& thread : traces.threads()) {
+    for (const auto& a : thread.accesses()) {
+      const Addr block = traces.block_of(a.addr);
+      if (bad.count(block) == 0) {
+        result.insert(block);
+      }
+    }
+  }
+  return result;
+}
+
+Em2RunReport run_em2_replicated(
+    const TraceSet& traces, const Placement& placement, const Mesh& mesh,
+    const CostModel& cost, const Em2Params& params,
+    const std::unordered_set<Addr>& replicable) {
+  std::vector<CoreId> native;
+  native.reserve(traces.num_threads());
+  for (const auto& t : traces.threads()) {
+    native.push_back(t.native_core());
+  }
+  Em2Machine machine(mesh, cost, params, std::move(native));
+
+  CounterSet extra;
+  std::vector<std::size_t> cursor(traces.num_threads(), 0);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t t = 0; t < traces.num_threads(); ++t) {
+      const ThreadTrace& trace = traces.thread(t);
+      if (cursor[t] >= trace.size()) {
+        continue;
+      }
+      const Access& a = trace[cursor[t]];
+      ++cursor[t];
+      progressed = true;
+      const Addr block = traces.block_of(a.addr);
+      if (a.op == MemOp::kRead && replicable.count(block) != 0) {
+        // Read of a read-only block: served from a local replica, no
+        // migration, no network traffic.  All replicas are identical by
+        // construction (the block is never written post-initialization),
+        // so sequential consistency is unaffected.
+        extra.inc("replicated_reads");
+        extra.inc("accesses");
+        extra.inc("reads");
+        continue;
+      }
+      // Writes to replicable blocks are the initialization writes the
+      // classifier allowed; they still execute at the home (single copy
+      // is updated before any replica is read in the steady state under
+      // the profile's definition).
+      const CoreId home = placement.home_of_block(block);
+      machine.access(static_cast<ThreadId>(t), home, a.op, a.addr);
+    }
+  }
+
+  Em2RunReport report;
+  report.counters = machine.counters();
+  report.counters.merge(extra);
+  report.total_thread_cost = machine.total_thread_cost();
+  report.total_eviction_cost = machine.total_eviction_cost();
+  report.per_thread_cost.reserve(traces.num_threads());
+  for (std::size_t t = 0; t < traces.num_threads(); ++t) {
+    report.per_thread_cost.push_back(
+        machine.thread_cost(static_cast<ThreadId>(t)));
+  }
+  for (int vn = 0; vn < vnet::kNumVnets; ++vn) {
+    report.vnet_bits[static_cast<std::size_t>(vn)] = machine.vnet_bits(vn);
+  }
+  report.cache_totals = machine.cache_totals();
+
+  // Run-length analysis with replicated reads removed from the home
+  // sequence (they no longer cause migrations).
+  RunLengthAnalyzer analyzer;
+  for (const auto& trace : traces.threads()) {
+    std::vector<CoreId> homes;
+    homes.reserve(trace.size());
+    // A replicated read is "wherever the thread already is"; model it as
+    // continuing the previous run by skipping the access.
+    for (const auto& a : trace.accesses()) {
+      const Addr block = traces.block_of(a.addr);
+      if (a.op == MemOp::kRead && replicable.count(block) != 0) {
+        continue;
+      }
+      homes.push_back(placement.home_of_block(block));
+    }
+    analyzer.add_thread(trace.native_core(), homes);
+  }
+  report.run_lengths = analyzer.report();
+  return report;
+}
+
+}  // namespace em2

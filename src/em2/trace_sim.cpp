@@ -1,0 +1,74 @@
+#include "em2/trace_sim.hpp"
+
+#include "util/assert.hpp"
+
+namespace em2 {
+
+double Em2RunReport::migration_rate() const noexcept {
+  const std::uint64_t accesses = counters.get("accesses");
+  return accesses == 0 ? 0.0
+                       : static_cast<double>(counters.get("migrations")) /
+                             static_cast<double>(accesses);
+}
+
+double Em2RunReport::mean_cost_per_access() const noexcept {
+  const std::uint64_t accesses = counters.get("accesses");
+  return accesses == 0 ? 0.0
+                       : static_cast<double>(total_thread_cost) /
+                             static_cast<double>(accesses);
+}
+
+Em2RunReport run_em2(const TraceSet& traces, const Placement& placement,
+                     const Mesh& mesh, const CostModel& cost,
+                     const Em2Params& params) {
+  std::vector<CoreId> native;
+  native.reserve(traces.num_threads());
+  for (const auto& t : traces.threads()) {
+    native.push_back(t.native_core());
+  }
+  Em2Machine machine(mesh, cost, params, std::move(native));
+
+  // Round-robin interleaving: one access per live thread per round.
+  std::vector<std::size_t> cursor(traces.num_threads(), 0);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t t = 0; t < traces.num_threads(); ++t) {
+      const ThreadTrace& trace = traces.thread(t);
+      if (cursor[t] >= trace.size()) {
+        continue;
+      }
+      const Access& a = trace[cursor[t]];
+      ++cursor[t];
+      progressed = true;
+      const CoreId home = placement.home_of_block(traces.block_of(a.addr));
+      machine.access(static_cast<ThreadId>(t), home, a.op, a.addr);
+    }
+  }
+
+  Em2RunReport report;
+  report.counters = machine.counters();
+  report.total_thread_cost = machine.total_thread_cost();
+  report.total_eviction_cost = machine.total_eviction_cost();
+  report.per_thread_cost.reserve(traces.num_threads());
+  for (std::size_t t = 0; t < traces.num_threads(); ++t) {
+    report.per_thread_cost.push_back(
+        machine.thread_cost(static_cast<ThreadId>(t)));
+  }
+  for (int vn = 0; vn < vnet::kNumVnets; ++vn) {
+    report.vnet_bits[static_cast<std::size_t>(vn)] = machine.vnet_bits(vn);
+  }
+  report.cache_totals = machine.cache_totals();
+
+  // Figure 2 analysis over the same placement.
+  RunLengthAnalyzer analyzer;
+  for (const auto& trace : traces.threads()) {
+    const std::vector<CoreId> homes =
+        home_sequence(trace, traces, placement);
+    analyzer.add_thread(trace.native_core(), homes);
+  }
+  report.run_lengths = analyzer.report();
+  return report;
+}
+
+}  // namespace em2

@@ -1,0 +1,45 @@
+// Trace-driven EM2 simulation: drives a whole TraceSet through the
+// protocol engine and produces the aggregate report used by examples and
+// the bench harness (including the Figure 2 run-length analysis).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "em2/machine.hpp"
+#include "geom/mesh.hpp"
+#include "noc/cost_model.hpp"
+#include "placement/placement.hpp"
+#include "trace/run_length.hpp"
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+
+namespace em2 {
+
+/// Aggregate results of one trace-driven run.
+struct Em2RunReport {
+  CounterSet counters;
+  /// Network cycles experienced by accessing threads (migration latency).
+  Cost total_thread_cost = 0;
+  /// Network cycles experienced by displaced (evicted) threads.
+  Cost total_eviction_cost = 0;
+  std::vector<Cost> per_thread_cost;
+  std::array<std::uint64_t, vnet::kNumVnets> vnet_bits{};
+  /// Figure 2 analysis computed from the same placement.
+  RunLengthReport run_lengths;
+  Em2Machine::CacheTotals cache_totals;
+
+  /// Migration rate: migrations per memory access.
+  double migration_rate() const noexcept;
+  /// Mean network cost per access (thread-experienced).
+  double mean_cost_per_access() const noexcept;
+};
+
+/// Runs pure EM2 over `traces` with `placement`, interleaving threads
+/// round-robin (one access per live thread per round — the deterministic
+/// stand-in for concurrent execution).
+Em2RunReport run_em2(const TraceSet& traces, const Placement& placement,
+                     const Mesh& mesh, const CostModel& cost,
+                     const Em2Params& params);
+
+}  // namespace em2

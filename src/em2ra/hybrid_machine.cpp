@@ -1,0 +1,70 @@
+#include "em2ra/hybrid_machine.hpp"
+
+#include "util/assert.hpp"
+
+namespace em2 {
+
+HybridMachine::HybridMachine(const Mesh& mesh, const CostModel& cost,
+                             const Em2Params& params,
+                             std::vector<CoreId> native_core,
+                             DecisionPolicy& policy)
+    : Em2Machine(mesh, cost, params, std::move(native_core)),
+      policy_(policy) {}
+
+HybridOutcome HybridMachine::access_hybrid(ThreadId t, CoreId home, MemOp op,
+                                           Addr addr, Addr block) {
+  HybridOutcome out;
+  const CoreId at = location(t);
+
+  if (at == home) {
+    // Local: identical to Figure 1's left branch.
+    out.base = Em2Machine::access(t, home, op, addr);
+    policy_.observe(t, home, native(t));
+    return out;
+  }
+
+  DecisionQuery q;
+  q.thread = t;
+  q.current = at;
+  q.home = home;
+  q.native = native(t);
+  q.op = op;
+  q.block = block;
+
+  if (policy_.decide(q) == RaDecision::kMigrate) {
+    // EM2 path: migrate (with possible eviction), then access locally.
+    out.base = Em2Machine::access(t, home, op, addr);
+    policy_.observe(t, home, native(t));
+    return out;
+  }
+
+  // Remote-access path (Figure 3, bottom): "Send remote request to home
+  // core; [home core:] access memory; return data (read) or ack (write)
+  // to the requesting core; continue execution."  The thread never moves.
+  counters_.inc("accesses");
+  counters_.inc(op == MemOp::kRead ? "reads" : "writes");
+  counters_.inc("remote_accesses");
+  counters_.inc(op == MemOp::kRead ? "remote_reads" : "remote_writes");
+  out.remote = true;
+
+  const CostModelParams& p = cost_model().params();
+  const Cost rt = cost_model().remote_access(at, home, op);
+  out.base.thread_cost = rt;
+  account_thread_cost(t, rt);
+
+  const std::uint64_t req_bits =
+      op == MemOp::kWrite ? p.addr_bits + p.word_bits : p.addr_bits;
+  const std::uint64_t rep_bits = op == MemOp::kRead ? p.word_bits : 0;
+  remote_request_bits_ += req_bits;
+  remote_reply_bits_ += rep_bits;
+  add_vnet_bits(vnet::kRemoteRequest, req_bits);
+  add_vnet_bits(vnet::kRemoteReply, rep_bits);
+
+  // The word is still served by the *home* core's hierarchy: remote access
+  // does not replicate data, so the single-home invariant stands.
+  out.base.memory_latency = serve_memory(home, addr, op);
+  policy_.observe(t, home, native(t));
+  return out;
+}
+
+}  // namespace em2

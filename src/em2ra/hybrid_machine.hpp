@@ -1,0 +1,57 @@
+// The EM2-RA hybrid protocol engine — Figure 3 of the paper.
+//
+// Extends the EM2 flow with a remote-cache-access path: on a non-local
+// access the decision procedure either migrates the thread (EM2 path) or
+// sends a remote request to the home core, which performs the access and
+// returns the data (read) or an ack (write) while the thread stays put.
+//
+// "To avoid interconnect deadlock, the remote-access virtual subnetwork
+// must be separate from the subnetworks used for migrations (cf. [10]),
+// requiring six virtual channels in total" — remote requests and replies
+// travel on vnet::kRemoteRequest / vnet::kRemoteReply, never mixing with
+// the two migration vnets or the two memory vnets.
+#pragma once
+
+#include "em2/machine.hpp"
+#include "em2ra/policy.hpp"
+
+namespace em2 {
+
+/// Outcome of one EM2-RA access (superset of the EM2 outcome).
+struct HybridOutcome {
+  AccessOutcome base;
+  /// The access was served by a remote round trip (thread did not move).
+  bool remote = false;
+};
+
+/// EM2-RA protocol engine: EM2 plus the remote-access path and the
+/// decision procedure.
+class HybridMachine : public Em2Machine {
+ public:
+  /// `policy` decides migrate-vs-RA per non-local access; the machine
+  /// keeps it informed of every access (observe) so predictive policies
+  /// can train.  The policy must outlive the machine.
+  HybridMachine(const Mesh& mesh, const CostModel& cost,
+                const Em2Params& params, std::vector<CoreId> native_core,
+                DecisionPolicy& policy);
+
+  /// One Figure-3 traversal.  `block` is the placement block of `addr`
+  /// (policies may key predictor state on it).
+  HybridOutcome access_hybrid(ThreadId t, CoreId home, MemOp op, Addr addr,
+                              Addr block);
+
+  /// Remote-access traffic in bits, split by direction.
+  std::uint64_t remote_request_bits() const noexcept {
+    return remote_request_bits_;
+  }
+  std::uint64_t remote_reply_bits() const noexcept {
+    return remote_reply_bits_;
+  }
+
+ private:
+  DecisionPolicy& policy_;
+  std::uint64_t remote_request_bits_ = 0;
+  std::uint64_t remote_reply_bits_ = 0;
+};
+
+}  // namespace em2

@@ -1,0 +1,74 @@
+#include "em2ra/hybrid_sim.hpp"
+
+namespace em2 {
+
+double HybridRunReport::remote_fraction() const noexcept {
+  const std::uint64_t migrations = em2.counters.get("migrations");
+  const std::uint64_t nonlocal = migrations + remote_accesses;
+  // Evictions also count as migrations but are not decision outcomes;
+  // close enough for a summary ratio, exact splits are in the counters.
+  return nonlocal == 0
+             ? 0.0
+             : static_cast<double>(remote_accesses) /
+                   static_cast<double>(nonlocal);
+}
+
+HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
+                          const Mesh& mesh, const CostModel& cost,
+                          const Em2Params& params, DecisionPolicy& policy) {
+  std::vector<CoreId> native;
+  native.reserve(traces.num_threads());
+  for (const auto& t : traces.threads()) {
+    native.push_back(t.native_core());
+  }
+  HybridMachine machine(mesh, cost, params, std::move(native), policy);
+
+  std::vector<std::size_t> cursor(traces.num_threads(), 0);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t t = 0; t < traces.num_threads(); ++t) {
+      const ThreadTrace& trace = traces.thread(t);
+      if (cursor[t] >= trace.size()) {
+        continue;
+      }
+      const Access& a = trace[cursor[t]];
+      ++cursor[t];
+      progressed = true;
+      const Addr block = traces.block_of(a.addr);
+      const CoreId home = placement.home_of_block(block);
+      machine.access_hybrid(static_cast<ThreadId>(t), home, a.op, a.addr,
+                            block);
+    }
+  }
+
+  HybridRunReport report;
+  report.policy_name = policy.name();
+  report.em2.counters = machine.counters();
+  report.em2.total_thread_cost = machine.total_thread_cost();
+  report.em2.total_eviction_cost = machine.total_eviction_cost();
+  report.em2.per_thread_cost.reserve(traces.num_threads());
+  for (std::size_t t = 0; t < traces.num_threads(); ++t) {
+    report.em2.per_thread_cost.push_back(
+        machine.thread_cost(static_cast<ThreadId>(t)));
+  }
+  for (int vn = 0; vn < vnet::kNumVnets; ++vn) {
+    report.em2.vnet_bits[static_cast<std::size_t>(vn)] =
+        machine.vnet_bits(vn);
+  }
+  report.em2.cache_totals = machine.cache_totals();
+  report.remote_accesses = machine.counters().get("remote_accesses");
+  report.remote_request_bits = machine.remote_request_bits();
+  report.remote_reply_bits = machine.remote_reply_bits();
+
+  RunLengthAnalyzer analyzer;
+  for (const auto& trace : traces.threads()) {
+    const std::vector<CoreId> homes =
+        home_sequence(trace, traces, placement);
+    analyzer.add_thread(trace.native_core(), homes);
+  }
+  report.em2.run_lengths = analyzer.report();
+  return report;
+}
+
+}  // namespace em2

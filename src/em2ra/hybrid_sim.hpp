@@ -1,0 +1,31 @@
+// Trace-driven EM2-RA simulation with a pluggable decision policy,
+// mirroring em2/trace_sim.hpp for the hybrid architecture.
+#pragma once
+
+#include <string>
+
+#include "em2/trace_sim.hpp"
+#include "em2ra/hybrid_machine.hpp"
+#include "em2ra/policy.hpp"
+
+namespace em2 {
+
+/// EM2-RA run report: the EM2 report plus remote-access accounting.
+struct HybridRunReport {
+  Em2RunReport em2;
+  std::string policy_name;
+  std::uint64_t remote_accesses = 0;
+  std::uint64_t remote_request_bits = 0;
+  std::uint64_t remote_reply_bits = 0;
+
+  /// Fraction of non-local accesses served by remote access.
+  double remote_fraction() const noexcept;
+};
+
+/// Runs EM2-RA over `traces` with `placement` and `policy` (round-robin
+/// thread interleaving, as in run_em2).
+HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
+                          const Mesh& mesh, const CostModel& cost,
+                          const Em2Params& params, DecisionPolicy& policy);
+
+}  // namespace em2

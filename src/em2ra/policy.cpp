@@ -1,0 +1,193 @@
+#include "em2ra/policy.hpp"
+
+#include "util/assert.hpp"
+
+namespace em2 {
+
+DistanceThresholdPolicy::DistanceThresholdPolicy(const Mesh& mesh,
+                                                 std::int32_t threshold_hops)
+    : mesh_(mesh), threshold_(threshold_hops) {}
+
+RaDecision DistanceThresholdPolicy::decide(const DecisionQuery& q) {
+  return mesh_.hops(q.current, q.home) >= threshold_
+             ? RaDecision::kMigrate
+             : RaDecision::kRemoteAccess;
+}
+
+std::string DistanceThresholdPolicy::name() const {
+  return "distance:" + std::to_string(threshold_);
+}
+
+HistoryPolicy::HistoryPolicy(std::uint32_t long_run, std::uint32_t capacity)
+    : long_run_(long_run), capacity_(capacity) {
+  EM2_ASSERT(long_run >= 1, "long-run threshold must be at least 1");
+}
+
+void HistoryPolicy::train(ThreadState& st, CoreId ended_home,
+                          std::uint64_t run_len) {
+  auto it = st.counter.find(ended_home);
+  if (it == st.counter.end()) {
+    if (capacity_ != 0 && st.counter.size() >= capacity_) {
+      // Predictor table full: evict the weakest entry (lowest counter,
+      // lowest core id breaks ties thanks to the ordered map).
+      auto victim = st.counter.begin();
+      for (auto cand = st.counter.begin(); cand != st.counter.end();
+           ++cand) {
+        if (cand->second < victim->second) {
+          victim = cand;
+        }
+      }
+      st.counter.erase(victim);
+    }
+    it = st.counter.emplace(ended_home, 0).first;  // starts weakly-short
+  }
+  std::uint8_t& ctr = it->second;
+  if (run_len >= long_run_) {
+    if (ctr < 3) {
+      ++ctr;
+    }
+  } else if (ctr > 0) {
+    --ctr;
+  }
+}
+
+void HistoryPolicy::observe(ThreadId thread, CoreId home, CoreId native) {
+  ThreadState& st = state_[thread];
+  if (st.run_home == home) {
+    ++st.run_len;
+    return;
+  }
+  if (st.run_home != kNoCore) {
+    if (st.run_home == native) {
+      // Native runs train the dedicated register, not the table (so they
+      // cannot thrash the remote-home entries).
+      if (st.run_len >= long_run_) {
+        if (st.native_ctr < 3) {
+          ++st.native_ctr;
+        }
+      } else if (st.native_ctr > 0) {
+        --st.native_ctr;
+      }
+    } else {
+      train(st, st.run_home, st.run_len);
+    }
+  }
+  st.run_home = home;
+  st.run_len = 1;
+}
+
+RaDecision HistoryPolicy::decide(const DecisionQuery& q) {
+  ThreadState& st = state_[q.thread];
+  // The native core has its own dedicated predictor register, biased
+  // toward "long" (going home usually starts a long local phase).
+  if (q.home == q.native) {
+    return st.native_ctr >= 2 ? RaDecision::kMigrate
+                              : RaDecision::kRemoteAccess;
+  }
+  const auto it = st.counter.find(q.home);
+  const std::uint8_t ctr = it == st.counter.end() ? 0 : it->second;
+  return ctr >= 2 ? RaDecision::kMigrate : RaDecision::kRemoteAccess;
+}
+
+std::string HistoryPolicy::name() const {
+  std::string n = "history:" + std::to_string(long_run_);
+  if (capacity_ != 0) {
+    n += ":" + std::to_string(capacity_);
+  }
+  return n;
+}
+
+CostEstimatePolicy::CostEstimatePolicy(const CostModel& cost,
+                                       double ewma_alpha)
+    : cost_(cost), ewma_alpha_(ewma_alpha) {
+  EM2_ASSERT(ewma_alpha > 0.0 && ewma_alpha <= 1.0,
+             "EWMA weight must be in (0, 1]");
+}
+
+void CostEstimatePolicy::observe(ThreadId thread, CoreId home,
+                                 CoreId native) {
+  ThreadState& st = state_[thread];
+  if (st.run_home == home) {
+    ++st.run_len;
+    return;
+  }
+  // Remote visits and native local phases are different populations;
+  // each feeds its own estimator.
+  if (st.run_home != kNoCore) {
+    if (st.run_home == native) {
+      st.native_run_ewma = (1.0 - ewma_alpha_) * st.native_run_ewma +
+                           ewma_alpha_ * static_cast<double>(st.run_len);
+    } else {
+      predicted_run_ = (1.0 - ewma_alpha_) * predicted_run_ +
+                       ewma_alpha_ * static_cast<double>(st.run_len);
+    }
+  }
+  st.run_home = home;
+  st.run_len = 1;
+}
+
+RaDecision CostEstimatePolicy::decide(const DecisionQuery& q) {
+  // Expected cost of migrating once and serving ~E[run] accesses locally,
+  // vs. performing that many remote round trips.  The return migration is
+  // deliberately excluded from both sides: under either choice the
+  // thread's subsequent movement is decided by later accesses.  Native
+  // visits use the thread's local-phase estimator.
+  const double expected_run =
+      q.home == q.native ? state_[q.thread].native_run_ewma
+                         : predicted_run_;
+  const double migrate_cost =
+      static_cast<double>(cost_.migration(q.current, q.home));
+  const double ra_once =
+      static_cast<double>(cost_.remote_access(q.current, q.home, q.op));
+  const double ra_cost = ra_once * expected_run;
+  return migrate_cost <= ra_cost ? RaDecision::kMigrate
+                                 : RaDecision::kRemoteAccess;
+}
+
+std::unique_ptr<DecisionPolicy> make_policy(const std::string& spec,
+                                            const Mesh& mesh,
+                                            const CostModel& cost) {
+  if (spec == "always-migrate") {
+    return std::make_unique<AlwaysMigratePolicy>();
+  }
+  if (spec == "always-remote") {
+    return std::make_unique<AlwaysRemotePolicy>();
+  }
+  if (spec.rfind("distance:", 0) == 0) {
+    const int hops = std::atoi(spec.c_str() + 9);
+    return std::make_unique<DistanceThresholdPolicy>(mesh, hops);
+  }
+  if (spec == "history") {
+    return std::make_unique<HistoryPolicy>();
+  }
+  if (spec.rfind("history:", 0) == 0) {
+    // "history:<long_run>" or "history:<long_run>:<capacity>".
+    const std::string rest = spec.substr(8);
+    const auto colon = rest.find(':');
+    const int long_run = std::atoi(rest.c_str());
+    int capacity = 0;
+    if (colon != std::string::npos) {
+      capacity = std::atoi(rest.c_str() + colon + 1);
+      if (capacity < 1) {
+        return nullptr;
+      }
+    }
+    if (long_run >= 1) {
+      return std::make_unique<HistoryPolicy>(
+          static_cast<std::uint32_t>(long_run),
+          static_cast<std::uint32_t>(capacity));
+    }
+    return nullptr;
+  }
+  if (spec == "cost-estimate") {
+    return std::make_unique<CostEstimatePolicy>(cost);
+  }
+  return nullptr;
+}
+
+std::vector<std::string> standard_policy_specs() {
+  return {"always-migrate", "always-remote", "distance:4",
+          "history",        "cost-estimate"};
+}
+
+}  // namespace em2

@@ -1,0 +1,172 @@
+// Migrate-vs-remote-access decision policies for EM2-RA.
+//
+// Figure 3 inserts a "Decision Procedure" into the Figure-1 flow: on a
+// non-local access the core either migrates the thread (as in EM2) or
+// sends a word-granularity remote request to the home core and waits for
+// the reply.  "Clearly, the migration-vs.-remote-access decision is
+// crucial to EM2-RA performance."  The paper defers hardware-
+// implementable schemes to future work and contributes the DP *upper
+// bound* (src/optimal); this header provides the scheme zoo that the DP
+// is used to judge.
+//
+// Every policy here is core-local and O(1) per access, i.e. hardware-
+// implementable: it may consult only the thread's current location, the
+// target home core, and small per-thread predictor state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/mesh.hpp"
+#include "noc/cost_model.hpp"
+#include "util/types.hpp"
+
+namespace em2 {
+
+/// The binary decision of Figure 3.
+enum class RaDecision : std::uint8_t {
+  kMigrate = 0,
+  kRemoteAccess = 1,
+};
+
+/// Decision-relevant facts about one non-local access.
+struct DecisionQuery {
+  ThreadId thread = kNoThread;
+  CoreId current = kNoCore;  ///< where the thread is executing now
+  CoreId home = kNoCore;     ///< home core of the accessed address
+  CoreId native = kNoCore;   ///< the thread's native core
+  MemOp op = MemOp::kRead;
+  Addr block = 0;            ///< placement block of the address
+};
+
+/// A core-local migrate-vs-remote-access decision scheme.
+class DecisionPolicy {
+ public:
+  virtual ~DecisionPolicy() = default;
+  virtual RaDecision decide(const DecisionQuery& q) = 0;
+  /// Informs predictive policies how the access sequence continued: called
+  /// after every access (local or not) with the access's home core and the
+  /// thread's native core (so predictors can ignore native-core runs,
+  /// which never require a decision).
+  virtual void observe(ThreadId thread, CoreId home, CoreId native) {
+    (void)thread;
+    (void)home;
+    (void)native;
+  }
+  virtual std::string name() const = 0;
+};
+
+/// Pure EM2: always migrate (the paper's baseline architecture).
+class AlwaysMigratePolicy final : public DecisionPolicy {
+ public:
+  RaDecision decide(const DecisionQuery&) override {
+    return RaDecision::kMigrate;
+  }
+  std::string name() const override { return "always-migrate"; }
+};
+
+/// Pure remote-access coherence (the Fensch-Cintra-style comparison point
+/// cited by the paper [15]): never migrate.
+class AlwaysRemotePolicy final : public DecisionPolicy {
+ public:
+  RaDecision decide(const DecisionQuery&) override {
+    return RaDecision::kRemoteAccess;
+  }
+  std::string name() const override { return "always-remote"; }
+};
+
+/// Distance threshold: remote-access nearby homes (a short round trip is
+/// cheaper than shipping the context), migrate to distant ones only when
+/// the single-trip saving beats the round trip.  Because a one-off access
+/// favours RA at *all* distances once contexts are large, the practical
+/// rule is hop-count based: migrate iff hops(current, home) >= threshold.
+class DistanceThresholdPolicy final : public DecisionPolicy {
+ public:
+  DistanceThresholdPolicy(const Mesh& mesh, std::int32_t threshold_hops);
+  RaDecision decide(const DecisionQuery& q) override;
+  std::string name() const override;
+
+ private:
+  Mesh mesh_;
+  std::int32_t threshold_;
+};
+
+/// Run-length history predictor: per (thread, home) 2-bit saturating
+/// counter trained on whether the previous visit to that home would have
+/// amortized a migration (run length >= `long_run`).  Predicted-long runs
+/// migrate; predicted-short runs use remote access.  This is the kind of
+/// simple hardware predictor the paper's future-work section anticipates.
+///
+/// `capacity` bounds the number of counter entries per thread, modelling
+/// a real predictor table: 0 means unbounded; otherwise inserting into a
+/// full table evicts the weakest entry (lowest counter, lowest core id on
+/// ties).  The capacity sweep in bench_decision_schemes shows how small
+/// the table can get before prediction quality degrades.
+class HistoryPolicy final : public DecisionPolicy {
+ public:
+  explicit HistoryPolicy(std::uint32_t long_run = 2,
+                         std::uint32_t capacity = 0);
+  RaDecision decide(const DecisionQuery& q) override;
+  void observe(ThreadId thread, CoreId home, CoreId native) override;
+  std::string name() const override;
+
+ private:
+  struct ThreadState {
+    CoreId run_home = kNoCore;   ///< home of the current run
+    std::uint64_t run_len = 0;   ///< length of the current run
+    /// Dedicated predictor for runs at the thread's native core (a single
+    /// hardware register, outside the table and its capacity).
+    std::uint8_t native_ctr = 2;  ///< starts weakly-long: going home is
+                                  ///< usually a long local phase
+    /// 2-bit saturating counters keyed by (remote) home core: >= 2
+    /// predicts long.  Ordered map for deterministic eviction.
+    std::map<CoreId, std::uint8_t> counter;
+  };
+  void train(ThreadState& st, CoreId ended_home, std::uint64_t run_len);
+
+  std::uint32_t long_run_;
+  std::uint32_t capacity_;
+  std::unordered_map<ThreadId, ThreadState> state_;
+};
+
+/// Cost-estimate policy: migrate iff the *amortized* model cost favours it
+/// assuming the predicted run length from a global EWMA of observed run
+/// lengths.  Uses only core-local arithmetic on the analytic cost model —
+/// plausibly a small fixed-function unit.
+class CostEstimatePolicy final : public DecisionPolicy {
+ public:
+  CostEstimatePolicy(const CostModel& cost, double ewma_alpha = 0.125);
+  RaDecision decide(const DecisionQuery& q) override;
+  void observe(ThreadId thread, CoreId home, CoreId native) override;
+  std::string name() const override { return "cost-estimate"; }
+
+ private:
+  CostModel cost_;  // by value: the model is two ints + a param block
+  double ewma_alpha_;
+  /// EWMA of remote (non-native) run lengths, shared across threads.
+  double predicted_run_ = 1.0;
+  struct ThreadState {
+    CoreId run_home = kNoCore;
+    std::uint64_t run_len = 0;
+    /// Per-thread EWMA of native-core run lengths (local phases are a
+    /// different population from remote visits); starts optimistic.
+    double native_run_ewma = 8.0;
+  };
+  std::unordered_map<ThreadId, ThreadState> state_;
+};
+
+/// Factory: "always-migrate" | "always-remote" | "distance:<hops>" |
+/// "history" | "history:<long_run>" | "cost-estimate".  Returns nullptr
+/// for unknown names.
+std::unique_ptr<DecisionPolicy> make_policy(const std::string& spec,
+                                            const Mesh& mesh,
+                                            const CostModel& cost);
+
+/// The policy names make_policy understands, for CLI help and sweeps.
+std::vector<std::string> standard_policy_specs();
+
+}  // namespace em2

@@ -1,0 +1,108 @@
+#include "geom/mesh.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace em2 {
+
+const char* to_string(Direction d) noexcept {
+  switch (d) {
+    case Direction::kLocal:
+      return "L";
+    case Direction::kEast:
+      return "E";
+    case Direction::kWest:
+      return "W";
+    case Direction::kNorth:
+      return "N";
+    case Direction::kSouth:
+      return "S";
+  }
+  return "?";
+}
+
+Mesh::Mesh(std::int32_t width, std::int32_t height)
+    : width_(width), height_(height) {
+  EM2_ASSERT(width >= 1 && height >= 1, "mesh dimensions must be positive");
+}
+
+Mesh Mesh::near_square(std::int32_t cores) {
+  EM2_ASSERT(cores >= 1, "mesh must hold at least one core");
+  auto h = static_cast<std::int32_t>(std::sqrt(static_cast<double>(cores)));
+  while (h > 1 && cores % h != 0) {
+    --h;
+  }
+  return Mesh(cores / h, h);
+}
+
+Coord Mesh::coord_of(CoreId core) const noexcept {
+  return Coord{core % width_, core / width_};
+}
+
+CoreId Mesh::core_at(Coord c) const noexcept { return c.y * width_ + c.x; }
+
+bool Mesh::contains(Coord c) const noexcept {
+  return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+}
+
+std::int32_t Mesh::hops(CoreId a, CoreId b) const noexcept {
+  const Coord ca = coord_of(a);
+  const Coord cb = coord_of(b);
+  return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+}
+
+CoreId Mesh::neighbor(CoreId core, Direction d) const noexcept {
+  Coord c = coord_of(core);
+  switch (d) {
+    case Direction::kLocal:
+      return core;
+    case Direction::kEast:
+      ++c.x;
+      break;
+    case Direction::kWest:
+      --c.x;
+      break;
+    case Direction::kNorth:
+      --c.y;
+      break;
+    case Direction::kSouth:
+      ++c.y;
+      break;
+  }
+  return contains(c) ? core_at(c) : kNoCore;
+}
+
+Direction Mesh::route_xy(CoreId at, CoreId dest) const noexcept {
+  const Coord a = coord_of(at);
+  const Coord d = coord_of(dest);
+  if (a.x < d.x) {
+    return Direction::kEast;
+  }
+  if (a.x > d.x) {
+    return Direction::kWest;
+  }
+  if (a.y < d.y) {
+    return Direction::kSouth;
+  }
+  if (a.y > d.y) {
+    return Direction::kNorth;
+  }
+  return Direction::kLocal;
+}
+
+std::vector<CoreId> Mesh::path_xy(CoreId src, CoreId dest) const {
+  std::vector<CoreId> path;
+  path.reserve(static_cast<std::size_t>(hops(src, dest)) + 1);
+  CoreId at = src;
+  path.push_back(at);
+  while (at != dest) {
+    at = neighbor(at, route_xy(at, dest));
+    EM2_ASSERT(at != kNoCore, "XY routing stepped off the mesh");
+    path.push_back(at);
+  }
+  return path;
+}
+
+}  // namespace em2

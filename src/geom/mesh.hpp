@@ -1,0 +1,83 @@
+// 2-D mesh geometry: the physical arrangement of cores assumed throughout
+// the paper (EM2 targets tiled 1000-core-scale chips with a mesh NoC).
+//
+// Cores are numbered row-major: core id = y * width + x.  All distance and
+// routing questions in both the analytic cost model and the cycle-level NoC
+// resolve through this class.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace em2 {
+
+/// (x, y) tile coordinate in the mesh.
+struct Coord {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Output port direction of a mesh router (also used as link identity).
+enum class Direction : std::uint8_t {
+  kLocal = 0,  // ejection to the attached core
+  kEast = 1,
+  kWest = 2,
+  kNorth = 3,
+  kSouth = 4,
+};
+
+inline constexpr int kNumDirections = 5;
+
+/// Returns a short name ("L", "E", ...).
+const char* to_string(Direction d) noexcept;
+
+/// Rectangular 2-D mesh of width x height tiles.
+class Mesh {
+ public:
+  Mesh(std::int32_t width, std::int32_t height);
+
+  /// Convenience: the smallest near-square mesh holding `cores` tiles
+  /// (e.g., 64 -> 8x8, 12 -> 4x3).  Width >= height always.
+  static Mesh near_square(std::int32_t cores);
+
+  std::int32_t width() const noexcept { return width_; }
+  std::int32_t height() const noexcept { return height_; }
+  std::int32_t num_cores() const noexcept { return width_ * height_; }
+
+  Coord coord_of(CoreId core) const noexcept;
+  CoreId core_at(Coord c) const noexcept;
+  bool contains(Coord c) const noexcept;
+
+  /// Manhattan (hop) distance between two cores — the `hops` term in the
+  /// paper's migration and remote-access cost functions.
+  std::int32_t hops(CoreId a, CoreId b) const noexcept;
+
+  /// Neighbour of `core` in direction `d`, or kNoCore at a mesh edge
+  /// (kLocal returns `core` itself).
+  CoreId neighbor(CoreId core, Direction d) const noexcept;
+
+  /// Next-hop output direction under deterministic XY dimension-ordered
+  /// routing from `at` toward `dest` (kLocal when at == dest).  XY routing
+  /// is deadlock-free within one virtual network, which is why the EM2
+  /// virtual-network split (migration/eviction/remote-access) suffices for
+  /// protocol-level deadlock freedom.
+  Direction route_xy(CoreId at, CoreId dest) const noexcept;
+
+  /// Full XY path from `src` to `dest`, inclusive of both endpoints.
+  std::vector<CoreId> path_xy(CoreId src, CoreId dest) const;
+
+  /// Maximum hop distance in this mesh (the diameter).
+  std::int32_t diameter() const noexcept {
+    return (width_ - 1) + (height_ - 1);
+  }
+
+ private:
+  std::int32_t width_;
+  std::int32_t height_;
+};
+
+}  // namespace em2

@@ -1,0 +1,139 @@
+#include "mem/cache.hpp"
+
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace em2 {
+
+Cache::Cache(const CacheParams& params) : params_(params) {
+  EM2_ASSERT(std::has_single_bit(params.line_bytes),
+             "line size must be a power of two");
+  EM2_ASSERT(params.ways >= 1, "cache must have at least one way");
+  EM2_ASSERT(params.size_bytes % (params.ways * params.line_bytes) == 0,
+             "cache size must be divisible by ways * line size");
+  num_sets_ = params.size_bytes / (params.ways * params.line_bytes);
+  EM2_ASSERT(num_sets_ >= 1, "cache must have at least one set");
+  line_shift_ = static_cast<std::uint32_t>(
+      std::countr_zero(params.line_bytes));
+  lines_.resize(static_cast<std::size_t>(num_sets_) * params.ways);
+}
+
+Cache::Line* Cache::lookup(Addr line_addr) noexcept {
+  const std::size_t base = set_index(line_addr) * params_.ways;
+  for (std::uint32_t w = 0; w < params_.ways; ++w) {
+    Line& line = lines_[base + w];
+    if (line.valid && line.line_addr == line_addr) {
+      return &line;
+    }
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::lookup(Addr line_addr) const noexcept {
+  return const_cast<Cache*>(this)->lookup(line_addr);
+}
+
+bool Cache::contains(Addr line_addr) const noexcept {
+  return lookup(line_addr) != nullptr;
+}
+
+std::optional<std::uint8_t> Cache::state_of(Addr line_addr) const noexcept {
+  const Line* line = lookup(line_addr);
+  if (line == nullptr) {
+    return std::nullopt;
+  }
+  return line->state;
+}
+
+CacheAccessResult Cache::access(Addr byte_addr, MemOp op,
+                                std::uint8_t fill_state) {
+  const Addr line_addr = line_of(byte_addr);
+  if (Line* line = lookup(line_addr)) {
+    ++hits_;
+    line->lru_stamp = ++tick_;
+    if (op == MemOp::kWrite) {
+      line->dirty = true;
+    }
+    CacheAccessResult r;
+    r.hit = true;
+    return r;
+  }
+  ++misses_;
+  CacheAccessResult r = fill(line_addr, fill_state, op == MemOp::kWrite);
+  r.hit = false;
+  return r;
+}
+
+bool Cache::touch(Addr line_addr) {
+  if (Line* line = lookup(line_addr)) {
+    line->lru_stamp = ++tick_;
+    return true;
+  }
+  return false;
+}
+
+CacheAccessResult Cache::fill(Addr line_addr, std::uint8_t state,
+                              bool dirty) {
+  CacheAccessResult r;
+  if (Line* line = lookup(line_addr)) {
+    // Re-fill of a resident line: refresh state/dirtiness only.
+    line->state = state;
+    line->dirty = line->dirty || dirty;
+    line->lru_stamp = ++tick_;
+    return r;
+  }
+  const std::size_t base = set_index(line_addr) * params_.ways;
+  Line* victim = nullptr;
+  for (std::uint32_t w = 0; w < params_.ways; ++w) {
+    Line& line = lines_[base + w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (victim == nullptr || line.lru_stamp < victim->lru_stamp) {
+      victim = &line;
+    }
+  }
+  EM2_ASSERT(victim != nullptr, "a set must always yield a victim");
+  if (victim->valid) {
+    r.evicted = true;
+    r.victim_line = victim->line_addr;
+    r.victim_state = victim->state;
+    r.writeback = victim->dirty;
+    ++evictions_;
+    if (victim->dirty) {
+      ++writebacks_;
+    }
+  } else {
+    ++valid_lines_;
+  }
+  victim->valid = true;
+  victim->line_addr = line_addr;
+  victim->dirty = dirty;
+  victim->state = state;
+  victim->lru_stamp = ++tick_;
+  return r;
+}
+
+bool Cache::set_state(Addr line_addr, std::uint8_t state) {
+  if (Line* line = lookup(line_addr)) {
+    line->state = state;
+    return true;
+  }
+  return false;
+}
+
+std::optional<bool> Cache::invalidate(Addr line_addr) {
+  if (Line* line = lookup(line_addr)) {
+    const bool dirty = line->dirty;
+    line->valid = false;
+    line->dirty = false;
+    line->state = 0;
+    --valid_lines_;
+    return dirty;
+  }
+  return std::nullopt;
+}
+
+}  // namespace em2

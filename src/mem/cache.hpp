@@ -1,0 +1,123 @@
+// Set-associative cache with true-LRU replacement.
+//
+// The cache is line-addressed and *stateful but dataless*: it tracks
+// presence, dirtiness, and an opaque per-line protocol state byte (used by
+// the directory-coherence baseline for MSI states), but not data values —
+// simulated data lives in the functional memory of the execution engine.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace em2 {
+
+/// Geometry of one cache level.  The line size must be a power of two;
+/// the set count (size / (ways * line)) may be any positive integer.
+struct CacheParams {
+  std::uint32_t size_bytes = 16 * 1024;
+  std::uint32_t ways = 4;
+  std::uint32_t line_bytes = 64;
+};
+
+/// Result of a lookup-with-allocation.
+struct CacheAccessResult {
+  bool hit = false;
+  /// Valid line evicted to make room (only on allocating misses).
+  bool evicted = false;
+  /// The evicted line was dirty and needs a writeback.
+  bool writeback = false;
+  /// Line address (byte address >> line shift) of the victim.
+  Addr victim_line = 0;
+  /// Protocol state of the victim at eviction.
+  std::uint8_t victim_state = 0;
+};
+
+/// One level of set-associative cache.
+class Cache {
+ public:
+  explicit Cache(const CacheParams& params);
+
+  std::uint32_t num_sets() const noexcept { return num_sets_; }
+  std::uint32_t ways() const noexcept { return params_.ways; }
+  std::uint32_t line_bytes() const noexcept { return params_.line_bytes; }
+
+  /// Maps a byte address to its line address.
+  Addr line_of(Addr byte_addr) const noexcept {
+    return byte_addr >> line_shift_;
+  }
+
+  /// Presence test without touching replacement state.
+  bool contains(Addr line_addr) const noexcept;
+
+  /// Protocol state of a resident line (nullopt if absent).  Does not
+  /// update LRU.
+  std::optional<std::uint8_t> state_of(Addr line_addr) const noexcept;
+
+  /// Full access: on hit, updates LRU and dirtiness (writes dirty the
+  /// line).  On miss, allocates the line (state = `fill_state`), evicting
+  /// the LRU victim if the set is full.  This is the common
+  /// "access-and-fill" path of a private cache.
+  CacheAccessResult access(Addr byte_addr, MemOp op,
+                           std::uint8_t fill_state = 0);
+
+  /// Lookup that never allocates; updates LRU on hit.  Returns hit.
+  bool touch(Addr line_addr);
+
+  /// Inserts (or re-states) a line without an access, as a coherence fill
+  /// does.  Returns eviction information for the victim, if any.
+  CacheAccessResult fill(Addr line_addr, std::uint8_t state, bool dirty);
+
+  /// Updates the protocol state of a resident line; returns false if the
+  /// line is absent.
+  bool set_state(Addr line_addr, std::uint8_t state);
+
+  /// Removes a line (coherence invalidation).  Returns the line's dirty
+  /// flag, or nullopt if it was not resident.
+  std::optional<bool> invalidate(Addr line_addr);
+
+  /// Number of currently valid lines (effective occupancy).
+  std::uint64_t valid_lines() const noexcept { return valid_lines_; }
+  std::uint64_t capacity_lines() const noexcept {
+    return static_cast<std::uint64_t>(num_sets_) * params_.ways;
+  }
+
+  // Lifetime statistics.
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+  std::uint64_t writebacks() const noexcept { return writebacks_; }
+
+ private:
+  struct Line {
+    Addr line_addr = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint8_t state = 0;
+    std::uint64_t lru_stamp = 0;
+  };
+
+  // Modulo (not mask) so non-power-of-two set counts are legal: the 80KB
+  // combined-capacity cache of the CC baseline has 160 sets.
+  std::size_t set_index(Addr line_addr) const noexcept {
+    return static_cast<std::size_t>(line_addr %
+                                    static_cast<Addr>(num_sets_));
+  }
+  Line* lookup(Addr line_addr) noexcept;
+  const Line* lookup(Addr line_addr) const noexcept;
+
+  CacheParams params_;
+  std::uint32_t num_sets_;
+  std::uint32_t line_shift_;
+  std::vector<Line> lines_;  // num_sets x ways, set-major
+  std::uint64_t tick_ = 0;   // LRU clock
+  std::uint64_t valid_lines_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace em2

@@ -1,0 +1,63 @@
+#include "mem/hierarchy.hpp"
+
+#include "util/assert.hpp"
+
+namespace em2 {
+
+CacheHierarchy::CacheHierarchy(const CacheParams& l1, const CacheParams& l2,
+                               const HierarchyLatency& lat)
+    : l1_(l1), l2_(l2), lat_(lat) {
+  EM2_ASSERT(l1.line_bytes == l2.line_bytes,
+             "L1 and L2 must share a line size");
+}
+
+HierarchyResult CacheHierarchy::access(Addr byte_addr, MemOp op) {
+  ++accesses_;
+  HierarchyResult r;
+  const Addr line = l1_.line_of(byte_addr);
+
+  // L1 probe.
+  if (l1_.contains(line)) {
+    l1_.access(byte_addr, op);  // counts the hit, updates LRU/dirty
+    r.level = HitLevel::kL1;
+    r.latency = lat_.l1;
+    return r;
+  }
+
+  // L2 probe; L2 hit promotes the line into L1.
+  const bool l2_hit = l2_.contains(line);
+  if (l2_hit) {
+    l2_.touch(line);
+  }
+
+  // Allocate into L1; the victim (if dirty or simply valid) moves to L2.
+  const CacheAccessResult l1_fill = l1_.access(byte_addr, op);
+  if (l1_fill.evicted) {
+    const CacheAccessResult l2_fill =
+        l2_.fill(l1_fill.victim_line, l1_fill.victim_state,
+                 l1_fill.writeback);
+    if (l2_fill.evicted && l2_fill.writeback) {
+      ++dram_writebacks_;
+      r.dram_writeback = true;
+    }
+  }
+
+  if (l2_hit) {
+    r.level = HitLevel::kL2;
+    r.latency = lat_.l1 + lat_.l2;
+  } else {
+    // DRAM fill; install in L2 as well (mirrors a fill path that leaves a
+    // copy in L2 so future L1 evictions hit there).
+    const CacheAccessResult l2_fill = l2_.fill(line, 0, false);
+    if (l2_fill.evicted && l2_fill.writeback) {
+      ++dram_writebacks_;
+      r.dram_writeback = true;
+    }
+    ++dram_fills_;
+    r.level = HitLevel::kDram;
+    r.latency = lat_.l1 + lat_.l2 + lat_.dram;
+  }
+  return r;
+}
+
+}  // namespace em2

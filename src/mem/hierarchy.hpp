@@ -1,0 +1,63 @@
+// Per-core two-level data-cache hierarchy — the paper's Figure 2 setup
+// ("16KB L1 + 64KB L2 data caches" per core).
+//
+// Organization: L2 is exclusive-ish victim-style in spirit but modelled
+// simply as a second lookup level: accesses probe L1, then L2; misses fill
+// both (L1 victim falls back into L2).  Under EM2 each line exists in the
+// hierarchy of exactly one core (its home), so no coherence machinery is
+// needed here — that is precisely the paper's point.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/cache.hpp"
+#include "util/types.hpp"
+
+namespace em2 {
+
+/// Latency parameters of a hierarchy access (cycles).
+struct HierarchyLatency {
+  std::uint32_t l1 = 2;
+  std::uint32_t l2 = 8;
+  std::uint32_t dram = 100;
+};
+
+/// Where an access was served from.
+enum class HitLevel : std::uint8_t { kL1 = 0, kL2 = 1, kDram = 2 };
+
+/// Result of a hierarchy access.
+struct HierarchyResult {
+  HitLevel level = HitLevel::kL1;
+  /// Total access latency including fill on miss.
+  std::uint32_t latency = 0;
+  /// A dirty line left the hierarchy (DRAM writeback traffic).
+  bool dram_writeback = false;
+};
+
+/// Two-level per-core cache hierarchy.
+class CacheHierarchy {
+ public:
+  CacheHierarchy(const CacheParams& l1, const CacheParams& l2,
+                 const HierarchyLatency& lat);
+
+  /// Performs a data access at this core.  Misses allocate in both levels;
+  /// the L1 victim is installed into L2 (its dirtiness preserved).
+  HierarchyResult access(Addr byte_addr, MemOp op);
+
+  const Cache& l1() const noexcept { return l1_; }
+  const Cache& l2() const noexcept { return l2_; }
+
+  std::uint64_t accesses() const noexcept { return accesses_; }
+  std::uint64_t dram_fills() const noexcept { return dram_fills_; }
+  std::uint64_t dram_writebacks() const noexcept { return dram_writebacks_; }
+
+ private:
+  Cache l1_;
+  Cache l2_;
+  HierarchyLatency lat_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t dram_fills_ = 0;
+  std::uint64_t dram_writebacks_ = 0;
+};
+
+}  // namespace em2

@@ -1,0 +1,62 @@
+#include "noc/cost_model.hpp"
+
+#include "util/assert.hpp"
+
+namespace em2 {
+
+CostModel::CostModel(const Mesh& mesh, const CostModelParams& params)
+    : mesh_(mesh), params_(params) {
+  EM2_ASSERT(params.link_width_bits > 0, "link width must be positive");
+  EM2_ASSERT(params.per_hop_cycles > 0, "per-hop latency must be positive");
+}
+
+std::uint32_t CostModel::flits_for(std::uint64_t payload_bits) const noexcept {
+  const std::uint64_t total = payload_bits + params_.header_bits;
+  const std::uint64_t flits =
+      (total + params_.link_width_bits - 1) / params_.link_width_bits;
+  return static_cast<std::uint32_t>(flits == 0 ? 1 : flits);
+}
+
+Cost CostModel::packet_latency(std::int32_t hops,
+                               std::uint64_t payload_bits) const noexcept {
+  const std::uint32_t flits = flits_for(payload_bits);
+  return static_cast<Cost>(hops) * params_.per_hop_cycles + (flits - 1);
+}
+
+Cost CostModel::migration(CoreId src, CoreId dst) const noexcept {
+  return migration_bits(src, dst, params_.context_bits);
+}
+
+Cost CostModel::migration_bits(CoreId src, CoreId dst,
+                               std::uint64_t bits) const noexcept {
+  if (src == dst) {
+    return 0;
+  }
+  return packet_latency(mesh_.hops(src, dst), bits);
+}
+
+Cost CostModel::remote_access(CoreId requester, CoreId home,
+                              MemOp op) const noexcept {
+  if (requester == home) {
+    return 0;
+  }
+  const std::int32_t hops = mesh_.hops(requester, home);
+  const std::uint64_t request_bits =
+      op == MemOp::kWrite ? params_.addr_bits + params_.word_bits
+                          : params_.addr_bits;
+  // Reads return one word; writes return a header-only ack.
+  const std::uint64_t reply_bits =
+      op == MemOp::kRead ? params_.word_bits : 0;
+  return packet_latency(hops, request_bits) +
+         packet_latency(hops, reply_bits);
+}
+
+Cost CostModel::message(CoreId src, CoreId dst,
+                        std::uint64_t payload_bits) const noexcept {
+  if (src == dst) {
+    return 0;
+  }
+  return packet_latency(mesh_.hops(src, dst), payload_bits);
+}
+
+}  // namespace em2

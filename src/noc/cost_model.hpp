@@ -1,0 +1,86 @@
+// Analytic on-chip-network cost model — the cost functions of the paper's
+// simplified analytical model (Section 3):
+//
+//   cost_migration(c_i, c_j)      one-way transfer of the execution context
+//   cost_remote_access(c_j, d)    round-trip word-granularity cache access
+//
+// Both are derived from a wormhole-routed mesh: a packet of F flits
+// travelling H hops arrives H * per_hop + (F - 1) cycles after injection
+// (head pipeline fill + body serialization).  The model deliberately
+// ignores contention and local cache access time, exactly as the paper's
+// model does ("ignores local memory access delays (since the
+// migration-vs.-RA decision mainly affects network delays)").
+#pragma once
+
+#include <cstdint>
+
+#include "geom/mesh.hpp"
+#include "util/types.hpp"
+
+namespace em2 {
+
+/// Parameters of the network + architectural context sizes.  Defaults match
+/// the paper's setting: 32-bit Atom-like cores (PC + 32 GPRs ~ 1056 bits,
+/// up to ~2 Kbit with TLB state), 128-bit mesh links.
+struct CostModelParams {
+  /// Cycles for the head flit to advance one hop (router + link).
+  std::uint32_t per_hop_cycles = 1;
+  /// Link (= flit) width in bits.
+  std::uint32_t link_width_bits = 128;
+  /// Per-packet header (routing/control) bits, carried in the first flit
+  /// alongside payload space accounting.
+  std::uint32_t header_bits = 32;
+  /// Architectural word size in bits (32-bit Atom-like core).
+  std::uint32_t word_bits = 32;
+  /// Program-counter bits (the irreducible part of any migrated context).
+  std::uint32_t pc_bits = 32;
+  /// Address bits carried by a remote-access request.
+  std::uint32_t addr_bits = 64;
+  /// Full execution-context size in bits for a register-file core:
+  /// PC (32) + 32 x 32-bit GPRs = 1056; set to ~2048 to model TLB state.
+  std::uint32_t context_bits = 1056;
+};
+
+/// Closed-form packet/migration/remote-access costs over a mesh.
+class CostModel {
+ public:
+  CostModel(const Mesh& mesh, const CostModelParams& params);
+
+  const CostModelParams& params() const noexcept { return params_; }
+  const Mesh& mesh() const noexcept { return mesh_; }
+
+  /// Number of flits for `payload_bits` of payload (header included);
+  /// always at least 1.
+  std::uint32_t flits_for(std::uint64_t payload_bits) const noexcept;
+
+  /// Uncontended latency of a `payload_bits` packet over `hops` hops.
+  /// Zero-hop packets (local delivery) cost only serialization.
+  Cost packet_latency(std::int32_t hops,
+                      std::uint64_t payload_bits) const noexcept;
+
+  /// cost_migration(src, dst): one-way context transfer (paper Section 3).
+  /// Migrating to the current core is free.
+  Cost migration(CoreId src, CoreId dst) const noexcept;
+
+  /// Migration carrying an explicit context size (stack-EM2 uses this with
+  /// pc + depth * word bits).
+  Cost migration_bits(CoreId src, CoreId dst,
+                      std::uint64_t bits) const noexcept;
+
+  /// cost_remote_access(requester, home): request + reply round trip.
+  /// Reads send an address and return a word; writes send address + word
+  /// and return an ack.  Remote access to the local core is free.
+  Cost remote_access(CoreId requester, CoreId home,
+                     MemOp op) const noexcept;
+
+  /// Round-trip cost of a directory-protocol control message pair used by
+  /// the CC baseline (address-sized request, word or line reply).
+  Cost message(CoreId src, CoreId dst,
+               std::uint64_t payload_bits) const noexcept;
+
+ private:
+  Mesh mesh_;
+  CostModelParams params_;
+};
+
+}  // namespace em2

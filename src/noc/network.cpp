@@ -1,0 +1,192 @@
+#include "noc/network.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace em2 {
+namespace {
+
+constexpr std::uint64_t kNoLock = std::numeric_limits<std::uint64_t>::max();
+
+/// Input port at the downstream router for a flit travelling in `d`.
+int arrival_port(Direction d) {
+  switch (d) {
+    case Direction::kEast:
+      return static_cast<int>(Direction::kWest);
+    case Direction::kWest:
+      return static_cast<int>(Direction::kEast);
+    case Direction::kNorth:
+      return static_cast<int>(Direction::kSouth);
+    case Direction::kSouth:
+      return static_cast<int>(Direction::kNorth);
+    case Direction::kLocal:
+      break;
+  }
+  return static_cast<int>(Direction::kLocal);
+}
+
+}  // namespace
+
+Network::Network(const Mesh& mesh, const NetworkParams& params)
+    : mesh_(mesh), params_(params) {
+  EM2_ASSERT(params.num_vnets >= 1, "need at least one virtual network");
+  EM2_ASSERT(params.vc_depth >= 1, "VC FIFOs need at least one slot");
+  const auto nodes = static_cast<std::size_t>(mesh_.num_cores());
+  const auto per_node =
+      static_cast<std::size_t>(kNumDirections * params_.num_vnets);
+  fifos_.resize(nodes * per_node);
+  out_lock_.assign(nodes * per_node, kNoLock);
+  rr_state_.assign(nodes * static_cast<std::size_t>(kNumDirections), 0);
+  latency_.resize(static_cast<std::size_t>(params_.num_vnets));
+}
+
+std::size_t Network::fifo_index(CoreId node, int port, int vn) const noexcept {
+  return (static_cast<std::size_t>(node) * kNumDirections +
+          static_cast<std::size_t>(port)) *
+             static_cast<std::size_t>(params_.num_vnets) +
+         static_cast<std::size_t>(vn);
+}
+
+bool Network::fifo_has_space(CoreId node, int port, int vn) const noexcept {
+  return fifos_[fifo_index(node, port, vn)].q.size() <
+         static_cast<std::size_t>(params_.vc_depth);
+}
+
+void Network::inject(const Packet& packet) {
+  EM2_ASSERT(packet.vnet >= 0 && packet.vnet < params_.num_vnets,
+             "packet vnet out of range");
+  EM2_ASSERT(packet.flits >= 1, "packet must carry at least one flit");
+  EM2_ASSERT(packet.src >= 0 && packet.src < mesh_.num_cores() &&
+                 packet.dst >= 0 && packet.dst < mesh_.num_cores(),
+             "packet endpoints outside the mesh");
+  const std::uint64_t index = packets_.size();
+  packets_.push_back(PacketState{packet, now_});
+  ++in_flight_;
+  // Source-queue flits directly into the local input FIFO's unbounded
+  // staging area: we model the source queue as allowed to exceed vc_depth
+  // (injection backpressure is then exerted by the switch, which only
+  // drains one flit per cycle per output).  This matches a processor-side
+  // unbounded send queue feeding a network interface.
+  auto& fifo = fifos_[fifo_index(packet.src, 0, packet.vnet)];
+  for (std::int32_t f = 0; f < packet.flits; ++f) {
+    Flit flit;
+    flit.packet_index = index;
+    flit.head = f == 0;
+    flit.tail = f == packet.flits - 1;
+    flit.arrived = now_;
+    fifo.q.push_back(flit);
+  }
+}
+
+void Network::step() {
+  ++now_;
+  bool any_movement = false;
+  const std::int32_t vnets = params_.num_vnets;
+  // Tracks FIFOs that already surrendered a flit this cycle: an input port
+  // feeds the switch at most one flit per cycle.
+  std::vector<bool> popped(fifos_.size(), false);
+
+  for (CoreId node = 0; node < mesh_.num_cores(); ++node) {
+    for (int out = 0; out < kNumDirections; ++out) {
+      const auto out_dir = static_cast<Direction>(out);
+      const CoreId next =
+          out_dir == Direction::kLocal ? node : mesh_.neighbor(node, out_dir);
+      if (next == kNoCore) {
+        continue;  // mesh edge: no link in this direction
+      }
+      // Round-robin over (input port, vnet) candidates.
+      const std::size_t rr_index =
+          static_cast<std::size_t>(node) * kNumDirections +
+          static_cast<std::size_t>(out);
+      const std::uint32_t num_candidates =
+          static_cast<std::uint32_t>(kNumDirections * vnets);
+      const std::uint32_t start = rr_state_[rr_index] % num_candidates;
+      for (std::uint32_t probe = 0; probe < num_candidates; ++probe) {
+        const std::uint32_t cand = (start + probe) % num_candidates;
+        const int in_port = static_cast<int>(cand) / vnets;
+        const int vn = static_cast<int>(cand) % vnets;
+        const std::size_t fi = fifo_index(node, in_port, vn);
+        if (popped[fi] || fifos_[fi].q.empty()) {
+          continue;
+        }
+        const Flit& flit = fifos_[fi].q.front();
+        if (flit.arrived >= now_) {
+          continue;  // arrived this cycle; earliest move is next cycle
+        }
+        const PacketState& ps = packets_[flit.packet_index];
+        const std::size_t lock_index = fifo_index(node, out, vn);
+        if (flit.head) {
+          // Heads choose their output by XY routing and must acquire the
+          // (output, vnet) wormhole lock.
+          if (static_cast<int>(mesh_.route_xy(node, ps.packet.dst)) != out) {
+            continue;
+          }
+          if (out_lock_[lock_index] != kNoLock) {
+            continue;
+          }
+        } else {
+          // Body/tail flits follow the lock their head acquired.
+          if (out_lock_[lock_index] != flit.packet_index) {
+            continue;
+          }
+        }
+        // Downstream space (ejection is an infinite sink).
+        if (out_dir != Direction::kLocal &&
+            !fifo_has_space(next, arrival_port(out_dir), vn)) {
+          continue;
+        }
+        // Grant.
+        Flit moving = flit;
+        fifos_[fi].q.pop_front();
+        popped[fi] = true;
+        any_movement = true;
+        if (moving.head && !moving.tail) {
+          out_lock_[lock_index] = moving.packet_index;
+        }
+        if (moving.tail && !moving.head) {
+          out_lock_[lock_index] = kNoLock;
+        }
+        if (out_dir == Direction::kLocal) {
+          if (moving.tail) {
+            const PacketState& done = packets_[moving.packet_index];
+            delivered_.push_back(Delivery{done.packet, done.injected, now_});
+            ++delivered_count_;
+            --in_flight_;
+            latency_[static_cast<std::size_t>(vn)].add(
+                static_cast<double>(now_ - done.injected));
+          }
+        } else {
+          const std::size_t di = fifo_index(next, arrival_port(out_dir), vn);
+          moving.arrived = now_;
+          fifos_[di].q.push_back(moving);
+          ++flit_hops_;
+        }
+        rr_state_[rr_index] = cand + 1;
+        break;  // one flit per output port per cycle
+      }
+    }
+  }
+
+  if (in_flight_ > 0 && !any_movement) {
+    ++stalled_cycles_;
+  } else {
+    stalled_cycles_ = 0;
+  }
+}
+
+bool Network::run_until_drained(Cycle max_cycles) {
+  const Cycle deadline = now_ + max_cycles;
+  while (!idle() && now_ < deadline) {
+    step();
+  }
+  return idle();
+}
+
+std::vector<Delivery> Network::drain_delivered() {
+  std::vector<Delivery> out;
+  out.swap(delivered_);
+  return out;
+}
+
+}  // namespace em2

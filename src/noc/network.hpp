@@ -1,0 +1,155 @@
+// Cycle-level 2-D mesh network with wormhole routing and virtual channels.
+//
+// Design point (matches the paper's deadlock-freedom argument):
+//   * XY dimension-ordered routing (deadlock-free within a virtual network).
+//   * One virtual channel per *virtual network* (vnet); EM2-RA requires six
+//     vnets in total (Section 3): guest migrations, native/eviction
+//     migrations, remote-access requests, remote-access replies, memory
+//     requests, memory replies.  Requests and replies travel on different
+//     vnets so protocol-level request-reply cycles cannot deadlock the
+//     fabric, and evictions travel separately from guest migrations so an
+//     evicted thread can always drain to its (reserved) native context.
+//   * Credit-based flow control: a flit advances only if the downstream
+//     input FIFO of its vnet has a free slot.  Ejection (local port) is an
+//     infinite sink — consumption is guaranteed by construction, as the
+//     EM2 native-context reservation demands.
+//
+// The model is single-threaded and deterministic: round-robin arbitration
+// with rotating priority, one flit per output port per cycle.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "geom/mesh.hpp"
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace em2 {
+
+/// Virtual-network identifiers used by the EM2 protocol family.  The NoC
+/// itself treats vnets opaquely; these constants document the convention.
+namespace vnet {
+inline constexpr int kMigrationGuest = 0;   ///< thread migrations to guest contexts
+inline constexpr int kMigrationNative = 1;  ///< evictions: migrations to native contexts
+inline constexpr int kRemoteRequest = 2;    ///< EM2-RA remote-access requests
+inline constexpr int kRemoteReply = 3;      ///< EM2-RA remote-access replies
+inline constexpr int kMemRequest = 4;       ///< cache-miss requests to memory controllers
+inline constexpr int kMemReply = 5;         ///< memory controller replies
+inline constexpr int kNumVnets = 6;
+}  // namespace vnet
+
+/// Configuration of the cycle-level mesh.
+struct NetworkParams {
+  std::int32_t num_vnets = vnet::kNumVnets;
+  /// Input FIFO depth per (port, vnet), in flits.
+  std::int32_t vc_depth = 4;
+};
+
+/// A packet to inject.  `flits` >= 1 (head carries the header).
+struct Packet {
+  std::uint64_t id = 0;
+  CoreId src = 0;
+  CoreId dst = 0;
+  std::int32_t vnet = 0;
+  std::int32_t flits = 1;
+  /// Caller-owned token; returned on delivery (protocol engines map it to
+  /// their transaction state).
+  std::uint64_t token = 0;
+};
+
+/// A delivered packet with timing information.
+struct Delivery {
+  Packet packet;
+  Cycle injected = 0;
+  Cycle delivered = 0;
+};
+
+/// Cycle-level mesh network.  Usage: inject() any number of packets, call
+/// step() once per cycle, consume deliveries via drain_delivered().
+class Network {
+ public:
+  Network(const Mesh& mesh, const NetworkParams& params);
+
+  /// Queues a packet for injection at its source (source queues are
+  /// unbounded; backpressure begins at the first router FIFO).
+  void inject(const Packet& packet);
+
+  /// Advances the fabric one cycle.
+  void step();
+
+  /// Runs until all traffic drains or `max_cycles` elapse; returns true if
+  /// drained.
+  bool run_until_drained(Cycle max_cycles);
+
+  /// Packets delivered since the last drain (move-returns, clears queue).
+  std::vector<Delivery> drain_delivered();
+
+  Cycle now() const noexcept { return now_; }
+  bool idle() const noexcept { return in_flight_ == 0; }
+  std::uint64_t packets_in_flight() const noexcept { return in_flight_; }
+
+  /// Total flit-hops traversed (a first-order dynamic-energy proxy: the
+  /// paper's power argument counts context bits crossing the network).
+  std::uint64_t flit_hops() const noexcept { return flit_hops_; }
+  std::uint64_t packets_delivered() const noexcept { return delivered_count_; }
+
+  /// End-to-end packet latency statistics per vnet.
+  const RunningStat& latency_stat(std::int32_t vn) const {
+    return latency_[static_cast<std::size_t>(vn)];
+  }
+
+  /// Consecutive cycles in which traffic was in flight but no flit moved.
+  /// Non-zero transients are normal under backpressure; a large value
+  /// (>> diameter * depth) indicates deadlock — tests assert it stays 0 at
+  /// quiescence.
+  Cycle stalled_cycles() const noexcept { return stalled_cycles_; }
+
+ private:
+  struct Flit {
+    std::uint64_t packet_index;  // into packets_
+    bool head = false;
+    bool tail = false;
+    /// Cycle the flit entered its current FIFO; it may move again only in
+    /// a strictly later cycle (minimum one cycle per hop, and no
+    /// multi-hop teleporting within a single step()).
+    Cycle arrived = 0;
+  };
+
+  struct PacketState {
+    Packet packet;
+    Cycle injected = 0;
+  };
+
+  // One FIFO per (node, port, vnet).  Port 0 (kLocal) holds flits waiting
+  // for injection arbitration at the source router.
+  struct VcFifo {
+    std::deque<Flit> q;
+    // Wormhole lock: while a packet is streaming through an output, the
+    // (output port, vnet) pair is reserved for it until the tail passes.
+  };
+
+  std::size_t fifo_index(CoreId node, int port, int vn) const noexcept;
+  bool fifo_has_space(CoreId node, int port, int vn) const noexcept;
+
+  Mesh mesh_;
+  NetworkParams params_;
+  std::vector<VcFifo> fifos_;  // node x port x vnet
+  // Output locks: for each (node, out-port, vnet), the packet currently
+  // streaming, or UINT64_MAX.
+  std::vector<std::uint64_t> out_lock_;
+  // Rotating round-robin priority per (node, out-port).
+  std::vector<std::uint32_t> rr_state_;
+  std::vector<PacketState> packets_;
+  std::vector<Delivery> delivered_;
+  std::vector<RunningStat> latency_;
+  Cycle now_ = 0;
+  std::uint64_t in_flight_ = 0;
+  std::uint64_t flit_hops_ = 0;
+  std::uint64_t delivered_count_ = 0;
+  Cycle stalled_cycles_ = 0;
+};
+
+}  // namespace em2

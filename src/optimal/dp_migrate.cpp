@@ -1,0 +1,256 @@
+#include "optimal/dp_migrate.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace em2 {
+namespace {
+
+/// Shared post-processing: given the per-access location sequence, derive
+/// actions, counts, and (for verification) the schedule cost.
+void finalize_from_locations(const ModelTrace& trace, const CostModel& cost,
+                             MigrateRaSolution& sol) {
+  const std::size_t n = trace.homes.size();
+  sol.actions.resize(n);
+  sol.migrations = 0;
+  sol.remote_accesses = 0;
+  Cost recomputed = 0;
+  CoreId at = trace.start;
+  for (std::size_t k = 0; k < n; ++k) {
+    const CoreId home = trace.homes[k];
+    const CoreId next = sol.locations[k];
+    if (next == at && at == home) {
+      sol.actions[k] = AccessAction::kLocal;
+    } else if (next == home && next != at) {
+      sol.actions[k] = AccessAction::kMigrate;
+      recomputed += cost.migration(at, home);
+      ++sol.migrations;
+    } else {
+      EM2_ASSERT(next == at && at != home,
+                 "inconsistent schedule: location must be the home (after "
+                 "a migration) or unchanged (remote access)");
+      sol.actions[k] = AccessAction::kRemote;
+      recomputed += cost.remote_access(at, home, trace.ops[k]);
+      ++sol.remote_accesses;
+    }
+    at = next;
+  }
+  EM2_ASSERT(recomputed == sol.total_cost,
+             "schedule cost reconstruction disagrees with DP value");
+}
+
+}  // namespace
+
+ModelTrace make_model_trace(std::span<const CoreId> homes,
+                            std::span<const MemOp> ops, CoreId start) {
+  EM2_ASSERT(homes.size() == ops.size(),
+             "home and op sequences must have equal length");
+  ModelTrace t;
+  t.homes.assign(homes.begin(), homes.end());
+  t.ops.assign(ops.begin(), ops.end());
+  t.start = start;
+  return t;
+}
+
+MigrateRaSolution solve_optimal_migrate_ra(const ModelTrace& trace,
+                                           const CostModel& cost) {
+  const std::size_t n = trace.homes.size();
+  const auto P =
+      static_cast<std::size_t>(cost.mesh().num_cores());
+  EM2_ASSERT(trace.start >= 0 && static_cast<std::size_t>(trace.start) < P,
+             "start core outside the mesh");
+
+  std::vector<Cost> dp(P, kInfiniteCost);
+  dp[static_cast<std::size_t>(trace.start)] = 0;
+
+  // Per-step choice record for the hit core: the core migrated from, or
+  // kNoCore when the optimum stays at the home (covers both "was already
+  // there" and reconstruction disambiguation).
+  std::vector<CoreId> hit_choice(n, kNoCore);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const CoreId d = trace.homes[k];
+    const auto di = static_cast<std::size_t>(d);
+    const MemOp op = trace.ops[k];
+
+    // Core-hit update first (it reads dp[] of the *previous* step for all
+    // cores, including the stay-at-d term).
+    Cost best_hit = dp[di];  // stay: local access, free
+    CoreId best_from = kNoCore;
+    for (std::size_t c = 0; c < P; ++c) {
+      if (c == di || dp[c] >= kInfiniteCost) {
+        continue;
+      }
+      const Cost via =
+          dp[c] + cost.migration(static_cast<CoreId>(c), d);
+      if (via < best_hit) {
+        best_hit = via;
+        best_from = static_cast<CoreId>(c);
+      }
+    }
+
+    // Core-miss updates: every other core stays and pays a remote access.
+    for (std::size_t c = 0; c < P; ++c) {
+      if (c == di || dp[c] >= kInfiniteCost) {
+        continue;
+      }
+      dp[c] += cost.remote_access(static_cast<CoreId>(c), d, op);
+    }
+    dp[di] = best_hit;
+    hit_choice[k] = best_from;
+  }
+
+  // Optimal end state and backward reconstruction.
+  MigrateRaSolution sol;
+  std::size_t end = 0;
+  for (std::size_t c = 1; c < P; ++c) {
+    if (dp[c] < dp[end]) {
+      end = c;
+    }
+  }
+  sol.total_cost = dp[end];
+  EM2_ASSERT(sol.total_cost < kInfiniteCost, "no feasible schedule found");
+
+  sol.locations.resize(n);
+  CoreId at = static_cast<CoreId>(end);
+  for (std::size_t k = n; k-- > 0;) {
+    sol.locations[k] = at;
+    const CoreId d = trace.homes[k];
+    if (at == d) {
+      // Hit state: either stayed (previous location == d) or migrated in.
+      at = hit_choice[k] == kNoCore ? d : hit_choice[k];
+    }
+    // Miss state: thread stayed at `at` (remote access) — unchanged.
+  }
+  finalize_from_locations(trace, cost, sol);
+  return sol;
+}
+
+MigrateRaSolution solve_optimal_relaxed(const ModelTrace& trace,
+                                        const CostModel& cost) {
+  const std::size_t n = trace.homes.size();
+  const auto P = static_cast<std::size_t>(cost.mesh().num_cores());
+
+  std::vector<Cost> dp(P, kInfiniteCost);
+  dp[static_cast<std::size_t>(trace.start)] = 0;
+  // Backpointers: previous core for every (step, core) — O(N*P) memory,
+  // acceptable for the ablation sizes this solver is used at.
+  std::vector<CoreId> prev(n * P, kNoCore);
+
+  std::vector<Cost> next(P, kInfiniteCost);
+  for (std::size_t k = 0; k < n; ++k) {
+    const CoreId d = trace.homes[k];
+    const MemOp op = trace.ops[k];
+    std::fill(next.begin(), next.end(), kInfiniteCost);
+    for (std::size_t cj = 0; cj < P; ++cj) {
+      // End the step at cj: arrive from any ci (possibly cj itself), then
+      // serve the access locally (cj == d) or remotely (cj != d).
+      const Cost serve =
+          static_cast<CoreId>(cj) == d
+              ? 0
+              : cost.remote_access(static_cast<CoreId>(cj), d, op);
+      for (std::size_t ci = 0; ci < P; ++ci) {
+        if (dp[ci] >= kInfiniteCost) {
+          continue;
+        }
+        const Cost move =
+            ci == cj ? 0
+                     : cost.migration(static_cast<CoreId>(ci),
+                                      static_cast<CoreId>(cj));
+        const Cost total = dp[ci] + move + serve;
+        if (total < next[cj]) {
+          next[cj] = total;
+          prev[k * P + cj] = static_cast<CoreId>(ci);
+        }
+      }
+    }
+    dp.swap(next);
+  }
+
+  MigrateRaSolution sol;
+  std::size_t end = 0;
+  for (std::size_t c = 1; c < P; ++c) {
+    if (dp[c] < dp[end]) {
+      end = c;
+    }
+  }
+  sol.total_cost = dp[end];
+  EM2_ASSERT(sol.total_cost < kInfiniteCost, "no feasible schedule found");
+
+  // Reconstruct locations; note the relaxed schedule may include
+  // repositioning moves, so actions/migration counts are derived from the
+  // location sequence (a reposition followed by remote access is counted
+  // as one migration plus one remote access).
+  sol.locations.resize(n);
+  CoreId at = static_cast<CoreId>(end);
+  for (std::size_t k = n; k-- > 0;) {
+    sol.locations[k] = at;
+    at = prev[k * P + static_cast<std::size_t>(at)];
+  }
+  // Derive actions and counts without the strict-schedule assertion of
+  // finalize_from_locations (repositioning breaks its invariant).
+  const std::size_t len = trace.homes.size();
+  sol.actions.resize(len);
+  CoreId loc = trace.start;
+  for (std::size_t k = 0; k < len; ++k) {
+    const CoreId nxt = sol.locations[k];
+    const CoreId home = trace.homes[k];
+    if (nxt != loc) {
+      ++sol.migrations;
+    }
+    if (nxt == home) {
+      sol.actions[k] = nxt == loc ? AccessAction::kLocal
+                                  : AccessAction::kMigrate;
+    } else {
+      sol.actions[k] = AccessAction::kRemote;
+      ++sol.remote_accesses;
+    }
+    loc = nxt;
+  }
+  return sol;
+}
+
+MigrateRaSolution brute_force_migrate_ra(const ModelTrace& trace,
+                                         const CostModel& cost) {
+  const std::size_t n = trace.homes.size();
+  // Count decision points to bound the search.
+  // A decision exists only when the thread is away from the home core,
+  // which depends on earlier choices; bound by n.
+  EM2_ASSERT(n <= 24, "brute force limited to tiny traces");
+
+  MigrateRaSolution best;
+  best.total_cost = kInfiniteCost;
+  std::vector<CoreId> locations(n, 0);
+
+  // Depth-first over the paper's action space.
+  auto rec = [&](auto&& self, std::size_t k, CoreId at, Cost so_far) -> void {
+    if (so_far >= best.total_cost) {
+      return;  // branch-and-bound (costs are non-negative)
+    }
+    if (k == n) {
+      best.total_cost = so_far;
+      best.locations = locations;
+      return;
+    }
+    const CoreId d = trace.homes[k];
+    if (at == d) {
+      locations[k] = d;
+      self(self, k + 1, d, so_far);
+      return;
+    }
+    // Option 1: remote access, stay.
+    locations[k] = at;
+    self(self, k + 1, at, so_far + cost.remote_access(at, d, trace.ops[k]));
+    // Option 2: migrate to the home.
+    locations[k] = d;
+    self(self, k + 1, d, so_far + cost.migration(at, d));
+  };
+  rec(rec, 0, trace.start, 0);
+
+  EM2_ASSERT(best.total_cost < kInfiniteCost, "no feasible schedule found");
+  finalize_from_locations(trace, cost, best);
+  return best;
+}
+
+}  // namespace em2

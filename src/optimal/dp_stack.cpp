@@ -1,0 +1,514 @@
+#include "optimal/dp_stack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace em2 {
+namespace {
+
+/// Encoded DP state: kNativeState = parked at the native core (full stack
+/// locally available); 0..window = at the previous access's home core with
+/// that many window entries live.
+constexpr std::int32_t kNativeState = -1;
+
+/// One transition out of a state for a given access.
+struct Option {
+  std::int32_t to_state = kNativeState;
+  Cost cost = 0;
+  std::uint32_t migrations = 0;
+  std::uint32_t forced_returns = 0;
+  std::uint64_t context_bits = 0;
+  /// Chosen carried depth, or -1 if this option involves no depth choice.
+  std::int32_t depth_choice = -1;
+};
+
+std::uint64_t stack_ctx_bits(const CostModel& cost, std::uint32_t depth) {
+  return cost.params().pc_bits +
+         static_cast<std::uint64_t>(cost.params().word_bits) * depth;
+}
+
+Cost mig_stack(const CostModel& cost, CoreId a, CoreId b,
+               std::uint32_t depth) {
+  return cost.migration_bits(a, b, stack_ctx_bits(cost, depth));
+}
+
+/// Flush of `words` live entries from remote core `c` to the native
+/// stack memory (single write message; zero words cost nothing).
+Cost flush_cost(const CostModel& cost, CoreId c, CoreId native,
+                std::uint32_t words) {
+  if (words == 0) {
+    return 0;
+  }
+  return cost.message(
+      c, native, static_cast<std::uint64_t>(words) * cost.params().word_bits);
+}
+
+/// Applies the access's stack motion to a window of `r` entries and
+/// returns (new_state, extra cost, forced-return flag).  Caller guarantees
+/// r >= pops.  Overflow past the window forces a return to native after
+/// the access completes.
+void execute_at_remote(const CostModel& cost, CoreId at, CoreId native,
+                       std::uint32_t window, std::uint32_t r,
+                       std::uint32_t pops, std::uint32_t pushes,
+                       Option& opt) {
+  EM2_ASSERT(r >= pops, "execute_at_remote requires enough live entries");
+  const std::uint32_t r_mid = r - pops + pushes;
+  if (r_mid > window) {
+    // Overflow: spills target native stack memory, so the thread
+    // "automatically migrates back to its native core".
+    opt.cost += mig_stack(cost, at, native, window);
+    opt.context_bits += stack_ctx_bits(cost, window);
+    ++opt.migrations;
+    ++opt.forced_returns;
+    opt.to_state = kNativeState;
+  } else {
+    opt.to_state = static_cast<std::int32_t>(r_mid);
+  }
+}
+
+/// Enumerates every legal transition from `state` (window occupancy at
+/// `loc`, or parked at native) through an access at `e` consuming `p` and
+/// producing `u` entries.  Shared by the DP, the brute force, and the
+/// reconstruction replay, so all three agree on the action space.
+std::vector<Option> enumerate_options(const CostModel& cost,
+                                      std::int32_t state, CoreId loc,
+                                      CoreId native, std::uint32_t window,
+                                      CoreId e, std::uint32_t p,
+                                      std::uint32_t u) {
+  EM2_ASSERT(p <= window,
+             "per-step pops must fit the stack-cache window (generator "
+             "contract)");
+  std::vector<Option> options;
+
+  auto emit_from_native = [&](Cost base_cost, std::uint32_t base_migs,
+                              std::uint32_t base_forced,
+                              std::uint64_t base_bits) {
+    if (e == native) {
+      Option opt;
+      opt.cost = base_cost;
+      opt.migrations = base_migs;
+      opt.forced_returns = base_forced;
+      opt.context_bits = base_bits;
+      opt.to_state = kNativeState;
+      options.push_back(opt);
+      return;
+    }
+    for (std::uint32_t k = p; k <= window; ++k) {
+      Option opt;
+      opt.cost = base_cost + mig_stack(cost, native, e, k);
+      opt.migrations = base_migs + 1;
+      opt.forced_returns = base_forced;
+      opt.context_bits = base_bits + stack_ctx_bits(cost, k);
+      opt.depth_choice = static_cast<std::int32_t>(k);
+      execute_at_remote(cost, e, native, window, k, p, u, opt);
+      options.push_back(opt);
+    }
+  };
+
+  if (state == kNativeState) {
+    emit_from_native(0, 0, 0, 0);
+    return options;
+  }
+
+  const auto r = static_cast<std::uint32_t>(state);
+  EM2_ASSERT(loc != kNoCore && loc != native,
+             "window states exist only at remote cores");
+
+  if (e == loc) {
+    // Run continues at the current remote core.
+    if (r >= p) {
+      Option opt;
+      execute_at_remote(cost, loc, native, window, r, p, u, opt);
+      options.push_back(opt);
+    } else {
+      // Underflow: forced bounce through native, then return with a fresh
+      // depth choice.
+      const Cost back = mig_stack(cost, loc, native, r);
+      const std::uint64_t back_bits = stack_ctx_bits(cost, r);
+      for (std::uint32_t k = p; k <= window; ++k) {
+        Option opt;
+        opt.cost = back + mig_stack(cost, native, loc, k);
+        opt.migrations = 2;
+        opt.forced_returns = 1;
+        opt.context_bits = back_bits + stack_ctx_bits(cost, k);
+        opt.depth_choice = static_cast<std::int32_t>(k);
+        execute_at_remote(cost, loc, native, window, k, p, u, opt);
+        options.push_back(opt);
+      }
+    }
+    return options;
+  }
+
+  if (e == native) {
+    // Going home: carry the whole live window (it all belongs in the
+    // native stack anyway), execute locally for free.
+    Option opt;
+    opt.cost = mig_stack(cost, loc, native, r);
+    opt.migrations = 1;
+    opt.context_bits = stack_ctx_bits(cost, r);
+    opt.to_state = kNativeState;
+    options.push_back(opt);
+    return options;
+  }
+
+  // Remote-to-remote move.
+  if (r >= p) {
+    // Direct: carry k of the r live entries, flush the rest to native.
+    const std::uint32_t carry_max = std::min(r, window);
+    for (std::uint32_t k = p; k <= carry_max; ++k) {
+      Option opt;
+      opt.cost = flush_cost(cost, loc, native, r - k) +
+                 mig_stack(cost, loc, e, k);
+      opt.migrations = 1;
+      opt.context_bits = stack_ctx_bits(cost, k);
+      opt.depth_choice = static_cast<std::int32_t>(k);
+      execute_at_remote(cost, e, native, window, k, p, u, opt);
+      options.push_back(opt);
+    }
+  }
+  // Via native (always legal; mandatory when r < p): return home carrying
+  // the live window, then depart with any depth.
+  emit_from_native(mig_stack(cost, loc, native, r), 1, r < p ? 1 : 0,
+                   stack_ctx_bits(cost, r));
+  return options;
+}
+
+std::size_t state_index(std::int32_t state) {
+  return static_cast<std::size_t>(state + 1);  // kNativeState -> 0
+}
+
+}  // namespace
+
+std::uint32_t AdaptiveDepthPolicy::choose(std::uint32_t need,
+                                          std::uint32_t window) {
+  const auto predicted = static_cast<std::uint32_t>(std::lround(ewma_));
+  return std::min(window, std::max(need, predicted + margin_));
+}
+
+void AdaptiveDepthPolicy::observe_consumed(std::uint32_t consumed) {
+  ewma_ = (1.0 - alpha_) * ewma_ + alpha_ * static_cast<double>(consumed);
+}
+
+StackSolution solve_optimal_stack(const StackModelTrace& trace,
+                                  const CostModel& cost,
+                                  std::uint32_t window) {
+  EM2_ASSERT(window >= 1, "stack window must hold at least one entry");
+  const std::size_t n = trace.steps.size();
+  const std::size_t num_states = static_cast<std::size_t>(window) + 2;
+
+  std::vector<Cost> dp(num_states, kInfiniteCost);
+  dp[state_index(kNativeState)] = 0;
+
+  // Backpointers: per (step, to_state): predecessor state and the index of
+  // the winning option in enumerate_options(pred, ...) — replayed during
+  // reconstruction.
+  struct Back {
+    std::int32_t from_state = kNativeState;
+    std::int32_t option = -1;
+  };
+  std::vector<Back> back(n * num_states);
+
+  CoreId loc = kNoCore;  // location of the window states (none initially)
+  std::vector<Cost> next(num_states);
+  for (std::size_t k = 0; k < n; ++k) {
+    const StackStep& s = trace.steps[k];
+    std::fill(next.begin(), next.end(), kInfiniteCost);
+    for (std::int32_t st = kNativeState;
+         st <= static_cast<std::int32_t>(window); ++st) {
+      const Cost base = dp[state_index(st)];
+      if (base >= kInfiniteCost) {
+        continue;
+      }
+      const std::vector<Option> options = enumerate_options(
+          cost, st, loc, trace.native, window, s.home, s.pops, s.pushes);
+      for (std::size_t oi = 0; oi < options.size(); ++oi) {
+        const Option& opt = options[oi];
+        const Cost total = base + opt.cost;
+        Cost& slot = next[state_index(opt.to_state)];
+        if (total < slot) {
+          slot = total;
+          back[k * num_states + state_index(opt.to_state)] =
+              Back{st, static_cast<std::int32_t>(oi)};
+        }
+      }
+    }
+    dp.swap(next);
+    loc = s.home == trace.native ? kNoCore : s.home;
+  }
+
+  // Best end state.
+  std::int32_t end_state = kNativeState;
+  for (std::int32_t st = kNativeState;
+       st <= static_cast<std::int32_t>(window); ++st) {
+    if (dp[state_index(st)] < dp[state_index(end_state)]) {
+      end_state = st;
+    }
+  }
+  StackSolution sol;
+  sol.total_cost = dp[state_index(end_state)];
+  EM2_ASSERT(sol.total_cost < kInfiniteCost, "no feasible stack schedule");
+
+  // Backward pass to recover the state path, then forward replay through
+  // the shared option enumeration to rebuild costs/choices (and re-verify
+  // the DP total).
+  std::vector<std::int32_t> path(n + 1);
+  path[n] = end_state;
+  for (std::size_t k = n; k-- > 0;) {
+    path[k] = back[k * num_states + state_index(path[k + 1])].from_state;
+  }
+  EM2_ASSERT(n == 0 || path[0] == kNativeState,
+             "schedules must start parked at the native core");
+
+  Cost replay_cost = 0;
+  CoreId replay_loc = kNoCore;
+  for (std::size_t k = 0; k < n; ++k) {
+    const StackStep& s = trace.steps[k];
+    const Back& b = back[k * num_states + state_index(path[k + 1])];
+    const std::vector<Option> options =
+        enumerate_options(cost, path[k], replay_loc, trace.native, window,
+                          s.home, s.pops, s.pushes);
+    EM2_ASSERT(b.option >= 0 &&
+                   static_cast<std::size_t>(b.option) < options.size(),
+               "dangling backpointer");
+    const Option& opt = options[static_cast<std::size_t>(b.option)];
+    EM2_ASSERT(opt.to_state == path[k + 1],
+               "backpointer option does not reach the recorded state");
+    replay_cost += opt.cost;
+    sol.migrations += opt.migrations;
+    sol.forced_returns += opt.forced_returns;
+    sol.context_bits += opt.context_bits;
+    if (opt.depth_choice >= 0) {
+      sol.chosen_depths.push_back(
+          static_cast<std::uint32_t>(opt.depth_choice));
+    }
+    replay_loc = s.home == trace.native ? kNoCore : s.home;
+  }
+  EM2_ASSERT(replay_cost == sol.total_cost,
+             "replayed schedule cost disagrees with DP value");
+  return sol;
+}
+
+StackSolution evaluate_stack_policy(const StackModelTrace& trace,
+                                    const CostModel& cost,
+                                    std::uint32_t window,
+                                    StackDepthPolicy& policy) {
+  EM2_ASSERT(window >= 1, "stack window must hold at least one entry");
+  StackSolution sol;
+  std::int32_t state = kNativeState;
+  CoreId loc = kNoCore;
+  // Tracks how much of the carried window each remote run consumed, to
+  // train adaptive policies.
+  std::uint32_t run_consumed = 0;
+  bool in_remote_run = false;
+
+  auto end_run = [&]() {
+    if (in_remote_run) {
+      policy.observe_consumed(run_consumed);
+      in_remote_run = false;
+      run_consumed = 0;
+    }
+  };
+
+  auto apply = [&](const Option& opt) {
+    sol.total_cost += opt.cost;
+    sol.migrations += opt.migrations;
+    sol.forced_returns += opt.forced_returns;
+    sol.context_bits += opt.context_bits;
+    if (opt.depth_choice >= 0) {
+      sol.chosen_depths.push_back(
+          static_cast<std::uint32_t>(opt.depth_choice));
+    }
+    state = opt.to_state;
+  };
+
+  for (const StackStep& s : trace.steps) {
+    EM2_ASSERT(s.pops <= window, "per-step pops must fit the window");
+    if (state == kNativeState) {
+      if (s.home == trace.native) {
+        continue;  // local, free
+      }
+      end_run();
+      const std::uint32_t k =
+          std::clamp(policy.choose(s.pops, window), s.pops, window);
+      Option opt;
+      opt.cost = cost.migration_bits(
+          trace.native, s.home,
+          cost.params().pc_bits +
+              static_cast<std::uint64_t>(cost.params().word_bits) * k);
+      opt.migrations = 1;
+      opt.context_bits = cost.params().pc_bits +
+                         static_cast<std::uint64_t>(cost.params().word_bits) * k;
+      opt.depth_choice = static_cast<std::int32_t>(k);
+      execute_at_remote(cost, s.home, trace.native, window, k, s.pops,
+                        s.pushes, opt);
+      apply(opt);
+      in_remote_run = true;
+      run_consumed = s.pops;
+      loc = s.home;
+      if (state == kNativeState) {
+        end_run();  // overflow bounced us straight home
+      }
+      continue;
+    }
+
+    // At a remote core `loc` with `state` live entries.
+    const auto r = static_cast<std::uint32_t>(state);
+    if (s.home == loc) {
+      run_consumed += s.pops;
+      if (r >= s.pops) {
+        Option opt;
+        execute_at_remote(cost, loc, trace.native, window, r, s.pops,
+                          s.pushes, opt);
+        apply(opt);
+      } else {
+        // Underflow: bounce home, choose a fresh depth, return.
+        end_run();
+        const std::uint32_t k =
+            std::clamp(policy.choose(s.pops, window), s.pops, window);
+        Option opt;
+        opt.cost = mig_stack(cost, loc, trace.native, r) +
+                   mig_stack(cost, trace.native, loc, k);
+        opt.migrations = 2;
+        opt.forced_returns = 1;
+        opt.context_bits =
+            stack_ctx_bits(cost, r) + stack_ctx_bits(cost, k);
+        opt.depth_choice = static_cast<std::int32_t>(k);
+        execute_at_remote(cost, loc, trace.native, window, k, s.pops,
+                          s.pushes, opt);
+        apply(opt);
+        in_remote_run = true;
+        run_consumed = s.pops;
+      }
+      if (state == kNativeState) {
+        end_run();
+      }
+      continue;
+    }
+
+    // Leaving `loc`.
+    end_run();
+    if (s.home == trace.native) {
+      Option opt;
+      opt.cost = mig_stack(cost, loc, trace.native, r);
+      opt.migrations = 1;
+      opt.context_bits = stack_ctx_bits(cost, r);
+      opt.to_state = kNativeState;
+      apply(opt);
+      loc = kNoCore;
+      continue;
+    }
+    // Remote-to-remote: direct move with a policy-chosen carry, or a
+    // forced bounce when the window cannot satisfy the need.
+    if (r >= s.pops) {
+      const std::uint32_t carry_max = std::min(r, window);
+      const std::uint32_t k =
+          std::clamp(policy.choose(s.pops, window), s.pops, carry_max);
+      Option opt;
+      opt.cost = flush_cost(cost, loc, trace.native, r - k) +
+                 mig_stack(cost, loc, s.home, k);
+      opt.migrations = 1;
+      opt.context_bits = stack_ctx_bits(cost, k);
+      opt.depth_choice = static_cast<std::int32_t>(k);
+      execute_at_remote(cost, s.home, trace.native, window, k, s.pops,
+                        s.pushes, opt);
+      apply(opt);
+    } else {
+      const std::uint32_t k =
+          std::clamp(policy.choose(s.pops, window), s.pops, window);
+      Option opt;
+      opt.cost = mig_stack(cost, loc, trace.native, r) +
+                 mig_stack(cost, trace.native, s.home, k);
+      opt.migrations = 2;
+      opt.forced_returns = 1;
+      opt.context_bits =
+          stack_ctx_bits(cost, r) + stack_ctx_bits(cost, k);
+      opt.depth_choice = static_cast<std::int32_t>(k);
+      execute_at_remote(cost, s.home, trace.native, window, k, s.pops,
+                        s.pushes, opt);
+      apply(opt);
+    }
+    in_remote_run = true;
+    run_consumed = s.pops;
+    loc = s.home;
+    if (state == kNativeState) {
+      end_run();
+    }
+  }
+  return sol;
+}
+
+StackSolution brute_force_stack(const StackModelTrace& trace,
+                                const CostModel& cost,
+                                std::uint32_t window) {
+  const std::size_t n = trace.steps.size();
+  EM2_ASSERT(n <= 10 && window <= 8, "brute force limited to tiny inputs");
+
+  StackSolution best;
+  best.total_cost = kInfiniteCost;
+
+  struct Tally {
+    Cost cost = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t forced = 0;
+    std::uint64_t bits = 0;
+    std::vector<std::uint32_t> depths;
+  };
+
+  auto rec = [&](auto&& self, std::size_t k, std::int32_t state, CoreId loc,
+                 Tally tally) -> void {
+    if (tally.cost >= best.total_cost) {
+      return;
+    }
+    if (k == n) {
+      best.total_cost = tally.cost;
+      best.migrations = tally.migrations;
+      best.forced_returns = tally.forced;
+      best.context_bits = tally.bits;
+      best.chosen_depths = tally.depths;
+      return;
+    }
+    const StackStep& s = trace.steps[k];
+    const std::vector<Option> options = enumerate_options(
+        cost, state, loc, trace.native, window, s.home, s.pops, s.pushes);
+    const CoreId next_loc = s.home == trace.native ? kNoCore : s.home;
+    for (const Option& opt : options) {
+      Tally t = tally;
+      t.cost += opt.cost;
+      t.migrations += opt.migrations;
+      t.forced += opt.forced_returns;
+      t.bits += opt.context_bits;
+      if (opt.depth_choice >= 0) {
+        t.depths.push_back(static_cast<std::uint32_t>(opt.depth_choice));
+      }
+      self(self, k + 1, opt.to_state, next_loc, std::move(t));
+    }
+  };
+  rec(rec, 0, kNativeState, kNoCore, Tally{});
+  EM2_ASSERT(best.total_cost < kInfiniteCost, "no feasible stack schedule");
+  return best;
+}
+
+std::unique_ptr<StackDepthPolicy> make_stack_policy(const std::string& spec) {
+  if (spec.rfind("fixed:", 0) == 0) {
+    const int d = std::atoi(spec.c_str() + 6);
+    if (d >= 0) {
+      return std::make_unique<FixedDepthPolicy>(
+          static_cast<std::uint32_t>(d));
+    }
+    return nullptr;
+  }
+  if (spec == "min-need") {
+    return std::make_unique<MinNeedPolicy>();
+  }
+  if (spec == "full-window") {
+    return std::make_unique<FullWindowPolicy>();
+  }
+  if (spec == "adaptive") {
+    return std::make_unique<AdaptiveDepthPolicy>();
+  }
+  return nullptr;
+}
+
+}  // namespace em2

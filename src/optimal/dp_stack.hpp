@@ -1,0 +1,153 @@
+// Optimal per-migration stack depths for stack-machine EM2 (Section 4).
+//
+// "Since the migrated depth can be different for every access, determining
+// the best per-migration depth requires a decision algorithm.  Indeed, to
+// evaluate such schemes, we can use the same analytical model described
+// for the EM2-RA case and a similar optimization formulation to compute
+// the optimal stack depths (instead of the binary migrate-vs-RA decision,
+// the algorithm considers the various stack depths) and compares them
+// against a given depth-decision scheme."
+//
+// Model (documented in DESIGN.md; DP and brute force share one transition
+// enumeration so they cannot diverge):
+//   * A thread's stack memory lives at its native core; the stack cache
+//     window holds at most `window` (Dmax) entries in registers.
+//   * Under stack-EM2 every access executes at its home core (there is no
+//     remote-access path), so the thread's location is forced; the only
+//     decision is how many entries each migration carries.
+//   * Each trace step (home, pops, pushes) consumes `pops` entries of
+//     pre-existing stack and leaves `pushes` new ones.
+//   * At the native core, spills/refills are local (free, like the paper's
+//     local accesses).  At a remote core:
+//       - needing more entries than carried  => underflow  => forced
+//         migration back to native (then a fresh migration out),
+//       - the window growing past `window`   => overflow   => forced
+//         migration back to native after the access,
+//     both exactly the "automatically migrate back" behaviour of Section 4.
+//   * A migration from remote core c to remote core e may carry k of the
+//     r live entries and flush the other r-k to native stack memory (one
+//     network write message), or bounce through native explicitly.
+//   * Migration cost follows the cost model with context pc + k*word bits.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "noc/cost_model.hpp"
+#include "util/types.hpp"
+
+namespace em2 {
+
+/// One stack-model trace step: a memory access at `home` whose surrounding
+/// instruction window consumed `pops` pre-existing stack entries and left
+/// `pushes` new ones.
+struct StackStep {
+  CoreId home = 0;
+  std::uint32_t pops = 0;
+  std::uint32_t pushes = 0;
+};
+
+/// A single thread's stack-model input.
+struct StackModelTrace {
+  std::vector<StackStep> steps;
+  CoreId native = 0;
+};
+
+/// A depth schedule with its model cost.
+struct StackSolution {
+  Cost total_cost = 0;
+  /// Depth carried by each *chosen* migration, in event order (forced
+  /// returns to native are not choices and are excluded).
+  std::vector<std::uint32_t> chosen_depths;
+  std::uint64_t migrations = 0;      ///< all migrations incl. forced returns
+  std::uint64_t forced_returns = 0;  ///< underflow/overflow-driven
+  /// Total context bits that crossed the network (power proxy).
+  std::uint64_t context_bits = 0;
+};
+
+/// A core-local depth-decision scheme: given the entries the next remote
+/// run immediately needs (`need`) and the window size, choose the carried
+/// depth.  `live` is the number of entries currently in the window when
+/// migrating core-to-core (the carry ceiling); the result is clamped to
+/// [need, min(live_ceiling, window)].
+class StackDepthPolicy {
+ public:
+  virtual ~StackDepthPolicy() = default;
+  virtual std::uint32_t choose(std::uint32_t need, std::uint32_t window) = 0;
+  /// Observation hook: actual entries consumed by the finished remote run.
+  virtual void observe_consumed(std::uint32_t consumed) { (void)consumed; }
+  virtual std::string name() const = 0;
+};
+
+/// Always carry exactly `depth` entries (clamped).
+class FixedDepthPolicy final : public StackDepthPolicy {
+ public:
+  explicit FixedDepthPolicy(std::uint32_t depth) : depth_(depth) {}
+  std::uint32_t choose(std::uint32_t, std::uint32_t) override {
+    return depth_;
+  }
+  std::string name() const override {
+    return "fixed:" + std::to_string(depth_);
+  }
+
+ private:
+  std::uint32_t depth_;
+};
+
+/// Carry only what the next access needs (minimum context, maximum
+/// underflow risk).
+class MinNeedPolicy final : public StackDepthPolicy {
+ public:
+  std::uint32_t choose(std::uint32_t need, std::uint32_t) override {
+    return need;
+  }
+  std::string name() const override { return "min-need"; }
+};
+
+/// Always carry the full window (maximum context, minimum underflow).
+class FullWindowPolicy final : public StackDepthPolicy {
+ public:
+  std::uint32_t choose(std::uint32_t, std::uint32_t window) override {
+    return window;
+  }
+  std::string name() const override { return "full-window"; }
+};
+
+/// EWMA of observed remote-run consumption, plus a safety margin.
+class AdaptiveDepthPolicy final : public StackDepthPolicy {
+ public:
+  explicit AdaptiveDepthPolicy(double alpha = 0.25, std::uint32_t margin = 1)
+      : alpha_(alpha), margin_(margin) {}
+  std::uint32_t choose(std::uint32_t need, std::uint32_t window) override;
+  void observe_consumed(std::uint32_t consumed) override;
+  std::string name() const override { return "adaptive"; }
+
+ private:
+  double alpha_;
+  std::uint32_t margin_;
+  double ewma_ = 2.0;
+};
+
+/// Exact optimum over the model's action space via dynamic programming.
+/// Time O(N * window^2), space O(N * window).
+StackSolution solve_optimal_stack(const StackModelTrace& trace,
+                                  const CostModel& cost,
+                                  std::uint32_t window);
+
+/// Evaluates a concrete depth-decision scheme (O(N)); direct core-to-core
+/// moves only (greedy schemes do not reposition through native).
+StackSolution evaluate_stack_policy(const StackModelTrace& trace,
+                                    const CostModel& cost,
+                                    std::uint32_t window,
+                                    StackDepthPolicy& policy);
+
+/// Exhaustive search (tiny traces only; aborts above ~2^24 states).
+StackSolution brute_force_stack(const StackModelTrace& trace,
+                                const CostModel& cost, std::uint32_t window);
+
+/// Factory: "fixed:<k>" | "min-need" | "full-window" | "adaptive".
+std::unique_ptr<StackDepthPolicy> make_stack_policy(const std::string& spec);
+
+}  // namespace em2

@@ -1,0 +1,45 @@
+#include "optimal/policy_eval.hpp"
+
+#include "util/assert.hpp"
+
+namespace em2 {
+
+MigrateRaSolution evaluate_policy_model(const ModelTrace& trace,
+                                        const CostModel& cost,
+                                        DecisionPolicy& policy) {
+  const std::size_t n = trace.homes.size();
+  MigrateRaSolution sol;
+  sol.actions.resize(n);
+  sol.locations.resize(n);
+
+  CoreId at = trace.start;
+  for (std::size_t k = 0; k < n; ++k) {
+    const CoreId home = trace.homes[k];
+    const MemOp op = trace.ops[k];
+    if (at == home) {
+      sol.actions[k] = AccessAction::kLocal;
+    } else {
+      DecisionQuery q;
+      q.thread = 0;
+      q.current = at;
+      q.home = home;
+      q.native = trace.start;
+      q.op = op;
+      if (policy.decide(q) == RaDecision::kMigrate) {
+        sol.total_cost += cost.migration(at, home);
+        at = home;
+        sol.actions[k] = AccessAction::kMigrate;
+        ++sol.migrations;
+      } else {
+        sol.total_cost += cost.remote_access(at, home, op);
+        sol.actions[k] = AccessAction::kRemote;
+        ++sol.remote_accesses;
+      }
+    }
+    sol.locations[k] = at;
+    policy.observe(0, home, trace.start);
+  }
+  return sol;
+}
+
+}  // namespace em2

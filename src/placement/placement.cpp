@@ -1,0 +1,152 @@
+#include "placement/placement.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace em2 {
+namespace {
+
+std::uint64_t splitmix64_once(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+StripedPlacement::StripedPlacement(std::int32_t num_cores)
+    : num_cores_(num_cores) {
+  EM2_ASSERT(num_cores >= 1, "placement needs at least one core");
+}
+
+CoreId StripedPlacement::home_of_block(Addr block) const {
+  return static_cast<CoreId>(block %
+                             static_cast<std::uint64_t>(num_cores_));
+}
+
+HashedPlacement::HashedPlacement(std::int32_t num_cores, std::uint64_t salt)
+    : num_cores_(num_cores), salt_(salt) {
+  EM2_ASSERT(num_cores >= 1, "placement needs at least one core");
+}
+
+CoreId HashedPlacement::home_of_block(Addr block) const {
+  return static_cast<CoreId>(splitmix64_once(block ^ salt_) %
+                             static_cast<std::uint64_t>(num_cores_));
+}
+
+TablePlacement::TablePlacement(std::int32_t num_cores)
+    : num_cores_(num_cores) {
+  EM2_ASSERT(num_cores >= 1, "placement needs at least one core");
+}
+
+CoreId TablePlacement::home_of_block(Addr block) const {
+  const auto it = table_.find(block);
+  if (it != table_.end()) {
+    return it->second;
+  }
+  return static_cast<CoreId>(block %
+                             static_cast<std::uint64_t>(num_cores_));
+}
+
+void TablePlacement::assign(Addr block, CoreId home) {
+  EM2_ASSERT(home >= 0 && home < num_cores_,
+             "block assigned to a nonexistent core");
+  table_[block] = home;
+}
+
+std::vector<std::uint64_t> TablePlacement::blocks_per_core() const {
+  std::vector<std::uint64_t> counts(
+      static_cast<std::size_t>(num_cores_), 0);
+  for (const auto& [block, core] : table_) {
+    ++counts[static_cast<std::size_t>(core)];
+  }
+  return counts;
+}
+
+FirstTouchPlacement::FirstTouchPlacement(const TraceSet& traces,
+                                         std::int32_t num_cores)
+    : TablePlacement(num_cores) {
+  // Deterministic round-robin interleaving: one access per live thread per
+  // round, threads in id order.
+  std::vector<std::size_t> cursor(traces.num_threads(), 0);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t t = 0; t < traces.num_threads(); ++t) {
+      const ThreadTrace& trace = traces.thread(t);
+      if (cursor[t] >= trace.size()) {
+        continue;
+      }
+      const Addr block = traces.block_of(trace[cursor[t]].addr);
+      ++cursor[t];
+      progressed = true;
+      if (table_.find(block) == table_.end()) {
+        CoreId native = trace.native_core();
+        EM2_ASSERT(native >= 0 && native < num_cores_,
+                   "thread native core outside the mesh");
+        table_.emplace(block, native);
+      }
+    }
+  }
+}
+
+ProfileGreedyPlacement::ProfileGreedyPlacement(const TraceSet& traces,
+                                               std::int32_t num_cores)
+    : TablePlacement(num_cores) {
+  // Count per-(block, native core) accesses, then pick the argmax.
+  std::unordered_map<Addr, std::unordered_map<CoreId, std::uint64_t>> counts;
+  for (const auto& trace : traces.threads()) {
+    const CoreId native = trace.native_core();
+    for (const auto& a : trace.accesses()) {
+      ++counts[traces.block_of(a.addr)][native];
+    }
+  }
+  for (const auto& [block, per_core] : counts) {
+    CoreId best = kNoCore;
+    std::uint64_t best_count = 0;
+    for (std::int32_t core = 0; core < num_cores_; ++core) {
+      const auto it = per_core.find(core);
+      const std::uint64_t c = it == per_core.end() ? 0 : it->second;
+      if (c > best_count) {
+        best_count = c;
+        best = core;
+      }
+    }
+    if (best != kNoCore) {
+      table_.emplace(block, best);
+    }
+  }
+}
+
+std::vector<CoreId> home_sequence(const ThreadTrace& thread,
+                                  const TraceSet& traces,
+                                  const Placement& placement) {
+  std::vector<CoreId> homes;
+  homes.reserve(thread.size());
+  for (const auto& a : thread.accesses()) {
+    homes.push_back(placement.home_of_block(traces.block_of(a.addr)));
+  }
+  return homes;
+}
+
+std::unique_ptr<Placement> make_placement(const std::string& scheme,
+                                          const TraceSet& traces,
+                                          std::int32_t num_cores) {
+  if (scheme == "striped") {
+    return std::make_unique<StripedPlacement>(num_cores);
+  }
+  if (scheme == "hashed") {
+    return std::make_unique<HashedPlacement>(num_cores);
+  }
+  if (scheme == "first-touch") {
+    return std::make_unique<FirstTouchPlacement>(traces, num_cores);
+  }
+  if (scheme == "profile-greedy") {
+    return std::make_unique<ProfileGreedyPlacement>(traces, num_cores);
+  }
+  return nullptr;
+}
+
+}  // namespace em2

@@ -1,0 +1,125 @@
+// Data placement: the address -> home-core assignment d(.) of the paper.
+//
+// Under EM2 every cache block is cacheable at exactly one core (its home);
+// "a good data placement method (one which keeps a thread's private data
+// assigned to that thread's native core, and allocates shared data among
+// the sharers) is critical" (paper, Section 2).  The paper's evaluation
+// uses first-touch placement; we provide that plus ablation alternatives.
+//
+// Placement operates on *blocks* (cache lines): block = addr >> log2(block
+// size), matching TraceSet::block_of.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/types.hpp"
+
+namespace em2 {
+
+/// Abstract address-to-home-core map.
+class Placement {
+ public:
+  virtual ~Placement() = default;
+
+  /// Home core of placement block `block` (NOT a byte address).
+  virtual CoreId home_of_block(Addr block) const = 0;
+
+  /// Short scheme name for reports ("first-touch", "striped", ...).
+  virtual std::string name() const = 0;
+
+  /// Convenience: home core of byte address `addr` for a given block size
+  /// bookkeeping object.
+  CoreId home_of(Addr addr, const TraceSet& traces) const {
+    return home_of_block(traces.block_of(addr));
+  }
+};
+
+/// Blocks striped round-robin across cores: block b -> b mod P.
+/// The placement-oblivious baseline: spreads load but ignores locality.
+class StripedPlacement final : public Placement {
+ public:
+  explicit StripedPlacement(std::int32_t num_cores);
+  CoreId home_of_block(Addr block) const override;
+  std::string name() const override { return "striped"; }
+
+ private:
+  std::int32_t num_cores_;
+};
+
+/// Blocks placed by a splitmix64 hash of the block index: destroys both
+/// locality and structure (worst reasonable placement; used as the "bad
+/// placement" pole in ablations).
+class HashedPlacement final : public Placement {
+ public:
+  HashedPlacement(std::int32_t num_cores, std::uint64_t salt = 0);
+  CoreId home_of_block(Addr block) const override;
+  std::string name() const override { return "hashed"; }
+
+ private:
+  std::int32_t num_cores_;
+  std::uint64_t salt_;
+};
+
+/// An explicit block -> core table with a fallback for unmapped blocks.
+/// Base class for trace-derived placements; also usable directly.
+class TablePlacement : public Placement {
+ public:
+  explicit TablePlacement(std::int32_t num_cores);
+
+  CoreId home_of_block(Addr block) const override;
+  std::string name() const override { return "table"; }
+
+  /// Assigns (or reassigns) a block's home.
+  void assign(Addr block, CoreId home);
+
+  /// Blocks with no explicit assignment fall back to striping.
+  std::size_t assigned_blocks() const noexcept { return table_.size(); }
+
+  /// Per-core count of assigned blocks (placement balance metric).
+  std::vector<std::uint64_t> blocks_per_core() const;
+
+ protected:
+  std::int32_t num_cores_;
+  std::unordered_map<Addr, CoreId> table_;
+};
+
+/// First-touch placement — what the paper's evaluation uses.  The first
+/// thread to touch a block becomes its home (at that thread's native
+/// core).  "First" is defined by a deterministic round-robin interleaving
+/// of the per-thread traces: one access per thread per round.  This mirrors
+/// how first-touch behaves when all threads start together, and makes runs
+/// reproducible.
+class FirstTouchPlacement final : public TablePlacement {
+ public:
+  FirstTouchPlacement(const TraceSet& traces, std::int32_t num_cores);
+  std::string name() const override { return "first-touch"; }
+};
+
+/// Profile-greedy placement: each block goes to the native core of the
+/// thread that accesses it most (ties to the lower core id).  This is the
+/// strongest static placement a profile-driven system could pick, used as
+/// the "good placement" pole in ablations.
+class ProfileGreedyPlacement final : public TablePlacement {
+ public:
+  ProfileGreedyPlacement(const TraceSet& traces, std::int32_t num_cores);
+  std::string name() const override { return "profile-greedy"; }
+};
+
+/// Computes the per-access home-core sequence d(m_1..m_N) for a thread —
+/// the input to run-length analysis and to the DP optimal solver.
+std::vector<CoreId> home_sequence(const ThreadTrace& thread,
+                                  const TraceSet& traces,
+                                  const Placement& placement);
+
+/// Factory by name ("striped" | "hashed" | "first-touch" |
+/// "profile-greedy"); returns nullptr for unknown names.
+std::unique_ptr<Placement> make_placement(const std::string& scheme,
+                                          const TraceSet& traces,
+                                          std::int32_t num_cores);
+
+}  // namespace em2

@@ -1,0 +1,211 @@
+#include "sim/exec_system.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace em2 {
+
+const char* to_string(MemArch arch) noexcept {
+  switch (arch) {
+    case MemArch::kEm2:
+      return "em2";
+    case MemArch::kEm2Ra:
+      return "em2-ra";
+    case MemArch::kCc:
+      return "cc";
+  }
+  return "?";
+}
+
+ExecSystem::ExecSystem(const Mesh& mesh, const CostModel& cost,
+                       const ExecParams& params, const Placement& placement)
+    : mesh_(mesh), cost_(cost), params_(params), placement_(placement) {
+  EM2_ASSERT(std::has_single_bit(params.block_bytes),
+             "block size must be a power of two");
+  block_shift_ =
+      static_cast<std::uint32_t>(std::countr_zero(params.block_bytes));
+  rr_.assign(static_cast<std::size_t>(mesh.num_cores()), 0);
+}
+
+ExecSystem::~ExecSystem() = default;
+
+ThreadId ExecSystem::add_thread(RProgram program, CoreId native) {
+  EM2_ASSERT(!started_, "threads must be added before run()");
+  EM2_ASSERT(native >= 0 && native < mesh_.num_cores(),
+             "native core outside the mesh");
+  Thread th;
+  th.interp = std::make_unique<RegInterpreter>(std::move(program));
+  th.ctx.thread = static_cast<ThreadId>(threads_.size());
+  th.ctx.native_core = native;
+  threads_.push_back(std::move(th));
+  return threads_.back().ctx.thread;
+}
+
+void ExecSystem::poke(Addr addr, std::uint32_t value) {
+  memory_.store(addr, value);
+  const CoreId home = home_of(addr);
+  checker_.on_store(kNoThread, addr, value, home, home);
+}
+
+CoreId ExecSystem::home_of(Addr addr) const {
+  return placement_.home_of_block(addr >> block_shift_);
+}
+
+CoreId ExecSystem::thread_location(ThreadId t) const {
+  if (params_.arch == MemArch::kCc) {
+    return threads_[static_cast<std::size_t>(t)].ctx.native_core;
+  }
+  return em2_->location(t);
+}
+
+Cost ExecSystem::serve_access(ThreadId t, const PendingAccess& mem) {
+  const CoreId home = home_of(mem.addr);
+  Cost latency = 0;
+  CoreId served_at = home;
+
+  switch (params_.arch) {
+    case MemArch::kEm2: {
+      const AccessOutcome out = em2_->access(t, home, mem.op, mem.addr);
+      latency = out.thread_cost + out.memory_latency;
+      if (out.evicted_thread != kNoThread) {
+        Thread& victim =
+            threads_[static_cast<std::size_t>(out.evicted_thread)];
+        victim.ready_at =
+            std::max(victim.ready_at, now_ + out.eviction_cost);
+      }
+      break;
+    }
+    case MemArch::kEm2Ra: {
+      const Addr block = mem.addr >> block_shift_;
+      const HybridOutcome out =
+          hybrid_->access_hybrid(t, home, mem.op, mem.addr, block);
+      latency = out.base.thread_cost + out.base.memory_latency;
+      if (out.base.evicted_thread != kNoThread) {
+        Thread& victim =
+            threads_[static_cast<std::size_t>(out.base.evicted_thread)];
+        victim.ready_at =
+            std::max(victim.ready_at, now_ + out.base.eviction_cost);
+      }
+      break;
+    }
+    case MemArch::kCc: {
+      const CoreId at = threads_[static_cast<std::size_t>(t)].ctx.native_core;
+      const CcAccessResult out = cc_->access(at, mem.addr, mem.op);
+      latency = out.latency;
+      // CC executes at the requester by design; the single-home invariant
+      // does not apply, so the checker sees at == home.
+      served_at = at;
+      break;
+    }
+  }
+
+  // Functional value flow + consistency witness.  Under EM2 and EM2-RA
+  // the access is always *served* at the home core (after a migration, or
+  // by the home-side remote-access handler); under CC it is served at the
+  // requester, where the single-home invariant does not apply.
+  Thread& th = threads_[static_cast<std::size_t>(t)];
+  const CoreId checker_home =
+      params_.arch == MemArch::kCc ? served_at : home;
+  const CoreId at_now = params_.arch == MemArch::kCc ? served_at : home;
+  if (mem.op == MemOp::kRead) {
+    const std::uint32_t value = memory_.load(mem.addr);
+    checker_.on_load(t, mem.addr, value, at_now, checker_home);
+    RegInterpreter::complete_load(th.ctx, mem.dst_reg, value);
+  } else {
+    memory_.store(mem.addr, mem.store_value);
+    checker_.on_store(t, mem.addr, mem.store_value, at_now, checker_home);
+  }
+  return latency;
+}
+
+ExecReport ExecSystem::run(Cycle max_cycles) {
+  if (!started_) {
+    started_ = true;
+    std::vector<CoreId> native;
+    native.reserve(threads_.size());
+    for (const Thread& th : threads_) {
+      native.push_back(th.ctx.native_core);
+    }
+    switch (params_.arch) {
+      case MemArch::kEm2:
+        em2_ = std::make_unique<Em2Machine>(mesh_, cost_, params_.em2,
+                                            std::move(native));
+        break;
+      case MemArch::kEm2Ra: {
+        ra_policy_ = make_policy(params_.ra_policy, mesh_, cost_);
+        EM2_ASSERT(ra_policy_ != nullptr, "unknown EM2-RA policy spec");
+        auto hybrid = std::make_unique<HybridMachine>(
+            mesh_, cost_, params_.em2, std::move(native), *ra_policy_);
+        hybrid_ = hybrid.get();
+        em2_ = std::move(hybrid);
+        break;
+      }
+      case MemArch::kCc:
+        cc_ = std::make_unique<DirectoryCC>(mesh_, cost_, params_.cc,
+                                            placement_);
+        break;
+    }
+  }
+
+  report_ = ExecReport{};
+  report_.finish_cycle.assign(threads_.size(), 0);
+
+  auto all_halted = [&]() {
+    return std::all_of(threads_.begin(), threads_.end(),
+                       [](const Thread& th) { return th.halted; });
+  };
+
+  while (!all_halted() && now_ < max_cycles) {
+    ++now_;
+    for (CoreId core = 0; core < mesh_.num_cores(); ++core) {
+      // Pick one ready resident context, round-robin per core.
+      const std::size_t n = threads_.size();
+      ThreadId chosen = kNoThread;
+      for (std::size_t probe = 0; probe < n; ++probe) {
+        const std::size_t idx =
+            (rr_[static_cast<std::size_t>(core)] + probe) % n;
+        const Thread& th = threads_[idx];
+        if (!th.halted && th.ready_at <= now_ &&
+            thread_location(static_cast<ThreadId>(idx)) == core) {
+          chosen = static_cast<ThreadId>(idx);
+          rr_[static_cast<std::size_t>(core)] =
+              static_cast<std::uint32_t>(idx + 1);
+          break;
+        }
+      }
+      if (chosen == kNoThread) {
+        continue;
+      }
+      Thread& th = threads_[static_cast<std::size_t>(chosen)];
+      const StepResult r = th.interp->step(th.ctx);
+      ++report_.instructions;
+      switch (r.kind) {
+        case StepKind::kDone:
+          th.halted = true;
+          report_.finish_cycle[static_cast<std::size_t>(chosen)] = now_;
+          break;
+        case StepKind::kMem: {
+          const Cost latency = serve_access(chosen, r.mem);
+          th.ready_at = now_ + latency;
+          break;
+        }
+        case StepKind::kOk:
+          break;
+      }
+    }
+  }
+
+  report_.cycles = now_;
+  report_.consistent = checker_.ok() && all_halted();
+  report_.violations = checker_.violations();
+  if (em2_) {
+    report_.counters = em2_->counters();
+  } else if (cc_) {
+    report_.counters = cc_->counters();
+  }
+  return report_;
+}
+
+}  // namespace em2

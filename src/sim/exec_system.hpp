@@ -1,0 +1,117 @@
+// Execution-driven multicore simulation: register-ISA threads running on
+// cores that multiplex hardware contexts at instruction granularity, over
+// a pluggable memory architecture (EM2, EM2-RA, or directory CC).
+//
+// This is the Graphite-substitute at execution (not trace) level: cycles
+// advance globally; each cycle every core issues one instruction from one
+// ready resident context ("each core may be capable of multiplexing
+// execution among several contexts at instruction granularity"); memory
+// operations stall the issuing context for the protocol latency, and under
+// EM2 the context physically moves between cores' resident sets —
+// including eviction re-stalls when a migration displaces a guest.
+//
+// All loads/stores are checked against the sequential-consistency witness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/reg_isa.hpp"
+#include "coherence/directory.hpp"
+#include "em2/consistency.hpp"
+#include "em2/machine.hpp"
+#include "em2ra/hybrid_machine.hpp"
+#include "em2ra/policy.hpp"
+#include "geom/mesh.hpp"
+#include "noc/cost_model.hpp"
+#include "placement/placement.hpp"
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace em2 {
+
+/// Which memory architecture serves the threads.
+enum class MemArch : std::uint8_t {
+  kEm2 = 0,
+  kEm2Ra = 1,
+  kCc = 2,
+};
+
+const char* to_string(MemArch arch) noexcept;
+
+/// Execution-system configuration.
+struct ExecParams {
+  MemArch arch = MemArch::kEm2;
+  Em2Params em2{};
+  DirCcParams cc{};
+  /// EM2-RA decision policy spec (see make_policy); ignored otherwise.
+  std::string ra_policy = "distance:4";
+  std::uint32_t block_bytes = 64;
+};
+
+/// End-of-run report.
+struct ExecReport {
+  Cycle cycles = 0;
+  std::uint64_t instructions = 0;
+  CounterSet counters;
+  bool consistent = false;
+  std::vector<ConsistencyViolation> violations;
+  /// Per-thread completion time (cycle of HALT retirement).
+  std::vector<Cycle> finish_cycle;
+};
+
+/// The execution-driven system.
+class ExecSystem {
+ public:
+  /// `placement` maps blocks to homes and must outlive the system.
+  ExecSystem(const Mesh& mesh, const CostModel& cost,
+             const ExecParams& params, const Placement& placement);
+  ~ExecSystem();
+
+  /// Adds a thread running `program`, native to `native`.
+  ThreadId add_thread(RProgram program, CoreId native);
+
+  /// Pre-initializes functional memory (registered with the checker).
+  void poke(Addr addr, std::uint32_t value);
+  std::uint32_t peek(Addr addr) const { return memory_.load(addr); }
+
+  /// Runs until all threads halt or `max_cycles` pass.
+  ExecReport run(Cycle max_cycles);
+
+ private:
+  struct Thread {
+    std::unique_ptr<RegInterpreter> interp;
+    ExecutionContext ctx;
+    Cycle ready_at = 0;
+    bool halted = false;
+  };
+
+  CoreId home_of(Addr addr) const;
+  CoreId thread_location(ThreadId t) const;
+  /// Serves one memory access for thread `t`; returns the stall latency.
+  Cost serve_access(ThreadId t, const PendingAccess& mem);
+
+  Mesh mesh_;
+  CostModel cost_;
+  ExecParams params_;
+  const Placement& placement_;
+  std::uint32_t block_shift_;
+
+  // Exactly one of these backs the memory system, per params_.arch.
+  std::unique_ptr<DecisionPolicy> ra_policy_;
+  std::unique_ptr<Em2Machine> em2_;        // also set for kEm2Ra (hybrid)
+  HybridMachine* hybrid_ = nullptr;        // non-owning view when kEm2Ra
+  std::unique_ptr<DirectoryCC> cc_;
+
+  std::vector<Thread> threads_;
+  std::vector<std::uint32_t> rr_;  // per-core round-robin cursor
+  FunctionalMemory memory_;
+  ConsistencyChecker checker_;
+  ExecReport report_;
+  Cycle now_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace em2

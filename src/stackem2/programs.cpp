@@ -1,0 +1,161 @@
+#include "stackem2/programs.hpp"
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace em2 {
+
+StackProgramBundle make_array_sum(Addr base, std::int32_t n,
+                                  std::uint32_t stride_bytes,
+                                  Addr result_addr, std::uint64_t seed) {
+  EM2_ASSERT(n >= 1, "array must have at least one element");
+  StackProgramBundle bundle;
+  bundle.name = "array-sum";
+  bundle.result_addr = result_addr;
+
+  Rng rng(seed);
+  std::uint32_t expected = 0;
+  for (std::int32_t i = 0; i < n; ++i) {
+    const auto v = static_cast<std::uint32_t>(rng.next_below(1000));
+    bundle.init_memory.emplace_back(
+        base + static_cast<Addr>(i) * stride_bytes, v);
+    expected += v;
+  }
+  bundle.expected = expected;
+
+  // dstack grows right; rstack holds the loop counter.
+  SAsm a;
+  a.push(0)                                    // sum
+      .push(static_cast<std::int32_t>(base))   // sum addr
+      .push(n)                                 // sum addr n
+      .to_r();                                 // R:[n]  sum addr
+  const std::int32_t loop = a.here();
+  a.dup()                                      // sum addr addr
+      .load()                                  // sum addr val
+      .swap()                                  // sum val addr
+      .to_r()                                  // R:[n addr]  sum val
+      .add()                                   // sum'
+      .from_r()                                // sum' addr
+      .push(static_cast<std::int32_t>(stride_bytes))
+      .add()                                   // sum' addr'
+      .from_r()                                // sum' addr' n
+      .push(1)
+      .sub()                                   // sum' addr' n-1
+      .dup();                                  // sum' addr' n-1 n-1
+  const std::int32_t jz_at = a.here();
+  a.jz(0)                                      // exit if n-1 == 0
+      .to_r()                                  // R:[n-1]  sum' addr'
+      .jmp(loop);
+  const std::int32_t exit_at = a.here();
+  a.patch_imm(jz_at, exit_at);
+  a.drop()                                     // sum addr'  (drop n-1 == 0)
+      .drop()                                  // sum
+      .push(static_cast<std::int32_t>(result_addr))
+      .store()                                 // mem[result] = sum
+      .halt();
+  bundle.code = a.build();
+  return bundle;
+}
+
+StackProgramBundle make_dot_product(Addr base_a, Addr base_b,
+                                    std::int32_t n, Addr result_addr,
+                                    std::uint64_t seed) {
+  EM2_ASSERT(n >= 1, "arrays must have at least one element");
+  StackProgramBundle bundle;
+  bundle.name = "dot-product";
+  bundle.result_addr = result_addr;
+
+  Rng rng(seed);
+  std::uint32_t expected = 0;
+  for (std::int32_t i = 0; i < n; ++i) {
+    const auto va = static_cast<std::uint32_t>(rng.next_below(100));
+    const auto vb = static_cast<std::uint32_t>(rng.next_below(100));
+    bundle.init_memory.emplace_back(base_a + static_cast<Addr>(i) * 4, va);
+    bundle.init_memory.emplace_back(base_b + static_cast<Addr>(i) * 4, vb);
+    expected += va * vb;
+  }
+  bundle.expected = expected;
+
+  // Loop over index i on the return stack; recompute element addresses
+  // from i (keeps the data stack shallow: max depth 4).
+  SAsm a;
+  a.push(0)                                    // acc
+      .push(0)                                 // acc i
+      .to_r();                                 // R:[i]  acc
+  const std::int32_t loop = a.here();
+  a.r_fetch()                                  // acc i
+      .push(4)
+      .mul()                                   // acc 4i
+      .push(static_cast<std::int32_t>(base_a))
+      .add()                                   // acc &a[i]
+      .load()                                  // acc a[i]
+      .r_fetch()                               // acc a[i] i
+      .push(4)
+      .mul()
+      .push(static_cast<std::int32_t>(base_b))
+      .add()                                   // acc a[i] &b[i]
+      .load()                                  // acc a[i] b[i]
+      .mul()                                   // acc prod
+      .add()                                   // acc'
+      .from_r()                                // acc' i
+      .push(1)
+      .add()                                   // acc' i+1
+      .dup()                                   // acc' i+1 i+1
+      .push(n)
+      .eq();                                   // acc' i+1 (i+1==n)
+  const std::int32_t jnz_trick = a.here();
+  // jz jumps when the flag is 0, i.e. while i+1 != n: continue looping.
+  a.jz(0)                                      // acc' i+1
+      .drop()                                  // acc'
+      .push(static_cast<std::int32_t>(result_addr))
+      .store()
+      .halt();
+  const std::int32_t cont_at = a.here();
+  a.patch_imm(jnz_trick, cont_at);
+  a.to_r()                                     // R:[i+1]  acc'
+      .jmp(loop);
+  bundle.code = a.build();
+  return bundle;
+}
+
+StackProgramBundle make_pointer_chase(const std::vector<Addr>& node_addrs,
+                                      Addr result_addr) {
+  EM2_ASSERT(!node_addrs.empty(), "list must have at least one node");
+  StackProgramBundle bundle;
+  bundle.name = "pointer-chase";
+  bundle.result_addr = result_addr;
+  bundle.expected = static_cast<std::uint32_t>(node_addrs.size());
+
+  // Each node holds the address of the next; the last holds 0.
+  for (std::size_t i = 0; i < node_addrs.size(); ++i) {
+    const std::uint32_t next =
+        i + 1 < node_addrs.size()
+            ? static_cast<std::uint32_t>(node_addrs[i + 1])
+            : 0u;
+    bundle.init_memory.emplace_back(node_addrs[i], next);
+  }
+
+  SAsm a;
+  a.push(0)                                            // count
+      .push(static_cast<std::int32_t>(node_addrs[0])); // count p
+  const std::int32_t loop = a.here();
+  a.load()                                             // count next
+      .swap()                                          // next count
+      .push(1)
+      .add()                                           // next count+1
+      .swap()                                          // count+1 next
+      .dup();                                          // count+1 next next
+  const std::int32_t jz_at = a.here();
+  a.jz(0)                                              // count+1 next
+      .jmp(loop);
+  const std::int32_t exit_at = a.here();
+  a.patch_imm(jz_at, exit_at);
+  a.drop()                                             // count (next == 0)
+      .push(static_cast<std::int32_t>(result_addr))
+      .store()
+      .halt();
+  bundle.code = a.build();
+  return bundle;
+}
+
+}  // namespace em2

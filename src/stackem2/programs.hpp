@@ -1,0 +1,47 @@
+// Ready-made stack-ISA programs with known-good results, used by tests,
+// examples, and the stack-EM2 benches.  Each bundle carries the program,
+// its initial memory image, and the externally computed expected result so
+// any run can be verified end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/stack_isa.hpp"
+#include "util/types.hpp"
+
+namespace em2 {
+
+/// A verifiable stack program.
+struct StackProgramBundle {
+  std::string name;
+  SProgram code;
+  /// Initial (address, value) memory image.
+  std::vector<std::pair<Addr, std::uint32_t>> init_memory;
+  /// Where the program writes its result.
+  Addr result_addr = 0;
+  /// The expected value at result_addr after a correct run.
+  std::uint32_t expected = 0;
+};
+
+/// Sums `n` words starting at `base` and stores the sum.  Values are
+/// pseudo-random from `seed`; `stride_bytes` spaces the elements so they
+/// span many placement blocks (and therefore many home cores).
+StackProgramBundle make_array_sum(Addr base, std::int32_t n,
+                                  std::uint32_t stride_bytes,
+                                  Addr result_addr, std::uint64_t seed);
+
+/// Dot product of two `n`-word arrays at `base_a` / `base_b`.
+StackProgramBundle make_dot_product(Addr base_a, Addr base_b,
+                                    std::int32_t n, Addr result_addr,
+                                    std::uint64_t seed);
+
+/// Walks a linked list of `n` nodes (node = one word holding the next
+/// node's address, 0 terminates), counting hops.  `node_addrs` determines
+/// placement spread; nodes are linked in the given order.
+StackProgramBundle make_pointer_chase(const std::vector<Addr>& node_addrs,
+                                      Addr result_addr);
+
+}  // namespace em2

@@ -1,0 +1,192 @@
+#include "stackem2/system.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace em2 {
+
+StackEm2System::StackEm2System(const Mesh& mesh, const CostModel& cost,
+                               const StackEm2Params& params,
+                               std::function<CoreId(Addr)> home_of_block,
+                               StackDepthPolicy& policy)
+    : mesh_(mesh),
+      cost_(cost),
+      params_(params),
+      home_of_block_(std::move(home_of_block)),
+      policy_(policy) {
+  EM2_ASSERT(std::has_single_bit(params.block_bytes),
+             "block size must be a power of two");
+  EM2_ASSERT(params.window >= 4,
+             "window must hold at least 4 entries (max per-instruction "
+             "stack need)");
+}
+
+ThreadId StackEm2System::add_thread(SProgram program, CoreId native) {
+  EM2_ASSERT(native >= 0 && native < mesh_.num_cores(),
+             "native core outside the mesh");
+  Thread th{std::make_unique<StackInterpreter>(std::move(program)),
+            StackContext{}, StackCache(params_.window), native};
+  th.ctx.thread = static_cast<ThreadId>(threads_.size());
+  th.ctx.native_core = native;
+  threads_.push_back(std::move(th));
+  return threads_.back().ctx.thread;
+}
+
+void StackEm2System::poke(Addr addr, std::uint32_t value) {
+  memory_.store(addr, value);
+  // Register with the checker so later checked loads expect this value.
+  checker_.on_store(kNoThread, addr, value, home_of(addr), home_of(addr));
+}
+
+CoreId StackEm2System::home_of(Addr addr) const {
+  const std::uint32_t shift =
+      static_cast<std::uint32_t>(std::countr_zero(params_.block_bytes));
+  return home_of_block_(addr >> shift);
+}
+
+void StackEm2System::migrate(Thread& th, ThreadId /*t*/, CoreId dest,
+                             std::uint32_t need) {
+  const CoreId from = th.location;
+  EM2_ASSERT(from != dest, "migrating to the current core");
+  const CostModelParams& p = cost_.params();
+
+  std::uint32_t carried;
+  if (dest == th.ctx.native_core) {
+    // Going home: carry the whole live window (it belongs in the native
+    // stack memory anyway).
+    carried = th.window.cached();
+  } else {
+    if (from == th.ctx.native_core) {
+      // Departing home: top up the window locally (free) so the policy's
+      // choice is not limited by a momentarily drained window.
+      th.window.refill_to(params_.window);
+    }
+    const std::uint32_t ceiling = th.window.cached();
+    const std::uint32_t floor = std::min(need, ceiling);
+    carried = std::clamp(policy_.choose(need, params_.window), floor,
+                         ceiling);
+    // Flush whatever is not carried.  At the native core the flush is a
+    // local stack-memory write (free); at a remote core the flushed words
+    // travel to the native stack memory.
+    const std::uint32_t flushed = th.window.flush_below(carried);
+    if (from != th.ctx.native_core && flushed > 0) {
+      report_.total_cost += cost_.message(
+          from, th.ctx.native_core,
+          static_cast<std::uint64_t>(flushed) * p.word_bits);
+      report_.counters.inc("flush_messages");
+    }
+  }
+
+  const std::uint64_t ctx_bits =
+      p.pc_bits + static_cast<std::uint64_t>(p.word_bits) * carried;
+  report_.total_cost += cost_.migration_bits(from, dest, ctx_bits);
+  report_.context_bits += ctx_bits;
+  ++report_.migrations;
+  report_.counters.inc("migrations");
+  th.location = dest;
+  if (dest == th.ctx.native_core) {
+    th.window.refill_to(params_.window);  // local, free
+  }
+}
+
+void StackEm2System::apply_stack_motion(Thread& th, ThreadId t,
+                                        const StackDelta& delta) {
+  // Pops (operand consumption).
+  for (std::uint32_t i = 0; i < delta.pops; ++i) {
+    if (th.window.cached() == 0 && th.window.total_depth() > 0 &&
+        th.location != th.ctx.native_core) {
+      // Remote underflow: "the offending thread will automatically
+      // migrate back to its native core."
+      ++report_.forced_returns;
+      report_.counters.inc("underflow_returns");
+      migrate(th, t, th.ctx.native_core, 0);
+    }
+    const StackCacheEvent ev = th.window.pop();
+    if (ev == StackCacheEvent::kRefill) {
+      EM2_ASSERT(th.location == th.ctx.native_core,
+                 "remote refill should have migrated home first");
+    }
+  }
+  // Pushes (results).
+  for (std::uint32_t i = 0; i < delta.pushes; ++i) {
+    if (th.window.cached() == th.window.capacity() &&
+        th.location != th.ctx.native_core) {
+      // Remote overflow: the spill would write native stack memory.
+      ++report_.forced_returns;
+      report_.counters.inc("overflow_returns");
+      migrate(th, t, th.ctx.native_core, 0);
+    }
+    th.window.push();
+  }
+}
+
+StackEm2Report StackEm2System::run(std::uint64_t max_instructions) {
+  report_ = StackEm2Report{};
+  bool running = true;
+  while (running && report_.instructions < max_instructions) {
+    running = false;
+    for (std::size_t ti = 0; ti < threads_.size(); ++ti) {
+      Thread& th = threads_[ti];
+      const auto t = static_cast<ThreadId>(ti);
+      if (th.ctx.halted) {
+        continue;
+      }
+      running = true;
+      for (std::uint32_t budget = 0;
+           budget < params_.instructions_per_turn && !th.ctx.halted;
+           ++budget) {
+        const SStepResult r = th.interp->step(th.ctx);
+        if (r.kind == StepKind::kDone) {
+          break;
+        }
+        ++report_.instructions;
+        if (r.kind != StepKind::kMem) {
+          apply_stack_motion(th, t, r.delta);
+          continue;
+        }
+        // Memory instruction: operand pops happen where the thread is,
+        // then the access executes at the home core (pure EM2), then the
+        // result push (loads) lands at the destination.
+        StackDelta pops_only = r.delta;
+        const std::uint32_t result_pushes =
+            r.mem.op == MemOp::kRead ? 1 : 0;
+        pops_only.pushes -= result_pushes;
+        apply_stack_motion(th, t, pops_only);
+
+        const CoreId home = home_of(r.mem.addr);
+        report_.counters.inc("accesses");
+        if (home != th.location) {
+          migrate(th, t, home, 0);
+        } else {
+          report_.counters.inc("accesses_local");
+        }
+        if (r.mem.op == MemOp::kRead) {
+          const std::uint32_t value = memory_.load(r.mem.addr);
+          checker_.on_load(t, r.mem.addr, value, th.location, home);
+          StackInterpreter::complete_load(th.ctx, value);
+          StackDelta push_only;
+          push_only.pushes = result_pushes;
+          apply_stack_motion(th, t, push_only);
+        } else {
+          memory_.store(r.mem.addr, r.mem.store_value);
+          checker_.on_store(t, r.mem.addr, r.mem.store_value, th.location,
+                            home);
+        }
+      }
+    }
+  }
+
+  bool all_clean = checker_.ok();
+  for (const Thread& th : threads_) {
+    if (th.ctx.fault || !th.ctx.halted) {
+      all_clean = false;
+    }
+  }
+  report_.consistent = all_clean;
+  report_.violations = checker_.violations();
+  return report_;
+}
+
+}  // namespace em2

@@ -1,0 +1,108 @@
+// Execution-driven stack-machine EM2 (Section 4 of the paper).
+//
+// Threads run real stack-ISA programs; every memory access executes at the
+// home core of its address (pure EM2 semantics — there is no remote-access
+// path in stack-EM2).  What migrates is the *stack cache window*: a policy
+// chooses how many top-of-stack entries each migration carries
+// ("a stack-based EM2 architecture can choose to migrate only a portion of
+// the stack cache ... and flush the rest to the stack memory prior to
+// migration"), and window underflow/overflow at a remote core
+// automatically migrates the thread back to its native core, where its
+// stack memory lives.
+//
+// Functional correctness is checked continuously: values flow through a
+// FunctionalMemory and every access is registered with the
+// ConsistencyChecker (single-home invariant + latest-write visibility).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "arch/stack_cache.hpp"
+#include "arch/stack_isa.hpp"
+#include "em2/consistency.hpp"
+#include "geom/mesh.hpp"
+#include "noc/cost_model.hpp"
+#include "optimal/dp_stack.hpp"
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace em2 {
+
+/// Stack-EM2 system configuration.
+struct StackEm2Params {
+  /// Stack-cache window capacity (register slots for top-of-stack).
+  std::uint32_t window = 8;
+  /// Placement block size (line size) for the home map.
+  std::uint32_t block_bytes = 64;
+  /// Per-turn instruction budget per thread (round-robin fairness).
+  std::uint32_t instructions_per_turn = 1;
+};
+
+/// Per-run results.
+struct StackEm2Report {
+  CounterSet counters;
+  Cost total_cost = 0;            ///< network cycles (migrations + flushes)
+  std::uint64_t context_bits = 0; ///< total migrated context bits
+  std::uint64_t migrations = 0;
+  std::uint64_t forced_returns = 0;
+  std::uint64_t instructions = 0;
+  bool consistent = false;
+  std::vector<ConsistencyViolation> violations;
+};
+
+/// Multithreaded stack-EM2 execution engine.
+class StackEm2System {
+ public:
+  /// `home_of_block` maps placement blocks to home cores (bound to a
+  /// Placement by the caller); `policy` chooses per-migration depths.
+  StackEm2System(const Mesh& mesh, const CostModel& cost,
+                 const StackEm2Params& params,
+                 std::function<CoreId(Addr)> home_of_block,
+                 StackDepthPolicy& policy);
+
+  /// Adds a thread running `program`, native to `native` core.
+  ThreadId add_thread(SProgram program, CoreId native);
+
+  /// Pre-writes `value` at `addr` in functional memory (data-segment
+  /// initialization; bypasses the checker's write tracking on purpose --
+  /// it models load-time initialization, so reads of it are checked
+  /// against the initialized value).
+  void poke(Addr addr, std::uint32_t value);
+  std::uint32_t peek(Addr addr) const { return memory_.load(addr); }
+
+  /// Runs round-robin until all threads halt or `max_instructions` retire.
+  /// Returns the report (consistent == true iff no violations and all
+  /// threads halted without faults).
+  StackEm2Report run(std::uint64_t max_instructions);
+
+ private:
+  struct Thread {
+    std::unique_ptr<StackInterpreter> interp;
+    StackContext ctx;
+    StackCache window;
+    CoreId location;
+  };
+
+  CoreId home_of(Addr addr) const;
+  /// Migrates thread `t` to `dest` carrying a policy-chosen depth (at
+  /// least `need` entries).  Updates costs and window occupancy.
+  void migrate(Thread& th, ThreadId t, CoreId dest, std::uint32_t need);
+  /// Applies one instruction's stack motion to the window, handling
+  /// remote underflow/overflow auto-returns.
+  void apply_stack_motion(Thread& th, ThreadId t, const StackDelta& delta);
+
+  Mesh mesh_;
+  CostModel cost_;
+  StackEm2Params params_;
+  std::function<CoreId(Addr)> home_of_block_;
+  StackDepthPolicy& policy_;
+  std::vector<Thread> threads_;
+  FunctionalMemory memory_;
+  ConsistencyChecker checker_;
+  StackEm2Report report_;
+};
+
+}  // namespace em2

@@ -1,0 +1,98 @@
+#include "trace/run_length.hpp"
+
+#include <vector>
+
+namespace em2 {
+
+double RunLengthReport::fraction_accesses_in_len1_runs() const noexcept {
+  if (nonnative_accesses == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(accesses_by_run_length.count(1)) /
+         static_cast<double>(nonnative_accesses);
+}
+
+double RunLengthReport::fraction_len1_returning() const noexcept {
+  if (nonnative_runs_len1 == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(return_to_origin_runs_len1) /
+         static_cast<double>(nonnative_runs_len1);
+}
+
+void RunLengthReport::merge(const RunLengthReport& other) {
+  accesses_by_run_length.merge(other.accesses_by_run_length);
+  runs_by_run_length.merge(other.runs_by_run_length);
+  total_accesses += other.total_accesses;
+  native_accesses += other.native_accesses;
+  nonnative_accesses += other.nonnative_accesses;
+  migrations += other.migrations;
+  nonnative_runs += other.nonnative_runs;
+  nonnative_runs_len1 += other.nonnative_runs_len1;
+  return_to_origin_runs += other.return_to_origin_runs;
+  return_to_origin_runs_len1 += other.return_to_origin_runs_len1;
+}
+
+RunLengthAnalyzer::RunLengthAnalyzer(std::uint64_t max_tracked_run) {
+  report_.accesses_by_run_length = Histogram(max_tracked_run);
+  report_.runs_by_run_length = Histogram(max_tracked_run);
+}
+
+void RunLengthAnalyzer::add_thread(CoreId native,
+                                   std::span<const CoreId> home_sequence) {
+  if (home_sequence.empty()) {
+    return;
+  }
+  report_.total_accesses += home_sequence.size();
+
+  // Compress the home sequence into maximal (core, length) runs.
+  struct Run {
+    CoreId core;
+    std::uint64_t length;
+  };
+  std::vector<Run> runs;
+  for (const CoreId home : home_sequence) {
+    if (!runs.empty() && runs.back().core == home) {
+      ++runs.back().length;
+    } else {
+      runs.push_back(Run{home, 1});
+    }
+  }
+
+  // Walk the runs with pure-EM2 thread-location semantics: the thread
+  // starts at its native core and moves to each run's home core.
+  CoreId location = native;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& run = runs[i];
+    const bool moved_in = run.core != location;
+    const CoreId origin = location;
+    if (moved_in) {
+      ++report_.migrations;
+    }
+    if (run.core != native) {
+      ++report_.nonnative_runs;
+      report_.nonnative_accesses += run.length;
+      report_.accesses_by_run_length.add(run.length, run.length);
+      report_.runs_by_run_length.add(run.length, 1);
+      // Where does the thread go when the run ends?  Under EM2 it migrates
+      // to the next run's home (or is considered parked if the trace ends).
+      const CoreId next_core =
+          i + 1 < runs.size() ? runs[i + 1].core : kNoCore;
+      const bool returns = moved_in && next_core == origin;
+      if (returns) {
+        ++report_.return_to_origin_runs;
+      }
+      if (run.length == 1) {
+        ++report_.nonnative_runs_len1;
+        if (returns) {
+          ++report_.return_to_origin_runs_len1;
+        }
+      }
+    } else {
+      report_.native_accesses += run.length;
+    }
+    location = run.core;
+  }
+}
+
+}  // namespace em2

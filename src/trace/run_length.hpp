@@ -1,0 +1,71 @@
+// Run-length analysis of memory traces — the measurement behind Figure 2
+// of the paper.
+//
+// Given a thread's access sequence mapped to home cores, a *run* is a
+// maximal stretch of consecutive accesses whose addresses share the same
+// home core.  Under pure EM2, each run boundary where the home changes is a
+// thread migration; Figure 2 bins the accesses made at non-native cores by
+// the length of the run they belong to, and observes that roughly half of
+// all non-native accesses sit in runs of length 1 (migrate, touch one word,
+// migrate away again — "usually back to the core from which the first
+// migration originated").
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace em2 {
+
+/// Aggregated run-length measurements (over one or more threads).
+struct RunLengthReport {
+  /// Bin L holds the number of *accesses* belonging to non-native runs of
+  /// length L — exactly Figure 2's y-axis.
+  Histogram accesses_by_run_length{512};
+  /// Bin L holds the number of non-native *runs* of length L.
+  Histogram runs_by_run_length{512};
+
+  std::uint64_t total_accesses = 0;
+  std::uint64_t native_accesses = 0;
+  std::uint64_t nonnative_accesses = 0;
+  /// Thread movements under pure EM2 semantics (every home change moves
+  /// the thread, including moves back to the native core).
+  std::uint64_t migrations = 0;
+  std::uint64_t nonnative_runs = 0;
+  /// Non-native runs of length exactly 1.
+  std::uint64_t nonnative_runs_len1 = 0;
+  /// Non-native runs after which the thread moved straight back to the
+  /// core it occupied before the run.
+  std::uint64_t return_to_origin_runs = 0;
+  /// Same, restricted to runs of length 1 (the paper's "usually back").
+  std::uint64_t return_to_origin_runs_len1 = 0;
+
+  /// Fraction of non-native accesses in runs of length 1 (the paper
+  /// reports "about half").
+  double fraction_accesses_in_len1_runs() const noexcept;
+  /// Fraction of length-1 non-native runs that bounce straight back.
+  double fraction_len1_returning() const noexcept;
+
+  void merge(const RunLengthReport& other);
+};
+
+/// Streaming analyzer: feed one thread at a time.
+class RunLengthAnalyzer {
+ public:
+  /// `max_tracked_run`: run lengths above this land in the histogram
+  /// overflow bin (Figure 2 tracks up to ~58).
+  explicit RunLengthAnalyzer(std::uint64_t max_tracked_run = 512);
+
+  /// Analyzes one thread: `native` is its native core and `home_sequence`
+  /// maps each access (in program order) to the home core of its address.
+  void add_thread(CoreId native, std::span<const CoreId> home_sequence);
+
+  const RunLengthReport& report() const noexcept { return report_; }
+
+ private:
+  RunLengthReport report_;
+};
+
+}  // namespace em2

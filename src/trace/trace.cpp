@@ -1,0 +1,42 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace em2 {
+
+TraceSet::TraceSet(std::uint32_t block_bytes) : block_bytes_(block_bytes) {
+  EM2_ASSERT(block_bytes >= 1 && std::has_single_bit(block_bytes),
+             "block size must be a power of two");
+  block_shift_ = static_cast<std::uint32_t>(std::countr_zero(block_bytes));
+}
+
+void TraceSet::add_thread(ThreadTrace trace) {
+  EM2_ASSERT(trace.thread() == static_cast<ThreadId>(threads_.size()),
+             "thread traces must be added in dense id order");
+  threads_.push_back(std::move(trace));
+}
+
+std::uint64_t TraceSet::total_accesses() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& t : threads_) {
+    total += t.size();
+  }
+  return total;
+}
+
+std::vector<Addr> TraceSet::touched_blocks() const {
+  std::vector<Addr> blocks;
+  for (const auto& t : threads_) {
+    for (const auto& a : t.accesses()) {
+      blocks.push_back(block_of(a.addr));
+    }
+  }
+  std::sort(blocks.begin(), blocks.end());
+  blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+  return blocks;
+}
+
+}  // namespace em2

@@ -1,0 +1,100 @@
+// Memory traces: the substrate of the paper's analytical model.
+//
+// Section 3 of the paper assumes "knowledge of the full memory trace of the
+// application as well as the address-to-core data placement".  A TraceSet
+// holds one ThreadTrace per thread; each access record carries the operation
+// kind, byte address, and the number of non-memory instructions executed
+// since the previous access (used by the execution-driven simulator for
+// timing, and by cost accounting for instructions executed at remote cores).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace em2 {
+
+/// One memory access in a thread's dynamic instruction stream.
+struct Access {
+  Addr addr = 0;
+  MemOp op = MemOp::kRead;
+  /// Non-memory instructions executed after the previous access and before
+  /// this one (the paper's "possibly other non-memory instructions").
+  std::uint32_t gap = 0;
+
+  friend bool operator==(const Access&, const Access&) = default;
+};
+
+/// The dynamic memory-access sequence of a single thread.
+class ThreadTrace {
+ public:
+  ThreadTrace() = default;
+  ThreadTrace(ThreadId thread, CoreId native_core)
+      : thread_(thread), native_core_(native_core) {}
+
+  ThreadId thread() const noexcept { return thread_; }
+
+  /// The core this thread originated on: where its native hardware context
+  /// and (for stack-EM2) its stack memory live.
+  CoreId native_core() const noexcept { return native_core_; }
+
+  void append(Access a) { accesses_.push_back(a); }
+  void append(Addr addr, MemOp op, std::uint32_t gap = 0) {
+    accesses_.push_back(Access{addr, op, gap});
+  }
+
+  std::size_t size() const noexcept { return accesses_.size(); }
+  bool empty() const noexcept { return accesses_.empty(); }
+  const Access& operator[](std::size_t i) const noexcept {
+    return accesses_[i];
+  }
+  std::span<const Access> accesses() const noexcept { return accesses_; }
+
+  void reserve(std::size_t n) { accesses_.reserve(n); }
+
+ private:
+  ThreadId thread_ = kNoThread;
+  CoreId native_core_ = kNoCore;
+  std::vector<Access> accesses_;
+};
+
+/// A whole-application trace: one ThreadTrace per thread, plus the block
+/// (cache-line) size that placement operates on.
+class TraceSet {
+ public:
+  explicit TraceSet(std::uint32_t block_bytes = 64);
+
+  /// Adds a thread trace; thread ids must be dense and added in order.
+  void add_thread(ThreadTrace trace);
+
+  std::size_t num_threads() const noexcept { return threads_.size(); }
+  const ThreadTrace& thread(std::size_t i) const noexcept {
+    return threads_[i];
+  }
+  std::span<const ThreadTrace> threads() const noexcept { return threads_; }
+
+  /// Cache-line size used to map byte addresses to placement blocks.
+  /// Must be a power of two.
+  std::uint32_t block_bytes() const noexcept { return block_bytes_; }
+
+  /// Maps a byte address to its placement block (line) index.
+  Addr block_of(Addr addr) const noexcept {
+    return addr >> block_shift_;
+  }
+
+  /// Total access count across all threads.
+  std::uint64_t total_accesses() const noexcept;
+
+  /// All distinct blocks touched, sorted ascending.
+  std::vector<Addr> touched_blocks() const;
+
+ private:
+  std::uint32_t block_bytes_;
+  std::uint32_t block_shift_;
+  std::vector<ThreadTrace> threads_;
+};
+
+}  // namespace em2

@@ -1,0 +1,192 @@
+#include "trace/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace em2 {
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'E', 'M', '2', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool get(std::istream& is, T& value) {
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(is);
+}
+
+std::optional<TraceSet> fail(const std::string& why) {
+  log_line(LogLevel::kError, "trace load failed: " + why);
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool write_trace_text(std::ostream& os, const TraceSet& traces) {
+  os << "# EM2 memory trace (text format v1)\n";
+  os << "blocksize " << traces.block_bytes() << "\n";
+  for (const auto& t : traces.threads()) {
+    os << "thread " << t.thread() << " native " << t.native_core() << "\n";
+    for (const auto& a : t.accesses()) {
+      os << to_string(a.op) << " " << std::hex << a.addr << std::dec;
+      if (a.gap != 0) {
+        os << " " << a.gap;
+      }
+      os << "\n";
+    }
+  }
+  return static_cast<bool>(os);
+}
+
+std::optional<TraceSet> read_trace_text(std::istream& is) {
+  std::string line;
+  std::uint32_t block_bytes = 64;
+  std::optional<TraceSet> result;
+  std::optional<ThreadTrace> current;
+
+  auto flush_thread = [&]() {
+    if (current) {
+      result->add_thread(std::move(*current));
+      current.reset();
+    }
+  };
+
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string head;
+    ls >> head;
+    if (head == "blocksize") {
+      if (result) {
+        return fail("blocksize after thread data");
+      }
+      if (!(ls >> block_bytes)) {
+        return fail("malformed blocksize line");
+      }
+    } else if (head == "thread") {
+      if (!result) {
+        result.emplace(block_bytes);
+      }
+      flush_thread();
+      ThreadId tid = 0;
+      std::string kw;
+      CoreId native = 0;
+      if (!(ls >> tid >> kw >> native) || kw != "native") {
+        return fail("malformed thread line: " + line);
+      }
+      current.emplace(tid, native);
+    } else if (head == "R" || head == "W") {
+      if (!current) {
+        return fail("access record before any thread line");
+      }
+      Access a;
+      a.op = head == "R" ? MemOp::kRead : MemOp::kWrite;
+      if (!(ls >> std::hex >> a.addr >> std::dec)) {
+        return fail("malformed access line: " + line);
+      }
+      ls >> a.gap;  // optional; absence leaves gap = 0
+      current->append(a);
+    } else {
+      return fail("unknown directive: " + head);
+    }
+  }
+  if (!result) {
+    result.emplace(block_bytes);
+  }
+  flush_thread();
+  return result;
+}
+
+bool write_trace_binary(std::ostream& os, const TraceSet& traces) {
+  os.write(kMagic.data(), kMagic.size());
+  put(os, kVersion);
+  put(os, traces.block_bytes());
+  put(os, static_cast<std::uint32_t>(traces.num_threads()));
+  for (const auto& t : traces.threads()) {
+    put(os, t.thread());
+    put(os, t.native_core());
+    put(os, static_cast<std::uint64_t>(t.size()));
+    for (const auto& a : t.accesses()) {
+      put(os, a.addr);
+      put(os, a.gap);
+      put(os, static_cast<std::uint8_t>(a.op));
+    }
+  }
+  return static_cast<bool>(os);
+}
+
+std::optional<TraceSet> read_trace_binary(std::istream& is) {
+  std::array<char, 4> magic{};
+  is.read(magic.data(), magic.size());
+  if (!is || magic != kMagic) {
+    return fail("bad magic");
+  }
+  std::uint32_t version = 0;
+  std::uint32_t block_bytes = 0;
+  std::uint32_t nthreads = 0;
+  if (!get(is, version) || version != kVersion) {
+    return fail("unsupported version");
+  }
+  if (!get(is, block_bytes) || !get(is, nthreads)) {
+    return fail("truncated header");
+  }
+  TraceSet traces(block_bytes);
+  for (std::uint32_t i = 0; i < nthreads; ++i) {
+    ThreadId tid = 0;
+    CoreId native = 0;
+    std::uint64_t count = 0;
+    if (!get(is, tid) || !get(is, native) || !get(is, count)) {
+      return fail("truncated thread header");
+    }
+    ThreadTrace t(tid, native);
+    t.reserve(count);
+    for (std::uint64_t k = 0; k < count; ++k) {
+      Access a;
+      std::uint8_t op = 0;
+      if (!get(is, a.addr) || !get(is, a.gap) || !get(is, op)) {
+        return fail("truncated access record");
+      }
+      a.op = static_cast<MemOp>(op);
+      t.append(a);
+    }
+    traces.add_thread(std::move(t));
+  }
+  return traces;
+}
+
+bool save_trace(const std::string& path, const TraceSet& traces) {
+  const bool text = path.size() >= 5 &&
+                    path.compare(path.size() - 5, 5, ".em2t") == 0;
+  std::ofstream out(path, text ? std::ios::out : std::ios::binary);
+  if (!out) {
+    log_line(LogLevel::kError, "cannot open trace output: " + path);
+    return false;
+  }
+  return text ? write_trace_text(out, traces)
+              : write_trace_binary(out, traces);
+}
+
+std::optional<TraceSet> load_trace(const std::string& path) {
+  const bool text = path.size() >= 5 &&
+                    path.compare(path.size() - 5, 5, ".em2t") == 0;
+  std::ifstream in(path, text ? std::ios::in : std::ios::binary);
+  if (!in) {
+    return fail("cannot open " + path);
+  }
+  return text ? read_trace_text(in) : read_trace_binary(in);
+}
+
+}  // namespace em2

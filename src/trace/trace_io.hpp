@@ -1,0 +1,41 @@
+// Trace persistence: a line-oriented text format (inspectable, diffable)
+// and a packed binary format (for large traces).
+//
+// Text format:
+//   # comment
+//   blocksize <bytes>
+//   thread <tid> native <core>
+//   <R|W> <hex addr> [gap]
+//
+// Binary format: magic "EM2T", u32 version, u32 block_bytes, u32 nthreads,
+// then per thread: i32 tid, i32 native, u64 count, count * packed records
+// (u64 addr, u32 gap, u8 op).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace em2 {
+
+/// Writes `traces` in the text format.  Returns false on stream failure.
+bool write_trace_text(std::ostream& os, const TraceSet& traces);
+
+/// Parses the text format.  Returns nullopt (with a log line) on malformed
+/// input.
+std::optional<TraceSet> read_trace_text(std::istream& is);
+
+/// Writes `traces` in the packed binary format.
+bool write_trace_binary(std::ostream& os, const TraceSet& traces);
+
+/// Reads the packed binary format.
+std::optional<TraceSet> read_trace_binary(std::istream& is);
+
+/// File-path conveniences; format chosen by extension (".em2t" text,
+/// anything else binary).
+bool save_trace(const std::string& path, const TraceSet& traces);
+std::optional<TraceSet> load_trace(const std::string& path);
+
+}  // namespace em2

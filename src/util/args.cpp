@@ -1,0 +1,79 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+
+namespace em2 {
+
+Args::Args(int argc, const char* const* argv) {
+  if (argc > 0) {
+    program_ = argv[0];
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0 || token.size() <= 2) {
+      errors_.push_back("unrecognized argument: " + token);
+      continue;
+    }
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      values_[token.substr(2)] = "true";
+    } else {
+      values_[token.substr(2, eq - 2)] = token.substr(eq + 1);
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const noexcept {
+  return values_.count(key) != 0;
+}
+
+std::string Args::get_string(const std::string& key,
+                             const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    errors_.push_back("malformed integer for --" + key + ": " + it->second);
+    return def;
+  }
+  return v;
+}
+
+double Args::get_double(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    errors_.push_back("malformed double for --" + key + ": " + it->second);
+    return def;
+  }
+  return v;
+}
+
+bool Args::get_bool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  if (it->second == "true" || it->second == "1") {
+    return true;
+  }
+  if (it->second == "false" || it->second == "0") {
+    return false;
+  }
+  errors_.push_back("malformed bool for --" + key + ": " + it->second);
+  return def;
+}
+
+}  // namespace em2

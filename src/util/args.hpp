@@ -1,0 +1,40 @@
+// Tiny command-line parser for the example programs and benches.
+//
+// Accepts `--key=value` and `--flag` forms only; anything else is reported
+// as an error.  Examples keep their parameter surface small on purpose, so
+// a full-featured CLI library is not warranted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace em2 {
+
+/// Parsed command line: `--key=value` pairs and bare `--flag`s.
+class Args {
+ public:
+  /// Parses argv.  Unknown-format tokens are collected into errors().
+  Args(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const noexcept;
+
+  /// Typed getters with defaults.  A present-but-malformed value counts as
+  /// an error (recorded, default returned).
+  std::string get_string(const std::string& key,
+                         const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  const std::vector<std::string>& errors() const noexcept { return errors_; }
+  const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::vector<std::string> errors_;
+};
+
+}  // namespace em2

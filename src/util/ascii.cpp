@@ -1,0 +1,49 @@
+#include "util/ascii.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace em2 {
+
+std::string ascii_bar(double frac, int width) {
+  frac = std::clamp(frac, 0.0, 1.0);
+  const int n = static_cast<int>(std::lround(frac * width));
+  return std::string(static_cast<std::size_t>(n), '#');
+}
+
+void print_histogram_bars(std::ostream& os, const Histogram& h,
+                          int bar_width, std::uint64_t max_bin) {
+  if (h.total() == 0) {
+    os << "(empty histogram)\n";
+    return;
+  }
+  const std::uint64_t top =
+      max_bin == 0 ? h.max_bin_used() : std::min(max_bin, h.max_bin_used());
+  std::uint64_t peak = 1;
+  for (std::uint64_t b = 0; b <= top; ++b) {
+    peak = std::max(peak, h.count(b));
+  }
+  std::uint64_t folded = 0;
+  for (std::uint64_t b = top + 1; b < h.bins().size(); ++b) {
+    folded += h.bins()[static_cast<std::size_t>(b)];
+  }
+  for (std::uint64_t b = 0; b <= top; ++b) {
+    const std::uint64_t count = h.count(b);
+    if (count == 0) {
+      continue;
+    }
+    os << b << "\t" << count << "\t"
+       << ascii_bar(static_cast<double>(count) / static_cast<double>(peak),
+                    bar_width)
+       << "\n";
+  }
+  if (folded > 0) {
+    os << ">" << top << "\t" << folded << "\t"
+       << ascii_bar(static_cast<double>(folded) / static_cast<double>(peak),
+                    bar_width)
+       << "\n";
+  }
+}
+
+}  // namespace em2

@@ -1,0 +1,21 @@
+// ASCII chart helpers: horizontal bars and histogram rendering for the
+// example programs and benches (the closest a terminal gets to Figure 2).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace em2 {
+
+/// A bar of '#' characters: round(frac * width), clamped to [0, width].
+std::string ascii_bar(double frac, int width);
+
+/// Renders a histogram as one bar row per non-empty bin:
+///   <bin>  <count>  <bar scaled to the largest bin>
+/// Bins above max_bin (if non-zero) are folded into a final ">max" row.
+void print_histogram_bars(std::ostream& os, const Histogram& h,
+                          int bar_width = 50, std::uint64_t max_bin = 0);
+
+}  // namespace em2

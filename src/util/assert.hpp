@@ -1,0 +1,28 @@
+// Always-on assertion macro for simulator invariants.
+//
+// Simulator bugs silently corrupt statistics, so invariants stay enabled in
+// release builds; the cost is negligible next to the simulation itself.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace em2::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "EM2 assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg);
+  std::abort();
+}
+
+}  // namespace em2::detail
+
+/// Always-enabled invariant check.  `msg` is a C-string literal giving the
+/// architectural meaning of the violated invariant.
+#define EM2_ASSERT(cond, msg)                                       \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::em2::detail::assert_fail(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                               \
+  } while (false)

@@ -1,0 +1,30 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and mostly silent; logging exists for
+// example programs and debugging protocol traces.  No global mutable state
+// beyond a single level knob; output goes to stderr so that bench/CSV output
+// on stdout stays machine-readable.
+#pragma once
+
+#include <string_view>
+
+namespace em2 {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+/// Sets the global log threshold (messages above it are dropped).
+void set_log_level(LogLevel level) noexcept;
+
+/// Current global log threshold.
+LogLevel log_level() noexcept;
+
+/// Writes one formatted line ("[level] message\n") to stderr if `level` is
+/// at or below the global threshold.
+void log_line(LogLevel level, std::string_view message);
+
+}  // namespace em2

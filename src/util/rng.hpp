@@ -1,0 +1,111 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the simulator draws from an explicitly
+// seeded Rng instance that is passed in by the owner — there is no global
+// generator, so identical configurations always produce identical runs
+// regardless of thread scheduling or module initialization order.
+//
+// The generator is xoshiro256** (Blackman & Vigna), seeded through
+// splitmix64 as its authors recommend.  It is far faster than the standard
+// <random> engines and has no observable statistical defects at simulator
+// scale.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace em2 {
+
+/// xoshiro256** PRNG with convenience draws used across the simulator.
+class Rng {
+ public:
+  /// Seeds the state deterministically from a single 64-bit seed via
+  /// splitmix64 (guarantees a non-zero state for any seed).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      word = splitmix64(x);
+    }
+  }
+
+  /// Uniform 64-bit draw.
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  `bound` must be positive.  Uses
+  /// rejection sampling (Lemire) to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    EM2_ASSERT(bound > 0, "next_below requires a positive bound");
+    // Lemire's multiply-shift with rejection on the low word.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the closed interval [lo, hi].
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept {
+    EM2_ASSERT(lo <= hi, "next_in requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability `p` (clamped to [0,1]).
+  bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// Geometric draw: number of Bernoulli(p) trials up to and including the
+  /// first success, in [1, inf).  `p` must be in (0, 1].  Used by run-length
+  /// workload generators.
+  std::uint64_t next_geometric(double p) noexcept {
+    EM2_ASSERT(p > 0.0 && p <= 1.0, "geometric parameter out of (0,1]");
+    std::uint64_t n = 1;
+    while (!next_bool(p)) {
+      ++n;
+    }
+    return n;
+  }
+
+  /// Forks an independent generator: draws a fresh seed from this one.
+  /// Children of distinct draws are statistically independent streams.
+  Rng fork() noexcept { return Rng(next_u64()); }
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  static std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace em2

@@ -1,0 +1,130 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace em2 {
+
+void RunningStat::add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+double RunningStat::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  mean_ += delta * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(std::uint64_t max_tracked)
+    : bins_(max_tracked + 2, 0) {
+  EM2_ASSERT(max_tracked >= 1, "histogram needs at least one exact bin");
+}
+
+void Histogram::add(std::uint64_t value, std::uint64_t weight) {
+  const std::uint64_t clamped =
+      std::min<std::uint64_t>(value, bins_.size() - 1);
+  bins_[clamped] += weight;
+  total_ += weight;
+  weighted_sum_ +=
+      static_cast<double>(clamped) * static_cast<double>(weight);
+}
+
+std::uint64_t Histogram::count(std::uint64_t value) const noexcept {
+  const std::uint64_t clamped =
+      std::min<std::uint64_t>(value, bins_.size() - 1);
+  return bins_[clamped];
+}
+
+double Histogram::mean() const noexcept {
+  return total_ ? weighted_sum_ / static_cast<double>(total_) : 0.0;
+}
+
+std::uint64_t Histogram::max_bin_used() const noexcept {
+  for (std::size_t i = bins_.size(); i-- > 0;) {
+    if (bins_[i] != 0) {
+      return static_cast<std::uint64_t>(i);
+    }
+  }
+  return 0;
+}
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // At least one sample must lie at or below the answer, so q = 0 yields
+  // the smallest non-empty bin.
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    cumulative += bins_[i];
+    if (cumulative >= target) {
+      return static_cast<std::uint64_t>(i);
+    }
+  }
+  return static_cast<std::uint64_t>(bins_.size() - 1);
+}
+
+double Histogram::fraction_at(std::uint64_t value) const noexcept {
+  return total_ ? static_cast<double>(count(value)) /
+                      static_cast<double>(total_)
+                : 0.0;
+}
+
+void Histogram::merge(const Histogram& other) {
+  EM2_ASSERT(bins_.size() == other.bins_.size(),
+             "merging histograms with different bin counts");
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    bins_[i] += other.bins_[i];
+  }
+  total_ += other.total_;
+  weighted_sum_ += other.weighted_sum_;
+}
+
+std::uint64_t CounterSet::get(const std::string& name) const noexcept {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void CounterSet::merge(const CounterSet& other) {
+  for (const auto& [name, value] : other.all()) {
+    counters_[name] += value;
+  }
+}
+
+}  // namespace em2

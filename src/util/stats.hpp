@@ -1,0 +1,101 @@
+// Statistics primitives used by simulators and the bench harness.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace em2 {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+/// Numerically stable for billions of samples.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStat& other) noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Dense integer-keyed histogram with automatic growth, used for
+/// run-length distributions (paper Figure 2), packet latencies, etc.
+/// Bin `i` counts samples with value exactly `i`; values beyond
+/// `max_tracked` are clamped into the final overflow bin.
+class Histogram {
+ public:
+  /// `max_tracked`: largest value counted exactly; larger samples land in
+  /// the overflow bin at index `max_tracked + 1`.
+  explicit Histogram(std::uint64_t max_tracked = 1024);
+
+  void add(std::uint64_t value, std::uint64_t weight = 1);
+
+  /// Count in bin `value` (clamped to the overflow bin).
+  std::uint64_t count(std::uint64_t value) const noexcept;
+  std::uint64_t overflow_count() const noexcept { return bins_.back(); }
+  std::uint64_t total() const noexcept { return total_; }
+  /// Sum of value*count using the clamped values (overflow counted at
+  /// max_tracked+1); exact when no sample overflowed.
+  double weighted_sum() const noexcept { return weighted_sum_; }
+  double mean() const noexcept;
+  std::uint64_t max_tracked() const noexcept { return bins_.size() - 2; }
+
+  /// Largest value with a non-zero count (clamped); 0 if empty.
+  std::uint64_t max_bin_used() const noexcept;
+
+  /// Smallest v such that at least `q` (in [0,1]) of the mass lies at or
+  /// below v.  Overflowed samples count at max_tracked+1.
+  std::uint64_t quantile(double q) const noexcept;
+
+  /// Fraction of samples equal to `value` (0 if empty).
+  double fraction_at(std::uint64_t value) const noexcept;
+
+  void merge(const Histogram& other);
+
+  /// Read-only view of all bins including the final overflow bin.
+  const std::vector<std::uint64_t>& bins() const noexcept { return bins_; }
+
+ private:
+  std::vector<std::uint64_t> bins_;  // size max_tracked + 2
+  std::uint64_t total_ = 0;
+  double weighted_sum_ = 0.0;
+};
+
+/// Named monotonically increasing counters, for protocol event accounting
+/// (migrations, evictions, remote accesses, ...).  Iteration order is
+/// deterministic (sorted by name).
+class CounterSet {
+ public:
+  void inc(const std::string& name, std::uint64_t by = 1) {
+    counters_[name] += by;
+  }
+  std::uint64_t get(const std::string& name) const noexcept;
+  const std::map<std::string, std::uint64_t>& all() const noexcept {
+    return counters_;
+  }
+  void merge(const CounterSet& other);
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace em2

@@ -1,0 +1,113 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace em2 {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  EM2_ASSERT(!header_.empty(), "table requires at least one column");
+}
+
+Table& Table::begin_row() {
+  rows_.emplace_back();
+  rows_.back().reserve(header_.size());
+  return *this;
+}
+
+Table& Table::add_cell(std::string value) {
+  EM2_ASSERT(!rows_.empty(), "add_cell before begin_row");
+  EM2_ASSERT(rows_.back().size() < header_.size(),
+             "row has more cells than the header has columns");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::add_cell(const char* value) {
+  return add_cell(std::string(value));
+}
+
+Table& Table::add_cell(std::uint64_t value) {
+  return add_cell(std::to_string(value));
+}
+
+Table& Table::add_cell(std::int64_t value) {
+  return add_cell(std::to_string(value));
+}
+
+Table& Table::add_cell(int value) { return add_cell(std::to_string(value)); }
+
+Table& Table::add_cell(double value, int precision) {
+  return add_cell(format_double(value, precision));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[c])) << cell;
+      if (c + 1 < header_.size()) {
+        os << "  ";
+      }
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t underline = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    underline += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(underline, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << ',';
+      }
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    log_line(LogLevel::kError, "cannot open CSV output: " + path);
+    return false;
+  }
+  print_csv(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace em2

@@ -1,0 +1,49 @@
+// Tabular output for the bench harness: aligned text tables on stdout
+// (matching the rows/series the paper reports) plus optional CSV emission
+// for plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace em2 {
+
+/// A simple column-aligned table builder.  Cells are strings; numeric
+/// convenience overloads format with sensible defaults.  Rendering pads
+/// each column to its widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add_cell calls append to it.
+  Table& begin_row();
+  Table& add_cell(std::string value);
+  Table& add_cell(const char* value);
+  Table& add_cell(std::uint64_t value);
+  Table& add_cell(std::int64_t value);
+  Table& add_cell(int value);
+  /// Doubles are rendered with `precision` digits after the point.
+  Table& add_cell(double value, int precision = 3);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders as an aligned text table with a header underline.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (no quoting needed for our cell content).
+  void print_csv(std::ostream& os) const;
+
+  /// Writes CSV to `path`; returns false (and logs) on IO failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with fixed `precision` (helper shared with benches).
+std::string format_double(double value, int precision);
+
+}  // namespace em2

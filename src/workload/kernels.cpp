@@ -1,0 +1,376 @@
+#include "workload/kernels.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace em2::workload {
+namespace {
+
+constexpr Addr kWord = 4;  // 32-bit words
+
+/// Address-space layout shared by the kernels: disjoint regions so
+/// first-touch ownership is unambiguous.
+constexpr Addr kGridBase = 0x1000'0000;     // ocean grid
+constexpr Addr kGhostBase = 0x2000'0000;    // per-thread ghost rows
+constexpr Addr kReduceBase = 0x3000'0000;   // global accumulators
+constexpr Addr kMatrixBase = 0x4000'0000;   // transpose/LU matrices
+constexpr Addr kBucketBase = 0x5000'0000;   // radix buckets
+constexpr Addr kTreeBase = 0x6000'0000;     // barnes tree nodes
+constexpr Addr kPrivateBase = 0x7000'0000;  // per-thread private heaps
+constexpr Addr kPrivateStride = 0x0010'0000;
+
+Addr private_word(std::int32_t thread, std::int64_t index) {
+  return kPrivateBase + static_cast<Addr>(thread) * kPrivateStride +
+         static_cast<Addr>(index) * kWord;
+}
+
+}  // namespace
+
+TraceSet make_ocean(const OceanParams& p) {
+  EM2_ASSERT(p.threads >= 2, "ocean needs at least two threads");
+  EM2_ASSERT(p.rows_per_thread >= 2, "each thread needs >= 2 rows");
+  EM2_ASSERT(p.cols >= 4, "rows must have at least 4 columns");
+
+  TraceSet traces(p.block_bytes);
+  const std::int32_t R = p.rows_per_thread;  // rows per partition
+  const std::int32_t C = p.cols;
+  auto grid = [&](std::int64_t row, std::int64_t col) {
+    return kGridBase + (row * C + col) * static_cast<Addr>(kWord);
+  };
+
+  Rng seed_rng(p.seed);
+  for (std::int32_t t = 0; t < p.threads; ++t) {
+    Rng rng = seed_rng.fork();
+    ThreadTrace trace(t, t);
+    const std::int64_t row0 = static_cast<std::int64_t>(t) * R;
+
+    // --- Init: first-touch my rows, ghost rows, and (thread 0 only) the
+    // global accumulator.  This ordering makes first-touch ownership
+    // deterministic under the round-robin interleave.
+    if (t == 0) {
+      trace.append(kReduceBase, MemOp::kWrite, 1);
+    }
+    for (std::int32_t r = 0; r < R; ++r) {
+      for (std::int32_t c = 0; c < C; ++c) {
+        trace.append(grid(row0 + r, c), MemOp::kWrite, 2);
+      }
+    }
+    for (std::int32_t c = 0; c < 2 * C; ++c) {
+      trace.append(private_word(t, c), MemOp::kWrite, 1);
+    }
+
+    // --- Iterations.
+    for (std::int32_t iter = 0; iter < p.iterations; ++iter) {
+      // (a) Boundary exchange: copy neighbours' boundary rows into private
+      // ghost rows in batches.  The batched remote reads form the long
+      // non-native runs of Figure 2.
+      const bool has_north = t > 0;
+      const bool has_south = t + 1 < p.threads;
+      for (int side = 0; side < 2; ++side) {
+        if ((side == 0 && !has_north) || (side == 1 && !has_south)) {
+          continue;
+        }
+        const std::int64_t src_row = side == 0 ? row0 - 1 : row0 + R;
+        const std::int64_t ghost_index = side == 0 ? 0 : C;
+        std::int32_t c = 0;
+        while (c < C) {
+          // Batch size varies, producing a spectrum of run lengths
+          // (OCEAN's histogram tail in Figure 2 reaches ~58).
+          static constexpr std::int32_t kBatches[] = {4, 8, 12, 16,
+                                                      24, 32, 48};
+          const auto batch = static_cast<std::int32_t>(
+              kBatches[rng.next_below(std::size(kBatches))]);
+          const std::int32_t end = std::min(C, c + batch);
+          for (std::int32_t i = c; i < end; ++i) {
+            trace.append(grid(src_row, i), MemOp::kRead, 1);
+          }
+          for (std::int32_t i = c; i < end; ++i) {
+            trace.append(private_word(t, ghost_index + i), MemOp::kWrite, 1);
+          }
+          c = end;
+        }
+      }
+
+      // (b) Red-black stencil sweeps over the partition (both colours per
+      // iteration, as OCEAN's relaxation does).  Interior rows are fully
+      // local; the first/last rows read the neighbour's boundary row
+      // word-by-word, interleaved with local accesses -> run length 1.
+      for (std::int32_t colour = 0; colour < 2; ++colour)
+      for (std::int32_t r = 0; r < R; ++r) {
+        const std::int64_t row = row0 + r;
+        const std::int32_t parity = (colour + r) & 1;
+        for (std::int32_t c = 1 + parity; c < C - 1; c += 2) {
+          // North read: remote for the first row of the partition.
+          if (r == 0) {
+            if (has_north) {
+              trace.append(grid(row - 1, c), MemOp::kRead, 1);
+            }
+          } else {
+            trace.append(grid(row - 1, c), MemOp::kRead, 1);
+          }
+          // West / East / Center reads: always within my rows.
+          trace.append(grid(row, c - 1), MemOp::kRead, 1);
+          trace.append(grid(row, c + 1), MemOp::kRead, 1);
+          trace.append(grid(row, c), MemOp::kRead, 1);
+          // South read: remote for the last row of the partition.
+          if (r == R - 1) {
+            if (has_south) {
+              trace.append(grid(row + 1, c), MemOp::kRead, 1);
+            }
+          } else {
+            trace.append(grid(row + 1, c), MemOp::kRead, 1);
+          }
+          // Center update.
+          trace.append(grid(row, c), MemOp::kWrite, 3);
+        }
+      }
+
+      // (c) Convergence reduction: read-modify-write of the global
+      // accumulator homed at thread 0 (run length 2 at core 0).
+      trace.append(kReduceBase, MemOp::kRead, 2);
+      trace.append(kReduceBase, MemOp::kWrite, 1);
+    }
+    traces.add_thread(std::move(trace));
+  }
+  return traces;
+}
+
+TraceSet make_transpose(const TransposeParams& p) {
+  EM2_ASSERT(p.threads >= 2, "transpose needs at least two threads");
+  TraceSet traces(p.block_bytes);
+  const std::int32_t W = p.words_per_block;
+  const std::int32_t B = p.blocks_per_thread;
+  // Matrix of (threads*B) x W words, block-row b owned by thread b / B.
+  auto word = [&](std::int64_t block_row, std::int64_t i) {
+    return kMatrixBase + (block_row * W + i) * static_cast<Addr>(kWord);
+  };
+
+  for (std::int32_t t = 0; t < p.threads; ++t) {
+    ThreadTrace trace(t, t);
+    // Init: first-touch my block rows.
+    for (std::int32_t b = 0; b < B; ++b) {
+      for (std::int32_t i = 0; i < W; ++i) {
+        trace.append(word(static_cast<std::int64_t>(t) * B + b, i),
+                     MemOp::kWrite, 1);
+      }
+    }
+    for (std::int32_t iter = 0; iter < p.iterations; ++iter) {
+      // Transpose step: read one block from every other thread's
+      // partition (a W-word non-native run each), writing into private
+      // scratch between runs.
+      for (std::int32_t src = 0; src < p.threads; ++src) {
+        if (src == t) {
+          continue;
+        }
+        const std::int64_t remote_row =
+            static_cast<std::int64_t>(src) * B + (t % B);
+        for (std::int32_t i = 0; i < W; ++i) {
+          trace.append(word(remote_row, i), MemOp::kRead, 1);
+        }
+        for (std::int32_t i = 0; i < W; ++i) {
+          trace.append(private_word(t, i), MemOp::kWrite, 1);
+        }
+      }
+      // Local recombination pass.
+      for (std::int32_t b = 0; b < B; ++b) {
+        for (std::int32_t i = 0; i < W; ++i) {
+          trace.append(word(static_cast<std::int64_t>(t) * B + b, i),
+                       MemOp::kWrite, 2);
+        }
+      }
+    }
+    traces.add_thread(std::move(trace));
+  }
+  return traces;
+}
+
+TraceSet make_lu(const LuParams& p) {
+  EM2_ASSERT(p.threads >= 2, "lu needs at least two threads");
+  TraceSet traces(p.block_bytes);
+  const std::int32_t W = p.block_words;
+  // Pivot blocks: pivot k owned by thread k % threads.
+  auto pivot_word = [&](std::int64_t k, std::int64_t i) {
+    return kMatrixBase + (k * W + i) * static_cast<Addr>(kWord);
+  };
+
+  for (std::int32_t t = 0; t < p.threads; ++t) {
+    ThreadTrace trace(t, t);
+    // Init: first-touch the pivot blocks I own and my private panel.
+    for (std::int32_t k = 0; k < p.steps; ++k) {
+      if (k % p.threads == t) {
+        for (std::int32_t i = 0; i < W; ++i) {
+          trace.append(pivot_word(k, i), MemOp::kWrite, 1);
+        }
+      }
+    }
+    for (std::int32_t i = 0; i < W; ++i) {
+      trace.append(private_word(t, i), MemOp::kWrite, 1);
+    }
+
+    for (std::int32_t k = 0; k < p.steps; ++k) {
+      const std::int32_t owner = k % p.threads;
+      if (owner == t) {
+        // Factor the pivot block locally.
+        for (std::int32_t i = 0; i < W; ++i) {
+          trace.append(pivot_word(k, i), MemOp::kRead, 2);
+          trace.append(pivot_word(k, i), MemOp::kWrite, 2);
+        }
+      } else {
+        // Read the pivot row (long non-native run at the owner), then
+        // update my private panel locally.
+        for (std::int32_t i = 0; i < W; ++i) {
+          trace.append(pivot_word(k, i), MemOp::kRead, 1);
+        }
+        for (std::int32_t i = 0; i < W; ++i) {
+          trace.append(private_word(t, i), MemOp::kRead, 1);
+          trace.append(private_word(t, i), MemOp::kWrite, 2);
+        }
+      }
+    }
+    traces.add_thread(std::move(trace));
+  }
+  return traces;
+}
+
+TraceSet make_radix(const RadixParams& p) {
+  EM2_ASSERT(p.threads >= 2, "radix needs at least two threads");
+  TraceSet traces(p.block_bytes);
+  // Buckets striped across threads by block so that bucket b is homed at
+  // core (b * block stride) % threads under first touch: we make thread t
+  // first-touch every bucket whose index maps to it.
+  const auto words_per_block =
+      static_cast<std::int32_t>(p.block_bytes / kWord);
+  auto bucket_word = [&](std::int64_t b) {
+    return kBucketBase + b * static_cast<Addr>(kWord);
+  };
+  auto bucket_owner = [&](std::int64_t b) {
+    return static_cast<std::int32_t>((b / words_per_block) % p.threads);
+  };
+
+  Rng seed_rng(p.seed);
+  for (std::int32_t t = 0; t < p.threads; ++t) {
+    Rng rng = seed_rng.fork();
+    ThreadTrace trace(t, t);
+    // Init: first-touch my keys and my share of the buckets.
+    for (std::int32_t i = 0; i < p.keys_per_thread; ++i) {
+      trace.append(private_word(t, i), MemOp::kWrite, 1);
+    }
+    for (std::int64_t b = 0; b < p.buckets; ++b) {
+      if (bucket_owner(b) == t) {
+        trace.append(bucket_word(b), MemOp::kWrite, 1);
+      }
+    }
+    // Histogram phase: read a key (local), increment its bucket
+    // (read-modify-write, usually remote: run length 2).
+    for (std::int32_t i = 0; i < p.keys_per_thread; ++i) {
+      trace.append(private_word(t, i), MemOp::kRead, 1);
+      const auto b =
+          static_cast<std::int64_t>(rng.next_below(
+              static_cast<std::uint64_t>(p.buckets)));
+      trace.append(bucket_word(b), MemOp::kRead, 1);
+      trace.append(bucket_word(b), MemOp::kWrite, 1);
+    }
+    // Rank read-back phase: scan all buckets (runs of words_per_block at
+    // each owner).
+    for (std::int64_t b = 0; b < p.buckets; ++b) {
+      trace.append(bucket_word(b), MemOp::kRead, 1);
+    }
+    traces.add_thread(std::move(trace));
+  }
+  return traces;
+}
+
+TraceSet make_barnes(const BarnesParams& p) {
+  EM2_ASSERT(p.threads >= 2, "barnes needs at least two threads");
+  TraceSet traces(p.block_bytes);
+  const auto words_per_block =
+      static_cast<std::int32_t>(p.block_bytes / kWord);
+  // Tree nodes: node n owned (first-touched) by thread (n / wpb) % T.
+  auto node_word = [&](std::int64_t n) {
+    return kTreeBase + n * static_cast<Addr>(kWord);
+  };
+  const std::int64_t total_nodes =
+      static_cast<std::int64_t>(p.threads) * p.bodies_per_thread;
+
+  Rng seed_rng(p.seed);
+  for (std::int32_t t = 0; t < p.threads; ++t) {
+    Rng rng = seed_rng.fork();
+    ThreadTrace trace(t, t);
+    // Init: my bodies (private) and my share of tree nodes.
+    for (std::int32_t i = 0; i < p.bodies_per_thread; ++i) {
+      trace.append(private_word(t, i), MemOp::kWrite, 1);
+    }
+    for (std::int64_t n = 0; n < total_nodes; ++n) {
+      if ((n / words_per_block) % p.threads == t) {
+        trace.append(node_word(n), MemOp::kWrite, 1);
+      }
+    }
+    for (std::int32_t iter = 0; iter < p.iterations; ++iter) {
+      for (std::int32_t body = 0; body < p.bodies_per_thread; ++body) {
+        // Load the body (local).
+        trace.append(private_word(t, body), MemOp::kRead, 1);
+        // Walk pseudo-random tree nodes; short bursts at each owner
+        // (1-3 consecutive words of one node).
+        for (std::int32_t w = 0; w < p.nodes_per_walk; ++w) {
+          const auto n = static_cast<std::int64_t>(
+              rng.next_below(static_cast<std::uint64_t>(total_nodes)));
+          const auto burst =
+              static_cast<std::int32_t>(1 + rng.next_below(3));
+          for (std::int32_t i = 0; i < burst; ++i) {
+            trace.append(node_word((n + i) % total_nodes), MemOp::kRead, 1);
+          }
+        }
+        // Update the body (local).
+        trace.append(private_word(t, body), MemOp::kWrite, 2);
+      }
+    }
+    traces.add_thread(std::move(trace));
+  }
+  return traces;
+}
+
+TraceSet make_table_lookup(const TableLookupParams& p) {
+  EM2_ASSERT(p.threads >= 2, "table-lookup needs at least two threads");
+  TraceSet traces(p.block_bytes);
+  const auto words_per_block =
+      static_cast<std::int64_t>(p.block_bytes / kWord);
+  auto table_word = [&](std::int64_t block, std::int64_t word) {
+    return kTreeBase + (block * words_per_block + word) * kWord;
+  };
+
+  Rng seed_rng(p.seed);
+  for (std::int32_t t = 0; t < p.threads; ++t) {
+    Rng rng = seed_rng.fork();
+    ThreadTrace trace(t, t);
+    if (t == 0) {
+      // Thread 0 builds the table once; it is never written again, so
+      // the whole table classifies as read-only replicable.
+      for (std::int64_t b = 0; b < p.table_blocks; ++b) {
+        for (std::int64_t w = 0; w < words_per_block; ++w) {
+          trace.append(table_word(b, w), MemOp::kWrite, 1);
+        }
+      }
+    }
+    for (std::int64_t i = 0; i < 64; ++i) {
+      trace.append(private_word(t, i), MemOp::kWrite, 1);
+    }
+    for (std::int32_t i = 0; i < p.lookups_per_thread; ++i) {
+      // Read a key (local), probe 1-3 consecutive table words (shared,
+      // read-only), write the result (local).
+      trace.append(private_word(t, i % 64), MemOp::kRead, 1);
+      const auto b = static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(p.table_blocks)));
+      const auto probes = static_cast<std::int64_t>(1 + rng.next_below(3));
+      for (std::int64_t w = 0; w < probes; ++w) {
+        trace.append(table_word(b, w % words_per_block), MemOp::kRead, 1);
+      }
+      trace.append(private_word(t, 64 + (i % 64)), MemOp::kWrite, 2);
+    }
+    traces.add_thread(std::move(trace));
+  }
+  return traces;
+}
+
+}  // namespace em2::workload

@@ -1,0 +1,104 @@
+// SPLASH-2-like workload kernels.
+//
+// The paper evaluates on SPLASH-2 traced through Graphite; neither is
+// available here, so each kernel below *implements the memory-access
+// behaviour* of its SPLASH-2 counterpart directly (same sharing structure,
+// same phase sequence), generating per-thread access traces that are then
+// placed first-touch, exactly like the paper's setup.  DESIGN.md section 2
+// records this substitution.
+//
+// All kernels assume thread t is native to core t.  Addresses are 4-byte
+// words; shared structures live at fixed bases, private data in per-thread
+// regions, so first-touch placement reproduces the natural ownership.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace em2::workload {
+
+/// OCEAN-like red-black stencil solver (the paper's Figure 2 workload).
+///
+/// Structure per iteration and thread:
+///   * stencil sweep over the thread's contiguous row partition: interior
+///     rows are fully local; the first/last rows read north/south neighbour
+///     rows owned by adjacent threads -> isolated non-native accesses
+///     (run length 1, returning straight home — the paper's "about half");
+///   * boundary-row exchange: batched copies of neighbour boundary rows
+///     into private ghost rows -> long non-native runs (the other half);
+///   * a global convergence reduction homed at thread 0.
+struct OceanParams {
+  std::int32_t threads = 64;
+  std::int32_t rows_per_thread = 4;
+  std::int32_t cols = 64;          ///< words per row
+  std::int32_t iterations = 4;
+  std::uint32_t block_bytes = 64;
+  std::uint64_t seed = 1;
+};
+TraceSet make_ocean(const OceanParams& p);
+
+/// FFT-like transpose: threads fill private row blocks, then read
+/// column-strided blocks owned by every other thread (medium non-native
+/// runs), then write locally.
+struct TransposeParams {
+  std::int32_t threads = 16;
+  std::int32_t words_per_block = 16;
+  std::int32_t blocks_per_thread = 8;
+  std::int32_t iterations = 2;
+  std::uint32_t block_bytes = 64;
+  std::uint64_t seed = 1;
+};
+TraceSet make_transpose(const TransposeParams& p);
+
+/// LU-like blocked factorization: round-robin pivot ownership; every
+/// other thread reads the pivot row (long non-native runs at one core per
+/// step) and updates its own blocks locally.
+struct LuParams {
+  std::int32_t threads = 16;
+  std::int32_t block_words = 32;
+  std::int32_t steps = 8;
+  std::uint32_t block_bytes = 64;
+  std::uint64_t seed = 1;
+};
+TraceSet make_lu(const LuParams& p);
+
+/// RADIX-like histogram: local key reads interleaved with increments of
+/// globally distributed bucket counters (non-native run length ~2:
+/// read-modify-write of one counter, scattered across cores).
+struct RadixParams {
+  std::int32_t threads = 16;
+  std::int32_t keys_per_thread = 256;
+  std::int32_t buckets = 64;
+  std::uint32_t block_bytes = 64;
+  std::uint64_t seed = 1;
+};
+TraceSet make_radix(const RadixParams& p);
+
+/// BARNES-like irregular tree walk: local body updates interleaved with
+/// short bursts of reads of tree nodes owned by pseudo-random cores.
+struct BarnesParams {
+  std::int32_t threads = 16;
+  std::int32_t bodies_per_thread = 64;
+  std::int32_t nodes_per_walk = 8;
+  std::int32_t iterations = 2;
+  std::uint32_t block_bytes = 64;
+  std::uint64_t seed = 1;
+};
+TraceSet make_barnes(const BarnesParams& p);
+
+/// Table lookup: a shared read-only table initialized once by thread 0,
+/// then hot-read by everyone (with local key reads and result writes in
+/// between).  The showcase for program-level read-only replication: under
+/// plain EM2 every table read migrates to thread 0's region; with
+/// replication they are all local.
+struct TableLookupParams {
+  std::int32_t threads = 16;
+  std::int32_t table_blocks = 64;
+  std::int32_t lookups_per_thread = 512;
+  std::uint32_t block_bytes = 64;
+  std::uint64_t seed = 1;
+};
+TraceSet make_table_lookup(const TableLookupParams& p);
+
+}  // namespace em2::workload

@@ -1,0 +1,101 @@
+#include "workload/registry.hpp"
+
+#include "workload/kernels.hpp"
+#include "workload/synthetic.hpp"
+
+namespace em2::workload {
+
+std::optional<TraceSet> make_by_name(const std::string& name,
+                                     std::int32_t threads,
+                                     std::int32_t scale,
+                                     std::uint64_t seed) {
+  if (scale < 1) {
+    scale = 1;
+  }
+  if (name == "ocean") {
+    OceanParams p;
+    p.threads = threads;
+    p.iterations = 2 * scale;
+    p.seed = seed;
+    return make_ocean(p);
+  }
+  if (name == "transpose") {
+    TransposeParams p;
+    p.threads = threads;
+    p.iterations = scale;
+    p.seed = seed;
+    return make_transpose(p);
+  }
+  if (name == "lu") {
+    LuParams p;
+    p.threads = threads;
+    p.steps = 4 * scale;
+    p.seed = seed;
+    return make_lu(p);
+  }
+  if (name == "radix") {
+    RadixParams p;
+    p.threads = threads;
+    p.keys_per_thread = 128 * scale;
+    p.seed = seed;
+    return make_radix(p);
+  }
+  if (name == "barnes") {
+    BarnesParams p;
+    p.threads = threads;
+    p.iterations = scale;
+    p.seed = seed;
+    return make_barnes(p);
+  }
+  if (name == "geometric") {
+    GeometricRunsParams p;
+    p.threads = threads;
+    p.accesses_per_thread = 1024 * scale;
+    p.seed = seed;
+    return make_geometric_runs(p);
+  }
+  if (name == "sharing-mix") {
+    SharingMixParams p;
+    p.threads = threads;
+    p.accesses_per_thread = 1024 * scale;
+    p.seed = seed;
+    return make_sharing_mix(p);
+  }
+  if (name == "hotspot") {
+    HotspotParams p;
+    p.threads = threads;
+    p.accesses_per_thread = 1024 * scale;
+    p.seed = seed;
+    return make_hotspot(p);
+  }
+  if (name == "uniform") {
+    UniformParams p;
+    p.threads = threads;
+    p.accesses_per_thread = 1024 * scale;
+    p.seed = seed;
+    return make_uniform(p);
+  }
+  if (name == "producer-consumer") {
+    ProducerConsumerParams p;
+    p.threads = threads % 2 == 0 ? threads : threads + 1;
+    p.items_per_pair = 256 * scale;
+    p.seed = seed;
+    return make_producer_consumer(p);
+  }
+  if (name == "table-lookup") {
+    TableLookupParams p;
+    p.threads = threads;
+    p.lookups_per_thread = 256 * scale;
+    p.seed = seed;
+    return make_table_lookup(p);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> workload_names() {
+  return {"ocean",   "transpose", "lu",      "radix",
+          "barnes",  "geometric", "sharing-mix", "hotspot",
+          "uniform", "producer-consumer", "table-lookup"};
+}
+
+}  // namespace em2::workload

@@ -1,0 +1,25 @@
+// Name-based workload registry used by benches and examples to sweep the
+// whole suite uniformly.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace em2::workload {
+
+/// Builds a workload by name at a given thread count and size scale
+/// (scale 1 = bench default; larger values grow the trace roughly
+/// linearly).  Known names: "ocean", "transpose", "lu", "radix",
+/// "barnes", "geometric", "sharing-mix", "hotspot", "uniform",
+/// "producer-consumer".  Returns nullopt for unknown names.
+std::optional<TraceSet> make_by_name(const std::string& name,
+                                     std::int32_t threads,
+                                     std::int32_t scale, std::uint64_t seed);
+
+/// All registry names, in canonical order.
+std::vector<std::string> workload_names();
+
+}  // namespace em2::workload

@@ -1,0 +1,108 @@
+#include "workload/stack_workloads.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace em2::workload {
+
+StackModelTrace derive_stack_trace(const ThreadTrace& thread,
+                                   const std::vector<CoreId>& homes,
+                                   const DeriveParams& p) {
+  EM2_ASSERT(homes.size() == thread.size(),
+             "home sequence must match the trace length");
+  StackModelTrace out;
+  out.native = thread.native_core();
+  out.steps.reserve(thread.size());
+  Rng rng(p.seed);
+  for (std::size_t i = 0; i < thread.size(); ++i) {
+    StackStep s;
+    s.home = homes[i];
+    const auto extra = static_cast<std::uint32_t>(
+        rng.next_below(p.max_extra + 1));
+    if (thread[i].op == MemOp::kRead) {
+      // LOAD: address pop + value push, plus `extra` operands consumed by
+      // surrounding arithmetic that produces roughly one result.
+      s.pops = 1 + extra;
+      s.pushes = 1 + (extra > 0 ? 1 : 0);
+    } else {
+      // STORE: value + address pops.
+      s.pops = 2 + extra;
+      s.pushes = extra > 0 ? 1 : 0;
+    }
+    out.steps.push_back(s);
+  }
+  return out;
+}
+
+StackModelTrace make_stack_streaming(std::int32_t cores, std::int64_t steps,
+                                     std::uint64_t seed) {
+  EM2_ASSERT(cores >= 2, "need at least two cores");
+  StackModelTrace out;
+  out.native = 0;
+  Rng rng(seed);
+  std::int64_t emitted = 0;
+  while (emitted < steps) {
+    // A remote streaming run: one core, many accesses, shallow needs.
+    const auto victim =
+        static_cast<CoreId>(1 + rng.next_below(
+                                    static_cast<std::uint64_t>(cores - 1)));
+    const auto len = static_cast<std::int64_t>(4 + rng.next_below(12));
+    for (std::int64_t i = 0; i < len && emitted < steps; ++i) {
+      // Pointer-bump streaming: pop address, push value, push next addr.
+      out.steps.push_back(StackStep{victim, 1, 1});
+      ++emitted;
+    }
+    // A few local steps between runs.
+    const auto locals = static_cast<std::int64_t>(1 + rng.next_below(3));
+    for (std::int64_t i = 0; i < locals && emitted < steps; ++i) {
+      out.steps.push_back(StackStep{0, 1, 1});
+      ++emitted;
+    }
+  }
+  return out;
+}
+
+StackModelTrace make_stack_expression(std::int32_t cores, std::int64_t steps,
+                                      std::uint64_t seed) {
+  EM2_ASSERT(cores >= 2, "need at least two cores");
+  StackModelTrace out;
+  out.native = 0;
+  Rng rng(seed);
+  std::int64_t emitted = 0;
+  while (emitted < steps) {
+    const auto victim =
+        static_cast<CoreId>(1 + rng.next_below(
+                                    static_cast<std::uint64_t>(cores - 1)));
+    // Short visit needing several operands from the carried stack.
+    const auto visit = static_cast<std::int64_t>(1 + rng.next_below(2));
+    for (std::int64_t i = 0; i < visit && emitted < steps; ++i) {
+      const auto need = static_cast<std::uint32_t>(2 + rng.next_below(3));
+      out.steps.push_back(StackStep{victim, need, 1});
+      ++emitted;
+    }
+    // Local expression build-up producing operands for the next visit.
+    const auto locals = static_cast<std::int64_t>(2 + rng.next_below(3));
+    for (std::int64_t i = 0; i < locals && emitted < steps; ++i) {
+      out.steps.push_back(StackStep{0, 1, 2});
+      ++emitted;
+    }
+  }
+  return out;
+}
+
+StackModelTrace make_stack_mixed(std::int32_t cores, std::int64_t steps,
+                                 std::uint64_t seed) {
+  const StackModelTrace a =
+      make_stack_streaming(cores, steps / 2, seed * 2 + 1);
+  StackModelTrace b = make_stack_expression(cores, steps - steps / 2,
+                                            seed * 2 + 2);
+  StackModelTrace out;
+  out.native = 0;
+  out.steps = a.steps;
+  out.steps.insert(out.steps.end(), b.steps.begin(), b.steps.end());
+  return out;
+}
+
+}  // namespace em2::workload

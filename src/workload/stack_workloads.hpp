@@ -1,0 +1,51 @@
+// Stack-model trace generators for the Section-4 experiments: sequences of
+// (home, pops, pushes) steps that feed the optimal-depth DP and the depth
+// policy evaluations.
+//
+// Two sources:
+//   * derive_stack_trace(): converts an ordinary memory trace into a stack
+//     trace by attributing plausible expression-stack motion to each
+//     access (address computation pushes, operand pops) — the way a stack
+//     compiler would lower the same access stream;
+//   * make_stack_*(): direct generators with controlled depth behaviour
+//     (deep expression chains vs. shallow streaming) for ablations.
+#pragma once
+
+#include <cstdint>
+
+#include "optimal/dp_stack.hpp"
+#include "trace/trace.hpp"
+
+namespace em2::workload {
+
+/// Converts thread `tid` of `traces` into a stack-model trace under
+/// `homes` (per-access home cores).  Reads pop an address and push a
+/// value (pops=1, pushes=1 around the access); writes pop value+address
+/// (pops=2, pushes=0); the pseudo-random `extra_depth` models temporaries
+/// consumed from deeper in the stack by surrounding arithmetic, bounded
+/// by `max_extra`.
+struct DeriveParams {
+  std::uint32_t max_extra = 2;
+  std::uint64_t seed = 7;
+};
+StackModelTrace derive_stack_trace(const ThreadTrace& thread,
+                                   const std::vector<CoreId>& homes,
+                                   const DeriveParams& p);
+
+/// Streaming pattern: long remote runs with shallow stack needs
+/// (favours carrying little).
+StackModelTrace make_stack_streaming(std::int32_t cores,
+                                     std::int64_t steps,
+                                     std::uint64_t seed);
+
+/// Expression-heavy pattern: short remote visits needing several operands
+/// (favours carrying more).
+StackModelTrace make_stack_expression(std::int32_t cores,
+                                      std::int64_t steps,
+                                      std::uint64_t seed);
+
+/// Mixed pattern drawing from both regimes.
+StackModelTrace make_stack_mixed(std::int32_t cores, std::int64_t steps,
+                                 std::uint64_t seed);
+
+}  // namespace em2::workload

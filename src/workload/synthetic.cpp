@@ -1,0 +1,244 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace em2::workload {
+namespace {
+
+constexpr Addr kWord = 4;
+constexpr Addr kSharedBase = 0x0100'0000;
+constexpr Addr kPrivateBase = 0x7000'0000;
+constexpr Addr kPrivateStride = 0x0010'0000;
+
+Addr private_word(std::int32_t thread, std::int64_t index) {
+  return kPrivateBase + static_cast<Addr>(thread) * kPrivateStride +
+         static_cast<Addr>(index) * kWord;
+}
+
+}  // namespace
+
+TraceSet make_geometric_runs(const GeometricRunsParams& p) {
+  EM2_ASSERT(p.threads >= 2, "need at least two threads");
+  EM2_ASSERT(p.mean_run_length >= 1.0, "mean run length must be >= 1");
+  TraceSet traces(p.block_bytes);
+  const auto words_per_block =
+      static_cast<std::int64_t>(p.block_bytes / kWord);
+
+  // Each thread owns a region of "shared" blocks that other threads will
+  // visit; region r of thread t starts at a fixed offset so first touch
+  // assigns it to t.
+  const std::int64_t blocks_per_thread = 1024;
+  auto owned_word = [&](std::int32_t owner, std::int64_t block,
+                        std::int64_t word) {
+    return kSharedBase +
+           ((static_cast<Addr>(owner) * blocks_per_thread + block) *
+                words_per_block +
+            word) *
+               kWord;
+  };
+
+  const double p_end = 1.0 / p.mean_run_length;
+  Rng seed_rng(p.seed);
+  for (std::int32_t t = 0; t < p.threads; ++t) {
+    Rng rng = seed_rng.fork();
+    ThreadTrace trace(t, t);
+    // Init: first-touch my region.
+    for (std::int64_t b = 0; b < blocks_per_thread; ++b) {
+      trace.append(owned_word(t, b, 0), MemOp::kWrite, 1);
+    }
+    std::int64_t emitted = 0;
+    std::int64_t local_cursor = 0;
+    while (emitted < p.accesses_per_thread) {
+      if (rng.next_bool(p.remote_fraction)) {
+        // One non-native run at a random other core, geometric length;
+        // consecutive words of the victim's region share its home.
+        std::int32_t victim =
+            static_cast<std::int32_t>(rng.next_below(
+                static_cast<std::uint64_t>(p.threads - 1)));
+        if (victim >= t) {
+          ++victim;
+        }
+        const auto len =
+            static_cast<std::int64_t>(rng.next_geometric(p_end));
+        const auto start_block = static_cast<std::int64_t>(
+            rng.next_below(static_cast<std::uint64_t>(blocks_per_thread)));
+        for (std::int64_t i = 0; i < len; ++i) {
+          const std::int64_t w = i % words_per_block;
+          const std::int64_t b =
+              (start_block + i / words_per_block) % blocks_per_thread;
+          trace.append(owned_word(victim, b, w),
+                       rng.next_bool(0.3) ? MemOp::kWrite : MemOp::kRead, 1);
+          ++emitted;
+        }
+      } else {
+        trace.append(owned_word(t, local_cursor % blocks_per_thread, 0),
+                     MemOp::kRead, 1);
+        ++local_cursor;
+        ++emitted;
+      }
+    }
+    traces.add_thread(std::move(trace));
+  }
+  return traces;
+}
+
+TraceSet make_sharing_mix(const SharingMixParams& p) {
+  EM2_ASSERT(p.threads >= 2, "need at least two threads");
+  TraceSet traces(p.block_bytes);
+  const auto words_per_block =
+      static_cast<std::int64_t>(p.block_bytes / kWord);
+  auto shared_word = [&](std::int64_t block, std::int64_t word) {
+    return kSharedBase + (block * words_per_block + word) * kWord;
+  };
+
+  Rng seed_rng(p.seed);
+  for (std::int32_t t = 0; t < p.threads; ++t) {
+    Rng rng = seed_rng.fork();
+    ThreadTrace trace(t, t);
+    for (std::int64_t i = 0; i < 64; ++i) {
+      trace.append(private_word(t, i), MemOp::kWrite, 1);
+    }
+    // First-touch a slice of the shared blocks (striped by thread).
+    for (std::int64_t b = t; b < p.shared_blocks; b += p.threads) {
+      trace.append(shared_word(b, 0), MemOp::kWrite, 1);
+    }
+    for (std::int64_t i = 0; i < p.accesses_per_thread; ++i) {
+      const MemOp op =
+          rng.next_bool(p.write_fraction) ? MemOp::kWrite : MemOp::kRead;
+      if (rng.next_bool(p.shared_fraction)) {
+        const auto b = static_cast<std::int64_t>(
+            rng.next_below(static_cast<std::uint64_t>(p.shared_blocks)));
+        const auto w = static_cast<std::int64_t>(
+            rng.next_below(static_cast<std::uint64_t>(words_per_block)));
+        trace.append(shared_word(b, w), op, 2);
+      } else {
+        const auto w =
+            static_cast<std::int64_t>(rng.next_below(64));
+        trace.append(private_word(t, w), op, 2);
+      }
+    }
+    traces.add_thread(std::move(trace));
+  }
+  return traces;
+}
+
+TraceSet make_hotspot(const HotspotParams& p) {
+  EM2_ASSERT(p.threads >= 2, "need at least two threads");
+  TraceSet traces(p.block_bytes);
+  const auto words_per_block =
+      static_cast<std::int64_t>(p.block_bytes / kWord);
+  auto hot_word = [&](std::int64_t block, std::int64_t word) {
+    return kSharedBase + (block * words_per_block + word) * kWord;
+  };
+
+  Rng seed_rng(p.seed);
+  for (std::int32_t t = 0; t < p.threads; ++t) {
+    Rng rng = seed_rng.fork();
+    ThreadTrace trace(t, t);
+    if (t == 0) {
+      // Thread 0 first-touches the hot blocks: single-home hotspot.
+      for (std::int64_t b = 0; b < p.hot_blocks; ++b) {
+        trace.append(hot_word(b, 0), MemOp::kWrite, 1);
+      }
+    }
+    for (std::int64_t i = 0; i < 64; ++i) {
+      trace.append(private_word(t, i), MemOp::kWrite, 1);
+    }
+    for (std::int64_t i = 0; i < p.accesses_per_thread; ++i) {
+      const MemOp op =
+          rng.next_bool(p.write_fraction) ? MemOp::kWrite : MemOp::kRead;
+      if (rng.next_bool(p.hot_fraction)) {
+        const auto b = static_cast<std::int64_t>(
+            rng.next_below(static_cast<std::uint64_t>(p.hot_blocks)));
+        const auto w = static_cast<std::int64_t>(
+            rng.next_below(static_cast<std::uint64_t>(words_per_block)));
+        trace.append(hot_word(b, w), op, 2);
+      } else {
+        const auto w =
+            static_cast<std::int64_t>(rng.next_below(64));
+        trace.append(private_word(t, w), op, 2);
+      }
+    }
+    traces.add_thread(std::move(trace));
+  }
+  return traces;
+}
+
+TraceSet make_uniform(const UniformParams& p) {
+  EM2_ASSERT(p.threads >= 2, "need at least two threads");
+  TraceSet traces(p.block_bytes);
+  const auto words_per_block =
+      static_cast<std::int64_t>(p.block_bytes / kWord);
+  auto shared_word = [&](std::int64_t block, std::int64_t word) {
+    return kSharedBase + (block * words_per_block + word) * kWord;
+  };
+  Rng seed_rng(p.seed);
+  for (std::int32_t t = 0; t < p.threads; ++t) {
+    Rng rng = seed_rng.fork();
+    ThreadTrace trace(t, t);
+    for (std::int64_t b = t; b < p.blocks; b += p.threads) {
+      trace.append(shared_word(b, 0), MemOp::kWrite, 1);
+    }
+    for (std::int64_t i = 0; i < p.accesses_per_thread; ++i) {
+      const auto b = static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(p.blocks)));
+      const auto w = static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(words_per_block)));
+      trace.append(shared_word(b, w),
+                   rng.next_bool(p.write_fraction) ? MemOp::kWrite
+                                                   : MemOp::kRead,
+                   1);
+    }
+    traces.add_thread(std::move(trace));
+  }
+  return traces;
+}
+
+TraceSet make_producer_consumer(const ProducerConsumerParams& p) {
+  EM2_ASSERT(p.threads >= 2 && p.threads % 2 == 0,
+             "producer-consumer needs an even thread count");
+  TraceSet traces(p.block_bytes);
+  auto buffer_word = [&](std::int32_t pair, std::int64_t item,
+                         std::int64_t word) {
+    return kSharedBase +
+           ((static_cast<Addr>(pair) * p.items_per_pair + item) *
+                p.words_per_item +
+            word) *
+               kWord;
+  };
+
+  for (std::int32_t t = 0; t < p.threads; ++t) {
+    ThreadTrace trace(t, t);
+    const std::int32_t pair = t / 2;
+    const bool producer = (t % 2) == 0;
+    if (producer) {
+      // Producer first-touches (and later re-writes) the pair's buffer.
+      for (std::int64_t item = 0; item < p.items_per_pair; ++item) {
+        for (std::int64_t w = 0; w < p.words_per_item; ++w) {
+          trace.append(buffer_word(pair, item, w), MemOp::kWrite, 1);
+        }
+      }
+      for (std::int64_t item = 0; item < p.items_per_pair; ++item) {
+        for (std::int64_t w = 0; w < p.words_per_item; ++w) {
+          trace.append(buffer_word(pair, item, w), MemOp::kWrite, 2);
+        }
+      }
+    } else {
+      // Consumer reads every item (all remote under first touch) and
+      // reduces into private state.
+      for (std::int64_t item = 0; item < p.items_per_pair; ++item) {
+        for (std::int64_t w = 0; w < p.words_per_item; ++w) {
+          trace.append(buffer_word(pair, item, w), MemOp::kRead, 1);
+        }
+        trace.append(private_word(t, item % 64), MemOp::kWrite, 2);
+      }
+    }
+    traces.add_thread(std::move(trace));
+  }
+  return traces;
+}
+
+}  // namespace em2::workload

@@ -1,0 +1,79 @@
+// Parametric synthetic trace generators: controlled knobs for ablation
+// benches (run-length crossover, sharing fraction, hotspot pressure) that
+// no fixed kernel can sweep cleanly.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace em2::workload {
+
+/// Controlled run-length generator — the instrument for the EM2-RA
+/// crossover study (experiment C8): each thread alternates local runs
+/// with non-native runs at a uniformly random other core; non-native run
+/// lengths are geometric with the given mean.
+struct GeometricRunsParams {
+  std::int32_t threads = 16;
+  std::int64_t accesses_per_thread = 2048;
+  /// Mean length of non-native runs (geometric distribution).
+  double mean_run_length = 2.0;
+  /// Fraction of accesses that belong to non-native runs.
+  double remote_fraction = 0.5;
+  std::uint32_t block_bytes = 64;
+  std::uint64_t seed = 1;
+};
+TraceSet make_geometric_runs(const GeometricRunsParams& p);
+
+/// Private/shared mix: accesses touch thread-private data with
+/// probability (1 - shared_fraction) and uniformly random shared blocks
+/// otherwise.
+struct SharingMixParams {
+  std::int32_t threads = 16;
+  std::int64_t accesses_per_thread = 2048;
+  double shared_fraction = 0.3;
+  std::int64_t shared_blocks = 512;
+  double write_fraction = 0.3;
+  std::uint32_t block_bytes = 64;
+  std::uint64_t seed = 1;
+};
+TraceSet make_sharing_mix(const SharingMixParams& p);
+
+/// Hotspot: a fraction of accesses target a small set of blocks owned by
+/// one core (directory/home contention pole).
+struct HotspotParams {
+  std::int32_t threads = 16;
+  std::int64_t accesses_per_thread = 2048;
+  double hot_fraction = 0.25;
+  std::int64_t hot_blocks = 4;
+  double write_fraction = 0.2;
+  std::uint32_t block_bytes = 64;
+  std::uint64_t seed = 1;
+};
+TraceSet make_hotspot(const HotspotParams& p);
+
+/// Uniform random: every access targets a uniformly random shared block
+/// (the locality-free pole).
+struct UniformParams {
+  std::int32_t threads = 16;
+  std::int64_t accesses_per_thread = 2048;
+  std::int64_t blocks = 4096;
+  double write_fraction = 0.3;
+  std::uint32_t block_bytes = 64;
+  std::uint64_t seed = 1;
+};
+TraceSet make_uniform(const UniformParams& p);
+
+/// Producer-consumer pairs: even threads write blocks that their odd
+/// neighbours read back (classic one-way sharing; CC needs invalidations,
+/// EM2 bounces threads between the pair).
+struct ProducerConsumerParams {
+  std::int32_t threads = 16;  ///< must be even
+  std::int64_t items_per_pair = 512;
+  std::int64_t words_per_item = 8;
+  std::uint32_t block_bytes = 64;
+  std::uint64_t seed = 1;
+};
+TraceSet make_producer_consumer(const ProducerConsumerParams& p);
+
+}  // namespace em2::workload

@@ -1,0 +1,70 @@
+#include "arch/context.hpp"
+
+#include <gtest/gtest.h>
+
+namespace em2 {
+namespace {
+
+TEST(ContextSize, PaperRegisterContextIsAboutOneKbit) {
+  // "1-2KBits in a 32-bit Atom-like processor": PC + 32x32b = 1056 bits.
+  ContextSizeModel m;
+  EXPECT_EQ(m.register_context_bits(), 1056u);
+  EXPECT_GE(m.register_context_bits(), 1024u);
+  EXPECT_LE(m.register_context_bits(), 2048u);
+}
+
+TEST(ContextSize, TlbStatePushesTowardTwoKbit) {
+  ContextSizeModel m;
+  m.extra_bits = 992;  // TLB shadow state
+  EXPECT_EQ(m.register_context_bits(), 2048u);
+}
+
+TEST(ContextSize, StackContextIsDramaticallySmaller) {
+  // Section 4's whole point: pc + a few words << full register file.
+  ContextSizeModel m;
+  EXPECT_EQ(m.stack_context_bits(0), 32u);
+  EXPECT_EQ(m.stack_context_bits(4), 32u + 4 * 32u);
+  EXPECT_EQ(m.stack_context_bits(4, 2), 32u + 6 * 32u);
+  EXPECT_LT(m.stack_context_bits(4), m.register_context_bits() / 4);
+  EXPECT_LT(m.stack_context_bits(8), m.register_context_bits() / 3);
+}
+
+TEST(ExecutionContext, PackUnpackRoundTrip) {
+  ExecutionContext ctx;
+  ctx.thread = 7;
+  ctx.native_core = 3;
+  ctx.pc = 0x42;
+  for (std::uint32_t i = 0; i < kNumRegs; ++i) {
+    ctx.regs[i] = i * 0x01010101u;
+  }
+  ctx.halted = false;
+  const auto words = ctx.pack();
+  // "the architectural context ... is unloaded onto the interconnect":
+  // exactly PC + register file + status must cross, nothing more.
+  EXPECT_EQ(words.size(), 1u + kNumRegs + 1u);
+  const ExecutionContext back = ExecutionContext::unpack(7, 3, words);
+  EXPECT_EQ(back.pc, ctx.pc);
+  EXPECT_EQ(back.regs, ctx.regs);
+  EXPECT_EQ(back.halted, ctx.halted);
+  EXPECT_EQ(back.thread, 7);
+  EXPECT_EQ(back.native_core, 3);
+}
+
+TEST(ExecutionContext, PackedSizeMatchesCostModelContext) {
+  // 34 words x 32 bits = 1088; the cost model's 1056 excludes the halted
+  // status word (a hardware context would fold it into flags).  Assert
+  // the two stay within one word of each other so they cannot drift.
+  ExecutionContext ctx;
+  const std::uint64_t packed_bits = ctx.pack().size() * 32;
+  ContextSizeModel m;
+  EXPECT_LE(packed_bits - m.register_context_bits(), 32u);
+}
+
+TEST(ExecutionContextDeath, UnpackRejectsWrongLength) {
+  std::vector<std::uint32_t> too_short(5, 0);
+  EXPECT_DEATH(ExecutionContext::unpack(0, 0, too_short),
+               "wrong word count");
+}
+
+}  // namespace
+}  // namespace em2

@@ -1,0 +1,168 @@
+#include "arch/reg_isa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace em2 {
+namespace {
+
+ExecutionContext fresh() {
+  ExecutionContext ctx;
+  ctx.thread = 0;
+  ctx.native_core = 0;
+  return ctx;
+}
+
+TEST(RegIsa, ArithmeticBasics) {
+  const RProgram prog = RAsm()
+                            .addi(1, 0, 5)
+                            .addi(2, 0, 7)
+                            .add(3, 1, 2)
+                            .sub(4, 2, 1)
+                            .mul(5, 1, 2)
+                            .slt(6, 1, 2)
+                            .slt(7, 2, 1)
+                            .halt()
+                            .build();
+  RegInterpreter interp(prog);
+  ExecutionContext ctx = fresh();
+  FunctionalMemory mem;
+  ASSERT_TRUE(interp.run_functional(ctx, mem, 100).has_value());
+  EXPECT_EQ(ctx.regs[3], 12u);
+  EXPECT_EQ(ctx.regs[4], 2u);
+  EXPECT_EQ(ctx.regs[5], 35u);
+  EXPECT_EQ(ctx.regs[6], 1u);
+  EXPECT_EQ(ctx.regs[7], 0u);
+}
+
+TEST(RegIsa, RegisterZeroIsHardwired) {
+  const RProgram prog = RAsm().addi(0, 0, 99).halt().build();
+  RegInterpreter interp(prog);
+  ExecutionContext ctx = fresh();
+  FunctionalMemory mem;
+  interp.run_functional(ctx, mem, 10);
+  EXPECT_EQ(ctx.regs[0], 0u);
+}
+
+TEST(RegIsa, LoadStoreThroughMemory) {
+  const RProgram prog = RAsm()
+                            .addi(1, 0, 0x100)  // base
+                            .addi(2, 0, 42)
+                            .sw(2, 1, 0)        // mem[0x100] = 42
+                            .lw(3, 1, 0)        // r3 = mem[0x100]
+                            .halt()
+                            .build();
+  RegInterpreter interp(prog);
+  ExecutionContext ctx = fresh();
+  FunctionalMemory mem;
+  ASSERT_TRUE(interp.run_functional(ctx, mem, 100).has_value());
+  EXPECT_EQ(ctx.regs[3], 42u);
+  EXPECT_EQ(mem.load(0x100), 42u);
+}
+
+TEST(RegIsa, LoadYieldsPendingAccess) {
+  const RProgram prog = RAsm().addi(1, 0, 0x40).lw(5, 1, 8).halt().build();
+  RegInterpreter interp(prog);
+  ExecutionContext ctx = fresh();
+  EXPECT_EQ(interp.step(ctx).kind, StepKind::kOk);
+  const StepResult r = interp.step(ctx);
+  ASSERT_EQ(r.kind, StepKind::kMem);
+  EXPECT_EQ(r.mem.op, MemOp::kRead);
+  EXPECT_EQ(r.mem.addr, 0x48u);
+  EXPECT_EQ(r.mem.dst_reg, 5);
+  RegInterpreter::complete_load(ctx, r.mem.dst_reg, 1234);
+  EXPECT_EQ(ctx.regs[5], 1234u);
+}
+
+TEST(RegIsa, StoreYieldsValue) {
+  const RProgram prog =
+      RAsm().addi(1, 0, 0x20).addi(2, 0, 7).sw(2, 1, 4).halt().build();
+  RegInterpreter interp(prog);
+  ExecutionContext ctx = fresh();
+  interp.step(ctx);
+  interp.step(ctx);
+  const StepResult r = interp.step(ctx);
+  ASSERT_EQ(r.kind, StepKind::kMem);
+  EXPECT_EQ(r.mem.op, MemOp::kWrite);
+  EXPECT_EQ(r.mem.addr, 0x24u);
+  EXPECT_EQ(r.mem.store_value, 7u);
+}
+
+TEST(RegIsa, BranchLoopSumsToTen) {
+  // r1 = 0 (acc); r2 = 4 (counter); loop: acc += counter; counter -= 1;
+  // bne counter, 0 -> loop.  Sum 4+3+2+1 = 10.
+  RAsm a;
+  a.addi(1, 0, 0).addi(2, 0, 4);
+  const std::int32_t loop = a.here();
+  a.add(1, 1, 2).addi(2, 2, -1);
+  const std::int32_t branch_at = a.here();
+  a.bne(2, 0, 0).halt();
+  a.patch_imm(branch_at, loop - (branch_at + 1));
+  RegInterpreter interp(a.build());
+  ExecutionContext ctx = fresh();
+  FunctionalMemory mem;
+  ASSERT_TRUE(interp.run_functional(ctx, mem, 1000).has_value());
+  EXPECT_EQ(ctx.regs[1], 10u);
+}
+
+TEST(RegIsa, JumpAndLink) {
+  // jal to a subroutine that sets r5, then jr back.
+  RAsm a;
+  a.jal(31, 3);   // 0: call subroutine at 3; r31 = 1
+  a.addi(6, 0, 1);  // 1: executed after return
+  a.halt();       // 2
+  a.addi(5, 0, 77);  // 3: subroutine body
+  a.jr(31);       // 4: return
+  RegInterpreter interp(a.build());
+  ExecutionContext ctx = fresh();
+  FunctionalMemory mem;
+  ASSERT_TRUE(interp.run_functional(ctx, mem, 100).has_value());
+  EXPECT_EQ(ctx.regs[5], 77u);
+  EXPECT_EQ(ctx.regs[6], 1u);
+}
+
+TEST(RegIsa, BeqAndBltSemantics) {
+  RAsm a;
+  a.addi(1, 0, 5)
+      .addi(2, 0, 5)
+      .beq(1, 2, 1)    // taken: skip next
+      .addi(3, 0, 1)   // skipped
+      .addi(4, 0, -3)
+      .blt(4, 1, 1)    // -3 < 5 signed: taken
+      .addi(5, 0, 1)   // skipped
+      .halt();
+  RegInterpreter interp(a.build());
+  ExecutionContext ctx = fresh();
+  FunctionalMemory mem;
+  ASSERT_TRUE(interp.run_functional(ctx, mem, 100).has_value());
+  EXPECT_EQ(ctx.regs[3], 0u);
+  EXPECT_EQ(ctx.regs[5], 0u);
+}
+
+TEST(RegIsa, RunFunctionalReturnsNulloptOnBudget) {
+  // Infinite loop.
+  const RProgram prog = RAsm().jmp(0).build();
+  RegInterpreter interp(prog);
+  ExecutionContext ctx = fresh();
+  FunctionalMemory mem;
+  EXPECT_FALSE(interp.run_functional(ctx, mem, 50).has_value());
+}
+
+TEST(RegIsa, FallingOffProgramHalts) {
+  const RProgram prog = RAsm().nop().build();
+  RegInterpreter interp(prog);
+  ExecutionContext ctx = fresh();
+  EXPECT_EQ(interp.step(ctx).kind, StepKind::kOk);
+  EXPECT_EQ(interp.step(ctx).kind, StepKind::kDone);
+  EXPECT_TRUE(ctx.halted);
+}
+
+TEST(FunctionalMemory, UnwrittenReadsZero) {
+  FunctionalMemory mem;
+  EXPECT_EQ(mem.load(0x1234), 0u);
+  mem.store(0x1234, 9);
+  EXPECT_EQ(mem.load(0x1234), 9u);
+  EXPECT_EQ(mem.words_written(), 1u);
+}
+
+}  // namespace
+}  // namespace em2

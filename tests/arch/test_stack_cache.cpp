@@ -1,0 +1,111 @@
+#include "arch/stack_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace em2 {
+namespace {
+
+TEST(StackCache, PushesFillWindowThenSpill) {
+  StackCache sc(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sc.push(), StackCacheEvent::kNone);
+  }
+  EXPECT_EQ(sc.cached(), 4u);
+  EXPECT_EQ(sc.push(), StackCacheEvent::kSpill);
+  EXPECT_EQ(sc.cached(), 4u);         // window stays full
+  EXPECT_EQ(sc.total_depth(), 5u);    // one entry now memory-backed
+  EXPECT_EQ(sc.in_memory(), 1u);
+  EXPECT_EQ(sc.spills(), 1u);
+}
+
+TEST(StackCache, PopsDrainWindowThenRefill) {
+  StackCache sc(2);
+  sc.push();
+  sc.push();
+  sc.push();  // spill: depth 3, cached 2
+  EXPECT_EQ(sc.pop(), StackCacheEvent::kNone);
+  EXPECT_EQ(sc.pop(), StackCacheEvent::kNone);
+  EXPECT_EQ(sc.cached(), 0u);
+  EXPECT_EQ(sc.total_depth(), 1u);
+  EXPECT_EQ(sc.pop(), StackCacheEvent::kRefill);
+  EXPECT_EQ(sc.total_depth(), 0u);
+  EXPECT_EQ(sc.refills(), 1u);
+}
+
+TEST(StackCacheDeath, PopEmptyArchitecturalStackAborts) {
+  StackCache sc(2);
+  EXPECT_DEATH(sc.pop(), "empty architectural stack");
+}
+
+TEST(StackCache, FlushBelowKeepsTop) {
+  StackCache sc(8);
+  for (int i = 0; i < 6; ++i) {
+    sc.push();
+  }
+  const std::uint32_t flushed = sc.flush_below(2);
+  EXPECT_EQ(flushed, 4u);
+  EXPECT_EQ(sc.cached(), 2u);
+  EXPECT_EQ(sc.total_depth(), 6u);  // architectural depth unchanged
+  EXPECT_EQ(sc.in_memory(), 4u);
+}
+
+TEST(StackCache, FlushBelowMoreThanCachedIsNoop) {
+  StackCache sc(8);
+  sc.push();
+  sc.push();
+  EXPECT_EQ(sc.flush_below(5), 0u);
+  EXPECT_EQ(sc.cached(), 2u);
+}
+
+TEST(StackCache, ArriveWithSetsWindow) {
+  StackCache sc(8);
+  for (int i = 0; i < 6; ++i) {
+    sc.push();
+  }
+  sc.flush_below(3);
+  sc.arrive_with(3);  // migration carried 3 entries
+  EXPECT_EQ(sc.cached(), 3u);
+  EXPECT_EQ(sc.total_depth(), 6u);
+}
+
+TEST(StackCache, RefillToPullsFromMemory) {
+  StackCache sc(8);
+  for (int i = 0; i < 6; ++i) {
+    sc.push();
+  }
+  sc.flush_below(1);
+  EXPECT_EQ(sc.refill_to(4), 3u);
+  EXPECT_EQ(sc.cached(), 4u);
+  EXPECT_EQ(sc.refills(), 3u);
+  // Refill bounded by architectural depth.
+  EXPECT_EQ(sc.refill_to(8), 2u);  // only 6 entries exist in total
+  EXPECT_EQ(sc.cached(), 6u);
+}
+
+TEST(StackCache, RefillToBelowCurrentIsNoop) {
+  StackCache sc(4);
+  sc.push();
+  sc.push();
+  EXPECT_EQ(sc.refill_to(1), 0u);
+  EXPECT_EQ(sc.cached(), 2u);
+}
+
+TEST(StackCache, MigrationScenario) {
+  // Model the Section-4 flow: grow a deep stack at home, migrate carrying
+  // 2 entries, consume them remotely, underflow on the third pop.
+  StackCache sc(8);
+  for (int i = 0; i < 10; ++i) {
+    sc.push();  // depth 10, cached 8, 2 spilled (local at home: free)
+  }
+  sc.flush_below(2);       // flush 6 more before departure
+  sc.arrive_with(2);       // carried 2
+  EXPECT_EQ(sc.pop(), StackCacheEvent::kNone);
+  EXPECT_EQ(sc.pop(), StackCacheEvent::kNone);
+  // Third pop underflows the window -> in stack-EM2 this is the forced
+  // migration home; the cache reports it as a refill event.
+  EXPECT_EQ(sc.pop(), StackCacheEvent::kRefill);
+  EXPECT_EQ(sc.total_depth(), 7u);
+}
+
+}  // namespace
+}  // namespace em2

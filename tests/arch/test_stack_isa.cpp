@@ -1,0 +1,169 @@
+#include "arch/stack_isa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace em2 {
+namespace {
+
+StackContext fresh() {
+  StackContext ctx;
+  ctx.thread = 0;
+  ctx.native_core = 0;
+  return ctx;
+}
+
+std::uint32_t run_and_top(const SProgram& prog) {
+  StackInterpreter interp(prog);
+  StackContext ctx = fresh();
+  FunctionalMemory mem;
+  EXPECT_TRUE(interp.run_functional(ctx, mem, 10000).has_value());
+  EXPECT_FALSE(ctx.fault);
+  EXPECT_FALSE(ctx.dstack.empty());
+  return ctx.dstack.back();
+}
+
+TEST(StackIsa, PushAndArithmetic) {
+  EXPECT_EQ(run_and_top(SAsm().push(2).push(3).add().halt().build()), 5u);
+  EXPECT_EQ(run_and_top(SAsm().push(7).push(3).sub().halt().build()), 4u);
+  EXPECT_EQ(run_and_top(SAsm().push(6).push(7).mul().halt().build()), 42u);
+}
+
+TEST(StackIsa, StackManipulation) {
+  // dup: ( 5 -- 5 5 ) then add -> 10.
+  EXPECT_EQ(run_and_top(SAsm().push(5).dup().add().halt().build()), 10u);
+  // swap: ( 1 2 -- 2 1 ) then sub -> 2-1 = 1.
+  EXPECT_EQ(run_and_top(SAsm().push(1).push(2).swap().sub().halt().build()),
+            1u);
+  // over: ( 1 2 -- 1 2 1 ) then add -> 3, stack: 1 3.
+  EXPECT_EQ(run_and_top(SAsm().push(1).push(2).over().add().halt().build()),
+            3u);
+  // drop removes the top.
+  EXPECT_EQ(run_and_top(SAsm().push(9).push(1).drop().halt().build()), 9u);
+}
+
+TEST(StackIsa, Comparisons) {
+  EXPECT_EQ(run_and_top(SAsm().push(1).push(2).lt().halt().build()), 1u);
+  EXPECT_EQ(run_and_top(SAsm().push(2).push(1).lt().halt().build()), 0u);
+  EXPECT_EQ(run_and_top(SAsm().push(-3).push(2).lt().halt().build()), 1u);
+  EXPECT_EQ(run_and_top(SAsm().push(4).push(4).eq().halt().build()), 1u);
+}
+
+TEST(StackIsa, LoadStore) {
+  // store 99 at 0x80, load it back.
+  const SProgram prog = SAsm()
+                            .push(99)
+                            .push(0x80)
+                            .store()
+                            .push(0x80)
+                            .load()
+                            .halt()
+                            .build();
+  StackInterpreter interp(prog);
+  StackContext ctx = fresh();
+  FunctionalMemory mem;
+  ASSERT_TRUE(interp.run_functional(ctx, mem, 100).has_value());
+  EXPECT_EQ(mem.load(0x80), 99u);
+  EXPECT_EQ(ctx.dstack.back(), 99u);
+}
+
+TEST(StackIsa, LoadYieldsWithAddressPopped) {
+  const SProgram prog = SAsm().push(0x40).load().halt().build();
+  StackInterpreter interp(prog);
+  StackContext ctx = fresh();
+  interp.step(ctx);  // push
+  const SStepResult r = interp.step(ctx);
+  ASSERT_EQ(r.kind, StepKind::kMem);
+  EXPECT_EQ(r.mem.op, MemOp::kRead);
+  EXPECT_EQ(r.mem.addr, 0x40u);
+  EXPECT_TRUE(ctx.dstack.empty());  // address consumed
+  EXPECT_EQ(r.delta.pops, 1u);
+  EXPECT_EQ(r.delta.pushes, 1u);  // the pending result push
+  StackInterpreter::complete_load(ctx, 7);
+  EXPECT_EQ(ctx.dstack.back(), 7u);
+}
+
+TEST(StackIsa, StoreYieldsBothOperandsPopped) {
+  const SProgram prog = SAsm().push(5).push(0x44).store().halt().build();
+  StackInterpreter interp(prog);
+  StackContext ctx = fresh();
+  interp.step(ctx);
+  interp.step(ctx);
+  const SStepResult r = interp.step(ctx);
+  ASSERT_EQ(r.kind, StepKind::kMem);
+  EXPECT_EQ(r.mem.op, MemOp::kWrite);
+  EXPECT_EQ(r.mem.addr, 0x44u);
+  EXPECT_EQ(r.mem.store_value, 5u);
+  EXPECT_EQ(r.delta.pops, 2u);
+  EXPECT_EQ(r.delta.pushes, 0u);
+  EXPECT_TRUE(ctx.dstack.empty());
+}
+
+TEST(StackIsa, ReturnStackAndCalls) {
+  // call a subroutine that doubles the top, return, and check flow.
+  SAsm a;
+  a.push(21);
+  const std::int32_t call_at = a.here();
+  a.call(0).halt();
+  const std::int32_t sub_at = a.here();
+  a.dup().add().ret();
+  a.patch_imm(call_at, sub_at);
+  EXPECT_EQ(run_and_top(a.build()), 42u);
+}
+
+TEST(StackIsa, ToRFromRRoundTrip) {
+  // Move a value to the return stack and back.
+  EXPECT_EQ(
+      run_and_top(
+          SAsm().push(5).to_r().push(10).from_r().add().halt().build()),
+      15u);
+}
+
+TEST(StackIsa, RFetchPeeksWithoutPopping) {
+  const SProgram prog = SAsm()
+                            .push(3)
+                            .to_r()
+                            .r_fetch()
+                            .r_fetch()
+                            .add()
+                            .halt()
+                            .build();
+  EXPECT_EQ(run_and_top(prog), 6u);
+}
+
+TEST(StackIsa, CountdownLoop) {
+  // counter = 5 on rstack; sum += counter each iteration -> 15.
+  SAsm a;
+  a.push(0).push(5).to_r();
+  const std::int32_t loop = a.here();
+  a.r_fetch().add().from_r().push(1).sub().dup();
+  const std::int32_t jz_at = a.here();
+  a.jz(0).to_r().jmp(loop);
+  const std::int32_t exit_at = a.here();
+  a.patch_imm(jz_at, exit_at);
+  a.drop().halt();
+  EXPECT_EQ(run_and_top(a.build()), 15u);
+}
+
+TEST(StackIsa, UnderflowFaults) {
+  const SProgram prog = SAsm().add().halt().build();  // pops empty stack
+  StackInterpreter interp(prog);
+  StackContext ctx = fresh();
+  FunctionalMemory mem;
+  interp.run_functional(ctx, mem, 10);
+  EXPECT_TRUE(ctx.fault);
+}
+
+TEST(StackIsa, DeltasTrackStackMotion) {
+  StackInterpreter interp(SAsm().push(1).push(2).add().halt().build());
+  StackContext ctx = fresh();
+  SStepResult r = interp.step(ctx);
+  EXPECT_EQ(r.delta.pushes, 1u);
+  EXPECT_EQ(r.delta.pops, 0u);
+  interp.step(ctx);
+  r = interp.step(ctx);  // add
+  EXPECT_EQ(r.delta.pops, 2u);
+  EXPECT_EQ(r.delta.pushes, 1u);
+}
+
+}  // namespace
+}  // namespace em2

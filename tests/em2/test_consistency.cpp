@@ -1,0 +1,62 @@
+#include "em2/consistency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace em2 {
+namespace {
+
+TEST(Consistency, CleanSequenceIsOk) {
+  ConsistencyChecker c;
+  c.on_store(0, 0x100, 1, 2, 2);
+  c.on_load(1, 0x100, 1, 2, 2);
+  c.on_store(1, 0x100, 2, 2, 2);
+  c.on_load(0, 0x100, 2, 2, 2);
+  EXPECT_TRUE(c.ok());
+  EXPECT_EQ(c.checked_accesses(), 4u);
+}
+
+TEST(Consistency, StaleReadDetected) {
+  ConsistencyChecker c;
+  c.on_store(0, 0x100, 5, 1, 1);
+  c.on_load(1, 0x100, 4, 1, 1);  // wrong value
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.violations().size(), 1u);
+  EXPECT_NE(c.violations()[0].what.find("load returned 4"),
+            std::string::npos);
+}
+
+TEST(Consistency, UnwrittenAddressReadsZero) {
+  ConsistencyChecker c;
+  c.on_load(0, 0x500, 0, 3, 3);
+  EXPECT_TRUE(c.ok());
+  c.on_load(0, 0x500, 7, 3, 3);
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(Consistency, SingleHomeInvariantViolation) {
+  ConsistencyChecker c;
+  // Access executed at core 4 but homed at core 2: the EM2 invariant the
+  // paper's SC argument rests on is broken.
+  c.on_load(0, 0x100, 0, 4, 2);
+  ASSERT_FALSE(c.ok());
+  EXPECT_NE(c.violations()[0].what.find("homed at core 2"),
+            std::string::npos);
+}
+
+TEST(Consistency, StoreAtWrongHomeDetected) {
+  ConsistencyChecker c;
+  c.on_store(0, 0x100, 1, 0, 7);
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(Consistency, PerAddressIndependence) {
+  ConsistencyChecker c;
+  c.on_store(0, 0x100, 1, 0, 0);
+  c.on_store(0, 0x200, 2, 0, 0);
+  c.on_load(0, 0x100, 1, 0, 0);
+  c.on_load(0, 0x200, 2, 0, 0);
+  EXPECT_TRUE(c.ok());
+}
+
+}  // namespace
+}  // namespace em2

@@ -1,0 +1,183 @@
+#include "em2/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace em2 {
+namespace {
+
+struct Em2Fixture {
+  Mesh mesh{4, 4};
+  CostModel cost{mesh, CostModelParams{}};
+  Em2Params params{};
+  std::vector<CoreId> native{0, 1, 2, 3};
+
+  Em2Machine make() { return Em2Machine(mesh, cost, params, native); }
+};
+
+TEST(Em2Machine, LocalAccessIsFree) {
+  Em2Fixture f;
+  Em2Machine m = f.make();
+  const AccessOutcome out = m.access(0, 0, MemOp::kRead, 0x100);
+  EXPECT_TRUE(out.local);
+  EXPECT_FALSE(out.migrated);
+  EXPECT_EQ(out.thread_cost, 0u);
+  EXPECT_EQ(m.location(0), 0);
+  EXPECT_EQ(m.counters().get("accesses_local"), 1u);
+}
+
+TEST(Em2Machine, NonLocalAccessMigrates) {
+  Em2Fixture f;
+  Em2Machine m = f.make();
+  const AccessOutcome out = m.access(0, 5, MemOp::kRead, 0x100);
+  EXPECT_FALSE(out.local);
+  EXPECT_TRUE(out.migrated);
+  EXPECT_EQ(out.thread_cost, f.cost.migration(0, 5));
+  EXPECT_EQ(m.location(0), 5);
+  EXPECT_EQ(m.counters().get("migrations"), 1u);
+  EXPECT_EQ(m.guests_at(5), 1);
+}
+
+TEST(Em2Machine, ReturnHomeUsesNativeContext) {
+  Em2Fixture f;
+  Em2Machine m = f.make();
+  m.access(0, 5, MemOp::kRead, 0x100);
+  m.access(0, 0, MemOp::kRead, 0x200);  // back to native core 0
+  EXPECT_EQ(m.location(0), 0);
+  EXPECT_EQ(m.guests_at(5), 0);  // guest slot released
+  EXPECT_EQ(m.guests_at(0), 0);  // native context, not a guest slot
+  EXPECT_EQ(m.counters().get("migrations_to_native"), 1u);
+}
+
+TEST(Em2Machine, GuestOverflowEvictsOldest) {
+  Em2Fixture f;
+  f.params.guest_contexts = 2;
+  Em2Machine m = f.make();
+  // Threads 0, 1 migrate to core 5 (guests); thread 2 arrives third.
+  m.access(0, 5, MemOp::kRead, 0x100);
+  m.access(1, 5, MemOp::kRead, 0x100);
+  const AccessOutcome out = m.access(2, 5, MemOp::kRead, 0x100);
+  EXPECT_TRUE(out.caused_eviction);
+  EXPECT_EQ(out.evicted_thread, 0);  // oldest guest
+  EXPECT_GT(out.eviction_cost, 0u);
+  EXPECT_EQ(m.location(0), 0);  // evicted to its native core
+  EXPECT_EQ(m.guests_at(5), 2);
+  EXPECT_EQ(m.counters().get("evictions"), 1u);
+}
+
+TEST(Em2Machine, NativeContextNeverEvicted) {
+  // Thread 1 accesses its own native core while others crowd it: the
+  // native context is reserved, so no eviction of thread 1 can occur.
+  Em2Fixture f;
+  f.params.guest_contexts = 1;
+  Em2Machine m = f.make();
+  m.access(1, 1, MemOp::kRead, 0x100);  // at native
+  m.access(0, 1, MemOp::kRead, 0x100);  // guest slot 1/1
+  m.access(2, 1, MemOp::kRead, 0x100);  // evicts thread 0, not thread 1
+  EXPECT_EQ(m.location(1), 1);
+  EXPECT_EQ(m.location(0), 0);
+  EXPECT_EQ(m.location(2), 1);
+}
+
+TEST(Em2Machine, EvictionTravelsOnNativeVnet) {
+  Em2Fixture f;
+  f.params.guest_contexts = 1;
+  Em2Machine m = f.make();
+  m.access(0, 5, MemOp::kRead, 0x100);
+  EXPECT_EQ(m.vnet_bits(vnet::kMigrationGuest),
+            f.cost.params().context_bits);
+  EXPECT_EQ(m.vnet_bits(vnet::kMigrationNative), 0u);
+  m.access(1, 5, MemOp::kRead, 0x100);  // evicts thread 0 -> native vnet
+  EXPECT_EQ(m.vnet_bits(vnet::kMigrationNative),
+            f.cost.params().context_bits);
+}
+
+TEST(Em2Machine, EvictionCostChargedToVictim) {
+  Em2Fixture f;
+  f.params.guest_contexts = 1;
+  Em2Machine m = f.make();
+  m.access(0, 5, MemOp::kRead, 0x100);
+  const Cost before = m.thread_cost(0);
+  m.access(1, 5, MemOp::kRead, 0x100);
+  EXPECT_GT(m.thread_cost(0), before);  // victim pays its trip home
+  EXPECT_EQ(m.total_eviction_cost(), f.cost.migration(5, 0));
+}
+
+TEST(Em2Machine, RandomEvictionPolicyStillSound) {
+  Em2Fixture f;
+  f.params.guest_contexts = 1;
+  f.params.eviction = EvictionPolicy::kRandom;
+  Em2Machine m = f.make();
+  m.access(0, 5, MemOp::kRead, 0x100);
+  m.access(1, 5, MemOp::kRead, 0x100);
+  EXPECT_EQ(m.guests_at(5), 1);
+  EXPECT_EQ(m.location(0), 0);  // only possible victim
+}
+
+TEST(Em2Machine, CacheModellingCountsHits) {
+  Em2Fixture f;
+  f.params.model_caches = true;
+  Em2Machine m = f.make();
+  const AccessOutcome cold = m.access(0, 0, MemOp::kRead, 0x100);
+  EXPECT_GT(cold.memory_latency, 100u);  // DRAM fill
+  const AccessOutcome warm = m.access(0, 0, MemOp::kRead, 0x104);
+  EXPECT_EQ(warm.memory_latency, f.params.latency.l1);
+  const auto totals = m.cache_totals();
+  EXPECT_EQ(totals.l1_hits, 1u);
+  EXPECT_EQ(totals.dram_fills, 1u);
+}
+
+TEST(Em2MachineDeath, AccessOffMeshAborts) {
+  Em2Fixture f;
+  Em2Machine m = f.make();
+  EXPECT_DEATH(m.access(0, 99, MemOp::kRead, 0), "outside the mesh");
+}
+
+// Figure-1 invariant sweep: under any random access pattern,
+//  (a) every access executes at its home core (asserted inside access()),
+//  (b) a thread is either at its native core or occupies exactly one
+//      guest slot,
+//  (c) guest occupancy never exceeds the configured context count.
+class Em2Invariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(Em2Invariants, HoldUnderRandomTraffic) {
+  Mesh mesh(4, 4);
+  CostModel cost(mesh, CostModelParams{});
+  Em2Params params;
+  params.guest_contexts = 2;
+  std::vector<CoreId> native;
+  for (CoreId c = 0; c < 8; ++c) {
+    native.push_back(c);
+  }
+  Em2Machine m(mesh, cost, params, native);
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 2000; ++i) {
+    const auto t = static_cast<ThreadId>(rng.next_below(8));
+    const auto home = static_cast<CoreId>(rng.next_below(16));
+    m.access(t, home, rng.next_bool(0.3) ? MemOp::kWrite : MemOp::kRead,
+             rng.next_below(1 << 20));
+    // (c) guest occupancy bound.
+    for (CoreId c = 0; c < 16; ++c) {
+      ASSERT_LE(m.guests_at(c), params.guest_contexts);
+    }
+  }
+  // (b) location consistency: each thread is where the machine says, and
+  // totals add up: threads away from home == total guests.
+  int away = 0;
+  for (ThreadId t = 0; t < 8; ++t) {
+    if (m.location(t) != m.native(t)) {
+      ++away;
+    }
+  }
+  int guests = 0;
+  for (CoreId c = 0; c < 16; ++c) {
+    guests += m.guests_at(c);
+  }
+  EXPECT_EQ(away, guests);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Em2Invariants, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace em2

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "em2ra/policy.hpp"
+#include "noc/cost_model.hpp"
+#include "optimal/policy_eval.hpp"
+#include "util/rng.hpp"
+
+namespace em2 {
+namespace {
+
+DecisionQuery query(ThreadId t, CoreId current, CoreId home) {
+  DecisionQuery q;
+  q.thread = t;
+  q.current = current;
+  q.home = home;
+  q.native = current;
+  q.op = MemOp::kRead;
+  return q;
+}
+
+void train_long(HistoryPolicy& p, ThreadId t, CoreId home, int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    p.observe(t, home, 0);
+    p.observe(t, home, 0);
+    p.observe(t, home, 0);
+    p.observe(t, 0, 0);  // end the run
+  }
+}
+
+TEST(HistoryCapacity, UnboundedRemembersManyHomes) {
+  HistoryPolicy p(2, 0);
+  for (CoreId home = 1; home <= 8; ++home) {
+    train_long(p, 0, home, 3);
+  }
+  for (CoreId home = 1; home <= 8; ++home) {
+    EXPECT_EQ(p.decide(query(0, 0, home)), RaDecision::kMigrate) << home;
+  }
+}
+
+TEST(HistoryCapacity, TinyTableForgets) {
+  HistoryPolicy p(2, 2);  // only two entries per thread
+  for (CoreId home = 1; home <= 6; ++home) {
+    train_long(p, 0, home, 3);
+  }
+  // At most 2 homes can still be predicted long; training home 6 last
+  // means it must be resident.
+  int predicted_long = 0;
+  for (CoreId home = 1; home <= 6; ++home) {
+    if (p.decide(query(0, 0, home)) == RaDecision::kMigrate) {
+      ++predicted_long;
+    }
+  }
+  EXPECT_LE(predicted_long, 2);
+  EXPECT_EQ(p.decide(query(0, 0, 6)), RaDecision::kMigrate);
+}
+
+TEST(HistoryCapacity, EvictsWeakestEntry) {
+  HistoryPolicy p(2, 2);
+  train_long(p, 0, 1, 3);  // home 1: strong (counter 3)
+  // Home 2: one short run -> weak entry (counter 0).
+  p.observe(0, 2, 0);
+  p.observe(0, 0, 0);
+  // Home 3 arrives: must evict home 2 (weakest), keeping home 1.
+  train_long(p, 0, 3, 3);
+  EXPECT_EQ(p.decide(query(0, 0, 1)), RaDecision::kMigrate);
+  EXPECT_EQ(p.decide(query(0, 0, 3)), RaDecision::kMigrate);
+}
+
+TEST(HistoryCapacity, NameEncodesCapacity) {
+  EXPECT_EQ(HistoryPolicy(2, 0).name(), "history:2");
+  EXPECT_EQ(HistoryPolicy(2, 4).name(), "history:2:4");
+}
+
+TEST(HistoryCapacity, FactoryParsesCapacitySpecs) {
+  const Mesh mesh(4, 4);
+  const CostModel cost(mesh, CostModelParams{});
+  auto p = make_policy("history:2:4", mesh, cost);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->name(), "history:2:4");
+  EXPECT_EQ(make_policy("history:2:0", mesh, cost), nullptr);
+}
+
+TEST(HistoryCapacity, CapacityPMatchesUnbounded) {
+  // A table with one entry per possible home core is equivalent to the
+  // unbounded policy on any trace.
+  const Mesh mesh(4, 4);
+  const CostModel cost(mesh, CostModelParams{});
+  Rng rng(5);
+  ModelTrace t;
+  t.start = 0;
+  for (int i = 0; i < 2000; ++i) {
+    t.homes.push_back(static_cast<CoreId>(rng.next_below(16)));
+    t.ops.push_back(MemOp::kRead);
+  }
+  HistoryPolicy unbounded(2, 0);
+  HistoryPolicy full_table(2, 16);
+  const auto a = evaluate_policy_model(t, cost, unbounded);
+  const auto b = evaluate_policy_model(t, cost, full_table);
+  EXPECT_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.migrations, b.migrations);
+}
+
+}  // namespace
+}  // namespace em2

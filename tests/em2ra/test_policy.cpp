@@ -1,0 +1,119 @@
+#include "em2ra/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace em2 {
+namespace {
+
+DecisionQuery query(CoreId current, CoreId home) {
+  DecisionQuery q;
+  q.thread = 0;
+  q.current = current;
+  q.home = home;
+  q.native = 0;
+  q.op = MemOp::kRead;
+  return q;
+}
+
+TEST(Policy, AlwaysMigrateAndAlwaysRemote) {
+  AlwaysMigratePolicy mig;
+  AlwaysRemotePolicy ra;
+  EXPECT_EQ(mig.decide(query(0, 5)), RaDecision::kMigrate);
+  EXPECT_EQ(ra.decide(query(0, 5)), RaDecision::kRemoteAccess);
+  EXPECT_EQ(mig.name(), "always-migrate");
+  EXPECT_EQ(ra.name(), "always-remote");
+}
+
+TEST(Policy, DistanceThreshold) {
+  const Mesh mesh(8, 8);
+  DistanceThresholdPolicy p(mesh, 4);
+  // Core 0 to core 1: 1 hop < 4 -> remote access.
+  EXPECT_EQ(p.decide(query(0, 1)), RaDecision::kRemoteAccess);
+  // Core 0 to core 63: 14 hops >= 4 -> migrate.
+  EXPECT_EQ(p.decide(query(0, 63)), RaDecision::kMigrate);
+  EXPECT_EQ(p.name(), "distance:4");
+}
+
+TEST(Policy, HistoryLearnsLongRuns) {
+  HistoryPolicy p(2);
+  // Untrained: predicts short -> remote access.
+  EXPECT_EQ(p.decide(query(0, 5)), RaDecision::kRemoteAccess);
+  // Train with repeated long runs at home 5 (run length 3 >= 2).
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      p.observe(0, 5, 0);
+    }
+    p.observe(0, 0, 0);  // run at 5 ends
+  }
+  EXPECT_EQ(p.decide(query(0, 5)), RaDecision::kMigrate);
+}
+
+TEST(Policy, HistoryForgetsAfterShortRuns) {
+  HistoryPolicy p(2);
+  // Train long.
+  for (int round = 0; round < 4; ++round) {
+    p.observe(0, 5, 0);
+    p.observe(0, 5, 0);
+    p.observe(0, 0, 0);
+  }
+  EXPECT_EQ(p.decide(query(0, 5)), RaDecision::kMigrate);
+  // Retrain short: single-access visits to 5.
+  for (int round = 0; round < 6; ++round) {
+    p.observe(0, 5, 0);
+    p.observe(0, 0, 0);
+  }
+  EXPECT_EQ(p.decide(query(0, 5)), RaDecision::kRemoteAccess);
+}
+
+TEST(Policy, HistoryIsPerThread) {
+  HistoryPolicy p(2);
+  for (int round = 0; round < 3; ++round) {
+    p.observe(0, 5, 0);
+    p.observe(0, 5, 0);
+    p.observe(0, 0, 0);
+  }
+  auto q0 = query(0, 5);
+  q0.thread = 0;
+  auto q1 = query(0, 5);
+  q1.thread = 1;
+  EXPECT_EQ(p.decide(q0), RaDecision::kMigrate);
+  EXPECT_EQ(p.decide(q1), RaDecision::kRemoteAccess);  // untrained thread
+}
+
+TEST(Policy, CostEstimateShiftsWithObservedRuns) {
+  const Mesh mesh(8, 8);
+  const CostModel cost(mesh, CostModelParams{});
+  CostEstimatePolicy p(cost, 0.5);
+  // Seed with long runs: migration should win (amortized).
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      p.observe(0, 5, 0);
+    }
+    p.observe(0, 0, 0);
+  }
+  EXPECT_EQ(p.decide(query(0, 5)), RaDecision::kMigrate);
+  // Seed with run-length-1 visits: remote access should win at short
+  // distance (one RA round trip beats shipping a 1056-bit context).
+  CostEstimatePolicy q(cost, 0.5);
+  for (int round = 0; round < 20; ++round) {
+    q.observe(0, 5, 0);
+    q.observe(0, 0, 0);
+  }
+  EXPECT_EQ(q.decide(query(0, 1)), RaDecision::kRemoteAccess);
+}
+
+TEST(Policy, FactoryParsesSpecs) {
+  const Mesh mesh(4, 4);
+  const CostModel cost(mesh, CostModelParams{});
+  for (const auto& spec : standard_policy_specs()) {
+    const auto p = make_policy(spec, mesh, cost);
+    ASSERT_NE(p, nullptr) << spec;
+  }
+  EXPECT_NE(make_policy("distance:7", mesh, cost), nullptr);
+  EXPECT_NE(make_policy("history:3", mesh, cost), nullptr);
+  EXPECT_EQ(make_policy("nonsense", mesh, cost), nullptr);
+  EXPECT_EQ(make_policy("history:0", mesh, cost), nullptr);
+}
+
+}  // namespace
+}  // namespace em2

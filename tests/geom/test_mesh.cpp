@@ -1,0 +1,106 @@
+#include "geom/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+namespace em2 {
+namespace {
+
+TEST(Mesh, CoordinateRoundTrip) {
+  const Mesh m(4, 3);
+  for (CoreId c = 0; c < m.num_cores(); ++c) {
+    EXPECT_EQ(m.core_at(m.coord_of(c)), c);
+  }
+}
+
+TEST(Mesh, NearSquareShapes) {
+  EXPECT_EQ(Mesh::near_square(64).width(), 8);
+  EXPECT_EQ(Mesh::near_square(64).height(), 8);
+  EXPECT_EQ(Mesh::near_square(12).width(), 4);
+  EXPECT_EQ(Mesh::near_square(12).height(), 3);
+  EXPECT_EQ(Mesh::near_square(1).num_cores(), 1);
+  EXPECT_EQ(Mesh::near_square(7).num_cores(), 7);  // 7x1 fallback
+}
+
+TEST(Mesh, ManhattanDistance) {
+  const Mesh m(8, 8);
+  EXPECT_EQ(m.hops(0, 0), 0);
+  EXPECT_EQ(m.hops(0, 7), 7);       // across the top row
+  EXPECT_EQ(m.hops(0, 56), 7);      // down the left column
+  EXPECT_EQ(m.hops(0, 63), 14);     // the diameter corner-to-corner
+  EXPECT_EQ(m.hops(63, 0), 14);     // symmetric
+  EXPECT_EQ(m.diameter(), 14);
+}
+
+TEST(Mesh, HopsSymmetricAndTriangle) {
+  const Mesh m(5, 4);
+  for (CoreId a = 0; a < m.num_cores(); ++a) {
+    for (CoreId b = 0; b < m.num_cores(); ++b) {
+      EXPECT_EQ(m.hops(a, b), m.hops(b, a));
+      for (CoreId c = 0; c < m.num_cores(); ++c) {
+        EXPECT_LE(m.hops(a, c), m.hops(a, b) + m.hops(b, c));
+      }
+    }
+  }
+}
+
+TEST(Mesh, NeighborsAndEdges) {
+  const Mesh m(3, 3);
+  // Center core 4 has all four neighbours.
+  EXPECT_EQ(m.neighbor(4, Direction::kEast), 5);
+  EXPECT_EQ(m.neighbor(4, Direction::kWest), 3);
+  EXPECT_EQ(m.neighbor(4, Direction::kNorth), 1);
+  EXPECT_EQ(m.neighbor(4, Direction::kSouth), 7);
+  EXPECT_EQ(m.neighbor(4, Direction::kLocal), 4);
+  // Corner core 0 has no west/north neighbours.
+  EXPECT_EQ(m.neighbor(0, Direction::kWest), kNoCore);
+  EXPECT_EQ(m.neighbor(0, Direction::kNorth), kNoCore);
+}
+
+TEST(Mesh, XyRoutingGoesXFirst) {
+  const Mesh m(4, 4);
+  // From (0,0) to (2,2): must head east until x matches, then south.
+  EXPECT_EQ(m.route_xy(0, 10), Direction::kEast);
+  EXPECT_EQ(m.route_xy(2, 10), Direction::kSouth);
+  EXPECT_EQ(m.route_xy(10, 10), Direction::kLocal);
+}
+
+TEST(Mesh, XyPathLengthEqualsHops) {
+  const Mesh m(6, 5);
+  for (CoreId a = 0; a < m.num_cores(); a += 3) {
+    for (CoreId b = 0; b < m.num_cores(); b += 2) {
+      const auto path = m.path_xy(a, b);
+      EXPECT_EQ(static_cast<std::int32_t>(path.size()) - 1, m.hops(a, b));
+      EXPECT_EQ(path.front(), a);
+      EXPECT_EQ(path.back(), b);
+      // Each step moves to an adjacent core.
+      for (std::size_t i = 1; i < path.size(); ++i) {
+        EXPECT_EQ(m.hops(path[i - 1], path[i]), 1);
+      }
+    }
+  }
+}
+
+TEST(Mesh, XyPathIsDimensionOrdered) {
+  const Mesh m(8, 8);
+  const auto path = m.path_xy(0, 63);
+  // X changes must all precede Y changes under XY routing.
+  bool seen_y_move = false;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const Coord prev = m.coord_of(path[i - 1]);
+    const Coord cur = m.coord_of(path[i]);
+    if (cur.y != prev.y) {
+      seen_y_move = true;
+    } else {
+      EXPECT_FALSE(seen_y_move) << "X move after a Y move breaks XY order";
+    }
+  }
+}
+
+TEST(Direction, Names) {
+  EXPECT_STREQ(to_string(Direction::kLocal), "L");
+  EXPECT_STREQ(to_string(Direction::kEast), "E");
+  EXPECT_STREQ(to_string(Direction::kSouth), "S");
+}
+
+}  // namespace
+}  // namespace em2

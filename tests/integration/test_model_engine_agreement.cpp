@@ -1,0 +1,87 @@
+// Model <-> engine agreement: the analytical model (src/optimal) and the
+// protocol engine (src/em2ra) must price the same decision sequence
+// identically.  We solve the DP, replay its optimal schedule through the
+// HybridMachine via a scripted policy, and demand cost equality — any
+// drift between the cost model the DP optimizes and the costs the engine
+// charges would silently invalidate every "vs optimal" experiment.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "em2ra/hybrid_machine.hpp"
+#include "optimal/dp_migrate.hpp"
+#include "util/rng.hpp"
+
+namespace em2 {
+namespace {
+
+/// Replays a precomputed action list: each decide() call pops the next
+/// non-local action of the schedule.
+class ScriptedPolicy final : public DecisionPolicy {
+ public:
+  explicit ScriptedPolicy(const MigrateRaSolution& sol) {
+    for (const AccessAction a : sol.actions) {
+      if (a == AccessAction::kMigrate) {
+        script_.push_back(RaDecision::kMigrate);
+      } else if (a == AccessAction::kRemote) {
+        script_.push_back(RaDecision::kRemoteAccess);
+      }
+      // kLocal accesses never reach decide().
+    }
+  }
+
+  RaDecision decide(const DecisionQuery&) override {
+    EM2_ASSERT(!script_.empty(), "engine asked for more decisions than "
+                                 "the model schedule contains");
+    const RaDecision d = script_.front();
+    script_.pop_front();
+    return d;
+  }
+  std::string name() const override { return "scripted"; }
+  bool exhausted() const noexcept { return script_.empty(); }
+
+ private:
+  std::deque<RaDecision> script_;
+};
+
+class ModelEngineAgreement : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ModelEngineAgreement, OptimalScheduleCostsTheSameInBothWorlds) {
+  const Mesh mesh(4, 4);
+  const CostModel cost(mesh, CostModelParams{});
+  Rng rng(GetParam());
+
+  // Random single-thread trace (the model is single-threaded; a lone
+  // thread in the machine has no eviction interference either).
+  ModelTrace mt;
+  mt.start = static_cast<CoreId>(rng.next_below(16));
+  for (int i = 0; i < 500; ++i) {
+    mt.homes.push_back(static_cast<CoreId>(rng.next_below(16)));
+    mt.ops.push_back(rng.next_bool(0.3) ? MemOp::kWrite : MemOp::kRead);
+  }
+  const MigrateRaSolution sol = solve_optimal_migrate_ra(mt, cost);
+
+  ScriptedPolicy policy(sol);
+  Em2Params params;
+  params.guest_contexts = 16;  // never a factor for one thread
+  HybridMachine machine(mesh, cost, params, {mt.start}, policy);
+
+  for (std::size_t k = 0; k < mt.homes.size(); ++k) {
+    // Block/addr identity is irrelevant without cache modelling.
+    machine.access_hybrid(0, mt.homes[k], mt.ops[k],
+                          static_cast<Addr>(k) * 64, static_cast<Addr>(k));
+    ASSERT_EQ(machine.location(0), sol.locations[k]) << "step " << k;
+  }
+  EXPECT_TRUE(policy.exhausted());
+  EXPECT_EQ(machine.total_thread_cost(), sol.total_cost);
+  EXPECT_EQ(machine.counters().get("migrations"), sol.migrations);
+  EXPECT_EQ(machine.counters().get("remote_accesses"),
+            sol.remote_accesses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelEngineAgreement,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace em2

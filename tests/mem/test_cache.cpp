@@ -1,0 +1,160 @@
+#include "mem/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace em2 {
+namespace {
+
+CacheParams tiny_cache() {
+  // 4 sets x 2 ways x 64B lines = 512B.
+  return CacheParams{512, 2, 64};
+}
+
+TEST(Cache, Geometry) {
+  Cache c(tiny_cache());
+  EXPECT_EQ(c.num_sets(), 4u);
+  EXPECT_EQ(c.ways(), 2u);
+  EXPECT_EQ(c.capacity_lines(), 8u);
+  EXPECT_EQ(c.line_of(0), 0u);
+  EXPECT_EQ(c.line_of(63), 0u);
+  EXPECT_EQ(c.line_of(64), 1u);
+}
+
+TEST(Cache, MissThenHit) {
+  Cache c(tiny_cache());
+  const auto r1 = c.access(0x100, MemOp::kRead);
+  EXPECT_FALSE(r1.hit);
+  const auto r2 = c.access(0x104, MemOp::kRead);  // same line
+  EXPECT_TRUE(r2.hit);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEviction) {
+  Cache c(tiny_cache());
+  // Set 0 holds lines 0, 4, 8, ... (4 sets).  Fill both ways then insert
+  // a third line: the least-recently-used must go.
+  c.access(0 * 64, MemOp::kRead);   // line 0
+  c.access(4 * 64, MemOp::kRead);   // line 4, same set
+  c.access(0 * 64, MemOp::kRead);   // touch line 0 (now MRU)
+  const auto r = c.access(8 * 64, MemOp::kRead);  // evicts line 4
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(r.victim_line, 4u);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(4));
+  EXPECT_TRUE(c.contains(8));
+}
+
+TEST(Cache, DirtyEvictionRequestsWriteback) {
+  Cache c(tiny_cache());
+  c.access(0 * 64, MemOp::kWrite);  // dirty line 0
+  c.access(4 * 64, MemOp::kRead);
+  const auto r = c.access(8 * 64, MemOp::kRead);  // evicts dirty line 0
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(r.victim_line, 0u);
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, CleanEvictionNoWriteback) {
+  Cache c(tiny_cache());
+  c.access(0 * 64, MemOp::kRead);
+  c.access(4 * 64, MemOp::kRead);
+  const auto r = c.access(8 * 64, MemOp::kRead);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_FALSE(r.writeback);
+}
+
+TEST(Cache, WriteHitDirties) {
+  Cache c(tiny_cache());
+  c.access(0, MemOp::kRead);
+  c.access(0, MemOp::kWrite);  // hit, dirties
+  c.access(4 * 64, MemOp::kRead);
+  const auto r = c.access(8 * 64, MemOp::kRead);  // victim = line 0
+  EXPECT_TRUE(r.writeback);
+}
+
+TEST(Cache, InvalidateReturnsDirtiness) {
+  Cache c(tiny_cache());
+  c.access(0, MemOp::kWrite);
+  c.access(64, MemOp::kRead);
+  const auto dirty = c.invalidate(0);
+  ASSERT_TRUE(dirty.has_value());
+  EXPECT_TRUE(*dirty);
+  const auto clean = c.invalidate(1);
+  ASSERT_TRUE(clean.has_value());
+  EXPECT_FALSE(*clean);
+  EXPECT_FALSE(c.invalidate(99).has_value());
+  EXPECT_EQ(c.valid_lines(), 0u);
+}
+
+TEST(Cache, StateByteStorage) {
+  Cache c(tiny_cache());
+  c.fill(5, 2, false);
+  EXPECT_EQ(c.state_of(5), std::optional<std::uint8_t>{2});
+  EXPECT_TRUE(c.set_state(5, 1));
+  EXPECT_EQ(c.state_of(5), std::optional<std::uint8_t>{1});
+  EXPECT_FALSE(c.set_state(99, 1));
+  EXPECT_EQ(c.state_of(99), std::nullopt);
+}
+
+TEST(Cache, FillOfResidentLineRefreshes) {
+  Cache c(tiny_cache());
+  c.fill(3, 1, false);
+  const auto r = c.fill(3, 2, true);
+  EXPECT_FALSE(r.evicted);
+  EXPECT_EQ(c.state_of(3), std::optional<std::uint8_t>{2});
+  EXPECT_EQ(c.valid_lines(), 1u);
+}
+
+TEST(Cache, TouchUpdatesLruWithoutAllocation) {
+  Cache c(tiny_cache());
+  EXPECT_FALSE(c.touch(7));
+  c.fill(0, 0, false);   // set 0
+  c.fill(4, 0, false);   // set 0
+  EXPECT_TRUE(c.touch(0));  // line 0 becomes MRU
+  const auto r = c.fill(8, 0, false);
+  EXPECT_EQ(r.victim_line, 4u);
+}
+
+TEST(Cache, ValidLinesTracksOccupancy) {
+  Cache c(tiny_cache());
+  EXPECT_EQ(c.valid_lines(), 0u);
+  for (int i = 0; i < 16; ++i) {
+    c.access(static_cast<Addr>(i) * 64, MemOp::kRead);
+  }
+  EXPECT_EQ(c.valid_lines(), 8u);  // full: 8 lines despite 16 fills
+}
+
+// Property: hits + misses == accesses, and occupancy never exceeds
+// capacity, across random access streams and geometries.
+struct CacheGeometry {
+  std::uint32_t size;
+  std::uint32_t ways;
+};
+class CacheProperty : public ::testing::TestWithParam<CacheGeometry> {};
+
+TEST_P(CacheProperty, ConservationAndBounds) {
+  const auto [size, ways] = GetParam();
+  Cache c(CacheParams{size, ways, 64});
+  Rng rng(99);
+  const int kAccesses = 5000;
+  for (int i = 0; i < kAccesses; ++i) {
+    const Addr addr = rng.next_below(256) * 64 + rng.next_below(64);
+    c.access(addr, rng.next_bool(0.3) ? MemOp::kWrite : MemOp::kRead);
+    EXPECT_LE(c.valid_lines(), c.capacity_lines());
+  }
+  EXPECT_EQ(c.hits() + c.misses(), static_cast<std::uint64_t>(kAccesses));
+  EXPECT_LE(c.writebacks(), c.evictions());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheProperty,
+    ::testing::Values(CacheGeometry{1024, 1}, CacheGeometry{1024, 2},
+                      CacheGeometry{2048, 4}, CacheGeometry{4096, 8},
+                      CacheGeometry{16 * 1024, 4}));
+
+}  // namespace
+}  // namespace em2

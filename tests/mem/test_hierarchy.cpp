@@ -1,0 +1,85 @@
+#include "mem/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace em2 {
+namespace {
+
+CacheHierarchy paper_hierarchy() {
+  // The paper's Figure 2 configuration: 16KB L1 + 64KB L2.
+  return CacheHierarchy(CacheParams{16 * 1024, 4, 64},
+                        CacheParams{64 * 1024, 8, 64}, HierarchyLatency{});
+}
+
+TEST(Hierarchy, ColdMissGoesToDram) {
+  CacheHierarchy h = paper_hierarchy();
+  const auto r = h.access(0x1000, MemOp::kRead);
+  EXPECT_EQ(r.level, HitLevel::kDram);
+  EXPECT_EQ(r.latency, 2u + 8u + 100u);
+  EXPECT_EQ(h.dram_fills(), 1u);
+}
+
+TEST(Hierarchy, SecondAccessHitsL1) {
+  CacheHierarchy h = paper_hierarchy();
+  h.access(0x1000, MemOp::kRead);
+  const auto r = h.access(0x1004, MemOp::kRead);
+  EXPECT_EQ(r.level, HitLevel::kL1);
+  EXPECT_EQ(r.latency, 2u);
+}
+
+TEST(Hierarchy, L1VictimFallsIntoL2) {
+  // Walk enough distinct lines to overflow L1 (256 lines) but not L2;
+  // revisiting an early line should then hit L2, not DRAM.
+  CacheHierarchy h = paper_hierarchy();
+  const int l1_lines = 16 * 1024 / 64;
+  for (int i = 0; i < l1_lines + 64; ++i) {
+    h.access(static_cast<Addr>(i) * 64, MemOp::kRead);
+  }
+  const auto r = h.access(0, MemOp::kRead);
+  EXPECT_EQ(r.level, HitLevel::kL2);
+  EXPECT_EQ(r.latency, 2u + 8u);
+}
+
+TEST(Hierarchy, DirtyLinesWriteBackToDram) {
+  // Small hierarchy so evictions reach DRAM quickly.
+  CacheHierarchy h(CacheParams{512, 2, 64}, CacheParams{1024, 2, 64},
+                   HierarchyLatency{});
+  for (int i = 0; i < 64; ++i) {
+    h.access(static_cast<Addr>(i) * 64, MemOp::kWrite);
+  }
+  EXPECT_GT(h.dram_writebacks(), 0u);
+}
+
+TEST(Hierarchy, AccessCountTracks) {
+  CacheHierarchy h = paper_hierarchy();
+  for (int i = 0; i < 10; ++i) {
+    h.access(static_cast<Addr>(i) * 4, MemOp::kRead);
+  }
+  EXPECT_EQ(h.accesses(), 10u);
+}
+
+TEST(Hierarchy, MismatchedLineSizesAbort) {
+  EXPECT_DEATH(CacheHierarchy(CacheParams{1024, 2, 32},
+                              CacheParams{2048, 2, 64},
+                              HierarchyLatency{}),
+               "share a line size");
+}
+
+TEST(Hierarchy, WorkingSetWithinL1NeverMissesAfterWarmup) {
+  CacheHierarchy h = paper_hierarchy();
+  const int lines = 64;  // well within 256-line L1
+  for (int i = 0; i < lines; ++i) {
+    h.access(static_cast<Addr>(i) * 64, MemOp::kRead);
+  }
+  const std::uint64_t fills_after_warmup = h.dram_fills();
+  for (int rep = 0; rep < 10; ++rep) {
+    for (int i = 0; i < lines; ++i) {
+      const auto r = h.access(static_cast<Addr>(i) * 64, MemOp::kRead);
+      EXPECT_EQ(r.level, HitLevel::kL1);
+    }
+  }
+  EXPECT_EQ(h.dram_fills(), fills_after_warmup);
+}
+
+}  // namespace
+}  // namespace em2

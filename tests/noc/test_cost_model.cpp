@@ -1,0 +1,106 @@
+#include "noc/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace em2 {
+namespace {
+
+CostModel default_model() {
+  return CostModel(Mesh(8, 8), CostModelParams{});
+}
+
+TEST(CostModel, FlitCountRoundsUp) {
+  const CostModel m = default_model();
+  // 128-bit links, 32-bit header: payload 0 -> 1 flit; payload 96 -> 1;
+  // payload 97 -> 2.
+  EXPECT_EQ(m.flits_for(0), 1u);
+  EXPECT_EQ(m.flits_for(96), 1u);
+  EXPECT_EQ(m.flits_for(97), 2u);
+  EXPECT_EQ(m.flits_for(1056), 9u);  // (1056+32)/128 = 8.5 -> 9
+}
+
+TEST(CostModel, PacketLatencyHopsPlusSerialization) {
+  const CostModel m = default_model();
+  // 1-flit packet over h hops: h cycles (per_hop = 1).
+  EXPECT_EQ(m.packet_latency(5, 0), 5u);
+  // 9-flit packet: h + 8 serialization cycles.
+  EXPECT_EQ(m.packet_latency(5, 1056), 13u);
+  // Zero hops: serialization only.
+  EXPECT_EQ(m.packet_latency(0, 1056), 8u);
+}
+
+TEST(CostModel, MigrationToSelfIsFree) {
+  const CostModel m = default_model();
+  EXPECT_EQ(m.migration(3, 3), 0u);
+  EXPECT_EQ(m.remote_access(3, 3, MemOp::kRead), 0u);
+}
+
+TEST(CostModel, MigrationUsesContextBits) {
+  const CostModel m = default_model();
+  // Cores 0 and 1 are one hop apart; context 1056 bits = 9 flits.
+  EXPECT_EQ(m.migration(0, 1), 1u + 8u);
+  // Corner to corner (14 hops).
+  EXPECT_EQ(m.migration(0, 63), 14u + 8u);
+}
+
+TEST(CostModel, RemoteAccessRoundTrip) {
+  const CostModel m = default_model();
+  // Read: request (64-bit addr -> 1 flit) + reply (32-bit word -> 1 flit)
+  // over 1 hop each way: 1 + 1 = 2 cycles.
+  EXPECT_EQ(m.remote_access(0, 1, MemOp::kRead), 2u);
+  // Write request carries addr+word (96 bits -> 1 flit), ack 1 flit.
+  EXPECT_EQ(m.remote_access(0, 1, MemOp::kWrite), 2u);
+}
+
+TEST(CostModel, OneWayMigrationVsRoundTripCrossover) {
+  // The architectural tradeoff the paper exploits: for a SINGLE access,
+  // remote access is cheaper than migration whenever the round trip costs
+  // less than one-way context serialization; for LONG runs, migration
+  // amortizes.  Check both regimes.
+  const CostModel m = default_model();
+  const Cost mig = m.migration(0, 1);
+  const Cost ra = m.remote_access(0, 1, MemOp::kRead);
+  EXPECT_LT(ra, mig);  // one access: RA wins at distance 1
+  // A run of length L at the remote core costs `mig` once under
+  // migration, but L round trips under RA; migration wins for large L.
+  const Cost l = 8;
+  EXPECT_GT(ra * l, mig);
+}
+
+TEST(CostModel, WiderLinksShrinkMigrationCost) {
+  CostModelParams narrow;
+  narrow.link_width_bits = 64;
+  CostModelParams wide;
+  wide.link_width_bits = 512;
+  const Mesh mesh(8, 8);
+  const CostModel m_narrow(mesh, narrow);
+  const CostModel m_wide(mesh, wide);
+  EXPECT_GT(m_narrow.migration(0, 63), m_wide.migration(0, 63));
+}
+
+TEST(CostModel, PerHopLatencyScales) {
+  CostModelParams p;
+  p.per_hop_cycles = 3;
+  const CostModel m(Mesh(4, 4), p);
+  EXPECT_EQ(m.packet_latency(4, 0), 12u);
+}
+
+TEST(CostModel, MessageMatchesPacketLatency) {
+  const CostModel m = default_model();
+  EXPECT_EQ(m.message(0, 3, 256), m.packet_latency(3, 256));
+  EXPECT_EQ(m.message(5, 5, 1024), 0u);
+}
+
+TEST(CostModel, CostsAreSymmetricInDistance) {
+  const CostModel m = default_model();
+  for (CoreId a = 0; a < 8; ++a) {
+    for (CoreId b = 0; b < 8; ++b) {
+      EXPECT_EQ(m.migration(a, b), m.migration(b, a));
+      EXPECT_EQ(m.remote_access(a, b, MemOp::kRead),
+                m.remote_access(b, a, MemOp::kRead));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace em2

@@ -1,0 +1,191 @@
+#include "noc/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace em2 {
+namespace {
+
+NetworkParams default_params() {
+  NetworkParams p;
+  p.num_vnets = vnet::kNumVnets;
+  p.vc_depth = 4;
+  return p;
+}
+
+TEST(Network, SingleFlitUncontendedLatencyEqualsHops) {
+  const Mesh mesh(4, 4);
+  Network net(mesh, default_params());
+  Packet p;
+  p.id = 1;
+  p.src = 0;
+  p.dst = 3;  // 3 hops east
+  p.vnet = 0;
+  p.flits = 1;
+  net.inject(p);
+  ASSERT_TRUE(net.run_until_drained(1000));
+  const auto deliveries = net.drain_delivered();
+  ASSERT_EQ(deliveries.size(), 1u);
+  // 3 router-to-router hops + 1 ejection cycle from the source FIFO.
+  // Uncontended: injection cycle + 3 hops = 4 cycles total.
+  EXPECT_EQ(deliveries[0].delivered - deliveries[0].injected, 4u);
+}
+
+TEST(Network, MultiFlitAddsSerialization) {
+  const Mesh mesh(4, 4);
+  Network net(mesh, default_params());
+  Packet p;
+  p.src = 0;
+  p.dst = 3;
+  p.vnet = 0;
+  p.flits = 4;
+  net.inject(p);
+  ASSERT_TRUE(net.run_until_drained(1000));
+  const auto d = net.drain_delivered();
+  ASSERT_EQ(d.size(), 1u);
+  // Head takes 4 cycles; 3 more flits stream out one per cycle behind it.
+  EXPECT_EQ(d[0].delivered - d[0].injected, 7u);
+}
+
+TEST(Network, LocalDeliveryWorks) {
+  const Mesh mesh(2, 2);
+  Network net(mesh, default_params());
+  Packet p;
+  p.src = 1;
+  p.dst = 1;
+  p.vnet = 2;
+  p.flits = 2;
+  net.inject(p);
+  ASSERT_TRUE(net.run_until_drained(100));
+  EXPECT_EQ(net.packets_delivered(), 1u);
+}
+
+TEST(Network, AllPairsDeliver) {
+  const Mesh mesh(3, 3);
+  Network net(mesh, default_params());
+  std::uint64_t id = 0;
+  for (CoreId s = 0; s < 9; ++s) {
+    for (CoreId d = 0; d < 9; ++d) {
+      Packet p;
+      p.id = id++;
+      p.src = s;
+      p.dst = d;
+      p.vnet = static_cast<std::int32_t>(id % vnet::kNumVnets);
+      p.flits = 1 + static_cast<std::int32_t>(id % 3);
+      net.inject(p);
+    }
+  }
+  ASSERT_TRUE(net.run_until_drained(10000));
+  EXPECT_EQ(net.packets_delivered(), 81u);
+  EXPECT_EQ(net.stalled_cycles(), 0u);
+}
+
+TEST(Network, WormholeKeepsPacketsContiguous) {
+  // Two multi-flit packets from different sources crossing one output
+  // must not interleave within a vnet; we can't observe flit order
+  // directly, but both must arrive intact (tail => delivery) with no
+  // stall.
+  const Mesh mesh(4, 1);
+  Network net(mesh, default_params());
+  Packet a;
+  a.id = 1;
+  a.src = 0;
+  a.dst = 3;
+  a.vnet = 0;
+  a.flits = 6;
+  Packet b;
+  b.id = 2;
+  b.src = 1;
+  b.dst = 3;
+  b.vnet = 0;
+  b.flits = 6;
+  net.inject(a);
+  net.inject(b);
+  ASSERT_TRUE(net.run_until_drained(1000));
+  EXPECT_EQ(net.packets_delivered(), 2u);
+}
+
+TEST(Network, VnetsIsolateTraffic) {
+  // Saturate vnet 0 with a long packet stream; a vnet 1 packet on the
+  // same path must still be delivered (separate FIFOs + per-cycle output
+  // sharing).
+  const Mesh mesh(4, 1);
+  Network net(mesh, default_params());
+  for (int i = 0; i < 10; ++i) {
+    Packet p;
+    p.id = static_cast<std::uint64_t>(i);
+    p.src = 0;
+    p.dst = 3;
+    p.vnet = 0;
+    p.flits = 8;
+    net.inject(p);
+  }
+  Packet q;
+  q.id = 99;
+  q.src = 0;
+  q.dst = 3;
+  q.vnet = 1;
+  q.flits = 1;
+  net.inject(q);
+  ASSERT_TRUE(net.run_until_drained(10000));
+  EXPECT_EQ(net.packets_delivered(), 11u);
+}
+
+TEST(Network, FlitHopsAccounting) {
+  const Mesh mesh(4, 4);
+  Network net(mesh, default_params());
+  Packet p;
+  p.src = 0;
+  p.dst = 5;  // hops = 2
+  p.vnet = 0;
+  p.flits = 3;
+  net.inject(p);
+  ASSERT_TRUE(net.run_until_drained(1000));
+  EXPECT_EQ(net.flit_hops(), 6u);  // 3 flits x 2 hops
+}
+
+TEST(Network, LatencyStatsPerVnet) {
+  const Mesh mesh(4, 4);
+  Network net(mesh, default_params());
+  Packet p;
+  p.src = 0;
+  p.dst = 1;
+  p.vnet = 3;
+  p.flits = 1;
+  net.inject(p);
+  ASSERT_TRUE(net.run_until_drained(100));
+  EXPECT_EQ(net.latency_stat(3).count(), 1u);
+  EXPECT_EQ(net.latency_stat(0).count(), 0u);
+}
+
+// Random traffic storm: everything must drain (deadlock freedom under XY
+// routing + per-vnet FIFOs + guaranteed ejection), and conservation must
+// hold (injected == delivered).
+class NetworkStorm : public ::testing::TestWithParam<int> {};
+
+TEST_P(NetworkStorm, DrainsWithoutDeadlock) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const Mesh mesh(4, 4);
+  NetworkParams params = default_params();
+  params.vc_depth = 2;  // tight buffers stress flow control
+  Network net(mesh, params);
+  const int kPackets = 300;
+  for (int i = 0; i < kPackets; ++i) {
+    Packet p;
+    p.id = static_cast<std::uint64_t>(i);
+    p.src = static_cast<CoreId>(rng.next_below(16));
+    p.dst = static_cast<CoreId>(rng.next_below(16));
+    p.vnet = static_cast<std::int32_t>(rng.next_below(vnet::kNumVnets));
+    p.flits = static_cast<std::int32_t>(1 + rng.next_below(9));
+    net.inject(p);
+  }
+  ASSERT_TRUE(net.run_until_drained(200000)) << "possible deadlock";
+  EXPECT_EQ(net.packets_delivered(), static_cast<std::uint64_t>(kPackets));
+  EXPECT_TRUE(net.idle());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkStorm, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace em2

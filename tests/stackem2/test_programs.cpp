@@ -1,0 +1,74 @@
+#include "stackem2/programs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/stack_isa.hpp"
+
+namespace em2 {
+namespace {
+
+// Every bundle must run correctly on the plain functional interpreter
+// before we trust it to exercise the stack-EM2 system.
+std::uint32_t run_functionally(const StackProgramBundle& bundle) {
+  StackInterpreter interp(bundle.code);
+  StackContext ctx;
+  FunctionalMemory mem;
+  for (const auto& [addr, value] : bundle.init_memory) {
+    mem.store(addr, value);
+  }
+  const auto steps = interp.run_functional(ctx, mem, 1'000'000);
+  EXPECT_TRUE(steps.has_value()) << bundle.name << " did not halt";
+  EXPECT_FALSE(ctx.fault) << bundle.name << " faulted";
+  return mem.load(bundle.result_addr);
+}
+
+TEST(StackPrograms, ArraySumCorrect) {
+  const auto bundle = make_array_sum(0x1000, 32, 4, 0x8000, 1);
+  EXPECT_EQ(run_functionally(bundle), bundle.expected);
+}
+
+TEST(StackPrograms, ArraySumSingleElement) {
+  const auto bundle = make_array_sum(0x1000, 1, 4, 0x8000, 2);
+  EXPECT_EQ(run_functionally(bundle), bundle.expected);
+}
+
+TEST(StackPrograms, ArraySumWideStrideCorrect) {
+  // 64-byte stride: every element on its own cache line (and home core).
+  const auto bundle = make_array_sum(0x1000, 16, 64, 0x8000, 3);
+  EXPECT_EQ(run_functionally(bundle), bundle.expected);
+}
+
+TEST(StackPrograms, DotProductCorrect) {
+  const auto bundle = make_dot_product(0x1000, 0x2000, 24, 0x8000, 4);
+  EXPECT_EQ(run_functionally(bundle), bundle.expected);
+}
+
+TEST(StackPrograms, DotProductLengthOne) {
+  const auto bundle = make_dot_product(0x1000, 0x2000, 1, 0x8000, 5);
+  EXPECT_EQ(run_functionally(bundle), bundle.expected);
+}
+
+TEST(StackPrograms, PointerChaseCorrect) {
+  std::vector<Addr> nodes;
+  for (int i = 0; i < 20; ++i) {
+    nodes.push_back(0x4000 + static_cast<Addr>(i) * 128);
+  }
+  const auto bundle = make_pointer_chase(nodes, 0x8000);
+  EXPECT_EQ(run_functionally(bundle), 20u);
+}
+
+TEST(StackPrograms, PointerChaseSingleNode) {
+  const auto bundle = make_pointer_chase({0x4000}, 0x8000);
+  EXPECT_EQ(run_functionally(bundle), 1u);
+}
+
+TEST(StackPrograms, ExpectedValuesAreDeterministic) {
+  const auto a = make_array_sum(0x1000, 32, 4, 0x8000, 7);
+  const auto b = make_array_sum(0x1000, 32, 4, 0x8000, 7);
+  EXPECT_EQ(a.expected, b.expected);
+  const auto c = make_array_sum(0x1000, 32, 4, 0x8000, 8);
+  EXPECT_NE(a.expected, c.expected);  // different seed, different data
+}
+
+}  // namespace
+}  // namespace em2

@@ -1,0 +1,155 @@
+#include "stackem2/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stackem2/programs.hpp"
+
+namespace em2 {
+namespace {
+
+struct StackFixture {
+  Mesh mesh{4, 4};
+  CostModel cost{mesh, CostModelParams{}};
+  StackEm2Params params{};
+
+  /// Blocks striped across all 16 cores.
+  static CoreId striped_home(Addr block) {
+    return static_cast<CoreId>(block % 16);
+  }
+};
+
+TEST(StackEm2System, ArraySumRunsCorrectlyWithMigrations) {
+  StackFixture f;
+  FixedDepthPolicy policy(4);
+  StackEm2System sys(f.mesh, f.cost, f.params, StackFixture::striped_home,
+                     policy);
+  // 64-byte stride: consecutive elements live on consecutive blocks,
+  // i.e. different home cores -> the thread must migrate continuously.
+  const auto bundle = make_array_sum(0x1000, 16, 64, 0x8000, 1);
+  for (const auto& [addr, value] : bundle.init_memory) {
+    sys.poke(addr, value);
+  }
+  sys.add_thread(bundle.code, 0);
+  const StackEm2Report r = sys.run(1'000'000);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_EQ(sys.peek(bundle.result_addr), bundle.expected);
+  EXPECT_GT(r.migrations, 10u);  // one per element at minimum
+  EXPECT_GT(r.total_cost, 0u);
+}
+
+TEST(StackEm2System, LocalProgramNeverMigrates) {
+  StackFixture f;
+  FixedDepthPolicy policy(4);
+  // All blocks homed at core 0, thread native to core 0.
+  StackEm2System sys(f.mesh, f.cost, f.params,
+                     [](Addr) -> CoreId { return 0; }, policy);
+  const auto bundle = make_array_sum(0x1000, 16, 4, 0x8000, 2);
+  for (const auto& [addr, value] : bundle.init_memory) {
+    sys.poke(addr, value);
+  }
+  sys.add_thread(bundle.code, 0);
+  const StackEm2Report r = sys.run(1'000'000);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_EQ(r.migrations, 0u);
+  EXPECT_EQ(r.total_cost, 0u);
+  EXPECT_EQ(sys.peek(bundle.result_addr), bundle.expected);
+}
+
+TEST(StackEm2System, ContextBitsBoundedByWindow) {
+  StackFixture f;
+  f.params.window = 6;
+  FullWindowPolicy policy;
+  StackEm2System sys(f.mesh, f.cost, f.params, StackFixture::striped_home,
+                     policy);
+  const auto bundle = make_array_sum(0x1000, 8, 64, 0x8000, 3);
+  for (const auto& [addr, value] : bundle.init_memory) {
+    sys.poke(addr, value);
+  }
+  sys.add_thread(bundle.code, 0);
+  const StackEm2Report r = sys.run(1'000'000);
+  EXPECT_TRUE(r.consistent);
+  // Every migration carries at most pc + window words.
+  const std::uint64_t per_mig_max =
+      f.cost.params().pc_bits +
+      static_cast<std::uint64_t>(f.params.window) * f.cost.params().word_bits;
+  EXPECT_LE(r.context_bits, r.migrations * per_mig_max);
+  // And is always dramatically smaller than a register-file context.
+  EXPECT_LT(per_mig_max, 1056u);
+}
+
+TEST(StackEm2System, MinNeedCausesMoreForcedReturnsThanFullWindow) {
+  StackFixture f;
+  const auto bundle = make_dot_product(0x1000, 0x2000, 24, 0x8000, 4);
+
+  auto run_with = [&](StackDepthPolicy& policy) {
+    StackEm2System sys(f.mesh, f.cost, f.params,
+                       StackFixture::striped_home, policy);
+    for (const auto& [addr, value] : bundle.init_memory) {
+      sys.poke(addr, value);
+    }
+    sys.add_thread(bundle.code, 0);
+    return sys.run(1'000'000);
+  };
+
+  MinNeedPolicy min_need;
+  FullWindowPolicy full;
+  const auto r_min = run_with(min_need);
+  const auto r_full = run_with(full);
+  EXPECT_TRUE(r_min.consistent);
+  EXPECT_TRUE(r_full.consistent);
+  // Both must compute the right answer; the tradeoff shows in the bits
+  // moved per migration (full-window always carries more).
+  EXPECT_GE(r_min.migrations, r_full.migrations);
+  EXPECT_LT(static_cast<double>(r_min.context_bits) /
+                static_cast<double>(std::max<std::uint64_t>(
+                    r_min.migrations, 1)),
+            static_cast<double>(r_full.context_bits) /
+                static_cast<double>(std::max<std::uint64_t>(
+                    r_full.migrations, 1)));
+}
+
+TEST(StackEm2System, MultipleThreadsShareMemoryConsistently) {
+  StackFixture f;
+  FixedDepthPolicy policy(4);
+  StackEm2System sys(f.mesh, f.cost, f.params, StackFixture::striped_home,
+                     policy);
+  // Two independent sums into different result addresses.
+  const auto b0 = make_array_sum(0x10000, 12, 64, 0x8000, 5);
+  const auto b1 = make_array_sum(0x20000, 12, 64, 0x8100, 6);
+  for (const auto& [addr, value] : b0.init_memory) {
+    sys.poke(addr, value);
+  }
+  for (const auto& [addr, value] : b1.init_memory) {
+    sys.poke(addr, value);
+  }
+  sys.add_thread(b0.code, 0);
+  sys.add_thread(b1.code, 5);
+  const StackEm2Report r = sys.run(2'000'000);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_EQ(sys.peek(b0.result_addr), b0.expected);
+  EXPECT_EQ(sys.peek(b1.result_addr), b1.expected);
+}
+
+TEST(StackEm2System, PointerChaseAcrossCores) {
+  StackFixture f;
+  AdaptiveDepthPolicy policy;
+  StackEm2System sys(f.mesh, f.cost, f.params, StackFixture::striped_home,
+                     policy);
+  std::vector<Addr> nodes;
+  for (int i = 0; i < 24; ++i) {
+    // Spread nodes over blocks so consecutive hops change home cores.
+    nodes.push_back(0x40000 + static_cast<Addr>((i * 7) % 24) * 64);
+  }
+  const auto bundle = make_pointer_chase(nodes, 0x8000);
+  for (const auto& [addr, value] : bundle.init_memory) {
+    sys.poke(addr, value);
+  }
+  sys.add_thread(bundle.code, 0);
+  const StackEm2Report r = sys.run(1'000'000);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_EQ(sys.peek(bundle.result_addr), bundle.expected);
+  EXPECT_GT(r.migrations, 0u);
+}
+
+}  // namespace
+}  // namespace em2

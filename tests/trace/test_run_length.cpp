@@ -1,0 +1,150 @@
+#include "trace/run_length.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace em2 {
+namespace {
+
+RunLengthReport analyze(CoreId native, std::vector<CoreId> homes) {
+  RunLengthAnalyzer a;
+  a.add_thread(native, homes);
+  return a.report();
+}
+
+TEST(RunLength, AllNativeHasNoMigrations) {
+  const auto r = analyze(0, {0, 0, 0, 0});
+  EXPECT_EQ(r.total_accesses, 4u);
+  EXPECT_EQ(r.native_accesses, 4u);
+  EXPECT_EQ(r.nonnative_accesses, 0u);
+  EXPECT_EQ(r.migrations, 0u);
+  EXPECT_EQ(r.nonnative_runs, 0u);
+}
+
+TEST(RunLength, SingleRemoteRunCountsOnce) {
+  // native 0: run of 3 at core 1, then back home.
+  const auto r = analyze(0, {1, 1, 1, 0});
+  EXPECT_EQ(r.nonnative_accesses, 3u);
+  EXPECT_EQ(r.nonnative_runs, 1u);
+  EXPECT_EQ(r.runs_by_run_length.count(3), 1u);
+  EXPECT_EQ(r.accesses_by_run_length.count(3), 3u);
+  EXPECT_EQ(r.migrations, 2u);  // out and back
+}
+
+TEST(RunLength, PaperScenarioHalfLengthOne) {
+  // Alternating pattern: local, remote, local, remote ... gives
+  // run-length-1 remote runs that return to the origin — the dominant
+  // Figure 2 pattern.  End on a local access so every remote run has a
+  // successor (the final run cannot be credited with a return).
+  std::vector<CoreId> homes;
+  for (int i = 0; i < 10; ++i) {
+    homes.push_back(0);
+    homes.push_back(1);
+  }
+  homes.push_back(0);
+  const auto r = analyze(0, homes);
+  EXPECT_EQ(r.nonnative_runs_len1, 10u);
+  EXPECT_EQ(r.return_to_origin_runs_len1, 10u);
+  EXPECT_DOUBLE_EQ(r.fraction_accesses_in_len1_runs(), 1.0);
+  EXPECT_DOUBLE_EQ(r.fraction_len1_returning(), 1.0);
+}
+
+TEST(RunLength, ReturnToOriginDetection) {
+  // 0 -> 1 -> 2: the run at 1 does NOT return to origin (it moves on to
+  // 2); the run at 2 is final (no successor => no return credit).
+  const auto r = analyze(0, {1, 2});
+  EXPECT_EQ(r.nonnative_runs, 2u);
+  EXPECT_EQ(r.return_to_origin_runs, 0u);
+  // 0 -> 1 -> 0: the run at 1 returns.
+  const auto r2 = analyze(0, {1, 0});
+  EXPECT_EQ(r2.return_to_origin_runs, 1u);
+}
+
+TEST(RunLength, MigrationCountMatchesTransitions) {
+  // Walk 0 -> 1 -> 1 -> 2 -> 0 -> 3: moves at 1, 2, 0, 3 = 4 migrations.
+  const auto r = analyze(0, {1, 1, 2, 0, 3});
+  EXPECT_EQ(r.migrations, 4u);
+}
+
+TEST(RunLength, NativeRunsExcludedFromHistogram) {
+  const auto r = analyze(0, {0, 0, 1, 0, 0});
+  EXPECT_EQ(r.native_accesses, 4u);
+  EXPECT_EQ(r.nonnative_accesses, 1u);
+  std::uint64_t hist_total = 0;
+  for (const auto b : r.runs_by_run_length.bins()) {
+    hist_total += b;
+  }
+  EXPECT_EQ(hist_total, 1u);
+}
+
+TEST(RunLength, EmptySequenceIsNoop) {
+  RunLengthAnalyzer a;
+  a.add_thread(0, {});
+  EXPECT_EQ(a.report().total_accesses, 0u);
+}
+
+TEST(RunLength, MergeAcrossThreads) {
+  RunLengthAnalyzer a;
+  std::vector<CoreId> h1{1, 1, 0};
+  std::vector<CoreId> h2{2, 0, 2};
+  a.add_thread(0, h1);
+  a.add_thread(0, h2);
+  const auto& r = a.report();
+  EXPECT_EQ(r.total_accesses, 6u);
+  EXPECT_EQ(r.nonnative_runs, 3u);  // {1,1}, {2}, {2}
+  EXPECT_EQ(r.runs_by_run_length.count(1), 2u);
+  EXPECT_EQ(r.runs_by_run_length.count(2), 1u);
+}
+
+TEST(RunLength, ReportMergeEqualsCombinedAnalysis) {
+  std::vector<CoreId> h1{1, 2, 2, 0};
+  std::vector<CoreId> h2{3, 0, 0, 3};
+  RunLengthAnalyzer separate1;
+  separate1.add_thread(0, h1);
+  RunLengthAnalyzer separate2;
+  separate2.add_thread(0, h2);
+  RunLengthReport merged = separate1.report();
+  merged.merge(separate2.report());
+
+  RunLengthAnalyzer combined;
+  combined.add_thread(0, h1);
+  combined.add_thread(0, h2);
+  const auto& c = combined.report();
+  EXPECT_EQ(merged.total_accesses, c.total_accesses);
+  EXPECT_EQ(merged.nonnative_runs, c.nonnative_runs);
+  EXPECT_EQ(merged.migrations, c.migrations);
+  EXPECT_EQ(merged.accesses_by_run_length.total(),
+            c.accesses_by_run_length.total());
+}
+
+// Conservation property: across random home sequences,
+// native + nonnative == total, and the access-weighted histogram total
+// equals the number of non-native accesses.
+class RunLengthConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(RunLengthConservation, SumsAddUp) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<CoreId> homes;
+  for (int i = 0; i < 2000; ++i) {
+    homes.push_back(static_cast<CoreId>(rng.next_below(8)));
+  }
+  const auto r = analyze(0, homes);
+  EXPECT_EQ(r.native_accesses + r.nonnative_accesses, r.total_accesses);
+  EXPECT_EQ(r.accesses_by_run_length.total(), r.nonnative_accesses);
+  std::uint64_t runs = 0;
+  for (const auto b : r.runs_by_run_length.bins()) {
+    runs += b;
+  }
+  EXPECT_EQ(runs, r.nonnative_runs);
+  EXPECT_LE(r.return_to_origin_runs, r.nonnative_runs);
+  EXPECT_LE(r.nonnative_runs_len1, r.nonnative_runs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RunLengthConservation,
+                         ::testing::Range(1, 12));
+
+}  // namespace
+}  // namespace em2

@@ -1,0 +1,76 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace em2 {
+namespace {
+
+TEST(ThreadTrace, AppendAndIndex) {
+  ThreadTrace t(3, 5);
+  EXPECT_EQ(t.thread(), 3);
+  EXPECT_EQ(t.native_core(), 5);
+  EXPECT_TRUE(t.empty());
+  t.append(0x100, MemOp::kRead, 2);
+  t.append(Access{0x104, MemOp::kWrite, 0});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].addr, 0x100u);
+  EXPECT_EQ(t[0].op, MemOp::kRead);
+  EXPECT_EQ(t[0].gap, 2u);
+  EXPECT_EQ(t[1].op, MemOp::kWrite);
+}
+
+TEST(TraceSet, BlockMapping) {
+  TraceSet ts(64);
+  EXPECT_EQ(ts.block_of(0), 0u);
+  EXPECT_EQ(ts.block_of(63), 0u);
+  EXPECT_EQ(ts.block_of(64), 1u);
+  EXPECT_EQ(ts.block_of(0x1000), 64u);
+}
+
+TEST(TraceSet, BlockMappingOtherSizes) {
+  TraceSet ts32(32);
+  EXPECT_EQ(ts32.block_of(31), 0u);
+  EXPECT_EQ(ts32.block_of(32), 1u);
+  TraceSet ts128(128);
+  EXPECT_EQ(ts128.block_of(127), 0u);
+  EXPECT_EQ(ts128.block_of(128), 1u);
+}
+
+TEST(TraceSet, TotalAccesses) {
+  TraceSet ts(64);
+  ThreadTrace t0(0, 0);
+  t0.append(0, MemOp::kRead);
+  t0.append(4, MemOp::kRead);
+  ThreadTrace t1(1, 1);
+  t1.append(8, MemOp::kWrite);
+  ts.add_thread(std::move(t0));
+  ts.add_thread(std::move(t1));
+  EXPECT_EQ(ts.num_threads(), 2u);
+  EXPECT_EQ(ts.total_accesses(), 3u);
+}
+
+TEST(TraceSet, TouchedBlocksSortedUnique) {
+  TraceSet ts(64);
+  ThreadTrace t0(0, 0);
+  t0.append(0x100, MemOp::kRead);  // block 4
+  t0.append(0x104, MemOp::kRead);  // block 4 again
+  t0.append(0x000, MemOp::kRead);  // block 0
+  ts.add_thread(std::move(t0));
+  const auto blocks = ts.touched_blocks();
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0], 0u);
+  EXPECT_EQ(blocks[1], 4u);
+}
+
+TEST(TraceSetDeath, NonDenseThreadIdsAbort) {
+  TraceSet ts(64);
+  ThreadTrace wrong(1, 0);  // first thread must have id 0
+  EXPECT_DEATH(ts.add_thread(std::move(wrong)), "dense id order");
+}
+
+TEST(TraceSetDeath, NonPowerOfTwoBlockAborts) {
+  EXPECT_DEATH(TraceSet ts(48), "power of two");
+}
+
+}  // namespace
+}  // namespace em2

@@ -1,0 +1,115 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace em2 {
+namespace {
+
+TraceSet sample_traces() {
+  TraceSet ts(64);
+  ThreadTrace t0(0, 0);
+  t0.append(0x1000, MemOp::kRead, 3);
+  t0.append(0x1004, MemOp::kWrite, 0);
+  ThreadTrace t1(1, 2);
+  t1.append(0xdeadbeef, MemOp::kRead, 0);
+  ts.add_thread(std::move(t0));
+  ts.add_thread(std::move(t1));
+  return ts;
+}
+
+void expect_equal(const TraceSet& a, const TraceSet& b) {
+  ASSERT_EQ(a.num_threads(), b.num_threads());
+  EXPECT_EQ(a.block_bytes(), b.block_bytes());
+  for (std::size_t i = 0; i < a.num_threads(); ++i) {
+    const ThreadTrace& ta = a.thread(i);
+    const ThreadTrace& tb = b.thread(i);
+    EXPECT_EQ(ta.thread(), tb.thread());
+    EXPECT_EQ(ta.native_core(), tb.native_core());
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t k = 0; k < ta.size(); ++k) {
+      EXPECT_EQ(ta[k], tb[k]);
+    }
+  }
+}
+
+TEST(TraceIo, TextRoundTrip) {
+  const TraceSet original = sample_traces();
+  std::stringstream ss;
+  ASSERT_TRUE(write_trace_text(ss, original));
+  const auto loaded = read_trace_text(ss);
+  ASSERT_TRUE(loaded.has_value());
+  expect_equal(original, *loaded);
+}
+
+TEST(TraceIo, BinaryRoundTrip) {
+  const TraceSet original = sample_traces();
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(write_trace_binary(ss, original));
+  const auto loaded = read_trace_binary(ss);
+  ASSERT_TRUE(loaded.has_value());
+  expect_equal(original, *loaded);
+}
+
+TEST(TraceIo, TextFormatIsHumanReadable) {
+  std::stringstream ss;
+  write_trace_text(ss, sample_traces());
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("blocksize 64"), std::string::npos);
+  EXPECT_NE(out.find("thread 0 native 0"), std::string::npos);
+  EXPECT_NE(out.find("R 1000 3"), std::string::npos);
+  EXPECT_NE(out.find("W 1004"), std::string::npos);
+}
+
+TEST(TraceIo, TextParserAcceptsCommentsAndBlankLines) {
+  std::stringstream ss;
+  ss << "# a comment\n\nblocksize 32\nthread 0 native 1\nR ff\n";
+  const auto loaded = read_trace_text(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->block_bytes(), 32u);
+  EXPECT_EQ(loaded->thread(0).native_core(), 1);
+  EXPECT_EQ(loaded->thread(0)[0].addr, 0xffu);
+}
+
+TEST(TraceIo, TextParserRejectsGarbage) {
+  std::stringstream ss;
+  ss << "thread 0 native 0\nX 100\n";
+  EXPECT_FALSE(read_trace_text(ss).has_value());
+}
+
+TEST(TraceIo, TextParserRejectsAccessBeforeThread) {
+  std::stringstream ss;
+  ss << "R 100\n";
+  EXPECT_FALSE(read_trace_text(ss).has_value());
+}
+
+TEST(TraceIo, BinaryRejectsBadMagic) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ss << "NOPE garbage";
+  EXPECT_FALSE(read_trace_binary(ss).has_value());
+}
+
+TEST(TraceIo, BinaryRejectsTruncation) {
+  const TraceSet original = sample_traces();
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(write_trace_binary(ss, original));
+  std::string data = ss.str();
+  data.resize(data.size() / 2);
+  std::stringstream cut(data,
+                        std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_FALSE(read_trace_binary(cut).has_value());
+}
+
+TEST(TraceIo, EmptyTraceSetRoundTrips) {
+  const TraceSet empty(128);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(write_trace_binary(ss, empty));
+  const auto loaded = read_trace_binary(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_threads(), 0u);
+  EXPECT_EQ(loaded->block_bytes(), 128u);
+}
+
+}  // namespace
+}  // namespace em2

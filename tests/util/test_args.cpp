@@ -1,0 +1,57 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace em2 {
+namespace {
+
+Args make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return Args(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, KeyValueAndFlags) {
+  const Args a = make({"prog", "--threads=8", "--verbose"});
+  EXPECT_TRUE(a.has("threads"));
+  EXPECT_EQ(a.get_int("threads", 1), 8);
+  EXPECT_TRUE(a.get_bool("verbose", false));
+  EXPECT_TRUE(a.errors().empty());
+  EXPECT_EQ(a.program(), "prog");
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const Args a = make({"prog"});
+  EXPECT_EQ(a.get_int("n", 7), 7);
+  EXPECT_EQ(a.get_string("s", "x"), "x");
+  EXPECT_DOUBLE_EQ(a.get_double("d", 2.5), 2.5);
+  EXPECT_FALSE(a.get_bool("b", false));
+}
+
+TEST(Args, MalformedValuesReportErrors) {
+  const Args a = make({"prog", "--n=abc", "--d=1.2.3", "--b=maybe"});
+  EXPECT_EQ(a.get_int("n", 5), 5);
+  EXPECT_DOUBLE_EQ(a.get_double("d", 1.0), 1.0);
+  EXPECT_FALSE(a.get_bool("b", false));
+  EXPECT_EQ(a.errors().size(), 3u);
+}
+
+TEST(Args, UnrecognizedTokens) {
+  const Args a = make({"prog", "positional", "-x"});
+  EXPECT_EQ(a.errors().size(), 2u);
+}
+
+TEST(Args, DoubleParsing) {
+  const Args a = make({"prog", "--alpha=0.125"});
+  EXPECT_DOUBLE_EQ(a.get_double("alpha", 0.0), 0.125);
+}
+
+TEST(Args, BoolSpellings) {
+  const Args a = make({"prog", "--t=true", "--o=1", "--f=false", "--z=0"});
+  EXPECT_TRUE(a.get_bool("t", false));
+  EXPECT_TRUE(a.get_bool("o", false));
+  EXPECT_FALSE(a.get_bool("f", true));
+  EXPECT_FALSE(a.get_bool("z", true));
+}
+
+}  // namespace
+}  // namespace em2

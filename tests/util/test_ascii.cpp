@@ -1,0 +1,53 @@
+#include "util/ascii.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace em2 {
+namespace {
+
+TEST(AsciiBar, WidthScaling) {
+  EXPECT_EQ(ascii_bar(0.0, 10), "");
+  EXPECT_EQ(ascii_bar(1.0, 10), "##########");
+  EXPECT_EQ(ascii_bar(0.5, 10), "#####");
+  EXPECT_EQ(ascii_bar(0.25, 4), "#");
+}
+
+TEST(AsciiBar, ClampsOutOfRange) {
+  EXPECT_EQ(ascii_bar(-1.0, 8), "");
+  EXPECT_EQ(ascii_bar(2.0, 8), "########");
+}
+
+TEST(HistogramBars, RendersNonEmptyBins) {
+  Histogram h(16);
+  h.add(1, 10);
+  h.add(3, 5);
+  std::ostringstream os;
+  print_histogram_bars(os, h, 10);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("1\t10\t##########"), std::string::npos);
+  EXPECT_NE(out.find("3\t5\t#####"), std::string::npos);
+  EXPECT_EQ(out.find("2\t"), std::string::npos);  // empty bin skipped
+}
+
+TEST(HistogramBars, FoldsTail) {
+  Histogram h(64);
+  h.add(1, 4);
+  h.add(30, 2);
+  h.add(40, 2);
+  std::ostringstream os;
+  print_histogram_bars(os, h, 8, 10);
+  const std::string out = os.str();
+  EXPECT_NE(out.find(">10\t4"), std::string::npos);
+}
+
+TEST(HistogramBars, EmptyHistogram) {
+  Histogram h(4);
+  std::ostringstream os;
+  print_histogram_bars(os, h);
+  EXPECT_NE(os.str().find("empty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace em2

@@ -1,0 +1,127 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace em2 {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.next_below(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  // Degenerate interval.
+  EXPECT_EQ(rng.next_in(42, 42), 42);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, GeometricMeanRoughlyMatches) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.next_geometric(0.25));
+  }
+  // Mean of geometric(p) is 1/p = 4; allow 5% tolerance.
+  EXPECT_NEAR(sum / n, 4.0, 0.2);
+}
+
+TEST(Rng, GeometricAlwaysAtLeastOne) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.next_geometric(0.9), 1u);
+  }
+}
+
+TEST(Rng, ForkIsIndependentButDeterministic) {
+  Rng parent1(99);
+  Rng parent2(99);
+  Rng child1 = parent1.fork();
+  Rng child2 = parent2.fork();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(child1.next_u64(), child2.next_u64());
+  }
+  // Child stream differs from the parent's continued stream.
+  Rng parent(99);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformityChiSquaredSmoke) {
+  // 16 buckets, 16k draws: expect counts near 1000 each.
+  Rng rng(21);
+  std::vector<int> buckets(16, 0);
+  for (int i = 0; i < 16000; ++i) {
+    ++buckets[rng.next_below(16)];
+  }
+  for (const int c : buckets) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+}  // namespace
+}  // namespace em2

@@ -1,0 +1,158 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace em2 {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // the classic population example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  Rng rng(42);
+  RunningStat whole;
+  RunningStat a;
+  RunningStat b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double() * 100 - 50;
+    whole.add(x);
+    (i % 3 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a;
+  a.add(3.0);
+  RunningStat empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  RunningStat b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(Histogram, CountsAndTotal) {
+  Histogram h(10);
+  h.add(1);
+  h.add(1);
+  h.add(3, 5);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(3), 5u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Histogram, OverflowBinClamps) {
+  Histogram h(4);
+  h.add(100);
+  h.add(5);
+  h.add(4);
+  EXPECT_EQ(h.overflow_count(), 2u);  // 100 and 5 clamp to bin 5
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.max_bin_used(), 5u);
+}
+
+TEST(Histogram, MeanAndQuantiles) {
+  Histogram h(100);
+  for (std::uint64_t v = 1; v <= 100; ++v) {
+    h.add(v);
+  }
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_EQ(h.quantile(0.0), 1u);
+  EXPECT_EQ(h.quantile(0.5), 50u);
+  EXPECT_EQ(h.quantile(1.0), 100u);
+}
+
+TEST(Histogram, FractionAt) {
+  Histogram h(8);
+  h.add(1, 3);
+  h.add(2, 1);
+  EXPECT_DOUBLE_EQ(h.fraction_at(1), 0.75);
+  EXPECT_DOUBLE_EQ(h.fraction_at(2), 0.25);
+  EXPECT_DOUBLE_EQ(h.fraction_at(3), 0.0);
+}
+
+TEST(Histogram, MergeAddsBins) {
+  Histogram a(8);
+  Histogram b(8);
+  a.add(2, 2);
+  b.add(2, 3);
+  b.add(7);
+  a.merge(b);
+  EXPECT_EQ(a.count(2), 5u);
+  EXPECT_EQ(a.count(7), 1u);
+  EXPECT_EQ(a.total(), 6u);
+}
+
+TEST(CounterSet, IncrementAndMissing) {
+  CounterSet c;
+  c.inc("migrations");
+  c.inc("migrations", 4);
+  EXPECT_EQ(c.get("migrations"), 5u);
+  EXPECT_EQ(c.get("never"), 0u);
+}
+
+TEST(CounterSet, MergeSums) {
+  CounterSet a;
+  CounterSet b;
+  a.inc("x", 2);
+  b.inc("x", 3);
+  b.inc("y");
+  a.merge(b);
+  EXPECT_EQ(a.get("x"), 5u);
+  EXPECT_EQ(a.get("y"), 1u);
+}
+
+// Property sweep: histogram total always equals the sum of all bins.
+class HistogramProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramProperty, TotalEqualsBinSum) {
+  Rng rng(GetParam());
+  Histogram h(64);
+  for (int i = 0; i < 500; ++i) {
+    h.add(rng.next_below(100), 1 + rng.next_below(3));
+  }
+  std::uint64_t sum = 0;
+  for (const std::uint64_t b : h.bins()) {
+    sum += b;
+  }
+  EXPECT_EQ(sum, h.total());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace em2

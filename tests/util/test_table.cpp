@@ -1,0 +1,54 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace em2 {
+namespace {
+
+TEST(Table, AlignedOutputContainsAllCells) {
+  Table t({"name", "value"});
+  t.begin_row().add_cell("alpha").add_cell(std::uint64_t{42});
+  t.begin_row().add_cell("b").add_cell(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+}
+
+TEST(Table, CsvFormat) {
+  Table t({"a", "b"});
+  t.begin_row().add_cell(1).add_cell(2);
+  t.begin_row().add_cell(3).add_cell(4);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.begin_row().add_cell("y");
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, FormatDoublePrecision) {
+  EXPECT_EQ(format_double(1.23456, 3), "1.235");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(Table, ShortRowsRenderPadded) {
+  Table t({"a", "b", "c"});
+  t.begin_row().add_cell("only");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace em2
