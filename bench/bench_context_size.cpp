@@ -15,10 +15,16 @@
 
 #include "arch/context.hpp"
 #include "noc/cost_model.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
-int main() {
-  std::printf("=== Context size vs link width (8x8 mesh) ===\n\n");
+int main(int argc, char** argv) {
+  const em2::Args args(argc, argv);
+  const bool json = args.has("json");
+  if (!json) {
+    std::printf("=== Context size vs link width (8x8 mesh) ===\n\n");
+  }
   const em2::Mesh mesh(8, 8);
   const em2::ContextSizeModel ctx;
 
@@ -40,6 +46,24 @@ int main() {
     em2::CostModelParams params;
     params.link_width_bits = link;
     const em2::CostModel cost(mesh, params);
+    if (json) {
+      const em2::Cost ra_1 = cost.remote_access(0, 1, em2::MemOp::kRead);
+      const em2::Cost ra_d = cost.remote_access(0, 63, em2::MemOp::kRead);
+      for (const auto& k : kinds) {
+        em2::JsonWriter w;
+        w.add("bench", "context_size")
+            .add("link_width_bits", static_cast<std::uint64_t>(link))
+            .add("context", k.name)
+            .add("context_bits", k.bits)
+            .add("flits", static_cast<std::uint64_t>(cost.flits_for(k.bits)))
+            .add("mig_1hop", cost.migration_bits(0, 1, k.bits))
+            .add("mig_diameter", cost.migration_bits(0, 63, k.bits))
+            .add("ra_read_1hop", ra_1)
+            .add("ra_read_diameter", ra_d);
+        w.print();
+      }
+      continue;
+    }
     std::printf("--- link width %u bits ---\n", link);
     em2::Table t({"context", "bits", "flits", "mig@1hop", "mig@diameter",
                   "vs RA read@1hop", "vs RA read@diameter"});
@@ -61,6 +85,9 @@ int main() {
     std::printf("\n");
   }
 
+  if (json) {
+    return 0;
+  }
   std::printf("Reading: on narrow links the 1-2Kbit register context "
               "dominates migration latency (serialization), which is "
               "exactly why the paper pursues (a) remote access for "

@@ -7,62 +7,128 @@
 // access for always-migrate (pure EM2), always-remote (pure RA coherence,
 // the paper's reference [15]), the history hybrid, and the DP optimal —
 // exposing where the poles cross and how the hybrid tracks the lower
-// envelope.
+// envelope.  Each run-length point is independent and fans out across
+// hardware threads via the sweep runner.
+//
+//   --json    one JSON object per run-length point
+//   --jobs=N  sweep worker threads (default: hardware concurrency)
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
 #include "api/system.hpp"
 #include "optimal/policy_eval.hpp"
+#include "sim/sweep.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "workload/synthetic.hpp"
 
-int main() {
-  std::printf("=== Run-length crossover: pure EM2 vs pure RA vs hybrid vs "
-              "optimal ===\n");
-  std::printf("16 threads (4x4), geometric non-native run lengths, "
-              "first-touch placement; cells = network cycles per access\n\n");
+namespace {
+
+struct Point {
+  double mean = 0;
+  double c_mig = 0;
+  double c_ra = 0;
+  double c_hist = 0;
+  double c_est = 0;
+  double c_opt = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const em2::Args args(argc, argv);
+  const bool json = args.has("json");
+  em2::sweep::Options sweep_opts;
+  sweep_opts.num_threads =
+      static_cast<unsigned>(args.get_int("jobs", 0));
 
   em2::SystemConfig cfg;
   cfg.threads = 16;
   cfg.em2.guest_contexts = 16;  // match the model's no-eviction assumption
   em2::System sys(cfg);
 
+  const std::vector<double> means = {1.0, 1.5, 2.0, 3.0, 4.0,
+                                     6.0, 8.0, 12.0, 16.0};
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<Point> points = em2::sweep::run(
+      means.size(),
+      [&](std::size_t i) {
+        em2::workload::GeometricRunsParams p;
+        p.threads = 16;
+        p.accesses_per_thread = 3000;
+        p.mean_run_length = means[i];
+        p.remote_fraction = 0.5;
+        const em2::TraceSet traces = em2::workload::make_geometric_runs(p);
+        const double n = static_cast<double>(traces.total_accesses());
+
+        auto cost_of = [&](const std::string& spec) {
+          return static_cast<double>(
+                     sys.run_em2ra(traces, spec).network_cost) /
+                 n;
+        };
+        Point pt;
+        pt.mean = means[i];
+        pt.c_mig = cost_of("always-migrate");
+        pt.c_ra = cost_of("always-remote");
+        pt.c_hist = cost_of("history");
+        pt.c_est = cost_of("cost-estimate");
+        pt.c_opt =
+            static_cast<double>(sys.run_optimal(traces).optimal_cost) / n;
+        return pt;
+      },
+      sweep_opts);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (json) {
+    for (const Point& pt : points) {
+      em2::JsonWriter w;
+      w.add("bench", "crossover")
+          .add("mean_run_len", pt.mean)
+          .add("always_migrate", pt.c_mig)
+          .add("always_remote", pt.c_ra)
+          .add("history", pt.c_hist)
+          .add("cost_estimate", pt.c_est)
+          .add("optimal", pt.c_opt)
+          .add("winner", pt.c_mig < pt.c_ra ? "migrate" : "remote");
+      w.print();
+    }
+    em2::JsonWriter summary;
+    summary.add("bench", "crossover_summary")
+        .add("points", static_cast<std::uint64_t>(points.size()))
+        .add("seconds", elapsed)
+        .add("sweep_jobs",
+             static_cast<std::int64_t>(em2::sweep::resolve_threads(sweep_opts)));
+    summary.print();
+    return 0;
+  }
+
+  std::printf("=== Run-length crossover: pure EM2 vs pure RA vs hybrid vs "
+              "optimal ===\n");
+  std::printf("16 threads (4x4), geometric non-native run lengths, "
+              "first-touch placement; cells = network cycles per access\n\n");
   em2::Table t({"mean_run_len", "always-migrate", "always-remote",
                 "history", "cost-estimate", "optimal", "winner(poles)"});
-  for (const double mean : {1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0}) {
-    em2::workload::GeometricRunsParams p;
-    p.threads = 16;
-    p.accesses_per_thread = 3000;
-    p.mean_run_length = mean;
-    p.remote_fraction = 0.5;
-    const em2::TraceSet traces = em2::workload::make_geometric_runs(p);
-    const double n = static_cast<double>(traces.total_accesses());
-
-    auto cost_of = [&](const std::string& spec) {
-      return static_cast<double>(
-                 sys.run_em2ra(traces, spec).network_cost) /
-             n;
-    };
-    const double c_mig = cost_of("always-migrate");
-    const double c_ra = cost_of("always-remote");
-    const double c_hist = cost_of("history");
-    const double c_est = cost_of("cost-estimate");
-    const double c_opt =
-        static_cast<double>(sys.run_optimal(traces).optimal_cost) / n;
-
+  for (const Point& pt : points) {
     t.begin_row()
-        .add_cell(mean, 1)
-        .add_cell(c_mig, 3)
-        .add_cell(c_ra, 3)
-        .add_cell(c_hist, 3)
-        .add_cell(c_est, 3)
-        .add_cell(c_opt, 3)
-        .add_cell(c_mig < c_ra ? "migrate" : "remote");
+        .add_cell(pt.mean, 1)
+        .add_cell(pt.c_mig, 3)
+        .add_cell(pt.c_ra, 3)
+        .add_cell(pt.c_hist, 3)
+        .add_cell(pt.c_est, 3)
+        .add_cell(pt.c_opt, 3)
+        .add_cell(pt.c_mig < pt.c_ra ? "migrate" : "remote");
   }
   t.print(std::cout);
   std::printf("\nExpected shape: always-remote wins at mean run length 1 "
               "(the 'about half' of Figure 2), always-migrate wins for "
               "long runs, and the hybrid policies track the lower "
               "envelope toward the DP optimal.\n");
+  std::printf("(sweep: %zu points in %.2f s on %u worker threads)\n",
+              points.size(), elapsed,
+              em2::sweep::resolve_threads(sweep_opts));
   return 0;
 }

@@ -5,63 +5,134 @@
 // "hardware-implementable scheme[s]" can be judged against the optimum.
 // For every workload we solve the DP per thread (the model considers one
 // thread at a time) and evaluate each core-local policy on the same
-// traces; the figure of merit is policy_cost / optimal_cost.
+// traces; the figure of merit is policy_cost / optimal_cost.  Workloads
+// are independent sweep points and fan out across hardware threads.
+//
+//   --json    one JSON object per workload
+//   --jobs=N  sweep worker threads (default: hardware concurrency)
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
 #include "api/system.hpp"
 #include "optimal/policy_eval.hpp"
+#include "sim/sweep.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "workload/registry.hpp"
 
-int main() {
-  std::printf("=== EM2-RA decision schemes vs DP optimal (Section 3) ===\n");
-  std::printf("16 threads on a 4x4 mesh, first-touch placement; cost = "
-              "network cycles of the analytical model\n\n");
+namespace {
+
+struct WorkloadResult {
+  std::string name;
+  bool present = false;
+  em2::Cost optimal = 0;
+  std::vector<double> policy_ratios;  // one per standard_policy_specs()
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const em2::Args args(argc, argv);
+  const bool json = args.has("json");
+  em2::sweep::Options sweep_opts;
+  sweep_opts.num_threads =
+      static_cast<unsigned>(args.get_int("jobs", 0));
 
   const std::int32_t threads = 16;
   em2::SystemConfig cfg;
   cfg.threads = threads;
   em2::System sys(cfg);
 
-  em2::Table t({"workload", "optimal", "always-migrate", "always-remote",
-                "distance:4", "history", "cost-estimate"});
-  for (const auto& name : em2::workload::workload_names()) {
-    const auto traces = em2::workload::make_by_name(name, threads, 2, 1);
-    if (!traces) {
+  const auto names = em2::workload::workload_names();
+  const auto specs = em2::standard_policy_specs();
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<WorkloadResult> results = em2::sweep::run(
+      names.size(),
+      [&](std::size_t i) {
+        WorkloadResult res;
+        res.name = names[i];
+        const auto traces =
+            em2::workload::make_by_name(names[i], threads, 2, 1);
+        if (!traces) {
+          return res;
+        }
+        res.present = true;
+        const auto placement = sys.make_placement_for(*traces);
+
+        std::vector<em2::ModelTrace> model_traces;
+        for (const auto& thread : traces->threads()) {
+          const auto homes =
+              em2::home_sequence(thread, *traces, *placement);
+          std::vector<em2::MemOp> ops;
+          ops.reserve(thread.size());
+          for (const auto& a : thread.accesses()) {
+            ops.push_back(a.op);
+          }
+          model_traces.push_back(
+              em2::make_model_trace(homes, ops, thread.native_core()));
+          res.optimal += em2::solve_optimal_migrate_ra(model_traces.back(),
+                                                       sys.cost_model())
+                             .total_cost;
+        }
+
+        for (const auto& spec : specs) {
+          em2::Cost policy_cost = 0;
+          for (const auto& mt : model_traces) {
+            auto policy =
+                em2::make_policy(spec, sys.mesh(), sys.cost_model());
+            policy_cost +=
+                em2::evaluate_policy_model(mt, sys.cost_model(), *policy)
+                    .total_cost;
+          }
+          res.policy_ratios.push_back(
+              res.optimal ? static_cast<double>(policy_cost) /
+                                static_cast<double>(res.optimal)
+                          : 1.0);
+        }
+        return res;
+      },
+      sweep_opts);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (json) {
+    for (const WorkloadResult& res : results) {
+      if (!res.present) {
+        continue;
+      }
+      em2::JsonWriter w;
+      w.add("bench", "decision_schemes").add("workload", res.name);
+      w.add("optimal_cost", static_cast<std::uint64_t>(res.optimal));
+      for (std::size_t s = 0; s < specs.size(); ++s) {
+        w.add(specs[s], res.policy_ratios[s]);
+      }
+      w.print();
+    }
+    em2::JsonWriter summary;
+    summary.add("bench", "decision_schemes_summary")
+        .add("workloads", static_cast<std::uint64_t>(results.size()))
+        .add("seconds", elapsed)
+        .add("sweep_jobs",
+             static_cast<std::int64_t>(em2::sweep::resolve_threads(sweep_opts)));
+    summary.print();
+    return 0;
+  }
+
+  std::printf("=== EM2-RA decision schemes vs DP optimal (Section 3) ===\n");
+  std::printf("16 threads on a 4x4 mesh, first-touch placement; cost = "
+              "network cycles of the analytical model\n\n");
+  std::vector<std::string> header = {"workload", "optimal"};
+  header.insert(header.end(), specs.begin(), specs.end());
+  em2::Table t(header);
+  for (const WorkloadResult& res : results) {
+    if (!res.present) {
       continue;
     }
-    const auto placement = sys.make_placement_for(*traces);
-
-    em2::Cost optimal = 0;
-    std::vector<em2::ModelTrace> model_traces;
-    for (const auto& thread : traces->threads()) {
-      const auto homes = em2::home_sequence(thread, *traces, *placement);
-      std::vector<em2::MemOp> ops;
-      ops.reserve(thread.size());
-      for (const auto& a : thread.accesses()) {
-        ops.push_back(a.op);
-      }
-      model_traces.push_back(
-          em2::make_model_trace(homes, ops, thread.native_core()));
-      optimal +=
-          em2::solve_optimal_migrate_ra(model_traces.back(), sys.cost_model())
-              .total_cost;
-    }
-
-    t.begin_row().add_cell(name).add_cell(optimal);
-    for (const auto& spec : em2::standard_policy_specs()) {
-      em2::Cost policy_cost = 0;
-      for (const auto& mt : model_traces) {
-        auto policy = em2::make_policy(spec, sys.mesh(), sys.cost_model());
-        policy_cost +=
-            em2::evaluate_policy_model(mt, sys.cost_model(), *policy)
-                .total_cost;
-      }
-      const double ratio =
-          optimal ? static_cast<double>(policy_cost) /
-                        static_cast<double>(optimal)
-                  : 1.0;
+    t.begin_row().add_cell(res.name).add_cell(res.optimal);
+    for (const double ratio : res.policy_ratios) {
       t.add_cell(ratio, 3);
     }
   }
@@ -69,5 +140,8 @@ int main() {
   std::printf("\n(cells are policy cost / optimal cost; 1.000 = optimal;"
               " the best implementable scheme per row is the one closest"
               " to 1)\n");
+  std::printf("(sweep: %zu workloads in %.2f s on %u worker threads)\n",
+              results.size(), elapsed,
+              em2::sweep::resolve_threads(sweep_opts));
   return 0;
 }

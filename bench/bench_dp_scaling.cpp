@@ -17,6 +17,8 @@
 #include "noc/cost_model.hpp"
 #include "optimal/dp_migrate.hpp"
 #include "optimal/policy_eval.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -47,9 +49,13 @@ double time_ms(const std::function<void()>& fn) {
 
 }  // namespace
 
-int main() {
-  std::printf("=== DP scaling: O(N*P) paper recurrence vs O(N*P^2) "
-              "relaxed vs O(N) policy eval ===\n\n");
+int main(int argc, char** argv) {
+  const em2::Args args(argc, argv);
+  const bool json = args.has("json");
+  if (!json) {
+    std::printf("=== DP scaling: O(N*P) paper recurrence vs O(N*P^2) "
+                "relaxed vs O(N) policy eval ===\n\n");
+  }
 
   em2::Table t({"P", "N", "dp_ms", "dp_ns/(N*P)", "relaxed_ms",
                 "relaxed_ns/(N*P^2)", "policy_ms", "policy_ns/N"});
@@ -81,6 +87,21 @@ int main() {
       });
 
       const double np = static_cast<double>(n) * cores;
+      if (json) {
+        em2::JsonWriter w;
+        w.add("bench", "dp_scaling")
+            .add("cores", cores)
+            .add("n", static_cast<std::uint64_t>(n))
+            .add("dp_ms", dp_ms)
+            .add("dp_ns_per_np", dp_ms * 1e6 / np)
+            .add("relaxed_ms", relaxed_ms)
+            .add("policy_ms", policy_ms)
+            .add("policy_ns_per_n", policy_ms * 1e6 / static_cast<double>(n))
+            .add("dp_states_per_sec",
+                 dp_ms > 0 ? np / (dp_ms / 1e3) : 0.0);
+        w.print();
+        continue;
+      }
       t.begin_row()
           .add_cell(cores)
           .add_cell(static_cast<std::uint64_t>(n))
@@ -92,6 +113,9 @@ int main() {
           .add_cell(policy_ms, 3)
           .add_cell(policy_ms * 1e6 / static_cast<double>(n), 2);
     }
+  }
+  if (json) {
+    return 0;
   }
   t.print(std::cout);
   std::printf("\n(dp_ns/(N*P) roughly constant across rows => the "

@@ -11,68 +11,150 @@
 // baseline on identical traces and report: network cost per access,
 // traffic bits per access, protocol messages per access (CC) vs
 // migrations per access (EM2), replication factor, and directory storage.
+// The per-workload comparisons are independent, so they fan out across
+// hardware threads via the sweep runner; rows print in workload order
+// regardless of scheduling.
+//
+//   --json       one JSON summary object per workload/arch row
+//   --threads=N  simulated threads (default 16)
+//   --jobs=N     sweep worker threads (default: hardware concurrency)
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
 #include "api/system.hpp"
 #include "coherence/cc_sim.hpp"
+#include "sim/sweep.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "workload/registry.hpp"
 
-int main() {
-  std::printf("=== EM2 vs EM2-RA vs directory CC (16 threads, 4x4 mesh, "
-              "first-touch) ===\n\n");
-  const std::int32_t threads = 16;
+namespace {
+
+struct WorkloadRows {
+  std::string name;
+  bool present = false;
+  double n = 0;
+  em2::RunSummary em2_run;
+  em2::RunSummary ra_run;
+  em2::CcRunReport cc;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const em2::Args args(argc, argv);
+  const bool json = args.has("json");
+  const auto threads = static_cast<std::int32_t>(args.get_int("threads", 16));
+  em2::sweep::Options sweep_opts;
+  sweep_opts.num_threads =
+      static_cast<unsigned>(args.get_int("jobs", 0));
+
   em2::SystemConfig cfg;
   cfg.threads = threads;
   em2::System sys(cfg);
 
+  const auto names = em2::workload::workload_names();
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<WorkloadRows> rows = em2::sweep::run(
+      names.size(),
+      [&](std::size_t i) {
+        WorkloadRows row;
+        row.name = names[i];
+        const auto traces =
+            em2::workload::make_by_name(names[i], threads, 2, 1);
+        if (!traces) {
+          return row;
+        }
+        row.present = true;
+        row.n = static_cast<double>(traces->total_accesses());
+        row.em2_run = sys.run_em2(*traces);
+        row.ra_run = sys.run_em2ra(*traces, "history");
+        const auto placement = sys.make_placement_for(*traces);
+        em2::DirCcParams cc_params;
+        cc_params.private_cache.line_bytes = traces->block_bytes();
+        row.cc = em2::run_cc(*traces, *placement, sys.mesh(),
+                             sys.cost_model(), cc_params);
+        return row;
+      },
+      sweep_opts);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (json) {
+    std::uint64_t total_accesses = 0;
+    for (const WorkloadRows& row : rows) {
+      if (!row.present) {
+        continue;
+      }
+      total_accesses += row.em2_run.accesses + row.ra_run.accesses +
+                        row.cc.counters.get("accesses");
+      em2::JsonWriter w;
+      w.add("bench", "em2_vs_cc")
+          .add("workload", row.name)
+          .add("em2_cost_per_access", row.em2_run.cost_per_access)
+          .add("ra_cost_per_access", row.ra_run.cost_per_access)
+          .add("cc_cost_per_access", row.cc.mean_latency_per_access())
+          .add("em2_traffic_bits_per_access",
+               static_cast<double>(row.em2_run.traffic_bits) / row.n)
+          .add("cc_traffic_bits_per_access",
+               static_cast<double>(row.cc.traffic_bits) / row.n)
+          .add("cc_replication", row.cc.replication_factor)
+          .add("cc_directory_bits", row.cc.directory_bits);
+      w.print();
+    }
+    em2::JsonWriter summary;
+    summary.add("bench", "em2_vs_cc_summary")
+        .add("workloads", static_cast<std::uint64_t>(rows.size()))
+        .add("seconds", elapsed)
+        .add("accesses", total_accesses)
+        .add("accesses_per_sec",
+             elapsed > 0 ? static_cast<double>(total_accesses) / elapsed
+                         : 0.0)
+        .add("sweep_jobs",
+             static_cast<std::int64_t>(em2::sweep::resolve_threads(sweep_opts)));
+    summary.print();
+    return 0;
+  }
+
+  std::printf("=== EM2 vs EM2-RA vs directory CC (%d threads, "
+              "first-touch) ===\n\n",
+              threads);
   em2::Table t({"workload", "arch", "cost/access", "traffic_bits/access",
                 "moves/access", "replication", "directory_bits"});
-  for (const auto& name : em2::workload::workload_names()) {
-    const auto traces = em2::workload::make_by_name(name, threads, 2, 1);
-    if (!traces) {
+  for (const WorkloadRows& row : rows) {
+    if (!row.present) {
       continue;
     }
-    const double n = static_cast<double>(traces->total_accesses());
-
-    const em2::RunSummary em2_run = sys.run_em2(*traces);
     t.begin_row()
-        .add_cell(name)
+        .add_cell(row.name)
         .add_cell("em2")
-        .add_cell(em2_run.cost_per_access, 2)
-        .add_cell(static_cast<double>(em2_run.traffic_bits) / n, 1)
-        .add_cell(static_cast<double>(em2_run.migrations) / n, 3)
+        .add_cell(row.em2_run.cost_per_access, 2)
+        .add_cell(static_cast<double>(row.em2_run.traffic_bits) / row.n, 1)
+        .add_cell(static_cast<double>(row.em2_run.migrations) / row.n, 3)
         .add_cell("1.00 (no replication)")
         .add_cell("0 (no directory)");
-
-    const em2::RunSummary ra_run = sys.run_em2ra(*traces, "history");
     t.begin_row()
-        .add_cell(name)
+        .add_cell(row.name)
         .add_cell("em2-ra(history)")
-        .add_cell(ra_run.cost_per_access, 2)
-        .add_cell(static_cast<double>(ra_run.traffic_bits) / n, 1)
-        .add_cell(static_cast<double>(ra_run.migrations +
-                                      ra_run.remote_accesses) /
-                      n,
+        .add_cell(row.ra_run.cost_per_access, 2)
+        .add_cell(static_cast<double>(row.ra_run.traffic_bits) / row.n, 1)
+        .add_cell(static_cast<double>(row.ra_run.migrations +
+                                      row.ra_run.remote_accesses) /
+                      row.n,
                   3)
         .add_cell("1.00 (no replication)")
         .add_cell("0 (no directory)");
-
-    // Full CC report for the replication/directory columns.
-    const auto placement = sys.make_placement_for(*traces);
-    em2::DirCcParams cc_params;
-    cc_params.private_cache.line_bytes = traces->block_bytes();
-    const em2::CcRunReport cc = em2::run_cc(*traces, *placement, sys.mesh(),
-                                            sys.cost_model(), cc_params);
     t.begin_row()
-        .add_cell(name)
+        .add_cell(row.name)
         .add_cell("cc-msi")
-        .add_cell(cc.mean_latency_per_access(), 2)
-        .add_cell(static_cast<double>(cc.traffic_bits) / n, 1)
-        .add_cell(cc.messages_per_access(), 3)
-        .add_cell(cc.replication_factor, 2)
-        .add_cell(cc.directory_bits);
+        .add_cell(row.cc.mean_latency_per_access(), 2)
+        .add_cell(static_cast<double>(row.cc.traffic_bits) / row.n, 1)
+        .add_cell(row.cc.messages_per_access(), 3)
+        .add_cell(row.cc.replication_factor, 2)
+        .add_cell(row.cc.directory_bits);
   }
   t.print(std::cout);
   std::printf(
@@ -82,5 +164,8 @@ int main() {
       "and directory columns are the paper's structural argument: EM2 "
       "keeps one copy per line and needs no directory at all.\n",
       em2::DirCcParams{}.hit_latency);
+  std::printf("(sweep: %zu workloads in %.2f s on %u worker threads)\n",
+              rows.size(), elapsed,
+              em2::sweep::resolve_threads(sweep_opts));
   return 0;
 }

@@ -16,6 +16,8 @@
 #include <iostream>
 
 #include "api/system.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "workload/kernels.hpp"
 
@@ -44,10 +46,14 @@ void print_histogram(const em2::RunLengthReport& r) {
 
 }  // namespace
 
-int main() {
-  std::printf("=== Figure 2: run lengths of non-native accesses ===\n");
-  std::printf("ocean kernel, 64 threads on an 8x8 mesh, 16KB L1 + 64KB L2,"
-              " first-touch placement\n\n");
+int main(int argc, char** argv) {
+  const em2::Args args(argc, argv);
+  const bool json = args.has("json");
+  if (!json) {
+    std::printf("=== Figure 2: run lengths of non-native accesses ===\n");
+    std::printf("ocean kernel, 64 threads on an 8x8 mesh, 16KB L1 + 64KB "
+                "L2, first-touch placement\n\n");
+  }
 
   em2::workload::OceanParams op;
   op.threads = 64;
@@ -65,6 +71,17 @@ int main() {
   const em2::RunSummary run = sys.run_em2(traces);
   const em2::RunLengthReport& r = run.run_lengths;
 
+  if (json) {
+    em2::JsonWriter w;
+    w.add("bench", "fig2_run_lengths")
+        .add("accesses", r.total_accesses)
+        .add("nonnative_accesses", r.nonnative_accesses)
+        .add("len1_fraction", r.fraction_accesses_in_len1_runs())
+        .add("len1_returning", r.fraction_len1_returning())
+        .add("migrations", run.migrations);
+    w.print();
+    return 0;
+  }
   print_histogram(r);
 
   std::printf("\n--- headline numbers (paper vs measured) ---\n");

@@ -13,13 +13,20 @@
 #include <iostream>
 
 #include "api/system.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "workload/registry.hpp"
 #include "workload/synthetic.hpp"
 
-int main() {
-  std::printf("=== Migration protocol: guest contexts and evictions ===\n");
-  std::printf("16 threads (4x4), first-touch placement\n\n");
+int main(int argc, char** argv) {
+  const em2::Args args(argc, argv);
+  const bool json = args.has("json");
+  if (!json) {
+    std::printf(
+        "=== Migration protocol: guest contexts and evictions ===\n");
+    std::printf("16 threads (4x4), first-touch placement\n\n");
+  }
 
   em2::Table t({"workload", "guest_ctxs", "migrations", "evictions",
                 "evictions/migration", "net_cycles/access"});
@@ -40,6 +47,18 @@ int main() {
           s.migrations ? static_cast<double>(s.evictions) /
                              static_cast<double>(s.migrations)
                        : 0.0;
+      if (json) {
+        em2::JsonWriter w;
+        w.add("bench", "migration_protocol")
+            .add("workload", name)
+            .add("guest_contexts", guests)
+            .add("migrations", s.migrations)
+            .add("evictions", s.evictions)
+            .add("evictions_per_migration", ev_per_mig)
+            .add("net_cycles_per_access", s.cost_per_access);
+        w.print();
+        continue;
+      }
       t.begin_row()
           .add_cell(name)
           .add_cell(guests)
@@ -48,6 +67,9 @@ int main() {
           .add_cell(ev_per_mig, 4)
           .add_cell(s.cost_per_access, 2);
     }
+  }
+  if (json) {
+    return 0;
   }
   t.print(std::cout);
 

@@ -13,6 +13,8 @@
 
 #include "noc/cost_model.hpp"
 #include "noc/network.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -49,12 +51,15 @@ std::pair<double, std::uint64_t> run_load(const em2::Mesh& mesh,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const em2::Args args(argc, argv);
+  const bool json = args.has("json");
   const em2::Mesh mesh(8, 8);
   const em2::CostModel cost(mesh, em2::CostModelParams{});
 
-  std::printf("=== (a) analytic model vs cycle-level fabric, uncontended "
-              "===\n");
+  if (!json) {
+    std::printf("=== (a) analytic model vs cycle-level fabric, uncontended "
+                "===\n");
   em2::Table v({"src", "dst", "flits", "analytic", "cycle-level"});
   for (const auto& [s, d, payload] :
        {std::tuple<em2::CoreId, em2::CoreId, std::uint64_t>{0, 7, 0},
@@ -81,8 +86,9 @@ int main() {
   }
   v.print(std::cout);
 
-  std::printf("\n=== (b) load sweep: migration-sized (9-flit) vs "
-              "RA-sized (1-flit) packets ===\n");
+    std::printf("\n=== (b) load sweep: migration-sized (9-flit) vs "
+                "RA-sized (1-flit) packets ===\n");
+  }
   em2::Table t({"offered_load", "ra_mean_latency", "mig_mean_latency",
                 "mig/ra_ratio"});
   for (const double load : {0.005, 0.01, 0.02, 0.04, 0.08}) {
@@ -90,11 +96,26 @@ int main() {
         run_load(mesh, load, 1, em2::vnet::kRemoteRequest, 3000, 1);
     const auto [mig_lat, mig_n] =
         run_load(mesh, load, 9, em2::vnet::kMigrationGuest, 3000, 2);
+    if (json) {
+      em2::JsonWriter w;
+      w.add("bench", "noc")
+          .add("offered_load", load)
+          .add("ra_mean_latency", ra_lat)
+          .add("ra_delivered", ra_n)
+          .add("mig_mean_latency", mig_lat)
+          .add("mig_delivered", mig_n)
+          .add("mig_ra_ratio", ra_lat > 0 ? mig_lat / ra_lat : 0.0);
+      w.print();
+      continue;
+    }
     t.begin_row()
         .add_cell(load, 3)
         .add_cell(ra_lat, 1)
         .add_cell(mig_lat, 1)
         .add_cell(ra_lat > 0 ? mig_lat / ra_lat : 0.0, 2);
+  }
+  if (json) {
+    return 0;
   }
   t.print(std::cout);
   std::printf("\n(the widening ratio under load is the paper's 'low-"

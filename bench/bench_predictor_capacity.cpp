@@ -11,13 +11,19 @@
 
 #include "api/system.hpp"
 #include "optimal/policy_eval.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "workload/registry.hpp"
 
-int main() {
-  std::printf("=== History-predictor table capacity sweep ===\n");
-  std::printf("16 threads (4x4), first-touch placement; cells = policy "
-              "cost / DP optimal cost\n\n");
+int main(int argc, char** argv) {
+  const em2::Args args(argc, argv);
+  const bool json = args.has("json");
+  if (!json) {
+    std::printf("=== History-predictor table capacity sweep ===\n");
+    std::printf("16 threads (4x4), first-touch placement; cells = policy "
+                "cost / DP optimal cost\n\n");
+  }
 
   em2::SystemConfig cfg;
   cfg.threads = 16;
@@ -49,7 +55,12 @@ int main() {
                      .total_cost;
     }
 
-    t.begin_row().add_cell(name);
+    em2::JsonWriter w;
+    if (json) {
+      w.add("bench", "predictor_capacity").add("workload", name);
+    } else {
+      t.begin_row().add_cell(name);
+    }
     for (const char* spec : capacities) {
       em2::Cost total = 0;
       for (const auto& mt : mts) {
@@ -57,11 +68,21 @@ int main() {
         total += em2::evaluate_policy_model(mt, sys.cost_model(), *policy)
                      .total_cost;
       }
-      t.add_cell(optimal ? static_cast<double>(total) /
-                               static_cast<double>(optimal)
-                         : 1.0,
-                 3);
+      const double ratio = optimal ? static_cast<double>(total) /
+                                         static_cast<double>(optimal)
+                                   : 1.0;
+      if (json) {
+        w.add(spec, ratio);
+      } else {
+        t.add_cell(ratio, 3);
+      }
     }
+    if (json) {
+      w.print();
+    }
+  }
+  if (json) {
+    return 0;
   }
   t.print(std::cout);
   std::printf("\n(a capacity-P table — one entry per possible home — "

@@ -13,13 +13,19 @@
 
 #include "api/system.hpp"
 #include "em2/replication.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "workload/registry.hpp"
 
-int main() {
-  std::printf("=== EM2 + read-only replication ablation ===\n");
-  std::printf("16 threads (4x4), first-touch placement; replicable = "
-              "blocks written at most once (initialization)\n\n");
+int main(int argc, char** argv) {
+  const em2::Args args(argc, argv);
+  const bool json = args.has("json");
+  if (!json) {
+    std::printf("=== EM2 + read-only replication ablation ===\n");
+    std::printf("16 threads (4x4), first-touch placement; replicable = "
+                "blocks written at most once (initialization)\n\n");
+  }
 
   em2::SystemConfig cfg;
   cfg.threads = 16;
@@ -47,6 +53,25 @@ int main() {
         *traces, *placement, sys.mesh(), sys.cost_model(), cfg.em2,
         replicable);
     const double n = static_cast<double>(traces->total_accesses());
+    if (json) {
+      em2::JsonWriter w;
+      w.add("bench", "replication")
+          .add("workload", name)
+          .add("replicable_frac", repl_frac)
+          .add("migrations_em2", base.counters.get("migrations"))
+          .add("migrations_repl", repl.counters.get("migrations"))
+          .add("replicated_reads", repl.counters.get("replicated_reads"))
+          .add("cost_per_access_em2",
+               static_cast<double>(base.total_thread_cost +
+                                   base.total_eviction_cost) /
+                   n)
+          .add("cost_per_access_repl",
+               static_cast<double>(repl.total_thread_cost +
+                                   repl.total_eviction_cost) /
+                   n);
+      w.print();
+      continue;
+    }
     t.begin_row()
         .add_cell(name)
         .add_cell(repl_frac, 3)
@@ -61,6 +86,9 @@ int main() {
                                       repl.total_eviction_cost) /
                       n,
                   2);
+  }
+  if (json) {
+    return 0;
   }
   t.print(std::cout);
   std::printf("\n(table-lookup is the showcase: its shared table is "

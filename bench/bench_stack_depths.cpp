@@ -12,6 +12,8 @@
 
 #include "noc/cost_model.hpp"
 #include "optimal/dp_stack.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "workload/stack_workloads.hpp"
 
@@ -24,11 +26,15 @@ struct NamedTrace {
 
 }  // namespace
 
-int main() {
-  std::printf("=== Stack-EM2: depth policies vs optimal DP (Section 4) "
-              "===\n");
-  std::printf("16 cores (4x4), window = 8 entries, cost = network cycles "
-              "of the analytical model\n\n");
+int main(int argc, char** argv) {
+  const em2::Args args(argc, argv);
+  const bool json = args.has("json");
+  if (!json) {
+    std::printf("=== Stack-EM2: depth policies vs optimal DP (Section 4) "
+                "===\n");
+    std::printf("16 cores (4x4), window = 8 entries, cost = network "
+                "cycles of the analytical model\n\n");
+  }
 
   const em2::Mesh mesh(4, 4);
   const em2::CostModel cost(mesh, em2::CostModelParams{});
@@ -53,6 +59,25 @@ int main() {
       mean_depth /= std::max<double>(1.0,
                                      static_cast<double>(
                                          sol.chosen_depths.size()));
+      if (json) {
+        em2::JsonWriter w;
+        w.add("bench", "stack_depths")
+            .add("workload", name)
+            .add("scheme", scheme)
+            .add("cost_over_optimal",
+                 opt.total_cost ? static_cast<double>(sol.total_cost) /
+                                      static_cast<double>(opt.total_cost)
+                                : 1.0)
+            .add("migrations", sol.migrations)
+            .add("forced_returns", sol.forced_returns)
+            .add("bits_per_migration",
+                 sol.migrations ? static_cast<double>(sol.context_bits) /
+                                      static_cast<double>(sol.migrations)
+                                : 0.0)
+            .add("mean_depth", mean_depth);
+        w.print();
+        return;
+      }
       t.begin_row()
           .add_cell(name)
           .add_cell(scheme)
@@ -76,6 +101,9 @@ int main() {
       auto policy = em2::make_stack_policy(spec);
       emit(spec, em2::evaluate_stack_policy(trace, cost, window, *policy));
     }
+  }
+  if (json) {
+    return 0;
   }
   t.print(std::cout);
 

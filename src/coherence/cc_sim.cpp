@@ -43,7 +43,7 @@ CcRunReport run_cc(const TraceSet& traces, const Placement& placement,
   }
 
   CcRunReport report;
-  report.counters = cc.counters();
+  report.counters = cc.counters().named();
   report.total_latency = cc.total_latency();
   report.traffic_bits = cc.traffic_bits();
   report.replication_factor = cc.replication_factor();

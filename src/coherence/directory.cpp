@@ -33,9 +33,9 @@ DirectoryCC::DirEntry& DirectoryCC::dir_entry(Addr line) {
 }
 
 Cost DirectoryCC::send(CoreId src, CoreId dst, std::uint64_t payload_bits,
-                       const char* counter) {
+                       Counter counter) {
   counters_.inc(counter);
-  counters_.inc("messages");
+  counters_.inc(Counter::kMessages);
   traffic_bits_ += payload_bits + cost_.params().header_bits;
   return cost_.message(src, dst, payload_bits);
 }
@@ -60,14 +60,14 @@ void DirectoryCC::handle_eviction(CoreId core,
 
   if (vstate == MsiState::kModified) {
     // PutM: write the dirty line back to the home.
-    send(core, home, line_bits, "putm");
+    send(core, home, line_bits, Counter::kPutM);
     remove_sharer(core);
     entry.state = MsiState::kInvalid;
     EM2_ASSERT(entry.sharers.empty(),
                "M line had other sharers in the directory");
   } else if (vstate == MsiState::kShared) {
     // PutS: notify the directory so its sharer vector stays precise.
-    send(core, home, 0, "puts");
+    send(core, home, 0, Counter::kPutS);
     remove_sharer(core);
     if (entry.sharers.empty()) {
       entry.state = MsiState::kInvalid;
@@ -78,7 +78,7 @@ void DirectoryCC::handle_eviction(CoreId core,
 CcAccessResult DirectoryCC::access(CoreId core, Addr addr, MemOp op) {
   EM2_ASSERT(core >= 0 && core < mesh_.num_cores(),
              "access from a core outside the mesh");
-  counters_.inc("accesses");
+  counters_.inc(Counter::kAccesses);
   CcAccessResult result;
   const Addr line = line_of(addr);
   const CoreId home = placement_.home_of_block(line);
@@ -95,26 +95,26 @@ CcAccessResult DirectoryCC::access(CoreId core, Addr addr, MemOp op) {
   if (op == MemOp::kRead && cstate != MsiState::kInvalid) {
     // Read hit in S or M.
     cache.touch(line);
-    counters_.inc("hits");
+    counters_.inc(Counter::kHits);
     result.hit = true;
   } else if (op == MemOp::kWrite && cstate == MsiState::kModified) {
     // Write hit in M.
     cache.touch(line);
-    counters_.inc("hits");
+    counters_.inc(Counter::kHits);
     result.hit = true;
   } else if (op == MemOp::kRead) {
     // Read miss: GetS to the directory.
-    counters_.inc("misses");
-    latency += send(core, home, addr_bits, "gets") + params_.dir_latency;
+    counters_.inc(Counter::kMisses);
+    latency += send(core, home, addr_bits, Counter::kGetS) + params_.dir_latency;
     DirEntry& entry = dir_entry(line);
     if (entry.state == MsiState::kModified) {
       // Forward to the owner; owner sends data to the requester and a
       // downgrade copy to the home.  Critical path: home->owner->requester.
       EM2_ASSERT(entry.sharers.size() == 1, "M line must have one owner");
       const CoreId owner = entry.sharers[0];
-      latency += send(home, owner, addr_bits, "fwd_gets");
-      const Cost to_req = send(owner, core, line_bits, "data_owner");
-      send(owner, home, line_bits, "wb_downgrade");
+      latency += send(home, owner, addr_bits, Counter::kFwdGetS);
+      const Cost to_req = send(owner, core, line_bits, Counter::kDataOwner);
+      send(owner, home, line_bits, Counter::kWbDowngrade);
       latency += to_req;
       caches_[static_cast<std::size_t>(owner)]->set_state(
           line, to_byte(MsiState::kShared));
@@ -126,11 +126,11 @@ CcAccessResult DirectoryCC::access(CoreId core, Addr addr, MemOp op) {
     } else {
       if (entry.state == MsiState::kInvalid) {
         latency += params_.dram_latency;  // home fetches from memory
-        counters_.inc("dram_fills");
+        counters_.inc(Counter::kDramFills);
         entry.state = MsiState::kShared;
         entry.sharers.clear();
       }
-      latency += send(home, core, line_bits, "data_home");
+      latency += send(home, core, line_bits, Counter::kDataHome);
       if (std::find(entry.sharers.begin(), entry.sharers.end(), core) ==
           entry.sharers.end()) {
         entry.sharers.push_back(core);
@@ -141,16 +141,16 @@ CcAccessResult DirectoryCC::access(CoreId core, Addr addr, MemOp op) {
     handle_eviction(core, fill);
   } else {
     // Write miss or upgrade: GetM/Upgrade to the directory.
-    counters_.inc("misses");
+    counters_.inc(Counter::kMisses);
     const bool upgrade = cstate == MsiState::kShared;
-    latency += send(core, home, addr_bits, upgrade ? "upgrade" : "getm") +
+    latency += send(core, home, addr_bits, upgrade ? Counter::kUpgrade : Counter::kGetM) +
                params_.dir_latency;
     DirEntry& entry = dir_entry(line);
     if (entry.state == MsiState::kModified) {
       EM2_ASSERT(entry.sharers.size() == 1, "M line must have one owner");
       const CoreId owner = entry.sharers[0];
-      latency += send(home, owner, addr_bits, "fwd_getm");
-      latency += send(owner, core, line_bits, "data_owner");
+      latency += send(home, owner, addr_bits, Counter::kFwdGetM);
+      latency += send(owner, core, line_bits, Counter::kDataOwner);
       caches_[static_cast<std::size_t>(owner)]->invalidate(line);
       entry.sharers.clear();
     } else {
@@ -161,20 +161,20 @@ CcAccessResult DirectoryCC::access(CoreId core, Addr addr, MemOp op) {
         if (sharer == core) {
           continue;
         }
-        const Cost inv = send(home, sharer, addr_bits, "inv");
-        const Cost ack = send(sharer, core, 0, "inv_ack");
+        const Cost inv = send(home, sharer, addr_bits, Counter::kInv);
+        const Cost ack = send(sharer, core, 0, Counter::kInvAck);
         caches_[static_cast<std::size_t>(sharer)]->invalidate(line);
         worst_inv = std::max(worst_inv, inv + ack);
       }
       latency += worst_inv;
       if (entry.state == MsiState::kInvalid) {
         latency += params_.dram_latency;
-        counters_.inc("dram_fills");
+        counters_.inc(Counter::kDramFills);
       }
       if (!upgrade) {
-        latency += send(home, core, line_bits, "data_home");
+        latency += send(home, core, line_bits, Counter::kDataHome);
       } else {
-        latency += send(home, core, 0, "upgrade_ack");
+        latency += send(home, core, 0, Counter::kUpgradeAck);
       }
       entry.sharers.clear();
     }

@@ -26,6 +26,7 @@
 #include "mem/cache.hpp"
 #include "noc/cost_model.hpp"
 #include "placement/placement.hpp"
+#include "util/counters.hpp"
 #include "util/stats.hpp"
 #include "util/types.hpp"
 
@@ -65,14 +66,15 @@ struct CcAccessResult {
 class DirectoryCC {
  public:
   /// `placement` maps lines to their home (directory) cores and must use
-  /// the same block size as the caches' line size.
+  /// the same block size as the caches' line size.  `mesh`, `cost`, and
+  /// `placement` are held by reference and must outlive the directory.
   DirectoryCC(const Mesh& mesh, const CostModel& cost,
               const DirCcParams& params, const Placement& placement);
 
   /// Runs one access's full MSI transaction.
   CcAccessResult access(CoreId core, Addr addr, MemOp op);
 
-  const CounterSet& counters() const noexcept { return counters_; }
+  const FastCounters& counters() const noexcept { return counters_; }
   std::uint64_t traffic_bits() const noexcept { return traffic_bits_; }
   Cost total_latency() const noexcept { return total_latency_; }
 
@@ -101,18 +103,18 @@ class DirectoryCC {
   /// One protocol message src -> dst carrying `payload_bits`; returns its
   /// latency and does the traffic/count accounting.
   Cost send(CoreId src, CoreId dst, std::uint64_t payload_bits,
-            const char* counter);
+            Counter counter);
   /// Handles a victim evicted by a private-cache fill.
   void handle_eviction(CoreId core, const CacheAccessResult& fill);
 
-  Mesh mesh_;
-  CostModel cost_;
+  const Mesh& mesh_;
+  const CostModel& cost_;
   DirCcParams params_;
   const Placement& placement_;
   std::uint32_t line_shift_;
   std::vector<std::unique_ptr<Cache>> caches_;
   std::unordered_map<Addr, DirEntry> directory_;
-  CounterSet counters_;
+  FastCounters counters_;
   std::uint64_t traffic_bits_ = 0;
   Cost total_latency_ = 0;
 };

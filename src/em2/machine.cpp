@@ -12,11 +12,22 @@ Em2Machine::Em2Machine(const Mesh& mesh, const CostModel& cost,
       params_(params),
       native_(std::move(native_core)),
       location_(native_),  // threads start at their native cores
-      guests_(static_cast<std::size_t>(mesh.num_cores())),
+      guest_capacity_(static_cast<std::size_t>(params.guest_contexts)),
+      full_mask_(params.guest_contexts >= 64
+                     ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << params.guest_contexts) - 1),
+      guest_slots_(static_cast<std::size_t>(mesh.num_cores()) *
+                       static_cast<std::size_t>(params.guest_contexts),
+                   kNoThread),
+      guest_stamp_(guest_slots_.size(), 0),
+      guest_mask_(static_cast<std::size_t>(mesh.num_cores()), 0),
+      guest_pos_(native_.size(), 0),
       per_thread_cost_(native_.size(), 0),
       rng_(params.rng_seed) {
   EM2_ASSERT(params_.guest_contexts >= 1,
              "EM2 needs at least one guest context per core");
+  EM2_ASSERT(params_.guest_contexts <= 64,
+             "inline guest slot files support at most 64 contexts");
   for (const CoreId c : native_) {
     EM2_ASSERT(c >= 0 && c < mesh_.num_cores(),
                "thread native core outside the mesh");
@@ -30,109 +41,6 @@ Em2Machine::Em2Machine(const Mesh& mesh, const CostModel& cost,
   }
 }
 
-AccessOutcome Em2Machine::access(ThreadId t, CoreId home, MemOp op,
-                                 Addr addr) {
-  EM2_ASSERT(t >= 0 && static_cast<std::size_t>(t) < native_.size(),
-             "unknown thread");
-  EM2_ASSERT(home >= 0 && home < mesh_.num_cores(),
-             "home core outside the mesh");
-  AccessOutcome out;
-  counters_.inc("accesses");
-  counters_.inc(op == MemOp::kRead ? "reads" : "writes");
-
-  const CoreId at = location_[static_cast<std::size_t>(t)];
-  if (at == home) {
-    // Figure 1, left branch: cacheable here — access memory and continue.
-    out.local = true;
-    counters_.inc("accesses_local");
-  } else {
-    // Figure 1, right branch: migrate to the home core.
-    const auto [thread_cost, eviction_cost] = migrate_thread(t, home);
-    out.migrated = true;
-    out.thread_cost = thread_cost;
-    out.eviction_cost = eviction_cost;
-    out.caused_eviction = last_evicted_ != kNoThread;
-    out.evicted_thread = last_evicted_;
-    account_thread_cost(t, thread_cost);
-  }
-  // The access itself always executes at the home core: the single-home
-  // invariant from which sequential consistency follows.
-  EM2_ASSERT(location_[static_cast<std::size_t>(t)] == home,
-             "EM2 invariant violated: access executed away from home");
-  out.memory_latency = serve_memory(home, addr, op);
-  return out;
-}
-
-std::pair<Cost, Cost> Em2Machine::migrate_thread(ThreadId t, CoreId dest) {
-  const CoreId from = location_[static_cast<std::size_t>(t)];
-  EM2_ASSERT(from != dest, "migrating to the current core");
-  counters_.inc("migrations");
-  last_evicted_ = kNoThread;
-
-  leave_current(t);
-  const Cost evict_cost = arrive(t, dest);
-  location_[static_cast<std::size_t>(t)] = dest;
-
-  // Context transfer cost and virtual-network accounting.  Migrations into
-  // the thread's own native (reserved) context travel on the native vnet —
-  // the guaranteed-sink channel; all other migrations use the guest vnet.
-  const Cost cost = cost_.migration(from, dest);
-  const bool to_native = dest == native_[static_cast<std::size_t>(t)];
-  const int vn =
-      to_native ? vnet::kMigrationNative : vnet::kMigrationGuest;
-  vnet_bits_[static_cast<std::size_t>(vn)] += cost_.params().context_bits;
-  if (to_native) {
-    counters_.inc("migrations_to_native");
-  }
-  return {cost, evict_cost};
-}
-
-void Em2Machine::leave_current(ThreadId t) {
-  const CoreId at = location_[static_cast<std::size_t>(t)];
-  if (at == native_[static_cast<std::size_t>(t)]) {
-    return;  // native contexts are reserved; nothing to free
-  }
-  auto& dq = guests_[static_cast<std::size_t>(at)];
-  for (auto it = dq.begin(); it != dq.end(); ++it) {
-    if (*it == t) {
-      dq.erase(it);
-      return;
-    }
-  }
-  EM2_ASSERT(false, "thread away from native core missing a guest slot");
-}
-
-Cost Em2Machine::arrive(ThreadId t, CoreId dest) {
-  if (dest == native_[static_cast<std::size_t>(t)]) {
-    return 0;  // reserved native context, always free
-  }
-  auto& dq = guests_[static_cast<std::size_t>(dest)];
-  Cost evict_cost = 0;
-  if (static_cast<std::int32_t>(dq.size()) >= params_.guest_contexts) {
-    // Figure 1: "# threads exceeded? -> migrate another thread back to its
-    // native core."  The victim goes to its reserved native context on the
-    // native virtual network, so the eviction can always sink.
-    std::size_t victim_index = 0;
-    if (params_.eviction == EvictionPolicy::kRandom) {
-      victim_index = static_cast<std::size_t>(rng_.next_below(dq.size()));
-    }
-    const ThreadId victim = dq[victim_index];
-    dq.erase(dq.begin() + static_cast<std::ptrdiff_t>(victim_index));
-    const CoreId victim_home = native_[static_cast<std::size_t>(victim)];
-    EM2_ASSERT(victim_home != dest,
-               "a thread at its native core can never be a guest");
-    location_[static_cast<std::size_t>(victim)] = victim_home;
-    evict_cost = cost_.migration(dest, victim_home);
-    vnet_bits_[vnet::kMigrationNative] += cost_.params().context_bits;
-    total_eviction_cost_ += evict_cost;
-    per_thread_cost_[static_cast<std::size_t>(victim)] += evict_cost;
-    counters_.inc("evictions");
-    last_evicted_ = victim;
-  }
-  dq.push_back(t);
-  return evict_cost;
-}
-
 std::uint32_t Em2Machine::serve_memory(CoreId core, Addr addr, MemOp op) {
   if (!params_.model_caches) {
     return 0;
@@ -141,13 +49,13 @@ std::uint32_t Em2Machine::serve_memory(CoreId core, Addr addr, MemOp op) {
       caches_[static_cast<std::size_t>(core)]->access(addr, op);
   switch (r.level) {
     case HitLevel::kL1:
-      counters_.inc("l1_hits");
+      counters_.inc(Counter::kL1Hits);
       break;
     case HitLevel::kL2:
-      counters_.inc("l2_hits");
+      counters_.inc(Counter::kL2Hits);
       break;
     case HitLevel::kDram:
-      counters_.inc("dram_fills");
+      counters_.inc(Counter::kDramFills);
       // Memory-controller round trip travels on the memory vnets.
       vnet_bits_[vnet::kMemRequest] += cost_.params().addr_bits;
       vnet_bits_[vnet::kMemReply] +=

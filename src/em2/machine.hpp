@@ -24,8 +24,8 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -34,6 +34,8 @@
 #include "mem/hierarchy.hpp"
 #include "noc/cost_model.hpp"
 #include "noc/network.hpp"
+#include "util/assert.hpp"
+#include "util/counters.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/types.hpp"
@@ -89,7 +91,9 @@ struct AccessOutcome {
 class Em2Machine {
  public:
   /// `native_core[t]` gives thread t's origin core (and reserved native
-  /// context).  Threads start at their native cores.
+  /// context).  Threads start at their native cores.  `mesh` and `cost`
+  /// are held by reference (sweeps construct thousands of machines over
+  /// one topology) and must outlive the machine.
   Em2Machine(const Mesh& mesh, const CostModel& cost, const Em2Params& params,
              std::vector<CoreId> native_core);
 
@@ -104,11 +108,10 @@ class Em2Machine {
     return native_[static_cast<std::size_t>(t)];
   }
   std::int32_t guests_at(CoreId core) const noexcept {
-    return static_cast<std::int32_t>(
-        guests_[static_cast<std::size_t>(core)].size());
+    return std::popcount(guest_mask_[static_cast<std::size_t>(core)]);
   }
 
-  const CounterSet& counters() const noexcept { return counters_; }
+  const FastCounters& counters() const noexcept { return counters_; }
   /// Bits moved per virtual network (contexts on the migration vnets) — a
   /// first-order traffic/power proxy.
   std::uint64_t vnet_bits(int vn) const noexcept {
@@ -156,22 +159,41 @@ class Em2Machine {
     vnet_bits_[static_cast<std::size_t>(vn)] += bits;
   }
 
-  CounterSet counters_;
+  FastCounters counters_;
 
  private:
-  /// Removes `t` from its current guest slot, if it occupies one.
-  void leave_current(ThreadId t);
-  /// Installs `t` at `dest`; may evict.  Returns the eviction cost.
+  /// Removes `t` from its guest slot at `at` (caller checked non-native).
+  void leave_guest_slot(ThreadId t, CoreId at);
+  /// Installs `t` in a guest slot at `dest` (caller checked non-native);
+  /// may evict.  Returns the eviction cost.
   Cost arrive(ThreadId t, CoreId dest);
 
-  Mesh mesh_;
-  CostModel cost_;
+  /// First slot of `core`'s inline guest-context file.
+  std::size_t slot_base(CoreId core) const noexcept {
+    return static_cast<std::size_t>(core) * guest_capacity_;
+  }
+
+  const Mesh& mesh_;
+  const CostModel& cost_;
   Em2Params params_;
   std::vector<CoreId> native_;
   std::vector<CoreId> location_;
-  /// Guest occupancy per core, in arrival order (front = oldest).
-  /// A thread at its native core does NOT occupy a guest slot.
-  std::vector<std::deque<ThreadId>> guests_;
+  /// Guest occupancy: fixed-capacity inline slot files, guest_capacity_
+  /// slots per core packed contiguously.  Occupancy is a per-core bitmask
+  /// and arrival order lives in per-slot sequence stamps, so joining and
+  /// leaving a slot file are branch-free (no search, no compaction shift)
+  /// while FIFO eviction still finds the oldest guest exactly.  A thread
+  /// at its native core does NOT occupy a guest slot.  Capacity is capped
+  /// at 64 by the mask width (real cores multiplex a handful of contexts).
+  std::size_t guest_capacity_ = 0;
+  std::uint64_t full_mask_ = 0;
+  std::uint64_t arrival_seq_ = 0;
+  std::vector<ThreadId> guest_slots_;
+  std::vector<std::uint64_t> guest_stamp_;
+  std::vector<std::uint64_t> guest_mask_;
+  /// guest_pos_[t]: t's slot index at its current core; valid only while
+  /// t is a guest (i.e., away from its native core).
+  std::vector<std::uint8_t> guest_pos_;
   std::vector<std::unique_ptr<CacheHierarchy>> caches_;
   std::vector<Cost> per_thread_cost_;
   std::array<std::uint64_t, vnet::kNumVnets> vnet_bits_{};
@@ -180,5 +202,135 @@ class Em2Machine {
   ThreadId last_evicted_ = kNoThread;
   Rng rng_;
 };
+
+
+// Hot-path bodies are defined inline below the class: Em2Machine::access
+// runs tens of millions of times per second from the trace loops, the
+// execution engine, and the benches, so every caller must be able to
+// inline it (and the migrate/arrive helpers it tail-calls) without
+// relying on link-time optimization.
+
+inline AccessOutcome Em2Machine::access(ThreadId t, CoreId home, MemOp op,
+                                 Addr addr) {
+  EM2_ASSERT(t >= 0 && static_cast<std::size_t>(t) < native_.size(),
+             "unknown thread");
+  EM2_ASSERT(home >= 0 && home < mesh_.num_cores(),
+             "home core outside the mesh");
+  AccessOutcome out;
+  counters_.inc(Counter::kAccesses);
+  // kReads and kWrites are adjacent in MemOp order: branchless dispatch.
+  counters_.inc(static_cast<Counter>(
+      static_cast<std::uint8_t>(Counter::kReads) +
+      static_cast<std::uint8_t>(op)));
+
+  const CoreId at = location_[static_cast<std::size_t>(t)];
+  if (at == home) {
+    // Figure 1, left branch: cacheable here — access memory and continue.
+    out.local = true;
+    counters_.inc(Counter::kAccessesLocal);
+    if (params_.model_caches) {
+      out.memory_latency = serve_memory(home, addr, op);
+    }
+    return out;
+  }
+  // Figure 1, right branch: migrate to the home core.
+  const auto [thread_cost, eviction_cost] = migrate_thread(t, home);
+  out.migrated = true;
+  out.thread_cost = thread_cost;
+  out.eviction_cost = eviction_cost;
+  out.caused_eviction = last_evicted_ != kNoThread;
+  out.evicted_thread = last_evicted_;
+  account_thread_cost(t, thread_cost);
+  // The access itself always executes at the home core: the single-home
+  // invariant from which sequential consistency follows.
+  EM2_ASSERT(location_[static_cast<std::size_t>(t)] == home,
+             "EM2 invariant violated: access executed away from home");
+  if (params_.model_caches) {
+    out.memory_latency = serve_memory(home, addr, op);
+  }
+  return out;
+}
+
+inline std::pair<Cost, Cost> Em2Machine::migrate_thread(ThreadId t, CoreId dest) {
+  const CoreId from = location_[static_cast<std::size_t>(t)];
+  const CoreId nat = native_[static_cast<std::size_t>(t)];
+  EM2_ASSERT(from != dest, "migrating to the current core");
+  counters_.inc(Counter::kMigrations);
+  last_evicted_ = kNoThread;
+
+  // A thread at its native core occupies no guest slot; likewise arriving
+  // at the native core uses the reserved context and can never evict.
+  if (from != nat) {
+    leave_guest_slot(t, from);
+  }
+  const Cost evict_cost = dest == nat ? 0 : arrive(t, dest);
+  location_[static_cast<std::size_t>(t)] = dest;
+
+  // Context transfer cost and virtual-network accounting.  Migrations into
+  // the thread's own native (reserved) context travel on the native vnet —
+  // the guaranteed-sink channel; all other migrations use the guest vnet.
+  const Cost cost = cost_.migration(from, dest);
+  const bool to_native = dest == nat;
+  const int vn =
+      to_native ? vnet::kMigrationNative : vnet::kMigrationGuest;
+  vnet_bits_[static_cast<std::size_t>(vn)] += cost_.params().context_bits;
+  if (to_native) {
+    counters_.inc(Counter::kMigrationsToNative);
+  }
+  return {cost, evict_cost};
+}
+
+inline void Em2Machine::leave_guest_slot(ThreadId t, CoreId at) {
+  const auto pos =
+      static_cast<std::size_t>(guest_pos_[static_cast<std::size_t>(t)]);
+  EM2_ASSERT(guest_slots_[slot_base(at) + pos] == t,
+             "thread away from native core missing a guest slot");
+  guest_slots_[slot_base(at) + pos] = kNoThread;
+  guest_mask_[static_cast<std::size_t>(at)] &=
+      ~(std::uint64_t{1} << pos);
+}
+
+inline Cost Em2Machine::arrive(ThreadId t, CoreId dest) {
+  const std::size_t base = slot_base(dest);
+  ThreadId* slots = guest_slots_.data() + base;
+  std::uint64_t* stamps = guest_stamp_.data() + base;
+  std::uint64_t& mask = guest_mask_[static_cast<std::size_t>(dest)];
+  Cost evict_cost = 0;
+  std::size_t pos;
+  if (mask == full_mask_) {
+    // Figure 1: "# threads exceeded? -> migrate another thread back to its
+    // native core."  The victim goes to its reserved native context on the
+    // native virtual network, so the eviction can always sink.
+    if (params_.eviction == EvictionPolicy::kRandom) {
+      pos = static_cast<std::size_t>(rng_.next_below(guest_capacity_));
+    } else {
+      // FIFO: the smallest arrival stamp marks the oldest guest.
+      pos = 0;
+      for (std::size_t i = 1; i < guest_capacity_; ++i) {
+        if (stamps[i] < stamps[pos]) {
+          pos = i;
+        }
+      }
+    }
+    const ThreadId victim = slots[pos];
+    const CoreId victim_home = native_[static_cast<std::size_t>(victim)];
+    EM2_ASSERT(victim_home != dest,
+               "a thread at its native core can never be a guest");
+    location_[static_cast<std::size_t>(victim)] = victim_home;
+    evict_cost = cost_.migration(dest, victim_home);
+    vnet_bits_[vnet::kMigrationNative] += cost_.params().context_bits;
+    total_eviction_cost_ += evict_cost;
+    per_thread_cost_[static_cast<std::size_t>(victim)] += evict_cost;
+    counters_.inc(Counter::kEvictions);
+    last_evicted_ = victim;
+  } else {
+    pos = static_cast<std::size_t>(std::countr_zero(~mask));
+    mask |= std::uint64_t{1} << pos;
+  }
+  slots[pos] = t;
+  stamps[pos] = ++arrival_seq_;
+  guest_pos_[static_cast<std::size_t>(t)] = static_cast<std::uint8_t>(pos);
+  return evict_cost;
+}
 
 }  // namespace em2

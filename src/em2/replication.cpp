@@ -87,7 +87,7 @@ Em2RunReport run_em2_replicated(
   }
 
   Em2RunReport report;
-  report.counters = machine.counters();
+  report.counters = machine.counters().named();
   report.counters.merge(extra);
   report.total_thread_cost = machine.total_thread_cost();
   report.total_eviction_cost = machine.total_eviction_cost();

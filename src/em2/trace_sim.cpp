@@ -47,7 +47,7 @@ Em2RunReport run_em2(const TraceSet& traces, const Placement& placement,
   }
 
   Em2RunReport report;
-  report.counters = machine.counters();
+  report.counters = machine.counters().named();
   report.total_thread_cost = machine.total_thread_cost();
   report.total_eviction_cost = machine.total_eviction_cost();
   report.per_thread_cost.reserve(traces.num_threads());

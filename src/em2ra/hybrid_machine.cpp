@@ -41,10 +41,11 @@ HybridOutcome HybridMachine::access_hybrid(ThreadId t, CoreId home, MemOp op,
   // Remote-access path (Figure 3, bottom): "Send remote request to home
   // core; [home core:] access memory; return data (read) or ack (write)
   // to the requesting core; continue execution."  The thread never moves.
-  counters_.inc("accesses");
-  counters_.inc(op == MemOp::kRead ? "reads" : "writes");
-  counters_.inc("remote_accesses");
-  counters_.inc(op == MemOp::kRead ? "remote_reads" : "remote_writes");
+  counters_.inc(Counter::kAccesses);
+  counters_.inc(op == MemOp::kRead ? Counter::kReads : Counter::kWrites);
+  counters_.inc(Counter::kRemoteAccesses);
+  counters_.inc(op == MemOp::kRead ? Counter::kRemoteReads
+                                   : Counter::kRemoteWrites);
   out.remote = true;
 
   const CostModelParams& p = cost_model().params();

@@ -30,7 +30,8 @@ class HybridMachine : public Em2Machine {
  public:
   /// `policy` decides migrate-vs-RA per non-local access; the machine
   /// keeps it informed of every access (observe) so predictive policies
-  /// can train.  The policy must outlive the machine.
+  /// can train.  The policy, mesh, and cost model must outlive the
+  /// machine.
   HybridMachine(const Mesh& mesh, const CostModel& cost,
                 const Em2Params& params, std::vector<CoreId> native_core,
                 DecisionPolicy& policy);

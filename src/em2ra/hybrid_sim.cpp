@@ -44,7 +44,7 @@ HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
 
   HybridRunReport report;
   report.policy_name = policy.name();
-  report.em2.counters = machine.counters();
+  report.em2.counters = machine.counters().named();
   report.em2.total_thread_cost = machine.total_thread_cost();
   report.em2.total_eviction_cost = machine.total_eviction_cost();
   report.em2.per_thread_cost.reserve(traces.num_threads());

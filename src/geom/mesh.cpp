@@ -26,6 +26,11 @@ const char* to_string(Direction d) noexcept {
 Mesh::Mesh(std::int32_t width, std::int32_t height)
     : width_(width), height_(height) {
   EM2_ASSERT(width >= 1 && height >= 1, "mesh dimensions must be positive");
+  coords_.reserve(static_cast<std::size_t>(width) *
+                  static_cast<std::size_t>(height));
+  for (CoreId core = 0; core < width * height; ++core) {
+    coords_.push_back(Coord{core % width_, core / width_});
+  }
 }
 
 Mesh Mesh::near_square(std::int32_t cores) {
@@ -37,20 +42,10 @@ Mesh Mesh::near_square(std::int32_t cores) {
   return Mesh(cores / h, h);
 }
 
-Coord Mesh::coord_of(CoreId core) const noexcept {
-  return Coord{core % width_, core / width_};
-}
-
 CoreId Mesh::core_at(Coord c) const noexcept { return c.y * width_ + c.x; }
 
 bool Mesh::contains(Coord c) const noexcept {
   return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
-}
-
-std::int32_t Mesh::hops(CoreId a, CoreId b) const noexcept {
-  const Coord ca = coord_of(a);
-  const Coord cb = coord_of(b);
-  return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
 }
 
 CoreId Mesh::neighbor(CoreId core, Direction d) const noexcept {

@@ -48,13 +48,22 @@ class Mesh {
   std::int32_t height() const noexcept { return height_; }
   std::int32_t num_cores() const noexcept { return width_ * height_; }
 
-  Coord coord_of(CoreId core) const noexcept;
+  Coord coord_of(CoreId core) const noexcept {
+    return coords_[static_cast<std::size_t>(core)];
+  }
   CoreId core_at(Coord c) const noexcept;
   bool contains(Coord c) const noexcept;
 
   /// Manhattan (hop) distance between two cores — the `hops` term in the
-  /// paper's migration and remote-access cost functions.
-  std::int32_t hops(CoreId a, CoreId b) const noexcept;
+  /// paper's migration and remote-access cost functions.  Reads the
+  /// precomputed coordinate table: no div/mod on the access hot path.
+  std::int32_t hops(CoreId a, CoreId b) const noexcept {
+    const Coord ca = coords_[static_cast<std::size_t>(a)];
+    const Coord cb = coords_[static_cast<std::size_t>(b)];
+    const std::int32_t dx = ca.x - cb.x;
+    const std::int32_t dy = ca.y - cb.y;
+    return (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy);
+  }
 
   /// Neighbour of `core` in direction `d`, or kNoCore at a mesh edge
   /// (kLocal returns `core` itself).
@@ -78,6 +87,9 @@ class Mesh {
  private:
   std::int32_t width_;
   std::int32_t height_;
+  /// coords_[core] = (x, y), precomputed at construction so coord_of and
+  /// hops are pure loads.
+  std::vector<Coord> coords_;
 };
 
 }  // namespace em2

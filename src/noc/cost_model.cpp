@@ -8,6 +8,45 @@ CostModel::CostModel(const Mesh& mesh, const CostModelParams& params)
     : mesh_(mesh), params_(params) {
   EM2_ASSERT(params.link_width_bits > 0, "link width must be positive");
   EM2_ASSERT(params.per_hop_cycles > 0, "per-hop latency must be positive");
+  // Precompute the hot-path latency tables over every possible hop count.
+  const auto table_size = static_cast<std::size_t>(mesh_.diameter()) + 1;
+  migration_by_hops_.reserve(table_size);
+  remote_read_by_hops_.reserve(table_size);
+  remote_write_by_hops_.reserve(table_size);
+  for (std::size_t h = 0; h < table_size; ++h) {
+    const auto hops = static_cast<std::int32_t>(h);
+    migration_by_hops_.push_back(
+        packet_latency(hops, params_.context_bits));
+    remote_read_by_hops_.push_back(
+        packet_latency(hops, params_.addr_bits) +
+        packet_latency(hops, params_.word_bits));
+    remote_write_by_hops_.push_back(
+        packet_latency(hops, params_.addr_bits + params_.word_bits) +
+        packet_latency(hops, 0));
+  }
+  const std::int32_t n = mesh_.num_cores();
+  if (n <= kPairTableMaxCores) {
+    const auto pairs =
+        static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+    migration_by_pair_.reserve(pairs);
+    remote_read_by_pair_.reserve(pairs);
+    remote_write_by_pair_.reserve(pairs);
+    for (CoreId src = 0; src < n; ++src) {
+      for (CoreId dst = 0; dst < n; ++dst) {
+        if (src == dst) {
+          migration_by_pair_.push_back(0);
+          remote_read_by_pair_.push_back(0);
+          remote_write_by_pair_.push_back(0);
+          continue;
+        }
+        const auto h =
+            static_cast<std::size_t>(mesh_.hops(src, dst));
+        migration_by_pair_.push_back(migration_by_hops_[h]);
+        remote_read_by_pair_.push_back(remote_read_by_hops_[h]);
+        remote_write_by_pair_.push_back(remote_write_by_hops_[h]);
+      }
+    }
+  }
 }
 
 std::uint32_t CostModel::flits_for(std::uint64_t payload_bits) const noexcept {
@@ -23,32 +62,12 @@ Cost CostModel::packet_latency(std::int32_t hops,
   return static_cast<Cost>(hops) * params_.per_hop_cycles + (flits - 1);
 }
 
-Cost CostModel::migration(CoreId src, CoreId dst) const noexcept {
-  return migration_bits(src, dst, params_.context_bits);
-}
-
 Cost CostModel::migration_bits(CoreId src, CoreId dst,
                                std::uint64_t bits) const noexcept {
   if (src == dst) {
     return 0;
   }
   return packet_latency(mesh_.hops(src, dst), bits);
-}
-
-Cost CostModel::remote_access(CoreId requester, CoreId home,
-                              MemOp op) const noexcept {
-  if (requester == home) {
-    return 0;
-  }
-  const std::int32_t hops = mesh_.hops(requester, home);
-  const std::uint64_t request_bits =
-      op == MemOp::kWrite ? params_.addr_bits + params_.word_bits
-                          : params_.addr_bits;
-  // Reads return one word; writes return a header-only ack.
-  const std::uint64_t reply_bits =
-      op == MemOp::kRead ? params_.word_bits : 0;
-  return packet_latency(hops, request_bits) +
-         packet_latency(hops, reply_bits);
 }
 
 Cost CostModel::message(CoreId src, CoreId dst,

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "geom/mesh.hpp"
 #include "util/types.hpp"
@@ -59,8 +60,19 @@ class CostModel {
                       std::uint64_t payload_bits) const noexcept;
 
   /// cost_migration(src, dst): one-way context transfer (paper Section 3).
-  /// Migrating to the current core is free.
-  Cost migration(CoreId src, CoreId dst) const noexcept;
+  /// Migrating to the current core is free.  A table load on the hot path:
+  /// for meshes up to kPairTableMaxCores a dense per-pair table answers in
+  /// one load; larger meshes fall back to per-hop-count tables.
+  Cost migration(CoreId src, CoreId dst) const noexcept {
+    if (!migration_by_pair_.empty()) {
+      return migration_by_pair_[pair_index(src, dst)];
+    }
+    if (src == dst) {
+      return 0;
+    }
+    return migration_by_hops_[static_cast<std::size_t>(
+        mesh_.hops(src, dst))];
+  }
 
   /// Migration carrying an explicit context size (stack-EM2 uses this with
   /// pc + depth * word bits).
@@ -70,17 +82,54 @@ class CostModel {
   /// cost_remote_access(requester, home): request + reply round trip.
   /// Reads send an address and return a word; writes send address + word
   /// and return an ack.  Remote access to the local core is free.
+  /// Precomputed like migration(): per-pair when small, per-hop otherwise.
   Cost remote_access(CoreId requester, CoreId home,
-                     MemOp op) const noexcept;
+                     MemOp op) const noexcept {
+    if (!remote_read_by_pair_.empty()) {
+      const std::size_t i = pair_index(requester, home);
+      return op == MemOp::kRead ? remote_read_by_pair_[i]
+                                : remote_write_by_pair_[i];
+    }
+    if (requester == home) {
+      return 0;
+    }
+    const auto h =
+        static_cast<std::size_t>(mesh_.hops(requester, home));
+    return op == MemOp::kRead ? remote_read_by_hops_[h]
+                              : remote_write_by_hops_[h];
+  }
 
   /// Round-trip cost of a directory-protocol control message pair used by
   /// the CC baseline (address-sized request, word or line reply).
   Cost message(CoreId src, CoreId dst,
                std::uint64_t payload_bits) const noexcept;
 
+  /// Largest mesh for which the dense per-pair tables are built (3 tables
+  /// of cores^2 Cost entries: 256 cores -> 0.5 MB each, L2-resident).
+  static constexpr std::int32_t kPairTableMaxCores = 256;
+
  private:
+  std::size_t pair_index(CoreId a, CoreId b) const noexcept {
+    return static_cast<std::size_t>(a) *
+               static_cast<std::size_t>(mesh_.num_cores()) +
+           static_cast<std::size_t>(b);
+  }
+
   Mesh mesh_;
   CostModelParams params_;
+  /// Hot-path latency tables indexed by hop count in [0, mesh diameter]:
+  /// migration (context_bits one-way), remote read (addr out, word back),
+  /// remote write (addr+word out, ack back).  Index 0 entries are the
+  /// serialization-only latencies; the src == dst free cases short-circuit
+  /// before the table.
+  std::vector<Cost> migration_by_hops_;
+  std::vector<Cost> remote_read_by_hops_;
+  std::vector<Cost> remote_write_by_hops_;
+  /// Dense per-pair tables (row-major [src][dst], diagonal = 0), built
+  /// only when num_cores <= kPairTableMaxCores; empty otherwise.
+  std::vector<Cost> migration_by_pair_;
+  std::vector<Cost> remote_read_by_pair_;
+  std::vector<Cost> remote_write_by_pair_;
 };
 
 }  // namespace em2

@@ -201,9 +201,9 @@ ExecReport ExecSystem::run(Cycle max_cycles) {
   report_.consistent = checker_.ok() && all_halted();
   report_.violations = checker_.violations();
   if (em2_) {
-    report_.counters = em2_->counters();
+    report_.counters = em2_->counters().named();
   } else if (cc_) {
-    report_.counters = cc_->counters();
+    report_.counters = cc_->counters().named();
   }
   return report_;
 }

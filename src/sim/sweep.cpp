@@ -1,0 +1,78 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace em2::sweep {
+
+unsigned resolve_threads(const Options& opts) noexcept {
+  if (opts.num_threads != 0) {
+    return opts.num_threads;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+namespace detail {
+
+void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body,
+                 const Options& opts) {
+  const unsigned workers = resolve_threads(opts);
+  if (workers <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      body(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  const unsigned spawned =
+      static_cast<unsigned>(std::min<std::size_t>(workers, n));
+  pool.reserve(spawned - 1);
+  for (unsigned w = 1; w < spawned; ++w) {
+    pool.emplace_back(worker);
+  }
+  worker();  // the calling thread is worker 0
+  for (std::thread& th : pool) {
+    th.join();
+  }
+}
+
+}  // namespace detail
+
+CounterSet merge_all(const std::vector<CounterSet>& shards) {
+  CounterSet total;
+  for (const CounterSet& s : shards) {
+    total.merge(s);
+  }
+  return total;
+}
+
+RunningStat merge_all(const std::vector<RunningStat>& shards) {
+  RunningStat total;
+  for (const RunningStat& s : shards) {
+    total.merge(s);
+  }
+  return total;
+}
+
+Histogram merge_all(const std::vector<Histogram>& shards) {
+  EM2_ASSERT(!shards.empty(), "merging an empty histogram shard list");
+  Histogram total(shards.front().max_tracked());
+  for (const Histogram& s : shards) {
+    total.merge(s);
+  }
+  return total;
+}
+
+}  // namespace em2::sweep

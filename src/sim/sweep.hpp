@@ -1,0 +1,72 @@
+// Parallel parameter-sweep runner.
+//
+// Demonstrating the paper's claims at scale means simulating many
+// independent configurations (workloads, run lengths, context sizes, mesh
+// sizes).  Each sweep point is a self-contained simulation, so the runner
+// fans points across hardware threads with a shared atomic work index and
+// collects results IN POINT ORDER — the output is byte-identical to the
+// serial loop no matter how many workers run or how they interleave
+// (determinism is tested, not assumed).  Reductions across points go
+// through the existing merge APIs (RunningStat::merge, Histogram::merge,
+// CounterSet::merge, FastCounters::merge), mirroring the shard-and-merge
+// pattern of parallel graph engines.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace em2::sweep {
+
+/// Sweep execution options.
+struct Options {
+  /// Worker threads; 0 means one per hardware thread.
+  unsigned num_threads = 0;
+};
+
+/// Worker-thread count `opts` resolves to on this machine (>= 1).
+unsigned resolve_threads(const Options& opts) noexcept;
+
+namespace detail {
+
+/// Type-erased core: runs body(i) for i in [0, n) across workers.  The
+/// body must be safe to call concurrently for distinct i.
+void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body,
+                 const Options& opts);
+
+}  // namespace detail
+
+/// Evaluates fn(i) for every point i in [0, n) across a thread pool and
+/// returns the results indexed by point — identical to the serial
+/// `for (i...) out[i] = fn(i)` regardless of thread count or scheduling.
+/// `fn` must not MUTATE shared state: each point builds its own machines,
+/// and anything shared (e.g. one `const System` across points, as the
+/// sweep benches do) may only be used through const, stateless calls.
+/// Adding mutable caching to such shared objects breaks this contract.
+template <typename Fn>
+auto run(std::size_t n, Fn&& fn, const Options& opts = {})
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using Result = decltype(fn(std::size_t{0}));
+  // std::vector<bool> packs elements, so concurrent writes to distinct
+  // indices would race; return a struct or int instead.
+  static_assert(!std::is_same_v<Result, bool>,
+                "sweep::run cannot return bool (vector<bool> is packed); "
+                "wrap the flag in a struct or return int");
+  std::vector<Result> results(n);
+  detail::run_indexed(
+      n, [&](std::size_t i) { results[i] = fn(i); }, opts);
+  return results;
+}
+
+/// Order-preserving reductions over per-point shards via the existing
+/// merge APIs.
+CounterSet merge_all(const std::vector<CounterSet>& shards);
+RunningStat merge_all(const std::vector<RunningStat>& shards);
+Histogram merge_all(const std::vector<Histogram>& shards);
+
+}  // namespace em2::sweep

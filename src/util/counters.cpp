@@ -1,0 +1,76 @@
+#include "util/counters.hpp"
+
+#include "util/stats.hpp"
+
+namespace em2 {
+namespace {
+
+// In Counter enum order.
+constexpr std::array<const char*, kNumCounters> kCounterNames = {
+    "accesses",
+    "reads",
+    "writes",
+    "accesses_local",
+    "migrations",
+    "migrations_to_native",
+    "evictions",
+    "remote_accesses",
+    "remote_reads",
+    "remote_writes",
+    "replicated_reads",
+    "l1_hits",
+    "l2_hits",
+    "dram_fills",
+    "messages",
+    "hits",
+    "misses",
+    "gets",
+    "getm",
+    "upgrade",
+    "upgrade_ack",
+    "puts",
+    "putm",
+    "fwd_gets",
+    "fwd_getm",
+    "data_owner",
+    "data_home",
+    "wb_downgrade",
+    "inv",
+    "inv_ack",
+    "flush_messages",
+    "underflow_returns",
+    "overflow_returns",
+};
+
+}  // namespace
+
+const char* to_string(Counter c) noexcept {
+  return kCounterNames[static_cast<std::size_t>(c)];
+}
+
+bool counter_from_name(std::string_view name, Counter& out) noexcept {
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    if (name == kCounterNames[i]) {
+      out = static_cast<Counter>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t FastCounters::get(std::string_view name) const noexcept {
+  Counter c;
+  return counter_from_name(name, c) ? get(c) : 0;
+}
+
+CounterSet FastCounters::named() const {
+  CounterSet set;
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    if (values_[i] != 0) {
+      set.inc(kCounterNames[i], values_[i]);
+    }
+  }
+  return set;
+}
+
+}  // namespace em2

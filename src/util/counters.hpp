@@ -1,0 +1,110 @@
+// Enum-indexed protocol event counters for the simulation hot path.
+//
+// The original CounterSet keys events by std::string, which costs 2-4
+// red-black-tree lookups (each with a std::string constructed from a
+// literal) on EVERY Em2Machine::access().  FastCounters replaces the hot
+// increments with a plain array index: every protocol event the simulator
+// ever counts has a slot in the Counter enum, inc() is a single add, and
+// the string-keyed view survives as an adapter so existing
+// `counters().get("migrations")` call sites and table printers keep
+// working unchanged.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace em2 {
+
+class CounterSet;
+
+/// Every protocol event counted anywhere in the simulator.  Names (for the
+/// string view) live in kCounterNames and MUST stay in enum order.
+enum class Counter : std::uint8_t {
+  // Shared access accounting (EM2, EM2-RA, CC, stack-EM2).
+  kAccesses = 0,
+  kReads,
+  kWrites,
+  kAccessesLocal,
+  // EM2 migration protocol.
+  kMigrations,
+  kMigrationsToNative,
+  kEvictions,
+  // EM2-RA remote-access path.
+  kRemoteAccesses,
+  kRemoteReads,
+  kRemoteWrites,
+  // Read-only replication extension.
+  kReplicatedReads,
+  // Cache hierarchy (model_caches).
+  kL1Hits,
+  kL2Hits,
+  kDramFills,
+  // Directory-MSI protocol messages.
+  kMessages,
+  kHits,
+  kMisses,
+  kGetS,
+  kGetM,
+  kUpgrade,
+  kUpgradeAck,
+  kPutS,
+  kPutM,
+  kFwdGetS,
+  kFwdGetM,
+  kDataOwner,
+  kDataHome,
+  kWbDowngrade,
+  kInv,
+  kInvAck,
+  // Stack-EM2.
+  kFlushMessages,
+  kUnderflowReturns,
+  kOverflowReturns,
+};
+
+inline constexpr std::size_t kNumCounters = 33;
+
+/// The string name of `c` ("migrations", "inv_ack", ...), matching the
+/// names the string-keyed CounterSet era used.
+const char* to_string(Counter c) noexcept;
+
+/// Reverse lookup for the named view; returns false for unknown names.
+bool counter_from_name(std::string_view name, Counter& out) noexcept;
+
+/// O(1) array-indexed counters with a named-view adapter.
+class FastCounters {
+ public:
+  void inc(Counter c, std::uint64_t by = 1) noexcept {
+    values_[static_cast<std::size_t>(c)] += by;
+  }
+
+  std::uint64_t get(Counter c) const noexcept {
+    return values_[static_cast<std::size_t>(c)];
+  }
+
+  /// Named view: the same lookups CounterSet offered.  Unknown names read
+  /// as 0, exactly like a never-incremented CounterSet entry.  Not for hot
+  /// paths — increment through the enum there.
+  std::uint64_t get(std::string_view name) const noexcept;
+
+  /// Element-wise sum (parallel shard reduction).
+  void merge(const FastCounters& other) noexcept {
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      values_[i] += other.values_[i];
+    }
+  }
+
+  /// Materializes the string-keyed view for reports and table printers.
+  /// Zero counters are omitted, matching the sparse CounterSet behaviour.
+  CounterSet named() const;
+
+  const std::array<std::uint64_t, kNumCounters>& raw() const noexcept {
+    return values_;
+  }
+
+ private:
+  std::array<std::uint64_t, kNumCounters> values_{};
+};
+
+}  // namespace em2

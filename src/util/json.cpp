@@ -1,0 +1,96 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace em2 {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+void JsonWriter::append_key(std::string_view key) {
+  if (!body_.empty()) {
+    body_.push_back(',');
+  }
+  append_escaped(body_, key);
+  body_.push_back(':');
+}
+
+JsonWriter& JsonWriter::add(std::string_view key, std::string_view value) {
+  append_key(key);
+  append_escaped(body_, value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::add(std::string_view key, const char* value) {
+  return add(key, std::string_view(value));
+}
+
+JsonWriter& JsonWriter::add(std::string_view key, std::uint64_t value) {
+  append_key(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::add(std::string_view key, std::int64_t value) {
+  append_key(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::add(std::string_view key, int value) {
+  return add(key, static_cast<std::int64_t>(value));
+}
+
+JsonWriter& JsonWriter::add(std::string_view key, double value) {
+  append_key(key);
+  if (!std::isfinite(value)) {
+    body_ += "null";
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  body_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::add(std::string_view key, bool value) {
+  append_key(key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+std::string JsonWriter::str() const { return "{" + body_ + "}"; }
+
+void JsonWriter::print() const { std::printf("%s\n", str().c_str()); }
+
+}  // namespace em2

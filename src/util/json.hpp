@@ -1,0 +1,38 @@
+// Minimal JSON emission for the bench harness.
+//
+// Every bench has a `--json` mode that prints one flat summary object per
+// run so CI can track the perf trajectory without scraping tables.  This
+// writer covers exactly that: an ordered flat object of string/number/bool
+// fields (no nesting, no arrays), rendered on one line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace em2 {
+
+/// Ordered flat JSON object builder: add() fields, then str()/one line.
+class JsonWriter {
+ public:
+  JsonWriter& add(std::string_view key, std::string_view value);
+  JsonWriter& add(std::string_view key, const char* value);
+  JsonWriter& add(std::string_view key, std::uint64_t value);
+  JsonWriter& add(std::string_view key, std::int64_t value);
+  JsonWriter& add(std::string_view key, int value);
+  JsonWriter& add(std::string_view key, double value);
+  JsonWriter& add(std::string_view key, bool value);
+
+  /// The object rendered as `{"k":v,...}` (no trailing newline).
+  std::string str() const;
+
+  /// Prints str() plus a newline to stdout.
+  void print() const;
+
+ private:
+  void append_key(std::string_view key);
+
+  std::string body_;
+};
+
+}  // namespace em2

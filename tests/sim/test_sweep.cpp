@@ -1,0 +1,118 @@
+// The threaded sweep runner must be invisible in the results: same points,
+// same order, byte-identical counters, no matter how many workers run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/system.hpp"
+#include "sim/sweep.hpp"
+#include "workload/synthetic.hpp"
+
+namespace em2 {
+namespace {
+
+TEST(Sweep, ResultsComeBackInPointOrder) {
+  const auto results = sweep::run(
+      64, [](std::size_t i) { return i * i; },
+      sweep::Options{.num_threads = 4});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], i * i);
+  }
+}
+
+TEST(Sweep, AllPointsRunExactlyOnce) {
+  std::vector<std::atomic<int>> hits(97);
+  sweep::run(
+      hits.size(),
+      [&](std::size_t i) {
+        hits[i].fetch_add(1);
+        return 0;
+      },
+      sweep::Options{.num_threads = 8});
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(Sweep, ZeroPointsIsANoOp) {
+  const auto results =
+      sweep::run(0, [](std::size_t) { return 1; }, sweep::Options{});
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(Sweep, ResolveThreadsHonoursExplicitCount) {
+  EXPECT_EQ(sweep::resolve_threads(sweep::Options{.num_threads = 3}), 3u);
+  EXPECT_GE(sweep::resolve_threads(sweep::Options{.num_threads = 0}), 1u);
+}
+
+// The determinism contract of the ISSUE: a threaded sweep over real
+// simulations must yield counters byte-identical to the serial path.
+TEST(Sweep, ThreadedSimulationSweepMatchesSerialExactly) {
+  SystemConfig cfg;
+  cfg.threads = 8;
+  const System sys(cfg);
+
+  const std::vector<double> means = {1.0, 2.0, 4.0, 8.0};
+  auto point = [&](std::size_t i) {
+    workload::GeometricRunsParams p;
+    p.threads = 8;
+    p.accesses_per_thread = 500;
+    p.mean_run_length = means[i];
+    p.remote_fraction = 0.5;
+    const TraceSet traces = workload::make_geometric_runs(p);
+    const RunSummary s = sys.run_em2(traces);
+    return std::tuple<std::uint64_t, std::uint64_t, Cost>(
+        s.accesses, s.migrations, s.network_cost);
+  };
+
+  const auto serial =
+      sweep::run(means.size(), point, sweep::Options{.num_threads = 1});
+  const auto threaded =
+      sweep::run(means.size(), point, sweep::Options{.num_threads = 4});
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], threaded[i]) << "point " << i;
+  }
+}
+
+// Shard-and-merge over the runner: merged counter totals equal the
+// sequential accumulation bit-for-bit.
+TEST(Sweep, MergedCounterShardsEqualSequentialTotals) {
+  SystemConfig cfg;
+  cfg.threads = 8;
+  const System sys(cfg);
+
+  auto shard = [&](std::size_t i) {
+    workload::GeometricRunsParams p;
+    p.threads = 8;
+    p.accesses_per_thread = 300;
+    p.mean_run_length = 1.0 + static_cast<double>(i);
+    p.remote_fraction = 0.5;
+    const TraceSet traces = workload::make_geometric_runs(p);
+    const RunSummary s = sys.run_em2(traces);
+    CounterSet c;
+    c.inc("accesses", s.accesses);
+    c.inc("migrations", s.migrations);
+    c.inc("evictions", s.evictions);
+    return c;
+  };
+
+  const auto shards =
+      sweep::run(6, shard, sweep::Options{.num_threads = 3});
+  const CounterSet merged = sweep::merge_all(shards);
+
+  CounterSet sequential;
+  for (std::size_t i = 0; i < 6; ++i) {
+    sequential.merge(shard(i));
+  }
+  ASSERT_EQ(merged.all().size(), sequential.all().size());
+  for (const auto& [name, value] : sequential.all()) {
+    EXPECT_EQ(merged.get(name), value) << name;
+  }
+}
+
+}  // namespace
+}  // namespace em2

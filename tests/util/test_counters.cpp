@@ -1,0 +1,66 @@
+#include "util/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace em2 {
+namespace {
+
+TEST(FastCounters, StartsAtZero) {
+  const FastCounters c;
+  EXPECT_EQ(c.get(Counter::kMigrations), 0u);
+  EXPECT_EQ(c.get("migrations"), 0u);
+}
+
+TEST(FastCounters, IncrementByEnumReadableByName) {
+  FastCounters c;
+  c.inc(Counter::kMigrations);
+  c.inc(Counter::kMigrations, 4);
+  EXPECT_EQ(c.get(Counter::kMigrations), 5u);
+  EXPECT_EQ(c.get("migrations"), 5u);
+}
+
+TEST(FastCounters, UnknownNameReadsAsZero) {
+  FastCounters c;
+  c.inc(Counter::kAccesses);
+  EXPECT_EQ(c.get("never_incremented_name"), 0u);
+}
+
+TEST(FastCounters, EveryCounterNameRoundTrips) {
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const auto c = static_cast<Counter>(i);
+    Counter back;
+    ASSERT_TRUE(counter_from_name(to_string(c), back)) << to_string(c);
+    EXPECT_EQ(back, c) << to_string(c);
+    FastCounters fc;
+    fc.inc(c, i + 1);
+    EXPECT_EQ(fc.get(to_string(c)), i + 1) << to_string(c);
+  }
+}
+
+TEST(FastCounters, NamedViewMatchesSparseCounterSetBehaviour) {
+  FastCounters c;
+  c.inc(Counter::kAccesses, 10);
+  c.inc(Counter::kMigrations, 3);
+  const CounterSet named = c.named();
+  EXPECT_EQ(named.get("accesses"), 10u);
+  EXPECT_EQ(named.get("migrations"), 3u);
+  EXPECT_EQ(named.get("evictions"), 0u);
+  // Zero counters are omitted, like never-touched CounterSet entries.
+  EXPECT_EQ(named.all().size(), 2u);
+}
+
+TEST(FastCounters, MergeIsElementWise) {
+  FastCounters a;
+  FastCounters b;
+  a.inc(Counter::kReads, 2);
+  b.inc(Counter::kReads, 5);
+  b.inc(Counter::kWrites, 1);
+  a.merge(b);
+  EXPECT_EQ(a.get(Counter::kReads), 7u);
+  EXPECT_EQ(a.get(Counter::kWrites), 1u);
+}
+
+}  // namespace
+}  // namespace em2

@@ -1,0 +1,132 @@
+// Parallel-reduction parity: merging sharded accumulators must equal the
+// sequential result — bit-for-bit on integer state — or threaded sweeps
+// would silently drift from the serial truth they claim to reproduce.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/counters.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace em2 {
+namespace {
+
+// Deterministic integer sample stream shared by all parity tests.
+std::vector<std::uint64_t> sample_stream(std::size_t n) {
+  Rng rng(7);
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(rng.next_below(1000));
+  }
+  return out;
+}
+
+TEST(MergeParity, CounterSetShardsSumExactly) {
+  const auto samples = sample_stream(10000);
+  const char* names[] = {"migrations", "evictions", "accesses"};
+
+  CounterSet sequential;
+  std::vector<CounterSet> shards(7);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const char* name = names[i % 3];
+    sequential.inc(name, samples[i]);
+    shards[i % shards.size()].inc(name, samples[i]);
+  }
+  CounterSet merged;
+  for (const CounterSet& s : shards) {
+    merged.merge(s);
+  }
+  ASSERT_EQ(merged.all().size(), sequential.all().size());
+  for (const auto& [name, value] : sequential.all()) {
+    EXPECT_EQ(merged.get(name), value) << name;
+  }
+}
+
+TEST(MergeParity, FastCountersShardsSumExactly) {
+  const auto samples = sample_stream(9000);
+  const Counter which[] = {Counter::kAccesses, Counter::kMigrations,
+                           Counter::kEvictions, Counter::kRemoteAccesses};
+
+  FastCounters sequential;
+  std::vector<FastCounters> shards(5);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    sequential.inc(which[i % 4], samples[i]);
+    shards[i % shards.size()].inc(which[i % 4], samples[i]);
+  }
+  FastCounters merged;
+  for (const FastCounters& s : shards) {
+    merged.merge(s);
+  }
+  EXPECT_EQ(merged.raw(), sequential.raw());  // bit-for-bit
+}
+
+TEST(MergeParity, HistogramShardsMatchBitForBit) {
+  const auto samples = sample_stream(20000);
+
+  Histogram sequential(512);
+  std::vector<Histogram> shards(9, Histogram(512));
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    sequential.add(samples[i]);
+    shards[i % shards.size()].add(samples[i]);
+  }
+  Histogram merged(512);
+  for (const Histogram& s : shards) {
+    merged.merge(s);
+  }
+  EXPECT_EQ(merged.bins(), sequential.bins());  // bit-for-bit
+  EXPECT_EQ(merged.total(), sequential.total());
+  EXPECT_EQ(merged.weighted_sum(), sequential.weighted_sum());
+  EXPECT_EQ(merged.quantile(0.5), sequential.quantile(0.5));
+}
+
+TEST(MergeParity, RunningStatShardsMatchOnIntegerCounters) {
+  const auto samples = sample_stream(15000);
+
+  RunningStat sequential;
+  std::vector<RunningStat> shards(6);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    sequential.add(static_cast<double>(samples[i]));
+    shards[i % shards.size()].add(static_cast<double>(samples[i]));
+  }
+  RunningStat merged;
+  for (const RunningStat& s : shards) {
+    merged.merge(s);
+  }
+  // Integer-exact state merges bit-for-bit; the Welford mean/m2 terms are
+  // order-sensitive in the last ulps, so they get a tight tolerance.
+  EXPECT_EQ(merged.count(), sequential.count());
+  EXPECT_EQ(merged.min(), sequential.min());
+  EXPECT_EQ(merged.max(), sequential.max());
+  EXPECT_EQ(merged.sum(), sequential.sum());  // integer sums are exact
+  EXPECT_NEAR(merged.mean(), sequential.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), sequential.variance(),
+              1e-6 * sequential.variance() + 1e-9);
+}
+
+TEST(MergeParity, MergeOrderDoesNotChangeIntegerState) {
+  const auto samples = sample_stream(4000);
+  std::vector<Histogram> shards(4, Histogram(256));
+  std::vector<FastCounters> counter_shards(4);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    shards[i % 4].add(samples[i]);
+    counter_shards[i % 4].inc(Counter::kAccesses, samples[i]);
+  }
+  Histogram forward(256);
+  Histogram backward(256);
+  FastCounters cf;
+  FastCounters cb;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    forward.merge(shards[i]);
+    backward.merge(shards[shards.size() - 1 - i]);
+    cf.merge(counter_shards[i]);
+    cb.merge(counter_shards[shards.size() - 1 - i]);
+  }
+  EXPECT_EQ(forward.bins(), backward.bins());
+  EXPECT_EQ(cf.raw(), cb.raw());
+}
+
+}  // namespace
+}  // namespace em2
