@@ -14,6 +14,12 @@
 // before the next begins, which is exactly the fidelity needed to count
 // protocol messages, traffic bits, replication, and directory state — the
 // quantities the paper's claims are about.
+//
+// Scheduler note: under CC, data moves and threads do not — every thread
+// executes pinned to its native core for the whole run.  The execution
+// engine's event-driven scheduler therefore builds each core's resident
+// queue once at startup and never receives a ThreadMoveObserver callback
+// for this architecture (there is nothing to observe).
 #pragma once
 
 #include <array>

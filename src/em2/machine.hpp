@@ -84,6 +84,24 @@ struct AccessOutcome {
   std::uint32_t memory_latency = 0;
 };
 
+/// Observer of thread location changes.  The execution-driven scheduler
+/// registers one so per-core resident queues are maintained in O(1) at the
+/// moment a thread arrives or departs, instead of being rediscovered by
+/// scanning every thread each cycle.
+///
+/// Contract: `on_thread_moved(t, from, to)` fires exactly once per
+/// location change — once for every migration (the moving thread) and once
+/// for every eviction (the displaced guest travelling to its native core)
+/// — after `location(t)` already reports `to`, and with `from != to`.
+/// Remote accesses (EM2-RA) never move a thread and never notify.  The
+/// callback runs on the protocol hot path: it must be O(1)-ish and must
+/// not re-enter the machine.
+class ThreadMoveObserver {
+ public:
+  virtual ~ThreadMoveObserver() = default;
+  virtual void on_thread_moved(ThreadId t, CoreId from, CoreId to) = 0;
+};
+
 /// The EM2 protocol engine.  Trace-driven: the caller supplies each
 /// access's home core (from a Placement); the engine tracks thread
 /// locations, guest occupancy, evictions, costs, and virtual-network
@@ -135,6 +153,13 @@ class Em2Machine {
   CacheTotals cache_totals() const;
 
   const CostModel& cost_model() const noexcept { return cost_; }
+
+  /// Registers `obs` (nullable) to be notified of every thread location
+  /// change (migrations and evictions); see ThreadMoveObserver.  The
+  /// observer must outlive the machine or be unregistered first.
+  void set_move_observer(ThreadMoveObserver* obs) noexcept {
+    move_observer_ = obs;
+  }
 
  protected:
   /// Moves thread `t` to `dest`, handling native-vs-guest context
@@ -200,6 +225,7 @@ class Em2Machine {
   Cost total_thread_cost_ = 0;
   Cost total_eviction_cost_ = 0;
   ThreadId last_evicted_ = kNoThread;
+  ThreadMoveObserver* move_observer_ = nullptr;
   Rng rng_;
 };
 
@@ -265,6 +291,9 @@ inline std::pair<Cost, Cost> Em2Machine::migrate_thread(ThreadId t, CoreId dest)
   }
   const Cost evict_cost = dest == nat ? 0 : arrive(t, dest);
   location_[static_cast<std::size_t>(t)] = dest;
+  if (move_observer_ != nullptr) {
+    move_observer_->on_thread_moved(t, from, dest);
+  }
 
   // Context transfer cost and virtual-network accounting.  Migrations into
   // the thread's own native (reserved) context travel on the native vnet —
@@ -323,6 +352,9 @@ inline Cost Em2Machine::arrive(ThreadId t, CoreId dest) {
     per_thread_cost_[static_cast<std::size_t>(victim)] += evict_cost;
     counters_.inc(Counter::kEvictions);
     last_evicted_ = victim;
+    if (move_observer_ != nullptr) {
+      move_observer_->on_thread_moved(victim, dest, victim_home);
+    }
   } else {
     pos = static_cast<std::size_t>(std::countr_zero(~mask));
     mask |= std::uint64_t{1} << pos;

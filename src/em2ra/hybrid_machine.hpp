@@ -26,6 +26,12 @@ struct HybridOutcome {
 
 /// EM2-RA protocol engine: EM2 plus the remote-access path and the
 /// decision procedure.
+///
+/// ThreadMoveObserver note: remote accesses never move a thread, so the
+/// base class's observer hook already covers every location change a
+/// hybrid machine can make (migrations and the evictions they cause) —
+/// the execution-driven scheduler's resident queues need no extra wiring
+/// for the RA path.
 class HybridMachine : public Em2Machine {
  public:
   /// `policy` decides migrate-vs-RA per non-local access; the machine

@@ -19,6 +19,16 @@ const char* to_string(MemArch arch) noexcept {
   return "?";
 }
 
+const char* to_string(SchedulerKind kind) noexcept {
+  switch (kind) {
+    case SchedulerKind::kEventDriven:
+      return "event";
+    case SchedulerKind::kScan:
+      return "scan";
+  }
+  return "?";
+}
+
 ExecSystem::ExecSystem(const Mesh& mesh, const CostModel& cost,
                        const ExecParams& params, const Placement& placement)
     : mesh_(mesh), cost_(cost), params_(params), placement_(placement) {
@@ -70,10 +80,10 @@ Cost ExecSystem::serve_access(ThreadId t, const PendingAccess& mem) {
       const AccessOutcome out = em2_->access(t, home, mem.op, mem.addr);
       latency = out.thread_cost + out.memory_latency;
       if (out.evicted_thread != kNoThread) {
-        Thread& victim =
+        const Thread& victim =
             threads_[static_cast<std::size_t>(out.evicted_thread)];
-        victim.ready_at =
-            std::max(victim.ready_at, now_ + out.eviction_cost);
+        set_ready_at(out.evicted_thread,
+                     std::max(victim.ready_at, now_ + out.eviction_cost));
       }
       break;
     }
@@ -83,10 +93,11 @@ Cost ExecSystem::serve_access(ThreadId t, const PendingAccess& mem) {
           hybrid_->access_hybrid(t, home, mem.op, mem.addr, block);
       latency = out.base.thread_cost + out.base.memory_latency;
       if (out.base.evicted_thread != kNoThread) {
-        Thread& victim =
+        const Thread& victim =
             threads_[static_cast<std::size_t>(out.base.evicted_thread)];
-        victim.ready_at =
-            std::max(victim.ready_at, now_ + out.base.eviction_cost);
+        set_ready_at(
+            out.base.evicted_thread,
+            std::max(victim.ready_at, now_ + out.base.eviction_cost));
       }
       break;
     }
@@ -120,48 +131,246 @@ Cost ExecSystem::serve_access(ThreadId t, const PendingAccess& mem) {
   return latency;
 }
 
-ExecReport ExecSystem::run(Cycle max_cycles) {
-  if (!started_) {
-    started_ = true;
-    std::vector<CoreId> native;
-    native.reserve(threads_.size());
-    for (const Thread& th : threads_) {
-      native.push_back(th.ctx.native_core);
+void ExecSystem::init_machines() {
+  std::vector<CoreId> native;
+  native.reserve(threads_.size());
+  for (const Thread& th : threads_) {
+    native.push_back(th.ctx.native_core);
+  }
+  switch (params_.arch) {
+    case MemArch::kEm2:
+      em2_ = std::make_unique<Em2Machine>(mesh_, cost_, params_.em2,
+                                          std::move(native));
+      break;
+    case MemArch::kEm2Ra: {
+      ra_policy_ = make_policy(params_.ra_policy, mesh_, cost_);
+      EM2_ASSERT(ra_policy_ != nullptr, "unknown EM2-RA policy spec");
+      auto hybrid = std::make_unique<HybridMachine>(
+          mesh_, cost_, params_.em2, std::move(native), *ra_policy_);
+      hybrid_ = hybrid.get();
+      em2_ = std::move(hybrid);
+      break;
     }
-    switch (params_.arch) {
-      case MemArch::kEm2:
-        em2_ = std::make_unique<Em2Machine>(mesh_, cost_, params_.em2,
-                                            std::move(native));
-        break;
-      case MemArch::kEm2Ra: {
-        ra_policy_ = make_policy(params_.ra_policy, mesh_, cost_);
-        EM2_ASSERT(ra_policy_ != nullptr, "unknown EM2-RA policy spec");
-        auto hybrid = std::make_unique<HybridMachine>(
-            mesh_, cost_, params_.em2, std::move(native), *ra_policy_);
-        hybrid_ = hybrid.get();
-        em2_ = std::move(hybrid);
-        break;
+    case MemArch::kCc:
+      // CC never moves a thread: every context executes at its native
+      // core, so the resident queues built in run_event are static and no
+      // move observer exists to register.
+      cc_ = std::make_unique<DirectoryCC>(mesh_, cost_, params_.cc,
+                                          placement_);
+      break;
+  }
+  if (em2_ && event_mode_) {
+    em2_->set_move_observer(this);
+  }
+}
+
+void ExecSystem::core_gains_ready(CoreId core) {
+  const auto c = static_cast<std::size_t>(core);
+  if (ready_count_[c]++ == 0) {
+    ready_mask_[c >> 6] |= std::uint64_t{1} << (c & 63);
+  }
+}
+
+void ExecSystem::core_loses_ready(CoreId core) {
+  const auto c = static_cast<std::size_t>(core);
+  if (--ready_count_[c] == 0) {
+    ready_mask_[c >> 6] &= ~(std::uint64_t{1} << (c & 63));
+  }
+}
+
+void ExecSystem::mark_ready(ThreadId t) {
+  is_ready_[static_cast<std::size_t>(t)] = 1;
+  ++num_ready_;
+  core_gains_ready(core_of_[static_cast<std::size_t>(t)]);
+}
+
+void ExecSystem::mark_unready(ThreadId t) {
+  is_ready_[static_cast<std::size_t>(t)] = 0;
+  --num_ready_;
+  core_loses_ready(core_of_[static_cast<std::size_t>(t)]);
+}
+
+void ExecSystem::set_ready_at(ThreadId t, Cycle when) {
+  Thread& th = threads_[static_cast<std::size_t>(t)];
+  th.ready_at = when;
+  // A halted victim still gets its ready_at stamped (scan-scheduler
+  // parity) but never re-enters the ready set or the wakeup heap.
+  if (!event_mode_ || th.halted) {
+    return;
+  }
+  if (when > now_) {
+    if (is_ready_[static_cast<std::size_t>(t)]) {
+      mark_unready(t);
+    }
+    wakeups_.push(Wakeup{when, t});
+  } else if (!is_ready_[static_cast<std::size_t>(t)]) {
+    mark_ready(t);
+  }
+}
+
+void ExecSystem::on_thread_moved(ThreadId t, CoreId from, CoreId to) {
+  // A halted thread's context still occupies its guest slot in the
+  // machine and can be displaced by a later migration; it left the
+  // scheduling structures when it retired, so only the location mirror
+  // moves with it.
+  if (threads_[static_cast<std::size_t>(t)].halted) {
+    core_of_[static_cast<std::size_t>(t)] = to;
+    return;
+  }
+  // Departure and arrival are each an O(residents) splice into a sorted
+  // vector; residency per core is bounded by guest contexts + natives, so
+  // this is effectively O(1) — and it replaces the per-cycle rediscovery
+  // scan entirely.
+  auto& src = residents_[static_cast<std::size_t>(from)];
+  src.erase(std::lower_bound(src.begin(), src.end(), t));
+  auto& dst = residents_[static_cast<std::size_t>(to)];
+  dst.insert(std::lower_bound(dst.begin(), dst.end(), t), t);
+  if (is_ready_[static_cast<std::size_t>(t)]) {
+    // Re-home the ready accounting without toggling is_ready_.
+    core_loses_ready(from);
+    core_gains_ready(to);
+  }
+  core_of_[static_cast<std::size_t>(t)] = to;
+}
+
+void ExecSystem::step_thread(ThreadId chosen) {
+  Thread& th = threads_[static_cast<std::size_t>(chosen)];
+  const StepResult r = th.interp->step(th.ctx);
+  ++report_.instructions;
+  switch (r.kind) {
+    case StepKind::kDone:
+      th.halted = true;
+      ++halted_count_;
+      report_.finish_cycle[static_cast<std::size_t>(chosen)] = now_;
+      if (event_mode_) {
+        mark_unready(chosen);  // a stepped thread is always ready
+        auto& res =
+            residents_[static_cast<std::size_t>(
+                core_of_[static_cast<std::size_t>(chosen)])];
+        res.erase(std::lower_bound(res.begin(), res.end(), chosen));
       }
-      case MemArch::kCc:
-        cc_ = std::make_unique<DirectoryCC>(mesh_, cost_, params_.cc,
-                                            placement_);
-        break;
+      break;
+    case StepKind::kMem: {
+      const Cost latency = serve_access(chosen, r.mem);
+      set_ready_at(chosen, now_ + latency);
+      break;
+    }
+    case StepKind::kOk:
+      break;
+  }
+}
+
+ThreadId ExecSystem::select_ready_resident(CoreId core) const {
+  // Round-robin over *global thread ids* starting at rr_[core], restricted
+  // to this core's residents — exactly the order the scan scheduler's
+  // probe loop visits, so both schedulers pick the same thread.
+  const auto& res = residents_[static_cast<std::size_t>(core)];
+  const auto start = static_cast<ThreadId>(
+      rr_[static_cast<std::size_t>(core)] % threads_.size());
+  const auto pivot = std::lower_bound(res.begin(), res.end(), start);
+  for (auto it = pivot; it != res.end(); ++it) {
+    if (is_ready_[static_cast<std::size_t>(*it)]) {
+      return *it;
     }
   }
+  for (auto it = res.begin(); it != pivot; ++it) {
+    if (is_ready_[static_cast<std::size_t>(*it)]) {
+      return *it;
+    }
+  }
+  return kNoThread;
+}
 
-  report_ = ExecReport{};
-  report_.finish_cycle.assign(threads_.size(), 0);
+void ExecSystem::run_event(Cycle max_cycles) {
+  const std::size_t n_threads = threads_.size();
+  const auto n_cores = static_cast<std::size_t>(mesh_.num_cores());
+  residents_.assign(n_cores, {});
+  ready_count_.assign(n_cores, 0);
+  ready_mask_.assign((n_cores + 63) / 64, 0);
+  is_ready_.assign(n_threads, 0);
+  core_of_.resize(n_threads);
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    const CoreId c = threads_[t].ctx.native_core;
+    core_of_[t] = c;
+    // Ascending t keeps each per-core vector sorted by construction.
+    residents_[static_cast<std::size_t>(c)].push_back(
+        static_cast<ThreadId>(t));
+  }
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    mark_ready(static_cast<ThreadId>(t));  // every thread starts ready
+  }
 
-  auto all_halted = [&]() {
-    return std::all_of(threads_.begin(), threads_.end(),
-                       [](const Thread& th) { return th.halted; });
-  };
+  while (halted_count_ < n_threads) {
+    if (now_ >= max_cycles) {
+      break;
+    }
+    if (num_ready_ == 0) {
+      // Nothing can issue: jump straight to the earliest wakeup instead of
+      // idling one cycle at a time (the scan scheduler burns a full
+      // O(cores x threads) probe pass per idle cycle).
+      while (!wakeups_.empty()) {
+        const Wakeup& w = wakeups_.top();
+        const Thread& th = threads_[static_cast<std::size_t>(w.thread)];
+        if (!th.halted && th.ready_at == w.at) {
+          break;  // valid (an is_ready_ thread would make num_ready_ > 0)
+        }
+        wakeups_.pop();  // stale: superseded by a later re-stall
+      }
+      EM2_ASSERT(!wakeups_.empty(),
+                 "live threads but no pending wakeup: scheduler would hang");
+      const Cycle wake = wakeups_.top().at;
+      if (wake > max_cycles) {
+        now_ = max_cycles;  // the scan scheduler idles up to the budget
+        break;
+      }
+      now_ = wake;
+    } else {
+      ++now_;
+    }
 
-  while (!all_halted() && now_ < max_cycles) {
+    while (!wakeups_.empty() && wakeups_.top().at <= now_) {
+      const Wakeup w = wakeups_.top();
+      wakeups_.pop();
+      const Thread& th = threads_[static_cast<std::size_t>(w.thread)];
+      if (th.halted || is_ready_[static_cast<std::size_t>(w.thread)] ||
+          th.ready_at != w.at) {
+        continue;  // stale entry
+      }
+      mark_ready(w.thread);
+    }
+
+    // Step each ready core once, in ascending core order.  The mask is
+    // re-read after every step so a migration landing on a *later* core
+    // this cycle is seen (as the scan scheduler would), while cores at or
+    // below the cursor are deferred to the next cycle (ditto).
+    for (std::size_t word = 0; word < ready_mask_.size(); ++word) {
+      std::uint64_t bits = ready_mask_[word];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        const auto core = static_cast<CoreId>(word * 64 +
+                                              static_cast<std::size_t>(b));
+        const ThreadId chosen = select_ready_resident(core);
+        EM2_ASSERT(chosen != kNoThread,
+                   "ready-core bitmap out of sync with resident queues");
+        rr_[static_cast<std::size_t>(core)] =
+            static_cast<std::uint32_t>(chosen + 1);
+        step_thread(chosen);
+        bits = b == 63 ? 0
+                       : ready_mask_[word] &
+                             ~((std::uint64_t{2} << b) - 1);
+      }
+    }
+  }
+}
+
+void ExecSystem::run_scan(Cycle max_cycles) {
+  // The reference scheduler: O(cores x threads) probing per cycle, kept
+  // verbatim as the executable specification of the scheduling order.
+  const std::size_t n = threads_.size();
+  while (halted_count_ < n && now_ < max_cycles) {
     ++now_;
     for (CoreId core = 0; core < mesh_.num_cores(); ++core) {
       // Pick one ready resident context, round-robin per core.
-      const std::size_t n = threads_.size();
       ThreadId chosen = kNoThread;
       for (std::size_t probe = 0; probe < n; ++probe) {
         const std::size_t idx =
@@ -178,27 +387,31 @@ ExecReport ExecSystem::run(Cycle max_cycles) {
       if (chosen == kNoThread) {
         continue;
       }
-      Thread& th = threads_[static_cast<std::size_t>(chosen)];
-      const StepResult r = th.interp->step(th.ctx);
-      ++report_.instructions;
-      switch (r.kind) {
-        case StepKind::kDone:
-          th.halted = true;
-          report_.finish_cycle[static_cast<std::size_t>(chosen)] = now_;
-          break;
-        case StepKind::kMem: {
-          const Cost latency = serve_access(chosen, r.mem);
-          th.ready_at = now_ + latency;
-          break;
-        }
-        case StepKind::kOk:
-          break;
-      }
+      step_thread(chosen);
     }
+  }
+}
+
+ExecReport ExecSystem::run(Cycle max_cycles) {
+  EM2_ASSERT(!started_,
+             "ExecSystem::run is single-shot: build a new system to re-run "
+             "(interpreters, machines, and checker state are consumed)");
+  started_ = true;
+  event_mode_ = params_.scheduler == SchedulerKind::kEventDriven;
+  init_machines();
+
+  report_ = ExecReport{};
+  report_.finish_cycle.assign(threads_.size(), 0);
+
+  if (event_mode_) {
+    run_event(max_cycles);
+  } else {
+    run_scan(max_cycles);
   }
 
   report_.cycles = now_;
-  report_.consistent = checker_.ok() && all_halted();
+  report_.timed_out = halted_count_ < threads_.size();
+  report_.consistent = checker_.ok() && !report_.timed_out;
   report_.violations = checker_.violations();
   if (em2_) {
     report_.counters = em2_->counters().named();

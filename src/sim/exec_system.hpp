@@ -10,11 +10,26 @@
 // EM2 the context physically moves between cores' resident sets —
 // including eviction re-stalls when a migration displaces a guest.
 //
+// Two schedulers produce bit-identical reports (enforced by
+// tests/sim/test_exec_equivalence.cpp):
+//
+//   kEventDriven (default)  Per-core resident-ready queues maintained in
+//       O(1) by a ThreadMoveObserver hook on the EM2/EM2-RA machines
+//       (arrival/departure updates the queue the moment it happens; CC
+//       threads are pinned, so their queues are static), a min-heap of
+//       wakeup times so fully-stalled stretches are skipped in one jump,
+//       and a ready-core bitmap so a cycle costs O(steps) instead of
+//       O(cores x threads).  This is what makes 1000-core runs feasible.
+//   kScan                   The reference scheduler: every cycle, every
+//       core probes every thread (round-robin).  Kept as the executable
+//       specification the event-driven scheduler is diffed against.
+//
 // All loads/stores are checked against the sequential-consistency witness.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <queue>
 #include <string>
 #include <vector>
 
@@ -41,9 +56,18 @@ enum class MemArch : std::uint8_t {
 
 const char* to_string(MemArch arch) noexcept;
 
+/// Which scheduler drives the cores (see the file comment).
+enum class SchedulerKind : std::uint8_t {
+  kEventDriven = 0,
+  kScan = 1,
+};
+
+const char* to_string(SchedulerKind kind) noexcept;
+
 /// Execution-system configuration.
 struct ExecParams {
   MemArch arch = MemArch::kEm2;
+  SchedulerKind scheduler = SchedulerKind::kEventDriven;
   Em2Params em2{};
   DirCcParams cc{};
   /// EM2-RA decision policy spec (see make_policy); ignored otherwise.
@@ -56,14 +80,19 @@ struct ExecReport {
   Cycle cycles = 0;
   std::uint64_t instructions = 0;
   CounterSet counters;
+  /// True iff the checker saw no violation AND every thread halted.  A
+  /// run that hit `max_cycles` with clean memory semantics is NOT a
+  /// consistency violation — check `timed_out` to tell them apart.
   bool consistent = false;
+  /// True iff `max_cycles` elapsed with at least one thread still live.
+  bool timed_out = false;
   std::vector<ConsistencyViolation> violations;
   /// Per-thread completion time (cycle of HALT retirement).
   std::vector<Cycle> finish_cycle;
 };
 
 /// The execution-driven system.
-class ExecSystem {
+class ExecSystem final : private ThreadMoveObserver {
  public:
   /// `placement` maps blocks to homes and must outlive the system.
   ExecSystem(const Mesh& mesh, const CostModel& cost,
@@ -78,6 +107,13 @@ class ExecSystem {
   std::uint32_t peek(Addr addr) const { return memory_.load(addr); }
 
   /// Runs until all threads halt or `max_cycles` pass.
+  ///
+  /// Fresh-run contract: an ExecSystem is single-shot — `run()` may be
+  /// invoked at most once, because the interpreters, protocol machines,
+  /// and checker all carry state the run consumed.  A second call is a
+  /// hard EM2_ASSERT failure (it used to silently continue from the
+  /// previous cycle count with stale machine counters).  Build a new
+  /// system to re-run a configuration.
   ExecReport run(Cycle max_cycles);
 
  private:
@@ -88,10 +124,48 @@ class ExecSystem {
     bool halted = false;
   };
 
+  /// Pending wakeup of a stalled thread.  Entries are never removed when a
+  /// stall is extended (e.g. an eviction re-stalls a waiting victim);
+  /// instead a later entry is pushed and stale ones are discarded on pop
+  /// (valid iff the thread is live, not already ready, and its current
+  /// `ready_at` equals the entry time — `ready_at` never decreases).
+  struct Wakeup {
+    Cycle at;
+    ThreadId thread;
+  };
+  struct WakeupAfter {
+    bool operator()(const Wakeup& a, const Wakeup& b) const noexcept {
+      return a.at > b.at;
+    }
+  };
+
   CoreId home_of(Addr addr) const;
   CoreId thread_location(ThreadId t) const;
   /// Serves one memory access for thread `t`; returns the stall latency.
   Cost serve_access(ThreadId t, const PendingAccess& mem);
+
+  /// ThreadMoveObserver: keeps the resident queues in sync with the
+  /// machine's thread locations (registered only in kEventDriven mode).
+  void on_thread_moved(ThreadId t, CoreId from, CoreId to) override;
+
+  /// Instantiates the protocol machine for params_.arch.
+  void init_machines();
+  /// Issues one instruction from `chosen` (shared by both schedulers).
+  void step_thread(ThreadId chosen);
+  /// Sets `t`'s ready time to `when` (>= now_) and, in event mode, moves
+  /// it between the ready set and the wakeup heap accordingly.
+  void set_ready_at(ThreadId t, Cycle when);
+  void mark_ready(ThreadId t);
+  void mark_unready(ThreadId t);
+  /// Maintain the per-core ready count + ready-core bitmap pair (the only
+  /// two places that representation is known).
+  void core_gains_ready(CoreId core);
+  void core_loses_ready(CoreId core);
+  /// First ready resident of `core` in round-robin order from rr_[core].
+  ThreadId select_ready_resident(CoreId core) const;
+
+  void run_scan(Cycle max_cycles);
+  void run_event(Cycle max_cycles);
 
   Mesh mesh_;
   CostModel cost_;
@@ -112,6 +186,19 @@ class ExecSystem {
   ExecReport report_;
   Cycle now_ = 0;
   bool started_ = false;
+  std::size_t halted_count_ = 0;
+
+  // Event-driven scheduler state (live only during run() in kEventDriven
+  // mode; empty otherwise).  Residency is a mirror of the machines' thread
+  // locations, updated by on_thread_moved — never rediscovered by scans.
+  bool event_mode_ = false;
+  std::vector<std::vector<ThreadId>> residents_;  // per core, sorted by id
+  std::vector<std::uint32_t> ready_count_;  // ready residents per core
+  std::vector<std::uint64_t> ready_mask_;   // bit c set iff ready_count_[c]>0
+  std::vector<char> is_ready_;              // per thread
+  std::vector<CoreId> core_of_;             // per thread, mirrors location
+  std::size_t num_ready_ = 0;
+  std::priority_queue<Wakeup, std::vector<Wakeup>, WakeupAfter> wakeups_;
 };
 
 }  // namespace em2

@@ -1,6 +1,8 @@
 #include "sim/sweep.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <mutex>
 
 #include "util/assert.hpp"
 
@@ -26,13 +28,28 @@ void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body,
     return;
   }
   std::atomic<std::size_t> next{0};
+  // A body() exception on a pool thread would escape the thread function
+  // and call std::terminate.  Instead the first exception is captured, the
+  // pool stops claiming new points (in-flight points finish), the queue is
+  // drained, and the exception is rethrown on the calling thread after all
+  // workers joined.
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   auto worker = [&]() {
-    while (true) {
+    while (!failed.load(std::memory_order_acquire)) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) {
         return;
       }
-      body(i);
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!failed.exchange(true, std::memory_order_release)) {
+          first_error = std::current_exception();
+        }
+      }
     }
   };
   std::vector<std::thread> pool;
@@ -45,6 +62,9 @@ void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body,
   worker();  // the calling thread is worker 0
   for (std::thread& th : pool) {
     th.join();
+  }
+  if (first_error != nullptr) {
+    std::rethrow_exception(first_error);
   }
 }
 

@@ -48,6 +48,13 @@ void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body,
 /// and anything shared (e.g. one `const System` across points, as the
 /// sweep benches do) may only be used through const, stateless calls.
 /// Adding mutable caching to such shared objects breaks this contract.
+///
+/// Exception safety: if fn(i) throws, the pool stops claiming new points
+/// (points already in flight on other workers still complete), every
+/// worker is joined, and the FIRST captured exception is rethrown on the
+/// calling thread.  Which points ran besides i is then unspecified and the
+/// results are discarded — callers observe an exception, never a torn
+/// result vector, and never std::terminate.
 template <typename Fn>
 auto run(std::size_t n, Fn&& fn, const Options& opts = {})
     -> std::vector<decltype(fn(std::size_t{0}))> {

@@ -159,5 +159,52 @@ TEST(ExecSystem, RunBudgetStopsInfiniteLoops) {
   EXPECT_EQ(r.cycles, 1000u);
 }
 
+// Regression (ISSUE 2): hitting max_cycles used to be indistinguishable
+// from a real consistency violation — both read as consistent == false.
+// A timeout with clean memory semantics must now report timed_out == true
+// and carry zero checker violations.
+TEST(ExecSystem, TimeoutIsNotAConsistencyViolation) {
+  ExecFixture f;
+  ExecSystem sys(f.mesh, f.cost, f.params, f.placement);
+  sys.add_thread(RAsm().jmp(0).build(), 0);
+  const ExecReport r = sys.run(1000);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_TRUE(r.violations.empty());  // saturation, not broken memory
+  EXPECT_FALSE(r.consistent);         // but the run did not complete
+}
+
+TEST(ExecSystem, CompletedRunIsNotTimedOut) {
+  ExecFixture f;
+  ExecSystem sys(f.mesh, f.cost, f.params, f.placement);
+  sys.add_thread(RAsm().nop().halt().build(), 0);
+  const ExecReport r = sys.run(10'000);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_TRUE(r.consistent);
+}
+
+// Regression (ISSUE 2): run() used to reset report_ but not now_ / halted
+// flags / machine counters, so a second call silently continued from the
+// previous cycle count with stale state.  The contract is now single-shot:
+// a second run() is a hard assertion failure.
+TEST(ExecSystemDeathTest, SecondRunAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ExecFixture f;
+  ExecSystem sys(f.mesh, f.cost, f.params, f.placement);
+  sys.add_thread(RAsm().nop().halt().build(), 0);
+  const ExecReport r = sys.run(10'000);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_DEATH(sys.run(10'000), "single-shot");
+}
+
+TEST(ExecSystemDeathTest, AddThreadAfterRunAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ExecFixture f;
+  ExecSystem sys(f.mesh, f.cost, f.params, f.placement);
+  sys.add_thread(RAsm().nop().halt().build(), 0);
+  (void)sys.run(10'000);
+  EXPECT_DEATH(sys.add_thread(RAsm().halt().build(), 0),
+               "before run");
+}
+
 }  // namespace
 }  // namespace em2

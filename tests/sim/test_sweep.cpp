@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,51 @@ TEST(Sweep, ZeroPointsIsANoOp) {
   const auto results =
       sweep::run(0, [](std::size_t) { return 1; }, sweep::Options{});
   EXPECT_TRUE(results.empty());
+}
+
+// Regression (ISSUE 2): a body() exception on a pool thread used to
+// escape the thread function and std::terminate the whole process.  It
+// must instead surface on the calling thread after all workers joined.
+TEST(Sweep, BodyExceptionRethrownOnCallingThread) {
+  auto throwing = [](std::size_t i) -> int {
+    if (i == 5) {
+      throw std::runtime_error("point 5 exploded");
+    }
+    return static_cast<int>(i);
+  };
+  EXPECT_THROW(sweep::run(64, throwing, sweep::Options{.num_threads = 4}),
+               std::runtime_error);
+  // Serial path (one worker) propagates the same way.
+  EXPECT_THROW(sweep::run(64, throwing, sweep::Options{.num_threads = 1}),
+               std::runtime_error);
+}
+
+TEST(Sweep, FirstExceptionWinsAndPoolStopsClaimingPoints) {
+  std::atomic<int> ran{0};
+  auto body = [&](std::size_t i) -> int {
+    ran.fetch_add(1);
+    if (i == 0) {
+      throw std::runtime_error("first point fails");
+    }
+    return 0;
+  };
+  try {
+    sweep::run(2'000'000, body, sweep::Options{.num_threads = 4});
+    FAIL() << "expected the body exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first point fails");
+  }
+  // Fail-fast: once the exception was captured, workers stop claiming new
+  // points, so nowhere near the full sweep ran.
+  EXPECT_LT(ran.load(), 2'000'000);
+}
+
+TEST(Sweep, ExceptionFromCallingThreadWorkerAlsoPropagates) {
+  // With n == 2 and 2 workers the calling thread itself runs a point;
+  // exceptions from worker 0 must take the same capture path.
+  auto body = [](std::size_t) -> int { throw std::logic_error("boom"); };
+  EXPECT_THROW(sweep::run(2, body, sweep::Options{.num_threads = 2}),
+               std::logic_error);
 }
 
 TEST(Sweep, ResolveThreadsHonoursExplicitCount) {
