@@ -63,10 +63,10 @@ int main(int argc, char** argv) {
         const em2::TraceSet traces = em2::workload::make_geometric_runs(p);
         const double n = static_cast<double>(traces.total_accesses());
 
-        auto cost_of = [&](const std::string& spec) {
-          return static_cast<double>(
-                     sys.run_em2ra(traces, spec).network_cost) /
-                 n;
+        auto cost_of = [&](const std::string& policy) {
+          const em2::RunReport r = sys.run(
+              traces, {.arch = em2::MemArch::kEm2Ra, .policy = policy});
+          return static_cast<double>(r.network_cost) / n;
         };
         Point pt;
         pt.mean = means[i];
@@ -74,8 +74,9 @@ int main(int argc, char** argv) {
         pt.c_ra = cost_of("always-remote");
         pt.c_hist = cost_of("history");
         pt.c_est = cost_of("cost-estimate");
-        pt.c_opt =
-            static_cast<double>(sys.run_optimal(traces).optimal_cost) / n;
+        const em2::RunReport opt =
+            sys.run(traces, {.mode = em2::RunMode::kOptimal});
+        pt.c_opt = static_cast<double>(opt.optimal->cost) / n;
         return pt;
       },
       sweep_opts);

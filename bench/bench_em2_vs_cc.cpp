@@ -7,13 +7,13 @@
 // cache-coherence protocols must equal a significant portion of the
 // combined size of the per-core caches."
 //
-// For every workload we run EM2, EM2-RA(history), and the MSI directory
-// baseline on identical traces and report: network cost per access,
-// traffic bits per access, protocol messages per access (CC) vs
-// migrations per access (EM2), replication factor, and directory storage.
-// The per-workload comparisons are independent, so they fan out across
-// hardware threads via the sweep runner; rows print in workload order
-// regardless of scheduling.
+// The whole experiment is ONE run_matrix call: every registry workload x
+// {em2, em2-ra(history), cc} on identical traces, fanned out across
+// hardware threads by the sweep runner with the shared placement cache
+// (each workload's first-touch placement is built once and reused by all
+// three arch rows).  Reported: network cost per access, traffic bits per
+// access, protocol messages per access (CC) vs migrations per access
+// (EM2), replication factor, and directory storage.
 //
 //   --json       one JSON summary object per workload/arch row
 //   --threads=N  simulated threads (default 16)
@@ -23,25 +23,11 @@
 #include <iostream>
 
 #include "api/system.hpp"
-#include "coherence/cc_sim.hpp"
 #include "sim/sweep.hpp"
 #include "util/args.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
 #include "workload/registry.hpp"
-
-namespace {
-
-struct WorkloadRows {
-  std::string name;
-  bool present = false;
-  double n = 0;
-  em2::RunSummary em2_run;
-  em2::RunSummary ra_run;
-  em2::CcRunReport cc;
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const em2::Args args(argc, argv);
@@ -55,59 +41,49 @@ int main(int argc, char** argv) {
   cfg.threads = threads;
   em2::System sys(cfg);
 
-  const auto names = em2::workload::workload_names();
+  std::vector<em2::workload::Workload> workloads;
+  for (const std::string& name : em2::workload::workload_names()) {
+    workloads.push_back(
+        em2::workload::make_workload(name, threads, /*scale=*/2, /*seed=*/1));
+  }
+  const std::vector<em2::RunSpec> specs = {
+      {.arch = em2::MemArch::kEm2},
+      {.arch = em2::MemArch::kEm2Ra, .policy = "history"},
+      {.arch = em2::MemArch::kCc}};
+
   const auto t0 = std::chrono::steady_clock::now();
-  const std::vector<WorkloadRows> rows = em2::sweep::run(
-      names.size(),
-      [&](std::size_t i) {
-        WorkloadRows row;
-        row.name = names[i];
-        const auto traces =
-            em2::workload::make_by_name(names[i], threads, 2, 1);
-        if (!traces) {
-          return row;
-        }
-        row.present = true;
-        row.n = static_cast<double>(traces->total_accesses());
-        row.em2_run = sys.run_em2(*traces);
-        row.ra_run = sys.run_em2ra(*traces, "history");
-        const auto placement = sys.make_placement_for(*traces);
-        em2::DirCcParams cc_params;
-        cc_params.private_cache.line_bytes = traces->block_bytes();
-        row.cc = em2::run_cc(*traces, *placement, sys.mesh(),
-                             sys.cost_model(), cc_params);
-        return row;
-      },
-      sweep_opts);
+  const std::vector<em2::RunReport> grid =
+      sys.run_matrix(workloads, specs, sweep_opts);
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
   if (json) {
     std::uint64_t total_accesses = 0;
-    for (const WorkloadRows& row : rows) {
-      if (!row.present) {
-        continue;
-      }
-      total_accesses += row.em2_run.accesses + row.ra_run.accesses +
-                        row.cc.counters.get("accesses");
-      em2::JsonWriter w;
-      w.add("bench", "em2_vs_cc")
-          .add("workload", row.name)
-          .add("em2_cost_per_access", row.em2_run.cost_per_access)
-          .add("ra_cost_per_access", row.ra_run.cost_per_access)
-          .add("cc_cost_per_access", row.cc.mean_latency_per_access())
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+      const em2::RunReport& em2_run = grid[w * specs.size() + 0];
+      const em2::RunReport& ra_run = grid[w * specs.size() + 1];
+      const em2::RunReport& cc_run = grid[w * specs.size() + 2];
+      total_accesses +=
+          em2_run.accesses + ra_run.accesses + cc_run.accesses;
+      const double n = static_cast<double>(em2_run.accesses);
+      em2::JsonWriter out;
+      out.add("bench", "em2_vs_cc")
+          .add("workload", em2_run.workload)
+          .add("em2_cost_per_access", em2_run.cost_per_access)
+          .add("ra_cost_per_access", ra_run.cost_per_access)
+          .add("cc_cost_per_access", cc_run.cost_per_access)
           .add("em2_traffic_bits_per_access",
-               static_cast<double>(row.em2_run.traffic_bits) / row.n)
+               static_cast<double>(em2_run.traffic_bits) / n)
           .add("cc_traffic_bits_per_access",
-               static_cast<double>(row.cc.traffic_bits) / row.n)
-          .add("cc_replication", row.cc.replication_factor)
-          .add("cc_directory_bits", row.cc.directory_bits);
-      w.print();
+               static_cast<double>(cc_run.traffic_bits) / n)
+          .add("cc_replication", cc_run.cc->replication_factor)
+          .add("cc_directory_bits", cc_run.cc->directory_bits);
+      out.print();
     }
     em2::JsonWriter summary;
     summary.add("bench", "em2_vs_cc_summary")
-        .add("workloads", static_cast<std::uint64_t>(rows.size()))
+        .add("workloads", static_cast<std::uint64_t>(workloads.size()))
         .add("seconds", elapsed)
         .add("accesses", total_accesses)
         .add("accesses_per_sec",
@@ -124,37 +100,23 @@ int main(int argc, char** argv) {
               threads);
   em2::Table t({"workload", "arch", "cost/access", "traffic_bits/access",
                 "moves/access", "replication", "directory_bits"});
-  for (const WorkloadRows& row : rows) {
-    if (!row.present) {
-      continue;
+  for (const em2::RunReport& r : grid) {
+    const double n = static_cast<double>(r.accesses);
+    t.begin_row()
+        .add_cell(r.workload)
+        .add_cell(r.arch_label)
+        .add_cell(r.cost_per_access, 2);
+    t.add_cell(static_cast<double>(r.traffic_bits) / n, 1);
+    if (r.arch == em2::MemArch::kCc) {
+      t.add_cell(static_cast<double>(r.messages) / n, 3)
+          .add_cell(r.cc->replication_factor, 2)
+          .add_cell(r.cc->directory_bits);
+    } else {
+      t.add_cell(static_cast<double>(r.migrations + r.remote_accesses) / n,
+                 3)
+          .add_cell("1.00 (no replication)")
+          .add_cell("0 (no directory)");
     }
-    t.begin_row()
-        .add_cell(row.name)
-        .add_cell("em2")
-        .add_cell(row.em2_run.cost_per_access, 2)
-        .add_cell(static_cast<double>(row.em2_run.traffic_bits) / row.n, 1)
-        .add_cell(static_cast<double>(row.em2_run.migrations) / row.n, 3)
-        .add_cell("1.00 (no replication)")
-        .add_cell("0 (no directory)");
-    t.begin_row()
-        .add_cell(row.name)
-        .add_cell("em2-ra(history)")
-        .add_cell(row.ra_run.cost_per_access, 2)
-        .add_cell(static_cast<double>(row.ra_run.traffic_bits) / row.n, 1)
-        .add_cell(static_cast<double>(row.ra_run.migrations +
-                                      row.ra_run.remote_accesses) /
-                      row.n,
-                  3)
-        .add_cell("1.00 (no replication)")
-        .add_cell("0 (no directory)");
-    t.begin_row()
-        .add_cell(row.name)
-        .add_cell("cc-msi")
-        .add_cell(row.cc.mean_latency_per_access(), 2)
-        .add_cell(static_cast<double>(row.cc.traffic_bits) / row.n, 1)
-        .add_cell(row.cc.messages_per_access(), 3)
-        .add_cell(row.cc.replication_factor, 2)
-        .add_cell(row.cc.directory_bits);
   }
   t.print(std::cout);
   std::printf(
@@ -164,8 +126,9 @@ int main(int argc, char** argv) {
       "and directory columns are the paper's structural argument: EM2 "
       "keeps one copy per line and needs no directory at all.\n",
       em2::DirCcParams{}.hit_latency);
-  std::printf("(sweep: %zu workloads in %.2f s on %u worker threads)\n",
-              rows.size(), elapsed,
+  std::printf("(run_matrix: %zu workloads x %zu specs in %.2f s on %u "
+              "worker threads)\n",
+              workloads.size(), specs.size(), elapsed,
               em2::sweep::resolve_threads(sweep_opts));
   return 0;
 }

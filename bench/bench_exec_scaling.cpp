@@ -140,9 +140,13 @@ int main(int argc, char** argv) {
   const bool skip_scan = args.has("skip-scan");
   const bool json = args.has("json");
   const std::string arch_name = args.get_string("arch", "em2");
-  const em2::MemArch arch = arch_name == "em2ra" ? em2::MemArch::kEm2Ra
-                            : arch_name == "cc"  ? em2::MemArch::kCc
-                                                 : em2::MemArch::kEm2;
+  const auto parsed_arch = em2::parse_mem_arch(arch_name);
+  if (!parsed_arch) {
+    std::fprintf(stderr, "unknown arch '%s' (known: em2, em2-ra, cc)\n",
+                 arch_name.c_str());
+    return 1;
+  }
+  const em2::MemArch arch = *parsed_arch;
 
   if (!json) {
     std::printf(

@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
   cfg.em2.model_caches = true;  // the paper's 16KB L1 + 64KB L2 per core
   em2::System sys(cfg);
 
-  const em2::RunSummary run = sys.run_em2(traces);
+  const em2::RunReport run = sys.run(traces, {.arch = em2::MemArch::kEm2});
   const em2::RunLengthReport& r = run.run_lengths;
 
   if (json) {
@@ -117,7 +117,8 @@ int main(int argc, char** argv) {
     em2::SystemConfig c2 = cfg;
     c2.placement = scheme;
     c2.em2.model_caches = false;
-    const em2::RunSummary s2 = em2::System(c2).run_em2(traces);
+    const em2::RunReport s2 =
+        em2::System(c2).run(traces, {.arch = em2::MemArch::kEm2});
     a.begin_row()
         .add_cell(scheme)
         .add_cell(static_cast<double>(s2.run_lengths.nonnative_accesses) /

@@ -30,6 +30,7 @@
 #include "em2ra/policy.hpp"
 #include "geom/mesh.hpp"
 #include "noc/cost_model.hpp"
+#include "sim/modes.hpp"
 #include "util/args.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -77,7 +78,14 @@ int main(int argc, char** argv) {
   const auto accesses =
       static_cast<std::size_t>(args.get_int("accesses", 4000000));
   const double seconds = args.get_double("seconds", 1.0);
-  const std::string arch = args.get_string("arch", "em2");
+  const std::string arch_name = args.get_string("arch", "em2");
+  const auto parsed_arch = em2::parse_mem_arch(arch_name);
+  if (!parsed_arch || *parsed_arch == em2::MemArch::kCc) {
+    std::fprintf(stderr, "unknown/unsupported arch '%s' (known here: em2, "
+                 "em2-ra)\n", arch_name.c_str());
+    return 1;
+  }
+  const char* arch = em2::to_string(*parsed_arch);
   const bool json = args.has("json");
 
   const em2::Mesh mesh = em2::Mesh::near_square(cores);
@@ -97,7 +105,7 @@ int main(int argc, char** argv) {
   auto policy = em2::make_policy("distance:4", mesh, cost);
   std::unique_ptr<em2::Em2Machine> machine;
   em2::HybridMachine* hybrid = nullptr;
-  if (arch == "em2ra") {
+  if (*parsed_arch == em2::MemArch::kEm2Ra) {
     auto h = std::make_unique<em2::HybridMachine>(mesh, cost, params, native,
                                                   *policy);
     hybrid = h.get();
@@ -137,7 +145,7 @@ int main(int argc, char** argv) {
   if (json) {
     em2::JsonWriter w;
     w.add("bench", "hot_path")
-        .add("arch", arch)
+        .add("arch", std::string(arch))
         .add("cores", static_cast<std::int64_t>(cores))
         .add("guest_contexts", static_cast<std::int64_t>(guest_contexts))
         .add("locality", locality)
@@ -152,7 +160,7 @@ int main(int argc, char** argv) {
   } else {
     std::printf("=== EM2 hot-path throughput (%s, %d cores, locality %.2f) "
                 "===\n",
-                arch.c_str(), cores, locality);
+                arch, cores, locality);
     std::printf("accesses:      %llu\n",
                 static_cast<unsigned long long>(done));
     std::printf("elapsed:       %.3f s\n", elapsed);

@@ -40,7 +40,8 @@ int main(int argc, char** argv) {
       cfg.threads = 16;
       cfg.em2.guest_contexts = guests;
       em2::System sys(cfg);
-      const em2::RunSummary s = sys.run_em2(*traces);
+      const em2::RunReport s =
+          sys.run(*traces, {.arch = em2::MemArch::kEm2});
       const em2::RunLengthReport& r = s.run_lengths;
       (void)r;
       const double ev_per_mig =
@@ -86,7 +87,8 @@ int main(int argc, char** argv) {
     cfg.em2.guest_contexts = 1;
     cfg.em2.eviction = policy;
     em2::System sys(cfg);
-    const em2::RunSummary s = sys.run_em2(*traces);
+    const em2::RunReport s =
+        sys.run(*traces, {.arch = em2::MemArch::kEm2});
     e.begin_row().add_cell(label).add_cell(s.evictions).add_cell(
         static_cast<std::uint64_t>(s.network_cost));
   }

@@ -35,57 +35,39 @@ int main(int argc, char** argv) {
                 "migrations(+repl)", "replicated_reads",
                 "cost/access(em2)", "cost/access(+repl)"});
   for (const auto& name : em2::workload::workload_names()) {
-    const auto traces = em2::workload::make_by_name(name, 16, 2, 1);
-    if (!traces) {
-      continue;
-    }
-    const auto placement = sys.make_placement_for(*traces);
-    const auto replicable = em2::replicable_blocks(*traces, 1);
-    const auto touched = traces->touched_blocks();
+    const em2::workload::Workload w =
+        em2::workload::make_workload(name, 16, 2, 1);
+    const auto replicable = em2::replicable_blocks(w.traces(), 1);
+    const auto touched = w.traces().touched_blocks();
     const double repl_frac =
         touched.empty() ? 0.0
                         : static_cast<double>(replicable.size()) /
                               static_cast<double>(touched.size());
 
-    const em2::Em2RunReport base = em2::run_em2(
-        *traces, *placement, sys.mesh(), sys.cost_model(), cfg.em2);
-    const em2::Em2RunReport repl = em2::run_em2_replicated(
-        *traces, *placement, sys.mesh(), sys.cost_model(), cfg.em2,
-        replicable);
-    const double n = static_cast<double>(traces->total_accesses());
+    const em2::RunReport base = sys.run(w, {.arch = em2::MemArch::kEm2});
+    const em2::RunReport repl =
+        sys.run(w, {.arch = em2::MemArch::kEm2, .replication = true});
     if (json) {
-      em2::JsonWriter w;
-      w.add("bench", "replication")
+      em2::JsonWriter out;
+      out.add("bench", "replication")
           .add("workload", name)
           .add("replicable_frac", repl_frac)
-          .add("migrations_em2", base.counters.get("migrations"))
-          .add("migrations_repl", repl.counters.get("migrations"))
-          .add("replicated_reads", repl.counters.get("replicated_reads"))
-          .add("cost_per_access_em2",
-               static_cast<double>(base.total_thread_cost +
-                                   base.total_eviction_cost) /
-                   n)
-          .add("cost_per_access_repl",
-               static_cast<double>(repl.total_thread_cost +
-                                   repl.total_eviction_cost) /
-                   n);
-      w.print();
+          .add("migrations_em2", base.migrations)
+          .add("migrations_repl", repl.migrations)
+          .add("replicated_reads", repl.replicated_reads)
+          .add("cost_per_access_em2", base.cost_per_access)
+          .add("cost_per_access_repl", repl.cost_per_access);
+      out.print();
       continue;
     }
     t.begin_row()
         .add_cell(name)
         .add_cell(repl_frac, 3)
-        .add_cell(base.counters.get("migrations"))
-        .add_cell(repl.counters.get("migrations"))
-        .add_cell(repl.counters.get("replicated_reads"))
-        .add_cell(static_cast<double>(base.total_thread_cost +
-                                      base.total_eviction_cost) /
-                      n,
-                  2)
-        .add_cell(static_cast<double>(repl.total_thread_cost +
-                                      repl.total_eviction_cost) /
-                      n,
-                  2);
+        .add_cell(base.migrations)
+        .add_cell(repl.migrations)
+        .add_cell(repl.replicated_reads)
+        .add_cell(base.cost_per_access, 2)
+        .add_cell(repl.cost_per_access, 2);
   }
   if (json) {
     return 0;

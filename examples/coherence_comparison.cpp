@@ -4,99 +4,83 @@
 // message transaction; under EM2 the consumer's thread simply migrates to
 // the producer's core and reads the single copy.
 //
-// Also runs the execution-driven engine (real register-ISA programs on
-// simulated cores) so the comparison is visible in end-to-end cycles,
-// not just protocol counters.
+// Both views go through the ONE entry point: the trace-driven protocol
+// comparison is run(w, {.arch}) and the end-to-end cycle comparison is
+// the SAME workload with {.mode = kExec} — the registry's exec port
+// compiles the identical access stream into register-ISA programs, so
+// the rows are directly comparable.
 //
-//   ./coherence_comparison [--threads=16] [--items=256]
+//   ./coherence_comparison [--threads=16] [--scale=1]
 #include <cstdio>
+#include <exception>
 #include <iostream>
 
 #include "api/system.hpp"
-#include "sim/exec_system.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
-#include "workload/synthetic.hpp"
+#include "workload/registry.hpp"
 
 int main(int argc, char** argv) {
   const em2::Args args(argc, argv);
   const auto threads =
       static_cast<std::int32_t>(args.get_int("threads", 16));
+  const auto scale = static_cast<std::int32_t>(args.get_int("scale", 1));
 
-  em2::workload::ProducerConsumerParams p;
-  p.threads = threads % 2 == 0 ? threads : threads + 1;
-  p.items_per_pair =
-      static_cast<std::int64_t>(args.get_int("items", 256));
-  const em2::TraceSet traces = em2::workload::make_producer_consumer(p);
+  try {
+    const em2::workload::Workload w = em2::workload::make_workload(
+        "producer-consumer", threads, scale, 1);
+    const std::size_t n_threads = w.traces().num_threads();
 
-  em2::SystemConfig cfg;
-  cfg.threads = p.threads;
-  em2::System sys(cfg);
+    em2::SystemConfig cfg;
+    cfg.threads = static_cast<std::int32_t>(n_threads);
+    em2::System sys(cfg);
 
-  std::printf("producer-consumer: %d threads (%d pairs), %llu accesses\n\n",
-              p.threads, p.threads / 2,
-              static_cast<unsigned long long>(traces.total_accesses()));
+    std::printf("producer-consumer: %zu threads (%zu pairs), %llu "
+                "accesses\n\n",
+                n_threads, n_threads / 2,
+                static_cast<unsigned long long>(
+                    w.traces().total_accesses()));
 
-  em2::Table t({"arch", "net_cost/access", "traffic_bits/access",
-                "protocol_msgs", "migrations"});
-  const double n = static_cast<double>(traces.total_accesses());
-  for (const em2::RunSummary& s :
-       {sys.run_em2(traces), sys.run_em2ra(traces, "cost-estimate"),
-        sys.run_cc(traces)}) {
-    t.begin_row()
-        .add_cell(s.arch)
-        .add_cell(s.cost_per_access, 2)
-        .add_cell(static_cast<double>(s.traffic_bits) / n, 1)
-        .add_cell(s.messages)
-        .add_cell(s.migrations);
+    const std::vector<em2::RunSpec> trace_specs = {
+        {.arch = em2::MemArch::kEm2},
+        {.arch = em2::MemArch::kEm2Ra, .policy = "cost-estimate"},
+        {.arch = em2::MemArch::kCc}};
+
+    em2::Table t({"arch", "net_cost/access", "traffic_bits/access",
+                  "protocol_msgs", "migrations"});
+    const double n = static_cast<double>(w.traces().total_accesses());
+    for (const em2::RunSpec& spec : trace_specs) {
+      const em2::RunReport r = sys.run(w, spec);
+      t.begin_row()
+          .add_cell(r.arch_label)
+          .add_cell(r.cost_per_access, 2)
+          .add_cell(static_cast<double>(r.traffic_bits) / n, 1)
+          .add_cell(r.messages)
+          .add_cell(r.migrations);
+    }
+    t.print(std::cout);
+
+    // Execution-driven cross-check: the same logical workload as real
+    // register-ISA programs on simulated cores, under every architecture.
+    std::printf("\n--- execution-driven (register-ISA programs on "
+                "simulated cores) ---\n");
+    em2::Table e({"arch", "cycles", "instructions", "consistent"});
+    for (em2::RunSpec spec : trace_specs) {
+      spec.mode = em2::RunMode::kExec;
+      const em2::RunReport r = sys.run(w, spec);
+      e.begin_row()
+          .add_cell(r.arch_label)
+          .add_cell(static_cast<std::uint64_t>(r.exec->cycles))
+          .add_cell(r.exec->instructions)
+          .add_cell(r.exec->consistent ? "yes" : "NO");
+    }
+    e.print(std::cout);
+    std::printf("\n(every load under each arch is checked by the "
+                "sequential-consistency witness; 'yes' means every load "
+                "saw the latest store in the global order)\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
-  t.print(std::cout);
-
-  // Execution-driven cross-check: one producer writes a buffer spread
-  // over remote blocks, one consumer sums it; run under both memory
-  // architectures and compare cycles.
-  std::printf("\n--- execution-driven (register-ISA programs on simulated "
-              "cores) ---\n");
-  em2::Table e({"arch", "cycles", "instructions", "consistent"});
-  for (const em2::MemArch arch :
-       {em2::MemArch::kEm2, em2::MemArch::kEm2Ra, em2::MemArch::kCc}) {
-    const em2::Mesh mesh(4, 4);
-    const em2::CostModel cost(mesh, em2::CostModelParams{});
-    em2::StripedPlacement placement(16);
-    em2::ExecParams params;
-    params.arch = arch;
-    em2::ExecSystem exec(mesh, cost, params, placement);
-    // Producer: write 32 blocks; consumer program: sum them.
-    em2::RAsm prod;
-    prod.addi(1, 0, 0x4000).addi(2, 0, 32).addi(3, 0, 5);
-    const std::int32_t ploop = prod.here();
-    prod.sw(3, 1, 0).addi(1, 1, 64).addi(2, 2, -1);
-    const std::int32_t pb = prod.here();
-    prod.bne(2, 0, 0);
-    prod.patch_imm(pb, ploop - (pb + 1));
-    prod.halt();
-
-    em2::RAsm cons;
-    cons.addi(1, 0, 0).addi(2, 0, 0x4000).addi(3, 0, 32);
-    const std::int32_t closs = cons.here();
-    cons.lw(4, 2, 0).add(1, 1, 4).addi(2, 2, 64).addi(3, 3, -1);
-    const std::int32_t cb = cons.here();
-    cons.bne(3, 0, 0);
-    cons.patch_imm(cb, closs - (cb + 1));
-    cons.addi(5, 0, 0x9000).sw(1, 5, 0).halt();
-
-    exec.add_thread(prod.build(), 0);
-    exec.add_thread(cons.build(), 15);
-    const em2::ExecReport r = exec.run(2'000'000);
-    e.begin_row()
-        .add_cell(em2::to_string(arch))
-        .add_cell(static_cast<std::uint64_t>(r.cycles))
-        .add_cell(r.instructions)
-        .add_cell(r.consistent ? "yes" : "NO");
-  }
-  e.print(std::cout);
-  std::printf("\n(consumer result under each arch is checked by the "
-              "sequential-consistency witness; 'yes' means every load saw "
-              "the latest store in the global order)\n");
-  return 0;
 }

@@ -57,15 +57,18 @@ int main(int argc, char** argv) {
 
   std::printf("--- what the hybrid buys on this workload ---\n");
   em2::Table t({"arch", "net_cost/access", "migrations", "remote"});
-  for (const em2::RunSummary& s :
-       {sys.run_em2(traces), sys.run_em2ra(traces, "always-remote"),
-        sys.run_em2ra(traces, "history"),
-        sys.run_em2ra(traces, "cost-estimate")}) {
+  const std::vector<em2::RunSpec> specs = {
+      {.arch = em2::MemArch::kEm2},
+      {.arch = em2::MemArch::kEm2Ra, .policy = "always-remote"},
+      {.arch = em2::MemArch::kEm2Ra, .policy = "history"},
+      {.arch = em2::MemArch::kEm2Ra, .policy = "cost-estimate"}};
+  for (const em2::RunSpec& spec : specs) {
+    const em2::RunReport r = sys.run(traces, spec);
     t.begin_row()
-        .add_cell(s.arch)
-        .add_cell(s.cost_per_access, 2)
-        .add_cell(s.migrations)
-        .add_cell(s.remote_accesses);
+        .add_cell(r.arch_label)
+        .add_cell(r.cost_per_access, 2)
+        .add_cell(r.migrations)
+        .add_cell(r.remote_accesses);
   }
   t.print(std::cout);
   return 0;

@@ -1,13 +1,24 @@
-// Quickstart: stand up an EM2 chip, run a workload, compare the three
-// memory architectures the library implements.
+// Quickstart: stand up an EM2 chip and run ONE workload through the ONE
+// entry point — every memory architecture, in your choice of mode.
 //
-//   ./quickstart [--threads=16] [--workload=ocean] [--scale=1]
-//                [--placement=first-touch] [--seed=1]
+//   ./quickstart [--threads=16] [--workload=ocean] [--scale=1] [--seed=1]
+//                [--mode=trace|exec|optimal] [--placement=first-touch]
+//                [--scheduler=event|scan] [--max-cycles=N]
 //
-// This is the ~40-line tour of the public API: build a SystemConfig,
-// construct a System, generate (or load) a TraceSet, and call the run_*
-// entry points.
+// The tour of the public API in four steps:
+//   1. SystemConfig + System           — the chip (threads == cores).
+//   2. workload::make_workload(name)   — a Workload handle that can
+//      materialize as a trace OR an executable program suite.
+//   3. System::run(workload, RunSpec)  — one call per {arch} x {mode}.
+//   4. System::run_matrix(...)         — the whole grid, fanned out over
+//      the parallel sweep runner with a shared placement cache.
+//
+// String forms (one to_string/parse pair each, sim/modes.hpp):
+//   arch:      "em2" | "em2-ra" | "cc"      (aliases: em2ra, cc-msi, msi)
+//   mode:      "trace" | "exec" | "optimal"
+//   scheduler: "event" | "scan"
 #include <cstdio>
+#include <exception>
 #include <iostream>
 
 #include "api/system.hpp"
@@ -22,55 +33,124 @@ int main(int argc, char** argv) {
   }
   const auto threads =
       static_cast<std::int32_t>(args.get_int("threads", 16));
-  const std::string workload = args.get_string("workload", "ocean");
+  const std::string workload_name = args.get_string("workload", "ocean");
   const auto scale = static_cast<std::int32_t>(args.get_int("scale", 1));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::string mode_name = args.get_string("mode", "trace");
+  const std::string sched_name = args.get_string("scheduler", "event");
 
-  // 1. Configure the chip: threads == cores, near-square mesh, paper
-  //    defaults everywhere else (1Kbit contexts, 128-bit links).
-  em2::SystemConfig cfg;
-  cfg.threads = threads;
-  cfg.placement = args.get_string("placement", "first-touch");
-  em2::System sys(cfg);
-  std::printf("EM2 system: %d cores (%dx%d mesh), placement=%s\n",
-              sys.mesh().num_cores(), sys.mesh().width(),
-              sys.mesh().height(), cfg.placement.c_str());
+  try {
+    // 1. Configure the chip: threads == cores, near-square mesh, paper
+    //    defaults everywhere else (1Kbit contexts, 128-bit links).
+    em2::SystemConfig cfg;
+    cfg.threads = threads;
+    cfg.placement = args.get_string("placement", "first-touch");
+    em2::System sys(cfg);
+    std::printf("EM2 system: %d cores (%dx%d mesh), placement=%s\n",
+                sys.mesh().num_cores(), sys.mesh().width(),
+                sys.mesh().height(), cfg.placement.c_str());
 
-  // 2. Generate a workload trace (or build your own TraceSet / load one
-  //    with em2::load_trace).
-  const auto traces =
-      em2::workload::make_by_name(workload, threads, scale, seed);
-  if (!traces) {
-    std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+    // 2. One handle, both generators: traces for the analytical engines,
+    //    register-ISA programs for the execution-driven one.  Unknown
+    //    names throw UnknownNameError (caught below).
+    const em2::workload::Workload w =
+        em2::workload::make_workload(workload_name, threads, scale, seed);
+    std::printf("workload '%s': %llu accesses across %zu threads\n\n",
+                w.name().c_str(),
+                static_cast<unsigned long long>(w.traces().total_accesses()),
+                w.traces().num_threads());
+
+    const auto mode = em2::parse_run_mode(mode_name);
+    if (!mode) {
+      std::fprintf(stderr, "unknown mode '%s' (known: trace, exec, "
+                   "optimal)\n", mode_name.c_str());
+      return 1;
+    }
+    const auto scheduler = em2::parse_scheduler_kind(sched_name);
+    if (!scheduler) {
+      std::fprintf(stderr, "unknown scheduler '%s' (known: event, scan)\n",
+                   sched_name.c_str());
+      return 1;
+    }
+
+    if (*mode == em2::RunMode::kOptimal) {
+      // The analytical model's lower bound (paper Section 3).
+      const em2::RunReport opt =
+          sys.run(w, {.mode = em2::RunMode::kOptimal});
+      std::printf("DP optimal (single-thread model): %.2f net cycles/access "
+                  "(%llu migrations, %llu remote accesses)\n",
+                  opt.cost_per_access,
+                  static_cast<unsigned long long>(opt.migrations),
+                  static_cast<unsigned long long>(opt.remote_accesses));
+      return 0;
+    }
+
+    // 3. The three architectures on the identical logical workload — one
+    //    RunSpec per row, one run() for all of them.
+    em2::RunSpec spec;
+    spec.mode = *mode;
+    spec.scheduler = *scheduler;
+    spec.max_cycles = static_cast<em2::Cycle>(
+        args.get_int("max-cycles", 50'000'000));
+    const double n = static_cast<double>(w.traces().total_accesses());
+    if (*mode == em2::RunMode::kTrace) {
+      em2::Table t({"arch", "migrations", "remote_accesses",
+                    "net_cost/access", "traffic_bits/access"});
+      for (const em2::MemArch arch :
+           {em2::MemArch::kEm2, em2::MemArch::kEm2Ra, em2::MemArch::kCc}) {
+        spec.arch = arch;
+        spec.policy = "history";
+        const em2::RunReport r = sys.run(w, spec);
+        t.begin_row()
+            .add_cell(r.arch_label)
+            .add_cell(r.migrations)
+            .add_cell(r.remote_accesses)
+            .add_cell(r.cost_per_access, 2)
+            .add_cell(static_cast<double>(r.traffic_bits) / n, 1);
+      }
+      t.print(std::cout);
+
+      // 4. The analytical model's lower bound rides along in trace mode.
+      const em2::RunReport opt =
+          sys.run(w, {.mode = em2::RunMode::kOptimal});
+      std::printf("\nDP optimal (single-thread model): %.2f net "
+                  "cycles/access (%llu migrations, %llu remote accesses)\n",
+                  opt.cost_per_access,
+                  static_cast<unsigned long long>(opt.migrations),
+                  static_cast<unsigned long long>(opt.remote_accesses));
+      return 0;
+    }
+
+    // Execution-driven: the workload's program suite on simulated cores,
+    // every load/store checked against the sequential-consistency witness.
+    em2::Table t({"arch", "cycles", "instructions", "migrations",
+                  "remote_accesses", "consistent"});
+    for (const em2::MemArch arch :
+         {em2::MemArch::kEm2, em2::MemArch::kEm2Ra, em2::MemArch::kCc}) {
+      spec.arch = arch;
+      spec.policy = "distance:4";
+      const em2::RunReport r = sys.run(w, spec);
+      t.begin_row()
+          .add_cell(r.arch_label)
+          .add_cell(static_cast<std::uint64_t>(r.exec->cycles))
+          .add_cell(r.exec->instructions)
+          .add_cell(r.migrations)
+          .add_cell(r.remote_accesses)
+          .add_cell(r.exec->consistent ? "yes" : "NO");
+      if (!r.exec->consistent) {
+        std::fprintf(stderr, "consistency violation under %s\n",
+                     r.arch_label.c_str());
+        t.print(std::cout);
+        return 1;
+      }
+    }
+    t.print(std::cout);
+    std::printf("\n(execution-driven %s scheduler; 'consistent' = every "
+                "load saw the latest store in the global order)\n",
+                em2::to_string(*scheduler));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  std::printf("workload '%s': %llu accesses across %zu threads\n\n",
-              workload.c_str(),
-              static_cast<unsigned long long>(traces->total_accesses()),
-              traces->num_threads());
-
-  // 3. Run the three architectures on identical traces.
-  em2::Table t({"arch", "migrations", "remote_accesses", "net_cost/access",
-                "traffic_bits/access"});
-  const double n = static_cast<double>(traces->total_accesses());
-  for (const em2::RunSummary& s :
-       {sys.run_em2(*traces), sys.run_em2ra(*traces, "history"),
-        sys.run_cc(*traces)}) {
-    t.begin_row()
-        .add_cell(s.arch)
-        .add_cell(s.migrations)
-        .add_cell(s.remote_accesses)
-        .add_cell(s.cost_per_access, 2)
-        .add_cell(static_cast<double>(s.traffic_bits) / n, 1);
-  }
-  t.print(std::cout);
-
-  // 4. The analytical model's lower bound (paper Section 3).
-  const em2::OptimalSummary opt = sys.run_optimal(*traces);
-  std::printf("\nDP optimal (single-thread model): %.2f net cycles/access "
-              "(%llu migrations, %llu remote accesses)\n",
-              static_cast<double>(opt.optimal_cost) / n,
-              static_cast<unsigned long long>(opt.optimal_migrations),
-              static_cast<unsigned long long>(opt.optimal_remote));
-  return 0;
 }

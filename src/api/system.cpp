@@ -1,12 +1,54 @@
 #include "api/system.hpp"
 
-#include <numeric>
+#include <algorithm>
+#include <cstdio>
+#include <utility>
 
 #include "em2/replication.hpp"
 #include "optimal/policy_eval.hpp"
 #include "util/assert.hpp"
+#include "util/error.hpp"
 
 namespace em2 {
+
+namespace {
+
+/// Shared-counter fill common to the EM2-flavoured trace reports.
+void fill_from_em2_report(RunReport& out, const Em2RunReport& r) {
+  out.accesses = r.counters.get("accesses");
+  out.migrations = r.counters.get("migrations");
+  out.evictions = r.counters.get("evictions");
+  out.replicated_reads = r.counters.get("replicated_reads");
+  out.network_cost = r.total_thread_cost + r.total_eviction_cost;
+  for (const std::uint64_t bits : r.vnet_bits) {
+    out.traffic_bits += bits;
+  }
+  out.run_lengths = r.run_lengths;
+}
+
+void finish_cost_per_access(RunReport& out) {
+  out.cost_per_access = out.accesses
+                            ? static_cast<double>(out.network_cost) /
+                                  static_cast<double>(out.accesses)
+                            : 0.0;
+}
+
+RunSummary to_summary(const RunReport& r) {
+  RunSummary s;
+  s.arch = r.arch_label;
+  s.accesses = r.accesses;
+  s.migrations = r.migrations;
+  s.evictions = r.evictions;
+  s.remote_accesses = r.remote_accesses;
+  s.network_cost = r.network_cost;
+  s.traffic_bits = r.traffic_bits;
+  s.messages = r.messages;
+  s.cost_per_access = r.cost_per_access;
+  s.run_lengths = r.run_lengths;
+  return s;
+}
+
+}  // namespace
 
 System::System(const SystemConfig& config)
     : config_(config),
@@ -15,103 +57,245 @@ System::System(const SystemConfig& config)
   EM2_ASSERT(config.threads >= 1, "need at least one thread");
 }
 
+void System::validate(const RunSpec& spec) const {
+  const std::string& scheme =
+      spec.placement.empty() ? config_.placement : spec.placement;
+  const auto schemes = placement_names();
+  if (std::find(schemes.begin(), schemes.end(), scheme) == schemes.end()) {
+    fail_unknown("placement", scheme, schemes);
+  }
+  if (spec.arch == MemArch::kEm2Ra) {
+    if (make_policy(spec.policy, mesh_, cost_) == nullptr) {
+      fail_unknown("policy", spec.policy, standard_policy_specs());
+    }
+  }
+}
+
+std::shared_ptr<const Placement> System::build_placement(
+    const std::string& scheme, const TraceSet& traces) const {
+  auto placement = make_placement(scheme, traces, mesh_.num_cores());
+  if (placement == nullptr) {
+    fail_unknown("placement", scheme, placement_names());
+  }
+  return placement;
+}
+
+std::shared_ptr<const Placement> System::placement_for(
+    const workload::Workload& workload, const RunSpec& spec) const {
+  const std::string& scheme =
+      spec.placement.empty() ? config_.placement : spec.placement;
+  // Key on the trace OBJECT, not the workload's name/params: the Workload
+  // constructor is public, so two workloads with equal identity strings
+  // can carry different traces.  The weak_ptr check makes a dead (or
+  // address-reused) trace read as a miss.
+  const std::shared_ptr<const TraceSet>& traces = workload.shared_traces();
+  char ptr_key[32];
+  std::snprintf(ptr_key, sizeof ptr_key, "%p",
+                static_cast<const void*>(traces.get()));
+  const std::string key = scheme + "|" + ptr_key;
+  {
+    const std::lock_guard<std::mutex> lock(placement_mutex_);
+    const auto it = placement_cache_.find(key);
+    if (it != placement_cache_.end()) {
+      if (it->second.trace_pin.lock() == traces) {
+        return it->second.placement;
+      }
+      placement_cache_.erase(it);  // stale: the keyed trace died
+    }
+  }
+  // Build outside the lock (first-touch scans the whole trace); if two
+  // sweep workers race, the first insert wins and both get the same
+  // deterministic placement content.
+  std::shared_ptr<const Placement> built = build_placement(scheme, *traces);
+  const std::lock_guard<std::mutex> lock(placement_mutex_);
+  // Prune entries whose traces died so dropped workloads don't leak
+  // placements across a long-lived System.
+  for (auto it = placement_cache_.begin(); it != placement_cache_.end();) {
+    it = it->second.trace_pin.expired() ? placement_cache_.erase(it)
+                                        : std::next(it);
+  }
+  auto [it, inserted] = placement_cache_.try_emplace(key);
+  if (!inserted && it->second.trace_pin.lock() == traces) {
+    // Another worker inserted this trace first; its (identical) placement
+    // wins, preserving first-insert determinism.
+    return it->second.placement;
+  }
+  it->second = PlacementEntry{std::move(built),
+                              std::weak_ptr<const TraceSet>(traces)};
+  return it->second.placement;
+}
+
 std::unique_ptr<Placement> System::make_placement_for(
     const TraceSet& traces) const {
   auto placement =
       make_placement(config_.placement, traces, mesh_.num_cores());
-  EM2_ASSERT(placement != nullptr, "unknown placement scheme");
+  if (placement == nullptr) {
+    fail_unknown("placement", config_.placement, placement_names());
+  }
   return placement;
 }
 
-RunSummary System::run_em2(const TraceSet& traces) const {
-  const auto placement = make_placement_for(traces);
-  const Em2RunReport r =
-      em2::run_em2(traces, *placement, mesh_, cost_, config_.em2);
-  RunSummary s;
-  s.arch = "em2";
-  s.accesses = r.counters.get("accesses");
-  s.migrations = r.counters.get("migrations");
-  s.evictions = r.counters.get("evictions");
-  s.network_cost = r.total_thread_cost + r.total_eviction_cost;
-  for (const std::uint64_t bits : r.vnet_bits) {
-    s.traffic_bits += bits;
+RunReport System::run(const workload::Workload& workload,
+                      const RunSpec& spec) const {
+  validate(spec);
+  const std::shared_ptr<const Placement> placement =
+      placement_for(workload, spec);
+  return run_with_placement(workload.traces(), spec, *placement, &workload);
+}
+
+RunReport System::run(const TraceSet& traces, const RunSpec& spec) const {
+  validate(spec);
+  const std::string& scheme =
+      spec.placement.empty() ? config_.placement : spec.placement;
+  const std::shared_ptr<const Placement> placement =
+      build_placement(scheme, traces);
+  return run_with_placement(traces, spec, *placement, nullptr);
+}
+
+std::vector<RunReport> System::run_matrix(
+    const std::vector<workload::Workload>& workloads,
+    const std::vector<RunSpec>& specs, const sweep::Options& opts) const {
+  // Fail fast on any bad spec before fanning out.
+  for (const RunSpec& spec : specs) {
+    validate(spec);
   }
-  s.cost_per_access =
-      s.accesses ? static_cast<double>(s.network_cost) /
-                       static_cast<double>(s.accesses)
-                 : 0.0;
-  s.run_lengths = r.run_lengths;
-  return s;
+  const std::size_t stride = specs.size();
+  return sweep::run(
+      workloads.size() * stride,
+      [&](std::size_t i) {
+        return run(workloads[i / stride], specs[i % stride]);
+      },
+      opts);
 }
 
-RunSummary System::run_em2ra(const TraceSet& traces,
-                             const std::string& policy_spec) const {
-  const auto placement = make_placement_for(traces);
-  auto policy = make_policy(policy_spec, mesh_, cost_);
-  EM2_ASSERT(policy != nullptr, "unknown EM2-RA policy spec");
-  const HybridRunReport r = em2::run_em2ra(traces, *placement, mesh_, cost_,
-                                           config_.em2, *policy);
-  RunSummary s;
-  s.arch = "em2-ra(" + r.policy_name + ")";
-  s.accesses = r.em2.counters.get("accesses");
-  s.migrations = r.em2.counters.get("migrations");
-  s.evictions = r.em2.counters.get("evictions");
-  s.remote_accesses = r.remote_accesses;
-  s.network_cost = r.em2.total_thread_cost + r.em2.total_eviction_cost;
-  for (const std::uint64_t bits : r.em2.vnet_bits) {
-    s.traffic_bits += bits;
+RunReport System::run_with_placement(
+    const TraceSet& traces, const RunSpec& spec, const Placement& placement,
+    const workload::Workload* workload) const {
+  RunReport out;
+  switch (spec.mode) {
+    case RunMode::kTrace:
+      out = run_trace(traces, spec, placement);
+      break;
+    case RunMode::kExec:
+      out = run_exec(traces, spec, placement, workload);
+      break;
+    case RunMode::kOptimal:
+      out = run_optimal_mode(traces, spec, placement);
+      break;
   }
-  s.cost_per_access =
-      s.accesses ? static_cast<double>(s.network_cost) /
-                       static_cast<double>(s.accesses)
-                 : 0.0;
-  s.run_lengths = r.em2.run_lengths;
-  return s;
-}
-
-RunSummary System::run_em2_replicated(const TraceSet& traces) const {
-  const auto placement = make_placement_for(traces);
-  const auto replicable = replicable_blocks(traces, 1);
-  const Em2RunReport r = em2::run_em2_replicated(
-      traces, *placement, mesh_, cost_, config_.em2, replicable);
-  RunSummary s;
-  s.arch = "em2+ro-replication";
-  s.accesses = r.counters.get("accesses");
-  s.migrations = r.counters.get("migrations");
-  s.evictions = r.counters.get("evictions");
-  s.network_cost = r.total_thread_cost + r.total_eviction_cost;
-  for (const std::uint64_t bits : r.vnet_bits) {
-    s.traffic_bits += bits;
+  out.arch = spec.arch;
+  out.mode = spec.mode;
+  if (workload != nullptr) {
+    out.workload = workload->name();
   }
-  s.cost_per_access =
-      s.accesses ? static_cast<double>(s.network_cost) /
-                       static_cast<double>(s.accesses)
-                 : 0.0;
-  s.run_lengths = r.run_lengths;
-  return s;
+  out.placement = placement.name();
+  return out;
 }
 
-RunSummary System::run_cc(const TraceSet& traces) const {
-  const auto placement = make_placement_for(traces);
-  DirCcParams cc = config_.cc;
-  cc.private_cache.line_bytes = traces.block_bytes();
-  const CcRunReport r = em2::run_cc(traces, *placement, mesh_, cost_, cc);
-  RunSummary s;
-  s.arch = "cc-msi";
-  s.accesses = r.counters.get("accesses");
-  s.messages = r.counters.get("messages");
-  s.network_cost = r.total_latency;
-  s.traffic_bits = r.traffic_bits;
-  s.cost_per_access = r.mean_latency_per_access();
-  return s;
+RunReport System::run_trace(const TraceSet& traces, const RunSpec& spec,
+                            const Placement& placement) const {
+  RunReport out;
+  switch (spec.arch) {
+    case MemArch::kEm2: {
+      if (spec.replication) {
+        const auto replicable = replicable_blocks(traces, 1);
+        const Em2RunReport r = em2::run_em2_replicated(
+            traces, placement, mesh_, cost_, config_.em2, replicable);
+        out.arch_label = "em2+ro-replication";
+        fill_from_em2_report(out, r);
+      } else {
+        const Em2RunReport r =
+            em2::run_em2(traces, placement, mesh_, cost_, config_.em2);
+        out.arch_label = "em2";
+        fill_from_em2_report(out, r);
+      }
+      finish_cost_per_access(out);
+      break;
+    }
+    case MemArch::kEm2Ra: {
+      auto policy = make_policy(spec.policy, mesh_, cost_);
+      EM2_ASSERT(policy != nullptr, "validate() admits only known policies");
+      const HybridRunReport r = em2::run_em2ra(
+          traces, placement, mesh_, cost_, config_.em2, *policy);
+      out.arch_label = "em2-ra(" + r.policy_name + ")";
+      fill_from_em2_report(out, r.em2);
+      out.remote_accesses = r.remote_accesses;
+      finish_cost_per_access(out);
+      break;
+    }
+    case MemArch::kCc: {
+      DirCcParams cc = config_.cc;
+      cc.private_cache.line_bytes = traces.block_bytes();
+      const CcRunReport r =
+          em2::run_cc(traces, placement, mesh_, cost_, cc);
+      out.arch_label = "cc";
+      out.accesses = r.counters.get("accesses");
+      out.messages = r.counters.get("messages");
+      out.network_cost = r.total_latency;
+      out.traffic_bits = r.traffic_bits;
+      out.cost_per_access = r.mean_latency_per_access();
+      out.cc = RunReport::CcSection{r.replication_factor, r.directory_bits};
+      break;
+    }
+  }
+  return out;
 }
 
-OptimalSummary System::run_optimal(const TraceSet& traces) const {
-  const auto placement = make_placement_for(traces);
-  OptimalSummary s;
+RunReport System::run_exec(const TraceSet& traces, const RunSpec& spec,
+                           const Placement& placement,
+                           const workload::Workload* workload) const {
+  ExecParams params;
+  params.arch = spec.arch;
+  params.scheduler = spec.scheduler;
+  params.em2 = config_.em2;
+  params.cc = config_.cc;
+  params.cc.private_cache.line_bytes = traces.block_bytes();
+  params.ra_policy = spec.policy;
+  params.block_bytes = traces.block_bytes();
+  ExecSystem exec(mesh_, cost_, params, placement);
+
+  std::vector<RProgram> programs =
+      workload != nullptr ? workload->programs()
+                          : workload::compile_replay_programs(traces);
+  EM2_ASSERT(programs.size() == traces.num_threads(),
+             "one replay program per thread trace");
+  for (std::size_t t = 0; t < programs.size(); ++t) {
+    exec.add_thread(std::move(programs[t]), traces.thread(t).native_core());
+  }
+  const ExecReport r = exec.run(spec.max_cycles);
+
+  RunReport out;
+  out.arch_label = spec.arch == MemArch::kEm2Ra
+                       ? "em2-ra(" + spec.policy + ")"
+                       : to_string(spec.arch);
+  out.accesses = r.counters.get("accesses");
+  out.migrations = r.counters.get("migrations");
+  out.evictions = r.counters.get("evictions");
+  out.remote_accesses = r.counters.get("remote_accesses");
+  out.messages = r.counters.get("messages");
+  out.cost_per_access = out.accesses
+                            ? static_cast<double>(r.cycles) /
+                                  static_cast<double>(out.accesses)
+                            : 0.0;
+  RunReport::ExecSection section;
+  section.cycles = r.cycles;
+  section.instructions = r.instructions;
+  section.consistent = r.consistent;
+  section.timed_out = r.timed_out;
+  section.violations = r.violations;
+  section.finish_cycle = r.finish_cycle;
+  out.exec = std::move(section);
+  return out;
+}
+
+RunReport System::run_optimal_mode(const TraceSet& traces,
+                                   const RunSpec& spec,
+                                   const Placement& placement) const {
+  (void)spec;  // the DP models the migrate/RA decision; arch-independent
+  RunReport::OptimalSection section;
   for (const auto& thread : traces.threads()) {
     const std::vector<CoreId> homes =
-        home_sequence(thread, traces, *placement);
+        home_sequence(thread, traces, placement);
     std::vector<MemOp> ops;
     ops.reserve(thread.size());
     for (const auto& a : thread.accesses()) {
@@ -120,11 +304,19 @@ OptimalSummary System::run_optimal(const TraceSet& traces) const {
     const ModelTrace mt =
         make_model_trace(homes, ops, thread.native_core());
     const MigrateRaSolution sol = solve_optimal_migrate_ra(mt, cost_);
-    s.optimal_cost += sol.total_cost;
-    s.optimal_migrations += sol.migrations;
-    s.optimal_remote += sol.remote_accesses;
+    section.cost += sol.total_cost;
+    section.migrations += sol.migrations;
+    section.remote_accesses += sol.remote_accesses;
   }
-  return s;
+  RunReport out;
+  out.arch_label = "optimal-dp";
+  out.accesses = traces.total_accesses();
+  out.migrations = section.migrations;
+  out.remote_accesses = section.remote_accesses;
+  out.network_cost = section.cost;
+  finish_cost_per_access(out);
+  out.optimal = section;
+  return out;
 }
 
 RunLengthReport System::analyze_run_lengths(const TraceSet& traces) const {
@@ -136,6 +328,48 @@ RunLengthReport System::analyze_run_lengths(const TraceSet& traces) const {
     analyzer.add_thread(thread.native_core(), homes);
   }
   return analyzer.report();
+}
+
+// ---- Deprecated shims ----------------------------------------------------
+
+RunSummary System::run_em2(const TraceSet& traces) const {
+  RunSpec spec;
+  spec.arch = MemArch::kEm2;
+  return to_summary(run(traces, spec));
+}
+
+RunSummary System::run_em2ra(const TraceSet& traces,
+                             const std::string& policy_spec) const {
+  RunSpec spec;
+  spec.arch = MemArch::kEm2Ra;
+  spec.policy = policy_spec;
+  return to_summary(run(traces, spec));
+}
+
+RunSummary System::run_em2_replicated(const TraceSet& traces) const {
+  RunSpec spec;
+  spec.arch = MemArch::kEm2;
+  spec.replication = true;
+  return to_summary(run(traces, spec));
+}
+
+RunSummary System::run_cc(const TraceSet& traces) const {
+  RunSpec spec;
+  spec.arch = MemArch::kCc;
+  RunSummary s = to_summary(run(traces, spec));
+  s.arch = "cc-msi";  // the label every pre-RunSpec release reported
+  return s;
+}
+
+OptimalSummary System::run_optimal(const TraceSet& traces) const {
+  RunSpec spec;
+  spec.mode = RunMode::kOptimal;
+  const RunReport r = run(traces, spec);
+  OptimalSummary s;
+  s.optimal_cost = r.optimal->cost;
+  s.optimal_migrations = r.optimal->migrations;
+  s.optimal_remote = r.optimal->remote_accesses;
+  return s;
 }
 
 }  // namespace em2

@@ -1,25 +1,38 @@
-// em2::System — the public entry point of the library.
+// em2::System — the public entry point of the library: one front door
+// over three interchangeable backends.
 //
-// Wires together the mesh, cost model, placement, and the three memory
-// architectures (EM2, EM2-RA, directory CC) behind one configuration
-// struct, and exposes uniform run/report calls over memory traces.  The
-// examples and most benches go through this façade; the underlying
-// modules remain directly usable for finer control.
+// A run is described by a RunSpec (memory architecture x run mode +
+// knobs) and produces a RunReport (shared counters + mode-specific
+// sections), no matter which engine executes it:
+//
+//   mode = kTrace    the trace-driven protocol engines (EM2, EM2-RA, CC)
+//   mode = kExec     the execution-driven multicore: real register-ISA
+//                    programs on simulated cores (workload exec ports)
+//   mode = kOptimal  the paper's per-thread DP optimum on the analytical
+//                    model (arch-independent lower bound)
 //
 // Typical use:
 //
-//   em2::SystemConfig cfg;
-//   cfg.threads = 64;
-//   em2::System sys(cfg);
-//   em2::TraceSet traces = em2::workload::make_ocean({.threads = 64});
-//   em2::RunSummary em2_run  = sys.run_em2(traces);
-//   em2::RunSummary ra_run   = sys.run_em2ra(traces, "distance:4");
-//   em2::RunSummary cc_run   = sys.run_cc(traces);
-//   em2::OptimalSummary opt  = sys.run_optimal(traces);
+//   em2::System sys({.threads = 64});
+//   auto ocean = em2::workload::make_workload("ocean", 64);
+//   em2::RunReport trace = sys.run(ocean, {.arch = em2::MemArch::kEm2});
+//   em2::RunReport exec  = sys.run(ocean, {.arch = em2::MemArch::kEm2,
+//                                          .mode = em2::RunMode::kExec});
+//   em2::RunReport ra    = sys.run(ocean, {.arch = em2::MemArch::kEm2Ra,
+//                                          .policy = "history"});
+//   auto grid = sys.run_matrix({ocean, lu}, {spec_a, spec_b});
+//
+// Unknown workload/placement/policy names throw UnknownNameError at the
+// moment they enter the system (util/error.hpp).  The legacy per-arch
+// run_em2/run_em2ra/run_cc/run_optimal calls survive one release as thin
+// deprecated shims over run().
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "coherence/cc_sim.hpp"
@@ -29,8 +42,11 @@
 #include "noc/cost_model.hpp"
 #include "optimal/dp_migrate.hpp"
 #include "placement/placement.hpp"
+#include "sim/exec_system.hpp"
+#include "sim/sweep.hpp"
 #include "trace/run_length.hpp"
 #include "trace/trace.hpp"
+#include "workload/workload.hpp"
 
 namespace em2 {
 
@@ -39,32 +55,112 @@ struct SystemConfig {
   /// Number of threads == number of cores (thread t native to core t),
   /// arranged in the smallest near-square mesh.
   std::int32_t threads = 64;
-  /// Placement scheme: "first-touch" (paper default), "striped",
-  /// "hashed", or "profile-greedy".
+  /// Placement scheme (placement_names()): "first-touch" (paper default),
+  /// "striped", "hashed", or "profile-greedy".
   std::string placement = "first-touch";
   CostModelParams cost{};
   Em2Params em2{};
   DirCcParams cc{};
 };
 
-/// Architecture-independent run summary (one row of a comparison table).
+/// Everything that varies between runs of the same System: which
+/// architecture, which engine, and the per-run knobs.  Designated
+/// initializers make call sites read as configuration:
+///   sys.run(w, {.arch = MemArch::kCc, .mode = RunMode::kExec})
+struct RunSpec {
+  MemArch arch = MemArch::kEm2;
+  RunMode mode = RunMode::kTrace;
+  /// EM2-RA decision policy spec (standard_policy_specs()); used only
+  /// when arch == kEm2Ra.
+  std::string policy = "distance:4";
+  /// Core scheduler for exec mode (event-driven is the fast default; scan
+  /// is the bit-identical executable specification).
+  SchedulerKind scheduler = SchedulerKind::kEventDriven;
+  /// Trace-mode EM2 only: profile-driven read-only replication (blocks
+  /// written at most once are read locally everywhere).
+  bool replication = false;
+  /// Placement scheme override; empty uses SystemConfig::placement.
+  std::string placement;
+  /// Exec-mode cycle budget (a run that exhausts it reports timed_out).
+  Cycle max_cycles = 50'000'000;
+};
+
+/// Unified result of System::run — one type for every arch x mode.  The
+/// shared counters are filled with whatever the selected engine measures
+/// (zeros where a concept does not apply, e.g. messages outside CC); the
+/// optional sections carry the mode-specific extras.
+struct RunReport {
+  // What ran.  `arch` echoes the spec; optimal mode ignores it (the DP
+  // is arch-independent), so group protocol rows by (arch, mode), not
+  // arch alone — or by arch_label, which is always accurate.
+  MemArch arch{};
+  RunMode mode{};
+  /// Decorated label for tables: "em2", "em2-ra(history)", "cc",
+  /// "em2+ro-replication", "optimal-dp".
+  std::string arch_label;
+  std::string workload;   ///< Workload name; empty for raw TraceSet runs.
+  std::string placement;  ///< Resolved placement scheme.
+
+  // Shared counters.
+  std::uint64_t accesses = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t remote_accesses = 0;
+  /// Reads served locally by the read-only replication extension.
+  std::uint64_t replicated_reads = 0;
+  /// Trace/optimal: network cycles on the threads' critical paths.
+  Cost network_cost = 0;
+  /// Total traffic in bits (context + remote + protocol); trace mode.
+  std::uint64_t traffic_bits = 0;
+  /// CC protocol messages.
+  std::uint64_t messages = 0;
+  /// Trace/optimal: network cycles per access.  Exec: cycles per access.
+  double cost_per_access = 0.0;
+  /// Figure-2 analysis (trace-mode EM2 flavours only).
+  RunLengthReport run_lengths;
+
+  /// Exec-mode section.
+  struct ExecSection {
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    bool consistent = false;
+    bool timed_out = false;
+    std::vector<ConsistencyViolation> violations;
+    std::vector<Cycle> finish_cycle;
+  };
+  /// Optimal-mode section (the DP lower bound, summed over threads).
+  struct OptimalSection {
+    Cost cost = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t remote_accesses = 0;
+  };
+  /// Trace-mode CC section: the paper's structural argument against
+  /// directories (EM2 keeps one copy per line and needs none at all).
+  struct CcSection {
+    double replication_factor = 0.0;
+    std::uint64_t directory_bits = 0;
+  };
+  std::optional<ExecSection> exec;
+  std::optional<OptimalSection> optimal;
+  std::optional<CcSection> cc;
+};
+
+/// DEPRECATED (one release): architecture-independent run summary of the
+/// legacy per-arch entry points; subsumed by RunReport.
 struct RunSummary {
   std::string arch;
   std::uint64_t accesses = 0;
   std::uint64_t migrations = 0;
   std::uint64_t evictions = 0;
   std::uint64_t remote_accesses = 0;
-  /// Network cycles on the threads' critical paths.
   Cost network_cost = 0;
-  /// Total traffic in bits (context + remote + protocol).
   std::uint64_t traffic_bits = 0;
-  /// CC only: protocol messages.
   std::uint64_t messages = 0;
   double cost_per_access = 0.0;
   RunLengthReport run_lengths;
 };
 
-/// Per-thread DP-vs-policies summary.
+/// DEPRECATED (one release): subsumed by RunReport::OptimalSection.
 struct OptimalSummary {
   Cost optimal_cost = 0;
   std::uint64_t optimal_migrations = 0;
@@ -80,34 +176,92 @@ class System {
   const CostModel& cost_model() const noexcept { return cost_; }
   const SystemConfig& config() const noexcept { return config_; }
 
+  /// THE entry point: runs `workload` under `spec` — every
+  /// {em2, em2-ra, cc} x {trace, exec} combination plus optimal mode —
+  /// and returns the unified report.  Placements are memoized per
+  /// (scheme, workload) in an internally-synchronized cache, so repeated
+  /// and concurrent runs (run_matrix sweep workers) share them.
+  /// Throws UnknownNameError for unknown placement/policy names.
+  RunReport run(const workload::Workload& workload,
+                const RunSpec& spec = {}) const;
+
+  /// Same over a raw TraceSet (no name, no placement caching).  Exec mode
+  /// compiles the traces into replay programs on the fly.
+  RunReport run(const TraceSet& traces, const RunSpec& spec = {}) const;
+
+  /// The full workloads x specs grid, fanned out over the parallel sweep
+  /// runner (sim/sweep.hpp).  Result is workload-major:
+  /// reports[w * specs.size() + s].  All placements go through the shared
+  /// synchronized cache; results are identical to the serial double loop.
+  std::vector<RunReport> run_matrix(
+      const std::vector<workload::Workload>& workloads,
+      const std::vector<RunSpec>& specs,
+      const sweep::Options& opts = {}) const;
+
   /// Builds the configured placement for `traces` (first-touch and
-  /// profile-greedy derive from the trace itself).
+  /// profile-greedy derive from the trace itself).  Uncached.
+  /// Throws UnknownNameError for unknown schemes.
   std::unique_ptr<Placement> make_placement_for(
       const TraceSet& traces) const;
-
-  /// Pure EM2 (paper Section 2 / Figure 1).
-  RunSummary run_em2(const TraceSet& traces) const;
-  /// EM2-RA hybrid with the given decision policy (Section 3 / Figure 3).
-  RunSummary run_em2ra(const TraceSet& traces,
-                       const std::string& policy_spec) const;
-  /// EM2 with profile-driven read-only replication (the Section-2 [12]
-  /// extension): blocks whose words are written at most once classify as
-  /// replicable and are read locally everywhere.
-  RunSummary run_em2_replicated(const TraceSet& traces) const;
-  /// Directory-MSI baseline.
-  RunSummary run_cc(const TraceSet& traces) const;
-
-  /// Sums the DP optimum of the paper's analytical model over all threads
-  /// (each thread solved independently, as the model prescribes).
-  OptimalSummary run_optimal(const TraceSet& traces) const;
 
   /// Figure 2: run-length analysis only (no protocol simulation).
   RunLengthReport analyze_run_lengths(const TraceSet& traces) const;
 
+  // ---- Deprecated shims (one release) -----------------------------------
+  // Thin wrappers over run(); prefer run() with a RunSpec.
+
+  /// DEPRECATED: use run(traces, {.arch = MemArch::kEm2}).
+  RunSummary run_em2(const TraceSet& traces) const;
+  /// DEPRECATED: use run(traces, {.arch = MemArch::kEm2Ra, .policy = ...}).
+  RunSummary run_em2ra(const TraceSet& traces,
+                       const std::string& policy_spec) const;
+  /// DEPRECATED: use run(traces, {.replication = true}).
+  RunSummary run_em2_replicated(const TraceSet& traces) const;
+  /// DEPRECATED: use run(traces, {.arch = MemArch::kCc}).
+  RunSummary run_cc(const TraceSet& traces) const;
+  /// DEPRECATED: use run(traces, {.mode = RunMode::kOptimal}).
+  OptimalSummary run_optimal(const TraceSet& traces) const;
+
  private:
+  /// Resolves spec.placement / config_.placement and validates names;
+  /// the workload overload memoizes in placement_cache_.
+  std::shared_ptr<const Placement> placement_for(
+      const workload::Workload& workload, const RunSpec& spec) const;
+  std::shared_ptr<const Placement> build_placement(
+      const std::string& scheme, const TraceSet& traces) const;
+  /// Fails fast on unknown policy/placement names in `spec`.
+  void validate(const RunSpec& spec) const;
+
+  RunReport run_with_placement(const TraceSet& traces, const RunSpec& spec,
+                               const Placement& placement,
+                               const workload::Workload* workload) const;
+  RunReport run_trace(const TraceSet& traces, const RunSpec& spec,
+                      const Placement& placement) const;
+  RunReport run_exec(const TraceSet& traces, const RunSpec& spec,
+                     const Placement& placement,
+                     const workload::Workload* workload) const;
+  RunReport run_optimal_mode(const TraceSet& traces, const RunSpec& spec,
+                             const Placement& placement) const;
+
   SystemConfig config_;
   Mesh mesh_;
   CostModel cost_;
+  /// Placement cache shared across runs and sweep workers, keyed by
+  /// (scheme, workload trace object).  The entry holds the TraceSet by
+  /// weak_ptr: while any Workload copy keeps the trace alive the entry
+  /// hits, and once the trace dies the entry reads as a miss — so a
+  /// reused address can never resurrect another workload's placement,
+  /// and the cache does not pin traces the caller dropped (dead entries
+  /// are pruned on the next insert).  Internally synchronized: System is
+  /// used as a shared const object from sweep worker threads (see the
+  /// contract on sweep::run), and placement construction is
+  /// deterministic, so caching never changes results.
+  struct PlacementEntry {
+    std::shared_ptr<const Placement> placement;
+    std::weak_ptr<const TraceSet> trace_pin;
+  };
+  mutable std::mutex placement_mutex_;
+  mutable std::unordered_map<std::string, PlacementEntry> placement_cache_;
 };
 
 }  // namespace em2

@@ -149,4 +149,8 @@ std::unique_ptr<Placement> make_placement(const std::string& scheme,
   return nullptr;
 }
 
+std::vector<std::string> placement_names() {
+  return {"first-touch", "striped", "hashed", "profile-greedy"};
+}
+
 }  // namespace em2

@@ -122,4 +122,8 @@ std::unique_ptr<Placement> make_placement(const std::string& scheme,
                                           const TraceSet& traces,
                                           std::int32_t num_cores);
 
+/// The scheme names make_placement understands, for CLI help and
+/// fail-fast error messages.
+std::vector<std::string> placement_names();
+
 }  // namespace em2

@@ -7,28 +7,6 @@
 
 namespace em2 {
 
-const char* to_string(MemArch arch) noexcept {
-  switch (arch) {
-    case MemArch::kEm2:
-      return "em2";
-    case MemArch::kEm2Ra:
-      return "em2-ra";
-    case MemArch::kCc:
-      return "cc";
-  }
-  return "?";
-}
-
-const char* to_string(SchedulerKind kind) noexcept {
-  switch (kind) {
-    case SchedulerKind::kEventDriven:
-      return "event";
-    case SchedulerKind::kScan:
-      return "scan";
-  }
-  return "?";
-}
-
 ExecSystem::ExecSystem(const Mesh& mesh, const CostModel& cost,
                        const ExecParams& params, const Placement& placement)
     : mesh_(mesh), cost_(cost), params_(params), placement_(placement) {
@@ -166,16 +144,15 @@ void ExecSystem::init_machines() {
 
 void ExecSystem::core_gains_ready(CoreId core) {
   const auto c = static_cast<std::size_t>(core);
-  if (ready_count_[c]++ == 0) {
-    ready_mask_[c >> 6] |= std::uint64_t{1} << (c & 63);
+  if (ready_count_[c]++ == 0 && !queued_[c]) {
+    ready_cores_.push(core);
+    queued_[c] = 1;
   }
 }
 
 void ExecSystem::core_loses_ready(CoreId core) {
-  const auto c = static_cast<std::size_t>(core);
-  if (--ready_count_[c] == 0) {
-    ready_mask_[c >> 6] &= ~(std::uint64_t{1} << (c & 63));
-  }
+  // Lazy: a now-empty core's heap entry is discarded when it is popped.
+  --ready_count_[static_cast<std::size_t>(core)];
 }
 
 void ExecSystem::mark_ready(ThreadId t) {
@@ -286,7 +263,7 @@ void ExecSystem::run_event(Cycle max_cycles) {
   const auto n_cores = static_cast<std::size_t>(mesh_.num_cores());
   residents_.assign(n_cores, {});
   ready_count_.assign(n_cores, 0);
-  ready_mask_.assign((n_cores + 63) / 64, 0);
+  queued_.assign(n_cores, 0);
   is_ready_.assign(n_threads, 0);
   core_of_.resize(n_threads);
   for (std::size_t t = 0; t < n_threads; ++t) {
@@ -339,25 +316,41 @@ void ExecSystem::run_event(Cycle max_cycles) {
       mark_ready(w.thread);
     }
 
-    // Step each ready core once, in ascending core order.  The mask is
-    // re-read after every step so a migration landing on a *later* core
-    // this cycle is seen (as the scan scheduler would), while cores at or
-    // below the cursor are deferred to the next cycle (ditto).
-    for (std::size_t word = 0; word < ready_mask_.size(); ++word) {
-      std::uint64_t bits = ready_mask_[word];
-      while (bits != 0) {
-        const int b = std::countr_zero(bits);
-        const auto core = static_cast<CoreId>(word * 64 +
-                                              static_cast<std::size_t>(b));
-        const ThreadId chosen = select_ready_resident(core);
-        EM2_ASSERT(chosen != kNoThread,
-                   "ready-core bitmap out of sync with resident queues");
-        rr_[static_cast<std::size_t>(core)] =
-            static_cast<std::uint32_t>(chosen + 1);
-        step_thread(chosen);
-        bits = b == 63 ? 0
-                       : ready_mask_[word] &
-                             ~((std::uint64_t{2} << b) - 1);
+    // Step each ready core once, in ascending core order, by draining the
+    // dense ready-core heap.  A migration landing on a *later* core this
+    // cycle pushes that core and is popped before the cycle ends (as the
+    // scan scheduler would see it), while cores at or below the cursor —
+    // including a stepped core that stays ready — are deferred to the next
+    // cycle via deferred_ (ditto).
+    CoreId cursor = -1;
+    deferred_.clear();
+    while (!ready_cores_.empty()) {
+      const CoreId core = ready_cores_.top();
+      ready_cores_.pop();
+      const auto c = static_cast<std::size_t>(core);
+      queued_[c] = 0;
+      if (ready_count_[c] == 0) {
+        continue;  // stale: went unready since it was queued
+      }
+      if (core <= cursor) {
+        deferred_.push_back(core);  // became ready behind the cursor
+        continue;
+      }
+      cursor = core;
+      const ThreadId chosen = select_ready_resident(core);
+      EM2_ASSERT(chosen != kNoThread,
+                 "ready-core heap out of sync with resident queues");
+      rr_[c] = static_cast<std::uint32_t>(chosen + 1);
+      step_thread(chosen);
+      if (ready_count_[c] > 0 && !queued_[c]) {
+        deferred_.push_back(core);  // still has ready residents: next cycle
+      }
+    }
+    for (const CoreId core : deferred_) {
+      const auto c = static_cast<std::size_t>(core);
+      if (!queued_[c]) {
+        ready_cores_.push(core);
+        queued_[c] = 1;
       }
     }
   }

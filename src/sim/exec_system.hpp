@@ -18,8 +18,10 @@
 //       (arrival/departure updates the queue the moment it happens; CC
 //       threads are pinned, so their queues are static), a min-heap of
 //       wakeup times so fully-stalled stretches are skipped in one jump,
-//       and a ready-core bitmap so a cycle costs O(steps) instead of
-//       O(cores x threads).  This is what makes 1000-core runs feasible.
+//       and a dense min-heap of ready cores so a cycle costs O(issuing
+//       cores x log) — independent of mesh size, unlike the former
+//       ready-core bitmap whose walk was O(cores/64) even when a single
+//       core issued.  This is what makes 1000-core runs feasible.
 //   kScan                   The reference scheduler: every cycle, every
 //       core probes every thread (round-robin).  Kept as the executable
 //       specification the event-driven scheduler is diffed against.
@@ -28,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <queue>
 #include <string>
@@ -42,27 +45,11 @@
 #include "geom/mesh.hpp"
 #include "noc/cost_model.hpp"
 #include "placement/placement.hpp"
+#include "sim/modes.hpp"
 #include "util/stats.hpp"
 #include "util/types.hpp"
 
 namespace em2 {
-
-/// Which memory architecture serves the threads.
-enum class MemArch : std::uint8_t {
-  kEm2 = 0,
-  kEm2Ra = 1,
-  kCc = 2,
-};
-
-const char* to_string(MemArch arch) noexcept;
-
-/// Which scheduler drives the cores (see the file comment).
-enum class SchedulerKind : std::uint8_t {
-  kEventDriven = 0,
-  kScan = 1,
-};
-
-const char* to_string(SchedulerKind kind) noexcept;
 
 /// Execution-system configuration.
 struct ExecParams {
@@ -157,8 +144,8 @@ class ExecSystem final : private ThreadMoveObserver {
   void set_ready_at(ThreadId t, Cycle when);
   void mark_ready(ThreadId t);
   void mark_unready(ThreadId t);
-  /// Maintain the per-core ready count + ready-core bitmap pair (the only
-  /// two places that representation is known).
+  /// Maintain the per-core ready count + dense ready-core heap pair (the
+  /// only two places that representation is known).
   void core_gains_ready(CoreId core);
   void core_loses_ready(CoreId core);
   /// First ready resident of `core` in round-robin order from rr_[core].
@@ -194,11 +181,20 @@ class ExecSystem final : private ThreadMoveObserver {
   bool event_mode_ = false;
   std::vector<std::vector<ThreadId>> residents_;  // per core, sorted by id
   std::vector<std::uint32_t> ready_count_;  // ready residents per core
-  std::vector<std::uint64_t> ready_mask_;   // bit c set iff ready_count_[c]>0
   std::vector<char> is_ready_;              // per thread
   std::vector<CoreId> core_of_;             // per thread, mirrors location
   std::size_t num_ready_ = 0;
   std::priority_queue<Wakeup, std::vector<Wakeup>, WakeupAfter> wakeups_;
+  // Dense ready-core list: a lazy min-heap holding every core that *may*
+  // have a ready resident, at most one entry per core (queued_).  Entries
+  // whose ready_count_ dropped to 0 are discarded on pop; cores that are
+  // stepped and stay ready, or that become ready at-or-below the cycle's
+  // cursor, are re-queued for the next cycle via deferred_.  Cycle cost is
+  // O(ready cores x log), independent of mesh size.
+  std::priority_queue<CoreId, std::vector<CoreId>, std::greater<CoreId>>
+      ready_cores_;
+  std::vector<char> queued_;       // per core: exactly-one-heap-entry guard
+  std::vector<CoreId> deferred_;   // cores to re-queue after the cycle walk
 };
 
 }  // namespace em2

@@ -1,0 +1,88 @@
+#include "sim/modes.hpp"
+
+namespace em2 {
+
+const char* to_string(MemArch arch) noexcept {
+  switch (arch) {
+    case MemArch::kEm2:
+      return "em2";
+    case MemArch::kEm2Ra:
+      return "em2-ra";
+    case MemArch::kCc:
+      return "cc";
+  }
+  return "?";
+}
+
+const char* to_string(SchedulerKind kind) noexcept {
+  switch (kind) {
+    case SchedulerKind::kEventDriven:
+      return "event";
+    case SchedulerKind::kScan:
+      return "scan";
+  }
+  return "?";
+}
+
+const char* to_string(RunMode mode) noexcept {
+  switch (mode) {
+    case RunMode::kTrace:
+      return "trace";
+    case RunMode::kExec:
+      return "exec";
+    case RunMode::kOptimal:
+      return "optimal";
+  }
+  return "?";
+}
+
+std::optional<MemArch> parse_mem_arch(std::string_view name) noexcept {
+  if (name == "em2") {
+    return MemArch::kEm2;
+  }
+  if (name == "em2-ra" || name == "em2ra") {
+    return MemArch::kEm2Ra;
+  }
+  if (name == "cc" || name == "cc-msi" || name == "msi") {
+    return MemArch::kCc;
+  }
+  return std::nullopt;
+}
+
+std::optional<SchedulerKind> parse_scheduler_kind(
+    std::string_view name) noexcept {
+  if (name == "event" || name == "event-driven") {
+    return SchedulerKind::kEventDriven;
+  }
+  if (name == "scan") {
+    return SchedulerKind::kScan;
+  }
+  return std::nullopt;
+}
+
+std::optional<RunMode> parse_run_mode(std::string_view name) noexcept {
+  if (name == "trace") {
+    return RunMode::kTrace;
+  }
+  if (name == "exec" || name == "execution") {
+    return RunMode::kExec;
+  }
+  if (name == "optimal") {
+    return RunMode::kOptimal;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string_view> mem_arch_names() {
+  return {"em2", "em2-ra", "cc"};
+}
+
+std::vector<std::string_view> scheduler_kind_names() {
+  return {"event", "scan"};
+}
+
+std::vector<std::string_view> run_mode_names() {
+  return {"trace", "exec", "optimal"};
+}
+
+}  // namespace em2

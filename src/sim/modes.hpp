@@ -1,0 +1,61 @@
+// The closed vocabulary of a run: memory architecture, core scheduler,
+// and run mode, with ONE string<->enum mapping for each.
+//
+// Everything that names an architecture — RunSpec, ExecParams, bench
+// --arch= flags, report labels — goes through to_string/parse_* here, so
+// "em2-ra" means the same thing everywhere and a typo fails fast instead
+// of silently selecting a default.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace em2 {
+
+/// Which memory architecture serves the threads.
+enum class MemArch : std::uint8_t {
+  kEm2 = 0,
+  kEm2Ra = 1,
+  kCc = 2,
+};
+
+/// Which scheduler drives the cores of the execution-driven system (see
+/// sim/exec_system.hpp).
+enum class SchedulerKind : std::uint8_t {
+  kEventDriven = 0,
+  kScan = 1,
+};
+
+/// What a System::run actually runs: the trace-driven protocol engines,
+/// the execution-driven multicore (real register-ISA programs), or the
+/// paper's per-thread DP optimum over the analytical model.
+enum class RunMode : std::uint8_t {
+  kTrace = 0,
+  kExec = 1,
+  kOptimal = 2,
+};
+
+/// Canonical names: "em2" | "em2-ra" | "cc".
+const char* to_string(MemArch arch) noexcept;
+/// Canonical names: "event" | "scan".
+const char* to_string(SchedulerKind kind) noexcept;
+/// Canonical names: "trace" | "exec" | "optimal".
+const char* to_string(RunMode mode) noexcept;
+
+/// Parses a canonical name or accepted alias ("em2ra", "cc-msi", "msi");
+/// nullopt for anything else.
+std::optional<MemArch> parse_mem_arch(std::string_view name) noexcept;
+/// Parses "event" | "event-driven" | "scan".
+std::optional<SchedulerKind> parse_scheduler_kind(
+    std::string_view name) noexcept;
+/// Parses "trace" | "exec" | "execution" | "optimal".
+std::optional<RunMode> parse_run_mode(std::string_view name) noexcept;
+
+/// Canonical name lists, for CLI help and fail-fast error messages.
+std::vector<std::string_view> mem_arch_names();
+std::vector<std::string_view> scheduler_kind_names();
+std::vector<std::string_view> run_mode_names();
+
+}  // namespace em2

@@ -47,7 +47,11 @@ void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body,
 /// `fn` must not MUTATE shared state: each point builds its own machines,
 /// and anything shared (e.g. one `const System` across points, as the
 /// sweep benches do) may only be used through const, stateless calls.
-/// Adding mutable caching to such shared objects breaks this contract.
+/// The one sanctioned exception is an INTERNALLY-SYNCHRONIZED cache whose
+/// entries are a deterministic function of the key (e.g. the System
+/// placement cache behind run_matrix): memoization then never changes any
+/// point's result, only who computes it first.  Unsynchronized or
+/// result-changing mutable state still breaks this contract.
 ///
 /// Exception safety: if fn(i) throws, the pool stops claiming new points
 /// (points already in flight on other workers still complete), every

@@ -1,0 +1,57 @@
+// The single fail-fast error path for bad configuration names.
+//
+// Every by-name lookup the public API exposes — workload names, placement
+// schemes, EM2-RA policy specs, arch/scheduler/mode strings — used to fail
+// in its own way (nullopt here, nullptr there, an assert much later).  They
+// now all funnel through fail_unknown(), which throws UnknownNameError with
+// a uniform "unknown <kind> '<name>' (known: ...)" message at the moment
+// the bad name enters the system.  Internal invariants (simulator state)
+// stay on EM2_ASSERT; UnknownNameError is strictly for user-supplied names.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace em2 {
+
+/// Thrown when a user-supplied name (workload, placement, policy, arch,
+/// scheduler, mode) matches nothing the system knows.
+class UnknownNameError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+template <typename Name>
+std::string join_names(const std::vector<Name>& known) {
+  std::string out;
+  for (const auto& n : known) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += std::string(n);
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Throws UnknownNameError: "unknown <kind> '<name>' (known: a, b, c)".
+template <typename Name = std::string>
+[[noreturn]] void fail_unknown(std::string_view kind, std::string_view name,
+                               const std::vector<Name>& known = {}) {
+  std::string msg = "unknown ";
+  msg += kind;
+  msg += " '";
+  msg += name;
+  msg += "'";
+  if (!known.empty()) {
+    msg += " (known: " + detail::join_names(known) + ")";
+  }
+  throw UnknownNameError(msg);
+}
+
+}  // namespace em2

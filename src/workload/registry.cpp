@@ -1,5 +1,6 @@
 #include "workload/registry.hpp"
 
+#include "util/error.hpp"
 #include "workload/kernels.hpp"
 #include "workload/synthetic.hpp"
 
@@ -90,6 +91,15 @@ std::optional<TraceSet> make_by_name(const std::string& name,
     return make_table_lookup(p);
   }
   return std::nullopt;
+}
+
+Workload make_workload(const std::string& name, std::int32_t threads,
+                       std::int32_t scale, std::uint64_t seed) {
+  auto traces = make_by_name(name, threads, scale, seed);
+  if (!traces) {
+    fail_unknown("workload", name, workload_names());
+  }
+  return Workload(name, threads, scale, seed, *std::move(traces));
 }
 
 std::vector<std::string> workload_names() {

@@ -1,5 +1,11 @@
 // Name-based workload registry used by benches and examples to sweep the
 // whole suite uniformly.
+//
+// make_workload is the front door: it returns a Workload handle that can
+// materialize as a trace OR an executable program suite (see
+// workload/workload.hpp) and fails fast on unknown names.  make_by_name
+// survives as the non-throwing probe for callers that want to skip
+// unknown names silently.
 #pragma once
 
 #include <optional>
@@ -7,17 +13,23 @@
 #include <vector>
 
 #include "trace/trace.hpp"
+#include "workload/workload.hpp"
 
 namespace em2::workload {
 
-/// Builds a workload by name at a given thread count and size scale
+/// Builds a workload trace by name at a given thread count and size scale
 /// (scale 1 = bench default; larger values grow the trace roughly
-/// linearly).  Known names: "ocean", "transpose", "lu", "radix",
-/// "barnes", "geometric", "sharing-mix", "hotspot", "uniform",
-/// "producer-consumer".  Returns nullopt for unknown names.
+/// linearly).  Known names: workload_names().  Returns nullopt for
+/// unknown names; prefer make_workload for the fail-fast path.
 std::optional<TraceSet> make_by_name(const std::string& name,
                                      std::int32_t threads,
                                      std::int32_t scale, std::uint64_t seed);
+
+/// Builds the full Workload handle (trace + executable program suite) by
+/// name.  Throws UnknownNameError for unknown names — the single
+/// fail-fast error path (util/error.hpp).
+Workload make_workload(const std::string& name, std::int32_t threads,
+                       std::int32_t scale = 1, std::uint64_t seed = 1);
 
 /// All registry names, in canonical order.
 std::vector<std::string> workload_names();

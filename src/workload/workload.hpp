@@ -1,0 +1,81 @@
+// Workload: ONE handle per named workload that can materialize as either
+// a memory trace (the analytical/trace-driven engines) or an executable
+// register-ISA program suite (the execution-driven engine) — same seed,
+// same logical access stream.
+//
+// The paper's claims are about *programs* whose computation migrates, but
+// the registry kernels historically produced only TraceSets, so 1000-core
+// execution-driven runs had nothing to execute.  A Workload closes that
+// gap: the trace IS the specification of the program's memory behaviour,
+// and programs() compiles each thread's trace into a register-ISA program
+// that replays exactly that access stream (same addresses, same ops, same
+// order, `gap` filler instructions preserved), so the trace-driven and
+// execution-driven modes of System::run see the same logical workload and
+// their access mixes are directly comparable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/reg_isa.hpp"
+#include "trace/trace.hpp"
+#include "util/types.hpp"
+
+namespace em2::workload {
+
+/// Compiles every thread of `traces` into a register-ISA program that
+/// replays the thread's access stream verbatim: each Access becomes one
+/// lw/sw (plus `gap` filler instructions before it), reads sink into a
+/// scratch register, and writes store a globally unique rolling value
+/// (start = thread + 1, stride = thread count) so the sequential-
+/// consistency witness can tell any two stores apart.  Program i belongs
+/// to traces.thread(i) and runs native on that thread's native core.
+/// Requires every address to fit the 32-bit register machine.
+std::vector<RProgram> compile_replay_programs(const TraceSet& traces);
+
+/// A named workload at a fixed (threads, scale, seed) operating point,
+/// carrying both generators.  Handles are cheap to copy (the trace is
+/// shared, immutable) and safe to use concurrently from sweep workers.
+class Workload {
+ public:
+  Workload(std::string name, std::int32_t threads, std::int32_t scale,
+           std::uint64_t seed, TraceSet traces);
+
+  const std::string& name() const noexcept { return name_; }
+  std::int32_t threads() const noexcept { return threads_; }
+  std::int32_t scale() const noexcept { return scale_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// The shared logical access stream (generated once, at construction).
+  const TraceSet& traces() const noexcept { return *traces_; }
+
+  /// The owning handle to the trace — copies of a Workload share it, so
+  /// its address is a stable identity for caches keyed by trace content
+  /// (System pins it in its placement cache to rule out address reuse).
+  const std::shared_ptr<const TraceSet>& shared_traces() const noexcept {
+    return traces_;
+  }
+
+  /// The executable suite: one replay program per thread (compiled on
+  /// demand from the same traces; pure function, thread-safe).
+  std::vector<RProgram> programs() const {
+    return compile_replay_programs(*traces_);
+  }
+
+  /// Human-readable identity string ("name@threads/scale/seed") for
+  /// report labels and logs.  NOT a cache key: the constructor is public
+  /// and accepts arbitrary traces, so two distinct Workloads may share
+  /// this string — caches key on shared_traces() instead.
+  std::string identity() const;
+
+ private:
+  std::string name_;
+  std::int32_t threads_;
+  std::int32_t scale_;
+  std::uint64_t seed_;
+  std::shared_ptr<const TraceSet> traces_;
+};
+
+}  // namespace em2::workload

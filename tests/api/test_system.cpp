@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "util/error.hpp"
 #include "workload/kernels.hpp"
+#include "workload/registry.hpp"
 #include "workload/synthetic.hpp"
 
 namespace em2 {
@@ -19,19 +21,72 @@ TEST(ApiSystem, MeshMatchesThreadCount) {
   EXPECT_EQ(sys.mesh().num_cores(), 16);
 }
 
-TEST(ApiSystem, Em2RunProducesCoherentSummary) {
+TEST(ApiSystem, Em2TraceRunProducesCoherentReport) {
   System sys(small_config());
-  workload::OceanParams p;
+  const auto ocean = workload::make_workload("ocean", 16);
+  const RunReport r = sys.run(ocean, {.arch = MemArch::kEm2});
+  EXPECT_EQ(r.arch, MemArch::kEm2);
+  EXPECT_EQ(r.mode, RunMode::kTrace);
+  EXPECT_EQ(r.arch_label, "em2");
+  EXPECT_EQ(r.workload, "ocean");
+  EXPECT_EQ(r.placement, "first-touch");
+  EXPECT_EQ(r.accesses, ocean.traces().total_accesses());
+  EXPECT_GT(r.migrations, 0u);
+  EXPECT_GT(r.network_cost, 0u);
+  EXPECT_GT(r.traffic_bits, 0u);
+  EXPECT_GT(r.cost_per_access, 0.0);
+  EXPECT_EQ(r.run_lengths.total_accesses, ocean.traces().total_accesses());
+  EXPECT_FALSE(r.exec.has_value());
+  EXPECT_FALSE(r.optimal.has_value());
+}
+
+TEST(ApiSystem, RunCoversAllArchesInBothModes) {
+  System sys(small_config());
+  const auto w = workload::make_workload("sharing-mix", 16);
+  for (const MemArch arch : {MemArch::kEm2, MemArch::kEm2Ra, MemArch::kCc}) {
+    for (const RunMode mode : {RunMode::kTrace, RunMode::kExec}) {
+      const RunReport r = sys.run(w, {.arch = arch, .mode = mode});
+      EXPECT_EQ(r.arch, arch);
+      EXPECT_EQ(r.mode, mode);
+      EXPECT_EQ(r.accesses, w.traces().total_accesses())
+          << to_string(arch) << "/" << to_string(mode);
+      if (mode == RunMode::kExec) {
+        ASSERT_TRUE(r.exec.has_value());
+        EXPECT_TRUE(r.exec->consistent)
+            << to_string(arch) << " exec run must satisfy the SC witness";
+        EXPECT_GT(r.exec->cycles, 0u);
+        EXPECT_GT(r.exec->instructions, 0u);
+      } else {
+        EXPECT_FALSE(r.exec.has_value());
+      }
+    }
+  }
+}
+
+TEST(ApiSystem, OptimalModeMatchesLegacyShimAndLowerBoundsPolicies) {
+  System sys(small_config());
+  workload::SharingMixParams p;
   p.threads = 16;
-  const TraceSet traces = workload::make_ocean(p);
-  const RunSummary s = sys.run_em2(traces);
-  EXPECT_EQ(s.arch, "em2");
-  EXPECT_EQ(s.accesses, traces.total_accesses());
-  EXPECT_GT(s.migrations, 0u);
-  EXPECT_GT(s.network_cost, 0u);
-  EXPECT_GT(s.traffic_bits, 0u);
-  EXPECT_GT(s.cost_per_access, 0.0);
-  EXPECT_EQ(s.run_lengths.total_accesses, traces.total_accesses());
+  p.accesses_per_thread = 500;
+  const TraceSet traces = workload::make_sharing_mix(p);
+  const RunReport opt = sys.run(traces, {.mode = RunMode::kOptimal});
+  ASSERT_TRUE(opt.optimal.has_value());
+  EXPECT_EQ(opt.arch_label, "optimal-dp");
+  EXPECT_EQ(opt.network_cost, opt.optimal->cost);
+  const OptimalSummary shim = sys.run_optimal(traces);
+  EXPECT_EQ(shim.optimal_cost, opt.optimal->cost);
+  EXPECT_EQ(shim.optimal_migrations, opt.optimal->migrations);
+  EXPECT_EQ(shim.optimal_remote, opt.optimal->remote_accesses);
+  // The model ignores evictions, so compare against eviction-free policy
+  // costs: use a config with many guest contexts.
+  SystemConfig cfg = small_config();
+  cfg.em2.guest_contexts = 16;
+  System sys2(cfg);
+  for (const char* spec : {"always-migrate", "always-remote", "history"}) {
+    const RunReport s =
+        sys2.run(traces, {.arch = MemArch::kEm2Ra, .policy = spec});
+    EXPECT_GE(s.network_cost, opt.optimal->cost) << spec;
+  }
 }
 
 TEST(ApiSystem, PolicySweepOrdersSanely) {
@@ -41,30 +96,15 @@ TEST(ApiSystem, PolicySweepOrdersSanely) {
   p.accesses_per_thread = 1000;
   p.mean_run_length = 3.0;
   const TraceSet traces = workload::make_geometric_runs(p);
-  const RunSummary mig = sys.run_em2ra(traces, "always-migrate");
-  const RunSummary ra = sys.run_em2ra(traces, "always-remote");
-  const RunSummary hist = sys.run_em2ra(traces, "history");
+  const RunReport mig =
+      sys.run(traces, {.arch = MemArch::kEm2Ra, .policy = "always-migrate"});
+  const RunReport ra =
+      sys.run(traces, {.arch = MemArch::kEm2Ra, .policy = "always-remote"});
+  const RunReport hist =
+      sys.run(traces, {.arch = MemArch::kEm2Ra, .policy = "history"});
   EXPECT_EQ(mig.remote_accesses, 0u);
   EXPECT_EQ(ra.migrations, 0u);
   EXPECT_LE(hist.network_cost, std::max(mig.network_cost, ra.network_cost));
-}
-
-TEST(ApiSystem, OptimalIsLowerBoundOnPolicies) {
-  System sys(small_config());
-  workload::SharingMixParams p;
-  p.threads = 16;
-  p.accesses_per_thread = 500;
-  const TraceSet traces = workload::make_sharing_mix(p);
-  const OptimalSummary opt = sys.run_optimal(traces);
-  // The model ignores evictions, so compare against eviction-free
-  // policy costs: use a config with many guest contexts.
-  SystemConfig cfg = small_config();
-  cfg.em2.guest_contexts = 16;
-  System sys2(cfg);
-  for (const char* spec : {"always-migrate", "always-remote", "history"}) {
-    const RunSummary s = sys2.run_em2ra(traces, spec);
-    EXPECT_GE(s.network_cost, opt.optimal_cost) << spec;
-  }
 }
 
 TEST(ApiSystem, CcRunReportsMessages) {
@@ -73,59 +113,208 @@ TEST(ApiSystem, CcRunReportsMessages) {
   p.threads = 16;
   p.accesses_per_thread = 300;
   const TraceSet traces = workload::make_sharing_mix(p);
-  const RunSummary s = sys.run_cc(traces);
-  EXPECT_EQ(s.arch, "cc-msi");
-  EXPECT_GT(s.messages, 0u);
-  EXPECT_GT(s.traffic_bits, 0u);
-  EXPECT_EQ(s.migrations, 0u);  // threads never move under CC
+  const RunReport r = sys.run(traces, {.arch = MemArch::kCc});
+  EXPECT_EQ(r.arch_label, "cc");
+  EXPECT_GT(r.messages, 0u);
+  EXPECT_GT(r.traffic_bits, 0u);
+  EXPECT_EQ(r.migrations, 0u);  // threads never move under CC
+}
+
+TEST(ApiSystem, ShimsMatchRunSpecResults) {
+  System sys(small_config());
+  const auto w = workload::make_workload("ocean", 16);
+  const TraceSet& traces = w.traces();
+  const RunSummary em2_shim = sys.run_em2(traces);
+  const RunReport em2_run = sys.run(w, {.arch = MemArch::kEm2});
+  EXPECT_EQ(em2_shim.network_cost, em2_run.network_cost);
+  EXPECT_EQ(em2_shim.migrations, em2_run.migrations);
+  EXPECT_EQ(em2_shim.arch, em2_run.arch_label);
+  const RunSummary ra_shim = sys.run_em2ra(traces, "history");
+  const RunReport ra_run =
+      sys.run(w, {.arch = MemArch::kEm2Ra, .policy = "history"});
+  EXPECT_EQ(ra_shim.network_cost, ra_run.network_cost);
+  EXPECT_EQ(ra_shim.remote_accesses, ra_run.remote_accesses);
+  const RunSummary cc_shim = sys.run_cc(traces);
+  const RunReport cc_run = sys.run(w, {.arch = MemArch::kCc});
+  EXPECT_EQ(cc_shim.network_cost, cc_run.network_cost);
+  EXPECT_EQ(cc_shim.messages, cc_run.messages);
+  EXPECT_EQ(cc_shim.arch, "cc-msi");  // legacy label, kept for one release
 }
 
 TEST(ApiSystem, AnalyzeRunLengthsMatchesEm2Run) {
   System sys(small_config());
-  workload::OceanParams p;
-  p.threads = 16;
-  const TraceSet traces = workload::make_ocean(p);
-  const RunLengthReport direct = sys.analyze_run_lengths(traces);
-  const RunSummary via_run = sys.run_em2(traces);
+  const auto ocean = workload::make_workload("ocean", 16);
+  const RunLengthReport direct = sys.analyze_run_lengths(ocean.traces());
+  const RunReport via_run = sys.run(ocean, {.arch = MemArch::kEm2});
   EXPECT_EQ(direct.nonnative_accesses,
             via_run.run_lengths.nonnative_accesses);
   EXPECT_EQ(direct.migrations, via_run.run_lengths.migrations);
 }
 
 TEST(ApiSystem, PlacementSchemesChangeOutcomes) {
-  workload::OceanParams p;
-  p.threads = 16;
-  const TraceSet traces = workload::make_ocean(p);
-  SystemConfig ft = small_config();
-  ft.placement = "first-touch";
-  SystemConfig hashed = small_config();
-  hashed.placement = "hashed";
-  const RunSummary s_ft = System(ft).run_em2(traces);
-  const RunSummary s_hash = System(hashed).run_em2(traces);
+  const auto ocean = workload::make_workload("ocean", 16);
+  System sys(small_config());
+  const RunReport ft = sys.run(ocean, {.placement = "first-touch"});
+  const RunReport hashed = sys.run(ocean, {.placement = "hashed"});
+  EXPECT_EQ(ft.placement, "first-touch");
+  EXPECT_EQ(hashed.placement, "hashed");
   // "a good data placement method ... is critical": first-touch must
   // beat hashed placement by a wide margin on a stencil workload.
-  EXPECT_LT(s_ft.network_cost, s_hash.network_cost / 2);
+  EXPECT_LT(ft.network_cost, hashed.network_cost / 2);
 }
 
-TEST(ApiSystem, ReplicationFacadeBeatsPlainEm2OnReadShared) {
+TEST(ApiSystem, ReplicationSpecBeatsPlainEm2OnReadShared) {
   System sys(small_config());
-  workload::TableLookupParams p;
-  p.threads = 16;
-  const TraceSet traces = workload::make_table_lookup(p);
-  const RunSummary base = sys.run_em2(traces);
-  const RunSummary repl = sys.run_em2_replicated(traces);
-  EXPECT_EQ(repl.arch, "em2+ro-replication");
+  const auto w = workload::make_workload("table-lookup", 16);
+  const RunReport base = sys.run(w, {.arch = MemArch::kEm2});
+  const RunReport repl =
+      sys.run(w, {.arch = MemArch::kEm2, .replication = true});
+  EXPECT_EQ(repl.arch_label, "em2+ro-replication");
   EXPECT_EQ(repl.accesses, base.accesses);
   EXPECT_LT(repl.migrations, base.migrations / 10);
   EXPECT_LT(repl.network_cost, base.network_cost / 10);
 }
 
-TEST(ApiSystemDeath, UnknownPlacementAborts) {
+TEST(ApiSystem, RunMatrixMatchesIndividualRuns) {
+  System sys(small_config());
+  const std::vector<workload::Workload> workloads = {
+      workload::make_workload("ocean", 16),
+      workload::make_workload("uniform", 16)};
+  const std::vector<RunSpec> specs = {
+      RunSpec{.arch = MemArch::kEm2},
+      RunSpec{.arch = MemArch::kEm2Ra, .policy = "history"},
+      RunSpec{.arch = MemArch::kCc}};
+  const std::vector<RunReport> grid = sys.run_matrix(workloads, specs);
+  ASSERT_EQ(grid.size(), workloads.size() * specs.size());
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      const RunReport& cell = grid[w * specs.size() + s];
+      const RunReport solo = sys.run(workloads[w], specs[s]);
+      EXPECT_EQ(cell.workload, workloads[w].name());
+      EXPECT_EQ(cell.arch, specs[s].arch);
+      EXPECT_EQ(cell.network_cost, solo.network_cost)
+          << workloads[w].name() << " x " << cell.arch_label;
+      EXPECT_EQ(cell.migrations, solo.migrations);
+      EXPECT_EQ(cell.cost_per_access, solo.cost_per_access);
+    }
+  }
+}
+
+TEST(ApiSystem, RunMatrixSharesPlacementAcrossSpecs) {
+  // Three specs over one workload hit the same (scheme, workload) cache
+  // entry; the serial single-spec runs must agree exactly, proving the
+  // cached placement is the same deterministic object content.
+  System sys(small_config());
+  const std::vector<workload::Workload> workloads = {
+      workload::make_workload("hotspot", 16)};
+  const std::vector<RunSpec> specs = {
+      RunSpec{.arch = MemArch::kEm2},
+      RunSpec{.arch = MemArch::kEm2, .mode = RunMode::kExec},
+      RunSpec{.mode = RunMode::kOptimal}};
+  sweep::Options serial;
+  serial.num_threads = 1;
+  const auto parallel_grid = sys.run_matrix(workloads, specs);
+  const auto serial_grid = sys.run_matrix(workloads, specs, serial);
+  ASSERT_EQ(parallel_grid.size(), serial_grid.size());
+  for (std::size_t i = 0; i < parallel_grid.size(); ++i) {
+    EXPECT_EQ(parallel_grid[i].network_cost, serial_grid[i].network_cost);
+    EXPECT_EQ(parallel_grid[i].accesses, serial_grid[i].accesses);
+    EXPECT_EQ(parallel_grid[i].migrations, serial_grid[i].migrations);
+  }
+}
+
+TEST(ApiSystem, PlacementCacheKeysOnTraceNotName) {
+  // Two Workloads with identical identity strings but different traces
+  // must not share a cached placement (the constructor is public, so the
+  // name/params tuple is not a trustworthy identity).
+  System sys(small_config());
+  workload::HotspotParams hot;
+  hot.threads = 16;
+  hot.accesses_per_thread = 400;
+  workload::UniformParams uni;
+  uni.threads = 16;
+  uni.accesses_per_thread = 400;
+  const workload::Workload a("same", 16, 1, 1, workload::make_hotspot(hot));
+  const workload::Workload b("same", 16, 1, 1, workload::make_uniform(uni));
+  const RunReport ra = sys.run(a, {.arch = MemArch::kEm2});
+  const RunReport rb = sys.run(b, {.arch = MemArch::kEm2});
+  // Each must match a fresh-System run of the same traces (no sharing).
+  const RunReport rb_fresh =
+      System(small_config()).run(b.traces(), {.arch = MemArch::kEm2});
+  EXPECT_EQ(rb.network_cost, rb_fresh.network_cost);
+  EXPECT_EQ(rb.migrations, rb_fresh.migrations);
+  EXPECT_NE(ra.network_cost, rb.network_cost);  // genuinely different runs
+}
+
+// ---- The single fail-fast error path ------------------------------------
+
+TEST(ApiSystemErrors, UnknownWorkloadThrows) {
+  EXPECT_THROW(workload::make_workload("bogus", 16), UnknownNameError);
+  try {
+    workload::make_workload("bogus", 16);
+    FAIL() << "expected UnknownNameError";
+  } catch (const UnknownNameError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown workload 'bogus'"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("ocean"), std::string::npos);
+  }
+}
+
+TEST(ApiSystemErrors, UnknownPlacementThrows) {
   SystemConfig cfg = small_config();
   cfg.placement = "bogus";
   System sys(cfg);
-  const TraceSet traces(64);
-  EXPECT_DEATH(sys.run_em2(traces), "unknown placement");
+  const auto w = workload::make_workload("uniform", 16);
+  EXPECT_THROW(sys.run(w), UnknownNameError);
+  EXPECT_THROW(sys.run_em2(w.traces()), UnknownNameError);  // shim path too
+  // Per-spec override fails the same way on a good config.
+  System good(small_config());
+  EXPECT_THROW(good.run(w, {.placement = "nope"}), UnknownNameError);
+}
+
+TEST(ApiSystemErrors, UnknownPolicyThrowsBeforeRunning) {
+  System sys(small_config());
+  const auto w = workload::make_workload("uniform", 16);
+  for (const RunMode mode : {RunMode::kTrace, RunMode::kExec}) {
+    EXPECT_THROW(
+        sys.run(w, {.arch = MemArch::kEm2Ra, .mode = mode,
+                    .policy = "not-a-policy"}),
+        UnknownNameError);
+  }
+  // Non-RA arches ignore the policy string entirely.
+  EXPECT_NO_THROW(
+      sys.run(w, {.arch = MemArch::kEm2, .policy = "not-a-policy"}));
+}
+
+TEST(ApiSystemErrors, RunMatrixFailsFastOnBadSpec) {
+  System sys(small_config());
+  const std::vector<workload::Workload> workloads = {
+      workload::make_workload("uniform", 16)};
+  const std::vector<RunSpec> specs = {
+      RunSpec{.arch = MemArch::kEm2},
+      RunSpec{.arch = MemArch::kEm2Ra, .policy = "not-a-policy"}};
+  EXPECT_THROW(sys.run_matrix(workloads, specs), UnknownNameError);
+}
+
+// ---- The one string<->enum mapping --------------------------------------
+
+TEST(ApiModes, ToStringParseRoundTrips) {
+  for (const MemArch a : {MemArch::kEm2, MemArch::kEm2Ra, MemArch::kCc}) {
+    EXPECT_EQ(parse_mem_arch(to_string(a)), a);
+  }
+  for (const SchedulerKind k :
+       {SchedulerKind::kEventDriven, SchedulerKind::kScan}) {
+    EXPECT_EQ(parse_scheduler_kind(to_string(k)), k);
+  }
+  for (const RunMode m :
+       {RunMode::kTrace, RunMode::kExec, RunMode::kOptimal}) {
+    EXPECT_EQ(parse_run_mode(to_string(m)), m);
+  }
+  EXPECT_EQ(parse_mem_arch("em2ra"), MemArch::kEm2Ra);   // alias
+  EXPECT_EQ(parse_mem_arch("cc-msi"), MemArch::kCc);     // alias
+  EXPECT_EQ(parse_mem_arch("bogus"), std::nullopt);
+  EXPECT_EQ(parse_scheduler_kind("bogus"), std::nullopt);
+  EXPECT_EQ(parse_run_mode("bogus"), std::nullopt);
 }
 
 }  // namespace
