@@ -1,0 +1,158 @@
+// Calibration-overhead bench for the contention-aware analytic path.
+//
+// RunSpec::contention = kMeasured is a two-pass flow: an analytic
+// recording pass plus a short cycle-level replay, then the corrected
+// analytic rerun.  This bench measures what that costs relative to the
+// plain uncontended run — the whole point of the M/D/1 correction is to
+// model saturation WITHOUT paying cycle-level cost on every sweep point,
+// so the calibration overhead must stay a small multiple of the analytic
+// run, not the orders of magnitude a full cycle-accurate simulation
+// costs.  Also reports the differential (measured vs corrected-predicted
+// total latency) so regressions in model quality are visible next to the
+// overhead.
+//
+//   --json             one JSON object per (workload, arch) row
+//   --threads=N        simulated threads (default 16)
+//   --contention=MODE  measured (default) | estimated
+//   --repeat=N         timing repetitions, best-of (default 3)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/system.hpp"
+#include "contention_flag.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+#include "workload/registry.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const em2::Args args(argc, argv);
+  const bool json = args.has("json");
+  const auto threads = static_cast<std::int32_t>(args.get_int("threads", 16));
+  const int repeat =
+      std::max(1, static_cast<int>(args.get_int("repeat", 3)));
+  const em2::ContentionMode contention =
+      em2::benchutil::contention_flag_or_exit(args, "measured");
+  if (contention == em2::ContentionMode::kNone) {
+    std::fprintf(stderr,
+                 "--contention=none has no calibration to measure; use "
+                 "measured or estimated\n");
+    return 1;
+  }
+
+  em2::SystemConfig cfg;
+  cfg.threads = threads;
+  em2::System sys(cfg);
+
+  const std::vector<std::string> workload_names = {"ocean", "sharing-mix"};
+  const std::vector<em2::MemArch> arches = {em2::MemArch::kEm2,
+                                            em2::MemArch::kEm2Ra};
+
+  em2::Table t({"workload", "arch", "base_ms", "corrected_ms", "overhead",
+                "cal_packets", "cal_cycles", "util(seen)", "pred/meas"});
+  for (const std::string& name : workload_names) {
+    const auto w = em2::workload::make_workload(name, threads);
+    for (const em2::MemArch arch : arches) {
+      em2::RunSpec base{.arch = arch, .policy = "history"};
+      em2::RunSpec corrected = base;
+      corrected.contention = contention;
+
+      // Warm the placement cache so timings compare engine work, not
+      // first-touch placement construction.
+      (void)sys.run(w, base);
+
+      double base_best = 1e30;
+      double corr_best = 1e30;
+      em2::RunReport report;
+      for (int i = 0; i < repeat; ++i) {
+        auto t0 = std::chrono::steady_clock::now();
+        (void)sys.run(w, base);
+        base_best = std::min(base_best, seconds_since(t0));
+        t0 = std::chrono::steady_clock::now();
+        report = sys.run(w, corrected);
+        corr_best = std::min(corr_best, seconds_since(t0));
+      }
+      const em2::RunReport::NocUtilization& noc = *report.noc;
+      const double overhead = corr_best / base_best;
+      const double accesses_per_sec =
+          corr_best > 0 ? static_cast<double>(report.accesses) / corr_best
+                        : 0.0;
+      const double util =
+          *std::max_element(noc.utilization.begin(), noc.utilization.end());
+      const double pred_over_meas =
+          noc.calibration_drained && noc.measured_total_latency > 0
+              ? static_cast<double>(noc.predicted_total_latency) /
+                    static_cast<double>(noc.measured_total_latency)
+              : 0.0;
+
+      if (json) {
+        em2::JsonWriter out;
+        out.add("bench", "contention")
+            .add("workload", name)
+            .add("arch", em2::to_string(arch))
+            .add("cores", static_cast<std::int64_t>(threads))
+            .add("contention", em2::to_string(contention))
+            .add("base_seconds", base_best)
+            .add("corrected_seconds", corr_best)
+            .add("calibration_overhead", overhead)
+            .add("accesses_per_sec", accesses_per_sec)
+            .add("calibration_packets", noc.calibration_packets)
+            .add("calibration_cycles", noc.calibration_cycles)
+            .add("calibration_drained", noc.calibration_drained)
+            .add("peak_vnet_utilization", util)
+            .add("measured_total_latency", noc.measured_total_latency)
+            .add("predicted_total_latency", noc.predicted_total_latency)
+            .add("uncontended_total_latency", noc.uncontended_total_latency)
+            .add("corrected_cost_per_access", report.cost_per_access);
+        out.print();
+      } else {
+        t.begin_row()
+            .add_cell(name)
+            .add_cell(em2::to_string(arch))
+            .add_cell(base_best * 1e3, 2)
+            .add_cell(corr_best * 1e3, 2)
+            .add_cell(overhead, 2)
+            .add_cell(noc.calibration_packets)
+            .add_cell(noc.calibration_cycles)
+            .add_cell(util, 3);
+        // No fabric replay under kEstimated (and no like-for-like
+        // differential over an undrained one): the ratio does not apply.
+        if (pred_over_meas > 0) {
+          t.add_cell(pred_over_meas, 3);
+        } else {
+          t.add_cell("-");
+        }
+      }
+    }
+  }
+
+  if (!json) {
+    std::printf("=== Contention calibration overhead (%d threads, %s) "
+                "===\n\n",
+                threads, em2::to_string(contention));
+    t.print(std::cout);
+    std::printf(
+        "\noverhead = corrected run / plain analytic run (best of %d).  "
+        "kMeasured pays one analytic recording pass + a bounded "
+        "cycle-level replay (<= RunSpec::calibration_packets packets); "
+        "kEstimated pays the recording pass only.  pred/meas is the "
+        "corrected analytic prediction over the fabric's measurement for "
+        "the calibration packets (1.0 = perfect).\n",
+        repeat);
+  }
+  return 0;
+}

@@ -1,4 +1,5 @@
-// Experiment C8: the migration/remote-access crossover.
+// Experiment C8: the migration/remote-access crossover — now with and
+// without NoC contention.
 //
 // Section 3: "the combination with EM2 is therefore uniquely poised to
 // address both the one-off remote cache accesses and the runs of
@@ -10,13 +11,25 @@
 // envelope.  Each run-length point is independent and fans out across
 // hardware threads via the sweep runner.
 //
-//   --json    one JSON object per run-length point
-//   --jobs=N  sweep worker threads (default: hardware concurrency)
+// The uncontended tables understate migration cost most exactly where
+// migrations are frequent (contexts are 9-flit packets; remote accesses
+// are 1-flit), so the crossover the paper's model predicts shifts once
+// saturation is priced in.  Every point therefore also runs the
+// always-migrate/always-remote poles under RunSpec::contention
+// (kMeasured by default: short cycle-level calibration + M/D/1-corrected
+// tables), and the summary reports BOTH crossover points.
+//
+//   --json               one JSON object per run-length point
+//   --jobs=N             sweep worker threads (default: hardware concurrency)
+//   --contention=MODE    correction for the corrected columns:
+//                        measured (default) | estimated | none (skip)
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <optional>
 
 #include "api/system.hpp"
+#include "contention_flag.hpp"
 #include "optimal/policy_eval.hpp"
 #include "sim/sweep.hpp"
 #include "util/args.hpp"
@@ -33,7 +46,28 @@ struct Point {
   double c_hist = 0;
   double c_est = 0;
   double c_opt = 0;
+  // Contention-corrected poles + the utilization the correction used.
+  double c_mig_corr = 0;
+  double c_ra_corr = 0;
+  double util_migration = 0;
 };
+
+/// First crossing of c_mig below c_ra, linearly interpolated in the mean
+/// run length; nullopt when one pole dominates the whole sweep.
+std::optional<double> crossover_mean(
+    const std::vector<Point>& points,
+    double Point::* mig, double Point::* ra) {
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double d0 = points[i - 1].*mig - points[i - 1].*ra;
+    const double d1 = points[i].*mig - points[i].*ra;
+    if (d0 > 0 && d1 <= 0) {
+      const double t = d0 / (d0 - d1);
+      return points[i - 1].mean +
+             t * (points[i].mean - points[i - 1].mean);
+    }
+  }
+  return std::nullopt;
+}
 
 }  // namespace
 
@@ -43,6 +77,8 @@ int main(int argc, char** argv) {
   em2::sweep::Options sweep_opts;
   sweep_opts.num_threads =
       static_cast<unsigned>(args.get_int("jobs", 0));
+  const em2::ContentionMode contention =
+      em2::benchutil::contention_flag_or_exit(args, "measured");
 
   em2::SystemConfig cfg;
   cfg.threads = 16;
@@ -63,26 +99,43 @@ int main(int argc, char** argv) {
         const em2::TraceSet traces = em2::workload::make_geometric_runs(p);
         const double n = static_cast<double>(traces.total_accesses());
 
-        auto cost_of = [&](const std::string& policy) {
+        auto cost_of = [&](const std::string& policy,
+                           em2::ContentionMode mode) {
           const em2::RunReport r = sys.run(
-              traces, {.arch = em2::MemArch::kEm2Ra, .policy = policy});
-          return static_cast<double>(r.network_cost) / n;
+              traces, {.arch = em2::MemArch::kEm2Ra, .policy = policy,
+                       .contention = mode});
+          return std::pair(static_cast<double>(r.network_cost) / n, r);
         };
         Point pt;
         pt.mean = means[i];
-        pt.c_mig = cost_of("always-migrate");
-        pt.c_ra = cost_of("always-remote");
-        pt.c_hist = cost_of("history");
-        pt.c_est = cost_of("cost-estimate");
+        pt.c_mig = cost_of("always-migrate", em2::ContentionMode::kNone).first;
+        pt.c_ra = cost_of("always-remote", em2::ContentionMode::kNone).first;
+        pt.c_hist = cost_of("history", em2::ContentionMode::kNone).first;
+        pt.c_est = cost_of("cost-estimate", em2::ContentionMode::kNone).first;
         const em2::RunReport opt =
             sys.run(traces, {.mode = em2::RunMode::kOptimal});
         pt.c_opt = static_cast<double>(opt.optimal->cost) / n;
+        if (contention != em2::ContentionMode::kNone) {
+          const auto [mig_corr, mig_report] =
+              cost_of("always-migrate", contention);
+          pt.c_mig_corr = mig_corr;
+          pt.c_ra_corr = cost_of("always-remote", contention).first;
+          pt.util_migration =
+              mig_report.noc->utilization[em2::vnet::kMigrationGuest];
+        }
         return pt;
       },
       sweep_opts);
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+
+  const auto cross_plain =
+      crossover_mean(points, &Point::c_mig, &Point::c_ra);
+  const auto cross_corr =
+      contention != em2::ContentionMode::kNone
+          ? crossover_mean(points, &Point::c_mig_corr, &Point::c_ra_corr)
+          : std::nullopt;
 
   if (json) {
     for (const Point& pt : points) {
@@ -95,12 +148,23 @@ int main(int argc, char** argv) {
           .add("cost_estimate", pt.c_est)
           .add("optimal", pt.c_opt)
           .add("winner", pt.c_mig < pt.c_ra ? "migrate" : "remote");
+      if (contention != em2::ContentionMode::kNone) {
+        w.add("contention", em2::to_string(contention))
+            .add("always_migrate_corrected", pt.c_mig_corr)
+            .add("always_remote_corrected", pt.c_ra_corr)
+            .add("migration_vnet_utilization", pt.util_migration)
+            .add("winner_corrected",
+                 pt.c_mig_corr < pt.c_ra_corr ? "migrate" : "remote");
+      }
       w.print();
     }
     em2::JsonWriter summary;
     summary.add("bench", "crossover_summary")
         .add("points", static_cast<std::uint64_t>(points.size()))
         .add("seconds", elapsed)
+        .add("contention", em2::to_string(contention))
+        .add("crossover_uncontended", cross_plain.value_or(-1.0))
+        .add("crossover_corrected", cross_corr.value_or(-1.0))
         .add("sweep_jobs",
              static_cast<std::int64_t>(em2::sweep::resolve_threads(sweep_opts)));
     summary.print();
@@ -112,7 +176,9 @@ int main(int argc, char** argv) {
   std::printf("16 threads (4x4), geometric non-native run lengths, "
               "first-touch placement; cells = network cycles per access\n\n");
   em2::Table t({"mean_run_len", "always-migrate", "always-remote",
-                "history", "cost-estimate", "optimal", "winner(poles)"});
+                "history", "cost-estimate", "optimal", "mig(corr)",
+                "ra(corr)", "winner(poles)", "winner(corr)"});
+  const bool corrected_ran = contention != em2::ContentionMode::kNone;
   for (const Point& pt : points) {
     t.begin_row()
         .add_cell(pt.mean, 1)
@@ -120,14 +186,38 @@ int main(int argc, char** argv) {
         .add_cell(pt.c_ra, 3)
         .add_cell(pt.c_hist, 3)
         .add_cell(pt.c_est, 3)
-        .add_cell(pt.c_opt, 3)
-        .add_cell(pt.c_mig < pt.c_ra ? "migrate" : "remote");
+        .add_cell(pt.c_opt, 3);
+    if (corrected_ran) {
+      t.add_cell(pt.c_mig_corr, 3).add_cell(pt.c_ra_corr, 3);
+    } else {
+      t.add_cell("-").add_cell("-");
+    }
+    t.add_cell(pt.c_mig < pt.c_ra ? "migrate" : "remote")
+        .add_cell(!corrected_ran
+                      ? "-"
+                      : (pt.c_mig_corr < pt.c_ra_corr ? "migrate"
+                                                      : "remote"));
   }
   t.print(std::cout);
   std::printf("\nExpected shape: always-remote wins at mean run length 1 "
               "(the 'about half' of Figure 2), always-migrate wins for "
               "long runs, and the hybrid policies track the lower "
               "envelope toward the DP optimal.\n");
+  std::printf("Crossover (uncontended): %s",
+              cross_plain ? "" : "none in sweep range\n");
+  if (cross_plain) {
+    std::printf("mean run length %.2f\n", *cross_plain);
+  }
+  if (contention != em2::ContentionMode::kNone) {
+    std::printf("Crossover (%s-corrected): %s", em2::to_string(contention),
+                cross_corr ? "" : "none in sweep range\n");
+    if (cross_corr) {
+      std::printf("mean run length %.2f\n", *cross_corr);
+    }
+    std::printf("Contexts are 9-flit packets, remote requests 1-flit: "
+                "pricing saturation in moves the crossover toward longer "
+                "runs.\n");
+  }
   std::printf("(sweep: %zu points in %.2f s on %u worker threads)\n",
               points.size(), elapsed,
               em2::sweep::resolve_threads(sweep_opts));

@@ -8,21 +8,28 @@
 // combined size of the per-core caches."
 //
 // The whole experiment is ONE run_matrix call: every registry workload x
-// {em2, em2-ra(history), cc} on identical traces, fanned out across
-// hardware threads by the sweep runner with the shared placement cache
-// (each workload's first-touch placement is built once and reused by all
-// three arch rows).  Reported: network cost per access, traffic bits per
-// access, protocol messages per access (CC) vs migrations per access
-// (EM2), replication factor, and directory storage.
+// {em2, em2-ra(history), cc} x {uncontended, contention-corrected} on
+// identical traces, fanned out across hardware threads by the sweep
+// runner with the shared placement cache (each workload's first-touch
+// placement is built once and reused by all six rows).  Reported: network
+// cost per access, traffic bits per access, protocol messages per access
+// (CC) vs migrations per access (EM2), replication factor, directory
+// storage — and the contention-corrected cost next to the uncontended
+// one, because EM2's 9-flit context packets saturate the mesh long before
+// CC's mostly-1-flit protocol messages do, which is exactly where the
+// EM2-vs-CC comparison can flip.
 //
-//   --json       one JSON summary object per workload/arch row
-//   --threads=N  simulated threads (default 16)
-//   --jobs=N     sweep worker threads (default: hardware concurrency)
+//   --json             one JSON summary object per workload (both modes)
+//   --threads=N        simulated threads (default 16)
+//   --jobs=N           sweep worker threads (default: hardware concurrency)
+//   --contention=MODE  measured (default) | estimated | none (skip
+//                      corrected rows)
 #include <chrono>
 #include <cstdio>
 #include <iostream>
 
 #include "api/system.hpp"
+#include "contention_flag.hpp"
 #include "sim/sweep.hpp"
 #include "util/args.hpp"
 #include "util/json.hpp"
@@ -36,6 +43,8 @@ int main(int argc, char** argv) {
   em2::sweep::Options sweep_opts;
   sweep_opts.num_threads =
       static_cast<unsigned>(args.get_int("jobs", 0));
+  const em2::ContentionMode contention =
+      em2::benchutil::contention_flag_or_exit(args, "measured");
 
   em2::SystemConfig cfg;
   cfg.threads = threads;
@@ -46,10 +55,19 @@ int main(int argc, char** argv) {
     workloads.push_back(
         em2::workload::make_workload(name, threads, /*scale=*/2, /*seed=*/1));
   }
-  const std::vector<em2::RunSpec> specs = {
+  std::vector<em2::RunSpec> specs = {
       {.arch = em2::MemArch::kEm2},
       {.arch = em2::MemArch::kEm2Ra, .policy = "history"},
       {.arch = em2::MemArch::kCc}};
+  // Corrected rows mirror the base rows at offset base_specs.
+  const std::size_t base_specs = specs.size();
+  if (contention != em2::ContentionMode::kNone) {
+    for (std::size_t s = 0; s < base_specs; ++s) {
+      em2::RunSpec corrected = specs[s];
+      corrected.contention = contention;
+      specs.push_back(corrected);
+    }
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<em2::RunReport> grid =
@@ -64,8 +82,11 @@ int main(int argc, char** argv) {
       const em2::RunReport& em2_run = grid[w * specs.size() + 0];
       const em2::RunReport& ra_run = grid[w * specs.size() + 1];
       const em2::RunReport& cc_run = grid[w * specs.size() + 2];
-      total_accesses +=
-          em2_run.accesses + ra_run.accesses + cc_run.accesses;
+      // Every row (corrected ones included) contributes to the summary
+      // throughput — elapsed covers the whole grid.
+      for (std::size_t s = 0; s < specs.size(); ++s) {
+        total_accesses += grid[w * specs.size() + s].accesses;
+      }
       const double n = static_cast<double>(em2_run.accesses);
       em2::JsonWriter out;
       out.add("bench", "em2_vs_cc")
@@ -79,6 +100,20 @@ int main(int argc, char** argv) {
                static_cast<double>(cc_run.traffic_bits) / n)
           .add("cc_replication", cc_run.cc->replication_factor)
           .add("cc_directory_bits", cc_run.cc->directory_bits);
+      if (contention != em2::ContentionMode::kNone) {
+        const em2::RunReport& em2_corr =
+            grid[w * specs.size() + base_specs + 0];
+        const em2::RunReport& ra_corr =
+            grid[w * specs.size() + base_specs + 1];
+        const em2::RunReport& cc_corr =
+            grid[w * specs.size() + base_specs + 2];
+        out.add("contention", em2::to_string(contention))
+            .add("em2_cost_per_access_corrected", em2_corr.cost_per_access)
+            .add("ra_cost_per_access_corrected", ra_corr.cost_per_access)
+            .add("cc_cost_per_access_corrected", cc_corr.cost_per_access)
+            .add("em2_migration_vnet_utilization",
+                 em2_corr.noc->utilization[em2::vnet::kMigrationGuest]);
+      }
       out.print();
     }
     em2::JsonWriter summary;
@@ -98,13 +133,16 @@ int main(int argc, char** argv) {
   std::printf("=== EM2 vs EM2-RA vs directory CC (%d threads, "
               "first-touch) ===\n\n",
               threads);
-  em2::Table t({"workload", "arch", "cost/access", "traffic_bits/access",
-                "moves/access", "replication", "directory_bits"});
+  em2::Table t({"workload", "arch", "contention", "cost/access",
+                "traffic_bits/access", "moves/access", "replication",
+                "directory_bits"});
   for (const em2::RunReport& r : grid) {
     const double n = static_cast<double>(r.accesses);
     t.begin_row()
         .add_cell(r.workload)
         .add_cell(r.arch_label)
+        .add_cell(r.noc.has_value() ? em2::to_string(r.noc->contention)
+                                    : "none")
         .add_cell(r.cost_per_access, 2);
     t.add_cell(static_cast<double>(r.traffic_bits) / n, 1);
     if (r.arch == em2::MemArch::kCc) {

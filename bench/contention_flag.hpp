@@ -1,0 +1,27 @@
+// Shared --contention flag handling for the bench harness: parse the
+// mode through the ONE string<->enum mapping or print the uniform
+// UnknownNameError message and exit non-zero.  (Header-only; the bench
+// CMake glob only builds bench_*.cpp as executables.)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/modes.hpp"
+#include "util/args.hpp"
+#include "util/error.hpp"
+
+namespace em2::benchutil {
+
+inline ContentionMode contention_flag_or_exit(const Args& args,
+                                              const char* def) {
+  try {
+    return contention_mode_from_name(args.get_string("contention", def));
+  } catch (const UnknownNameError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(1);
+  }
+}
+
+}  // namespace em2::benchutil

@@ -33,21 +33,6 @@ void finish_cost_per_access(RunReport& out) {
                             : 0.0;
 }
 
-RunSummary to_summary(const RunReport& r) {
-  RunSummary s;
-  s.arch = r.arch_label;
-  s.accesses = r.accesses;
-  s.migrations = r.migrations;
-  s.evictions = r.evictions;
-  s.remote_accesses = r.remote_accesses;
-  s.network_cost = r.network_cost;
-  s.traffic_bits = r.traffic_bits;
-  s.messages = r.messages;
-  s.cost_per_access = r.cost_per_access;
-  s.run_lengths = r.run_lengths;
-  return s;
-}
-
 }  // namespace
 
 System::System(const SystemConfig& config)
@@ -58,6 +43,14 @@ System::System(const SystemConfig& config)
 }
 
 void System::validate(const RunSpec& spec) const {
+  if (spec.contention == ContentionMode::kMeasured &&
+      spec.calibration_packets == 0) {
+    // Catchable like every other bad-spec entry check: a zero-packet
+    // replay would report uncorrected tables as "measured".
+    throw std::invalid_argument(
+        "RunSpec: kMeasured calibration needs a non-zero "
+        "calibration_packets budget");
+  }
   const std::string& scheme =
       spec.placement.empty() ? config_.placement : spec.placement;
   const auto schemes = placement_names();
@@ -172,16 +165,72 @@ RunReport System::run_with_placement(
     const TraceSet& traces, const RunSpec& spec, const Placement& placement,
     const workload::Workload* workload) const {
   RunReport out;
-  switch (spec.mode) {
-    case RunMode::kTrace:
-      out = run_trace(traces, spec, placement);
-      break;
-    case RunMode::kExec:
-      out = run_exec(traces, spec, placement, workload);
-      break;
-    case RunMode::kOptimal:
-      out = run_optimal_mode(traces, spec, placement);
-      break;
+  if (spec.contention == ContentionMode::kNone) {
+    out = dispatch(traces, spec, placement, workload, cost_);
+  } else {
+    // Two-pass contention flow.  Pass 1 captures the protocol's packets
+    // against the uncontended tables and turns them into a per-vnet link
+    // utilization — measured on the cycle-level fabric (kMeasured) or
+    // integrated analytically (kEstimated).  The capture always drives
+    // the TRACE engine for spec.arch (for kTrace runs that is literally
+    // pass 2's dispatch with a recorder attached; exec and optimal runs
+    // borrow the trace engine's traffic as the calibration proxy, since
+    // they exercise the same tables over the same access stream).
+    // The measured path only replays the earliest calibration_packets,
+    // so the recorder can bound its memory to that budget; the estimated
+    // path integrates the whole run and records unbounded.
+    TrafficRecorder recorder(spec.contention == ContentionMode::kMeasured
+                                 ? spec.calibration_packets
+                                 : 0);
+    (void)run_trace(traces, spec, placement, cost_, &recorder);
+    std::vector<TrafficEvent> events = std::move(recorder.events());
+    RunReport::NocUtilization section;
+    section.contention = spec.contention;
+    if (spec.contention == ContentionMode::kMeasured) {
+      prepare_calibration_events(events, spec.calibration_packets);
+    }
+    // Offered-load analysis gives the per-vnet service moments always and
+    // the utilization estimate for kEstimated; kMeasured overwrites the
+    // utilization with what the fabric replay actually saw.
+    std::array<VnetLoad, vnet::kNumVnets> loads =
+        analyze_offered_load(mesh_, cost_, events);
+    if (spec.contention == ContentionMode::kMeasured) {
+      CalibrationOptions opts;
+      // Closed-loop window: one outstanding chain per thread plus room
+      // for eviction transients (see CalibrationOptions).
+      opts.max_outstanding = 2 * traces.num_threads();
+      const CalibrationReport cal =
+          replay_on_fabric(mesh_, cost_, events, opts);
+      for (std::size_t vn = 0; vn < loads.size(); ++vn) {
+        loads[vn].utilization = cal.utilization.seen_by_vnet[vn];
+      }
+      section.calibration_packets = cal.packets;
+      section.calibration_cycles = cal.cycles;
+      section.calibration_drained = cal.drained;
+      section.measured_total_latency = cal.measured_total_latency;
+      if (cal.drained) {
+        section.uncontended_total_latency =
+            predict_total_latency(cost_, events);
+      }
+    }
+    for (std::size_t vn = 0; vn < loads.size(); ++vn) {
+      section.utilization[vn] = loads[vn].utilization;
+    }
+    const HopLatencies hop = corrected_hop_latencies(config_.cost, loads);
+    section.corrected_per_hop = hop.cycles;
+    // Pass 2: rebuild the tables and rerun the analytic engines (and the
+    // policies' cost estimates) against the corrected latencies.
+    const CostModel corrected(mesh_, config_.cost, hop);
+    // The differential is only like-for-like over a drained replay
+    // (measured covers delivered packets; the predictions cover all of
+    // them), so the predictions stay zero otherwise.
+    if (spec.contention == ContentionMode::kMeasured &&
+        section.calibration_drained) {
+      section.predicted_total_latency =
+          predict_total_latency(corrected, events);
+    }
+    out = dispatch(traces, spec, placement, workload, corrected);
+    out.noc = section;
   }
   out.arch = spec.arch;
   out.mode = spec.mode;
@@ -192,20 +241,38 @@ RunReport System::run_with_placement(
   return out;
 }
 
+RunReport System::dispatch(const TraceSet& traces, const RunSpec& spec,
+                           const Placement& placement,
+                           const workload::Workload* workload,
+                           const CostModel& cost) const {
+  switch (spec.mode) {
+    case RunMode::kTrace:
+      return run_trace(traces, spec, placement, cost);
+    case RunMode::kExec:
+      return run_exec(traces, spec, placement, workload, cost);
+    case RunMode::kOptimal:
+      return run_optimal_mode(traces, spec, placement, cost);
+  }
+  return {};
+}
+
 RunReport System::run_trace(const TraceSet& traces, const RunSpec& spec,
-                            const Placement& placement) const {
+                            const Placement& placement,
+                            const CostModel& cost,
+                            TrafficRecorder* recorder) const {
   RunReport out;
   switch (spec.arch) {
     case MemArch::kEm2: {
       if (spec.replication) {
         const auto replicable = replicable_blocks(traces, 1);
-        const Em2RunReport r = em2::run_em2_replicated(
-            traces, placement, mesh_, cost_, config_.em2, replicable);
+        const Em2RunReport r =
+            em2::run_em2_replicated(traces, placement, mesh_, cost,
+                                    config_.em2, replicable, recorder);
         out.arch_label = "em2+ro-replication";
         fill_from_em2_report(out, r);
       } else {
-        const Em2RunReport r =
-            em2::run_em2(traces, placement, mesh_, cost_, config_.em2);
+        const Em2RunReport r = em2::run_em2(traces, placement, mesh_, cost,
+                                            config_.em2, recorder);
         out.arch_label = "em2";
         fill_from_em2_report(out, r);
       }
@@ -213,10 +280,10 @@ RunReport System::run_trace(const TraceSet& traces, const RunSpec& spec,
       break;
     }
     case MemArch::kEm2Ra: {
-      auto policy = make_policy(spec.policy, mesh_, cost_);
+      auto policy = make_policy(spec.policy, mesh_, cost);
       EM2_ASSERT(policy != nullptr, "validate() admits only known policies");
       const HybridRunReport r = em2::run_em2ra(
-          traces, placement, mesh_, cost_, config_.em2, *policy);
+          traces, placement, mesh_, cost, config_.em2, *policy, recorder);
       out.arch_label = "em2-ra(" + r.policy_name + ")";
       fill_from_em2_report(out, r.em2);
       out.remote_accesses = r.remote_accesses;
@@ -227,7 +294,7 @@ RunReport System::run_trace(const TraceSet& traces, const RunSpec& spec,
       DirCcParams cc = config_.cc;
       cc.private_cache.line_bytes = traces.block_bytes();
       const CcRunReport r =
-          em2::run_cc(traces, placement, mesh_, cost_, cc);
+          em2::run_cc(traces, placement, mesh_, cost, cc, recorder);
       out.arch_label = "cc";
       out.accesses = r.counters.get("accesses");
       out.messages = r.counters.get("messages");
@@ -243,7 +310,8 @@ RunReport System::run_trace(const TraceSet& traces, const RunSpec& spec,
 
 RunReport System::run_exec(const TraceSet& traces, const RunSpec& spec,
                            const Placement& placement,
-                           const workload::Workload* workload) const {
+                           const workload::Workload* workload,
+                           const CostModel& cost) const {
   ExecParams params;
   params.arch = spec.arch;
   params.scheduler = spec.scheduler;
@@ -252,7 +320,7 @@ RunReport System::run_exec(const TraceSet& traces, const RunSpec& spec,
   params.cc.private_cache.line_bytes = traces.block_bytes();
   params.ra_policy = spec.policy;
   params.block_bytes = traces.block_bytes();
-  ExecSystem exec(mesh_, cost_, params, placement);
+  ExecSystem exec(mesh_, cost, params, placement);
 
   std::vector<RProgram> programs =
       workload != nullptr ? workload->programs()
@@ -290,7 +358,8 @@ RunReport System::run_exec(const TraceSet& traces, const RunSpec& spec,
 
 RunReport System::run_optimal_mode(const TraceSet& traces,
                                    const RunSpec& spec,
-                                   const Placement& placement) const {
+                                   const Placement& placement,
+                                   const CostModel& cost) const {
   (void)spec;  // the DP models the migrate/RA decision; arch-independent
   RunReport::OptimalSection section;
   for (const auto& thread : traces.threads()) {
@@ -303,7 +372,7 @@ RunReport System::run_optimal_mode(const TraceSet& traces,
     }
     const ModelTrace mt =
         make_model_trace(homes, ops, thread.native_core());
-    const MigrateRaSolution sol = solve_optimal_migrate_ra(mt, cost_);
+    const MigrateRaSolution sol = solve_optimal_migrate_ra(mt, cost);
     section.cost += sol.total_cost;
     section.migrations += sol.migrations;
     section.remote_accesses += sol.remote_accesses;
@@ -328,48 +397,6 @@ RunLengthReport System::analyze_run_lengths(const TraceSet& traces) const {
     analyzer.add_thread(thread.native_core(), homes);
   }
   return analyzer.report();
-}
-
-// ---- Deprecated shims ----------------------------------------------------
-
-RunSummary System::run_em2(const TraceSet& traces) const {
-  RunSpec spec;
-  spec.arch = MemArch::kEm2;
-  return to_summary(run(traces, spec));
-}
-
-RunSummary System::run_em2ra(const TraceSet& traces,
-                             const std::string& policy_spec) const {
-  RunSpec spec;
-  spec.arch = MemArch::kEm2Ra;
-  spec.policy = policy_spec;
-  return to_summary(run(traces, spec));
-}
-
-RunSummary System::run_em2_replicated(const TraceSet& traces) const {
-  RunSpec spec;
-  spec.arch = MemArch::kEm2;
-  spec.replication = true;
-  return to_summary(run(traces, spec));
-}
-
-RunSummary System::run_cc(const TraceSet& traces) const {
-  RunSpec spec;
-  spec.arch = MemArch::kCc;
-  RunSummary s = to_summary(run(traces, spec));
-  s.arch = "cc-msi";  // the label every pre-RunSpec release reported
-  return s;
-}
-
-OptimalSummary System::run_optimal(const TraceSet& traces) const {
-  RunSpec spec;
-  spec.mode = RunMode::kOptimal;
-  const RunReport r = run(traces, spec);
-  OptimalSummary s;
-  s.optimal_cost = r.optimal->cost;
-  s.optimal_migrations = r.optimal->migrations;
-  s.optimal_remote = r.optimal->remote_accesses;
-  return s;
 }
 
 }  // namespace em2

@@ -23,11 +23,18 @@
 //   auto grid = sys.run_matrix({ocean, lu}, {spec_a, spec_b});
 //
 // Unknown workload/placement/policy names throw UnknownNameError at the
-// moment they enter the system (util/error.hpp).  The legacy per-arch
-// run_em2/run_em2ra/run_cc/run_optimal calls survive one release as thin
-// deprecated shims over run().
+// moment they enter the system (util/error.hpp).
+//
+// NoC contention: RunSpec::contention selects how the analytic cost
+// tables account for mesh saturation (sim/modes.hpp, noc/contention.hpp).
+// kMeasured is a two-pass flow — a short cycle-level calibration replay
+// of the protocol's own packets measures per-vnet link utilization, then
+// the analytic run repeats against M/D/1-corrected tables; kEstimated
+// skips the fabric and estimates the offered load analytically.  Both
+// surface a RunReport::NocUtilization section.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -39,6 +46,7 @@
 #include "em2/trace_sim.hpp"
 #include "em2ra/hybrid_sim.hpp"
 #include "geom/mesh.hpp"
+#include "noc/contention.hpp"
 #include "noc/cost_model.hpp"
 #include "optimal/dp_migrate.hpp"
 #include "placement/placement.hpp"
@@ -83,6 +91,16 @@ struct RunSpec {
   std::string placement;
   /// Exec-mode cycle budget (a run that exhausts it reports timed_out).
   Cycle max_cycles = 50'000'000;
+  /// NoC contention correction for the cost tables (sim/modes.hpp):
+  /// kNone is the paper's uncontended mesh; kMeasured calibrates on the
+  /// cycle-level fabric first (two-pass); kEstimated corrects from an
+  /// analytic offered-load estimate.
+  ContentionMode contention = ContentionMode::kNone;
+  /// kMeasured only: the calibration replay covers the earliest N
+  /// protocol packets (the "short cycle-level run" that bounds
+  /// calibration cost regardless of trace length).  Must be non-zero
+  /// when contention == kMeasured (std::invalid_argument at entry).
+  std::uint64_t calibration_packets = 20'000;
 };
 
 /// Unified result of System::run — one type for every arch x mode.  The
@@ -140,31 +158,43 @@ struct RunReport {
     double replication_factor = 0.0;
     std::uint64_t directory_bits = 0;
   };
+  /// Contention section, present when RunSpec::contention != kNone: the
+  /// per-vnet utilization that drove the M/D/1 correction and (kMeasured)
+  /// the cycle-level calibration ground truth next to the analytic
+  /// predictions for the same packets — the differential the contention
+  /// tests validate.  Calibration traffic always comes from the
+  /// trace-mode protocol engine for the spec's arch; exec and optimal
+  /// runs use it as a proxy for their own traffic (same tables, same
+  /// logical access stream).
+  struct NocUtilization {
+    ContentionMode contention = ContentionMode::kNone;
+    /// Per-vnet link utilization the correction used: the total link
+    /// occupancy a typical flit of the vnet sees (vnets share physical
+    /// links) — measured by the fabric replay for kMeasured, offered-load
+    /// estimate over the XY paths for kEstimated.
+    std::array<double, vnet::kNumVnets> utilization{};
+    /// Per-vnet corrected cycles-per-hop the rebuilt tables used.
+    std::array<double, vnet::kNumVnets> corrected_per_hop{};
+    /// kMeasured: calibration replay size and duration.
+    std::uint64_t calibration_packets = 0;
+    Cycle calibration_cycles = 0;
+    /// kMeasured: false when the replay hit its cycle budget before every
+    /// packet delivered — measured_total_latency then covers only the
+    /// delivered subset, and the prediction fields below stay zero (they
+    /// would cover all calibration packets, which is not like-for-like).
+    bool calibration_drained = true;
+    /// kMeasured: cycle-level total packet latency over the calibration
+    /// packets (the fabric's ground truth)...
+    Cost measured_total_latency = 0;
+    /// ...next to the corrected and uncontended analytic predictions for
+    /// the SAME packets (only when calibration_drained).
+    Cost predicted_total_latency = 0;
+    Cost uncontended_total_latency = 0;
+  };
   std::optional<ExecSection> exec;
   std::optional<OptimalSection> optimal;
   std::optional<CcSection> cc;
-};
-
-/// DEPRECATED (one release): architecture-independent run summary of the
-/// legacy per-arch entry points; subsumed by RunReport.
-struct RunSummary {
-  std::string arch;
-  std::uint64_t accesses = 0;
-  std::uint64_t migrations = 0;
-  std::uint64_t evictions = 0;
-  std::uint64_t remote_accesses = 0;
-  Cost network_cost = 0;
-  std::uint64_t traffic_bits = 0;
-  std::uint64_t messages = 0;
-  double cost_per_access = 0.0;
-  RunLengthReport run_lengths;
-};
-
-/// DEPRECATED (one release): subsumed by RunReport::OptimalSection.
-struct OptimalSummary {
-  Cost optimal_cost = 0;
-  std::uint64_t optimal_migrations = 0;
-  std::uint64_t optimal_remote = 0;
+  std::optional<NocUtilization> noc;
 };
 
 /// The façade.
@@ -207,21 +237,6 @@ class System {
   /// Figure 2: run-length analysis only (no protocol simulation).
   RunLengthReport analyze_run_lengths(const TraceSet& traces) const;
 
-  // ---- Deprecated shims (one release) -----------------------------------
-  // Thin wrappers over run(); prefer run() with a RunSpec.
-
-  /// DEPRECATED: use run(traces, {.arch = MemArch::kEm2}).
-  RunSummary run_em2(const TraceSet& traces) const;
-  /// DEPRECATED: use run(traces, {.arch = MemArch::kEm2Ra, .policy = ...}).
-  RunSummary run_em2ra(const TraceSet& traces,
-                       const std::string& policy_spec) const;
-  /// DEPRECATED: use run(traces, {.replication = true}).
-  RunSummary run_em2_replicated(const TraceSet& traces) const;
-  /// DEPRECATED: use run(traces, {.arch = MemArch::kCc}).
-  RunSummary run_cc(const TraceSet& traces) const;
-  /// DEPRECATED: use run(traces, {.mode = RunMode::kOptimal}).
-  OptimalSummary run_optimal(const TraceSet& traces) const;
-
  private:
   /// Resolves spec.placement / config_.placement and validates names;
   /// the workload overload memoizes in placement_cache_.
@@ -235,13 +250,25 @@ class System {
   RunReport run_with_placement(const TraceSet& traces, const RunSpec& spec,
                                const Placement& placement,
                                const workload::Workload* workload) const;
+  /// Mode dispatch against an explicit cost model — `cost_` for kNone,
+  /// the contention-corrected rebuild otherwise.
+  RunReport dispatch(const TraceSet& traces, const RunSpec& spec,
+                     const Placement& placement,
+                     const workload::Workload* workload,
+                     const CostModel& cost) const;
+  /// `recorder` (nullable) captures the protocol's packets — the
+  /// calibration pass is run_trace against the uncontended tables with a
+  /// recorder attached, so pass 1 and pass 2 share ONE per-arch dispatch.
   RunReport run_trace(const TraceSet& traces, const RunSpec& spec,
-                      const Placement& placement) const;
+                      const Placement& placement, const CostModel& cost,
+                      TrafficRecorder* recorder = nullptr) const;
   RunReport run_exec(const TraceSet& traces, const RunSpec& spec,
                      const Placement& placement,
-                     const workload::Workload* workload) const;
+                     const workload::Workload* workload,
+                     const CostModel& cost) const;
   RunReport run_optimal_mode(const TraceSet& traces, const RunSpec& spec,
-                             const Placement& placement) const;
+                             const Placement& placement,
+                             const CostModel& cost) const;
 
   SystemConfig config_;
   Mesh mesh_;

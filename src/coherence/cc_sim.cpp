@@ -20,11 +20,17 @@ double CcRunReport::messages_per_access() const noexcept {
 
 CcRunReport run_cc(const TraceSet& traces, const Placement& placement,
                    const Mesh& mesh, const CostModel& cost,
-                   const DirCcParams& params) {
+                   const DirCcParams& params, TrafficRecorder* recorder) {
   EM2_ASSERT(params.private_cache.line_bytes == traces.block_bytes(),
              "CC line size must match the trace block size so the "
              "directory and the placement agree on line identity");
   DirectoryCC cc(mesh, cost, params, placement);
+
+  std::vector<Cycle> clock;
+  if (recorder != nullptr) {
+    cc.set_traffic_sink(recorder);
+    clock.assign(traces.num_threads(), 0);
+  }
 
   std::vector<std::size_t> cursor(traces.num_threads(), 0);
   bool progressed = true;
@@ -38,7 +44,11 @@ CcRunReport run_cc(const TraceSet& traces, const Placement& placement,
       const Access& a = trace[cursor[t]];
       ++cursor[t];
       progressed = true;
-      cc.access(trace.native_core(), a.addr, a.op);
+      const CcAccessResult r = cc.access(trace.native_core(), a.addr, a.op);
+      if (recorder != nullptr) {
+        recorder->stamp(clock[t]);
+        clock[t] += 1 + r.latency;
+      }
     }
   }
 

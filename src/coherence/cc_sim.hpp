@@ -29,9 +29,11 @@ struct CcRunReport {
 
 /// Runs the MSI directory protocol over `traces` (round-robin thread
 /// interleave; thread t issues from its native core — threads do not move
-/// under CC).
+/// under CC).  A non-null `recorder` captures every protocol message as a
+/// packet for the contention calibration pass.
 CcRunReport run_cc(const TraceSet& traces, const Placement& placement,
                    const Mesh& mesh, const CostModel& cost,
-                   const DirCcParams& params);
+                   const DirCcParams& params,
+                   TrafficRecorder* recorder = nullptr);
 
 }  // namespace em2

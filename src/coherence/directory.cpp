@@ -12,6 +12,24 @@ namespace {
 std::uint8_t to_byte(MsiState s) { return static_cast<std::uint8_t>(s); }
 MsiState from_byte(std::uint8_t b) { return static_cast<MsiState>(b); }
 
+/// Virtual network a directory-protocol message travels on: data and
+/// acknowledgements are responses (kMemReply); everything that solicits
+/// work at the receiver is a request (kMemRequest).  Mirrors the
+/// request/reply split that keeps the fabric deadlock-free.
+int message_vnet(Counter c) {
+  switch (c) {
+    case Counter::kDataOwner:
+    case Counter::kDataHome:
+    case Counter::kWbDowngrade:
+    case Counter::kPutM:
+    case Counter::kInvAck:
+    case Counter::kUpgradeAck:
+      return vnet::kMemReply;
+    default:
+      return vnet::kMemRequest;
+  }
+}
+
 }  // namespace
 
 DirectoryCC::DirectoryCC(const Mesh& mesh, const CostModel& cost,
@@ -37,7 +55,11 @@ Cost DirectoryCC::send(CoreId src, CoreId dst, std::uint64_t payload_bits,
   counters_.inc(counter);
   counters_.inc(Counter::kMessages);
   traffic_bits_ += payload_bits + cost_.params().header_bits;
-  return cost_.message(src, dst, payload_bits);
+  const int vn = message_vnet(counter);
+  if (traffic_sink_ != nullptr && src != dst) {
+    traffic_sink_->on_packet(src, dst, vn, payload_bits);
+  }
+  return cost_.message(src, dst, payload_bits, vn);
 }
 
 void DirectoryCC::handle_eviction(CoreId core,

@@ -31,6 +31,7 @@
 #include "geom/mesh.hpp"
 #include "mem/cache.hpp"
 #include "noc/cost_model.hpp"
+#include "noc/traffic.hpp"
 #include "placement/placement.hpp"
 #include "util/counters.hpp"
 #include "util/stats.hpp"
@@ -84,6 +85,14 @@ class DirectoryCC {
   std::uint64_t traffic_bits() const noexcept { return traffic_bits_; }
   Cost total_latency() const noexcept { return total_latency_; }
 
+  /// Registers `sink` (nullable) to receive every protocol message as a
+  /// packet (requests on vnet::kMemRequest, data/acks on vnet::kMemReply;
+  /// src == dst messages generate no packet) — the contention calibration
+  /// pass's capture point.  Must outlive the directory or be unregistered.
+  void set_traffic_sink(TrafficSink* sink) noexcept {
+    traffic_sink_ = sink;
+  }
+
   /// Replication factor: mean copies per cached line right now.
   double replication_factor() const;
   /// Valid lines summed over all private caches.
@@ -123,6 +132,7 @@ class DirectoryCC {
   FastCounters counters_;
   std::uint64_t traffic_bits_ = 0;
   Cost total_latency_ = 0;
+  TrafficSink* traffic_sink_ = nullptr;
 };
 
 }  // namespace em2

@@ -34,6 +34,7 @@
 #include "mem/hierarchy.hpp"
 #include "noc/cost_model.hpp"
 #include "noc/network.hpp"
+#include "noc/traffic.hpp"
 #include "util/assert.hpp"
 #include "util/counters.hpp"
 #include "util/rng.hpp"
@@ -161,6 +162,15 @@ class Em2Machine {
     move_observer_ = obs;
   }
 
+  /// Registers `sink` (nullable) to receive every packet the protocol
+  /// would inject (migrations and evictions; the hybrid subclass adds the
+  /// remote request/reply pairs) — the contention calibration pass's
+  /// capture point.  The sink must outlive the machine or be unregistered
+  /// first.
+  void set_traffic_sink(TrafficSink* sink) noexcept {
+    traffic_sink_ = sink;
+  }
+
  protected:
   /// Moves thread `t` to `dest`, handling native-vs-guest context
   /// occupancy and any eviction chain.  Returns (thread cost, eviction
@@ -185,6 +195,7 @@ class Em2Machine {
   }
 
   FastCounters counters_;
+  TrafficSink* traffic_sink_ = nullptr;
 
  private:
   /// Removes `t` from its guest slot at `at` (caller checked non-native).
@@ -297,14 +308,19 @@ inline std::pair<Cost, Cost> Em2Machine::migrate_thread(ThreadId t, CoreId dest)
 
   // Context transfer cost and virtual-network accounting.  Migrations into
   // the thread's own native (reserved) context travel on the native vnet —
-  // the guaranteed-sink channel; all other migrations use the guest vnet.
-  const Cost cost = cost_.migration(from, dest);
+  // the guaranteed-sink channel; all other migrations use the guest vnet
+  // (and, under contention correction, that vnet's inflated table).
   const bool to_native = dest == nat;
+  const Cost cost = to_native ? cost_.migration_native(from, dest)
+                              : cost_.migration(from, dest);
   const int vn =
       to_native ? vnet::kMigrationNative : vnet::kMigrationGuest;
   vnet_bits_[static_cast<std::size_t>(vn)] += cost_.params().context_bits;
   if (to_native) {
     counters_.inc(Counter::kMigrationsToNative);
+  }
+  if (traffic_sink_ != nullptr) {
+    traffic_sink_->on_packet(from, dest, vn, cost_.params().context_bits);
   }
   return {cost, evict_cost};
 }
@@ -346,8 +362,12 @@ inline Cost Em2Machine::arrive(ThreadId t, CoreId dest) {
     EM2_ASSERT(victim_home != dest,
                "a thread at its native core can never be a guest");
     location_[static_cast<std::size_t>(victim)] = victim_home;
-    evict_cost = cost_.migration(dest, victim_home);
+    evict_cost = cost_.migration_native(dest, victim_home);
     vnet_bits_[vnet::kMigrationNative] += cost_.params().context_bits;
+    if (traffic_sink_ != nullptr) {
+      traffic_sink_->on_packet(dest, victim_home, vnet::kMigrationNative,
+                               cost_.params().context_bits);
+    }
     total_eviction_cost_ += evict_cost;
     per_thread_cost_[static_cast<std::size_t>(victim)] += evict_cost;
     counters_.inc(Counter::kEvictions);

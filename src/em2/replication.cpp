@@ -45,13 +45,20 @@ std::unordered_set<Addr> replicable_blocks(const TraceSet& traces,
 Em2RunReport run_em2_replicated(
     const TraceSet& traces, const Placement& placement, const Mesh& mesh,
     const CostModel& cost, const Em2Params& params,
-    const std::unordered_set<Addr>& replicable) {
+    const std::unordered_set<Addr>& replicable,
+    TrafficRecorder* recorder) {
   std::vector<CoreId> native;
   native.reserve(traces.num_threads());
   for (const auto& t : traces.threads()) {
     native.push_back(t.native_core());
   }
   Em2Machine machine(mesh, cost, params, std::move(native));
+
+  std::vector<Cycle> clock;
+  if (recorder != nullptr) {
+    machine.set_traffic_sink(recorder);
+    clock.assign(traces.num_threads(), 0);
+  }
 
   CounterSet extra;
   std::vector<std::size_t> cursor(traces.num_threads(), 0);
@@ -75,6 +82,9 @@ Em2RunReport run_em2_replicated(
         extra.inc("replicated_reads");
         extra.inc("accesses");
         extra.inc("reads");
+        if (recorder != nullptr) {
+          clock[t] += 1;  // local read: compute only, no packets
+        }
         continue;
       }
       // Writes to replicable blocks are the initialization writes the
@@ -82,7 +92,12 @@ Em2RunReport run_em2_replicated(
       // is updated before any replica is read in the steady state under
       // the profile's definition).
       const CoreId home = placement.home_of_block(block);
-      machine.access(static_cast<ThreadId>(t), home, a.op, a.addr);
+      const AccessOutcome out =
+          machine.access(static_cast<ThreadId>(t), home, a.op, a.addr);
+      if (recorder != nullptr) {
+        recorder->stamp(clock[t]);
+        clock[t] += 1 + out.thread_cost + out.memory_latency;
+      }
     }
   }
 

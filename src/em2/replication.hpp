@@ -38,6 +38,7 @@ std::unordered_set<Addr> replicable_blocks(const TraceSet& traces,
 Em2RunReport run_em2_replicated(
     const TraceSet& traces, const Placement& placement, const Mesh& mesh,
     const CostModel& cost, const Em2Params& params,
-    const std::unordered_set<Addr>& replicable);
+    const std::unordered_set<Addr>& replicable,
+    TrafficRecorder* recorder = nullptr);
 
 }  // namespace em2

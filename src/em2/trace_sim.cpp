@@ -20,13 +20,22 @@ double Em2RunReport::mean_cost_per_access() const noexcept {
 
 Em2RunReport run_em2(const TraceSet& traces, const Placement& placement,
                      const Mesh& mesh, const CostModel& cost,
-                     const Em2Params& params) {
+                     const Em2Params& params, TrafficRecorder* recorder) {
   std::vector<CoreId> native;
   native.reserve(traces.num_threads());
   for (const auto& t : traces.threads()) {
     native.push_back(t.native_core());
   }
   Em2Machine machine(mesh, cost, params, std::move(native));
+
+  // Per-thread virtual clocks (calibration only): one cycle of compute per
+  // access plus the access's uncontended network/memory latency — the
+  // open-loop injection schedule the fabric replay uses.
+  std::vector<Cycle> clock;
+  if (recorder != nullptr) {
+    machine.set_traffic_sink(recorder);
+    clock.assign(traces.num_threads(), 0);
+  }
 
   // Round-robin interleaving: one access per live thread per round.
   std::vector<std::size_t> cursor(traces.num_threads(), 0);
@@ -42,7 +51,12 @@ Em2RunReport run_em2(const TraceSet& traces, const Placement& placement,
       ++cursor[t];
       progressed = true;
       const CoreId home = placement.home_of_block(traces.block_of(a.addr));
-      machine.access(static_cast<ThreadId>(t), home, a.op, a.addr);
+      const AccessOutcome out =
+          machine.access(static_cast<ThreadId>(t), home, a.op, a.addr);
+      if (recorder != nullptr) {
+        recorder->stamp(clock[t]);
+        clock[t] += 1 + out.thread_cost + out.memory_latency;
+      }
     }
   }
 

@@ -37,9 +37,12 @@ struct Em2RunReport {
 
 /// Runs pure EM2 over `traces` with `placement`, interleaving threads
 /// round-robin (one access per live thread per round — the deterministic
-/// stand-in for concurrent execution).
+/// stand-in for concurrent execution).  A non-null `recorder` captures
+/// every protocol packet stamped with the issuing thread's virtual clock
+/// (the contention calibration pass); recording never changes the report.
 Em2RunReport run_em2(const TraceSet& traces, const Placement& placement,
                      const Mesh& mesh, const CostModel& cost,
-                     const Em2Params& params);
+                     const Em2Params& params,
+                     TrafficRecorder* recorder = nullptr);
 
 }  // namespace em2

@@ -60,6 +60,12 @@ HybridOutcome HybridMachine::access_hybrid(ThreadId t, CoreId home, MemOp op,
   remote_reply_bits_ += rep_bits;
   add_vnet_bits(vnet::kRemoteRequest, req_bits);
   add_vnet_bits(vnet::kRemoteReply, rep_bits);
+  if (traffic_sink_ != nullptr) {
+    // The round trip is two packets: the request and the data/ack reply
+    // (a write's ack is header-only but still occupies the reply vnet).
+    traffic_sink_->on_packet(at, home, vnet::kRemoteRequest, req_bits);
+    traffic_sink_->on_packet(home, at, vnet::kRemoteReply, rep_bits);
+  }
 
   // The word is still served by the *home* core's hierarchy: remote access
   // does not replicate data, so the single-home invariant stands.

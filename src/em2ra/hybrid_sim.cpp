@@ -15,13 +15,20 @@ double HybridRunReport::remote_fraction() const noexcept {
 
 HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
                           const Mesh& mesh, const CostModel& cost,
-                          const Em2Params& params, DecisionPolicy& policy) {
+                          const Em2Params& params, DecisionPolicy& policy,
+                          TrafficRecorder* recorder) {
   std::vector<CoreId> native;
   native.reserve(traces.num_threads());
   for (const auto& t : traces.threads()) {
     native.push_back(t.native_core());
   }
   HybridMachine machine(mesh, cost, params, std::move(native), policy);
+
+  std::vector<Cycle> clock;
+  if (recorder != nullptr) {
+    machine.set_traffic_sink(recorder);
+    clock.assign(traces.num_threads(), 0);
+  }
 
   std::vector<std::size_t> cursor(traces.num_threads(), 0);
   bool progressed = true;
@@ -37,8 +44,12 @@ HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
       progressed = true;
       const Addr block = traces.block_of(a.addr);
       const CoreId home = placement.home_of_block(block);
-      machine.access_hybrid(static_cast<ThreadId>(t), home, a.op, a.addr,
-                            block);
+      const HybridOutcome out = machine.access_hybrid(
+          static_cast<ThreadId>(t), home, a.op, a.addr, block);
+      if (recorder != nullptr) {
+        recorder->stamp(clock[t]);
+        clock[t] += 1 + out.base.thread_cost + out.base.memory_latency;
+      }
     }
   }
 

@@ -23,9 +23,12 @@ struct HybridRunReport {
 };
 
 /// Runs EM2-RA over `traces` with `placement` and `policy` (round-robin
-/// thread interleaving, as in run_em2).
+/// thread interleaving, as in run_em2).  A non-null `recorder` captures
+/// every protocol packet — migrations, evictions, and remote
+/// request/reply pairs — for the contention calibration pass.
 HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
                           const Mesh& mesh, const CostModel& cost,
-                          const Em2Params& params, DecisionPolicy& policy);
+                          const Em2Params& params, DecisionPolicy& policy,
+                          TrafficRecorder* recorder = nullptr);
 
 }  // namespace em2

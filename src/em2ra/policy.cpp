@@ -135,8 +135,8 @@ RaDecision CostEstimatePolicy::decide(const DecisionQuery& q) {
   const double expected_run =
       q.home == q.native ? state_[q.thread].native_run_ewma
                          : predicted_run_;
-  const double migrate_cost =
-      static_cast<double>(cost_.migration(q.current, q.home));
+  const double migrate_cost = static_cast<double>(
+      cost_.migration_to(q.current, q.home, q.native));
   const double ra_once =
       static_cast<double>(cost_.remote_access(q.current, q.home, q.op));
   const double ra_cost = ra_once * expected_run;

@@ -1,0 +1,145 @@
+// Contention-aware correction for the analytic cost tables.
+//
+// The paper's cost model assumes an uncontended mesh — exactly the regime
+// where migration traffic (2-message round trips carrying full contexts)
+// diverges most from remote-access traffic.  This layer closes the gap
+// without paying cycle-level cost on every sweep point:
+//
+//   1. A calibration pass captures the protocol's packets (noc/traffic.hpp)
+//      and either replays them on the cycle-level fabric (measured) or
+//      routes them along their XY paths analytically (estimated), yielding
+//      for each virtual network the total link occupancy its flits see and
+//      the service-time moments of the traffic mix.
+//   2. Each router output is modelled as an M/D/1-style queue under
+//      Pollaczek-Khinchine: packets occupy a link for their full
+//      serialization time (flits x cycles — a 9-flit context holds a link
+//      9 cycles), and vnets share physical link bandwidth, so the waiting
+//      a vnet's head flit accrues per hop is
+//
+//        W(vn) = rho / (2 (1 - rho)) * E[S^2]/E[S]
+//
+//      with rho the total occupancy seen by vn's flits and S the service
+//      time of the competing packet mix.
+//   3. The CostModel tables are rebuilt from the corrected HopLatencies
+//      (per_hop + W) and the analytic sweep reruns against them.
+//
+// rho is clamped to max_utilization before the queueing term, so the
+// correction saturates gracefully (finite, monotone) instead of diverging
+// as rho -> 1; an offered load past saturation reads as the clamp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "geom/mesh.hpp"
+#include "noc/cost_model.hpp"
+#include "noc/network.hpp"
+#include "noc/traffic.hpp"
+#include "util/types.hpp"
+
+namespace em2 {
+
+/// Knobs of the M/D/1 correction.
+struct ContentionParams {
+  /// Utilization clamp applied before the queueing term: rho is limited to
+  /// [0, max_utilization], bounding the wait factor at
+  /// max_utilization / (2 (1 - max_utilization)) service times per hop
+  /// (9.5 at the default).  Keeps the corrected tables finite for
+  /// saturated vnets.
+  double max_utilization = 0.95;
+};
+
+/// Per-vnet inputs of the correction, derived from calibration traffic.
+struct VnetLoad {
+  /// Total link occupancy (all vnets — they share physical links) seen by
+  /// this vnet's flits, in [0, 1] measured or >= 0 offered.
+  double utilization = 0.0;
+  /// Arrival-weighted mean service time of the competing packet mix on
+  /// the links this vnet uses (cycles = flits; E[S]).
+  double mean_service = 1.0;
+  /// Arrival-weighted second moment (E[S^2]); E[S^2]/E[S] is the
+  /// Pollaczek-Khinchine effective service of the mix.
+  double mean_service_sq = 1.0;
+};
+
+/// Mean M/D/1 queueing wait in units of the (deterministic) service time:
+/// rho / (2 (1 - rho)), with rho clamped to [0, max_utilization].
+/// Total for non-finite rho: NaN and -inf read as 0, +inf as the clamp —
+/// never returns inf/NaN itself.
+double md1_wait_factor(double rho, double max_utilization = 0.95) noexcept;
+
+/// Per-vnet corrected head-flit hop latencies:
+/// per_hop_cycles + md1_wait_factor(rho[vn]) * E[S^2]/E[S].  Zero
+/// utilization returns HopLatencies::uniform(per_hop_cycles), i.e. the
+/// uncontended model, regardless of the service moments.
+HopLatencies corrected_hop_latencies(
+    const CostModelParams& params,
+    const std::array<VnetLoad, vnet::kNumVnets>& loads,
+    const ContentionParams& cparams = {});
+
+/// Routes every event along its XY path analytically and returns the
+/// per-vnet load: per-link offered occupancy (flit-cycles over the
+/// virtual makespan) aggregated flit-weighted into the occupancy each
+/// vnet sees, plus the service moments of the mix.  The
+/// placement-estimated leg of RunSpec::contention — and the source of the
+/// service moments for the measured leg, whose utilization the caller
+/// overwrites with FabricUtilization::seen_by_vnet.
+std::array<VnetLoad, vnet::kNumVnets> analyze_offered_load(
+    const Mesh& mesh, const CostModel& cost,
+    const std::vector<TrafficEvent>& events);
+
+/// Stable-sorts `events` by injection time and truncates to the earliest
+/// `max_packets` — the "short calibration run" that bounds the cycle-level
+/// replay regardless of trace length.
+void prepare_calibration_events(std::vector<TrafficEvent>& events,
+                                std::uint64_t max_packets);
+
+/// Bounds of one cycle-level calibration replay.
+struct CalibrationOptions {
+  /// Hard stop for the replay (cycles); a replay that hits it reports
+  /// drained = false and utilization over the cycles it did run.
+  Cycle max_cycles = 4'000'000;
+  /// Closed-loop window: at most this many packets in flight at once
+  /// (0 = unbounded).  The protocol is closed-loop — a thread stalls on
+  /// its own migration or remote round trip, so it can never queue
+  /// packets behind an undelivered one.  Replaying the virtual schedule
+  /// open-loop would let source queues grow without bound past
+  /// saturation and measure latencies no real run can exhibit; the
+  /// window (callers pass ~2x the thread count: one chain per thread
+  /// plus eviction transients) restores the self-throttling.
+  std::uint64_t max_outstanding = 0;
+  NetworkParams network{};
+};
+
+/// What the fabric measured during a calibration replay.
+struct CalibrationReport {
+  FabricUtilization utilization;
+  std::uint64_t packets = 0;  ///< packets injected (and, if drained, delivered)
+  Cycle cycles = 0;           ///< replay duration
+  /// Sum over delivered packets of (delivered - injected): the cycle-level
+  /// ground truth the corrected analytic prediction is validated against.
+  Cost measured_total_latency = 0;
+  bool drained = true;
+};
+
+/// Replays `events` (prepared: time-sorted, truncated) on a fresh
+/// cycle-level mesh, injecting each packet at its virtual time (or as soon
+/// as the replay reaches it and the closed-loop window has room) and
+/// stepping until drained or max_cycles.  `cost` supplies the
+/// payload-to-flit conversion only.
+CalibrationReport replay_on_fabric(const Mesh& mesh, const CostModel& cost,
+                                   const std::vector<TrafficEvent>& events,
+                                   const CalibrationOptions& opts = {});
+
+/// Analytic total latency of the same packets under `cost`'s tables, in
+/// the fabric's delivery convention (hops + serialization + one ejection
+/// cycle per packet) so it compares apples-to-apples against
+/// CalibrationReport::measured_total_latency — with the uncontended model
+/// this is the prediction the paper's tables make for the calibration
+/// traffic; with a corrected model it is the contention-aware prediction
+/// the differential tests validate.
+Cost predict_total_latency(const CostModel& cost,
+                           const std::vector<TrafficEvent>& events);
+
+}  // namespace em2

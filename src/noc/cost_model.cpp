@@ -1,40 +1,60 @@
 #include "noc/cost_model.hpp"
 
+#include <cmath>
+
 #include "util/assert.hpp"
 
 namespace em2 {
 
 CostModel::CostModel(const Mesh& mesh, const CostModelParams& params)
-    : mesh_(mesh), params_(params) {
+    : CostModel(mesh, params,
+                HopLatencies::uniform(
+                    static_cast<double>(params.per_hop_cycles))) {}
+
+CostModel::CostModel(const Mesh& mesh, const CostModelParams& params,
+                     const HopLatencies& hop)
+    : mesh_(mesh), params_(params), hop_(hop) {
   EM2_ASSERT(params.link_width_bits > 0, "link width must be positive");
   EM2_ASSERT(params.per_hop_cycles > 0, "per-hop latency must be positive");
+  for (const double c : hop_.cycles) {
+    EM2_ASSERT(std::isfinite(c) && c > 0,
+               "per-vnet hop latencies must be finite and positive");
+  }
   // Precompute the hot-path latency tables over every possible hop count.
   const auto table_size = static_cast<std::size_t>(mesh_.diameter()) + 1;
   migration_by_hops_.reserve(table_size);
+  migration_native_by_hops_.reserve(table_size);
   remote_read_by_hops_.reserve(table_size);
   remote_write_by_hops_.reserve(table_size);
   for (std::size_t h = 0; h < table_size; ++h) {
     const auto hops = static_cast<std::int32_t>(h);
     migration_by_hops_.push_back(
-        packet_latency(hops, params_.context_bits));
+        packet_latency_on(vnet::kMigrationGuest, hops,
+                          params_.context_bits));
+    migration_native_by_hops_.push_back(
+        packet_latency_on(vnet::kMigrationNative, hops,
+                          params_.context_bits));
     remote_read_by_hops_.push_back(
-        packet_latency(hops, params_.addr_bits) +
-        packet_latency(hops, params_.word_bits));
+        packet_latency_on(vnet::kRemoteRequest, hops, params_.addr_bits) +
+        packet_latency_on(vnet::kRemoteReply, hops, params_.word_bits));
     remote_write_by_hops_.push_back(
-        packet_latency(hops, params_.addr_bits + params_.word_bits) +
-        packet_latency(hops, 0));
+        packet_latency_on(vnet::kRemoteRequest, hops,
+                          params_.addr_bits + params_.word_bits) +
+        packet_latency_on(vnet::kRemoteReply, hops, 0));
   }
   const std::int32_t n = mesh_.num_cores();
   if (n <= kPairTableMaxCores) {
     const auto pairs =
         static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
     migration_by_pair_.reserve(pairs);
+    migration_native_by_pair_.reserve(pairs);
     remote_read_by_pair_.reserve(pairs);
     remote_write_by_pair_.reserve(pairs);
     for (CoreId src = 0; src < n; ++src) {
       for (CoreId dst = 0; dst < n; ++dst) {
         if (src == dst) {
           migration_by_pair_.push_back(0);
+          migration_native_by_pair_.push_back(0);
           remote_read_by_pair_.push_back(0);
           remote_write_by_pair_.push_back(0);
           continue;
@@ -42,6 +62,7 @@ CostModel::CostModel(const Mesh& mesh, const CostModelParams& params)
         const auto h =
             static_cast<std::size_t>(mesh_.hops(src, dst));
         migration_by_pair_.push_back(migration_by_hops_[h]);
+        migration_native_by_pair_.push_back(migration_native_by_hops_[h]);
         remote_read_by_pair_.push_back(remote_read_by_hops_[h]);
         remote_write_by_pair_.push_back(remote_write_by_hops_[h]);
       }
@@ -62,20 +83,32 @@ Cost CostModel::packet_latency(std::int32_t hops,
   return static_cast<Cost>(hops) * params_.per_hop_cycles + (flits - 1);
 }
 
+Cost CostModel::packet_latency_on(int vn, std::int32_t hops,
+                                  std::uint64_t payload_bits) const noexcept {
+  const std::uint32_t flits = flits_for(payload_bits);
+  // llround keeps integer hop latencies exact (uniform models reproduce
+  // packet_latency bit-for-bit) and is monotone in the corrected latency.
+  const auto head = static_cast<Cost>(std::llround(
+      static_cast<double>(hops) *
+      hop_.cycles[static_cast<std::size_t>(vn)]));
+  return head + (flits - 1);
+}
+
 Cost CostModel::migration_bits(CoreId src, CoreId dst,
                                std::uint64_t bits) const noexcept {
   if (src == dst) {
     return 0;
   }
-  return packet_latency(mesh_.hops(src, dst), bits);
+  return packet_latency_on(vnet::kMigrationGuest, mesh_.hops(src, dst),
+                           bits);
 }
 
-Cost CostModel::message(CoreId src, CoreId dst,
-                        std::uint64_t payload_bits) const noexcept {
+Cost CostModel::message(CoreId src, CoreId dst, std::uint64_t payload_bits,
+                        int vn) const noexcept {
   if (src == dst) {
     return 0;
   }
-  return packet_latency(mesh_.hops(src, dst), payload_bits);
+  return packet_latency_on(vn, mesh_.hops(src, dst), payload_bits);
 }
 
 }  // namespace em2

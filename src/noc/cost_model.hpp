@@ -6,16 +6,24 @@
 //
 // Both are derived from a wormhole-routed mesh: a packet of F flits
 // travelling H hops arrives H * per_hop + (F - 1) cycles after injection
-// (head pipeline fill + body serialization).  The model deliberately
+// (head pipeline fill + body serialization).  The base model deliberately
 // ignores contention and local cache access time, exactly as the paper's
 // model does ("ignores local memory access delays (since the
 // migration-vs.-RA decision mainly affects network delays)").
+//
+// Contention enters through HopLatencies: the tables can be rebuilt from
+// per-virtual-network per-hop latencies supplied by the M/D/1 correction
+// (noc/contention.hpp), which inflates each vnet's hop cost by its
+// measured or estimated link utilization.  A uniform HopLatencies at
+// per_hop_cycles reproduces the uncontended tables bit-identically.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "geom/mesh.hpp"
+#include "noc/vnet.hpp"
 #include "util/types.hpp"
 
 namespace em2 {
@@ -42,12 +50,32 @@ struct CostModelParams {
   std::uint32_t context_bits = 1056;
 };
 
+/// Per-virtual-network head-flit hop latencies (cycles, fractional) the
+/// tables are built from.  uniform(params.per_hop_cycles) is the
+/// uncontended model; the contention layer supplies inflated values.
+struct HopLatencies {
+  std::array<double, vnet::kNumVnets> cycles{};
+
+  static HopLatencies uniform(double per_hop) noexcept {
+    HopLatencies h;
+    h.cycles.fill(per_hop);
+    return h;
+  }
+};
+
 /// Closed-form packet/migration/remote-access costs over a mesh.
 class CostModel {
  public:
+  /// Uncontended model: every vnet advances at params.per_hop_cycles.
   CostModel(const Mesh& mesh, const CostModelParams& params);
+  /// Contention-corrected model: tables rebuilt from per-vnet hop
+  /// latencies.  HopLatencies::uniform(params.per_hop_cycles) reproduces
+  /// the uncontended tables bit-identically.
+  CostModel(const Mesh& mesh, const CostModelParams& params,
+            const HopLatencies& hop);
 
   const CostModelParams& params() const noexcept { return params_; }
+  const HopLatencies& hop_latencies() const noexcept { return hop_; }
   const Mesh& mesh() const noexcept { return mesh_; }
 
   /// Number of flits for `payload_bits` of payload (header included);
@@ -59,10 +87,16 @@ class CostModel {
   Cost packet_latency(std::int32_t hops,
                       std::uint64_t payload_bits) const noexcept;
 
-  /// cost_migration(src, dst): one-way context transfer (paper Section 3).
-  /// Migrating to the current core is free.  A table load on the hot path:
-  /// for meshes up to kPairTableMaxCores a dense per-pair table answers in
-  /// one load; larger meshes fall back to per-hop-count tables.
+  /// Same, on virtual network `vn`'s (possibly contention-corrected) hop
+  /// latency.  Equals packet_latency() under a uniform model.
+  Cost packet_latency_on(int vn, std::int32_t hops,
+                         std::uint64_t payload_bits) const noexcept;
+
+  /// cost_migration(src, dst): one-way context transfer (paper Section 3)
+  /// on the guest-migration vnet.  Migrating to the current core is free.
+  /// A table load on the hot path: for meshes up to kPairTableMaxCores a
+  /// dense per-pair table answers in one load; larger meshes fall back to
+  /// per-hop-count tables.
   Cost migration(CoreId src, CoreId dst) const noexcept {
     if (!migration_by_pair_.empty()) {
       return migration_by_pair_[pair_index(src, dst)];
@@ -74,14 +108,41 @@ class CostModel {
         mesh_.hops(src, dst))];
   }
 
+  /// Context transfer to the thread's reserved native context (evictions
+  /// and returns home) on the native-migration vnet.  Identical to
+  /// migration() under a uniform model; diverges only when contention
+  /// loads the two migration vnets differently.
+  Cost migration_native(CoreId src, CoreId dst) const noexcept {
+    if (!migration_native_by_pair_.empty()) {
+      return migration_native_by_pair_[pair_index(src, dst)];
+    }
+    if (src == dst) {
+      return 0;
+    }
+    return migration_native_by_hops_[static_cast<std::size_t>(
+        mesh_.hops(src, dst))];
+  }
+
+  /// Migration cost on the vnet the protocol engine would actually use:
+  /// moves into the thread's reserved `native` context travel the native
+  /// vnet, all others the guest vnet.  Identical under a uniform model;
+  /// keeps the analytic DP/policy evaluators charging the same table as
+  /// the engine when contention splits the two migration vnets (the
+  /// optimal-lower-bounds-every-policy invariant depends on it).
+  Cost migration_to(CoreId src, CoreId dst, CoreId native) const noexcept {
+    return dst == native ? migration_native(src, dst)
+                         : migration(src, dst);
+  }
+
   /// Migration carrying an explicit context size (stack-EM2 uses this with
-  /// pc + depth * word bits).
+  /// pc + depth * word bits); guest-migration vnet.
   Cost migration_bits(CoreId src, CoreId dst,
                       std::uint64_t bits) const noexcept;
 
   /// cost_remote_access(requester, home): request + reply round trip.
   /// Reads send an address and return a word; writes send address + word
-  /// and return an ack.  Remote access to the local core is free.
+  /// and return an ack.  Requests travel on vnet::kRemoteRequest, replies
+  /// on vnet::kRemoteReply.  Remote access to the local core is free.
   /// Precomputed like migration(): per-pair when small, per-hop otherwise.
   Cost remote_access(CoreId requester, CoreId home,
                      MemOp op) const noexcept {
@@ -99,12 +160,13 @@ class CostModel {
                               : remote_write_by_hops_[h];
   }
 
-  /// Round-trip cost of a directory-protocol control message pair used by
-  /// the CC baseline (address-sized request, word or line reply).
-  Cost message(CoreId src, CoreId dst,
-               std::uint64_t payload_bits) const noexcept;
+  /// One-way cost of a directory-protocol message used by the CC baseline
+  /// (`vn` classifies it onto the memory request or reply vnet; the
+  /// uncontended model is vnet-independent).
+  Cost message(CoreId src, CoreId dst, std::uint64_t payload_bits,
+               int vn = vnet::kMemRequest) const noexcept;
 
-  /// Largest mesh for which the dense per-pair tables are built (3 tables
+  /// Largest mesh for which the dense per-pair tables are built (4 tables
   /// of cores^2 Cost entries: 256 cores -> 0.5 MB each, L2-resident).
   static constexpr std::int32_t kPairTableMaxCores = 256;
 
@@ -117,17 +179,21 @@ class CostModel {
 
   Mesh mesh_;
   CostModelParams params_;
+  HopLatencies hop_;
   /// Hot-path latency tables indexed by hop count in [0, mesh diameter]:
-  /// migration (context_bits one-way), remote read (addr out, word back),
+  /// migration (context_bits one-way, guest vnet), native migration
+  /// (context_bits, native vnet), remote read (addr out, word back),
   /// remote write (addr+word out, ack back).  Index 0 entries are the
   /// serialization-only latencies; the src == dst free cases short-circuit
   /// before the table.
   std::vector<Cost> migration_by_hops_;
+  std::vector<Cost> migration_native_by_hops_;
   std::vector<Cost> remote_read_by_hops_;
   std::vector<Cost> remote_write_by_hops_;
   /// Dense per-pair tables (row-major [src][dst], diagonal = 0), built
   /// only when num_cores <= kPairTableMaxCores; empty otherwise.
   std::vector<Cost> migration_by_pair_;
+  std::vector<Cost> migration_native_by_pair_;
   std::vector<Cost> remote_read_by_pair_;
   std::vector<Cost> remote_write_by_pair_;
 };

@@ -1,5 +1,6 @@
 #include "noc/network.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "util/assert.hpp"
@@ -37,6 +38,8 @@ Network::Network(const Mesh& mesh, const NetworkParams& params)
       static_cast<std::size_t>(kNumDirections * params_.num_vnets);
   fifos_.resize(nodes * per_node);
   out_lock_.assign(nodes * per_node, kNoLock);
+  link_flits_.assign(nodes * per_node, 0);
+  popped_.assign(nodes * per_node, 0);
   rr_state_.assign(nodes * static_cast<std::size_t>(kNumDirections), 0);
   latency_.resize(static_cast<std::size_t>(params_.num_vnets));
 }
@@ -84,8 +87,11 @@ void Network::step() {
   bool any_movement = false;
   const std::int32_t vnets = params_.num_vnets;
   // Tracks FIFOs that already surrendered a flit this cycle: an input port
-  // feeds the switch at most one flit per cycle.
-  std::vector<bool> popped(fifos_.size(), false);
+  // feeds the switch at most one flit per cycle.  Member buffer reused
+  // across cycles — calibration replays step millions of cycles and a
+  // per-step allocation dominated the whole replay.
+  std::fill(popped_.begin(), popped_.end(), 0);
+  std::uint8_t* popped = popped_.data();
 
   for (CoreId node = 0; node < mesh_.num_cores(); ++node) {
     for (int out = 0; out < kNumDirections; ++out) {
@@ -139,7 +145,7 @@ void Network::step() {
         // Grant.
         Flit moving = flit;
         fifos_[fi].q.pop_front();
-        popped[fi] = true;
+        popped[fi] = 1;
         any_movement = true;
         if (moving.head && !moving.tail) {
           out_lock_[lock_index] = moving.packet_index;
@@ -161,6 +167,7 @@ void Network::step() {
           moving.arrived = now_;
           fifos_[di].q.push_back(moving);
           ++flit_hops_;
+          ++link_flits_[lock_index];
         }
         rr_state_[rr_index] = cand + 1;
         break;  // one flit per output port per cycle
@@ -181,6 +188,68 @@ bool Network::run_until_drained(Cycle max_cycles) {
     step();
   }
   return idle();
+}
+
+FabricUtilization Network::utilization() const {
+  const auto vnets = static_cast<std::size_t>(params_.num_vnets);
+  FabricUtilization u;
+  u.cycles = now_;
+  u.mean_by_vnet.assign(vnets, 0.0);
+  u.weighted_by_vnet.assign(vnets, 0.0);
+  u.seen_by_vnet.assign(vnets, 0.0);
+  u.peak_by_vnet.assign(vnets, 0.0);
+  u.flits_by_vnet.assign(vnets, 0);
+  // Sums over directed inter-router links; the flit-weighted means are
+  // sum(flits_l * rho_l) / sum(flits_l) — the occupancy (own vnet's, or
+  // the link total across vnets for `seen`) the average flit of the vnet
+  // experienced.
+  std::vector<double> weighted_num(vnets, 0.0);
+  std::vector<double> seen_num(vnets, 0.0);
+  for (CoreId node = 0; node < mesh_.num_cores(); ++node) {
+    for (int out = 1; out < kNumDirections; ++out) {  // skip kLocal
+      if (mesh_.neighbor(node, static_cast<Direction>(out)) == kNoCore) {
+        continue;
+      }
+      ++u.num_links;
+      std::uint64_t link_total = 0;
+      for (std::size_t vn = 0; vn < vnets; ++vn) {
+        link_total += link_flits_[fifo_index(node, out, static_cast<int>(vn))];
+      }
+      for (std::size_t vn = 0; vn < vnets; ++vn) {
+        const std::uint64_t flits =
+            link_flits_[fifo_index(node, out, static_cast<int>(vn))];
+        u.flits_by_vnet[vn] += flits;
+        if (now_ == 0 || flits == 0) {
+          continue;
+        }
+        const double rho =
+            static_cast<double>(flits) / static_cast<double>(now_);
+        const double rho_total =
+            static_cast<double>(link_total) / static_cast<double>(now_);
+        weighted_num[vn] += static_cast<double>(flits) * rho;
+        seen_num[vn] += static_cast<double>(flits) * rho_total;
+        if (rho > u.peak_by_vnet[vn]) {
+          u.peak_by_vnet[vn] = rho;
+        }
+        if (rho > u.peak) {
+          u.peak = rho;
+        }
+      }
+    }
+  }
+  for (std::size_t vn = 0; vn < vnets; ++vn) {
+    if (now_ > 0 && u.num_links > 0) {
+      u.mean_by_vnet[vn] = static_cast<double>(u.flits_by_vnet[vn]) /
+                           (static_cast<double>(u.num_links) *
+                            static_cast<double>(now_));
+    }
+    if (u.flits_by_vnet[vn] > 0) {
+      const double den = static_cast<double>(u.flits_by_vnet[vn]);
+      u.weighted_by_vnet[vn] = weighted_num[vn] / den;
+      u.seen_by_vnet[vn] = seen_num[vn] / den;
+    }
+  }
+  return u;
 }
 
 std::vector<Delivery> Network::drain_delivered() {

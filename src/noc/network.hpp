@@ -24,22 +24,11 @@
 #include <vector>
 
 #include "geom/mesh.hpp"
+#include "noc/vnet.hpp"
 #include "util/stats.hpp"
 #include "util/types.hpp"
 
 namespace em2 {
-
-/// Virtual-network identifiers used by the EM2 protocol family.  The NoC
-/// itself treats vnets opaquely; these constants document the convention.
-namespace vnet {
-inline constexpr int kMigrationGuest = 0;   ///< thread migrations to guest contexts
-inline constexpr int kMigrationNative = 1;  ///< evictions: migrations to native contexts
-inline constexpr int kRemoteRequest = 2;    ///< EM2-RA remote-access requests
-inline constexpr int kRemoteReply = 3;      ///< EM2-RA remote-access replies
-inline constexpr int kMemRequest = 4;       ///< cache-miss requests to memory controllers
-inline constexpr int kMemReply = 5;         ///< memory controller replies
-inline constexpr int kNumVnets = 6;
-}  // namespace vnet
 
 /// Configuration of the cycle-level mesh.
 struct NetworkParams {
@@ -65,6 +54,31 @@ struct Delivery {
   Packet packet;
   Cycle injected = 0;
   Cycle delivered = 0;
+};
+
+/// Per-vnet link-utilization summary of a cycle-level run, measured from
+/// the per-(link, vnet) flit counters the fabric keeps.  Utilization of a
+/// directed inter-router link is flits traversed / cycles elapsed (each
+/// link moves at most one flit per cycle, so this is channel occupancy in
+/// [0, 1]).  Four per-vnet aggregations:
+///   mean      — vnet's own occupancy across all directed links
+///   weighted  — flit-weighted mean of the vnet's own occupancy
+///   seen      — flit-weighted mean of the TOTAL occupancy (all vnets) on
+///               the links the vnet's flits traversed: vnets share
+///               physical link bandwidth, so this is the congestion a
+///               typical flit of the vnet queues behind — it feeds the
+///               M/D/1 correction (noc/contention.hpp)
+///   peak      — the vnet's busiest single link (hotspot indicator)
+struct FabricUtilization {
+  Cycle cycles = 0;           ///< measurement window (cycles stepped)
+  std::int32_t num_links = 0; ///< directed inter-router links in the mesh
+  std::vector<double> mean_by_vnet;
+  std::vector<double> weighted_by_vnet;
+  std::vector<double> seen_by_vnet;
+  std::vector<double> peak_by_vnet;
+  /// Link traversals (flit-hops) per vnet over the window.
+  std::vector<std::uint64_t> flits_by_vnet;
+  double peak = 0.0;  ///< max over all (link, vnet) pairs
 };
 
 /// Cycle-level mesh network.  Usage: inject() any number of packets, call
@@ -95,6 +109,18 @@ class Network {
   /// paper's power argument counts context bits crossing the network).
   std::uint64_t flit_hops() const noexcept { return flit_hops_; }
   std::uint64_t packets_delivered() const noexcept { return delivered_count_; }
+
+  /// Flits that traversed the directed link (node -> neighbor in `out`)
+  /// on `vn` since construction.  Ejection (kLocal) is not a link.
+  std::uint64_t link_flits(CoreId node, Direction out, int vn) const {
+    return link_flits_[fifo_index(node, static_cast<int>(out), vn)];
+  }
+
+  /// Aggregates the per-(link, vnet) flit counters over the cycles stepped
+  /// so far; the calibration layer feeds the result into the M/D/1
+  /// correction (noc/contention.hpp).  Zero cycles yields all-zero
+  /// utilizations.
+  FabricUtilization utilization() const;
 
   /// End-to-end packet latency statistics per vnet.
   const RunningStat& latency_stat(std::int32_t vn) const {
@@ -145,6 +171,12 @@ class Network {
   std::vector<PacketState> packets_;
   std::vector<Delivery> delivered_;
   std::vector<RunningStat> latency_;
+  /// Flit traversals per (node, out-port, vnet); same layout as fifos_.
+  /// Only non-local ports accumulate (ejection is not a shared resource).
+  std::vector<std::uint64_t> link_flits_;
+  /// Per-step scratch (same layout as fifos_): FIFOs that already moved a
+  /// flit this cycle.  Member to avoid a per-cycle allocation.
+  std::vector<std::uint8_t> popped_;
   Cycle now_ = 0;
   std::uint64_t in_flight_ = 0;
   std::uint64_t flit_hops_ = 0;

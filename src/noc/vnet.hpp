@@ -1,0 +1,23 @@
+// Virtual-network identifiers used by the EM2 protocol family.
+//
+// Split out of network.hpp so the analytic cost model (per-vnet hop
+// latencies under contention correction) and the cycle-level fabric share
+// ONE vnet vocabulary without the analytic layer depending on the
+// cycle-level router.  The NoC itself treats vnets opaquely; these
+// constants document the convention (paper Section 3: six virtual
+// networks so protocol-level request-reply cycles cannot deadlock the
+// fabric, and evictions can always drain to their reserved native
+// contexts).
+#pragma once
+
+namespace em2 {
+namespace vnet {
+inline constexpr int kMigrationGuest = 0;   ///< thread migrations to guest contexts
+inline constexpr int kMigrationNative = 1;  ///< evictions: migrations to native contexts
+inline constexpr int kRemoteRequest = 2;    ///< EM2-RA remote-access requests
+inline constexpr int kRemoteReply = 3;      ///< EM2-RA remote-access replies
+inline constexpr int kMemRequest = 4;       ///< cache-miss/directory requests to home/memory
+inline constexpr int kMemReply = 5;         ///< data and acknowledgement replies
+inline constexpr int kNumVnets = 6;
+}  // namespace vnet
+}  // namespace em2

@@ -24,7 +24,7 @@ void finalize_from_locations(const ModelTrace& trace, const CostModel& cost,
       sol.actions[k] = AccessAction::kLocal;
     } else if (next == home && next != at) {
       sol.actions[k] = AccessAction::kMigrate;
-      recomputed += cost.migration(at, home);
+      recomputed += cost.migration_to(at, home, trace.start);
       ++sol.migrations;
     } else {
       EM2_ASSERT(next == at && at != home,
@@ -83,7 +83,7 @@ MigrateRaSolution solve_optimal_migrate_ra(const ModelTrace& trace,
         continue;
       }
       const Cost via =
-          dp[c] + cost.migration(static_cast<CoreId>(c), d);
+          dp[c] + cost.migration_to(static_cast<CoreId>(c), d, trace.start);
       if (via < best_hit) {
         best_hit = via;
         best_from = static_cast<CoreId>(c);
@@ -156,8 +156,9 @@ MigrateRaSolution solve_optimal_relaxed(const ModelTrace& trace,
         }
         const Cost move =
             ci == cj ? 0
-                     : cost.migration(static_cast<CoreId>(ci),
-                                      static_cast<CoreId>(cj));
+                     : cost.migration_to(static_cast<CoreId>(ci),
+                                         static_cast<CoreId>(cj),
+                                         trace.start);
         const Cost total = dp[ci] + move + serve;
         if (total < next[cj]) {
           next[cj] = total;
@@ -244,7 +245,7 @@ MigrateRaSolution brute_force_migrate_ra(const ModelTrace& trace,
     self(self, k + 1, at, so_far + cost.remote_access(at, d, trace.ops[k]));
     // Option 2: migrate to the home.
     locations[k] = d;
-    self(self, k + 1, d, so_far + cost.migration(at, d));
+    self(self, k + 1, d, so_far + cost.migration_to(at, d, trace.start));
   };
   rec(rec, 0, trace.start, 0);
 

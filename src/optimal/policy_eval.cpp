@@ -26,7 +26,7 @@ MigrateRaSolution evaluate_policy_model(const ModelTrace& trace,
       q.native = trace.start;
       q.op = op;
       if (policy.decide(q) == RaDecision::kMigrate) {
-        sol.total_cost += cost.migration(at, home);
+        sol.total_cost += cost.migration_to(at, home, trace.start);
         at = home;
         sol.actions[k] = AccessAction::kMigrate;
         ++sol.migrations;

@@ -1,5 +1,7 @@
 #include "sim/modes.hpp"
 
+#include "util/error.hpp"
+
 namespace em2 {
 
 const char* to_string(MemArch arch) noexcept {
@@ -32,6 +34,18 @@ const char* to_string(RunMode mode) noexcept {
       return "exec";
     case RunMode::kOptimal:
       return "optimal";
+  }
+  return "?";
+}
+
+const char* to_string(ContentionMode mode) noexcept {
+  switch (mode) {
+    case ContentionMode::kNone:
+      return "none";
+    case ContentionMode::kMeasured:
+      return "measured";
+    case ContentionMode::kEstimated:
+      return "estimated";
   }
   return "?";
 }
@@ -73,6 +87,28 @@ std::optional<RunMode> parse_run_mode(std::string_view name) noexcept {
   return std::nullopt;
 }
 
+std::optional<ContentionMode> parse_contention_mode(
+    std::string_view name) noexcept {
+  if (name == "none" || name == "uncontended") {
+    return ContentionMode::kNone;
+  }
+  if (name == "measured") {
+    return ContentionMode::kMeasured;
+  }
+  if (name == "estimated") {
+    return ContentionMode::kEstimated;
+  }
+  return std::nullopt;
+}
+
+ContentionMode contention_mode_from_name(std::string_view name) {
+  const auto mode = parse_contention_mode(name);
+  if (!mode) {
+    fail_unknown("contention mode", name, contention_mode_names());
+  }
+  return *mode;
+}
+
 std::vector<std::string_view> mem_arch_names() {
   return {"em2", "em2-ra", "cc"};
 }
@@ -83,6 +119,10 @@ std::vector<std::string_view> scheduler_kind_names() {
 
 std::vector<std::string_view> run_mode_names() {
   return {"trace", "exec", "optimal"};
+}
+
+std::vector<std::string_view> contention_mode_names() {
+  return {"none", "measured", "estimated"};
 }
 
 }  // namespace em2

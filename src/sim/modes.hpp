@@ -37,12 +37,25 @@ enum class RunMode : std::uint8_t {
   kOptimal = 2,
 };
 
+/// How the analytic cost tables account for NoC contention (see
+/// noc/contention.hpp): kNone is the paper's uncontended mesh; kMeasured
+/// runs a short cycle-level calibration replay first and corrects the
+/// tables from measured per-vnet link utilization; kEstimated derives the
+/// offered load analytically (no cycle-level run).
+enum class ContentionMode : std::uint8_t {
+  kNone = 0,
+  kMeasured = 1,
+  kEstimated = 2,
+};
+
 /// Canonical names: "em2" | "em2-ra" | "cc".
 const char* to_string(MemArch arch) noexcept;
 /// Canonical names: "event" | "scan".
 const char* to_string(SchedulerKind kind) noexcept;
 /// Canonical names: "trace" | "exec" | "optimal".
 const char* to_string(RunMode mode) noexcept;
+/// Canonical names: "none" | "measured" | "estimated".
+const char* to_string(ContentionMode mode) noexcept;
 
 /// Parses a canonical name or accepted alias ("em2ra", "cc-msi", "msi");
 /// nullopt for anything else.
@@ -52,10 +65,18 @@ std::optional<SchedulerKind> parse_scheduler_kind(
     std::string_view name) noexcept;
 /// Parses "trace" | "exec" | "execution" | "optimal".
 std::optional<RunMode> parse_run_mode(std::string_view name) noexcept;
+/// Parses "none" | "uncontended" | "measured" | "estimated".
+std::optional<ContentionMode> parse_contention_mode(
+    std::string_view name) noexcept;
+
+/// Parses a contention-mode name or throws UnknownNameError — the
+/// fail-fast entry benches and tools use for --contention= flags.
+ContentionMode contention_mode_from_name(std::string_view name);
 
 /// Canonical name lists, for CLI help and fail-fast error messages.
 std::vector<std::string_view> mem_arch_names();
 std::vector<std::string_view> scheduler_kind_names();
 std::vector<std::string_view> run_mode_names();
+std::vector<std::string_view> contention_mode_names();
 
 }  // namespace em2

@@ -63,7 +63,7 @@ TEST(ApiSystem, RunCoversAllArchesInBothModes) {
   }
 }
 
-TEST(ApiSystem, OptimalModeMatchesLegacyShimAndLowerBoundsPolicies) {
+TEST(ApiSystem, OptimalModeSectionIsCoherentAndLowerBoundsPolicies) {
   System sys(small_config());
   workload::SharingMixParams p;
   p.threads = 16;
@@ -73,10 +73,8 @@ TEST(ApiSystem, OptimalModeMatchesLegacyShimAndLowerBoundsPolicies) {
   ASSERT_TRUE(opt.optimal.has_value());
   EXPECT_EQ(opt.arch_label, "optimal-dp");
   EXPECT_EQ(opt.network_cost, opt.optimal->cost);
-  const OptimalSummary shim = sys.run_optimal(traces);
-  EXPECT_EQ(shim.optimal_cost, opt.optimal->cost);
-  EXPECT_EQ(shim.optimal_migrations, opt.optimal->migrations);
-  EXPECT_EQ(shim.optimal_remote, opt.optimal->remote_accesses);
+  EXPECT_EQ(opt.migrations, opt.optimal->migrations);
+  EXPECT_EQ(opt.remote_accesses, opt.optimal->remote_accesses);
   // The model ignores evictions, so compare against eviction-free policy
   // costs: use a config with many guest contexts.
   SystemConfig cfg = small_config();
@@ -120,25 +118,29 @@ TEST(ApiSystem, CcRunReportsMessages) {
   EXPECT_EQ(r.migrations, 0u);  // threads never move under CC
 }
 
-TEST(ApiSystem, ShimsMatchRunSpecResults) {
+TEST(ApiSystem, RawTraceRunsMatchWorkloadRuns) {
+  // The TraceSet overload (the path the removed legacy shims wrapped)
+  // must agree with the Workload overload on identical traces.
   System sys(small_config());
   const auto w = workload::make_workload("ocean", 16);
   const TraceSet& traces = w.traces();
-  const RunSummary em2_shim = sys.run_em2(traces);
+  const RunReport em2_raw = sys.run(traces, {.arch = MemArch::kEm2});
   const RunReport em2_run = sys.run(w, {.arch = MemArch::kEm2});
-  EXPECT_EQ(em2_shim.network_cost, em2_run.network_cost);
-  EXPECT_EQ(em2_shim.migrations, em2_run.migrations);
-  EXPECT_EQ(em2_shim.arch, em2_run.arch_label);
-  const RunSummary ra_shim = sys.run_em2ra(traces, "history");
+  EXPECT_EQ(em2_raw.network_cost, em2_run.network_cost);
+  EXPECT_EQ(em2_raw.migrations, em2_run.migrations);
+  EXPECT_EQ(em2_raw.arch_label, em2_run.arch_label);
+  const RunReport ra_raw =
+      sys.run(traces, {.arch = MemArch::kEm2Ra, .policy = "history"});
   const RunReport ra_run =
       sys.run(w, {.arch = MemArch::kEm2Ra, .policy = "history"});
-  EXPECT_EQ(ra_shim.network_cost, ra_run.network_cost);
-  EXPECT_EQ(ra_shim.remote_accesses, ra_run.remote_accesses);
-  const RunSummary cc_shim = sys.run_cc(traces);
+  EXPECT_EQ(ra_raw.network_cost, ra_run.network_cost);
+  EXPECT_EQ(ra_raw.remote_accesses, ra_run.remote_accesses);
+  const RunReport cc_raw = sys.run(traces, {.arch = MemArch::kCc});
   const RunReport cc_run = sys.run(w, {.arch = MemArch::kCc});
-  EXPECT_EQ(cc_shim.network_cost, cc_run.network_cost);
-  EXPECT_EQ(cc_shim.messages, cc_run.messages);
-  EXPECT_EQ(cc_shim.arch, "cc-msi");  // legacy label, kept for one release
+  EXPECT_EQ(cc_raw.network_cost, cc_run.network_cost);
+  EXPECT_EQ(cc_raw.messages, cc_run.messages);
+  EXPECT_EQ(cc_raw.arch_label, "cc");
+  EXPECT_EQ(parse_mem_arch("cc-msi"), MemArch::kCc);  // legacy alias lives on
 }
 
 TEST(ApiSystem, AnalyzeRunLengthsMatchesEm2Run) {
@@ -266,7 +268,7 @@ TEST(ApiSystemErrors, UnknownPlacementThrows) {
   System sys(cfg);
   const auto w = workload::make_workload("uniform", 16);
   EXPECT_THROW(sys.run(w), UnknownNameError);
-  EXPECT_THROW(sys.run_em2(w.traces()), UnknownNameError);  // shim path too
+  EXPECT_THROW(sys.run(w.traces()), UnknownNameError);  // TraceSet path too
   // Per-spec override fails the same way on a good config.
   System good(small_config());
   EXPECT_THROW(good.run(w, {.placement = "nope"}), UnknownNameError);
@@ -310,11 +312,40 @@ TEST(ApiModes, ToStringParseRoundTrips) {
        {RunMode::kTrace, RunMode::kExec, RunMode::kOptimal}) {
     EXPECT_EQ(parse_run_mode(to_string(m)), m);
   }
+  for (const ContentionMode c :
+       {ContentionMode::kNone, ContentionMode::kMeasured,
+        ContentionMode::kEstimated}) {
+    EXPECT_EQ(parse_contention_mode(to_string(c)), c);
+  }
   EXPECT_EQ(parse_mem_arch("em2ra"), MemArch::kEm2Ra);   // alias
   EXPECT_EQ(parse_mem_arch("cc-msi"), MemArch::kCc);     // alias
+  EXPECT_EQ(parse_contention_mode("uncontended"),
+            ContentionMode::kNone);                      // alias
   EXPECT_EQ(parse_mem_arch("bogus"), std::nullopt);
   EXPECT_EQ(parse_scheduler_kind("bogus"), std::nullopt);
   EXPECT_EQ(parse_run_mode("bogus"), std::nullopt);
+  EXPECT_EQ(parse_contention_mode("bogus"), std::nullopt);
+}
+
+TEST(ApiModes, ContentionModeNamesAndFailFastEntry) {
+  const auto names = contention_mode_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "none");
+  EXPECT_EQ(names[1], "measured");
+  EXPECT_EQ(names[2], "estimated");
+  EXPECT_EQ(contention_mode_from_name("measured"),
+            ContentionMode::kMeasured);
+  // A bad contention-mode name fails fast at entry with the uniform
+  // UnknownNameError message, like every other by-name lookup.
+  EXPECT_THROW(contention_mode_from_name("m/d/1"), UnknownNameError);
+  try {
+    contention_mode_from_name("bogus");
+    FAIL() << "expected UnknownNameError";
+  } catch (const UnknownNameError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown contention mode 'bogus'"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("measured"), std::string::npos);
+  }
 }
 
 }  // namespace

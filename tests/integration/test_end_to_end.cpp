@@ -65,8 +65,8 @@ TEST_P(EveryWorkload, TraceRoundTripPreservesSimulation) {
   const auto loaded = read_trace_binary(ss);
   ASSERT_TRUE(loaded.has_value());
 
-  const RunSummary a = sys.run_em2(original);
-  const RunSummary b = sys.run_em2(*loaded);
+  const RunReport a = sys.run(original, {.arch = MemArch::kEm2});
+  const RunReport b = sys.run(*loaded, {.arch = MemArch::kEm2});
   EXPECT_EQ(a.network_cost, b.network_cost) << GetParam();
   EXPECT_EQ(a.migrations, b.migrations) << GetParam();
   EXPECT_EQ(a.run_lengths.nonnative_accesses,
@@ -79,9 +79,10 @@ TEST_P(EveryWorkload, ArchitecturesAgreeOnAccessCounts) {
   cfg.threads = kThreads;
   System sys(cfg);
   const TraceSet ts = traces();
-  const RunSummary em2_run = sys.run_em2(ts);
-  const RunSummary ra_run = sys.run_em2ra(ts, "distance:4");
-  const RunSummary cc_run = sys.run_cc(ts);
+  const RunReport em2_run = sys.run(ts, {.arch = MemArch::kEm2});
+  const RunReport ra_run =
+      sys.run(ts, {.arch = MemArch::kEm2Ra, .policy = "distance:4"});
+  const RunReport cc_run = sys.run(ts, {.arch = MemArch::kCc});
   EXPECT_EQ(em2_run.accesses, ts.total_accesses());
   EXPECT_EQ(ra_run.accesses, ts.total_accesses());
   EXPECT_EQ(cc_run.accesses, ts.total_accesses());
@@ -138,7 +139,7 @@ TEST(Integration, GuestContextCountNeverChangesAccessTotals) {
     cfg.threads = 16;
     cfg.em2.guest_contexts = guests;
     System sys(cfg);
-    const RunSummary s = sys.run_em2(*ts);
+    const RunReport s = sys.run(*ts, {.arch = MemArch::kEm2});
     EXPECT_EQ(s.accesses, ts->total_accesses()) << guests;
   }
 }
@@ -153,8 +154,8 @@ TEST(Integration, CostModelMonotonicInContextSize) {
   small.cost.context_bits = 512;
   SystemConfig large = small;
   large.cost.context_bits = 2048;
-  const RunSummary s = System(small).run_em2(*ts);
-  const RunSummary l = System(large).run_em2(*ts);
+  const RunReport s = System(small).run(*ts, {.arch = MemArch::kEm2});
+  const RunReport l = System(large).run(*ts, {.arch = MemArch::kEm2});
   EXPECT_LE(s.network_cost, l.network_cost);
 }
 

@@ -1,0 +1,330 @@
+// Property tests for the M/D/1 contention correction (noc/contention.hpp):
+// zero utilization must reproduce the uncontended tables bit-identically,
+// latency must be monotone non-decreasing in utilization, and the
+// correction must saturate gracefully (no inf/NaN) as utilization -> 1
+// and beyond.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "noc/contention.hpp"
+#include "noc/cost_model.hpp"
+
+namespace em2 {
+namespace {
+
+std::array<VnetLoad, vnet::kNumVnets> uniform_load(double rho,
+                                                   double service = 9.0) {
+  std::array<VnetLoad, vnet::kNumVnets> loads{};
+  for (auto& l : loads) {
+    l.utilization = rho;
+    l.mean_service = service;
+    l.mean_service_sq = service * service;
+  }
+  return loads;
+}
+
+TEST(Md1WaitFactor, ZeroAndNegativeUtilizationCostNothing) {
+  EXPECT_EQ(md1_wait_factor(0.0), 0.0);
+  EXPECT_EQ(md1_wait_factor(-1.0), 0.0);
+  EXPECT_EQ(md1_wait_factor(std::nan("")), 0.0);
+}
+
+TEST(Md1WaitFactor, MonotoneNonDecreasingInUtilization) {
+  double prev = -1.0;
+  for (double rho = 0.0; rho <= 2.0; rho += 0.01) {
+    const double w = md1_wait_factor(rho);
+    EXPECT_GE(w, prev) << "rho " << rho;
+    prev = w;
+  }
+}
+
+TEST(Md1WaitFactor, SaturatesFiniteAtAndPastFullUtilization) {
+  for (const double rho : {0.95, 0.999, 1.0, 1.5, 100.0,
+                           std::numeric_limits<double>::infinity()}) {
+    const double w = md1_wait_factor(rho);
+    EXPECT_TRUE(std::isfinite(w)) << "rho " << rho;
+    // The clamp bounds the wait at max_util / (2 (1 - max_util)).
+    EXPECT_DOUBLE_EQ(w, 0.95 / (2.0 * 0.05)) << "rho " << rho;
+  }
+  // A tighter clamp bounds tighter.
+  EXPECT_DOUBLE_EQ(md1_wait_factor(1.0, 0.5), 0.5);
+}
+
+TEST(Md1WaitFactor, MatchesClosedFormAtHalfLoad) {
+  // rho = 0.5: W = 0.5 / (2 * 0.5) = 0.5 service times.
+  EXPECT_DOUBLE_EQ(md1_wait_factor(0.5), 0.5);
+}
+
+TEST(ContentionCorrection, ZeroUtilizationReproducesUncontendedBitIdentically) {
+  for (const auto& [w, h] : {std::pair{4, 4}, std::pair{5, 3}}) {
+    const Mesh mesh(w, h);
+    const CostModelParams params{};
+    const CostModel plain(mesh, params);
+    const HopLatencies hop =
+        corrected_hop_latencies(params, uniform_load(0.0));
+    const CostModel corrected(mesh, params, hop);
+    for (CoreId src = 0; src < mesh.num_cores(); ++src) {
+      for (CoreId dst = 0; dst < mesh.num_cores(); ++dst) {
+        ASSERT_EQ(plain.migration(src, dst), corrected.migration(src, dst));
+        ASSERT_EQ(plain.migration_native(src, dst),
+                  corrected.migration_native(src, dst));
+        ASSERT_EQ(plain.remote_access(src, dst, MemOp::kRead),
+                  corrected.remote_access(src, dst, MemOp::kRead));
+        ASSERT_EQ(plain.remote_access(src, dst, MemOp::kWrite),
+                  corrected.remote_access(src, dst, MemOp::kWrite));
+        ASSERT_EQ(plain.message(src, dst, 512),
+                  corrected.message(src, dst, 512, vnet::kMemReply));
+      }
+    }
+  }
+}
+
+TEST(ContentionCorrection, UniformHopLatenciesMatchPlainConstructor) {
+  // The two constructors must agree exactly when the hop latencies are
+  // the uncontended per_hop_cycles (the kNone bit-identity guarantee).
+  const Mesh mesh(4, 4);
+  CostModelParams params{};
+  params.per_hop_cycles = 3;
+  const CostModel plain(mesh, params);
+  const CostModel uniform(mesh, params, HopLatencies::uniform(3.0));
+  for (std::int32_t hops = 0; hops <= mesh.diameter(); ++hops) {
+    for (const std::uint64_t payload : {0ull, 32ull, 1056ull}) {
+      ASSERT_EQ(plain.packet_latency(hops, payload),
+                uniform.packet_latency_on(vnet::kMigrationGuest, hops,
+                                          payload));
+    }
+  }
+}
+
+TEST(ContentionCorrection, LatencyMonotoneNonDecreasingInUtilization) {
+  const Mesh mesh(4, 4);
+  const CostModelParams params{};
+  Cost prev_migration = 0;
+  Cost prev_remote = 0;
+  for (double rho = 0.0; rho <= 1.2001; rho += 0.05) {
+    const HopLatencies hop =
+        corrected_hop_latencies(params, uniform_load(rho));
+    const CostModel model(mesh, params, hop);
+    const Cost mig = model.migration(0, 15);       // corner to corner
+    const Cost ra = model.remote_access(0, 15, MemOp::kRead);
+    EXPECT_GE(mig, prev_migration) << "rho " << rho;
+    EXPECT_GE(ra, prev_remote) << "rho " << rho;
+    prev_migration = mig;
+    prev_remote = ra;
+  }
+}
+
+TEST(ContentionCorrection, SaturationProducesFiniteTables) {
+  const Mesh mesh(4, 4);
+  const CostModelParams params{};
+  for (const double rho : {0.999, 1.0, 50.0}) {
+    const HopLatencies hop =
+        corrected_hop_latencies(params, uniform_load(rho));
+    for (const double c : hop.cycles) {
+      EXPECT_TRUE(std::isfinite(c)) << "rho " << rho;
+      EXPECT_GT(c, 0.0);
+    }
+    const CostModel model(mesh, params, hop);
+    const Cost mig = model.migration(0, 15);
+    EXPECT_LT(mig, kInfiniteCost);
+    EXPECT_GT(mig, CostModel(mesh, params).migration(0, 15));
+  }
+}
+
+TEST(ContentionCorrection, HeavierServiceMixWaitsLonger) {
+  // At equal utilization, queueing behind 9-flit contexts costs more than
+  // queueing behind single-flit requests (P-K effective service).
+  const CostModelParams params{};
+  auto light = uniform_load(0.5, 1.0);
+  auto heavy = uniform_load(0.5, 9.0);
+  const HopLatencies hop_light = corrected_hop_latencies(params, light);
+  const HopLatencies hop_heavy = corrected_hop_latencies(params, heavy);
+  for (std::size_t vn = 0; vn < vnet::kNumVnets; ++vn) {
+    EXPECT_GT(hop_heavy.cycles[vn], hop_light.cycles[vn]);
+  }
+}
+
+// ---- Offered-load analysis ----------------------------------------------
+
+TEST(OfferedLoad, EmptyTrafficHasZeroUtilization) {
+  const Mesh mesh(4, 4);
+  const CostModel cost(mesh, CostModelParams{});
+  const auto loads = analyze_offered_load(mesh, cost, {});
+  for (const VnetLoad& l : loads) {
+    EXPECT_EQ(l.utilization, 0.0);
+  }
+}
+
+TEST(OfferedLoad, MoreTrafficRaisesUtilization) {
+  const Mesh mesh(4, 4);
+  const CostModel cost(mesh, CostModelParams{});
+  std::vector<TrafficEvent> sparse;
+  std::vector<TrafficEvent> dense;
+  for (int i = 0; i < 100; ++i) {
+    const TrafficEvent e{0, 15, vnet::kMigrationGuest, 1056,
+                         static_cast<Cycle>(i * 50)};
+    sparse.push_back(e);
+    TrafficEvent d = e;
+    d.when = static_cast<Cycle>(i * 5);
+    dense.push_back(d);
+  }
+  const auto lo = analyze_offered_load(mesh, cost, sparse);
+  const auto hi = analyze_offered_load(mesh, cost, dense);
+  EXPECT_GT(lo[vnet::kMigrationGuest].utilization, 0.0);
+  EXPECT_GT(hi[vnet::kMigrationGuest].utilization,
+            lo[vnet::kMigrationGuest].utilization);
+  // Same packet mix either way: identical service moments.
+  EXPECT_DOUBLE_EQ(lo[vnet::kMigrationGuest].mean_service,
+                   hi[vnet::kMigrationGuest].mean_service);
+}
+
+TEST(OfferedLoad, VnetsSeeEachOthersTrafficOnSharedLinks) {
+  // Two vnets over the same XY path: each must see (roughly) the combined
+  // occupancy, not just its own.
+  const Mesh mesh(4, 4);
+  const CostModel cost(mesh, CostModelParams{});
+  std::vector<TrafficEvent> solo;
+  std::vector<TrafficEvent> both;
+  for (int i = 0; i < 200; ++i) {
+    const auto when = static_cast<Cycle>(i * 10);
+    solo.push_back({0, 3, vnet::kMigrationGuest, 1056, when});
+    both.push_back({0, 3, vnet::kMigrationGuest, 1056, when});
+    both.push_back({0, 3, vnet::kMigrationNative, 1056, when});
+  }
+  const auto alone = analyze_offered_load(mesh, cost, solo);
+  const auto shared = analyze_offered_load(mesh, cost, both);
+  EXPECT_GT(shared[vnet::kMigrationGuest].utilization,
+            1.5 * alone[vnet::kMigrationGuest].utilization);
+}
+
+TEST(OfferedLoad, ServiceMomentsMatchPacketSizes) {
+  const Mesh mesh(4, 4);
+  CostModelParams params{};
+  const CostModel cost(mesh, params);
+  // One packet size: 1056 payload + 32 header over 128-bit links = 9 flits.
+  const std::vector<TrafficEvent> events = {
+      {0, 5, vnet::kMigrationGuest, 1056, 0}};
+  const auto loads = analyze_offered_load(mesh, cost, events);
+  EXPECT_DOUBLE_EQ(loads[vnet::kMigrationGuest].mean_service, 9.0);
+  EXPECT_DOUBLE_EQ(loads[vnet::kMigrationGuest].mean_service_sq, 81.0);
+  // Untouched vnets stay at the unit defaults-by-convention (zero rho
+  // makes them irrelevant to the correction).
+  EXPECT_EQ(loads[vnet::kMemReply].utilization, 0.0);
+}
+
+// ---- Calibration replay --------------------------------------------------
+
+TEST(CalibrationReplay, SinglePacketMeasurementMatchesPrediction) {
+  const Mesh mesh(4, 4);
+  const CostModel cost(mesh, CostModelParams{});
+  const std::vector<TrafficEvent> events = {
+      {0, 3, vnet::kMigrationGuest, 1056, 0}};
+  const CalibrationReport cal = replay_on_fabric(mesh, cost, events);
+  EXPECT_TRUE(cal.drained);
+  EXPECT_EQ(cal.packets, 1u);
+  // Uncontended fabric == analytic prediction exactly (incl. the +1
+  // ejection cycle the prediction folds in).
+  EXPECT_EQ(cal.measured_total_latency,
+            predict_total_latency(cost, events));
+  EXPECT_GT(cal.utilization.flits_by_vnet[vnet::kMigrationGuest], 0u);
+}
+
+TEST(CalibrationReplay, ContendedMeasurementExceedsUncontendedPrediction) {
+  const Mesh mesh(4, 4);
+  const CostModel cost(mesh, CostModelParams{});
+  // A burst of same-cycle context transfers through shared columns.
+  std::vector<TrafficEvent> events;
+  for (int i = 0; i < 64; ++i) {
+    events.push_back({static_cast<CoreId>(i % 4), 15,
+                      vnet::kMigrationGuest, 1056, 0});
+  }
+  prepare_calibration_events(events, 1000);
+  const CalibrationReport cal = replay_on_fabric(mesh, cost, events);
+  EXPECT_TRUE(cal.drained);
+  EXPECT_GT(cal.measured_total_latency,
+            predict_total_latency(cost, events));
+  EXPECT_GT(cal.utilization.peak, 0.0);
+  EXPECT_GT(cal.utilization.seen_by_vnet[vnet::kMigrationGuest], 0.0);
+}
+
+TEST(CalibrationReplay, WindowBoundsOutstandingPackets) {
+  const Mesh mesh(4, 4);
+  const CostModel cost(mesh, CostModelParams{});
+  std::vector<TrafficEvent> events;
+  for (int i = 0; i < 200; ++i) {
+    events.push_back({0, 15, vnet::kMigrationGuest, 1056, 0});
+  }
+  CalibrationOptions open;
+  CalibrationOptions windowed;
+  windowed.max_outstanding = 4;
+  const CalibrationReport o = replay_on_fabric(mesh, cost, events, open);
+  const CalibrationReport w =
+      replay_on_fabric(mesh, cost, events, windowed);
+  EXPECT_TRUE(o.drained);
+  EXPECT_TRUE(w.drained);
+  EXPECT_EQ(o.packets, w.packets);
+  // Closed-loop self-throttling: far less queueing than the open-loop
+  // dump of 200 simultaneous packets.
+  EXPECT_LT(w.measured_total_latency, o.measured_total_latency);
+}
+
+TEST(CalibrationReplay, MaxCyclesStopsSaturatedReplay) {
+  const Mesh mesh(4, 4);
+  const CostModel cost(mesh, CostModelParams{});
+  std::vector<TrafficEvent> events;
+  for (int i = 0; i < 5000; ++i) {
+    events.push_back({0, 15, vnet::kMigrationGuest, 1056, 0});
+  }
+  CalibrationOptions opts;
+  opts.max_cycles = 100;
+  const CalibrationReport cal = replay_on_fabric(mesh, cost, events, opts);
+  EXPECT_FALSE(cal.drained);
+  EXPECT_LE(cal.cycles, 100u);
+}
+
+TEST(CalibrationReplay, PrepareSortsAndTruncates) {
+  std::vector<TrafficEvent> events = {
+      {0, 1, 0, 32, 30}, {0, 2, 0, 32, 10}, {0, 3, 0, 32, 20},
+      {0, 4, 0, 32, 40}};
+  prepare_calibration_events(events, 2);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].when, 10u);
+  EXPECT_EQ(events[1].when, 20u);
+}
+
+TEST(CalibrationReplay, CappedRecorderKeepsExactlyTheEarliestPackets) {
+  // A capped recorder (bounded memory) followed by prepare must select
+  // the identical packet set, in the identical order, as an unbounded
+  // recording — including record-order tie-breaks at equal virtual times.
+  constexpr std::uint64_t kCap = 16;
+  TrafficRecorder capped(kCap);
+  TrafficRecorder unbounded;
+  // Interleaved per-thread nondecreasing clocks with many ties, enough
+  // packets to force several compactions.
+  for (int round = 0; round < 40; ++round) {
+    for (int t = 0; t < 4; ++t) {
+      const auto when = static_cast<Cycle>((round / (t + 1)) * 7);
+      for (TrafficRecorder* r : {&capped, &unbounded}) {
+        r->on_packet(static_cast<CoreId>(t), static_cast<CoreId>(t + 4),
+                     vnet::kMigrationGuest, 64 * (t + 1));
+        r->stamp(when);
+      }
+    }
+  }
+  auto want = unbounded.events();
+  prepare_calibration_events(want, kCap);
+  auto got = capped.events();
+  prepare_calibration_events(got, kCap);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].when, want[i].when) << i;
+    EXPECT_EQ(got[i].src, want[i].src) << i;
+    EXPECT_EQ(got[i].payload_bits, want[i].payload_bits) << i;
+  }
+  EXPECT_LT(capped.events().capacity(), 4 * kCap);  // memory stayed bounded
+}
+
+}  // namespace
+}  // namespace em2

@@ -109,7 +109,7 @@ TEST(Sweep, ThreadedSimulationSweepMatchesSerialExactly) {
     p.mean_run_length = means[i];
     p.remote_fraction = 0.5;
     const TraceSet traces = workload::make_geometric_runs(p);
-    const RunSummary s = sys.run_em2(traces);
+    const RunReport s = sys.run(traces, {.arch = MemArch::kEm2});
     return std::tuple<std::uint64_t, std::uint64_t, Cost>(
         s.accesses, s.migrations, s.network_cost);
   };
@@ -138,7 +138,7 @@ TEST(Sweep, MergedCounterShardsEqualSequentialTotals) {
     p.mean_run_length = 1.0 + static_cast<double>(i);
     p.remote_fraction = 0.5;
     const TraceSet traces = workload::make_geometric_runs(p);
-    const RunSummary s = sys.run_em2(traces);
+    const RunReport s = sys.run(traces, {.arch = MemArch::kEm2});
     CounterSet c;
     c.inc("accesses", s.accesses);
     c.inc("migrations", s.migrations);
