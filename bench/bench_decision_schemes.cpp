@@ -8,8 +8,14 @@
 // traces; the figure of merit is policy_cost / optimal_cost.  Workloads
 // are independent sweep points and fan out across hardware threads.
 //
-//   --json    one JSON object per workload
-//   --jobs=N  sweep worker threads (default: hardware concurrency)
+// Policies are evaluated through the sealed StandardPolicy (one visit per
+// trace, zero virtual calls per model access) — this bench's summary row
+// is the policy-sweep throughput the perf trajectory tracks.
+//
+//   --json    one JSON object per workload + a summary row with
+//             accesses_per_sec (policy-evaluated model accesses / s)
+//   --jobs=N  sweep worker threads (default: hardware concurrency; CI
+//             pins --jobs=2 so trajectory rows stay comparable)
 #include <chrono>
 #include <cstdio>
 #include <iostream>
@@ -29,6 +35,8 @@ struct WorkloadResult {
   bool present = false;
   em2::Cost optimal = 0;
   std::vector<double> policy_ratios;  // one per standard_policy_specs()
+  /// Model accesses evaluated across all policies (trace length x specs).
+  std::uint64_t evaluated_accesses = 0;
 };
 
 }  // namespace
@@ -80,11 +88,13 @@ int main(int argc, char** argv) {
         for (const auto& spec : specs) {
           em2::Cost policy_cost = 0;
           for (const auto& mt : model_traces) {
-            auto policy =
-                em2::make_policy(spec, sys.mesh(), sys.cost_model());
+            em2::StandardPolicy policy =
+                em2::StandardPolicy::make(spec, sys.mesh(),
+                                          sys.cost_model());
             policy_cost +=
-                em2::evaluate_policy_model(mt, sys.cost_model(), *policy)
+                em2::evaluate_policy_model(mt, sys.cost_model(), policy)
                     .total_cost;
+            res.evaluated_accesses += mt.homes.size();
           }
           res.policy_ratios.push_back(
               res.optimal ? static_cast<double>(policy_cost) /
@@ -111,10 +121,18 @@ int main(int argc, char** argv) {
       }
       w.print();
     }
+    std::uint64_t evaluated = 0;
+    for (const WorkloadResult& res : results) {
+      evaluated += res.evaluated_accesses;
+    }
     em2::JsonWriter summary;
     summary.add("bench", "decision_schemes_summary")
         .add("workloads", static_cast<std::uint64_t>(results.size()))
+        .add("cores", static_cast<std::int64_t>(threads))
         .add("seconds", elapsed)
+        .add("evaluated_accesses", evaluated)
+        .add("accesses_per_sec",
+             elapsed > 0 ? static_cast<double>(evaluated) / elapsed : 0.0)
         .add("sweep_jobs",
              static_cast<std::int64_t>(em2::sweep::resolve_threads(sweep_opts)));
     summary.print();

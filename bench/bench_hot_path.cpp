@@ -20,9 +20,16 @@
 //   --accesses=N        accesses per timed repetition, default 4000000
 //   --seconds=S         keep repeating until S seconds elapsed, default 1
 //   --arch=em2|em2ra    protocol engine to drive, default em2
+//   --policy=SPEC       em2ra decision policy, default distance:4.  The
+//                       sealed schemes run statically dispatched (one
+//                       StandardPolicy::visit hoisted around the timed
+//                       loop); prefix "custom:" to force the retained
+//                       virtual path and measure the dispatch delta.
 //   --json              one-line JSON summary instead of the text report
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <exception>
 #include <vector>
 
 #include "em2/machine.hpp"
@@ -79,6 +86,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("accesses", 4000000));
   const double seconds = args.get_double("seconds", 1.0);
   const std::string arch_name = args.get_string("arch", "em2");
+  const std::string policy_spec = args.get_string("policy", "distance:4");
   const auto parsed_arch = em2::parse_mem_arch(arch_name);
   if (!parsed_arch || *parsed_arch == em2::MemArch::kCc) {
     std::fprintf(stderr, "unknown/unsupported arch '%s' (known here: em2, "
@@ -102,12 +110,11 @@ int main(int argc, char** argv) {
   em2::Rng rng(42);
   const Stream stream = make_stream(accesses, cores, locality, rng);
 
-  auto policy = em2::make_policy("distance:4", mesh, cost);
   std::unique_ptr<em2::Em2Machine> machine;
   em2::HybridMachine* hybrid = nullptr;
   if (*parsed_arch == em2::MemArch::kEm2Ra) {
-    auto h = std::make_unique<em2::HybridMachine>(mesh, cost, params, native,
-                                                  *policy);
+    auto h =
+        std::make_unique<em2::HybridMachine>(mesh, cost, params, native);
     hybrid = h.get();
     machine = std::move(h);
   } else {
@@ -117,28 +124,49 @@ int main(int argc, char** argv) {
   const auto start = std::chrono::steady_clock::now();
   std::uint64_t done = 0;
   double elapsed = 0.0;
-  do {
-    if (hybrid != nullptr) {
-      for (std::size_t i = 0; i < accesses; ++i) {
-        const em2::Addr addr = static_cast<em2::Addr>(i) * 64;
-        hybrid->access_hybrid(stream.thread[i], stream.home[i],
-                              em2::MemOp::kRead, addr, addr >> 6);
+  auto timed = [&](auto&& rep) {
+    do {
+      rep();
+      done += accesses;
+      elapsed = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    } while (elapsed < seconds);
+  };
+  if (hybrid != nullptr) {
+    em2::StandardPolicy policy = [&] {
+      try {
+        return em2::StandardPolicy::make(policy_spec, mesh, cost);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(1);
       }
-    } else {
-      em2::Em2Machine& m = *machine;
+    }();
+    // ONE visit around the whole timed region: the loop below is
+    // instantiated per concrete scheme, so sealed policies pay zero
+    // virtual calls per access ("custom:..." measures the old path).
+    policy.visit([&](auto& p) {
+      timed([&] {
+        for (std::size_t i = 0; i < accesses; ++i) {
+          const em2::Addr addr = static_cast<em2::Addr>(i) * 64;
+          hybrid->access_hybrid(p, stream.thread[i], stream.home[i],
+                                em2::MemOp::kRead, addr, addr >> 6);
+        }
+      });
+    });
+  } else {
+    em2::Em2Machine& m = *machine;
+    timed([&] {
       for (std::size_t i = 0; i < accesses; ++i) {
         m.access(stream.thread[i], stream.home[i], em2::MemOp::kRead,
                  static_cast<em2::Addr>(i) * 64);
       }
-    }
-    done += accesses;
-    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                            start)
-                  .count();
-  } while (elapsed < seconds);
+    });
+  }
 
   const double rate = static_cast<double>(done) / elapsed;
   const std::uint64_t migrations = machine->counters().get("migrations");
+  const std::uint64_t evictions = machine->counters().get("evictions");
   const std::uint64_t local = machine->counters().get("accesses_local");
   const std::uint64_t total = machine->counters().get("accesses");
 
@@ -148,11 +176,15 @@ int main(int argc, char** argv) {
         .add("arch", std::string(arch))
         .add("cores", static_cast<std::int64_t>(cores))
         .add("guest_contexts", static_cast<std::int64_t>(guest_contexts))
-        .add("locality", locality)
-        .add("accesses", done)
+        .add("locality", locality);
+    if (hybrid != nullptr) {
+      w.add("policy", policy_spec);
+    }
+    w.add("accesses", done)
         .add("seconds", elapsed)
         .add("accesses_per_sec", rate)
         .add("migrations", migrations)
+        .add("evictions", evictions)
         .add("local_fraction",
              total ? static_cast<double>(local) / static_cast<double>(total)
                    : 0.0);
@@ -161,6 +193,9 @@ int main(int argc, char** argv) {
     std::printf("=== EM2 hot-path throughput (%s, %d cores, locality %.2f) "
                 "===\n",
                 arch, cores, locality);
+    if (hybrid != nullptr) {
+      std::printf("policy:        %s\n", policy_spec.c_str());
+    }
     std::printf("accesses:      %llu\n",
                 static_cast<unsigned long long>(done));
     std::printf("elapsed:       %.3f s\n", elapsed);

@@ -64,8 +64,9 @@ int main(int argc, char** argv) {
     for (const char* spec : capacities) {
       em2::Cost total = 0;
       for (const auto& mt : mts) {
-        auto policy = em2::make_policy(spec, sys.mesh(), sys.cost_model());
-        total += em2::evaluate_policy_model(mt, sys.cost_model(), *policy)
+        em2::StandardPolicy policy = em2::StandardPolicy::make(
+            spec, sys.mesh(), sys.cost_model());
+        total += em2::evaluate_policy_model(mt, sys.cost_model(), policy)
                      .total_cost;
       }
       const double ratio = optimal ? static_cast<double>(total) /

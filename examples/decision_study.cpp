@@ -77,9 +77,10 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
   for (const auto& spec : em2::standard_policy_specs()) {
-    auto policy = em2::make_policy(spec, sys.mesh(), sys.cost_model());
+    em2::StandardPolicy policy =
+        em2::StandardPolicy::make(spec, sys.mesh(), sys.cost_model());
     const auto sol =
-        em2::evaluate_policy_model(mt, sys.cost_model(), *policy);
+        em2::evaluate_policy_model(mt, sys.cost_model(), policy);
     std::printf("%-14s", (spec + ":").c_str());
     for (std::size_t i = 0; i < n; ++i) {
       std::printf("%2s ", action_name(sol.actions[i]));
@@ -100,9 +101,10 @@ int main(int argc, char** argv) {
       .add_cell(opt.migrations)
       .add_cell(opt.remote_accesses);
   for (const auto& spec : em2::standard_policy_specs()) {
-    auto policy = em2::make_policy(spec, sys.mesh(), sys.cost_model());
+    em2::StandardPolicy policy =
+        em2::StandardPolicy::make(spec, sys.mesh(), sys.cost_model());
     const auto sol =
-        em2::evaluate_policy_model(mt, sys.cost_model(), *policy);
+        em2::evaluate_policy_model(mt, sys.cost_model(), policy);
     t.begin_row()
         .add_cell(spec)
         .add_cell(static_cast<std::uint64_t>(sol.total_cost))

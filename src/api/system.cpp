@@ -58,9 +58,9 @@ void System::validate(const RunSpec& spec) const {
     fail_unknown("placement", scheme, schemes);
   }
   if (spec.arch == MemArch::kEm2Ra) {
-    if (make_policy(spec.policy, mesh_, cost_) == nullptr) {
-      fail_unknown("policy", spec.policy, standard_policy_specs());
-    }
+    // Throws UnknownNameError for unknown specs; also admits the
+    // "custom:<spec>" form that forces the virtual escape hatch.
+    StandardPolicy::validate_spec(spec.policy);
   }
 }
 
@@ -86,36 +86,9 @@ std::shared_ptr<const Placement> System::placement_for(
   std::snprintf(ptr_key, sizeof ptr_key, "%p",
                 static_cast<const void*>(traces.get()));
   const std::string key = scheme + "|" + ptr_key;
-  {
-    const std::lock_guard<std::mutex> lock(placement_mutex_);
-    const auto it = placement_cache_.find(key);
-    if (it != placement_cache_.end()) {
-      if (it->second.trace_pin.lock() == traces) {
-        return it->second.placement;
-      }
-      placement_cache_.erase(it);  // stale: the keyed trace died
-    }
-  }
-  // Build outside the lock (first-touch scans the whole trace); if two
-  // sweep workers race, the first insert wins and both get the same
-  // deterministic placement content.
-  std::shared_ptr<const Placement> built = build_placement(scheme, *traces);
-  const std::lock_guard<std::mutex> lock(placement_mutex_);
-  // Prune entries whose traces died so dropped workloads don't leak
-  // placements across a long-lived System.
-  for (auto it = placement_cache_.begin(); it != placement_cache_.end();) {
-    it = it->second.trace_pin.expired() ? placement_cache_.erase(it)
-                                        : std::next(it);
-  }
-  auto [it, inserted] = placement_cache_.try_emplace(key);
-  if (!inserted && it->second.trace_pin.lock() == traces) {
-    // Another worker inserted this trace first; its (identical) placement
-    // wins, preserving first-insert determinism.
-    return it->second.placement;
-  }
-  it->second = PlacementEntry{std::move(built),
-                              std::weak_ptr<const TraceSet>(traces)};
-  return it->second.placement;
+  return placement_cache_.get_or_build(key, traces, [&] {
+    return build_placement(scheme, *traces);
+  });
 }
 
 std::unique_ptr<Placement> System::make_placement_for(
@@ -168,69 +141,15 @@ RunReport System::run_with_placement(
   if (spec.contention == ContentionMode::kNone) {
     out = dispatch(traces, spec, placement, workload, cost_);
   } else {
-    // Two-pass contention flow.  Pass 1 captures the protocol's packets
-    // against the uncontended tables and turns them into a per-vnet link
-    // utilization — measured on the cycle-level fabric (kMeasured) or
-    // integrated analytically (kEstimated).  The capture always drives
-    // the TRACE engine for spec.arch (for kTrace runs that is literally
-    // pass 2's dispatch with a recorder attached; exec and optimal runs
-    // borrow the trace engine's traffic as the calibration proxy, since
-    // they exercise the same tables over the same access stream).
-    // The measured path only replays the earliest calibration_packets,
-    // so the recorder can bound its memory to that budget; the estimated
-    // path integrates the whole run and records unbounded.
-    TrafficRecorder recorder(spec.contention == ContentionMode::kMeasured
-                                 ? spec.calibration_packets
-                                 : 0);
-    (void)run_trace(traces, spec, placement, cost_, &recorder);
-    std::vector<TrafficEvent> events = std::move(recorder.events());
-    RunReport::NocUtilization section;
-    section.contention = spec.contention;
-    if (spec.contention == ContentionMode::kMeasured) {
-      prepare_calibration_events(events, spec.calibration_packets);
-    }
-    // Offered-load analysis gives the per-vnet service moments always and
-    // the utilization estimate for kEstimated; kMeasured overwrites the
-    // utilization with what the fabric replay actually saw.
-    std::array<VnetLoad, vnet::kNumVnets> loads =
-        analyze_offered_load(mesh_, cost_, events);
-    if (spec.contention == ContentionMode::kMeasured) {
-      CalibrationOptions opts;
-      // Closed-loop window: one outstanding chain per thread plus room
-      // for eviction transients (see CalibrationOptions).
-      opts.max_outstanding = 2 * traces.num_threads();
-      const CalibrationReport cal =
-          replay_on_fabric(mesh_, cost_, events, opts);
-      for (std::size_t vn = 0; vn < loads.size(); ++vn) {
-        loads[vn].utilization = cal.utilization.seen_by_vnet[vn];
-      }
-      section.calibration_packets = cal.packets;
-      section.calibration_cycles = cal.cycles;
-      section.calibration_drained = cal.drained;
-      section.measured_total_latency = cal.measured_total_latency;
-      if (cal.drained) {
-        section.uncontended_total_latency =
-            predict_total_latency(cost_, events);
-      }
-    }
-    for (std::size_t vn = 0; vn < loads.size(); ++vn) {
-      section.utilization[vn] = loads[vn].utilization;
-    }
-    const HopLatencies hop = corrected_hop_latencies(config_.cost, loads);
-    section.corrected_per_hop = hop.cycles;
-    // Pass 2: rebuild the tables and rerun the analytic engines (and the
-    // policies' cost estimates) against the corrected latencies.
-    const CostModel corrected(mesh_, config_.cost, hop);
-    // The differential is only like-for-like over a drained replay
-    // (measured covers delivered packets; the predictions cover all of
-    // them), so the predictions stay zero otherwise.
-    if (spec.contention == ContentionMode::kMeasured &&
-        section.calibration_drained) {
-      section.predicted_total_latency =
-          predict_total_latency(corrected, events);
-    }
+    // Two-pass contention flow: pass 1 (calibrate, memoized per workload)
+    // derives the corrected hop latencies; pass 2 rebuilds the tables and
+    // reruns the analytic engines (and the policies' cost estimates)
+    // against them.
+    const Calibration cal =
+        calibration_for(workload, traces, spec, placement);
+    const CostModel corrected(mesh_, config_.cost, cal.hop);
     out = dispatch(traces, spec, placement, workload, corrected);
-    out.noc = section;
+    out.noc = cal.section;
   }
   out.arch = spec.arch;
   out.mode = spec.mode;
@@ -239,6 +158,104 @@ RunReport System::run_with_placement(
   }
   out.placement = placement.name();
   return out;
+}
+
+System::Calibration System::calibrate(const TraceSet& traces,
+                                      const RunSpec& spec,
+                                      const Placement& placement) const {
+  // Pass 1 captures the protocol's packets against the uncontended tables
+  // and turns them into a per-vnet link utilization — measured on the
+  // cycle-level fabric (kMeasured) or integrated analytically
+  // (kEstimated).  The capture always drives the TRACE engine for
+  // spec.arch (for kTrace runs that is literally pass 2's dispatch with a
+  // recorder attached; exec and optimal runs borrow the trace engine's
+  // traffic as the calibration proxy, since they exercise the same tables
+  // over the same access stream).  The measured path only replays the
+  // earliest calibration_packets, so the recorder can bound its memory to
+  // that budget; the estimated path integrates the whole run and records
+  // unbounded.
+  TrafficRecorder recorder(spec.contention == ContentionMode::kMeasured
+                               ? spec.calibration_packets
+                               : 0);
+  (void)run_trace(traces, spec, placement, cost_, &recorder);
+  std::vector<TrafficEvent> events = std::move(recorder.events());
+  Calibration out;
+  RunReport::NocUtilization& section = out.section;
+  section.contention = spec.contention;
+  if (spec.contention == ContentionMode::kMeasured) {
+    prepare_calibration_events(events, spec.calibration_packets);
+  }
+  // Offered-load analysis gives the per-vnet service moments always and
+  // the utilization estimate for kEstimated; kMeasured overwrites the
+  // utilization with what the fabric replay actually saw.
+  std::array<VnetLoad, vnet::kNumVnets> loads =
+      analyze_offered_load(mesh_, cost_, events);
+  if (spec.contention == ContentionMode::kMeasured) {
+    CalibrationOptions opts;
+    // Closed-loop window: one outstanding chain per thread plus room
+    // for eviction transients (see CalibrationOptions).
+    opts.max_outstanding = 2 * traces.num_threads();
+    const CalibrationReport cal =
+        replay_on_fabric(mesh_, cost_, events, opts);
+    for (std::size_t vn = 0; vn < loads.size(); ++vn) {
+      loads[vn].utilization = cal.utilization.seen_by_vnet[vn];
+    }
+    section.calibration_packets = cal.packets;
+    section.calibration_cycles = cal.cycles;
+    section.calibration_drained = cal.drained;
+    section.measured_total_latency = cal.measured_total_latency;
+    if (cal.drained) {
+      section.uncontended_total_latency =
+          predict_total_latency(cost_, events);
+    }
+  }
+  for (std::size_t vn = 0; vn < loads.size(); ++vn) {
+    section.utilization[vn] = loads[vn].utilization;
+  }
+  out.hop = corrected_hop_latencies(config_.cost, loads);
+  section.corrected_per_hop = out.hop.cycles;
+  // The differential is only like-for-like over a drained replay
+  // (measured covers delivered packets; the predictions cover all of
+  // them), so the predictions stay zero otherwise.
+  if (spec.contention == ContentionMode::kMeasured &&
+      section.calibration_drained) {
+    const CostModel corrected(mesh_, config_.cost, out.hop);
+    section.predicted_total_latency =
+        predict_total_latency(corrected, events);
+  }
+  return out;
+}
+
+System::Calibration System::calibration_for(
+    const workload::Workload* workload, const TraceSet& traces,
+    const RunSpec& spec, const Placement& placement) const {
+  if (workload == nullptr) {
+    // Raw TraceSet: no shared_ptr identity to key on; calibrate directly.
+    return calibrate(traces, spec, placement);
+  }
+  // Everything pass 1 depends on, beyond the trace object: the placement
+  // scheme, the capturing arch (policy for EM2-RA, replication for EM2),
+  // and the contention knobs.  Mode is absent on purpose — exec and
+  // optimal runs share the trace engine's calibration.
+  const std::string& scheme =
+      spec.placement.empty() ? config_.placement : spec.placement;
+  const std::shared_ptr<const TraceSet>& trace_ptr =
+      workload->shared_traces();
+  char ptr_key[32];
+  std::snprintf(ptr_key, sizeof ptr_key, "%p",
+                static_cast<const void*>(trace_ptr.get()));
+  std::string key = std::string(to_string(spec.contention)) + "|" +
+                    std::to_string(spec.calibration_packets) + "|" +
+                    to_string(spec.arch) + "|";
+  if (spec.arch == MemArch::kEm2Ra) {
+    key += spec.policy;
+  } else if (spec.arch == MemArch::kEm2 && spec.replication) {
+    key += "ro-replication";
+  }
+  key += "|" + scheme + "|" + ptr_key;
+  return calibration_cache_.get_or_build(key, trace_ptr, [&] {
+    return calibrate(traces, spec, placement);
+  });
 }
 
 RunReport System::dispatch(const TraceSet& traces, const RunSpec& spec,
@@ -280,10 +297,12 @@ RunReport System::run_trace(const TraceSet& traces, const RunSpec& spec,
       break;
     }
     case MemArch::kEm2Ra: {
-      auto policy = make_policy(spec.policy, mesh_, cost);
-      EM2_ASSERT(policy != nullptr, "validate() admits only known policies");
+      // Sealed dispatch: run_em2ra hoists one visit over the whole trace
+      // loop, so standard policies pay zero virtual calls per access (a
+      // "custom:" spec selects the retained virtual path).
+      StandardPolicy policy = StandardPolicy::make(spec.policy, mesh_, cost);
       const HybridRunReport r = em2::run_em2ra(
-          traces, placement, mesh_, cost, config_.em2, *policy, recorder);
+          traces, placement, mesh_, cost, config_.em2, policy, recorder);
       out.arch_label = "em2-ra(" + r.policy_name + ")";
       fill_from_em2_report(out, r.em2);
       out.remote_accesses = r.remote_accesses;
@@ -333,8 +352,12 @@ RunReport System::run_exec(const TraceSet& traces, const RunSpec& spec,
   const ExecReport r = exec.run(spec.max_cycles);
 
   RunReport out;
+  // Label with the RESOLVED policy name the system actually ran (like
+  // trace mode), so e.g. "history" reads "em2-ra(history:2)" and a
+  // "custom:" prefix — pure dispatch, not behaviour — never leaks into
+  // reports.
   out.arch_label = spec.arch == MemArch::kEm2Ra
-                       ? "em2-ra(" + spec.policy + ")"
+                       ? "em2-ra(" + exec.ra_policy_name() + ")"
                        : to_string(spec.arch);
   out.accesses = r.counters.get("accesses");
   out.migrations = r.counters.get("migrations");

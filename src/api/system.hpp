@@ -250,6 +250,26 @@ class System {
   RunReport run_with_placement(const TraceSet& traces, const RunSpec& spec,
                                const Placement& placement,
                                const workload::Workload* workload) const;
+  /// Pass 1 of the contention flow: captures the protocol's packets and
+  /// derives the corrected per-vnet hop latencies plus the report section
+  /// describing the calibration.  Deterministic in (traces, spec.arch,
+  /// spec.policy, spec.replication, spec.contention,
+  /// spec.calibration_packets, placement) — which is why the result is
+  /// memoizable.
+  struct Calibration {
+    HopLatencies hop;
+    RunReport::NocUtilization section;
+  };
+  Calibration calibrate(const TraceSet& traces, const RunSpec& spec,
+                        const Placement& placement) const;
+  /// Memoizing front end over calibrate() for workload runs (same
+  /// weak_ptr-pinned pattern as the placement cache): corrected
+  /// run_matrix sweeps pay the calibration once per (workload, arch,
+  /// policy, ...) row instead of once per cell.  Raw-TraceSet runs
+  /// bypass the cache (no stable identity to pin).
+  Calibration calibration_for(const workload::Workload* workload,
+                              const TraceSet& traces, const RunSpec& spec,
+                              const Placement& placement) const;
   /// Mode dispatch against an explicit cost model — `cost_` for kNone,
   /// the contention-corrected rebuild otherwise.
   RunReport dispatch(const TraceSet& traces, const RunSpec& spec,
@@ -273,22 +293,73 @@ class System {
   SystemConfig config_;
   Mesh mesh_;
   CostModel cost_;
-  /// Placement cache shared across runs and sweep workers, keyed by
-  /// (scheme, workload trace object).  The entry holds the TraceSet by
-  /// weak_ptr: while any Workload copy keeps the trace alive the entry
-  /// hits, and once the trace dies the entry reads as a miss — so a
-  /// reused address can never resurrect another workload's placement,
-  /// and the cache does not pin traces the caller dropped (dead entries
-  /// are pruned on the next insert).  Internally synchronized: System is
-  /// used as a shared const object from sweep worker threads (see the
-  /// contract on sweep::run), and placement construction is
-  /// deterministic, so caching never changes results.
-  struct PlacementEntry {
-    std::shared_ptr<const Placement> placement;
-    std::weak_ptr<const TraceSet> trace_pin;
+  /// One weak_ptr-pinned, internally-synchronized memo cache.  Entries
+  /// hold the TraceSet by weak_ptr: while any Workload copy keeps the
+  /// trace alive the entry hits, and once the trace dies the entry reads
+  /// as a miss — so a reused address can never resurrect another
+  /// workload's value, and the cache does not pin traces the caller
+  /// dropped (dead entries are pruned on the next insert).  Both caches
+  /// below memoize a value that is a deterministic function of the key,
+  /// which is what makes them the sanctioned exception to the sweep
+  /// contract's no-shared-mutable-state rule: caching changes who
+  /// computes a value first, never what any run reports.
+  /// `get_or_build(key, pin, build)` runs `build()` OUTSIDE the lock on a
+  /// miss (builds scan whole traces / run calibration replays); if two
+  /// sweep workers race, the first insert wins and both observe the same
+  /// deterministic value.
+  template <typename Value>
+  class TracePinnedCache {
+   public:
+    template <typename Build>
+    Value get_or_build(const std::string& key,
+                       const std::shared_ptr<const TraceSet>& pin,
+                       Build&& build) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(key);
+        if (it != entries_.end()) {
+          if (it->second.pin.lock() == pin) {
+            return it->second.value;
+          }
+          entries_.erase(it);  // stale: the keyed trace died
+        }
+      }
+      Value built = build();
+      const std::lock_guard<std::mutex> lock(mutex_);
+      // Prune entries whose traces died so dropped workloads don't leak
+      // cached values across a long-lived System.
+      for (auto it = entries_.begin(); it != entries_.end();) {
+        it = it->second.pin.expired() ? entries_.erase(it)
+                                      : std::next(it);
+      }
+      auto [it, inserted] = entries_.try_emplace(key);
+      if (!inserted && it->second.pin.lock() == pin) {
+        // Another worker inserted this trace first; its (identical)
+        // value wins, preserving first-insert determinism.
+        return it->second.value;
+      }
+      it->second =
+          Entry{std::move(built), std::weak_ptr<const TraceSet>(pin)};
+      return it->second.value;
+    }
+
+   private:
+    struct Entry {
+      Value value;
+      std::weak_ptr<const TraceSet> pin;
+    };
+    std::mutex mutex_;
+    std::unordered_map<std::string, Entry> entries_;
   };
-  mutable std::mutex placement_mutex_;
-  mutable std::unordered_map<std::string, PlacementEntry> placement_cache_;
+
+  /// Placements keyed by (scheme, trace object); shared across runs and
+  /// sweep workers.
+  mutable TracePinnedCache<std::shared_ptr<const Placement>>
+      placement_cache_;
+  /// Contention calibrations keyed by (contention mode, calibration
+  /// budget, arch, policy/replication, placement scheme, trace object) —
+  /// corrected run_matrix sweeps pay the capture + replay once per row.
+  mutable TracePinnedCache<Calibration> calibration_cache_;
 };
 
 }  // namespace em2

@@ -41,10 +41,45 @@ Em2Machine::Em2Machine(const Mesh& mesh, const CostModel& cost,
   }
 }
 
-std::uint32_t Em2Machine::serve_memory(CoreId core, Addr addr, MemOp op) {
-  if (!params_.model_caches) {
-    return 0;
+std::pair<std::size_t, Cost> Em2Machine::evict_for_arrival(
+    CoreId dest, ThreadId* slots, std::uint64_t* stamps) {
+  // The victim goes to its reserved native context on the native virtual
+  // network, so the eviction can always sink.
+  std::size_t pos;
+  if (params_.eviction == EvictionPolicy::kRandom) {
+    pos = static_cast<std::size_t>(rng_.next_below(guest_capacity_));
+  } else {
+    // FIFO: the smallest arrival stamp marks the oldest guest.
+    pos = 0;
+    for (std::size_t i = 1; i < guest_capacity_; ++i) {
+      if (stamps[i] < stamps[pos]) {
+        pos = i;
+      }
+    }
   }
+  const ThreadId victim = slots[pos];
+  const CoreId victim_home = native_[static_cast<std::size_t>(victim)];
+  EM2_ASSERT(victim_home != dest,
+             "a thread at its native core can never be a guest");
+  location_[static_cast<std::size_t>(victim)] = victim_home;
+  const Cost evict_cost = cost_.migration_native(dest, victim_home);
+  vnet_bits_[vnet::kMigrationNative] += cost_.params().context_bits;
+  if (traffic_sink_ != nullptr) {
+    traffic_sink_->on_packet(dest, victim_home, vnet::kMigrationNative,
+                             cost_.params().context_bits);
+  }
+  total_eviction_cost_ += evict_cost;
+  per_thread_cost_[static_cast<std::size_t>(victim)] += evict_cost;
+  counters_.inc(Counter::kEvictions);
+  last_evicted_ = victim;
+  if (move_observer_ != nullptr) {
+    move_observer_->on_thread_moved(victim, dest, victim_home);
+  }
+  return {pos, evict_cost};
+}
+
+std::uint32_t Em2Machine::serve_memory_cached(CoreId core, Addr addr,
+                                              MemOp op) {
   const HierarchyResult r =
       caches_[static_cast<std::size_t>(core)]->access(addr, op);
   switch (r.level) {

@@ -27,6 +27,7 @@
 #include <bit>
 #include <cstdint>
 #include <memory>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -117,12 +118,17 @@ class Em2Machine {
              std::vector<CoreId> native_core);
 
   /// Executes one memory access for thread `t` whose address is homed at
-  /// `home`.  `addr` is used only for cache modelling.
-  AccessOutcome access(ThreadId t, CoreId home, MemOp op, Addr addr);
+  /// `home`.  `addr` is used only for cache modelling.  Force-inlined:
+  /// measured to fall out of GCC's -O2 inlining budget inside the EM2-RA
+  /// policy specializations, costing a call per access.
+  EM2_ALWAYS_INLINE AccessOutcome access(ThreadId t, CoreId home, MemOp op,
+                                         Addr addr);
 
   CoreId location(ThreadId t) const noexcept {
     return location_[static_cast<std::size_t>(t)];
   }
+  std::size_t num_threads() const noexcept { return native_.size(); }
+  const Mesh& mesh() const noexcept { return mesh_; }
   CoreId native(ThreadId t) const noexcept {
     return native_[static_cast<std::size_t>(t)];
   }
@@ -175,15 +181,23 @@ class Em2Machine {
   /// Moves thread `t` to `dest`, handling native-vs-guest context
   /// occupancy and any eviction chain.  Returns (thread cost, eviction
   /// cost).  Exposed to the EM2-RA subclassing machinery.
-  std::pair<Cost, Cost> migrate_thread(ThreadId t, CoreId dest);
+  EM2_ALWAYS_INLINE std::pair<Cost, Cost> migrate_thread(ThreadId t,
+                                                         CoreId dest);
 
   /// Thread displaced by the most recent migrate_thread (kNoThread if
   /// none); cleared at the start of each migration.
   ThreadId last_evicted() const noexcept { return last_evicted_; }
 
   /// Serves the memory access at `core` through its cache hierarchy (if
-  /// modelled); returns the latency.
-  std::uint32_t serve_memory(CoreId core, Addr addr, MemOp op);
+  /// modelled); returns the latency.  Inline guard so the common
+  /// cache-less configuration pays a single predictable branch instead of
+  /// an out-of-line call per access.
+  std::uint32_t serve_memory(CoreId core, Addr addr, MemOp op) {
+    if (!params_.model_caches) {
+      return 0;
+    }
+    return serve_memory_cached(core, addr, op);
+  }
 
   void account_thread_cost(ThreadId t, Cost c) {
     per_thread_cost_[static_cast<std::size_t>(t)] += c;
@@ -198,11 +212,21 @@ class Em2Machine {
   TrafficSink* traffic_sink_ = nullptr;
 
  private:
+  /// The modelled-cache leg of serve_memory (the wrapper checked
+  /// model_caches already).
+  std::uint32_t serve_memory_cached(CoreId core, Addr addr, MemOp op);
+  /// The full-slot-file leg of arrive(): picks the victim, evicts it to
+  /// its native core, and returns (slot freed, eviction cost).
+  /// Deliberately out of line — evictions are a sub-10%-of-accesses event
+  /// and inlining the victim scan + accounting into every access loop
+  /// pushes the hot body past the front-end's fast-fetch window.
+  EM2_NOINLINE std::pair<std::size_t, Cost> evict_for_arrival(
+      CoreId dest, ThreadId* slots, std::uint64_t* stamps);
   /// Removes `t` from its guest slot at `at` (caller checked non-native).
-  void leave_guest_slot(ThreadId t, CoreId at);
+  EM2_ALWAYS_INLINE void leave_guest_slot(ThreadId t, CoreId at);
   /// Installs `t` in a guest slot at `dest` (caller checked non-native);
   /// may evict.  Returns the eviction cost.
-  Cost arrive(ThreadId t, CoreId dest);
+  EM2_ALWAYS_INLINE Cost arrive(ThreadId t, CoreId dest);
 
   /// First slot of `core`'s inline guest-context file.
   std::size_t slot_base(CoreId core) const noexcept {
@@ -344,37 +368,8 @@ inline Cost Em2Machine::arrive(ThreadId t, CoreId dest) {
   std::size_t pos;
   if (mask == full_mask_) {
     // Figure 1: "# threads exceeded? -> migrate another thread back to its
-    // native core."  The victim goes to its reserved native context on the
-    // native virtual network, so the eviction can always sink.
-    if (params_.eviction == EvictionPolicy::kRandom) {
-      pos = static_cast<std::size_t>(rng_.next_below(guest_capacity_));
-    } else {
-      // FIFO: the smallest arrival stamp marks the oldest guest.
-      pos = 0;
-      for (std::size_t i = 1; i < guest_capacity_; ++i) {
-        if (stamps[i] < stamps[pos]) {
-          pos = i;
-        }
-      }
-    }
-    const ThreadId victim = slots[pos];
-    const CoreId victim_home = native_[static_cast<std::size_t>(victim)];
-    EM2_ASSERT(victim_home != dest,
-               "a thread at its native core can never be a guest");
-    location_[static_cast<std::size_t>(victim)] = victim_home;
-    evict_cost = cost_.migration_native(dest, victim_home);
-    vnet_bits_[vnet::kMigrationNative] += cost_.params().context_bits;
-    if (traffic_sink_ != nullptr) {
-      traffic_sink_->on_packet(dest, victim_home, vnet::kMigrationNative,
-                               cost_.params().context_bits);
-    }
-    total_eviction_cost_ += evict_cost;
-    per_thread_cost_[static_cast<std::size_t>(victim)] += evict_cost;
-    counters_.inc(Counter::kEvictions);
-    last_evicted_ = victim;
-    if (move_observer_ != nullptr) {
-      move_observer_->on_thread_moved(victim, dest, victim_home);
-    }
+    // native core."  Out of line (see evict_for_arrival).
+    std::tie(pos, evict_cost) = evict_for_arrival(dest, slots, stamps);
   } else {
     pos = static_cast<std::size_t>(std::countr_zero(~mask));
     mask |= std::uint64_t{1} << pos;

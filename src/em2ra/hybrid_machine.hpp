@@ -27,6 +27,14 @@ struct HybridOutcome {
 /// EM2-RA protocol engine: EM2 plus the remote-access path and the
 /// decision procedure.
 ///
+/// The decision policy is a PARAMETER of each access, not machine state:
+/// access_hybrid is templated on the concrete policy type, so a run loop
+/// that hoisted one StandardPolicy::visit pays direct, inlinable
+/// decide()/observe() calls per access — zero virtual dispatch on the
+/// hottest path in the simulator.  Instantiating it with the
+/// DecisionPolicy base retains the historical virtual path (the kCustom
+/// escape hatch and the dispatch-equivalence reference).
+///
 /// ThreadMoveObserver note: remote accesses never move a thread, so the
 /// base class's observer hook already covers every location change a
 /// hybrid machine can make (migrations and the evictions they cause) —
@@ -34,18 +42,23 @@ struct HybridOutcome {
 /// for the RA path.
 class HybridMachine : public Em2Machine {
  public:
-  /// `policy` decides migrate-vs-RA per non-local access; the machine
-  /// keeps it informed of every access (observe) so predictive policies
-  /// can train.  The policy, mesh, and cost model must outlive the
-  /// machine.
+  /// Same construction as the EM2 engine; the policy arrives per access.
   HybridMachine(const Mesh& mesh, const CostModel& cost,
-                const Em2Params& params, std::vector<CoreId> native_core,
-                DecisionPolicy& policy);
+                const Em2Params& params, std::vector<CoreId> native_core)
+      : Em2Machine(mesh, cost, params, std::move(native_core)),
+        req_bits_by_op_{cost.params().addr_bits,
+                        cost.params().addr_bits + cost.params().word_bits},
+        rep_bits_by_op_{cost.params().word_bits, 0} {}
 
-  /// One Figure-3 traversal.  `block` is the placement block of `addr`
-  /// (policies may key predictor state on it).
-  HybridOutcome access_hybrid(ThreadId t, CoreId home, MemOp op, Addr addr,
-                              Addr block);
+  /// One Figure-3 traversal under `policy`.  `block` is the placement
+  /// block of `addr` (policies may key predictor state on it).  The
+  /// machine keeps the policy informed of every access (observe) so
+  /// predictive policies can train; callers must pass the SAME policy
+  /// object for the lifetime of a run.
+  template <typename Policy>
+  EM2_ALWAYS_INLINE HybridOutcome access_hybrid(Policy& policy, ThreadId t,
+                                                CoreId home, MemOp op,
+                                                Addr addr, Addr block);
 
   /// Remote-access traffic in bits, split by direction.
   std::uint64_t remote_request_bits() const noexcept {
@@ -56,9 +69,110 @@ class HybridMachine : public Em2Machine {
   }
 
  private:
-  DecisionPolicy& policy_;
+  /// Remote request/reply payload bits indexed by MemOp (reads send an
+  /// address and get a word back; writes send address + word and get a
+  /// header-only ack) — precomputed so the remote hot path loads two
+  /// constants instead of recombining CostModelParams fields per access.
+  std::uint64_t req_bits_by_op_[2];
+  std::uint64_t rep_bits_by_op_[2];
   std::uint64_t remote_request_bits_ = 0;
   std::uint64_t remote_reply_bits_ = 0;
 };
+
+// Inline below the class for the same reason as Em2Machine::access: this
+// body runs once per EM2-RA memory access from the trace loops, the
+// execution engine, and the benches, and the decision calls inside must
+// inline against the concrete policy the caller's visit selected.
+
+template <typename Policy>
+HybridOutcome HybridMachine::access_hybrid(Policy& policy, ThreadId t,
+                                           CoreId home, MemOp op, Addr addr,
+                                           Addr block) {
+  // First-class Figure-3 traversal (not a wrapper over Em2Machine::access,
+  // which would re-load and re-compare the thread's location): the shared
+  // prologue runs once, then the three outcomes split.  Counter and
+  // traffic accounting is line-for-line the same as the EM2 engine's on
+  // the local and migrate legs.
+  EM2_ASSERT(t >= 0 && static_cast<std::size_t>(t) < num_threads(),
+             "unknown thread");
+  EM2_ASSERT(home >= 0 && home < mesh().num_cores(),
+             "home core outside the mesh");
+  HybridOutcome out;
+  counters_.inc(Counter::kAccesses);
+  // kReads and kWrites are adjacent in MemOp order: branchless dispatch.
+  counters_.inc(static_cast<Counter>(
+      static_cast<std::uint8_t>(Counter::kReads) +
+      static_cast<std::uint8_t>(op)));
+  const CoreId at = location(t);
+
+  if (at == home) {
+    // Local: identical to Figure 1's left branch.
+    out.base.local = true;
+    counters_.inc(Counter::kAccessesLocal);
+    out.base.memory_latency = serve_memory(home, addr, op);
+    policy.observe(t, home, native(t));
+    return out;
+  }
+
+  DecisionQuery q;
+  q.thread = t;
+  q.current = at;
+  q.home = home;
+  q.native = native(t);
+  q.op = op;
+  q.block = block;
+
+  if (policy.decide(q) == RaDecision::kMigrate) {
+    // EM2 path: migrate (with possible eviction), then access locally.
+    const auto [thread_cost, eviction_cost] = migrate_thread(t, home);
+    out.base.migrated = true;
+    out.base.thread_cost = thread_cost;
+    out.base.eviction_cost = eviction_cost;
+    out.base.caused_eviction = last_evicted() != kNoThread;
+    out.base.evicted_thread = last_evicted();
+    account_thread_cost(t, thread_cost);
+    // The access itself always executes at the home core: the single-home
+    // invariant from which sequential consistency follows.
+    EM2_ASSERT(location(t) == home,
+               "EM2 invariant violated: access executed away from home");
+    out.base.memory_latency = serve_memory(home, addr, op);
+    policy.observe(t, home, native(t));
+    return out;
+  }
+
+  // Remote-access path (Figure 3, bottom): "Send remote request to home
+  // core; [home core:] access memory; return data (read) or ack (write)
+  // to the requesting core; continue execution."  The thread never moves.
+  counters_.inc(Counter::kRemoteAccesses);
+  counters_.inc(static_cast<Counter>(
+      static_cast<std::uint8_t>(Counter::kRemoteReads) +
+      static_cast<std::uint8_t>(op)));
+  out.remote = true;
+
+  const Cost rt = cost_model().remote_access(at, home, op);
+  out.base.thread_cost = rt;
+  account_thread_cost(t, rt);
+
+  const std::uint64_t req_bits =
+      req_bits_by_op_[static_cast<std::uint8_t>(op)];
+  const std::uint64_t rep_bits =
+      rep_bits_by_op_[static_cast<std::uint8_t>(op)];
+  remote_request_bits_ += req_bits;
+  remote_reply_bits_ += rep_bits;
+  add_vnet_bits(vnet::kRemoteRequest, req_bits);
+  add_vnet_bits(vnet::kRemoteReply, rep_bits);
+  if (traffic_sink_ != nullptr) {
+    // The round trip is two packets: the request and the data/ack reply
+    // (a write's ack is header-only but still occupies the reply vnet).
+    traffic_sink_->on_packet(at, home, vnet::kRemoteRequest, req_bits);
+    traffic_sink_->on_packet(home, at, vnet::kRemoteReply, rep_bits);
+  }
+
+  // The word is still served by the *home* core's hierarchy: remote access
+  // does not replicate data, so the single-home invariant stands.
+  out.base.memory_latency = serve_memory(home, addr, op);
+  policy.observe(t, home, native(t));
+  return out;
+}
 
 }  // namespace em2

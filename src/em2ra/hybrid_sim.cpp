@@ -13,16 +13,23 @@ double HybridRunReport::remote_fraction() const noexcept {
                    static_cast<double>(nonlocal);
 }
 
-HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
-                          const Mesh& mesh, const CostModel& cost,
-                          const Em2Params& params, DecisionPolicy& policy,
-                          TrafficRecorder* recorder) {
+namespace {
+
+/// The run loop, templated on the concrete policy type so every
+/// decide()/observe() inside access_hybrid is a direct call.  Policy =
+/// DecisionPolicy instantiates the retained virtual path.
+template <typename Policy>
+HybridRunReport run_em2ra_impl(const TraceSet& traces,
+                               const Placement& placement, const Mesh& mesh,
+                               const CostModel& cost,
+                               const Em2Params& params, Policy& policy,
+                               TrafficRecorder* recorder) {
   std::vector<CoreId> native;
   native.reserve(traces.num_threads());
   for (const auto& t : traces.threads()) {
     native.push_back(t.native_core());
   }
-  HybridMachine machine(mesh, cost, params, std::move(native), policy);
+  HybridMachine machine(mesh, cost, params, std::move(native));
 
   std::vector<Cycle> clock;
   if (recorder != nullptr) {
@@ -45,7 +52,7 @@ HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
       const Addr block = traces.block_of(a.addr);
       const CoreId home = placement.home_of_block(block);
       const HybridOutcome out = machine.access_hybrid(
-          static_cast<ThreadId>(t), home, a.op, a.addr, block);
+          policy, static_cast<ThreadId>(t), home, a.op, a.addr, block);
       if (recorder != nullptr) {
         recorder->stamp(clock[t]);
         clock[t] += 1 + out.base.thread_cost + out.base.memory_latency;
@@ -80,6 +87,28 @@ HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
   }
   report.em2.run_lengths = analyzer.report();
   return report;
+}
+
+}  // namespace
+
+HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
+                          const Mesh& mesh, const CostModel& cost,
+                          const Em2Params& params, StandardPolicy& policy,
+                          TrafficRecorder* recorder) {
+  // ONE dispatch for the whole run: the visit hoists the policy's
+  // concrete type out of the trace loop.
+  return policy.visit([&](auto& p) {
+    return run_em2ra_impl(traces, placement, mesh, cost, params, p,
+                          recorder);
+  });
+}
+
+HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
+                          const Mesh& mesh, const CostModel& cost,
+                          const Em2Params& params, DecisionPolicy& policy,
+                          TrafficRecorder* recorder) {
+  return run_em2ra_impl(traces, placement, mesh, cost, params, policy,
+                        recorder);
 }
 
 }  // namespace em2

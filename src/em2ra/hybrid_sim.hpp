@@ -26,6 +26,20 @@ struct HybridRunReport {
 /// thread interleaving, as in run_em2).  A non-null `recorder` captures
 /// every protocol packet — migrations, evictions, and remote
 /// request/reply pairs — for the contention calibration pass.
+///
+/// The whole trace loop is specialized on the policy's concrete type by
+/// ONE StandardPolicy::visit hoisted outside it: a sealed scheme pays no
+/// virtual call per access, the kCustom alternative runs the same loop
+/// against the DecisionPolicy interface (the retained virtual path).
+HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
+                          const Mesh& mesh, const CostModel& cost,
+                          const Em2Params& params, StandardPolicy& policy,
+                          TrafficRecorder* recorder = nullptr);
+
+/// Same, always through the virtual DecisionPolicy interface — the
+/// dispatch the sealed path is diffed against (bit-identical reports,
+/// tests/em2ra/test_dispatch_equivalence.cpp) and the overload custom
+/// policies use directly.
 HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
                           const Mesh& mesh, const CostModel& cost,
                           const Em2Params& params, DecisionPolicy& policy,

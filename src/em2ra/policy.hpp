@@ -12,13 +12,21 @@
 // Every policy here is core-local and O(1) per access, i.e. hardware-
 // implementable: it may consult only the thread's current location, the
 // target home core, and small per-thread predictor state.
+//
+// Dispatch: the decision runs once per memory access — the hottest call
+// in every EM2-RA engine — so the standard schemes form a SEALED set
+// (StandardPolicy below) that engines specialize on at compile time via
+// a one-shot visit hoisted out of the access loop; the virtual
+// DecisionPolicy interface is retained as the extension point behind the
+// kCustom escape hatch (spec "custom:<spec>", or StandardPolicy::custom
+// with any user-supplied DecisionPolicy), which pays the historical
+// virtual call per access.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <variant>
 #include <vector>
 
 #include "geom/mesh.hpp"
@@ -43,7 +51,10 @@ struct DecisionQuery {
   Addr block = 0;            ///< placement block of the address
 };
 
-/// A core-local migrate-vs-remote-access decision scheme.
+/// A core-local migrate-vs-remote-access decision scheme.  This is the
+/// *extension* interface: engines reach standard schemes through the
+/// sealed StandardPolicy (static dispatch); a DecisionPolicy plugged in
+/// through the kCustom escape hatch is called virtually per access.
 class DecisionPolicy {
  public:
   virtual ~DecisionPolicy() = default;
@@ -87,12 +98,26 @@ class AlwaysRemotePolicy final : public DecisionPolicy {
 class DistanceThresholdPolicy final : public DecisionPolicy {
  public:
   DistanceThresholdPolicy(const Mesh& mesh, std::int32_t threshold_hops);
-  RaDecision decide(const DecisionQuery& q) override;
+  RaDecision decide(const DecisionQuery& q) override {
+    // Flat per-pair decision table: hops(current, home) >= threshold was
+    // precomputed into one bit per (current, home) pair at construction
+    // (64 cores -> 512 B, L1-resident), so the per-access decision is a
+    // single load — the hardware realization would be equally trivial.
+    const std::size_t pair =
+        static_cast<std::size_t>(q.current) * num_cores_ +
+        static_cast<std::size_t>(q.home);
+    return static_cast<RaDecision>((remote_bits_[pair >> 6] >>
+                                    (pair & 63)) &
+                                   1);
+  }
   std::string name() const override;
 
  private:
-  Mesh mesh_;
+  std::size_t num_cores_;
   std::int32_t threshold_;
+  /// Bit (current * num_cores + home) set iff the decision is
+  /// kRemoteAccess (hops < threshold); kRemoteAccess == 1 by enum value.
+  std::vector<std::uint64_t> remote_bits_;
 };
 
 /// Run-length history predictor: per (thread, home) 2-bit saturating
@@ -102,10 +127,12 @@ class DistanceThresholdPolicy final : public DecisionPolicy {
 /// simple hardware predictor the paper's future-work section anticipates.
 ///
 /// `capacity` bounds the number of counter entries per thread, modelling
-/// a real predictor table: 0 means unbounded; otherwise inserting into a
-/// full table evicts the weakest entry (lowest counter, lowest core id on
-/// ties).  The capacity sweep in bench_decision_schemes shows how small
-/// the table can get before prediction quality degrades.
+/// a real predictor table: 0 means unbounded; otherwise the per-thread
+/// state IS a fully-associative `capacity`-entry counter file (the knob
+/// is the table's real geometry, not a size cap on a map), and inserting
+/// into a full file evicts the weakest entry (lowest counter, lowest core
+/// id on ties).  The capacity sweep in bench_decision_schemes shows how
+/// small the table can get before prediction quality degrades.
 class HistoryPolicy final : public DecisionPolicy {
  public:
   explicit HistoryPolicy(std::uint32_t long_run = 2,
@@ -115,6 +142,8 @@ class HistoryPolicy final : public DecisionPolicy {
   std::string name() const override;
 
  private:
+  /// Flat per-thread predictor state (indexed by ThreadId, grown on
+  /// demand — no hash lookups on the access path).
   struct ThreadState {
     CoreId run_home = kNoCore;   ///< home of the current run
     std::uint64_t run_len = 0;   ///< length of the current run
@@ -122,15 +151,30 @@ class HistoryPolicy final : public DecisionPolicy {
     /// hardware register, outside the table and its capacity).
     std::uint8_t native_ctr = 2;  ///< starts weakly-long: going home is
                                   ///< usually a long local phase
-    /// 2-bit saturating counters keyed by (remote) home core: >= 2
-    /// predicts long.  Ordered map for deterministic eviction.
-    std::map<CoreId, std::uint8_t> counter;
+    /// capacity == 0: direct-mapped 2-bit counters indexed by home core,
+    /// grown on demand (an absent core reads 0 == weakly-short, exactly
+    /// the old map's default-entry behaviour).
+    std::vector<std::uint8_t> by_core;
+    /// capacity > 0: fully-associative counter file — parallel key /
+    /// counter arrays of exactly `capacity` slots (kNoCore = empty),
+    /// allocated on the thread's first training event.
+    std::vector<CoreId> keys;
+    std::vector<std::uint8_t> ctrs;
   };
+  ThreadState& state_for(ThreadId t) {
+    const auto i = static_cast<std::size_t>(t);
+    if (i >= state_.size()) {
+      state_.resize(i + 1);
+    }
+    return state_[i];
+  }
+  /// Counter for `home` in `st`'s table (0 when absent).
+  std::uint8_t lookup(const ThreadState& st, CoreId home) const;
   void train(ThreadState& st, CoreId ended_home, std::uint64_t run_len);
 
   std::uint32_t long_run_;
   std::uint32_t capacity_;
-  std::unordered_map<ThreadId, ThreadState> state_;
+  std::vector<ThreadState> state_;
 };
 
 /// Cost-estimate policy: migrate iff the *amortized* model cost favours it
@@ -156,12 +200,120 @@ class CostEstimatePolicy final : public DecisionPolicy {
     /// different population from remote visits); starts optimistic.
     double native_run_ewma = 8.0;
   };
-  std::unordered_map<ThreadId, ThreadState> state_;
+  ThreadState& state_for(ThreadId t) {
+    const auto i = static_cast<std::size_t>(t);
+    if (i >= state_.size()) {
+      state_.resize(i + 1);
+    }
+    return state_[i];
+  }
+  std::vector<ThreadState> state_;  // flat per-thread state, grown on demand
 };
 
-/// Factory: "always-migrate" | "always-remote" | "distance:<hops>" |
-/// "history" | "history:<long_run>" | "cost-estimate".  Returns nullptr
-/// for unknown names.
+/// The sealed set of standard schemes, in StandardPolicy's variant order.
+/// kCustom is the escape hatch: an arbitrary DecisionPolicy dispatched
+/// virtually per access (the pre-devirtualization behaviour, retained as
+/// both the extension point and the equivalence-test reference path).
+enum class StandardPolicyKind : std::uint8_t {
+  kAlwaysMigrate = 0,
+  kAlwaysRemote = 1,
+  kDistance = 2,
+  kHistory = 3,
+  kCostEstimate = 4,
+  kCustom = 5,
+};
+
+/// A decision policy the engines can specialize on at compile time.
+///
+/// Hot loops hoist ONE visit() out of the access loop and run the whole
+/// trace against the concrete scheme — every decide()/observe() inside is
+/// a direct (inlinable) call, zero virtual dispatch per access:
+///
+///   StandardPolicy policy = StandardPolicy::make("history", mesh, cost);
+///   policy.visit([&](auto& p) {
+///     for (const Access& a : trace) machine.access_hybrid(p, ...);
+///   });
+///
+/// The kCustom alternative hands the visitor a DecisionPolicy& instead,
+/// so the same loop instantiates once more against the virtual interface
+/// — custom policies keep working, they just keep paying the virtual call.
+class StandardPolicy {
+ public:
+  /// Parses a policy spec: the standard schemes of make_policy
+  /// ("always-migrate" | "always-remote" | "distance:<hops>" | "history" |
+  /// "history:<long_run>[:<capacity>]" | "cost-estimate"), or
+  /// "custom:<spec>" to force the same scheme through the kCustom virtual
+  /// path (the retained reference the dispatch-equivalence tests diff
+  /// against).  Throws UnknownNameError for anything else.
+  static StandardPolicy make(const std::string& spec, const Mesh& mesh,
+                             const CostModel& cost);
+
+  /// Wraps a user-supplied scheme as the kCustom alternative.  `policy`
+  /// must be non-null (EM2_ASSERT).
+  static StandardPolicy custom(std::unique_ptr<DecisionPolicy> policy);
+
+  /// Parse-only entry check: throws UnknownNameError exactly when make()
+  /// would, without building anything (make() constructs real predictor
+  /// state — e.g. the distance policy's O(cores^2) bit table — which a
+  /// validation pass over a spec matrix should not pay).
+  static void validate_spec(const std::string& spec);
+
+  StandardPolicyKind kind() const noexcept {
+    return static_cast<StandardPolicyKind>(impl_.index());
+  }
+
+  /// The wrapped policy's name ("history:2", ...); kCustom forwards to the
+  /// inner policy so reports and labels are dispatch-invariant.
+  std::string name() const;
+
+  /// One-shot static dispatch: invokes `f` with the concrete policy object
+  /// (or DecisionPolicy& for kCustom).  Written as a switch, not
+  /// std::visit, so every alternative is a direct call the optimizer can
+  /// inline into the caller's loop.
+  template <typename F>
+  decltype(auto) visit(F&& f) {
+    static_assert(std::variant_size_v<Impl> == 6,
+                  "update this switch (and name()'s) when sealing a new "
+                  "scheme; the unique_ptr escape hatch must stay last");
+    switch (impl_.index()) {
+      case 0:
+        return f(std::get<0>(impl_));
+      case 1:
+        return f(std::get<1>(impl_));
+      case 2:
+        return f(std::get<2>(impl_));
+      case 3:
+        return f(std::get<3>(impl_));
+      case 4:
+        return f(std::get<4>(impl_));
+      default:
+        return f(static_cast<DecisionPolicy&>(*std::get<5>(impl_)));
+    }
+  }
+
+  /// Per-call conveniences for code outside hot loops (tests, one-off
+  /// evaluations): a switch per call — still no virtual dispatch for the
+  /// sealed schemes, but prefer hoisting visit() in loops.
+  RaDecision decide(const DecisionQuery& q) {
+    return visit([&](auto& p) { return p.decide(q); });
+  }
+  void observe(ThreadId thread, CoreId home, CoreId native) {
+    visit([&](auto& p) { p.observe(thread, home, native); });
+  }
+
+ private:
+  using Impl = std::variant<AlwaysMigratePolicy, AlwaysRemotePolicy,
+                            DistanceThresholdPolicy, HistoryPolicy,
+                            CostEstimatePolicy,
+                            std::unique_ptr<DecisionPolicy>>;
+  explicit StandardPolicy(Impl impl) : impl_(std::move(impl)) {}
+  Impl impl_;
+};
+
+/// Virtual-interface factory: "always-migrate" | "always-remote" |
+/// "distance:<hops>" | "history" | "history:<long_run>[:<capacity>]" |
+/// "cost-estimate".  Returns nullptr for unknown names (no "custom:"
+/// recursion — this IS the factory the escape hatch wraps).
 std::unique_ptr<DecisionPolicy> make_policy(const std::string& spec,
                                             const Mesh& mesh,
                                             const CostModel& cost);

@@ -42,32 +42,6 @@ CostModel::CostModel(const Mesh& mesh, const CostModelParams& params,
                           params_.addr_bits + params_.word_bits) +
         packet_latency_on(vnet::kRemoteReply, hops, 0));
   }
-  const std::int32_t n = mesh_.num_cores();
-  if (n <= kPairTableMaxCores) {
-    const auto pairs =
-        static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
-    migration_by_pair_.reserve(pairs);
-    migration_native_by_pair_.reserve(pairs);
-    remote_read_by_pair_.reserve(pairs);
-    remote_write_by_pair_.reserve(pairs);
-    for (CoreId src = 0; src < n; ++src) {
-      for (CoreId dst = 0; dst < n; ++dst) {
-        if (src == dst) {
-          migration_by_pair_.push_back(0);
-          migration_native_by_pair_.push_back(0);
-          remote_read_by_pair_.push_back(0);
-          remote_write_by_pair_.push_back(0);
-          continue;
-        }
-        const auto h =
-            static_cast<std::size_t>(mesh_.hops(src, dst));
-        migration_by_pair_.push_back(migration_by_hops_[h]);
-        migration_native_by_pair_.push_back(migration_native_by_hops_[h]);
-        remote_read_by_pair_.push_back(remote_read_by_hops_[h]);
-        remote_write_by_pair_.push_back(remote_write_by_hops_[h]);
-      }
-    }
-  }
 }
 
 std::uint32_t CostModel::flits_for(std::uint64_t payload_bits) const noexcept {

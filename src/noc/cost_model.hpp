@@ -94,13 +94,13 @@ class CostModel {
 
   /// cost_migration(src, dst): one-way context transfer (paper Section 3)
   /// on the guest-migration vnet.  Migrating to the current core is free.
-  /// A table load on the hot path: for meshes up to kPairTableMaxCores a
-  /// dense per-pair table answers in one load; larger meshes fall back to
-  /// per-hop-count tables.
+  /// Served from the per-hop-count table via the mesh's precomputed
+  /// coordinates: ~600 B of lookup state per table regardless of mesh
+  /// size, so every hot-path load stays L1-resident.  (Dense per-pair
+  /// tables were tried and removed: at 64 cores the four tables already
+  /// total 128 KB of randomly-indexed state, and the L1 misses cost the
+  /// EM2-RA hot loop ~7% against two extra L1 loads here.)
   Cost migration(CoreId src, CoreId dst) const noexcept {
-    if (!migration_by_pair_.empty()) {
-      return migration_by_pair_[pair_index(src, dst)];
-    }
     if (src == dst) {
       return 0;
     }
@@ -113,9 +113,6 @@ class CostModel {
   /// migration() under a uniform model; diverges only when contention
   /// loads the two migration vnets differently.
   Cost migration_native(CoreId src, CoreId dst) const noexcept {
-    if (!migration_native_by_pair_.empty()) {
-      return migration_native_by_pair_[pair_index(src, dst)];
-    }
     if (src == dst) {
       return 0;
     }
@@ -143,14 +140,9 @@ class CostModel {
   /// Reads send an address and return a word; writes send address + word
   /// and return an ack.  Requests travel on vnet::kRemoteRequest, replies
   /// on vnet::kRemoteReply.  Remote access to the local core is free.
-  /// Precomputed like migration(): per-pair when small, per-hop otherwise.
+  /// Precomputed per hop count, like migration().
   Cost remote_access(CoreId requester, CoreId home,
                      MemOp op) const noexcept {
-    if (!remote_read_by_pair_.empty()) {
-      const std::size_t i = pair_index(requester, home);
-      return op == MemOp::kRead ? remote_read_by_pair_[i]
-                                : remote_write_by_pair_[i];
-    }
     if (requester == home) {
       return 0;
     }
@@ -166,17 +158,7 @@ class CostModel {
   Cost message(CoreId src, CoreId dst, std::uint64_t payload_bits,
                int vn = vnet::kMemRequest) const noexcept;
 
-  /// Largest mesh for which the dense per-pair tables are built (4 tables
-  /// of cores^2 Cost entries: 256 cores -> 0.5 MB each, L2-resident).
-  static constexpr std::int32_t kPairTableMaxCores = 256;
-
  private:
-  std::size_t pair_index(CoreId a, CoreId b) const noexcept {
-    return static_cast<std::size_t>(a) *
-               static_cast<std::size_t>(mesh_.num_cores()) +
-           static_cast<std::size_t>(b);
-  }
-
   Mesh mesh_;
   CostModelParams params_;
   HopLatencies hop_;
@@ -190,12 +172,6 @@ class CostModel {
   std::vector<Cost> migration_native_by_hops_;
   std::vector<Cost> remote_read_by_hops_;
   std::vector<Cost> remote_write_by_hops_;
-  /// Dense per-pair tables (row-major [src][dst], diagonal = 0), built
-  /// only when num_cores <= kPairTableMaxCores; empty otherwise.
-  std::vector<Cost> migration_by_pair_;
-  std::vector<Cost> migration_native_by_pair_;
-  std::vector<Cost> remote_read_by_pair_;
-  std::vector<Cost> remote_write_by_pair_;
 };
 
 }  // namespace em2

@@ -1,6 +1,7 @@
 #include "noc/network.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
 #include "util/assert.hpp"
@@ -36,10 +37,15 @@ Network::Network(const Mesh& mesh, const NetworkParams& params)
   const auto nodes = static_cast<std::size_t>(mesh_.num_cores());
   const auto per_node =
       static_cast<std::size_t>(kNumDirections * params_.num_vnets);
+  EM2_ASSERT(per_node <= 64,
+             "per-router occupancy mask holds at most 64 (port, vnet) "
+             "candidates");
   fifos_.resize(nodes * per_node);
   out_lock_.assign(nodes * per_node, kNoLock);
   link_flits_.assign(nodes * per_node, 0);
-  popped_.assign(nodes * per_node, 0);
+  occupancy_.assign(nodes, 0);
+  want_.assign(nodes * static_cast<std::size_t>(kNumDirections), 0);
+  popped_.assign(nodes, 0);
   rr_state_.assign(nodes * static_cast<std::size_t>(kNumDirections), 0);
   latency_.resize(static_cast<std::size_t>(params_.num_vnets));
 }
@@ -72,6 +78,7 @@ void Network::inject(const Packet& packet) {
   // drains one flit per cycle per output).  This matches a processor-side
   // unbounded send queue feeding a network interface.
   auto& fifo = fifos_[fifo_index(packet.src, 0, packet.vnet)];
+  const bool was_empty = fifo.q.empty();
   for (std::int32_t f = 0; f < packet.flits; ++f) {
     Flit flit;
     flit.packet_index = index;
@@ -80,20 +87,145 @@ void Network::inject(const Packet& packet) {
     flit.arrived = now_;
     fifo.q.push_back(flit);
   }
+  if (was_empty) {
+    occupancy_[static_cast<std::size_t>(packet.src)] |=
+        candidate_bit(0, packet.vnet);
+    set_front_want(packet.src, 0, packet.vnet, fifo.q.front());
+  }
+}
+
+int Network::front_want(CoreId node, int vn, const Flit& front) const {
+  if (front.head) {
+    // Heads choose their output by XY routing.
+    return static_cast<int>(mesh_.route_xy(
+        node, packets_[front.packet_index].packet.dst));
+  }
+  // Body/tail flits follow the wormhole lock their head acquired at this
+  // router; the lock is held until this packet's tail passes, so exactly
+  // one output holds it.
+  for (int out = 0; out < kNumDirections; ++out) {
+    if (out_lock_[fifo_index(node, out, vn)] == front.packet_index) {
+      return out;
+    }
+  }
+  EM2_ASSERT(false, "body flit at the front of a FIFO without its head's "
+                    "wormhole lock");
+  return 0;
+}
+
+void Network::set_front_want(CoreId node, int port, int vn,
+                             const Flit& front) {
+  want_[static_cast<std::size_t>(node) * kNumDirections +
+        static_cast<std::size_t>(front_want(node, vn, front))] |=
+      candidate_bit(port, vn);
+}
+
+bool Network::try_grant(CoreId node, int out, Direction out_dir,
+                        CoreId next, std::uint32_t cand,
+                        std::size_t rr_index, bool& any_movement) {
+  const std::int32_t vnets = params_.num_vnets;
+  const int in_port = static_cast<int>(cand) / vnets;
+  const int vn = static_cast<int>(cand) % vnets;
+  const std::size_t fi = fifo_index(node, in_port, vn);
+  const std::uint64_t bit = candidate_bit(in_port, vn);
+  if ((popped_[static_cast<std::size_t>(node)] & bit) != 0 ||
+      fifos_[fi].q.empty()) {
+    return false;
+  }
+  const Flit& flit = fifos_[fi].q.front();
+  if (flit.arrived >= now_) {
+    return false;  // arrived this cycle; earliest move is next cycle
+  }
+  const PacketState& ps = packets_[flit.packet_index];
+  const std::size_t lock_index = fifo_index(node, out, vn);
+  if (flit.head) {
+    // Heads choose their output by XY routing and must acquire the
+    // (output, vnet) wormhole lock.
+    if (static_cast<int>(mesh_.route_xy(node, ps.packet.dst)) != out) {
+      return false;
+    }
+    if (out_lock_[lock_index] != kNoLock) {
+      return false;
+    }
+  } else {
+    // Body/tail flits follow the lock their head acquired.
+    if (out_lock_[lock_index] != flit.packet_index) {
+      return false;
+    }
+  }
+  // Downstream space (ejection is an infinite sink).
+  if (out_dir != Direction::kLocal &&
+      !fifo_has_space(next, arrival_port(out_dir), vn)) {
+    return false;
+  }
+  // Grant.
+  Flit moving = flit;
+  fifos_[fi].q.pop_front();
+  // The granted candidate's front is gone: its want bit lives in THIS
+  // output's mask by construction — drop it, and the occupancy bit if the
+  // FIFO drained.
+  want_[static_cast<std::size_t>(node) * kNumDirections +
+        static_cast<std::size_t>(out)] &= ~bit;
+  if (fifos_[fi].q.empty()) {
+    occupancy_[static_cast<std::size_t>(node)] &= ~bit;
+  }
+  popped_[static_cast<std::size_t>(node)] |= bit;
+  any_movement = true;
+  if (moving.head && !moving.tail) {
+    out_lock_[lock_index] = moving.packet_index;
+  }
+  if (moving.tail && !moving.head) {
+    out_lock_[lock_index] = kNoLock;
+  }
+  if (!fifos_[fi].q.empty()) {
+    // Re-register the new front AFTER the lock update above: a body
+    // behind a just-granted head wants the output that head just locked.
+    set_front_want(node, in_port, vn, fifos_[fi].q.front());
+  }
+  if (out_dir == Direction::kLocal) {
+    if (moving.tail) {
+      const PacketState& done = packets_[moving.packet_index];
+      delivered_.push_back(Delivery{done.packet, done.injected, now_});
+      ++delivered_count_;
+      --in_flight_;
+      latency_[static_cast<std::size_t>(vn)].add(
+          static_cast<double>(now_ - done.injected));
+    }
+  } else {
+    const int ap = arrival_port(out_dir);
+    const std::size_t di = fifo_index(next, ap, vn);
+    moving.arrived = now_;
+    const bool dest_was_empty = fifos_[di].q.empty();
+    fifos_[di].q.push_back(moving);
+    if (dest_was_empty) {
+      occupancy_[static_cast<std::size_t>(next)] |= candidate_bit(ap, vn);
+      // A body landing at an empty FIFO means its head already traversed
+      // `next`'s switch, so the wormhole lock it needs is in place there.
+      set_front_want(next, ap, vn, moving);
+    }
+    ++flit_hops_;
+    ++link_flits_[lock_index];
+  }
+  rr_state_[rr_index] = cand + 1;
+  return true;  // one flit per output port per cycle
 }
 
 void Network::step() {
   ++now_;
   bool any_movement = false;
-  const std::int32_t vnets = params_.num_vnets;
-  // Tracks FIFOs that already surrendered a flit this cycle: an input port
-  // feeds the switch at most one flit per cycle.  Member buffer reused
-  // across cycles — calibration replays step millions of cycles and a
-  // per-step allocation dominated the whole replay.
+  const std::uint32_t num_candidates =
+      static_cast<std::uint32_t>(kNumDirections * params_.num_vnets);
+  // popped_ tracks FIFOs that already surrendered a flit this cycle: an
+  // input port feeds the switch at most one flit per cycle.  Member
+  // buffer reused across cycles — calibration replays step millions of
+  // cycles and a per-step allocation dominated the whole replay.
   std::fill(popped_.begin(), popped_.end(), 0);
-  std::uint8_t* popped = popped_.data();
 
   for (CoreId node = 0; node < mesh_.num_cores(); ++node) {
+    if (params_.occupancy_mask &&
+        occupancy_[static_cast<std::size_t>(node)] == 0) {
+      continue;  // idle router: no candidate on any output
+    }
     for (int out = 0; out < kNumDirections; ++out) {
       const auto out_dir = static_cast<Direction>(out);
       const CoreId next =
@@ -105,72 +237,55 @@ void Network::step() {
       const std::size_t rr_index =
           static_cast<std::size_t>(node) * kNumDirections +
           static_cast<std::size_t>(out);
-      const std::uint32_t num_candidates =
-          static_cast<std::uint32_t>(kNumDirections * vnets);
       const std::uint32_t start = rr_state_[rr_index] % num_candidates;
-      for (std::uint32_t probe = 0; probe < num_candidates; ++probe) {
-        const std::uint32_t cand = (start + probe) % num_candidates;
-        const int in_port = static_cast<int>(cand) / vnets;
-        const int vn = static_cast<int>(cand) % vnets;
-        const std::size_t fi = fifo_index(node, in_port, vn);
-        if (popped[fi] || fifos_[fi].q.empty()) {
+      if (params_.occupancy_mask) {
+        // Probe only the not-yet-popped candidates whose front flit heads
+        // for THIS output, in the same rotated order the exhaustive scan
+        // visits: start..nc-1, then 0..start-1.  Identical grants — every
+        // skipped candidate is one the scan rejects on the empty, popped,
+        // route, or lock-follow check with no side effect — at
+        // ~#competitors probes instead of num_candidates.
+        const std::uint64_t avail =
+            want_[static_cast<std::size_t>(node) * kNumDirections +
+                  static_cast<std::size_t>(out)] &
+            ~popped_[static_cast<std::size_t>(node)];
+        if (avail == 0) {
           continue;
         }
-        const Flit& flit = fifos_[fi].q.front();
-        if (flit.arrived >= now_) {
-          continue;  // arrived this cycle; earliest move is next cycle
-        }
-        const PacketState& ps = packets_[flit.packet_index];
-        const std::size_t lock_index = fifo_index(node, out, vn);
-        if (flit.head) {
-          // Heads choose their output by XY routing and must acquire the
-          // (output, vnet) wormhole lock.
-          if (static_cast<int>(mesh_.route_xy(node, ps.packet.dst)) != out) {
-            continue;
+        bool granted = false;
+        std::uint64_t hi = avail >> start;
+        while (hi != 0) {
+          const std::uint32_t cand =
+              start + static_cast<std::uint32_t>(std::countr_zero(hi));
+          if (try_grant(node, out, out_dir, next, cand, rr_index,
+                        any_movement)) {
+            granted = true;
+            break;
           }
-          if (out_lock_[lock_index] != kNoLock) {
-            continue;
+          hi &= hi - 1;
+        }
+        if (!granted && start != 0) {
+          std::uint64_t lo =
+              avail & ((std::uint64_t{1} << start) - 1);
+          while (lo != 0) {
+            const std::uint32_t cand =
+                static_cast<std::uint32_t>(std::countr_zero(lo));
+            if (try_grant(node, out, out_dir, next, cand, rr_index,
+                          any_movement)) {
+              break;
+            }
+            lo &= lo - 1;
           }
-        } else {
-          // Body/tail flits follow the lock their head acquired.
-          if (out_lock_[lock_index] != flit.packet_index) {
-            continue;
+        }
+      } else {
+        // Reference arbiter: exhaustive probe over every candidate.
+        for (std::uint32_t probe = 0; probe < num_candidates; ++probe) {
+          const std::uint32_t cand = (start + probe) % num_candidates;
+          if (try_grant(node, out, out_dir, next, cand, rr_index,
+                        any_movement)) {
+            break;
           }
         }
-        // Downstream space (ejection is an infinite sink).
-        if (out_dir != Direction::kLocal &&
-            !fifo_has_space(next, arrival_port(out_dir), vn)) {
-          continue;
-        }
-        // Grant.
-        Flit moving = flit;
-        fifos_[fi].q.pop_front();
-        popped[fi] = 1;
-        any_movement = true;
-        if (moving.head && !moving.tail) {
-          out_lock_[lock_index] = moving.packet_index;
-        }
-        if (moving.tail && !moving.head) {
-          out_lock_[lock_index] = kNoLock;
-        }
-        if (out_dir == Direction::kLocal) {
-          if (moving.tail) {
-            const PacketState& done = packets_[moving.packet_index];
-            delivered_.push_back(Delivery{done.packet, done.injected, now_});
-            ++delivered_count_;
-            --in_flight_;
-            latency_[static_cast<std::size_t>(vn)].add(
-                static_cast<double>(now_ - done.injected));
-          }
-        } else {
-          const std::size_t di = fifo_index(next, arrival_port(out_dir), vn);
-          moving.arrived = now_;
-          fifos_[di].q.push_back(moving);
-          ++flit_hops_;
-          ++link_flits_[lock_index];
-        }
-        rr_state_[rr_index] = cand + 1;
-        break;  // one flit per output port per cycle
       }
     }
   }

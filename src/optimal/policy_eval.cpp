@@ -4,9 +4,12 @@
 
 namespace em2 {
 
-MigrateRaSolution evaluate_policy_model(const ModelTrace& trace,
-                                        const CostModel& cost,
-                                        DecisionPolicy& policy) {
+namespace {
+
+template <typename Policy>
+MigrateRaSolution evaluate_policy_model_impl(const ModelTrace& trace,
+                                             const CostModel& cost,
+                                             Policy& policy) {
   const std::size_t n = trace.homes.size();
   MigrateRaSolution sol;
   sol.actions.resize(n);
@@ -40,6 +43,22 @@ MigrateRaSolution evaluate_policy_model(const ModelTrace& trace,
     policy.observe(0, home, trace.start);
   }
   return sol;
+}
+
+}  // namespace
+
+MigrateRaSolution evaluate_policy_model(const ModelTrace& trace,
+                                        const CostModel& cost,
+                                        StandardPolicy& policy) {
+  return policy.visit([&](auto& p) {
+    return evaluate_policy_model_impl(trace, cost, p);
+  });
+}
+
+MigrateRaSolution evaluate_policy_model(const ModelTrace& trace,
+                                        const CostModel& cost,
+                                        DecisionPolicy& policy) {
+  return evaluate_policy_model_impl(trace, cost, policy);
 }
 
 }  // namespace em2

@@ -13,7 +13,15 @@
 
 namespace em2 {
 
-/// Walks the trace applying `policy` at every non-local access.
+/// Walks the trace applying `policy` at every non-local access.  The
+/// sealed overload specializes the walk on the policy's concrete type
+/// (one visit per trace, no virtual call per access — the policy-zoo
+/// sweeps evaluate millions of model accesses per policy); the
+/// DecisionPolicy overload is the retained virtual path for custom
+/// schemes and dispatch-equivalence tests.
+MigrateRaSolution evaluate_policy_model(const ModelTrace& trace,
+                                        const CostModel& cost,
+                                        StandardPolicy& policy);
 MigrateRaSolution evaluate_policy_model(const ModelTrace& trace,
                                         const CostModel& cost,
                                         DecisionPolicy& policy);

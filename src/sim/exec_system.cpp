@@ -67,8 +67,11 @@ Cost ExecSystem::serve_access(ThreadId t, const PendingAccess& mem) {
     }
     case MemArch::kEm2Ra: {
       const Addr block = mem.addr >> block_shift_;
-      const HybridOutcome out =
-          hybrid_->access_hybrid(t, home, mem.op, mem.addr, block);
+      // Sealed-policy dispatch: a switch over the concrete scheme, every
+      // branch a direct inlinable call (kCustom alone stays virtual).
+      const HybridOutcome out = ra_policy_->visit([&](auto& p) {
+        return hybrid_->access_hybrid(p, t, home, mem.op, mem.addr, block);
+      });
       latency = out.base.thread_cost + out.base.memory_latency;
       if (out.base.evicted_thread != kNoThread) {
         const Thread& victim =
@@ -121,10 +124,13 @@ void ExecSystem::init_machines() {
                                           std::move(native));
       break;
     case MemArch::kEm2Ra: {
-      ra_policy_ = make_policy(params_.ra_policy, mesh_, cost_);
-      EM2_ASSERT(ra_policy_ != nullptr, "unknown EM2-RA policy spec");
+      // Throws UnknownNameError for a bad spec — the same fail-fast path
+      // System::validate takes, so direct ExecSystem users get the
+      // uniform "unknown policy '...'" error instead of a late assert.
+      ra_policy_.emplace(
+          StandardPolicy::make(params_.ra_policy, mesh_, cost_));
       auto hybrid = std::make_unique<HybridMachine>(
-          mesh_, cost_, params_.em2, std::move(native), *ra_policy_);
+          mesh_, cost_, params_.em2, std::move(native));
       hybrid_ = hybrid.get();
       em2_ = std::move(hybrid);
       break;

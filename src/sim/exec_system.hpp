@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <string>
 #include <vector>
@@ -57,7 +58,9 @@ struct ExecParams {
   SchedulerKind scheduler = SchedulerKind::kEventDriven;
   Em2Params em2{};
   DirCcParams cc{};
-  /// EM2-RA decision policy spec (see make_policy); ignored otherwise.
+  /// EM2-RA decision policy spec (see StandardPolicy::make; "custom:"
+  /// prefix forces the virtual escape hatch); ignored otherwise.  An
+  /// unknown spec throws UnknownNameError when run() builds the machines.
   std::string ra_policy = "distance:4";
   std::uint32_t block_bytes = 64;
 };
@@ -92,6 +95,13 @@ class ExecSystem final : private ThreadMoveObserver {
   /// Pre-initializes functional memory (registered with the checker).
   void poke(Addr addr, std::uint32_t value);
   std::uint32_t peek(Addr addr) const { return memory_.load(addr); }
+
+  /// Resolved EM2-RA decision-policy name (e.g. "history:2"); empty
+  /// before run() built the machines or when arch != kEm2Ra.  Saves
+  /// callers re-parsing ExecParams::ra_policy just to label reports.
+  std::string ra_policy_name() const {
+    return ra_policy_ ? ra_policy_->name() : std::string();
+  }
 
   /// Runs until all threads halt or `max_cycles` pass.
   ///
@@ -161,7 +171,9 @@ class ExecSystem final : private ThreadMoveObserver {
   std::uint32_t block_shift_;
 
   // Exactly one of these backs the memory system, per params_.arch.
-  std::unique_ptr<DecisionPolicy> ra_policy_;
+  // The sealed policy is visited per access (a switch over the concrete
+  // scheme — no virtual call unless the spec chose the kCustom hatch).
+  std::optional<StandardPolicy> ra_policy_;
   std::unique_ptr<Em2Machine> em2_;        // also set for kEm2Ra (hybrid)
   HybridMachine* hybrid_ = nullptr;        // non-owning view when kEm2Ra
   std::unique_ptr<DirectoryCC> cc_;

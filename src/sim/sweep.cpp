@@ -1,6 +1,7 @@
 #include "sim/sweep.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <exception>
 #include <mutex>
 
@@ -18,6 +19,71 @@ unsigned resolve_threads(const Options& opts) noexcept {
 
 namespace detail {
 
+namespace {
+
+/// A worker's contiguous slice of the point space, packed begin<<32|end
+/// into one atomic word so claims and steals are single CAS operations.
+/// Cache-line aligned: the owner hammers its own word from the front
+/// while thieves only touch it when they run dry, so the common case is
+/// core-local — unlike the former single shared atomic index, which
+/// every point of a large matrix bounced between all cores.
+struct alignas(64) Chunk {
+  std::atomic<std::uint64_t> range{0};
+};
+
+constexpr std::uint64_t pack(std::uint32_t begin, std::uint32_t end) {
+  return (static_cast<std::uint64_t>(begin) << 32) | end;
+}
+
+/// Owner path: claim the next index from the front of `c`; -1 when empty.
+std::int64_t claim_front(std::atomic<std::uint64_t>& c) {
+  std::uint64_t cur = c.load(std::memory_order_relaxed);
+  while (true) {
+    const auto begin = static_cast<std::uint32_t>(cur >> 32);
+    const auto end = static_cast<std::uint32_t>(cur);
+    if (begin >= end) {
+      return -1;
+    }
+    if (c.compare_exchange_weak(cur, pack(begin + 1, end),
+                                std::memory_order_acq_rel,
+                                std::memory_order_relaxed)) {
+      return begin;
+    }
+  }
+}
+
+/// Thief path: steal the UPPER half of `victim`'s remaining range.  The
+/// thief runs the first stolen index immediately and installs the rest as
+/// its own chunk (it only steals when its chunk is empty), so subsequent
+/// claims — and steals by other thieves — proceed against the thief's
+/// word.  Returns the index to run, or -1 if the victim was empty.
+std::int64_t steal_half(std::atomic<std::uint64_t>& victim,
+                        std::atomic<std::uint64_t>& own) {
+  std::uint64_t cur = victim.load(std::memory_order_acquire);
+  while (true) {
+    const auto begin = static_cast<std::uint32_t>(cur >> 32);
+    const auto end = static_cast<std::uint32_t>(cur);
+    if (begin >= end) {
+      return -1;
+    }
+    // Victim keeps the lower ceil-half [begin, mid), thief takes
+    // [mid, end).  A single remaining point is not worth a steal — its
+    // holder runs it.
+    const std::uint32_t mid = begin + (end - begin + 1) / 2;
+    if (mid >= end) {
+      return -1;
+    }
+    if (victim.compare_exchange_weak(cur, pack(begin, mid),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      own.store(pack(mid + 1, end), std::memory_order_release);
+      return mid;
+    }
+  }
+}
+
+}  // namespace
+
 void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body,
                  const Options& opts) {
   const unsigned workers = resolve_threads(opts);
@@ -27,23 +93,45 @@ void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body,
     }
     return;
   }
-  std::atomic<std::size_t> next{0};
+  EM2_ASSERT(n <= 0xffffffffull,
+             "sweep point indices are packed into 32 bits");
+  const unsigned spawned =
+      static_cast<unsigned>(std::min<std::size_t>(workers, n));
+  // Work-stealing chunked scheduler: the point space splits into one
+  // contiguous chunk per worker; owners drain their chunk from the front,
+  // and a worker that runs dry steals the upper half of another's
+  // remainder.  Every index lives in exactly one chunk at any moment and
+  // whoever holds a chunk drains it, so all points still run exactly once
+  // — and since point i only ever writes results[i], the output stays
+  // byte-identical to the serial loop no matter who ran what (tested).
+  std::vector<Chunk> chunks(spawned);
+  for (unsigned w = 0; w < spawned; ++w) {
+    const auto begin = static_cast<std::uint32_t>(n * w / spawned);
+    const auto end = static_cast<std::uint32_t>(n * (w + 1) / spawned);
+    chunks[w].range.store(pack(begin, end), std::memory_order_relaxed);
+  }
   // A body() exception on a pool thread would escape the thread function
   // and call std::terminate.  Instead the first exception is captured, the
-  // pool stops claiming new points (in-flight points finish), the queue is
-  // drained, and the exception is rethrown on the calling thread after all
-  // workers joined.
+  // pool stops claiming new points (in-flight points finish), and the
+  // exception is rethrown on the calling thread after all workers joined.
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
-  auto worker = [&]() {
+  auto worker = [&](unsigned w) {
     while (!failed.load(std::memory_order_acquire)) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) {
-        return;
+      std::int64_t i = claim_front(chunks[w].range);
+      if (i < 0) {
+        // Own chunk dry: scan the others round-robin for work to steal.
+        for (unsigned off = 1; off < spawned && i < 0; ++off) {
+          i = steal_half(chunks[(w + off) % spawned].range,
+                         chunks[w].range);
+        }
+        if (i < 0) {
+          return;  // nothing left anywhere: remaining holders drain theirs
+        }
       }
       try {
-        body(i);
+        body(static_cast<std::size_t>(i));
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!failed.exchange(true, std::memory_order_release)) {
@@ -53,13 +141,11 @@ void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body,
     }
   };
   std::vector<std::thread> pool;
-  const unsigned spawned =
-      static_cast<unsigned>(std::min<std::size_t>(workers, n));
   pool.reserve(spawned - 1);
   for (unsigned w = 1; w < spawned; ++w) {
-    pool.emplace_back(worker);
+    pool.emplace_back(worker, w);
   }
-  worker();  // the calling thread is worker 0
+  worker(0);  // the calling thread is worker 0
   for (std::thread& th : pool) {
     th.join();
   }

@@ -3,13 +3,17 @@
 // Demonstrating the paper's claims at scale means simulating many
 // independent configurations (workloads, run lengths, context sizes, mesh
 // sizes).  Each sweep point is a self-contained simulation, so the runner
-// fans points across hardware threads with a shared atomic work index and
-// collects results IN POINT ORDER — the output is byte-identical to the
-// serial loop no matter how many workers run or how they interleave
-// (determinism is tested, not assumed).  Reductions across points go
-// through the existing merge APIs (RunningStat::merge, Histogram::merge,
-// CounterSet::merge, FastCounters::merge), mirroring the shard-and-merge
-// pattern of parallel graph engines.
+// fans points across hardware threads — a work-stealing chunked scheduler:
+// the point space splits into one contiguous chunk per worker, owners
+// drain their chunk from the front (core-local atomic, no cross-core
+// bouncing on a shared index), and a worker that runs dry steals the
+// upper half of a peer's remainder — and collects results IN POINT ORDER:
+// the output is byte-identical to the serial loop no matter how many
+// workers run, how they interleave, or who stole what (determinism is
+// tested, not assumed).  Reductions across points go through the existing
+// merge APIs (RunningStat::merge, Histogram::merge, CounterSet::merge,
+// FastCounters::merge), mirroring the shard-and-merge pattern of parallel
+// graph engines.
 #pragma once
 
 #include <atomic>
@@ -48,10 +52,12 @@ void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body,
 /// and anything shared (e.g. one `const System` across points, as the
 /// sweep benches do) may only be used through const, stateless calls.
 /// The one sanctioned exception is an INTERNALLY-SYNCHRONIZED cache whose
-/// entries are a deterministic function of the key (e.g. the System
-/// placement cache behind run_matrix): memoization then never changes any
-/// point's result, only who computes it first.  Unsynchronized or
-/// result-changing mutable state still breaks this contract.
+/// entries are a deterministic function of the key (the System placement
+/// cache behind run_matrix, and its calibration cache memoizing the
+/// contention pass's HopLatencies per (workload, arch, policy, ...)):
+/// memoization then never changes any point's result, only who computes
+/// it first.  Unsynchronized or result-changing mutable state still
+/// breaks this contract.
 ///
 /// Exception safety: if fn(i) throws, the pool stops claiming new points
 /// (points already in flight on other workers still complete), every

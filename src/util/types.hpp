@@ -40,6 +40,23 @@ inline constexpr ThreadId kNoThread = -1;
 /// kInfiniteCost + any realistic cost does not overflow.
 inline constexpr Cost kInfiniteCost = std::numeric_limits<Cost>::max() / 4;
 
+/// Forces inlining of a protocol hot-path body into its caller's loop.
+/// The engines' per-access bodies sit right at the compiler's -O2 size
+/// heuristics: left to its own devices GCC keeps e.g. Em2Machine::access
+/// out of line inside the EM2-RA specializations, re-introducing a call
+/// per access that the sealed-dispatch design exists to remove.  Use
+/// sparingly — only on bodies measured to matter.
+#if defined(__GNUC__) || defined(__clang__)
+#define EM2_ALWAYS_INLINE inline __attribute__((always_inline))
+/// The opposite: keeps a cold leg (evictions, modelled caches) from being
+/// re-inlined by LTO into the per-access loops it was deliberately
+/// extracted from.
+#define EM2_NOINLINE __attribute__((noinline))
+#else
+#define EM2_ALWAYS_INLINE inline
+#define EM2_NOINLINE
+#endif
+
 /// Kind of memory operation carried by a trace record.
 enum class MemOp : std::uint8_t {
   kRead = 0,

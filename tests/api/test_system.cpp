@@ -348,5 +348,77 @@ TEST(ApiModes, ContentionModeNamesAndFailFastEntry) {
   }
 }
 
+TEST(ApiCalibrationCache, MemoizedCalibrationIsResultInvariant) {
+  // System memoizes the contention calibration per (workload, arch,
+  // policy, ...).  The cache may only change who computes the tables
+  // first — a warm rerun and a cold fresh-System run must report the
+  // same numbers down to the calibration differential.
+  SystemConfig cfg;
+  cfg.threads = 16;
+  const auto w = workload::make_workload("sharing-mix", 16);
+  RunSpec spec;
+  spec.arch = MemArch::kEm2Ra;
+  spec.policy = "history";
+  spec.contention = ContentionMode::kMeasured;
+
+  const System warm_sys(cfg);
+  const RunReport cold = warm_sys.run(w, spec);
+  const RunReport warm = warm_sys.run(w, spec);  // cache hit
+  const System fresh_sys(cfg);
+  const RunReport fresh = fresh_sys.run(w, spec);  // cache miss, fresh
+
+  for (const RunReport* r : {&warm, &fresh}) {
+    EXPECT_EQ(cold.accesses, r->accesses);
+    EXPECT_EQ(cold.migrations, r->migrations);
+    EXPECT_EQ(cold.remote_accesses, r->remote_accesses);
+    EXPECT_EQ(cold.network_cost, r->network_cost);
+    EXPECT_EQ(cold.cost_per_access, r->cost_per_access);
+    ASSERT_TRUE(r->noc.has_value());
+    EXPECT_EQ(cold.noc->calibration_packets, r->noc->calibration_packets);
+    EXPECT_EQ(cold.noc->calibration_cycles, r->noc->calibration_cycles);
+    EXPECT_EQ(cold.noc->measured_total_latency,
+              r->noc->measured_total_latency);
+    EXPECT_EQ(cold.noc->predicted_total_latency,
+              r->noc->predicted_total_latency);
+    EXPECT_EQ(cold.noc->uncontended_total_latency,
+              r->noc->uncontended_total_latency);
+    EXPECT_EQ(cold.noc->utilization, r->noc->utilization);
+    EXPECT_EQ(cold.noc->corrected_per_hop, r->noc->corrected_per_hop);
+  }
+}
+
+TEST(ApiCalibrationCache, DistinctSpecsDoNotShareCalibrations) {
+  // Keys must separate arch, policy, contention mode, and budget: two
+  // specs that differ in any of them see their own calibration (the em2
+  // capture has no remote traffic; the em2-ra one does — conflating them
+  // would corrupt the corrected tables).
+  SystemConfig cfg;
+  cfg.threads = 16;
+  const System sys(cfg);
+  const auto w = workload::make_workload("sharing-mix", 16);
+  RunSpec ra;
+  ra.arch = MemArch::kEm2Ra;
+  ra.policy = "history";
+  ra.contention = ContentionMode::kMeasured;
+  RunSpec em2_spec = ra;
+  em2_spec.arch = MemArch::kEm2;
+  RunSpec ra_remote = ra;
+  ra_remote.policy = "always-remote";
+  const RunReport a = sys.run(w, ra);
+  const RunReport b = sys.run(w, em2_spec);
+  const RunReport c = sys.run(w, ra_remote);
+  ASSERT_TRUE(a.noc && b.noc && c.noc);
+  // em2 runs no remote traffic; always-remote runs no migrations — their
+  // calibration captures (and hence replay sizes) must differ from the
+  // history run's.
+  EXPECT_NE(a.noc->calibration_packets, b.noc->calibration_packets);
+  EXPECT_NE(a.noc->calibration_packets, c.noc->calibration_packets);
+  // And each matches its own fresh-System ground truth.
+  const System fresh(cfg);
+  const RunReport b2 = fresh.run(w, em2_spec);
+  EXPECT_EQ(b.noc->measured_total_latency, b2.noc->measured_total_latency);
+  EXPECT_EQ(b.network_cost, b2.network_cost);
+}
+
 }  // namespace
 }  // namespace em2

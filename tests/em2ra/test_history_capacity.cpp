@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <map>
+#include <unordered_map>
+
 #include "em2ra/policy.hpp"
 #include "noc/cost_model.hpp"
 #include "optimal/policy_eval.hpp"
@@ -7,6 +10,89 @@
 
 namespace em2 {
 namespace {
+
+/// Reference implementation of the history predictor exactly as it
+/// shipped before the flat-table rewrite: per-thread state in an
+/// unordered_map, counters in an ordered std::map whose iteration order
+/// defined the eviction tie-break (lowest counter, lowest core id).  The
+/// flat fixed-capacity files must be decision-for-decision identical to
+/// this, including eviction order at every capacity.
+class MapHistoryReference {
+ public:
+  explicit MapHistoryReference(std::uint32_t long_run,
+                               std::uint32_t capacity)
+      : long_run_(long_run), capacity_(capacity) {}
+
+  RaDecision decide(const DecisionQuery& q) {
+    ThreadState& st = state_[q.thread];
+    if (q.home == q.native) {
+      return st.native_ctr >= 2 ? RaDecision::kMigrate
+                                : RaDecision::kRemoteAccess;
+    }
+    const auto it = st.counter.find(q.home);
+    const std::uint8_t ctr = it == st.counter.end() ? 0 : it->second;
+    return ctr >= 2 ? RaDecision::kMigrate : RaDecision::kRemoteAccess;
+  }
+
+  void observe(ThreadId thread, CoreId home, CoreId native) {
+    ThreadState& st = state_[thread];
+    if (st.run_home == home) {
+      ++st.run_len;
+      return;
+    }
+    if (st.run_home != kNoCore) {
+      if (st.run_home == native) {
+        if (st.run_len >= long_run_) {
+          if (st.native_ctr < 3) {
+            ++st.native_ctr;
+          }
+        } else if (st.native_ctr > 0) {
+          --st.native_ctr;
+        }
+      } else {
+        train(st, st.run_home, st.run_len);
+      }
+    }
+    st.run_home = home;
+    st.run_len = 1;
+  }
+
+ private:
+  struct ThreadState {
+    CoreId run_home = kNoCore;
+    std::uint64_t run_len = 0;
+    std::uint8_t native_ctr = 2;
+    std::map<CoreId, std::uint8_t> counter;
+  };
+  void train(ThreadState& st, CoreId ended_home, std::uint64_t run_len) {
+    auto it = st.counter.find(ended_home);
+    if (it == st.counter.end()) {
+      if (capacity_ != 0 && st.counter.size() >= capacity_) {
+        auto victim = st.counter.begin();
+        for (auto cand = st.counter.begin(); cand != st.counter.end();
+             ++cand) {
+          if (cand->second < victim->second) {
+            victim = cand;
+          }
+        }
+        st.counter.erase(victim);
+      }
+      it = st.counter.emplace(ended_home, 0).first;
+    }
+    std::uint8_t& ctr = it->second;
+    if (run_len >= long_run_) {
+      if (ctr < 3) {
+        ++ctr;
+      }
+    } else if (ctr > 0) {
+      --ctr;
+    }
+  }
+
+  std::uint32_t long_run_;
+  std::uint32_t capacity_;
+  std::unordered_map<ThreadId, ThreadState> state_;
+};
 
 DecisionQuery query(ThreadId t, CoreId current, CoreId home) {
   DecisionQuery q;
@@ -78,6 +164,34 @@ TEST(HistoryCapacity, FactoryParsesCapacitySpecs) {
   ASSERT_NE(p, nullptr);
   EXPECT_EQ(p->name(), "history:2:4");
   EXPECT_EQ(make_policy("history:2:0", mesh, cost), nullptr);
+}
+
+TEST(HistoryCapacity, FlatTableMatchesMapReferenceDecisionForDecision) {
+  // Random decide/observe streams across several threads and more homes
+  // than capacity: evictions fire constantly, so any divergence in the
+  // flat file's victim selection (lowest counter, lowest core id ties)
+  // from the ordered map's shows up as a decision flip.
+  for (const std::uint32_t capacity : {0u, 1u, 2u, 3u, 4u, 8u}) {
+    for (const std::uint32_t long_run : {1u, 2u, 3u}) {
+      HistoryPolicy flat(long_run, capacity);
+      MapHistoryReference reference(long_run, capacity);
+      Rng rng(1000 * capacity + long_run);
+      for (int step = 0; step < 20000; ++step) {
+        const auto t = static_cast<ThreadId>(rng.next_below(3));
+        const auto home = static_cast<CoreId>(rng.next_below(12));
+        DecisionQuery q;
+        q.thread = t;
+        q.current = 0;
+        q.home = home;
+        q.native = static_cast<CoreId>(t);
+        EXPECT_EQ(flat.decide(q), reference.decide(q))
+            << "capacity " << capacity << " long_run " << long_run
+            << " step " << step;
+        flat.observe(t, home, static_cast<CoreId>(t));
+        reference.observe(t, home, static_cast<CoreId>(t));
+      }
+    }
+  }
 }
 
 TEST(HistoryCapacity, CapacityPMatchesUnbounded) {

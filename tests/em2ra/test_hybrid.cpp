@@ -18,8 +18,8 @@ struct HybridFixture {
 TEST(HybridMachine, RemotePathLeavesThreadInPlace) {
   HybridFixture f;
   AlwaysRemotePolicy policy;
-  HybridMachine m(f.mesh, f.cost, f.params, f.native, policy);
-  const HybridOutcome out = m.access_hybrid(0, 5, MemOp::kRead, 0x100, 1);
+  HybridMachine m(f.mesh, f.cost, f.params, f.native);
+  const HybridOutcome out = m.access_hybrid(policy, 0, 5, MemOp::kRead, 0x100, 1);
   EXPECT_TRUE(out.remote);
   EXPECT_FALSE(out.base.migrated);
   EXPECT_EQ(m.location(0), 0);  // did not move
@@ -31,8 +31,8 @@ TEST(HybridMachine, RemotePathLeavesThreadInPlace) {
 TEST(HybridMachine, MigratePathMatchesEm2) {
   HybridFixture f;
   AlwaysMigratePolicy policy;
-  HybridMachine m(f.mesh, f.cost, f.params, f.native, policy);
-  const HybridOutcome out = m.access_hybrid(0, 5, MemOp::kRead, 0x100, 1);
+  HybridMachine m(f.mesh, f.cost, f.params, f.native);
+  const HybridOutcome out = m.access_hybrid(policy, 0, 5, MemOp::kRead, 0x100, 1);
   EXPECT_FALSE(out.remote);
   EXPECT_TRUE(out.base.migrated);
   EXPECT_EQ(m.location(0), 5);
@@ -41,8 +41,8 @@ TEST(HybridMachine, MigratePathMatchesEm2) {
 TEST(HybridMachine, LocalAccessBypassesDecision) {
   HybridFixture f;
   AlwaysRemotePolicy policy;
-  HybridMachine m(f.mesh, f.cost, f.params, f.native, policy);
-  const HybridOutcome out = m.access_hybrid(0, 0, MemOp::kRead, 0x100, 0);
+  HybridMachine m(f.mesh, f.cost, f.params, f.native);
+  const HybridOutcome out = m.access_hybrid(policy, 0, 0, MemOp::kRead, 0x100, 0);
   EXPECT_FALSE(out.remote);
   EXPECT_TRUE(out.base.local);
 }
@@ -50,9 +50,9 @@ TEST(HybridMachine, LocalAccessBypassesDecision) {
 TEST(HybridMachine, RemoteTrafficOnRemoteVnets) {
   HybridFixture f;
   AlwaysRemotePolicy policy;
-  HybridMachine m(f.mesh, f.cost, f.params, f.native, policy);
-  m.access_hybrid(0, 5, MemOp::kRead, 0x100, 1);
-  m.access_hybrid(0, 6, MemOp::kWrite, 0x200, 2);
+  HybridMachine m(f.mesh, f.cost, f.params, f.native);
+  m.access_hybrid(policy, 0, 5, MemOp::kRead, 0x100, 1);
+  m.access_hybrid(policy, 0, 6, MemOp::kWrite, 0x200, 2);
   EXPECT_GT(m.vnet_bits(vnet::kRemoteRequest), 0u);
   EXPECT_GT(m.vnet_bits(vnet::kRemoteReply), 0u);
   EXPECT_EQ(m.vnet_bits(vnet::kMigrationGuest), 0u);
@@ -69,8 +69,8 @@ TEST(HybridMachine, WriteRemoteAccessKeepsSingleHome) {
   HybridFixture f;
   f.params.model_caches = true;
   AlwaysRemotePolicy policy;
-  HybridMachine m(f.mesh, f.cost, f.params, f.native, policy);
-  m.access_hybrid(0, 5, MemOp::kWrite, 0x100, 1);
+  HybridMachine m(f.mesh, f.cost, f.params, f.native);
+  m.access_hybrid(policy, 0, 5, MemOp::kWrite, 0x100, 1);
   // The home core's hierarchy saw the access.
   EXPECT_EQ(m.cache_totals().dram_fills, 1u);
 }

@@ -65,11 +65,11 @@ TEST_P(ModelEngineAgreement, OptimalScheduleCostsTheSameInBothWorlds) {
   ScriptedPolicy policy(sol);
   Em2Params params;
   params.guest_contexts = 16;  // never a factor for one thread
-  HybridMachine machine(mesh, cost, params, {mt.start}, policy);
+  HybridMachine machine(mesh, cost, params, {mt.start});
 
   for (std::size_t k = 0; k < mt.homes.size(); ++k) {
     // Block/addr identity is irrelevant without cache modelling.
-    machine.access_hybrid(0, mt.homes[k], mt.ops[k],
+    machine.access_hybrid(policy, 0, mt.homes[k], mt.ops[k],
                           static_cast<Addr>(k) * 64, static_cast<Addr>(k));
     ASSERT_EQ(machine.location(0), sol.locations[k]) << "step " << k;
   }

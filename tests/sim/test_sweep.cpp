@@ -38,6 +38,54 @@ TEST(Sweep, AllPointsRunExactlyOnce) {
   }
 }
 
+TEST(Sweep, WorkStealingCoversSkewedPointsExactlyOnce) {
+  // Heavily skewed work: the first chunk's points are ~1000x the rest, so
+  // finishing anywhere near optimally requires thieves to raid the slow
+  // chunk.  Regardless of who stole what, every point must run exactly
+  // once and land at its own index.
+  const std::size_t n = 801;
+  std::vector<std::atomic<int>> hits(n);
+  const auto results = sweep::run(
+      n,
+      [&](std::size_t i) {
+        hits[i].fetch_add(1);
+        volatile std::uint64_t sink = 0;
+        const std::uint64_t spin = i < 8 ? 200000 : 200;
+        for (std::uint64_t k = 0; k < spin; ++k) {
+          sink += k;
+        }
+        return i * 3 + 1;
+      },
+      sweep::Options{.num_threads = 8});
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+    EXPECT_EQ(results[i], i * 3 + 1) << i;
+  }
+}
+
+TEST(Sweep, LargePointCountsAcrossThreadCounts) {
+  // The chunked scheduler splits [0, n) unevenly when n % workers != 0;
+  // prime-ish sizes and worker counts exercise the split and steal
+  // boundary arithmetic (the mid/end packing) hard.
+  for (const unsigned workers : {2u, 3u, 5u, 13u}) {
+    for (const std::size_t n : {1ul, 2ul, 3ul, 17ul, 1009ul, 20011ul}) {
+      std::atomic<std::uint64_t> sum{0};
+      const auto results = sweep::run(
+          n,
+          [&](std::size_t i) {
+            sum.fetch_add(i, std::memory_order_relaxed);
+            return static_cast<std::uint64_t>(i);
+          },
+          sweep::Options{.num_threads = workers});
+      ASSERT_EQ(results.size(), n);
+      EXPECT_EQ(sum.load(), n * (n - 1) / 2) << n << "/" << workers;
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(results[i], i);
+      }
+    }
+  }
+}
+
 TEST(Sweep, ZeroPointsIsANoOp) {
   const auto results =
       sweep::run(0, [](std::size_t) { return 1; }, sweep::Options{});
