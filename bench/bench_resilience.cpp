@@ -1,0 +1,134 @@
+// Resilience-layer benchmark: end-to-end System::run throughput under a
+// fault scenario, next to the recovery work the scenario forced.
+//
+// Two questions this answers, both CI-tracked:
+//   1. What does the fault-free spec cost?  --faults=none runs the exact
+//      historical code path (no injector is even constructed), so its row
+//      against the committed baseline bounds the tentpole's overhead.
+//   2. What does recovery cost?  Lossy rows price the retransmission +
+//      backoff machinery at increasing drop rates.
+//
+//   --cores=N         threads == cores (near-square mesh), default 16
+//   --arch=em2|em2ra  protocol engine, default em2ra
+//   --mode=trace|exec engine family, default trace
+//   --workload=NAME   workload registry name, default sharing-mix
+//   --faults=SPEC     fault scenario (sim/faults.hpp grammar; "none" for
+//                     the fault-free baseline), default drop=0.1,seed=42
+//   --seconds=S       keep repeating full runs until S elapsed, default 1
+//   --json            one-line JSON row ("bench":"resilience") instead of
+//                     the text report; fold into BENCH_hot_path.json and
+//                     tools/check_bench_regression tracks it
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "api/system.hpp"
+#include "sim/faults.hpp"
+#include "sim/modes.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
+#include "workload/registry.hpp"
+
+int main(int argc, char** argv) {
+  const em2::Args args(argc, argv);
+  const auto cores = static_cast<std::int32_t>(args.get_int("cores", 16));
+  const std::string arch_name = args.get_string("arch", "em2ra");
+  const std::string mode_name = args.get_string("mode", "trace");
+  const std::string workload_name =
+      args.get_string("workload", "sharing-mix");
+  const std::string fault_text =
+      args.get_string("faults", "drop=0.1,seed=42");
+  const double seconds = args.get_double("seconds", 1.0);
+  const bool json = args.has("json");
+
+  const auto arch = em2::parse_mem_arch(arch_name);
+  if (!arch || *arch == em2::MemArch::kCc) {
+    std::fprintf(stderr, "unknown/unsupported arch '%s' (known here: em2, "
+                 "em2-ra)\n", arch_name.c_str());
+    return 1;
+  }
+  const auto mode = em2::parse_run_mode(mode_name);
+  if (!mode || *mode == em2::RunMode::kOptimal) {
+    std::fprintf(stderr, "unknown/unsupported mode '%s' (known here: "
+                 "trace, exec)\n", mode_name.c_str());
+    return 1;
+  }
+
+  try {
+    const em2::FaultSpec faults = em2::fault_spec_from_string(fault_text);
+    em2::SystemConfig cfg;
+    cfg.threads = cores;
+    const em2::System sys(cfg);
+    const auto w = em2::workload::make_workload(workload_name, cores);
+
+    em2::RunSpec spec;
+    spec.arch = *arch;
+    spec.mode = *mode;
+    spec.faults = faults;
+
+    // Whole runs repeated until the time budget: the figure covers the
+    // full stack (placement lookup, engine, report assembly), which is
+    // what a faulted sweep cell actually pays.
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t runs = 0;
+    std::uint64_t accesses = 0;
+    double elapsed = 0.0;
+    em2::RunReport last;
+    do {
+      last = sys.run(w, spec);
+      ++runs;
+      accesses += last.accesses;
+      elapsed = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    } while (elapsed < seconds);
+    const double rate = static_cast<double>(accesses) / elapsed;
+
+    const em2::ResilienceStats stats =
+        last.resilience ? last.resilience->stats : em2::ResilienceStats{};
+    const std::string canonical = em2::to_string(faults);
+    if (json) {
+      em2::JsonWriter out;
+      out.add("bench", "resilience")
+          .add("arch", std::string(em2::to_string(*arch)))
+          .add("mode", std::string(em2::to_string(*mode)))
+          .add("workload", workload_name)
+          .add("cores", static_cast<std::int64_t>(cores))
+          .add("faults", canonical)
+          .add("runs", runs)
+          .add("accesses", accesses)
+          .add("seconds", elapsed)
+          .add("accesses_per_sec", rate)
+          .add("injected", stats.injected)
+          .add("recovered", stats.recovered)
+          .add("retransmissions", stats.retransmissions)
+          .add("migration_retries", stats.migration_retries)
+          .add("recovery_cost", stats.recovery_cost);
+      out.print();
+    } else {
+      std::printf("=== resilience throughput (%s/%s, %s, %d cores) ===\n",
+                  em2::to_string(*arch), em2::to_string(*mode),
+                  workload_name.c_str(), cores);
+      std::printf("faults:          %s\n", canonical.c_str());
+      std::printf("runs:            %llu\n",
+                  static_cast<unsigned long long>(runs));
+      std::printf("accesses:        %llu\n",
+                  static_cast<unsigned long long>(accesses));
+      std::printf("elapsed:         %.3f s\n", elapsed);
+      std::printf("throughput:      %.0f accesses/sec\n", rate);
+      std::printf("faults injected: %llu\n",
+                  static_cast<unsigned long long>(stats.injected));
+      std::printf("recovered:       %llu\n",
+                  static_cast<unsigned long long>(stats.recovered));
+      std::printf("retransmissions: %llu\n",
+                  static_cast<unsigned long long>(stats.retransmissions));
+      std::printf("recovery cost:   %llu cycles\n",
+                  static_cast<unsigned long long>(stats.recovery_cost));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -51,6 +51,21 @@ void System::validate(const RunSpec& spec) const {
         "RunSpec: kMeasured calibration needs a non-zero "
         "calibration_packets budget");
   }
+  if (spec.faults.any()) {
+    if (spec.arch == MemArch::kCc) {
+      throw std::invalid_argument(
+          "RunSpec: fault injection is EM2/EM2-RA only (no CC fault "
+          "model)");
+    }
+    if (spec.replication) {
+      throw std::invalid_argument(
+          "RunSpec: fault injection does not compose with read-only "
+          "replication (replicated reads have no single home to remap)");
+    }
+    // Validates kill cores against the mesh and the at-least-one-core-
+    // survives rule (std::invalid_argument), before any engine runs.
+    (void)FaultInjector(spec.faults, mesh_.num_cores());
+  }
   const std::string& scheme =
       spec.placement.empty() ? config_.placement : spec.placement;
   const auto schemes = placement_names();
@@ -120,16 +135,35 @@ RunReport System::run(const TraceSet& traces, const RunSpec& spec) const {
 
 std::vector<RunReport> System::run_matrix(
     const std::vector<workload::Workload>& workloads,
-    const std::vector<RunSpec>& specs, const sweep::Options& opts) const {
-  // Fail fast on any bad spec before fanning out.
-  for (const RunSpec& spec : specs) {
-    validate(spec);
+    const std::vector<RunSpec>& specs, const sweep::Options& opts,
+    MatrixErrorPolicy errors) const {
+  if (errors == MatrixErrorPolicy::kRethrow) {
+    // Fail fast on any bad spec before fanning out.
+    for (const RunSpec& spec : specs) {
+      validate(spec);
+    }
   }
   const std::size_t stride = specs.size();
   return sweep::run(
       workloads.size() * stride,
       [&](std::size_t i) {
-        return run(workloads[i / stride], specs[i % stride]);
+        const workload::Workload& w = workloads[i / stride];
+        const RunSpec& spec = specs[i % stride];
+        if (errors == MatrixErrorPolicy::kRethrow) {
+          return run(w, spec);
+        }
+        // kCapture: validation errors are per-cell too — one bad spec
+        // fails its own row of cells, not the whole grid.
+        try {
+          return run(w, spec);
+        } catch (const std::exception& e) {
+          RunReport failed;
+          failed.arch = spec.arch;
+          failed.mode = spec.mode;
+          failed.workload = w.name();
+          failed.error = e.what();
+          return failed;
+        }
       },
       opts);
 }
@@ -137,9 +171,18 @@ std::vector<RunReport> System::run_matrix(
 RunReport System::run_with_placement(
     const TraceSet& traces, const RunSpec& spec, const Placement& placement,
     const workload::Workload* workload) const {
+  // One injector per run: the fault draws are stateless hashes of the
+  // seeded spec, but the injector carries per-run accounting (sequence
+  // counters, the failed-core map, the event log).  A default spec
+  // builds none and every engine takes its historical fault-free path.
+  std::optional<FaultInjector> injector;
+  if (spec.faults.any()) {
+    injector.emplace(spec.faults, mesh_.num_cores());
+  }
+  FaultInjector* const faults = injector ? &*injector : nullptr;
   RunReport out;
   if (spec.contention == ContentionMode::kNone) {
-    out = dispatch(traces, spec, placement, workload, cost_);
+    out = dispatch(traces, spec, placement, workload, cost_, faults);
   } else {
     // Two-pass contention flow: pass 1 (calibrate, memoized per workload)
     // derives the corrected hop latencies; pass 2 rebuilds the tables and
@@ -148,7 +191,7 @@ RunReport System::run_with_placement(
     const Calibration cal =
         calibration_for(workload, traces, spec, placement);
     const CostModel corrected(mesh_, config_.cost, cal.hop);
-    out = dispatch(traces, spec, placement, workload, corrected);
+    out = dispatch(traces, spec, placement, workload, corrected, faults);
     out.noc = cal.section;
   }
   out.arch = spec.arch;
@@ -157,6 +200,17 @@ RunReport System::run_with_placement(
     out.workload = workload->name();
   }
   out.placement = placement.name();
+  if (injector) {
+    // The engines fill the per-engine fields (conservation, watchdog);
+    // the shared what-was-injected accounting comes from the injector.
+    // Optimal mode has no machines, so its section is the spec echo.
+    if (!out.resilience) {
+      out.resilience.emplace();
+    }
+    out.resilience->faults = to_string(spec.faults);
+    out.resilience->stats = injector->stats();
+    out.resilience->events = injector->events();
+  }
   return out;
 }
 
@@ -174,10 +228,21 @@ System::Calibration System::calibrate(const TraceSet& traces,
   // earliest calibration_packets, so the recorder can bound its memory to
   // that budget; the estimated path integrates the whole run and records
   // unbounded.
+  // The calibration pass owns a private injector (the main run's is
+  // single-use, and pass 1 may be served from the memo cache anyway):
+  // the capture run injects the protocol-level faults, so the recorded
+  // traffic includes the recovery packets, and the measured replay
+  // routes through the reliable transport, so transport-level drops,
+  // ACKs, and retransmissions load the fabric too.
+  std::optional<FaultInjector> cal_faults;
+  if (spec.faults.any()) {
+    cal_faults.emplace(spec.faults, mesh_.num_cores());
+  }
   TrafficRecorder recorder(spec.contention == ContentionMode::kMeasured
                                ? spec.calibration_packets
                                : 0);
-  (void)run_trace(traces, spec, placement, cost_, &recorder);
+  (void)run_trace(traces, spec, placement, cost_, &recorder,
+                  cal_faults ? &*cal_faults : nullptr);
   std::vector<TrafficEvent> events = std::move(recorder.events());
   Calibration out;
   RunReport::NocUtilization& section = out.section;
@@ -195,14 +260,16 @@ System::Calibration System::calibrate(const TraceSet& traces,
     // Closed-loop window: one outstanding chain per thread plus room
     // for eviction transients (see CalibrationOptions).
     opts.max_outstanding = 2 * traces.num_threads();
-    const CalibrationReport cal =
-        replay_on_fabric(mesh_, cost_, events, opts);
+    const CalibrationReport cal = replay_on_fabric(
+        mesh_, cost_, events, opts, cal_faults ? &*cal_faults : nullptr);
     for (std::size_t vn = 0; vn < loads.size(); ++vn) {
       loads[vn].utilization = cal.utilization.seen_by_vnet[vn];
     }
     section.calibration_packets = cal.packets;
     section.calibration_cycles = cal.cycles;
     section.calibration_drained = cal.drained;
+    section.calibration_drops = cal.drops;
+    section.calibration_retransmissions = cal.retransmissions;
     section.measured_total_latency = cal.measured_total_latency;
     if (cal.drained) {
       section.uncontended_total_latency =
@@ -252,7 +319,9 @@ System::Calibration System::calibration_for(
   } else if (spec.arch == MemArch::kEm2 && spec.replication) {
     key += "ro-replication";
   }
-  key += "|" + scheme + "|" + ptr_key;
+  // The canonical fault string round-trips exactly (std::to_chars), so
+  // equal specs — and only equal specs — share a calibration.
+  key += "|" + to_string(spec.faults) + "|" + scheme + "|" + ptr_key;
   return calibration_cache_.get_or_build(key, trace_ptr, [&] {
     return calibrate(traces, spec, placement);
   });
@@ -261,12 +330,13 @@ System::Calibration System::calibration_for(
 RunReport System::dispatch(const TraceSet& traces, const RunSpec& spec,
                            const Placement& placement,
                            const workload::Workload* workload,
-                           const CostModel& cost) const {
+                           const CostModel& cost,
+                           FaultInjector* faults) const {
   switch (spec.mode) {
     case RunMode::kTrace:
-      return run_trace(traces, spec, placement, cost);
+      return run_trace(traces, spec, placement, cost, nullptr, faults);
     case RunMode::kExec:
-      return run_exec(traces, spec, placement, workload, cost);
+      return run_exec(traces, spec, placement, workload, cost, faults);
     case RunMode::kOptimal:
       return run_optimal_mode(traces, spec, placement, cost);
   }
@@ -276,11 +346,14 @@ RunReport System::dispatch(const TraceSet& traces, const RunSpec& spec,
 RunReport System::run_trace(const TraceSet& traces, const RunSpec& spec,
                             const Placement& placement,
                             const CostModel& cost,
-                            TrafficRecorder* recorder) const {
+                            TrafficRecorder* recorder,
+                            FaultInjector* faults) const {
   RunReport out;
   switch (spec.arch) {
     case MemArch::kEm2: {
       if (spec.replication) {
+        EM2_ASSERT(faults == nullptr,
+                   "validate() rejects faults + replication");
         const auto replicable = replicable_blocks(traces, 1);
         const Em2RunReport r =
             em2::run_em2_replicated(traces, placement, mesh_, cost,
@@ -289,9 +362,13 @@ RunReport System::run_trace(const TraceSet& traces, const RunSpec& spec,
         fill_from_em2_report(out, r);
       } else {
         const Em2RunReport r = em2::run_em2(traces, placement, mesh_, cost,
-                                            config_.em2, recorder);
+                                            config_.em2, recorder, faults);
         out.arch_label = "em2";
         fill_from_em2_report(out, r);
+        if (faults != nullptr) {
+          out.resilience.emplace();
+          out.resilience->conservation_ok = r.thread_conservation_ok;
+        }
       }
       finish_cost_per_access(out);
       break;
@@ -301,11 +378,16 @@ RunReport System::run_trace(const TraceSet& traces, const RunSpec& spec,
       // loop, so standard policies pay zero virtual calls per access (a
       // "custom:" spec selects the retained virtual path).
       StandardPolicy policy = StandardPolicy::make(spec.policy, mesh_, cost);
-      const HybridRunReport r = em2::run_em2ra(
-          traces, placement, mesh_, cost, config_.em2, policy, recorder);
+      const HybridRunReport r =
+          em2::run_em2ra(traces, placement, mesh_, cost, config_.em2,
+                         policy, recorder, faults);
       out.arch_label = "em2-ra(" + r.policy_name + ")";
       fill_from_em2_report(out, r.em2);
       out.remote_accesses = r.remote_accesses;
+      if (faults != nullptr) {
+        out.resilience.emplace();
+        out.resilience->conservation_ok = r.em2.thread_conservation_ok;
+      }
       finish_cost_per_access(out);
       break;
     }
@@ -330,7 +412,8 @@ RunReport System::run_trace(const TraceSet& traces, const RunSpec& spec,
 RunReport System::run_exec(const TraceSet& traces, const RunSpec& spec,
                            const Placement& placement,
                            const workload::Workload* workload,
-                           const CostModel& cost) const {
+                           const CostModel& cost,
+                           FaultInjector* faults) const {
   ExecParams params;
   params.arch = spec.arch;
   params.scheduler = spec.scheduler;
@@ -339,6 +422,8 @@ RunReport System::run_exec(const TraceSet& traces, const RunSpec& spec,
   params.cc.private_cache.line_bytes = traces.block_bytes();
   params.ra_policy = spec.policy;
   params.block_bytes = traces.block_bytes();
+  params.faults = faults;
+  params.watchdog_cycles = spec.watchdog_cycles;
   ExecSystem exec(mesh_, cost, params, placement);
 
   std::vector<RProgram> programs =
@@ -373,9 +458,16 @@ RunReport System::run_exec(const TraceSet& traces, const RunSpec& spec,
   section.instructions = r.instructions;
   section.consistent = r.consistent;
   section.timed_out = r.timed_out;
+  section.watchdog_fired = r.watchdog_fired;
   section.violations = r.violations;
   section.finish_cycle = r.finish_cycle;
   out.exec = std::move(section);
+  if (faults != nullptr) {
+    out.resilience.emplace();
+    out.resilience->conservation_ok = r.conservation_ok;
+    out.resilience->watchdog_fired = r.watchdog_fired;
+    out.resilience->diagnosis = r.diagnosis;
+  }
   return out;
 }
 

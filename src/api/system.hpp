@@ -51,6 +51,7 @@
 #include "optimal/dp_migrate.hpp"
 #include "placement/placement.hpp"
 #include "sim/exec_system.hpp"
+#include "sim/faults.hpp"
 #include "sim/sweep.hpp"
 #include "trace/run_length.hpp"
 #include "trace/trace.hpp"
@@ -101,7 +102,26 @@ struct RunSpec {
   /// calibration cost regardless of trace length).  Must be non-zero
   /// when contention == kMeasured (std::invalid_argument at entry).
   std::uint64_t calibration_packets = 20'000;
+  /// Fault scenario (sim/faults.hpp grammar).  The default injects
+  /// nothing and keeps every engine bit-identical to the fault-free
+  /// build.  EM2/EM2-RA only: kCc (no CC fault model) and EM2 read-only
+  /// replication reject a faulted spec with std::invalid_argument, as do
+  /// kills naming cores outside the mesh.
+  FaultSpec faults{};
+  /// Exec-mode liveness watchdog: a run that retires no instruction for
+  /// this many cycles terminates with a structured diagnosis
+  /// (RunReport::Resilience::diagnosis) instead of burning the rest of
+  /// max_cycles.  0 disables; the default is generous enough that only a
+  /// genuinely wedged configuration trips it.
+  Cycle watchdog_cycles = 1'000'000;
 };
+
+/// run_matrix error handling.  kRethrow (historical default) propagates
+/// the first failing cell's exception and discards the grid.  kCapture
+/// turns each failing cell into a RunReport whose `error` field holds the
+/// exception text (all other fields echo what is known of the spec), so
+/// one bad cell cannot sink a long sweep.
+enum class MatrixErrorPolicy : std::uint8_t { kRethrow, kCapture };
 
 /// Unified result of System::run — one type for every arch x mode.  The
 /// shared counters are filled with whatever the selected engine measures
@@ -143,6 +163,9 @@ struct RunReport {
     std::uint64_t instructions = 0;
     bool consistent = false;
     bool timed_out = false;
+    /// The liveness watchdog cut the run short (also timed_out);
+    /// Resilience::diagnosis says what the scheduler saw.
+    bool watchdog_fired = false;
     std::vector<ConsistencyViolation> violations;
     std::vector<Cycle> finish_cycle;
   };
@@ -178,6 +201,11 @@ struct RunReport {
     /// kMeasured: calibration replay size and duration.
     std::uint64_t calibration_packets = 0;
     Cycle calibration_cycles = 0;
+    /// kMeasured under a lossy FaultSpec: packets lost at ejection and
+    /// retransmitted by the reliable transport during the replay — the
+    /// recovery load the corrected tables price in.  Zero otherwise.
+    std::uint64_t calibration_drops = 0;
+    std::uint64_t calibration_retransmissions = 0;
     /// kMeasured: false when the replay hit its cycle budget before every
     /// packet delivered — measured_total_latency then covers only the
     /// delivered subset, and the prediction fields below stay zero (they
@@ -191,10 +219,32 @@ struct RunReport {
     Cost predicted_total_latency = 0;
     Cost uncontended_total_latency = 0;
   };
+  /// Resilience section, present whenever RunSpec::faults injects
+  /// anything: what was injected and how the run recovered.
+  struct Resilience {
+    /// Canonical scenario string (to_string(RunSpec::faults)).
+    std::string faults;
+    ResilienceStats stats;
+    /// Post-run thread-conservation invariant of the protocol machines
+    /// (trivially true in optimal mode, which has no machines).
+    bool conservation_ok = true;
+    /// Exec mode: the liveness watchdog terminated the run; `diagnosis`
+    /// is its structured report of what the scheduler saw.
+    bool watchdog_fired = false;
+    std::string diagnosis;
+    /// Injected-event log, capped at FaultInjector::kMaxEvents (stats
+    /// stay exact beyond the cap).
+    std::vector<FaultEvent> events;
+  };
   std::optional<ExecSection> exec;
   std::optional<OptimalSection> optimal;
   std::optional<CcSection> cc;
   std::optional<NocUtilization> noc;
+  std::optional<Resilience> resilience;
+  /// run_matrix with MatrixErrorPolicy::kCapture only: non-empty iff this
+  /// cell failed, holding the exception text.  Every other field is then
+  /// a best-effort echo of the spec.
+  std::string error;
 };
 
 /// The façade.
@@ -223,10 +273,14 @@ class System {
   /// runner (sim/sweep.hpp).  Result is workload-major:
   /// reports[w * specs.size() + s].  All placements go through the shared
   /// synchronized cache; results are identical to the serial double loop.
+  /// With MatrixErrorPolicy::kCapture a failing cell becomes a RunReport
+  /// carrying the exception text in `error` (and validation moves from
+  /// up-front fail-fast to per-cell capture); kRethrow keeps the
+  /// historical first-exception-rethrow contract.
   std::vector<RunReport> run_matrix(
       const std::vector<workload::Workload>& workloads,
-      const std::vector<RunSpec>& specs,
-      const sweep::Options& opts = {}) const;
+      const std::vector<RunSpec>& specs, const sweep::Options& opts = {},
+      MatrixErrorPolicy errors = MatrixErrorPolicy::kRethrow) const;
 
   /// Builds the configured placement for `traces` (first-touch and
   /// profile-greedy derive from the trace itself).  Uncached.
@@ -254,8 +308,9 @@ class System {
   /// derives the corrected per-vnet hop latencies plus the report section
   /// describing the calibration.  Deterministic in (traces, spec.arch,
   /// spec.policy, spec.replication, spec.contention,
-  /// spec.calibration_packets, placement) — which is why the result is
-  /// memoizable.
+  /// spec.calibration_packets, spec.faults, placement) — which is why the
+  /// result is memoizable (the fault draws are stateless hashes of the
+  /// seeded spec, so a private injector reproduces them exactly).
   struct Calibration {
     HopLatencies hop;
     RunReport::NocUtilization section;
@@ -271,21 +326,24 @@ class System {
                               const TraceSet& traces, const RunSpec& spec,
                               const Placement& placement) const;
   /// Mode dispatch against an explicit cost model — `cost_` for kNone,
-  /// the contention-corrected rebuild otherwise.
+  /// the contention-corrected rebuild otherwise.  `faults` (nullable) is
+  /// the run's injector; null keeps every engine bit-identical to the
+  /// fault-free build.
   RunReport dispatch(const TraceSet& traces, const RunSpec& spec,
                      const Placement& placement,
                      const workload::Workload* workload,
-                     const CostModel& cost) const;
+                     const CostModel& cost, FaultInjector* faults) const;
   /// `recorder` (nullable) captures the protocol's packets — the
   /// calibration pass is run_trace against the uncontended tables with a
   /// recorder attached, so pass 1 and pass 2 share ONE per-arch dispatch.
   RunReport run_trace(const TraceSet& traces, const RunSpec& spec,
                       const Placement& placement, const CostModel& cost,
-                      TrafficRecorder* recorder = nullptr) const;
+                      TrafficRecorder* recorder = nullptr,
+                      FaultInjector* faults = nullptr) const;
   RunReport run_exec(const TraceSet& traces, const RunSpec& spec,
                      const Placement& placement,
                      const workload::Workload* workload,
-                     const CostModel& cost) const;
+                     const CostModel& cost, FaultInjector* faults) const;
   RunReport run_optimal_mode(const TraceSet& traces, const RunSpec& spec,
                              const Placement& placement,
                              const CostModel& cost) const;

@@ -1,5 +1,6 @@
 #include "em2/machine.hpp"
 
+#include "sim/faults.hpp"
 #include "util/assert.hpp"
 
 namespace em2 {
@@ -98,6 +99,189 @@ std::uint32_t Em2Machine::serve_memory_cached(CoreId core, Addr addr,
       break;
   }
   return r.latency;
+}
+
+bool Em2Machine::apply_migration_faults(ThreadId t, CoreId from,
+                                        CoreId dest,
+                                        FaultFallback fallback,
+                                        Cost& penalty) {
+  const auto plan = faults_->plan_migration(t);
+  if (plan.failed_attempts == 0) {
+    return true;
+  }
+  ResilienceStats& st = faults_->stats();
+  const CoreId nat = native_[static_cast<std::size_t>(t)];
+  const bool to_native = dest == nat;
+  const Cost one_way = to_native ? cost_.migration_native(from, dest)
+                                 : cost_.migration(from, dest);
+  const int vn =
+      to_native ? vnet::kMigrationNative : vnet::kMigrationGuest;
+  Cost p = 0;
+  for (std::uint32_t a = 0; a < plan.failed_attempts; ++a) {
+    // Each lost attempt still put a full context on the wire (priced into
+    // contention calibration via the traffic sink) and then waited out
+    // its backoff before retransmitting.
+    p += one_way + faults_->backoff(a);
+    vnet_bits_[static_cast<std::size_t>(vn)] += cost_.params().context_bits;
+    if (traffic_sink_ != nullptr) {
+      traffic_sink_->on_packet(from, dest, vn, cost_.params().context_bits);
+    }
+    ++st.injected;
+    ++st.packet_drops;
+    ++st.retransmissions;
+  }
+  if (plan.exhausted) {
+    if (fallback == FaultFallback::kDegrade) {
+      ++st.migrations_degraded;
+      st.recovery_cost += p;
+      penalty += p;
+      faults_->record(FaultEvent{FaultEventKind::kMigrationDegraded,
+                                 faults_->now(), t, dest,
+                                 plan.failed_attempts});
+      return false;
+    }
+    // Pure EM2: nothing to degrade to — hold the thread through one more
+    // maximum backoff (the diagnosed outage) and push the migration
+    // through.
+    p += faults_->backoff(faults_->spec().max_retries);
+    ++st.migrations_stalled;
+    faults_->record(FaultEvent{FaultEventKind::kMigrationStalled,
+                               faults_->now(), t, dest,
+                               plan.failed_attempts});
+  } else {
+    ++st.migration_retries;
+    faults_->record(FaultEvent{FaultEventKind::kMigrationRetry,
+                               faults_->now(), t, dest,
+                               plan.failed_attempts});
+  }
+  ++st.recovered;
+  st.recovery_cost += p;
+  st.recovery_latency.add(static_cast<double>(p));
+  penalty += p;
+  return true;
+}
+
+Cost Em2Machine::apply_remote_faults(ThreadId t, CoreId at, CoreId home,
+                                     MemOp op, std::uint64_t req_bits,
+                                     std::uint64_t rep_bits) {
+  const auto plan = faults_->plan_remote(t);
+  if (plan.failed_attempts == 0) {
+    return 0;
+  }
+  ResilienceStats& st = faults_->stats();
+  const Cost round_trip = cost_.remote_access(at, home, op);
+  Cost p = 0;
+  for (std::uint32_t a = 0; a < plan.failed_attempts; ++a) {
+    p += round_trip + faults_->backoff(a);
+    vnet_bits_[vnet::kRemoteRequest] += req_bits;
+    vnet_bits_[vnet::kRemoteReply] += rep_bits;
+    if (traffic_sink_ != nullptr) {
+      traffic_sink_->on_packet(at, home, vnet::kRemoteRequest, req_bits);
+      traffic_sink_->on_packet(home, at, vnet::kRemoteReply, rep_bits);
+    }
+    ++st.injected;
+    ++st.packet_drops;
+    ++st.retransmissions;
+  }
+  // A remote word read/write is idempotent, so there is no fallback: the
+  // attempt after the last drawn loss always lands (exhaustion only means
+  // the budget's worth of losses all happened).
+  ++st.remote_retries;
+  ++st.recovered;
+  st.recovery_cost += p;
+  st.recovery_latency.add(static_cast<double>(p));
+  faults_->record(FaultEvent{FaultEventKind::kRemoteRetry, faults_->now(),
+                             t, home, plan.failed_attempts});
+  return p;
+}
+
+std::vector<Em2Machine::Evacuation> Em2Machine::fail_core(CoreId dead) {
+  EM2_ASSERT(faults_ != nullptr, "fail_core needs a fault injector");
+  EM2_ASSERT(dead >= 0 && dead < mesh_.num_cores(),
+             "failing a core outside the mesh");
+  faults_->mark_failed(dead);
+  ResilienceStats& st = faults_->stats();
+  ++st.injected;
+  ++st.core_failures;
+  faults_->record(FaultEvent{FaultEventKind::kCoreFailure, faults_->now(),
+                             kNoThread, dead, 0});
+
+  std::vector<Evacuation> evacuated;
+  for (std::size_t i = 0; i < native_.size(); ++i) {
+    const auto t = static_cast<ThreadId>(i);
+    const CoreId old_nat = native_[i];
+    CoreId nat = old_nat;
+    if (old_nat == dead) {
+      // The reserved native context moves to the deterministic
+      // replacement core (earlier failures already renatived their
+      // threads, so only `dead` can be stale here).
+      nat = faults_->remap(dead);
+      native_[i] = nat;
+      ++st.threads_renatived;
+      faults_->record(FaultEvent{FaultEventKind::kRenative, faults_->now(),
+                                 t, nat, 0});
+    }
+    if (location_[i] != dead) {
+      continue;
+    }
+    // Evacuate to the (possibly just remapped) native reserved context.
+    // A resident whose native was elsewhere held a guest slot here; a
+    // resident AT its native context did not — this is why evacuation is
+    // not a migrate_thread call.
+    if (old_nat != dead) {
+      leave_guest_slot(t, dead);
+    }
+    location_[i] = nat;
+    const Cost cost = cost_.migration_native(dead, nat);
+    vnet_bits_[vnet::kMigrationNative] += cost_.params().context_bits;
+    if (traffic_sink_ != nullptr) {
+      traffic_sink_->on_packet(dead, nat, vnet::kMigrationNative,
+                               cost_.params().context_bits);
+    }
+    total_eviction_cost_ += cost;
+    per_thread_cost_[i] += cost;
+    counters_.inc(Counter::kEvacuations);
+    ++st.threads_evacuated;
+    st.recovery_cost += cost;
+    st.recovery_latency.add(static_cast<double>(cost));
+    faults_->record(
+        FaultEvent{FaultEventKind::kEvacuation, faults_->now(), t, nat, 0});
+    if (move_observer_ != nullptr) {
+      move_observer_->on_thread_moved(t, dead, nat);
+    }
+    evacuated.push_back(Evacuation{t, cost});
+  }
+  return evacuated;
+}
+
+bool Em2Machine::verify_thread_conservation() const {
+  std::size_t away = 0;
+  for (std::size_t i = 0; i < native_.size(); ++i) {
+    const CoreId loc = location_[i];
+    if (loc < 0 || loc >= mesh_.num_cores()) {
+      return false;
+    }
+    if (faults_ != nullptr && faults_->failed(loc)) {
+      return false;  // resident on a dead core
+    }
+    if (loc == native_[i]) {
+      continue;  // reserved context, no guest slot
+    }
+    ++away;
+    const auto pos = static_cast<std::size_t>(guest_pos_[i]);
+    if (pos >= guest_capacity_ ||
+        guest_slots_[slot_base(loc) + pos] != static_cast<ThreadId>(i) ||
+        (guest_mask_[static_cast<std::size_t>(loc)] >> pos & 1) == 0) {
+      return false;  // location and guest bookkeeping disagree
+    }
+  }
+  std::size_t occupied = 0;
+  for (const std::uint64_t mask : guest_mask_) {
+    occupied += static_cast<std::size_t>(std::popcount(mask));
+  }
+  // Exactly the away-from-native threads occupy guest slots: no thread
+  // lost in flight, none resident twice.
+  return occupied == away;
 }
 
 Em2Machine::CacheTotals Em2Machine::cache_totals() const {

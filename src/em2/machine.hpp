@@ -44,6 +44,8 @@
 
 namespace em2 {
 
+class FaultInjector;  // sim/faults.hpp; held by nullable pointer only
+
 /// How a full guest-context file chooses its eviction victim.
 enum class EvictionPolicy : std::uint8_t {
   kOldestGuest = 0,  ///< FIFO by arrival time at the core
@@ -116,6 +118,11 @@ class Em2Machine {
   /// one topology) and must outlive the machine.
   Em2Machine(const Mesh& mesh, const CostModel& cost, const Em2Params& params,
              std::vector<CoreId> native_core);
+  /// HybridMachine instances are owned and destroyed through
+  /// Em2Machine pointers (ExecSystem, benches); the destructor is the
+  /// one member that must stay virtual — every hot-path call remains
+  /// devirtualized (sealed dispatch, no virtual calls per access).
+  virtual ~Em2Machine() = default;
 
   /// Executes one memory access for thread `t` whose address is homed at
   /// `home`.  `addr` is used only for cache modelling.  Force-inlined:
@@ -177,7 +184,62 @@ class Em2Machine {
     traffic_sink_ = sink;
   }
 
+  /// Registers `faults` (nullable) as this run's fault injector.  Null —
+  /// the default — keeps every path bit-identical to the fault-free
+  /// build.  The injector must outlive the machine.
+  void set_fault_injector(FaultInjector* faults) noexcept {
+    faults_ = faults;
+  }
+
+  /// What an exhausted migration retry budget falls back to.
+  enum class FaultFallback : std::uint8_t {
+    kStall = 0,  ///< pure EM2: wait out the outage, then migrate anyway
+    kDegrade,    ///< EM2-RA: give up on migrating, serve remotely instead
+  };
+
+  /// One thread driven off a permanently failed core.
+  struct Evacuation {
+    ThreadId thread = kNoThread;
+    /// Network cycles the evacuation cost the thread (exec engines
+    /// re-stall the thread by this much).
+    Cost cost = 0;
+  };
+
+  /// Permanently fails `dead`: marks it failed in the injector, renatives
+  /// every thread whose reserved context lived there to the remapped
+  /// core, and evacuates every resident thread to its (possibly
+  /// remapped) native reserved context.  Returns the evacuated threads
+  /// with their costs.  Requires a registered fault injector.
+  std::vector<Evacuation> fail_core(CoreId dead);
+
+  /// Always-cheap invariant check: every thread is resident exactly once,
+  /// guest bookkeeping matches thread locations, and no thread occupies a
+  /// failed core.  O(threads + cores).
+  bool verify_thread_conservation() const;
+
  protected:
+  /// Draws and prices the transient-fault fate of thread `t`'s migration
+  /// `from` -> `dest` BEFORE the migration executes.  Adds the cost of
+  /// every lost attempt (wire time + exponential backoff) to `penalty`
+  /// and updates resilience accounting.  Returns false iff the retry
+  /// budget is exhausted and `fallback` is kDegrade — the caller must
+  /// then serve the access remotely instead of migrating.  Under kStall
+  /// the outage is waited out (one extra max-backoff charge) and the
+  /// migration always proceeds.  Out of line: faulted migrations are the
+  /// rare leg.
+  EM2_NOINLINE bool apply_migration_faults(ThreadId t, CoreId from,
+                                           CoreId dest,
+                                           FaultFallback fallback,
+                                           Cost& penalty);
+
+  /// Same for one remote-access round trip `at` <-> `home` (EM2-RA).
+  /// Remote accesses have no fallback: after exhaustion the final
+  /// retransmission is forced through.  Returns the recovery penalty;
+  /// also accounts the retransmitted request/reply wire bits.
+  EM2_NOINLINE Cost apply_remote_faults(ThreadId t, CoreId at, CoreId home,
+                                        MemOp op, std::uint64_t req_bits,
+                                        std::uint64_t rep_bits);
+
   /// Moves thread `t` to `dest`, handling native-vs-guest context
   /// occupancy and any eviction chain.  Returns (thread cost, eviction
   /// cost).  Exposed to the EM2-RA subclassing machinery.
@@ -210,6 +272,7 @@ class Em2Machine {
 
   FastCounters counters_;
   TrafficSink* traffic_sink_ = nullptr;
+  FaultInjector* faults_ = nullptr;
 
  private:
   /// The modelled-cache leg of serve_memory (the wrapper checked
@@ -294,14 +357,21 @@ inline AccessOutcome Em2Machine::access(ThreadId t, CoreId home, MemOp op,
     }
     return out;
   }
-  // Figure 1, right branch: migrate to the home core.
+  // Figure 1, right branch: migrate to the home core.  Pure EM2 has no
+  // remote-access fallback, so exhausted retries stall the outage out and
+  // migrate anyway (kStall always proceeds).
+  Cost fault_penalty = 0;
+  if (faults_ != nullptr) {
+    apply_migration_faults(t, at, home, FaultFallback::kStall,
+                           fault_penalty);
+  }
   const auto [thread_cost, eviction_cost] = migrate_thread(t, home);
   out.migrated = true;
-  out.thread_cost = thread_cost;
+  out.thread_cost = thread_cost + fault_penalty;
   out.eviction_cost = eviction_cost;
   out.caused_eviction = last_evicted_ != kNoThread;
   out.evicted_thread = last_evicted_;
-  account_thread_cost(t, thread_cost);
+  account_thread_cost(t, out.thread_cost);
   // The access itself always executes at the home core: the single-home
   // invariant from which sequential consistency follows.
   EM2_ASSERT(location_[static_cast<std::size_t>(t)] == home,

@@ -1,5 +1,6 @@
 #include "em2/trace_sim.hpp"
 
+#include "sim/faults.hpp"
 #include "util/assert.hpp"
 
 namespace em2 {
@@ -20,13 +21,15 @@ double Em2RunReport::mean_cost_per_access() const noexcept {
 
 Em2RunReport run_em2(const TraceSet& traces, const Placement& placement,
                      const Mesh& mesh, const CostModel& cost,
-                     const Em2Params& params, TrafficRecorder* recorder) {
+                     const Em2Params& params, TrafficRecorder* recorder,
+                     FaultInjector* faults) {
   std::vector<CoreId> native;
   native.reserve(traces.num_threads());
   for (const auto& t : traces.threads()) {
     native.push_back(t.native_core());
   }
   Em2Machine machine(mesh, cost, params, std::move(native));
+  machine.set_fault_injector(faults);
 
   // Per-thread virtual clocks (calibration only): one cycle of compute per
   // access plus the access's uncontended network/memory latency — the
@@ -39,6 +42,7 @@ Em2RunReport run_em2(const TraceSet& traces, const Placement& placement,
 
   // Round-robin interleaving: one access per live thread per round.
   std::vector<std::size_t> cursor(traces.num_threads(), 0);
+  std::uint64_t tick = 0;  // global access index: trace-mode fault time
   bool progressed = true;
   while (progressed) {
     progressed = false;
@@ -50,7 +54,18 @@ Em2RunReport run_em2(const TraceSet& traces, const Placement& placement,
       const Access& a = trace[cursor[t]];
       ++cursor[t];
       progressed = true;
-      const CoreId home = placement.home_of_block(traces.block_of(a.addr));
+      CoreId home = placement.home_of_block(traces.block_of(a.addr));
+      if (faults != nullptr) {
+        faults->set_now(tick);
+        if (faults->next_failure_at() <= tick) {
+          for (const CoreId dead : faults->take_due_failures(tick)) {
+            machine.fail_core(dead);
+          }
+        }
+        // The failed home's address slice re-homes to its replacement.
+        home = faults->remap(home);
+        ++tick;
+      }
       const AccessOutcome out =
           machine.access(static_cast<ThreadId>(t), home, a.op, a.addr);
       if (recorder != nullptr) {
@@ -73,6 +88,7 @@ Em2RunReport run_em2(const TraceSet& traces, const Placement& placement,
     report.vnet_bits[static_cast<std::size_t>(vn)] = machine.vnet_bits(vn);
   }
   report.cache_totals = machine.cache_totals();
+  report.thread_conservation_ok = machine.verify_thread_conservation();
 
   // Figure 2 analysis over the same placement.
   RunLengthAnalyzer analyzer;

@@ -16,6 +16,8 @@
 
 namespace em2 {
 
+class FaultInjector;  // sim/faults.hpp
+
 /// Aggregate results of one trace-driven run.
 struct Em2RunReport {
   CounterSet counters;
@@ -28,6 +30,9 @@ struct Em2RunReport {
   /// Figure 2 analysis computed from the same placement.
   RunLengthReport run_lengths;
   Em2Machine::CacheTotals cache_totals;
+  /// Post-run thread-conservation invariant (always checked; trivially
+  /// true on fault-free runs).
+  bool thread_conservation_ok = true;
 
   /// Migration rate: migrations per memory access.
   double migration_rate() const noexcept;
@@ -40,9 +45,14 @@ struct Em2RunReport {
 /// stand-in for concurrent execution).  A non-null `recorder` captures
 /// every protocol packet stamped with the issuing thread's virtual clock
 /// (the contention calibration pass); recording never changes the report.
+/// A non-null `faults` injects that run's fault schedule (trace-mode
+/// fault time is the global processed-access index) and homes are
+/// remapped around failed cores; null stays bit-identical to before
+/// fault injection existed.
 Em2RunReport run_em2(const TraceSet& traces, const Placement& placement,
                      const Mesh& mesh, const CostModel& cost,
                      const Em2Params& params,
-                     TrafficRecorder* recorder = nullptr);
+                     TrafficRecorder* recorder = nullptr,
+                     FaultInjector* faults = nullptr);
 
 }  // namespace em2

@@ -22,6 +22,9 @@ struct HybridOutcome {
   AccessOutcome base;
   /// The access was served by a remote round trip (thread did not move).
   bool remote = false;
+  /// The policy chose to migrate but the retry budget ran out under
+  /// injected faults, so the access degraded to the remote path.
+  bool degraded = false;
 };
 
 /// EM2-RA protocol engine: EM2 plus the remote-access path and the
@@ -122,22 +125,31 @@ HybridOutcome HybridMachine::access_hybrid(Policy& policy, ThreadId t,
   q.op = op;
   q.block = block;
 
+  Cost fault_penalty = 0;
   if (policy.decide(q) == RaDecision::kMigrate) {
-    // EM2 path: migrate (with possible eviction), then access locally.
-    const auto [thread_cost, eviction_cost] = migrate_thread(t, home);
-    out.base.migrated = true;
-    out.base.thread_cost = thread_cost;
-    out.base.eviction_cost = eviction_cost;
-    out.base.caused_eviction = last_evicted() != kNoThread;
-    out.base.evicted_thread = last_evicted();
-    account_thread_cost(t, thread_cost);
-    // The access itself always executes at the home core: the single-home
-    // invariant from which sequential consistency follows.
-    EM2_ASSERT(location(t) == home,
-               "EM2 invariant violated: access executed away from home");
-    out.base.memory_latency = serve_memory(home, addr, op);
-    policy.observe(t, home, native(t));
-    return out;
+    // Under injected faults the migration may exhaust its retry budget;
+    // EM2-RA then gracefully degrades to the remote path below, carrying
+    // the cost of the wasted attempts in fault_penalty.
+    if (faults_ == nullptr ||
+        apply_migration_faults(t, at, home, FaultFallback::kDegrade,
+                               fault_penalty)) {
+      // EM2 path: migrate (with possible eviction), then access locally.
+      const auto [thread_cost, eviction_cost] = migrate_thread(t, home);
+      out.base.migrated = true;
+      out.base.thread_cost = thread_cost + fault_penalty;
+      out.base.eviction_cost = eviction_cost;
+      out.base.caused_eviction = last_evicted() != kNoThread;
+      out.base.evicted_thread = last_evicted();
+      account_thread_cost(t, out.base.thread_cost);
+      // The access itself always executes at the home core: the
+      // single-home invariant from which sequential consistency follows.
+      EM2_ASSERT(location(t) == home,
+                 "EM2 invariant violated: access executed away from home");
+      out.base.memory_latency = serve_memory(home, addr, op);
+      policy.observe(t, home, native(t));
+      return out;
+    }
+    out.degraded = true;
   }
 
   // Remote-access path (Figure 3, bottom): "Send remote request to home
@@ -150,13 +162,17 @@ HybridOutcome HybridMachine::access_hybrid(Policy& policy, ThreadId t,
   out.remote = true;
 
   const Cost rt = cost_model().remote_access(at, home, op);
-  out.base.thread_cost = rt;
-  account_thread_cost(t, rt);
-
   const std::uint64_t req_bits =
       req_bits_by_op_[static_cast<std::uint8_t>(op)];
   const std::uint64_t rep_bits =
       rep_bits_by_op_[static_cast<std::uint8_t>(op)];
+  if (faults_ != nullptr) {
+    fault_penalty +=
+        apply_remote_faults(t, at, home, op, req_bits, rep_bits);
+  }
+  out.base.thread_cost = rt + fault_penalty;
+  account_thread_cost(t, out.base.thread_cost);
+
   remote_request_bits_ += req_bits;
   remote_reply_bits_ += rep_bits;
   add_vnet_bits(vnet::kRemoteRequest, req_bits);

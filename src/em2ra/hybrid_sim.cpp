@@ -1,5 +1,7 @@
 #include "em2ra/hybrid_sim.hpp"
 
+#include "sim/faults.hpp"
+
 namespace em2 {
 
 double HybridRunReport::remote_fraction() const noexcept {
@@ -23,13 +25,15 @@ HybridRunReport run_em2ra_impl(const TraceSet& traces,
                                const Placement& placement, const Mesh& mesh,
                                const CostModel& cost,
                                const Em2Params& params, Policy& policy,
-                               TrafficRecorder* recorder) {
+                               TrafficRecorder* recorder,
+                               FaultInjector* faults) {
   std::vector<CoreId> native;
   native.reserve(traces.num_threads());
   for (const auto& t : traces.threads()) {
     native.push_back(t.native_core());
   }
   HybridMachine machine(mesh, cost, params, std::move(native));
+  machine.set_fault_injector(faults);
 
   std::vector<Cycle> clock;
   if (recorder != nullptr) {
@@ -38,6 +42,7 @@ HybridRunReport run_em2ra_impl(const TraceSet& traces,
   }
 
   std::vector<std::size_t> cursor(traces.num_threads(), 0);
+  std::uint64_t tick = 0;  // global access index: trace-mode fault time
   bool progressed = true;
   while (progressed) {
     progressed = false;
@@ -50,7 +55,17 @@ HybridRunReport run_em2ra_impl(const TraceSet& traces,
       ++cursor[t];
       progressed = true;
       const Addr block = traces.block_of(a.addr);
-      const CoreId home = placement.home_of_block(block);
+      CoreId home = placement.home_of_block(block);
+      if (faults != nullptr) {
+        faults->set_now(tick);
+        if (faults->next_failure_at() <= tick) {
+          for (const CoreId dead : faults->take_due_failures(tick)) {
+            machine.fail_core(dead);
+          }
+        }
+        home = faults->remap(home);
+        ++tick;
+      }
       const HybridOutcome out = machine.access_hybrid(
           policy, static_cast<ThreadId>(t), home, a.op, a.addr, block);
       if (recorder != nullptr) {
@@ -75,6 +90,7 @@ HybridRunReport run_em2ra_impl(const TraceSet& traces,
         machine.vnet_bits(vn);
   }
   report.em2.cache_totals = machine.cache_totals();
+  report.em2.thread_conservation_ok = machine.verify_thread_conservation();
   report.remote_accesses = machine.counters().get("remote_accesses");
   report.remote_request_bits = machine.remote_request_bits();
   report.remote_reply_bits = machine.remote_reply_bits();
@@ -94,21 +110,21 @@ HybridRunReport run_em2ra_impl(const TraceSet& traces,
 HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
                           const Mesh& mesh, const CostModel& cost,
                           const Em2Params& params, StandardPolicy& policy,
-                          TrafficRecorder* recorder) {
+                          TrafficRecorder* recorder, FaultInjector* faults) {
   // ONE dispatch for the whole run: the visit hoists the policy's
   // concrete type out of the trace loop.
   return policy.visit([&](auto& p) {
     return run_em2ra_impl(traces, placement, mesh, cost, params, p,
-                          recorder);
+                          recorder, faults);
   });
 }
 
 HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
                           const Mesh& mesh, const CostModel& cost,
                           const Em2Params& params, DecisionPolicy& policy,
-                          TrafficRecorder* recorder) {
+                          TrafficRecorder* recorder, FaultInjector* faults) {
   return run_em2ra_impl(traces, placement, mesh, cost, params, policy,
-                        recorder);
+                        recorder, faults);
 }
 
 }  // namespace em2

@@ -34,7 +34,8 @@ struct HybridRunReport {
 HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
                           const Mesh& mesh, const CostModel& cost,
                           const Em2Params& params, StandardPolicy& policy,
-                          TrafficRecorder* recorder = nullptr);
+                          TrafficRecorder* recorder = nullptr,
+                          FaultInjector* faults = nullptr);
 
 /// Same, always through the virtual DecisionPolicy interface — the
 /// dispatch the sealed path is diffed against (bit-identical reports,
@@ -43,6 +44,7 @@ HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
 HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
                           const Mesh& mesh, const CostModel& cost,
                           const Em2Params& params, DecisionPolicy& policy,
-                          TrafficRecorder* recorder = nullptr);
+                          TrafficRecorder* recorder = nullptr,
+                          FaultInjector* faults = nullptr);
 
 }  // namespace em2

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "noc/reliable.hpp"
 #include "util/assert.hpp"
 
 namespace em2 {
@@ -127,9 +128,55 @@ void prepare_calibration_events(std::vector<TrafficEvent>& events,
   }
 }
 
+namespace {
+
+/// The lossy replay leg: same injection schedule and closed-loop window,
+/// but every packet goes through the reliable transport so drops, ACKs,
+/// and retransmissions load the measured fabric.
+CalibrationReport replay_on_fabric_lossy(
+    const Mesh& mesh, const CostModel& cost,
+    const std::vector<TrafficEvent>& events, const CalibrationOptions& opts,
+    const FaultInjector& faults) {
+  ReliableNetwork net(mesh, opts.network, faults);
+  CalibrationReport report;
+  std::size_t next = 0;
+  std::uint64_t sent = 0;
+  while (next < events.size() || !net.idle()) {
+    if (net.now() >= opts.max_cycles) {
+      report.drained = false;
+      break;
+    }
+    while (next < events.size() && events[next].when <= net.now() &&
+           (opts.max_outstanding == 0 ||
+            net.live_messages() < opts.max_outstanding)) {
+      const TrafficEvent& e = events[next];
+      net.send(e.src, e.dst, e.vnet,
+               static_cast<std::int32_t>(cost.flits_for(e.payload_bits)));
+      ++sent;
+      ++next;
+    }
+    net.step();
+  }
+  for (const Delivery& d : net.drain_delivered()) {
+    report.measured_total_latency += d.delivered - d.injected;
+  }
+  report.packets = sent;
+  report.cycles = net.now();
+  report.utilization = net.utilization();
+  report.drops = net.drops();
+  report.retransmissions = net.retransmissions();
+  return report;
+}
+
+}  // namespace
+
 CalibrationReport replay_on_fabric(const Mesh& mesh, const CostModel& cost,
                                    const std::vector<TrafficEvent>& events,
-                                   const CalibrationOptions& opts) {
+                                   const CalibrationOptions& opts,
+                                   const FaultInjector* faults) {
+  if (faults != nullptr && faults->spec().drop_rate > 0.0) {
+    return replay_on_fabric_lossy(mesh, cost, events, opts, *faults);
+  }
   Network net(mesh, opts.network);
   CalibrationReport report;
   std::size_t next = 0;

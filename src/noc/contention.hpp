@@ -40,6 +40,8 @@
 
 namespace em2 {
 
+class FaultInjector;  // sim/faults.hpp
+
 /// Knobs of the M/D/1 correction.
 struct ContentionParams {
   /// Utilization clamp applied before the queueing term: rho is limited to
@@ -120,6 +122,10 @@ struct CalibrationReport {
   /// Sum over delivered packets of (delivered - injected): the cycle-level
   /// ground truth the corrected analytic prediction is validated against.
   Cost measured_total_latency = 0;
+  /// Lossy replays only: packets lost at ejection / retransmitted by the
+  /// reliable transport (zero on the lossless path).
+  std::uint64_t drops = 0;
+  std::uint64_t retransmissions = 0;
   bool drained = true;
 };
 
@@ -127,10 +133,16 @@ struct CalibrationReport {
 /// cycle-level mesh, injecting each packet at its virtual time (or as soon
 /// as the replay reaches it and the closed-loop window has room) and
 /// stepping until drained or max_cycles.  `cost` supplies the
-/// payload-to-flit conversion only.
+/// payload-to-flit conversion only.  A non-null `faults` with a positive
+/// drop rate routes the replay through the reliable transport
+/// (noc/reliable.hpp): ejection-time losses, ACKs, and retransmissions
+/// all load the fabric, so the measured utilization — and therefore the
+/// corrected cost tables — price the recovery traffic in.  Null (or a
+/// lossless spec) is byte-identical to the historical lossless replay.
 CalibrationReport replay_on_fabric(const Mesh& mesh, const CostModel& cost,
                                    const std::vector<TrafficEvent>& events,
-                                   const CalibrationOptions& opts = {});
+                                   const CalibrationOptions& opts = {},
+                                   const FaultInjector* faults = nullptr);
 
 /// Analytic total latency of the same packets under `cost`'s tables, in
 /// the fabric's delivery convention (hops + serialization + one ejection

@@ -314,6 +314,8 @@ FabricUtilization Network::utilization() const {
   u.seen_by_vnet.assign(vnets, 0.0);
   u.peak_by_vnet.assign(vnets, 0.0);
   u.flits_by_vnet.assign(vnets, 0);
+  u.dropped_by_vnet.assign(vnets, 0);
+  u.retransmitted_by_vnet.assign(vnets, 0);
   // Sums over directed inter-router links; the flit-weighted means are
   // sum(flits_l * rho_l) / sum(flits_l) — the occupancy (own vnet's, or
   // the link total across vnets for `seen`) the average flit of the vnet

@@ -92,6 +92,14 @@ struct FabricUtilization {
   std::vector<double> peak_by_vnet;
   /// Link traversals (flit-hops) per vnet over the window.
   std::vector<std::uint64_t> flits_by_vnet;
+  /// Packets lost at ejection per vnet (fault injection; always zero on
+  /// the raw fabric — the reliable transport layer fills these in).  A
+  /// dropped packet still consumed every link it traversed, so its load
+  /// is already inside the occupancy numbers above.
+  std::vector<std::uint64_t> dropped_by_vnet;
+  /// Retransmitted packets per vnet (beyond each first attempt) — the
+  /// recovery load the cost correction prices into the tables.
+  std::vector<std::uint64_t> retransmitted_by_vnet;
   double peak = 0.0;  ///< max over all (link, vnet) pairs
 };
 

@@ -38,7 +38,10 @@ void ExecSystem::poke(Addr addr, std::uint32_t value) {
 }
 
 CoreId ExecSystem::home_of(Addr addr) const {
-  return placement_.home_of_block(addr >> block_shift_);
+  const CoreId home = placement_.home_of_block(addr >> block_shift_);
+  // A failed home's address slice is served by its deterministic
+  // replacement (identity until the first failure).
+  return faults_ != nullptr ? faults_->remap(home) : home;
 }
 
 CoreId ExecSystem::thread_location(ThreadId t) const {
@@ -146,6 +149,53 @@ void ExecSystem::init_machines() {
   if (em2_ && event_mode_) {
     em2_->set_move_observer(this);
   }
+  if (em2_ && faults_ != nullptr) {
+    em2_->set_fault_injector(faults_);
+  }
+}
+
+void ExecSystem::process_due_failures() {
+  for (const CoreId dead : faults_->take_due_failures(now_)) {
+    for (const Em2Machine::Evacuation& ev : em2_->fail_core(dead)) {
+      // The evacuated thread rides the eviction machinery: it re-stalls
+      // for the trip to its (remapped) native context on top of whatever
+      // stall it already served.
+      const Thread& th = threads_[static_cast<std::size_t>(ev.thread)];
+      set_ready_at(ev.thread, std::max(th.ready_at, now_ + ev.cost));
+    }
+  }
+}
+
+void ExecSystem::fire_watchdog(const char* reason) {
+  watchdog_fired_ = true;
+  report_.watchdog_fired = true;
+  std::string d = "liveness watchdog: ";
+  d += reason;
+  d += " (cycle " + std::to_string(now_) + ", last progress at cycle " +
+       std::to_string(last_progress_) + "); threads live=" +
+       std::to_string(threads_.size() - halted_count_) + " halted=" +
+       std::to_string(halted_count_);
+  if (event_mode_) {
+    d += " ready=" + std::to_string(num_ready_);
+    d += wakeups_.empty() ? "; no pending wakeup"
+                          : "; earliest wakeup at cycle " +
+                                std::to_string(wakeups_.top().at);
+  }
+  if (faults_ != nullptr) {
+    d += "; faults injected=" + std::to_string(faults_->stats().injected) +
+         " live_cores=" + std::to_string(faults_->live_cores());
+  }
+  // A bounded sample of who is stuck and until when.
+  int listed = 0;
+  for (std::size_t t = 0; t < threads_.size() && listed < 4; ++t) {
+    if (!threads_[t].halted) {
+      d += (listed == 0 ? "; stalled: " : ", ") + std::string("t") +
+           std::to_string(t) + "@ready_at=" +
+           std::to_string(threads_[t].ready_at);
+      ++listed;
+    }
+  }
+  report_.diagnosis = d;
 }
 
 void ExecSystem::core_gains_ready(CoreId core) {
@@ -220,6 +270,7 @@ void ExecSystem::step_thread(ThreadId chosen) {
   Thread& th = threads_[static_cast<std::size_t>(chosen)];
   const StepResult r = th.interp->step(th.ctx);
   ++report_.instructions;
+  last_progress_ = now_;
   switch (r.kind) {
     case StepKind::kDone:
       th.halted = true;
@@ -290,7 +341,9 @@ void ExecSystem::run_event(Cycle max_cycles) {
     if (num_ready_ == 0) {
       // Nothing can issue: jump straight to the earliest wakeup instead of
       // idling one cycle at a time (the scan scheduler burns a full
-      // O(cores x threads) probe pass per idle cycle).
+      // O(cores x threads) probe pass per idle cycle).  Under fault
+      // injection a pending core failure, and with a watchdog its
+      // deadline, bound the jump too.
       while (!wakeups_.empty()) {
         const Wakeup& w = wakeups_.top();
         const Thread& th = threads_[static_cast<std::size_t>(w.thread)];
@@ -299,17 +352,36 @@ void ExecSystem::run_event(Cycle max_cycles) {
         }
         wakeups_.pop();  // stale: superseded by a later re-stall
       }
-      EM2_ASSERT(!wakeups_.empty(),
+      std::uint64_t wake = wakeups_.empty()
+                               ? FaultInjector::kNever
+                               : static_cast<std::uint64_t>(
+                                     wakeups_.top().at);
+      if (faults_ != nullptr) {
+        wake = std::min(wake, faults_->next_failure_at());
+      }
+      if (params_.watchdog_cycles > 0) {
+        wake = std::min(wake, static_cast<std::uint64_t>(
+                                  last_progress_ + params_.watchdog_cycles));
+      }
+      // With no wakeup, no pending failure, and no watchdog the scheduler
+      // would hang — historically an assert; a configured watchdog turns
+      // it into the structured diagnosis below instead.
+      EM2_ASSERT(wake != FaultInjector::kNever,
                  "live threads but no pending wakeup: scheduler would hang");
-      const Cycle wake = wakeups_.top().at;
-      if (wake > max_cycles) {
+      if (wake > static_cast<std::uint64_t>(max_cycles)) {
         now_ = max_cycles;  // the scan scheduler idles up to the budget
         break;
       }
-      now_ = wake;
+      now_ = static_cast<Cycle>(wake);
     } else {
       ++now_;
     }
+    if (params_.watchdog_cycles > 0 &&
+        now_ - last_progress_ >= params_.watchdog_cycles) {
+      fire_watchdog("no instruction retired within the watchdog window");
+      break;
+    }
+    fault_tick();
 
     while (!wakeups_.empty() && wakeups_.top().at <= now_) {
       const Wakeup w = wakeups_.top();
@@ -343,6 +415,13 @@ void ExecSystem::run_event(Cycle max_cycles) {
         continue;
       }
       cursor = core;
+      if (faults_ != nullptr && faults_->core_stalled(core, now_)) {
+        // Frozen window: the core issues nothing this cycle but its
+        // residents stay ready — retry next cycle.  rr_ is untouched, as
+        // in the scan scheduler, which probes and then discards.
+        deferred_.push_back(core);
+        continue;
+      }
       const ThreadId chosen = select_ready_resident(core);
       EM2_ASSERT(chosen != kNoThread,
                  "ready-core heap out of sync with resident queues");
@@ -368,6 +447,12 @@ void ExecSystem::run_scan(Cycle max_cycles) {
   const std::size_t n = threads_.size();
   while (halted_count_ < n && now_ < max_cycles) {
     ++now_;
+    if (params_.watchdog_cycles > 0 &&
+        now_ - last_progress_ >= params_.watchdog_cycles) {
+      fire_watchdog("no instruction retired within the watchdog window");
+      break;
+    }
+    fault_tick();
     for (CoreId core = 0; core < mesh_.num_cores(); ++core) {
       // Pick one ready resident context, round-robin per core.
       ThreadId chosen = kNoThread;
@@ -378,14 +463,20 @@ void ExecSystem::run_scan(Cycle max_cycles) {
         if (!th.halted && th.ready_at <= now_ &&
             thread_location(static_cast<ThreadId>(idx)) == core) {
           chosen = static_cast<ThreadId>(idx);
-          rr_[static_cast<std::size_t>(core)] =
-              static_cast<std::uint32_t>(idx + 1);
           break;
         }
       }
       if (chosen == kNoThread) {
         continue;
       }
+      // The stall draw happens only when the core would actually issue,
+      // so both schedulers count the identical (core, window) stalls.
+      // rr_ is committed only on issue, matching the event scheduler.
+      if (faults_ != nullptr && faults_->core_stalled(core, now_)) {
+        continue;
+      }
+      rr_[static_cast<std::size_t>(core)] =
+          static_cast<std::uint32_t>(chosen + 1);
       step_thread(chosen);
     }
   }
@@ -397,6 +488,9 @@ ExecReport ExecSystem::run(Cycle max_cycles) {
              "(interpreters, machines, and checker state are consumed)");
   started_ = true;
   event_mode_ = params_.scheduler == SchedulerKind::kEventDriven;
+  faults_ = params_.faults;
+  EM2_ASSERT(faults_ == nullptr || params_.arch != MemArch::kCc,
+             "fault injection is EM2/EM2-RA only (no CC fault model)");
   init_machines();
 
   report_ = ExecReport{};
@@ -412,6 +506,7 @@ ExecReport ExecSystem::run(Cycle max_cycles) {
   report_.timed_out = halted_count_ < threads_.size();
   report_.consistent = checker_.ok() && !report_.timed_out;
   report_.violations = checker_.violations();
+  report_.conservation_ok = em2_ ? em2_->verify_thread_conservation() : true;
   if (em2_) {
     report_.counters = em2_->counters().named();
   } else if (cc_) {

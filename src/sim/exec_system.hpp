@@ -46,6 +46,7 @@
 #include "geom/mesh.hpp"
 #include "noc/cost_model.hpp"
 #include "placement/placement.hpp"
+#include "sim/faults.hpp"
 #include "sim/modes.hpp"
 #include "util/stats.hpp"
 #include "util/types.hpp"
@@ -63,6 +64,14 @@ struct ExecParams {
   /// unknown spec throws UnknownNameError when run() builds the machines.
   std::string ra_policy = "distance:4";
   std::uint32_t block_bytes = 64;
+  /// This run's fault injector (nullable; must outlive the system).  Null
+  /// keeps every path bit-identical to the fault-free build.  EM2/EM2-RA
+  /// only — the CC fault model is future work.
+  FaultInjector* faults = nullptr;
+  /// Liveness watchdog: if no instruction retires for this many cycles,
+  /// the run terminates with a structured diagnosis instead of spinning
+  /// (or, in event mode, jumping) toward max_cycles.  0 disables.
+  Cycle watchdog_cycles = 0;
 };
 
 /// End-of-run report.
@@ -76,6 +85,13 @@ struct ExecReport {
   bool consistent = false;
   /// True iff `max_cycles` elapsed with at least one thread still live.
   bool timed_out = false;
+  /// The liveness watchdog terminated the run; `diagnosis` says why and
+  /// what the scheduler saw.  A watchdog run is also `timed_out`.
+  bool watchdog_fired = false;
+  std::string diagnosis;
+  /// Post-run thread-conservation invariant (always checked on EM2
+  /// architectures; trivially true on CC).
+  bool conservation_ok = true;
   std::vector<ConsistencyViolation> violations;
   /// Per-thread completion time (cycle of HALT retirement).
   std::vector<Cycle> finish_cycle;
@@ -161,6 +177,22 @@ class ExecSystem final : private ThreadMoveObserver {
   /// First ready resident of `core` in round-robin order from rr_[core].
   ThreadId select_ready_resident(CoreId core) const;
 
+  /// Fails every core whose scheduled failure time is <= now_ and
+  /// re-stalls the evacuated threads (fault injection only).
+  void process_due_failures();
+  /// Terminates the run with a structured liveness diagnosis.
+  void fire_watchdog(const char* reason);
+  /// Fault-injection cycle-top bookkeeping shared by both schedulers:
+  /// stamps the injector clock and processes due core failures.
+  void fault_tick() {
+    if (faults_ != nullptr) {
+      faults_->set_now(now_);
+      if (faults_->next_failure_at() <= now_) {
+        process_due_failures();
+      }
+    }
+  }
+
   void run_scan(Cycle max_cycles);
   void run_event(Cycle max_cycles);
 
@@ -186,6 +218,10 @@ class ExecSystem final : private ThreadMoveObserver {
   Cycle now_ = 0;
   bool started_ = false;
   std::size_t halted_count_ = 0;
+  FaultInjector* faults_ = nullptr;  // = params_.faults during run()
+  /// Cycle of the most recent instruction retirement (watchdog anchor).
+  Cycle last_progress_ = 0;
+  bool watchdog_fired_ = false;
 
   // Event-driven scheduler state (live only during run() in kEventDriven
   // mode; empty otherwise).  Residency is a mirror of the machines' thread

@@ -1,0 +1,390 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/error.hpp"
+
+namespace em2 {
+namespace {
+
+/// Shortest round-trip formatting (std::to_chars), so
+/// parse(to_string(spec)) == spec bit for bit — the calibration cache
+/// keys on the canonical string.
+std::string format_double(double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  EM2_ASSERT(ec == std::errc{}, "double formatting cannot fail");
+  return std::string(buf, ptr);
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+bool parse_double(std::string_view s, double& out) {
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size() &&
+         std::isfinite(out);
+}
+
+/// Stateless 64-bit mixer (the splitmix64 finalizer): every fault draw is
+/// mix-chained from (seed, stream, identifiers), never a stateful RNG, so
+/// outcomes are independent of scheduling order.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t draw(std::uint64_t seed, std::uint64_t stream,
+                   std::uint64_t a, std::uint64_t b,
+                   std::uint64_t c) noexcept {
+  std::uint64_t h = mix(seed + 0x9e3779b97f4a7c15ull);
+  h = mix(h ^ (stream + 0x9e3779b97f4a7c15ull));
+  h = mix(h ^ a);
+  h = mix(h ^ b);
+  h = mix(h ^ c);
+  return h;
+}
+
+/// Probability -> 64-bit hash threshold (draw < threshold means "fault").
+std::uint64_t threshold_of(double p) noexcept {
+  if (p <= 0.0) {
+    return 0;
+  }
+  if (p >= 1.0) {
+    return FaultInjector::kNever;  // every draw is below 2^64 - 1... almost
+  }
+  return static_cast<std::uint64_t>(p * 18446744073709551616.0);
+}
+
+// Stream tags of the independent fault streams.
+constexpr std::uint64_t kStreamMigration = 1;
+constexpr std::uint64_t kStreamRemote = 2;
+constexpr std::uint64_t kStreamPacket = 3;
+constexpr std::uint64_t kStreamStall = 4;
+constexpr std::uint64_t kStreamMttf = 5;
+
+}  // namespace
+
+std::string to_string(const FaultSpec& spec) {
+  const FaultSpec defaults{};
+  std::string out;
+  auto add = [&out](const std::string& clause) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += clause;
+  };
+  if (spec.drop_rate > 0.0) {
+    add("drop=" + format_double(spec.drop_rate));
+  }
+  if (spec.stall_rate > 0.0) {
+    add("stall=" + format_double(spec.stall_rate) + ":" +
+        std::to_string(spec.stall_cycles));
+  }
+  for (const CoreFailure& k : spec.kills) {
+    add("kill=" + std::to_string(k.core) + "@" + std::to_string(k.at));
+  }
+  if (spec.mttf_cycles != 0) {
+    add("mttf=" + std::to_string(spec.mttf_cycles));
+  }
+  if (spec.seed != defaults.seed) {
+    add("seed=" + std::to_string(spec.seed));
+  }
+  if (spec.max_retries != defaults.max_retries) {
+    add("retries=" + std::to_string(spec.max_retries));
+  }
+  if (spec.retry_timeout != defaults.retry_timeout) {
+    add("timeout=" + std::to_string(spec.retry_timeout));
+  }
+  return out.empty() ? "none" : out;
+}
+
+std::optional<FaultSpec> parse_fault_spec(std::string_view text) noexcept {
+  FaultSpec spec;
+  if (text == "none" || text.empty()) {
+    return spec;
+  }
+  while (!text.empty()) {
+    const std::size_t comma = text.find(',');
+    std::string_view clause = text.substr(0, comma);
+    text = comma == std::string_view::npos ? std::string_view{}
+                                           : text.substr(comma + 1);
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string_view::npos) {
+      return std::nullopt;
+    }
+    const std::string_view key = clause.substr(0, eq);
+    const std::string_view value = clause.substr(eq + 1);
+    if (key == "drop") {
+      if (!parse_double(value, spec.drop_rate) || spec.drop_rate < 0.0 ||
+          spec.drop_rate > 1.0) {
+        return std::nullopt;
+      }
+    } else if (key == "stall") {
+      const std::size_t colon = value.find(':');
+      if (colon == std::string_view::npos) {
+        return std::nullopt;
+      }
+      std::uint64_t cycles = 0;
+      if (!parse_double(value.substr(0, colon), spec.stall_rate) ||
+          spec.stall_rate < 0.0 || spec.stall_rate > 1.0 ||
+          !parse_u64(value.substr(colon + 1), cycles) || cycles == 0 ||
+          cycles > ~std::uint32_t{0}) {
+        return std::nullopt;
+      }
+      spec.stall_cycles = static_cast<std::uint32_t>(cycles);
+    } else if (key == "kill") {
+      const std::size_t at_sep = value.find('@');
+      if (at_sep == std::string_view::npos) {
+        return std::nullopt;
+      }
+      std::uint64_t core = 0;
+      CoreFailure k;
+      if (!parse_u64(value.substr(0, at_sep), core) ||
+          core > 0x7fffffffull || !parse_u64(value.substr(at_sep + 1), k.at)) {
+        return std::nullopt;
+      }
+      k.core = static_cast<CoreId>(core);
+      spec.kills.push_back(k);
+    } else if (key == "mttf") {
+      if (!parse_u64(value, spec.mttf_cycles) || spec.mttf_cycles == 0) {
+        return std::nullopt;
+      }
+    } else if (key == "seed") {
+      if (!parse_u64(value, spec.seed)) {
+        return std::nullopt;
+      }
+    } else if (key == "retries") {
+      std::uint64_t n = 0;
+      if (!parse_u64(value, n) || n > 64) {
+        return std::nullopt;
+      }
+      spec.max_retries = static_cast<std::uint32_t>(n);
+    } else if (key == "timeout") {
+      if (!parse_u64(value, spec.retry_timeout) ||
+          spec.retry_timeout == 0) {
+        return std::nullopt;
+      }
+    } else {
+      return std::nullopt;
+    }
+  }
+  return spec;
+}
+
+FaultSpec fault_spec_from_string(std::string_view text) {
+  const auto spec = parse_fault_spec(text);
+  if (!spec) {
+    fail_unknown("fault spec", text,
+                 std::vector<std::string_view>{
+                     "none", "drop=<p>", "stall=<p>:<cycles>",
+                     "kill=<core>@<at>", "mttf=<cycles>", "seed=<n>",
+                     "retries=<n>", "timeout=<cycles>"});
+  }
+  return *spec;
+}
+
+const char* to_string(FaultEventKind kind) noexcept {
+  switch (kind) {
+    case FaultEventKind::kPacketDrop:
+      return "packet_drop";
+    case FaultEventKind::kMigrationRetry:
+      return "migration_retry";
+    case FaultEventKind::kMigrationDegraded:
+      return "migration_degraded";
+    case FaultEventKind::kMigrationStalled:
+      return "migration_stalled";
+    case FaultEventKind::kRemoteRetry:
+      return "remote_retry";
+    case FaultEventKind::kCoreStall:
+      return "core_stall";
+    case FaultEventKind::kCoreFailure:
+      return "core_failure";
+    case FaultEventKind::kEvacuation:
+      return "evacuation";
+    case FaultEventKind::kRenative:
+      return "renative";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(const FaultSpec& spec, std::int32_t num_cores)
+    : spec_(spec),
+      num_cores_(num_cores),
+      live_(num_cores),
+      drop_threshold_(threshold_of(spec.drop_rate)),
+      stall_threshold_(threshold_of(spec.stall_rate)) {
+  EM2_ASSERT(num_cores >= 1, "fault injection needs at least one core");
+  const auto n = static_cast<std::size_t>(num_cores);
+  fail_at_.assign(n, kNever);
+  failed_.assign(n, 0);
+  stall_seen_.assign(n, 0);
+  remap_.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    remap_[c] = static_cast<CoreId>(c);
+  }
+
+  // Explicit kills: validate, keep the earliest time per core.  These are
+  // user-supplied configuration, so bad values throw a catchable
+  // exception (the run_matrix error-capture path records it per point).
+  for (const CoreFailure& k : spec.kills) {
+    if (k.core < 0 || k.core >= num_cores) {
+      throw std::invalid_argument(
+          "FaultSpec: kill core " + std::to_string(k.core) +
+          " outside the mesh (" + std::to_string(num_cores) + " cores)");
+    }
+    auto& at = fail_at_[static_cast<std::size_t>(k.core)];
+    at = std::min(at, k.at);
+  }
+  std::size_t explicit_kills = 0;
+  for (const std::uint64_t at : fail_at_) {
+    explicit_kills += at != kNever;
+  }
+  if (explicit_kills >= n) {
+    throw std::invalid_argument(
+        "FaultSpec: kills cover every core; at least one must survive");
+  }
+
+  // Random failures: one exponential(mttf) draw per still-surviving core,
+  // keyed on (seed, core) alone — scheduling-order independent.
+  if (spec.mttf_cycles != 0) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (fail_at_[c] != kNever) {
+        continue;
+      }
+      const std::uint64_t h =
+          draw(spec_.seed, kStreamMttf, c, 0, 0) >> 11;
+      // u in (0, 1]: never log(0).
+      const double u =
+          (static_cast<double>(h) + 1.0) * 0x1.0p-53;
+      const double t =
+          -std::log(u) * static_cast<double>(spec.mttf_cycles);
+      if (t < 9e18) {
+        fail_at_[c] = static_cast<std::uint64_t>(t);
+      }
+    }
+  }
+
+  // Failure schedule in (time, core) order, capped so the last core
+  // standing never fails (a DSM with zero homes is not a scenario, it is
+  // an end state): failures past the cap are cancelled.
+  for (std::size_t c = 0; c < n; ++c) {
+    if (fail_at_[c] != kNever) {
+      schedule_.push_back(
+          CoreFailure{static_cast<CoreId>(c), fail_at_[c]});
+    }
+  }
+  std::sort(schedule_.begin(), schedule_.end(),
+            [](const CoreFailure& a, const CoreFailure& b) {
+              return a.at != b.at ? a.at < b.at : a.core < b.core;
+            });
+  if (schedule_.size() >= n) {
+    for (std::size_t i = n - 1; i < schedule_.size(); ++i) {
+      fail_at_[static_cast<std::size_t>(schedule_[i].core)] = kNever;
+    }
+    schedule_.resize(n - 1);
+  }
+}
+
+FaultInjector::AttemptPlan FaultInjector::plan(
+    std::uint64_t stream, ThreadId t, std::vector<std::uint64_t>& seq) {
+  AttemptPlan out;
+  if (drop_threshold_ == 0) {
+    return out;
+  }
+  const auto ti = static_cast<std::size_t>(t);
+  if (ti >= seq.size()) {
+    seq.resize(ti + 1, 0);
+  }
+  const std::uint64_t s = seq[ti]++;
+  for (std::uint32_t attempt = 0; attempt <= spec_.max_retries;
+       ++attempt) {
+    if (draw(spec_.seed, stream, static_cast<std::uint64_t>(t), s,
+             attempt) >= drop_threshold_) {
+      return out;  // this attempt got through
+    }
+    ++out.failed_attempts;
+  }
+  out.exhausted = true;
+  return out;
+}
+
+FaultInjector::AttemptPlan FaultInjector::plan_migration(ThreadId t) {
+  return plan(kStreamMigration, t, mig_seq_);
+}
+
+FaultInjector::AttemptPlan FaultInjector::plan_remote(ThreadId t) {
+  return plan(kStreamRemote, t, rem_seq_);
+}
+
+bool FaultInjector::drop_packet(std::uint64_t id,
+                                std::uint32_t attempt) const noexcept {
+  return drop_threshold_ != 0 &&
+         draw(spec_.seed, kStreamPacket, id, attempt, 0) < drop_threshold_;
+}
+
+bool FaultInjector::core_stalled(CoreId core, Cycle cycle) {
+  if (stall_threshold_ == 0) {
+    return false;
+  }
+  const auto window =
+      static_cast<std::uint64_t>(cycle) / spec_.stall_cycles;
+  if (draw(spec_.seed, kStreamStall, static_cast<std::uint64_t>(core),
+           window, 0) >= stall_threshold_) {
+    return false;
+  }
+  auto& seen = stall_seen_[static_cast<std::size_t>(core)];
+  if (seen != window + 1) {
+    seen = window + 1;
+    ++stats_.injected;
+    ++stats_.core_stalls;
+    record(FaultEvent{FaultEventKind::kCoreStall,
+                      static_cast<std::uint64_t>(cycle), kNoThread, core,
+                      0});
+  }
+  return true;
+}
+
+std::vector<CoreId> FaultInjector::take_due_failures(std::uint64_t now) {
+  std::vector<CoreId> due;
+  while (sched_pos_ < schedule_.size() &&
+         schedule_[sched_pos_].at <= now) {
+    due.push_back(schedule_[sched_pos_].core);
+    ++sched_pos_;
+  }
+  return due;
+}
+
+void FaultInjector::mark_failed(CoreId core) {
+  auto& f = failed_[static_cast<std::size_t>(core)];
+  if (f) {
+    return;
+  }
+  f = 1;
+  --live_;
+  EM2_ASSERT(live_ >= 1, "the failure schedule is capped below num_cores");
+  // Rebuild the whole remap table (failures are rare; lookups are hot):
+  // every failed core chases to the next live core in wrap-around order.
+  const auto n = static_cast<std::size_t>(num_cores_);
+  for (std::size_t c = 0; c < n; ++c) {
+    CoreId r = static_cast<CoreId>(c);
+    while (failed_[static_cast<std::size_t>(r)]) {
+      r = static_cast<CoreId>((static_cast<std::size_t>(r) + 1) % n);
+    }
+    remap_[c] = r;
+  }
+}
+
+}  // namespace em2

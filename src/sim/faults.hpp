@@ -1,0 +1,272 @@
+// Deterministic fault injection: the seeded schedule of transient packet
+// drops, core stalls, and permanent core failures, plus the per-run
+// bookkeeping of what was injected and how the protocol recovered.
+//
+// The paper assumes a perfect mesh and perfect cores; a production DSM
+// does not get to.  FaultSpec describes a failure scenario the same way
+// sim/modes.hpp describes a run mode — one canonical string<->struct
+// mapping (`to_string`/`parse_fault_spec`/`fault_spec_from_string`) so a
+// bench --faults= flag, a RunSpec, and a report label all mean the same
+// scenario, and a typo fails fast.
+//
+// Determinism contract: every fault draw is a STATELESS hash of
+// (seed, stream, identifiers) — never a shared RNG whose state depends on
+// scheduling order.  A migration attempt's fate is keyed on (thread,
+// per-thread attempt sequence, attempt number); a core stall on (core,
+// cycle window); a packet drop on (transport id, attempt); a random core
+// failure time on (core).  Two runs of the same (spec, engine,
+// configuration) therefore inject the identical fault schedule — and the
+// two exec schedulers, which present the same per-thread access sequences
+// in the same per-thread order, draw the identical outcomes.
+//
+// Grammar (comma-separated clauses, any order; "none" alone is the empty
+// spec):
+//
+//   drop=<p>           transient loss: each migration / remote-access /
+//                      fabric packet attempt fails with probability p
+//   stall=<p>:<c>      core stalls: each (core, c-cycle window) is frozen
+//                      with probability p (exec mode only)
+//   kill=<core>@<at>   permanent core failure (repeatable).  `at` is a
+//                      cycle in exec mode and a global processed-access
+//                      index in trace mode.
+//   mttf=<cycles>      additionally draw one exponential(mttf) failure
+//                      time per core from the seed
+//   seed=<n>           fault stream seed (default 1)
+//   retries=<n>        max retransmission attempts before degrading
+//                      (default 3)
+//   timeout=<cycles>   retransmission backoff base; attempt k waits
+//                      timeout << min(k, 6) cycles (default 64)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace em2 {
+
+/// One scheduled permanent core failure.
+struct CoreFailure {
+  CoreId core = 0;
+  /// Exec mode: cycle of failure.  Trace mode: global processed-access
+  /// index (the trace engines have no cycle clock).
+  std::uint64_t at = 0;
+
+  friend bool operator==(const CoreFailure&, const CoreFailure&) = default;
+};
+
+/// A complete fault scenario.  The default (`FaultSpec{}`) injects
+/// nothing and leaves every engine bit-identical to the fault-free build.
+struct FaultSpec {
+  /// Per-attempt transient loss probability in [0, 1].
+  double drop_rate = 0.0;
+  /// Probability a given (core, window) is stalled, in [0, 1].
+  double stall_rate = 0.0;
+  /// Stall window length in cycles.
+  std::uint32_t stall_cycles = 1000;
+  /// Explicit permanent core failures.
+  std::vector<CoreFailure> kills;
+  /// Mean time to (random) permanent core failure; 0 disables.
+  std::uint64_t mttf_cycles = 0;
+  /// Seed of the stateless fault streams.
+  std::uint64_t seed = 1;
+  /// Retransmission attempts before a migration degrades (EM2-RA) or
+  /// stalls out (pure EM2).
+  std::uint32_t max_retries = 3;
+  /// Backoff base: attempt k waits retry_timeout << min(k, 6) cycles.
+  std::uint64_t retry_timeout = 64;
+
+  /// True iff this spec can inject anything at all.
+  bool any() const noexcept {
+    return drop_rate > 0.0 || stall_rate > 0.0 || !kills.empty() ||
+           mttf_cycles != 0;
+  }
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
+};
+
+/// Canonical spec string; "none" for the empty spec.  Non-default
+/// seed/retries/timeout are always printed, so to_string/parse round-trip
+/// exactly (the calibration cache keys on this string).
+std::string to_string(const FaultSpec& spec);
+
+/// Parses the grammar above; nullopt for malformed input.
+std::optional<FaultSpec> parse_fault_spec(std::string_view text) noexcept;
+
+/// Parsing front end that throws UnknownNameError on malformed input —
+/// the fail-fast entry benches and tools use for --faults= flags.
+FaultSpec fault_spec_from_string(std::string_view text);
+
+/// What kind of fault/recovery event was injected or observed.
+enum class FaultEventKind : std::uint8_t {
+  kPacketDrop = 0,      ///< a fabric/transport packet was lost
+  kMigrationRetry,      ///< a migration succeeded after >= 1 retransmission
+  kMigrationDegraded,   ///< EM2-RA: retries exhausted, fell back to RA
+  kMigrationStalled,    ///< pure EM2: retries exhausted, waited out outage
+  kRemoteRetry,         ///< a remote access needed >= 1 retransmission
+  kCoreStall,           ///< a (core, window) froze
+  kCoreFailure,         ///< a core failed permanently
+  kEvacuation,          ///< a resident thread fled a failed core
+  kRenative,            ///< a thread's reserved native context was remapped
+};
+const char* to_string(FaultEventKind kind) noexcept;
+
+/// One entry of the injected-event log.  `at` is in the engine's time
+/// domain (cycles for exec, processed accesses for trace).
+struct FaultEvent {
+  FaultEventKind kind = FaultEventKind::kPacketDrop;
+  std::uint64_t at = 0;
+  ThreadId thread = kNoThread;
+  CoreId core = -1;
+  std::uint32_t attempt = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Aggregate resilience accounting for one run.
+struct ResilienceStats {
+  /// Total primitive faults injected (drops + stalls + failures).
+  std::uint64_t injected = 0;
+  std::uint64_t packet_drops = 0;
+  /// Extra attempts sent beyond each first attempt.
+  std::uint64_t retransmissions = 0;
+  std::uint64_t migration_retries = 0;
+  std::uint64_t migrations_degraded = 0;
+  std::uint64_t migrations_stalled = 0;
+  std::uint64_t remote_retries = 0;
+  std::uint64_t core_stalls = 0;
+  std::uint64_t core_failures = 0;
+  std::uint64_t threads_evacuated = 0;
+  std::uint64_t threads_renatived = 0;
+  /// Faulted operations that completed through the recovery path.
+  std::uint64_t recovered = 0;
+  /// Extra network cycles charged to recovery (retransmits + backoff).
+  Cost recovery_cost = 0;
+  /// Distribution of per-recovery extra latency.
+  Histogram recovery_latency{4096};
+};
+
+/// Per-run fault state: the seeded schedule, the stateless draw streams,
+/// the live/failed core map with its deterministic home remap, and the
+/// resilience accounting.  One injector serves exactly one run (engines
+/// hold it by nullable pointer; null means fault-free, bit for bit).
+class FaultInjector {
+ public:
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+  /// Injected-event log cap; stats stay exact beyond it.
+  static constexpr std::size_t kMaxEvents = 65536;
+
+  /// Validates the spec against the mesh: kill cores must be inside
+  /// [0, num_cores) and at least one core must survive all explicit
+  /// kills (std::invalid_argument otherwise).  Random mttf failures are
+  /// additionally capped so the last core standing never fails.
+  FaultInjector(const FaultSpec& spec, std::int32_t num_cores);
+
+  const FaultSpec& spec() const noexcept { return spec_; }
+  std::int32_t num_cores() const noexcept { return num_cores_; }
+
+  // --- transient-loss draws (stateless) -----------------------------
+
+  /// Outcome of one faultable operation: how many attempts were lost
+  /// before one got through, and whether the retry budget ran out.
+  struct AttemptPlan {
+    std::uint32_t failed_attempts = 0;
+    bool exhausted = false;
+  };
+  /// Draws the fate of thread `t`'s next migration (bumps t's migration
+  /// sequence counter).
+  AttemptPlan plan_migration(ThreadId t);
+  /// Same for a remote-access round trip (independent stream).
+  AttemptPlan plan_remote(ThreadId t);
+  /// Should transport attempt `attempt` of fabric packet `id` be lost?
+  bool drop_packet(std::uint64_t id, std::uint32_t attempt) const noexcept;
+
+  /// Backoff wait before retransmission attempt `attempt` (exponential,
+  /// shift-capped at 6).
+  Cost backoff(std::uint32_t attempt) const noexcept {
+    return static_cast<Cost>(spec_.retry_timeout
+                             << (attempt < 6 ? attempt : 6u));
+  }
+
+  // --- core stalls ---------------------------------------------------
+
+  /// True iff `core` is frozen during the window containing `cycle`.
+  /// The first observation of each stalled window is counted and logged.
+  bool core_stalled(CoreId core, Cycle cycle);
+
+  // --- permanent failures --------------------------------------------
+
+  /// Scheduled failure time of `core` (kNever if it never fails).
+  std::uint64_t failure_time(CoreId core) const noexcept {
+    return fail_at_[static_cast<std::size_t>(core)];
+  }
+  /// Earliest not-yet-taken failure time (kNever when none remain).
+  std::uint64_t next_failure_at() const noexcept {
+    return sched_pos_ < schedule_.size() ? schedule_[sched_pos_].at
+                                         : kNever;
+  }
+  /// Pops every core whose failure time is <= `now`, in (time, core)
+  /// order.  The caller is responsible for evacuating them (the protocol
+  /// machines' fail_core), which marks them failed here.
+  std::vector<CoreId> take_due_failures(std::uint64_t now);
+  /// Marks `core` failed and rebuilds the home-remap table.
+  void mark_failed(CoreId core);
+  bool failed(CoreId core) const noexcept {
+    return failed_[static_cast<std::size_t>(core)] != 0;
+  }
+  std::int32_t live_cores() const noexcept { return live_; }
+  /// Deterministic replacement for `core`: itself while live, else the
+  /// next live core in ascending wrap-around order.  O(1) table lookup
+  /// (the table is rebuilt on each failure — failures are rare).
+  CoreId remap(CoreId core) const noexcept {
+    return remap_[static_cast<std::size_t>(core)];
+  }
+
+  // --- accounting ----------------------------------------------------
+
+  ResilienceStats& stats() noexcept { return stats_; }
+  const ResilienceStats& stats() const noexcept { return stats_; }
+  /// Appends to the injected-event log (silently stops at kMaxEvents).
+  void record(const FaultEvent& event) {
+    if (events_.size() < kMaxEvents) {
+      events_.push_back(event);
+    }
+  }
+  const std::vector<FaultEvent>& events() const noexcept { return events_; }
+
+  /// Current engine time, used to stamp recorded events.  Maintained by
+  /// the run loops (cycles in exec mode, processed accesses in trace
+  /// mode).
+  void set_now(std::uint64_t now) noexcept { now_ = now; }
+  std::uint64_t now() const noexcept { return now_; }
+
+ private:
+  AttemptPlan plan(std::uint64_t stream, ThreadId t,
+                   std::vector<std::uint64_t>& seq);
+
+  FaultSpec spec_;
+  std::int32_t num_cores_ = 0;
+  std::int32_t live_ = 0;
+  /// drop_rate / stall_rate as 64-bit hash thresholds.
+  std::uint64_t drop_threshold_ = 0;
+  std::uint64_t stall_threshold_ = 0;
+  std::vector<std::uint64_t> fail_at_;  // per core; kNever = survives
+  std::vector<CoreFailure> schedule_;   // sorted by (at, core)
+  std::size_t sched_pos_ = 0;
+  std::vector<char> failed_;
+  std::vector<CoreId> remap_;
+  std::vector<std::uint64_t> mig_seq_;  // per thread, grown on demand
+  std::vector<std::uint64_t> rem_seq_;
+  /// Last counted stalled window per core (+1; 0 = none yet), so each
+  /// stalled window is counted once however often it is probed.
+  std::vector<std::uint64_t> stall_seen_;
+  std::uint64_t now_ = 0;
+  ResilienceStats stats_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace em2

@@ -1,19 +1,28 @@
 #include "trace/trace_io.hpp"
 
+#include <algorithm>
 #include <array>
+#include <bit>
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <sstream>
-
-#include "util/log.hpp"
 
 namespace em2 {
 namespace {
 
 constexpr std::array<char, 4> kMagic = {'E', 'M', '2', 'T'};
 constexpr std::uint32_t kVersion = 1;
+/// Pre-validation reserve() cap: a header may honestly promise more
+/// records than this, but anything it promises beyond it must be earned
+/// by actually delivering bytes — a 16-byte file claiming 2^60 records
+/// must not allocate 2^60 slots up front.
+constexpr std::uint64_t kMaxReserve = std::uint64_t{1} << 20;
+/// A thread count beyond this is rejected outright (the mesh tops out
+/// orders of magnitude lower).
+constexpr std::uint32_t kMaxThreads = 1u << 20;
 
 template <typename T>
 void put(std::ostream& os, const T& value) {
@@ -26,9 +35,33 @@ bool get(std::istream& is, T& value) {
   return static_cast<bool>(is);
 }
 
-std::optional<TraceSet> fail(const std::string& why) {
-  log_line(LogLevel::kError, "trace load failed: " + why);
-  return std::nullopt;
+[[noreturn]] void fail(const std::string& why) {
+  throw TraceFormatError("trace load failed: " + why);
+}
+
+/// Block sizes feed TraceSet's shift computation (an internal assert);
+/// a file gets an exception instead.
+void check_block_bytes(std::uint64_t block_bytes) {
+  if (block_bytes == 0 || block_bytes > (std::uint64_t{1} << 31) ||
+      !std::has_single_bit(block_bytes)) {
+    fail("block size must be a power of two in [1, 2^31], got " +
+         std::to_string(block_bytes));
+  }
+}
+
+/// Thread ids must be dense and in order (TraceSet::add_thread asserts
+/// it); natives merely non-negative — the mesh bound is the simulator's
+/// concern, not the file format's.
+void check_thread_header(ThreadId tid, CoreId native,
+                         std::size_t expected) {
+  if (tid != static_cast<ThreadId>(expected)) {
+    fail("thread ids must be dense and ascending: expected " +
+         std::to_string(expected) + ", got " + std::to_string(tid));
+  }
+  if (native < 0) {
+    fail("negative native core " + std::to_string(native) + " for thread " +
+         std::to_string(tid));
+  }
 }
 
 }  // namespace
@@ -49,7 +82,7 @@ bool write_trace_text(std::ostream& os, const TraceSet& traces) {
   return static_cast<bool>(os);
 }
 
-std::optional<TraceSet> read_trace_text(std::istream& is) {
+TraceSet read_trace_text(std::istream& is) {
   std::string line;
   std::uint32_t block_bytes = 64;
   std::optional<TraceSet> result;
@@ -71,13 +104,17 @@ std::optional<TraceSet> read_trace_text(std::istream& is) {
     ls >> head;
     if (head == "blocksize") {
       if (result) {
-        return fail("blocksize after thread data");
+        fail("blocksize after thread data");
       }
-      if (!(ls >> block_bytes)) {
-        return fail("malformed blocksize line");
+      std::uint64_t parsed = 0;
+      if (!(ls >> parsed)) {
+        fail("malformed blocksize line: " + line);
       }
+      check_block_bytes(parsed);
+      block_bytes = static_cast<std::uint32_t>(parsed);
     } else if (head == "thread") {
       if (!result) {
+        check_block_bytes(block_bytes);
         result.emplace(block_bytes);
       }
       flush_thread();
@@ -85,29 +122,31 @@ std::optional<TraceSet> read_trace_text(std::istream& is) {
       std::string kw;
       CoreId native = 0;
       if (!(ls >> tid >> kw >> native) || kw != "native") {
-        return fail("malformed thread line: " + line);
+        fail("malformed thread line: " + line);
       }
+      check_thread_header(tid, native, result->num_threads());
       current.emplace(tid, native);
     } else if (head == "R" || head == "W") {
       if (!current) {
-        return fail("access record before any thread line");
+        fail("access record before any thread line");
       }
       Access a;
       a.op = head == "R" ? MemOp::kRead : MemOp::kWrite;
       if (!(ls >> std::hex >> a.addr >> std::dec)) {
-        return fail("malformed access line: " + line);
+        fail("malformed access line: " + line);
       }
       ls >> a.gap;  // optional; absence leaves gap = 0
       current->append(a);
     } else {
-      return fail("unknown directive: " + head);
+      fail("unknown directive: " + head);
     }
   }
   if (!result) {
+    check_block_bytes(block_bytes);
     result.emplace(block_bytes);
   }
   flush_thread();
-  return result;
+  return *std::move(result);
 }
 
 bool write_trace_binary(std::ostream& os, const TraceSet& traces) {
@@ -128,20 +167,28 @@ bool write_trace_binary(std::ostream& os, const TraceSet& traces) {
   return static_cast<bool>(os);
 }
 
-std::optional<TraceSet> read_trace_binary(std::istream& is) {
+TraceSet read_trace_binary(std::istream& is) {
   std::array<char, 4> magic{};
   is.read(magic.data(), magic.size());
   if (!is || magic != kMagic) {
-    return fail("bad magic");
+    fail("bad magic (not an EM2T trace)");
   }
   std::uint32_t version = 0;
   std::uint32_t block_bytes = 0;
   std::uint32_t nthreads = 0;
-  if (!get(is, version) || version != kVersion) {
-    return fail("unsupported version");
+  if (!get(is, version)) {
+    fail("truncated header");
+  }
+  if (version != kVersion) {
+    fail("unsupported version " + std::to_string(version) + " (expected " +
+         std::to_string(kVersion) + ")");
   }
   if (!get(is, block_bytes) || !get(is, nthreads)) {
-    return fail("truncated header");
+    fail("truncated header");
+  }
+  check_block_bytes(block_bytes);
+  if (nthreads > kMaxThreads) {
+    fail("implausible thread count " + std::to_string(nthreads));
   }
   TraceSet traces(block_bytes);
   for (std::uint32_t i = 0; i < nthreads; ++i) {
@@ -149,15 +196,24 @@ std::optional<TraceSet> read_trace_binary(std::istream& is) {
     CoreId native = 0;
     std::uint64_t count = 0;
     if (!get(is, tid) || !get(is, native) || !get(is, count)) {
-      return fail("truncated thread header");
+      fail("truncated thread header");
     }
+    check_thread_header(tid, native, traces.num_threads());
     ThreadTrace t(tid, native);
-    t.reserve(count);
+    // Capped: past the cap the vector grows only as records actually
+    // arrive, so a lying header costs a reallocation, not the address
+    // space.
+    t.reserve(static_cast<std::size_t>(std::min(count, kMaxReserve)));
     for (std::uint64_t k = 0; k < count; ++k) {
       Access a;
       std::uint8_t op = 0;
       if (!get(is, a.addr) || !get(is, a.gap) || !get(is, op)) {
-        return fail("truncated access record");
+        fail("truncated access record (thread " + std::to_string(tid) +
+             ", record " + std::to_string(k) + " of " +
+             std::to_string(count) + ")");
+      }
+      if (op > static_cast<std::uint8_t>(MemOp::kWrite)) {
+        fail("invalid op byte " + std::to_string(op));
       }
       a.op = static_cast<MemOp>(op);
       t.append(a);
@@ -172,19 +228,18 @@ bool save_trace(const std::string& path, const TraceSet& traces) {
                     path.compare(path.size() - 5, 5, ".em2t") == 0;
   std::ofstream out(path, text ? std::ios::out : std::ios::binary);
   if (!out) {
-    log_line(LogLevel::kError, "cannot open trace output: " + path);
     return false;
   }
   return text ? write_trace_text(out, traces)
               : write_trace_binary(out, traces);
 }
 
-std::optional<TraceSet> load_trace(const std::string& path) {
+TraceSet load_trace(const std::string& path) {
   const bool text = path.size() >= 5 &&
                     path.compare(path.size() - 5, 5, ".em2t") == 0;
   std::ifstream in(path, text ? std::ios::in : std::ios::binary);
   if (!in) {
-    return fail("cannot open " + path);
+    fail("cannot open " + path);
   }
   return text ? read_trace_text(in) : read_trace_binary(in);
 }

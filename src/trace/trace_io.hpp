@@ -10,32 +10,49 @@
 // Binary format: magic "EM2T", u32 version, u32 block_bytes, u32 nthreads,
 // then per thread: i32 tid, i32 native, u64 count, count * packed records
 // (u64 addr, u32 gap, u8 op).
+//
+// Error contract: the readers validate EVERYTHING a file can lie about —
+// truncation, bad magic/version, non-power-of-two block sizes, out-of-range
+// op bytes, negative or non-dense thread ids, and record counts far beyond
+// what the stream can hold — and fail with TraceFormatError carrying a
+// message that names the defect (the UnknownNameError pattern applied to
+// file input).  Malformed input can never reach an internal assert or feed
+// an attacker-controlled allocation.
 #pragma once
 
 #include <iosfwd>
-#include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "trace/trace.hpp"
 
 namespace em2 {
 
+/// Thrown by the trace readers on malformed, truncated, or implausibly
+/// oversized input.  The message names the defect and, where useful, the
+/// offending line or field.
+class TraceFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Writes `traces` in the text format.  Returns false on stream failure.
 bool write_trace_text(std::ostream& os, const TraceSet& traces);
 
-/// Parses the text format.  Returns nullopt (with a log line) on malformed
-/// input.
-std::optional<TraceSet> read_trace_text(std::istream& is);
+/// Parses the text format.  Throws TraceFormatError on malformed input.
+TraceSet read_trace_text(std::istream& is);
 
 /// Writes `traces` in the packed binary format.
 bool write_trace_binary(std::ostream& os, const TraceSet& traces);
 
-/// Reads the packed binary format.
-std::optional<TraceSet> read_trace_binary(std::istream& is);
+/// Reads the packed binary format.  Throws TraceFormatError on malformed,
+/// truncated, or oversized input.
+TraceSet read_trace_binary(std::istream& is);
 
 /// File-path conveniences; format chosen by extension (".em2t" text,
-/// anything else binary).
+/// anything else binary).  load_trace throws TraceFormatError when the
+/// file cannot be opened or its content fails to parse.
 bool save_trace(const std::string& path, const TraceSet& traces);
-std::optional<TraceSet> load_trace(const std::string& path);
+TraceSet load_trace(const std::string& path);
 
 }  // namespace em2

@@ -40,6 +40,7 @@ constexpr std::array<const char*, kNumCounters> kCounterNames = {
     "flush_messages",
     "underflow_returns",
     "overflow_returns",
+    "evacuations",
 };
 
 }  // namespace

@@ -61,9 +61,11 @@ enum class Counter : std::uint8_t {
   kFlushMessages,
   kUnderflowReturns,
   kOverflowReturns,
+  // Fault injection: threads evacuated from permanently failed cores.
+  kEvacuations,
 };
 
-inline constexpr std::size_t kNumCounters = 33;
+inline constexpr std::size_t kNumCounters = 34;
 
 /// The string name of `c` ("migrations", "inv_ack", ...), matching the
 /// names the string-keyed CounterSet era used.

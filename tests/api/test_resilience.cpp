@@ -1,0 +1,364 @@
+// Fault injection through the public API: the fault-free spec must stay
+// bit-identical to the historical build, a fixed (spec, seed) must replay
+// the identical fault schedule in every engine, recovery must preserve
+// the run's semantic results, and a wedged configuration must terminate
+// through the watchdog with a diagnosis instead of hanging.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/system.hpp"
+#include "workload/registry.hpp"
+
+namespace em2 {
+namespace {
+
+SystemConfig small_config() {
+  SystemConfig cfg;
+  cfg.threads = 16;
+  return cfg;
+}
+
+/// Full-counter identity — the "bit-identical" bar, not approximate.
+void expect_identical_reports(const RunReport& a, const RunReport& b) {
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.remote_accesses, b.remote_accesses);
+  EXPECT_EQ(a.network_cost, b.network_cost);
+  EXPECT_EQ(a.traffic_bits, b.traffic_bits);
+  EXPECT_EQ(a.cost_per_access, b.cost_per_access);
+  ASSERT_EQ(a.exec.has_value(), b.exec.has_value());
+  if (a.exec) {
+    EXPECT_EQ(a.exec->cycles, b.exec->cycles);
+    EXPECT_EQ(a.exec->instructions, b.exec->instructions);
+    EXPECT_EQ(a.exec->consistent, b.exec->consistent);
+    EXPECT_EQ(a.exec->finish_cycle, b.exec->finish_cycle);
+  }
+}
+
+void expect_identical_resilience(const RunReport& a, const RunReport& b) {
+  ASSERT_TRUE(a.resilience.has_value());
+  ASSERT_TRUE(b.resilience.has_value());
+  const auto& ra = *a.resilience;
+  const auto& rb = *b.resilience;
+  EXPECT_EQ(ra.faults, rb.faults);
+  EXPECT_EQ(ra.stats.injected, rb.stats.injected);
+  EXPECT_EQ(ra.stats.packet_drops, rb.stats.packet_drops);
+  EXPECT_EQ(ra.stats.retransmissions, rb.stats.retransmissions);
+  EXPECT_EQ(ra.stats.migration_retries, rb.stats.migration_retries);
+  EXPECT_EQ(ra.stats.migrations_degraded, rb.stats.migrations_degraded);
+  EXPECT_EQ(ra.stats.migrations_stalled, rb.stats.migrations_stalled);
+  EXPECT_EQ(ra.stats.remote_retries, rb.stats.remote_retries);
+  EXPECT_EQ(ra.stats.core_stalls, rb.stats.core_stalls);
+  EXPECT_EQ(ra.stats.core_failures, rb.stats.core_failures);
+  EXPECT_EQ(ra.stats.recovered, rb.stats.recovered);
+  EXPECT_EQ(ra.stats.recovery_cost, rb.stats.recovery_cost);
+  ASSERT_EQ(ra.events.size(), rb.events.size());
+  for (std::size_t i = 0; i < ra.events.size(); ++i) {
+    EXPECT_EQ(ra.events[i], rb.events[i]) << i;
+  }
+}
+
+TEST(Resilience, EmptyFaultSpecIsBitIdenticalToBaseline) {
+  // A spec that sets fault knobs (seed, retry budget) but injects nothing
+  // must not even construct an injector: every engine runs the exact
+  // fault-free code path.
+  System sys(small_config());
+  const auto w = workload::make_workload("ocean", 16);
+  RunSpec armed_but_empty;
+  armed_but_empty.faults.seed = 99;
+  armed_but_empty.faults.max_retries = 7;
+  for (const MemArch arch : {MemArch::kEm2, MemArch::kEm2Ra}) {
+    for (const RunMode mode : {RunMode::kTrace, RunMode::kExec}) {
+      RunSpec base;
+      base.arch = arch;
+      base.mode = mode;
+      RunSpec faulted = armed_but_empty;
+      faulted.arch = arch;
+      faulted.mode = mode;
+      const RunReport a = sys.run(w, base);
+      const RunReport b = sys.run(w, faulted);
+      expect_identical_reports(a, b);
+      EXPECT_FALSE(b.resilience.has_value());
+    }
+  }
+}
+
+TEST(Resilience, TraceFaultScheduleIsDeterministic) {
+  // Fixed (spec, seed): two runs replay the identical schedule and the
+  // identical report — stats, costs, and the event log, event for event.
+  System sys(small_config());
+  const auto w = workload::make_workload("sharing-mix", 16);
+  for (const MemArch arch : {MemArch::kEm2, MemArch::kEm2Ra}) {
+    RunSpec spec;
+    spec.arch = arch;
+    spec.faults = fault_spec_from_string("drop=0.1,seed=17,kill=5@400");
+    const RunReport a = sys.run(w, spec);
+    const RunReport b = sys.run(w, spec);
+    expect_identical_reports(a, b);
+    expect_identical_resilience(a, b);
+    EXPECT_GT(a.resilience->stats.injected, 0u);
+    EXPECT_EQ(a.resilience->stats.core_failures, 1u);
+    EXPECT_TRUE(a.resilience->conservation_ok);
+    EXPECT_EQ(a.accesses, w.traces().total_accesses());
+  }
+}
+
+TEST(Resilience, ExecFaultScheduleIsDeterministic) {
+  System sys(small_config());
+  const auto w = workload::make_workload("sharing-mix", 16);
+  RunSpec spec;
+  spec.arch = MemArch::kEm2Ra;
+  spec.mode = RunMode::kExec;
+  spec.faults = fault_spec_from_string("drop=0.08,stall=0.001:200,seed=5");
+  const RunReport a = sys.run(w, spec);
+  const RunReport b = sys.run(w, spec);
+  expect_identical_reports(a, b);
+  expect_identical_resilience(a, b);
+  EXPECT_GT(a.resilience->stats.injected, 0u);
+}
+
+TEST(Resilience, SchedulersAgreeUnderFaults) {
+  // The event-driven scheduler must count the identical (core, window)
+  // stalls and the identical fault draws as the scan reference — faults
+  // must not break the executable-specification equivalence.
+  System sys(small_config());
+  const auto w = workload::make_workload("hotspot", 16);
+  for (const char* scenario :
+       {"drop=0.1,seed=3", "stall=0.002:150,seed=8",
+        "drop=0.05,stall=0.001:100,kill=9@30000,seed=11"}) {
+    RunSpec scan;
+    scan.arch = MemArch::kEm2;
+    scan.mode = RunMode::kExec;
+    scan.scheduler = SchedulerKind::kScan;
+    scan.faults = fault_spec_from_string(scenario);
+    RunSpec event = scan;
+    event.scheduler = SchedulerKind::kEventDriven;
+    const RunReport a = sys.run(w, scan);
+    const RunReport b = sys.run(w, event);
+    expect_identical_reports(a, b);
+    expect_identical_resilience(a, b);
+    EXPECT_TRUE(a.exec->consistent) << scenario;
+  }
+}
+
+TEST(Resilience, ExecEm2RaRecoversFromLossAndStaysConsistent) {
+  // The CI smoke criterion: a lossy EM2-RA execution run completes, the
+  // sequential-consistency witness still passes, and the recovery path
+  // actually fired.
+  System sys(small_config());
+  const auto w = workload::make_workload("sharing-mix", 16);
+  RunSpec spec;
+  spec.arch = MemArch::kEm2Ra;
+  spec.mode = RunMode::kExec;
+  spec.faults = fault_spec_from_string("drop=0.1,seed=2");
+  const RunReport r = sys.run(w, spec);
+  ASSERT_TRUE(r.exec.has_value());
+  EXPECT_TRUE(r.exec->consistent);
+  EXPECT_FALSE(r.exec->timed_out);
+  ASSERT_TRUE(r.resilience.has_value());
+  EXPECT_GT(r.resilience->stats.recovered, 0u);
+  EXPECT_GT(r.resilience->stats.recovery_cost, 0u);
+  EXPECT_TRUE(r.resilience->conservation_ok);
+  EXPECT_FALSE(r.resilience->watchdog_fired);
+}
+
+TEST(Resilience, PureEm2DegradesToStallNeverToWrongness) {
+  // Pure EM2 has no remote fallback: exhausted migration retries wait the
+  // outage out.  Slower, never incorrect.
+  System sys(small_config());
+  const auto w = workload::make_workload("ocean", 16);
+  RunSpec spec;
+  spec.arch = MemArch::kEm2;
+  spec.mode = RunMode::kExec;
+  spec.faults = fault_spec_from_string("drop=0.5,seed=6,timeout=16");
+  const RunReport r = sys.run(w, spec);
+  ASSERT_TRUE(r.exec.has_value());
+  EXPECT_TRUE(r.exec->consistent);
+  ASSERT_TRUE(r.resilience.has_value());
+  EXPECT_GT(r.resilience->stats.recovered, 0u);
+  EXPECT_EQ(r.resilience->stats.migrations_degraded, 0u);
+  EXPECT_TRUE(r.resilience->conservation_ok);
+}
+
+TEST(Resilience, FaultedRunsCostMoreNeverLess) {
+  // Recovery charges retransmit + backoff cycles on top of the fault-free
+  // critical path; it can never make a run cheaper.
+  System sys(small_config());
+  const auto w = workload::make_workload("ocean", 16);
+  RunSpec clean;
+  clean.arch = MemArch::kEm2Ra;
+  RunSpec lossy = clean;
+  lossy.faults = fault_spec_from_string("drop=0.2,seed=31");
+  const RunReport a = sys.run(w, clean);
+  const RunReport b = sys.run(w, lossy);
+  EXPECT_GT(b.resilience->stats.recovery_cost, 0u);
+  EXPECT_GE(b.network_cost, a.network_cost);
+}
+
+TEST(Resilience, CoreFailureRemapsHomeAndEvacuatesThreads) {
+  System sys(small_config());
+  const auto w = workload::make_workload("uniform", 16);
+  for (const RunMode mode : {RunMode::kTrace, RunMode::kExec}) {
+    RunSpec spec;
+    spec.arch = MemArch::kEm2;
+    spec.mode = mode;
+    // Trace-mode fault time is the global access index (20480 total for
+    // this workload), exec-mode time is cycles (~14k for this run); both
+    // kill points land mid-run.
+    spec.faults = fault_spec_from_string(
+        mode == RunMode::kTrace ? "kill=3@500,kill=11@2000"
+                                : "kill=3@2000,kill=11@8000");
+    const RunReport r = sys.run(w, spec);
+    ASSERT_TRUE(r.resilience.has_value()) << to_string(mode);
+    EXPECT_EQ(r.resilience->stats.core_failures, 2u);
+    // Each failed core's reserved native thread is remapped, and any
+    // guests resident there at failure time flee.
+    EXPECT_GE(r.resilience->stats.threads_renatived, 2u);
+    EXPECT_TRUE(r.resilience->conservation_ok);
+    EXPECT_EQ(r.accesses, w.traces().total_accesses()) << to_string(mode);
+    if (mode == RunMode::kExec) {
+      EXPECT_TRUE(r.exec->consistent);
+    }
+  }
+}
+
+TEST(Resilience, WatchdogFiresOnWedgedRunInsteadOfHanging) {
+  // A near-total outage with a huge retry timeout wedges every thread in
+  // backoff.  The watchdog must cut the run short with a diagnosis — in
+  // BOTH schedulers (the event scheduler would otherwise happily jump
+  // time past the outage).
+  System sys(small_config());
+  const auto w = workload::make_workload("sharing-mix", 16);
+  for (const SchedulerKind sched :
+       {SchedulerKind::kScan, SchedulerKind::kEventDriven}) {
+    RunSpec spec;
+    spec.arch = MemArch::kEm2;
+    spec.mode = RunMode::kExec;
+    spec.scheduler = sched;
+    spec.faults =
+        fault_spec_from_string("drop=0.95,seed=1,timeout=10000000");
+    spec.watchdog_cycles = 2'000;
+    const RunReport r = sys.run(w, spec);
+    ASSERT_TRUE(r.exec.has_value());
+    EXPECT_TRUE(r.exec->watchdog_fired) << to_string(sched);
+    EXPECT_TRUE(r.exec->timed_out) << to_string(sched);
+    ASSERT_TRUE(r.resilience.has_value());
+    EXPECT_TRUE(r.resilience->watchdog_fired);
+    EXPECT_FALSE(r.resilience->diagnosis.empty());
+    // The diagnosis names the wedge, not just "timed out".
+    EXPECT_NE(r.resilience->diagnosis.find("watchdog"), std::string::npos)
+        << r.resilience->diagnosis;
+  }
+}
+
+TEST(Resilience, WatchdogStaysQuietOnHealthyRuns) {
+  System sys(small_config());
+  const auto w = workload::make_workload("ocean", 16);
+  RunSpec spec;
+  spec.arch = MemArch::kEm2;
+  spec.mode = RunMode::kExec;
+  spec.watchdog_cycles = 2'000;  // tight, but progress never pauses
+  const RunReport r = sys.run(w, spec);
+  ASSERT_TRUE(r.exec.has_value());
+  EXPECT_FALSE(r.exec->watchdog_fired);
+  EXPECT_FALSE(r.exec->timed_out);
+  EXPECT_TRUE(r.exec->consistent);
+}
+
+TEST(Resilience, ValidationRejectsUnsupportedCombinations) {
+  System sys(small_config());
+  const auto w = workload::make_workload("ocean", 16);
+  RunSpec cc;
+  cc.arch = MemArch::kCc;
+  cc.faults = fault_spec_from_string("drop=0.1");
+  EXPECT_THROW(sys.run(w, cc), std::invalid_argument);
+
+  RunSpec repl;
+  repl.arch = MemArch::kEm2;
+  repl.replication = true;
+  repl.faults = fault_spec_from_string("drop=0.1");
+  EXPECT_THROW(sys.run(w, repl), std::invalid_argument);
+
+  RunSpec bad_kill;
+  bad_kill.faults.kills = {{99, 10}};  // core 99 of a 16-core mesh
+  EXPECT_THROW(sys.run(w, bad_kill), std::invalid_argument);
+}
+
+TEST(Resilience, MatrixCaptureIsolatesFailingCells) {
+  System sys(small_config());
+  const std::vector<workload::Workload> ws = {
+      workload::make_workload("ocean", 16)};
+  RunSpec good;
+  good.arch = MemArch::kEm2Ra;
+  good.faults = fault_spec_from_string("drop=0.05,seed=4");
+  RunSpec bad;
+  bad.arch = MemArch::kCc;
+  bad.faults = fault_spec_from_string("drop=0.05");
+  const std::vector<RunSpec> specs = {good, bad, good};
+
+  // Historical contract: the first bad cell sinks the whole grid.
+  EXPECT_THROW(sys.run_matrix(ws, specs), std::invalid_argument);
+
+  // Capture mode: the grid keeps its shape, the bad cell carries the
+  // exception text, the good cells are real reports.
+  const auto grid =
+      sys.run_matrix(ws, specs, {}, MatrixErrorPolicy::kCapture);
+  ASSERT_EQ(grid.size(), 3u);
+  EXPECT_TRUE(grid[0].error.empty());
+  EXPECT_GT(grid[0].accesses, 0u);
+  EXPECT_TRUE(grid[0].resilience.has_value());
+  EXPECT_FALSE(grid[1].error.empty());
+  EXPECT_NE(grid[1].error.find("fault injection"), std::string::npos)
+      << grid[1].error;
+  EXPECT_TRUE(grid[2].error.empty());
+  expect_identical_reports(grid[0], grid[2]);
+}
+
+TEST(Resilience, MeasuredContentionPricesTheRecoveryTraffic) {
+  // The two-pass contention flow under loss: the calibration replay runs
+  // on the reliable transport, and the corrected tables see the drops and
+  // retransmissions it measured.
+  System sys(small_config());
+  const auto w = workload::make_workload("hotspot", 16);
+  RunSpec spec;
+  spec.arch = MemArch::kEm2Ra;
+  spec.contention = ContentionMode::kMeasured;
+  spec.calibration_packets = 4'000;
+  spec.faults = fault_spec_from_string("drop=0.2,seed=12");
+  const RunReport r = sys.run(w, spec);
+  ASSERT_TRUE(r.noc.has_value());
+  EXPECT_GT(r.noc->calibration_drops, 0u);
+  EXPECT_GT(r.noc->calibration_retransmissions, 0u);
+  ASSERT_TRUE(r.resilience.has_value());
+  // Same spec without faults: the lossless calibration keeps both
+  // counters at zero.
+  RunSpec clean = spec;
+  clean.faults = FaultSpec{};
+  const RunReport c = sys.run(w, clean);
+  ASSERT_TRUE(c.noc.has_value());
+  EXPECT_EQ(c.noc->calibration_drops, 0u);
+  EXPECT_EQ(c.noc->calibration_retransmissions, 0u);
+}
+
+TEST(Resilience, OptimalModeEchoesTheScenarioOnly) {
+  // The DP lower bound has no machines to fault, but the report still
+  // records what scenario was requested so matrix rows stay labelled.
+  System sys(small_config());
+  const auto w = workload::make_workload("ocean", 16);
+  RunSpec spec;
+  spec.mode = RunMode::kOptimal;
+  spec.faults = fault_spec_from_string("drop=0.3,seed=9");
+  const RunReport r = sys.run(w, spec);
+  ASSERT_TRUE(r.optimal.has_value());
+  ASSERT_TRUE(r.resilience.has_value());
+  EXPECT_EQ(r.resilience->faults, to_string(spec.faults));
+  EXPECT_TRUE(r.resilience->conservation_ok);
+  EXPECT_EQ(r.resilience->stats.injected, 0u);
+}
+
+}  // namespace
+}  // namespace em2

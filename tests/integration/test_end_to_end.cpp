@@ -62,11 +62,10 @@ TEST_P(EveryWorkload, TraceRoundTripPreservesSimulation) {
   const TraceSet original = traces();
   std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
   ASSERT_TRUE(write_trace_binary(ss, original));
-  const auto loaded = read_trace_binary(ss);
-  ASSERT_TRUE(loaded.has_value());
+  const TraceSet loaded = read_trace_binary(ss);
 
   const RunReport a = sys.run(original, {.arch = MemArch::kEm2});
-  const RunReport b = sys.run(*loaded, {.arch = MemArch::kEm2});
+  const RunReport b = sys.run(loaded, {.arch = MemArch::kEm2});
   EXPECT_EQ(a.network_cost, b.network_cost) << GetParam();
   EXPECT_EQ(a.migrations, b.migrations) << GetParam();
   EXPECT_EQ(a.run_lengths.nonnative_accesses,

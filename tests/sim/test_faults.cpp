@@ -1,0 +1,240 @@
+// FaultSpec grammar and FaultInjector determinism: the spec string must
+// round-trip exactly (the calibration cache keys on it), malformed specs
+// must fail fast, and every draw stream must be a pure function of
+// (seed, identifiers) — independent of call interleaving.
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace em2 {
+namespace {
+
+TEST(FaultSpecGrammar, EmptySpecIsNone) {
+  EXPECT_EQ(to_string(FaultSpec{}), "none");
+  const auto parsed = parse_fault_spec("none");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, FaultSpec{});
+  EXPECT_FALSE(parsed->any());
+}
+
+TEST(FaultSpecGrammar, RoundTripsEveryClause) {
+  FaultSpec spec;
+  spec.drop_rate = 0.05;
+  spec.stall_rate = 0.001;
+  spec.stall_cycles = 500;
+  spec.kills = {{3, 10'000}, {7, 20'000}};
+  spec.mttf_cycles = 9'000'000;
+  spec.seed = 42;
+  spec.max_retries = 5;
+  spec.retry_timeout = 128;
+  const std::string text = to_string(spec);
+  const auto parsed = parse_fault_spec(text);
+  ASSERT_TRUE(parsed.has_value()) << text;
+  EXPECT_EQ(*parsed, spec) << text;
+}
+
+TEST(FaultSpecGrammar, ShortestRoundTripDoubles) {
+  // std::to_chars shortest form: 0.1 has no exact binary representation,
+  // but printing and reparsing must recover the identical value.
+  for (const double p : {0.1, 0.3, 1e-9, 0.9999999999999999}) {
+    FaultSpec spec;
+    spec.drop_rate = p;
+    const auto parsed = parse_fault_spec(to_string(spec));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->drop_rate, p);
+  }
+}
+
+TEST(FaultSpecGrammar, DefaultFieldsAreElided) {
+  FaultSpec spec;
+  spec.drop_rate = 0.01;
+  const std::string text = to_string(spec);
+  EXPECT_EQ(text.find("seed="), std::string::npos) << text;
+  EXPECT_EQ(text.find("retries="), std::string::npos) << text;
+  EXPECT_EQ(text.find("timeout="), std::string::npos) << text;
+}
+
+TEST(FaultSpecGrammar, RejectsMalformedInput) {
+  for (const char* bad :
+       {"drop", "drop=", "drop=1.5", "drop=-0.1", "drop=abc",
+        "stall=0.5", "stall=0.5:0", "kill=3", "kill=@5", "kill=3@",
+        "mttf=0", "retries=65", "timeout=0", "bogus=1", "drop=0.1,,",
+        "drop=0.1 stall=0.1:10"}) {
+    EXPECT_FALSE(parse_fault_spec(bad).has_value()) << bad;
+  }
+}
+
+TEST(FaultSpecGrammar, FromStringThrowsWithGrammar) {
+  EXPECT_THROW(fault_spec_from_string("drop=2.0"), UnknownNameError);
+  EXPECT_NO_THROW(fault_spec_from_string("drop=0.5,seed=7"));
+}
+
+TEST(FaultInjector, MigrationPlansAreDeterministic) {
+  const FaultSpec spec = fault_spec_from_string("drop=0.3,seed=9");
+  FaultInjector a(spec, 16);
+  FaultInjector b(spec, 16);
+  // Interleave differently: a serves thread 0 then 1; b alternates.
+  std::vector<FaultInjector::AttemptPlan> a0, a1, b0, b1;
+  for (int i = 0; i < 64; ++i) {
+    a0.push_back(a.plan_migration(0));
+  }
+  for (int i = 0; i < 64; ++i) {
+    a1.push_back(a.plan_migration(1));
+  }
+  for (int i = 0; i < 64; ++i) {
+    b1.push_back(b.plan_migration(1));
+    b0.push_back(b.plan_migration(0));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a0[static_cast<std::size_t>(i)].failed_attempts,
+              b0[static_cast<std::size_t>(i)].failed_attempts);
+    EXPECT_EQ(a1[static_cast<std::size_t>(i)].failed_attempts,
+              b1[static_cast<std::size_t>(i)].failed_attempts);
+  }
+}
+
+TEST(FaultInjector, MigrationAndRemoteStreamsAreIndependent) {
+  const FaultSpec spec = fault_spec_from_string("drop=0.5,seed=3");
+  FaultInjector a(spec, 16);
+  FaultInjector b(spec, 16);
+  // Drawing remote plans first must not shift the migration stream.
+  for (int i = 0; i < 32; ++i) {
+    (void)b.plan_remote(0);
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.plan_migration(0).failed_attempts,
+              b.plan_migration(0).failed_attempts);
+  }
+}
+
+TEST(FaultInjector, DropRateZeroNeverFails) {
+  FaultInjector inj(FaultSpec{}, 4);
+  for (int i = 0; i < 100; ++i) {
+    const auto plan = inj.plan_migration(i % 3);
+    EXPECT_EQ(plan.failed_attempts, 0u);
+    EXPECT_FALSE(plan.exhausted);
+  }
+  EXPECT_FALSE(inj.drop_packet(12345, 0));
+}
+
+TEST(FaultInjector, DropRateOneAlwaysExhausts) {
+  const FaultSpec spec = fault_spec_from_string("drop=1.0");
+  FaultInjector inj(spec, 4);
+  const auto plan = inj.plan_migration(0);
+  EXPECT_TRUE(plan.exhausted);
+  EXPECT_EQ(plan.failed_attempts, spec.max_retries + 1);
+  EXPECT_TRUE(inj.drop_packet(0, 0));
+}
+
+TEST(FaultInjector, PacketDropsAreStateless) {
+  const FaultSpec spec = fault_spec_from_string("drop=0.4,seed=11");
+  const FaultInjector inj(spec, 16);
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    EXPECT_EQ(inj.drop_packet(id, 2), inj.drop_packet(id, 2));
+  }
+}
+
+TEST(FaultInjector, BackoffIsExponentialAndCapped) {
+  const FaultSpec spec = fault_spec_from_string("timeout=64");
+  FaultInjector inj(spec, 4);
+  EXPECT_EQ(inj.backoff(0), 64u);
+  EXPECT_EQ(inj.backoff(1), 128u);
+  EXPECT_EQ(inj.backoff(6), 64u << 6);
+  EXPECT_EQ(inj.backoff(60), 64u << 6);  // shift-capped, no UB
+}
+
+TEST(FaultInjector, KillValidationRejectsBadCores) {
+  FaultSpec out_of_mesh;
+  out_of_mesh.kills = {{99, 5}};
+  EXPECT_THROW(FaultInjector(out_of_mesh, 16), std::invalid_argument);
+
+  FaultSpec all_dead;
+  all_dead.kills = {{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  EXPECT_THROW(FaultInjector(all_dead, 4), std::invalid_argument);
+}
+
+TEST(FaultInjector, KillScheduleFiresInOrder) {
+  FaultSpec spec;
+  spec.kills = {{5, 300}, {2, 100}};
+  FaultInjector inj(spec, 16);
+  EXPECT_EQ(inj.next_failure_at(), 100u);
+  EXPECT_TRUE(inj.take_due_failures(50).empty());
+  const auto first = inj.take_due_failures(100);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0], 2);
+  inj.mark_failed(2);
+  EXPECT_EQ(inj.next_failure_at(), 300u);
+  const auto second = inj.take_due_failures(1'000);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], 5);
+  inj.mark_failed(5);
+  EXPECT_EQ(inj.next_failure_at(), FaultInjector::kNever);
+  EXPECT_EQ(inj.live_cores(), 14);
+}
+
+TEST(FaultInjector, RemapSkipsFailedCoresWithWraparound) {
+  FaultSpec spec;
+  spec.kills = {{14, 10}, {15, 10}};
+  FaultInjector inj(spec, 16);
+  for (CoreId c = 0; c < 16; ++c) {
+    EXPECT_EQ(inj.remap(c), c);  // identity before any failure
+  }
+  inj.mark_failed(15);
+  EXPECT_EQ(inj.remap(15), 0);  // wraps to the first live core
+  inj.mark_failed(14);
+  EXPECT_EQ(inj.remap(14), 0);
+  EXPECT_EQ(inj.remap(15), 0);
+  EXPECT_EQ(inj.remap(13), 13);
+  EXPECT_TRUE(inj.failed(14));
+  EXPECT_FALSE(inj.failed(13));
+}
+
+TEST(FaultInjector, MttfSchedulesAreSeededAndCapped) {
+  FaultSpec spec;
+  spec.mttf_cycles = 1'000;  // aggressive: most cores draw a failure
+  spec.seed = 5;
+  FaultInjector a(spec, 8);
+  FaultInjector b(spec, 8);
+  for (CoreId c = 0; c < 8; ++c) {
+    EXPECT_EQ(a.failure_time(c), b.failure_time(c));
+  }
+  // However aggressive the mttf, at least one core survives.
+  auto due = a.take_due_failures(FaultInjector::kNever - 1);
+  EXPECT_LT(due.size(), 8u);
+  std::uint64_t prev = 0;
+  for (const CoreId c : due) {
+    EXPECT_GE(a.failure_time(c), prev);  // popped in (time, core) order
+    prev = a.failure_time(c);
+  }
+}
+
+TEST(FaultInjector, CoreStallsAreWindowedAndCountedOnce) {
+  const FaultSpec spec = fault_spec_from_string("stall=1.0:100,seed=2");
+  FaultInjector inj(spec, 4);
+  // Every window stalls at rate 1.0; repeated probes of one window count
+  // one injected stall.
+  EXPECT_TRUE(inj.core_stalled(1, 0));
+  EXPECT_TRUE(inj.core_stalled(1, 50));
+  EXPECT_TRUE(inj.core_stalled(1, 99));
+  EXPECT_EQ(inj.stats().core_stalls, 1u);
+  EXPECT_TRUE(inj.core_stalled(1, 100));  // next window
+  EXPECT_EQ(inj.stats().core_stalls, 2u);
+  EXPECT_TRUE(inj.core_stalled(2, 0));  // other core, own counter
+  EXPECT_EQ(inj.stats().core_stalls, 3u);
+}
+
+TEST(FaultInjector, EventLogIsCapped) {
+  FaultInjector inj(FaultSpec{}, 4);
+  for (std::size_t i = 0; i < FaultInjector::kMaxEvents + 100; ++i) {
+    inj.record(FaultEvent{FaultEventKind::kPacketDrop, i, 0, 0, 0});
+  }
+  EXPECT_EQ(inj.events().size(), FaultInjector::kMaxEvents);
+}
+
+}  // namespace
+}  // namespace em2

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
 #include <sstream>
+#include <string>
 
 namespace em2 {
 namespace {
@@ -34,22 +37,29 @@ void expect_equal(const TraceSet& a, const TraceSet& b) {
   }
 }
 
+/// Serialized sample with one field patched at byte `offset`.
+std::string patched_binary(std::size_t offset, const void* bytes,
+                           std::size_t n) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_TRUE(write_trace_binary(ss, sample_traces()));
+  std::string data = ss.str();
+  EXPECT_LE(offset + n, data.size());
+  std::memcpy(data.data() + offset, bytes, n);
+  return data;
+}
+
 TEST(TraceIo, TextRoundTrip) {
   const TraceSet original = sample_traces();
   std::stringstream ss;
   ASSERT_TRUE(write_trace_text(ss, original));
-  const auto loaded = read_trace_text(ss);
-  ASSERT_TRUE(loaded.has_value());
-  expect_equal(original, *loaded);
+  expect_equal(original, read_trace_text(ss));
 }
 
 TEST(TraceIo, BinaryRoundTrip) {
   const TraceSet original = sample_traces();
   std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
   ASSERT_TRUE(write_trace_binary(ss, original));
-  const auto loaded = read_trace_binary(ss);
-  ASSERT_TRUE(loaded.has_value());
-  expect_equal(original, *loaded);
+  expect_equal(original, read_trace_binary(ss));
 }
 
 TEST(TraceIo, TextFormatIsHumanReadable) {
@@ -65,29 +75,47 @@ TEST(TraceIo, TextFormatIsHumanReadable) {
 TEST(TraceIo, TextParserAcceptsCommentsAndBlankLines) {
   std::stringstream ss;
   ss << "# a comment\n\nblocksize 32\nthread 0 native 1\nR ff\n";
-  const auto loaded = read_trace_text(ss);
-  ASSERT_TRUE(loaded.has_value());
-  EXPECT_EQ(loaded->block_bytes(), 32u);
-  EXPECT_EQ(loaded->thread(0).native_core(), 1);
-  EXPECT_EQ(loaded->thread(0)[0].addr, 0xffu);
+  const TraceSet loaded = read_trace_text(ss);
+  EXPECT_EQ(loaded.block_bytes(), 32u);
+  EXPECT_EQ(loaded.thread(0).native_core(), 1);
+  EXPECT_EQ(loaded.thread(0)[0].addr, 0xffu);
 }
 
 TEST(TraceIo, TextParserRejectsGarbage) {
   std::stringstream ss;
   ss << "thread 0 native 0\nX 100\n";
-  EXPECT_FALSE(read_trace_text(ss).has_value());
+  EXPECT_THROW(read_trace_text(ss), TraceFormatError);
 }
 
 TEST(TraceIo, TextParserRejectsAccessBeforeThread) {
   std::stringstream ss;
   ss << "R 100\n";
-  EXPECT_FALSE(read_trace_text(ss).has_value());
+  EXPECT_THROW(read_trace_text(ss), TraceFormatError);
+}
+
+TEST(TraceIo, TextParserRejectsNonPowerOfTwoBlocksize) {
+  // Used to reach TraceSet's internal assert; now a format error.
+  std::stringstream ss;
+  ss << "blocksize 48\nthread 0 native 0\nR 100\n";
+  EXPECT_THROW(read_trace_text(ss), TraceFormatError);
+}
+
+TEST(TraceIo, TextParserRejectsNonDenseThreadIds) {
+  std::stringstream ss;
+  ss << "thread 3 native 0\nR 100\n";
+  EXPECT_THROW(read_trace_text(ss), TraceFormatError);
+}
+
+TEST(TraceIo, TextParserRejectsNegativeNativeCore) {
+  std::stringstream ss;
+  ss << "thread 0 native -2\nR 100\n";
+  EXPECT_THROW(read_trace_text(ss), TraceFormatError);
 }
 
 TEST(TraceIo, BinaryRejectsBadMagic) {
   std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
   ss << "NOPE garbage";
-  EXPECT_FALSE(read_trace_binary(ss).has_value());
+  EXPECT_THROW(read_trace_binary(ss), TraceFormatError);
 }
 
 TEST(TraceIo, BinaryRejectsTruncation) {
@@ -95,20 +123,95 @@ TEST(TraceIo, BinaryRejectsTruncation) {
   std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
   ASSERT_TRUE(write_trace_binary(ss, original));
   std::string data = ss.str();
-  data.resize(data.size() / 2);
-  std::stringstream cut(data,
-                        std::ios::in | std::ios::out | std::ios::binary);
-  EXPECT_FALSE(read_trace_binary(cut).has_value());
+  // Every proper prefix must fail cleanly — never assert, never read
+  // uninitialized memory.
+  for (std::size_t cut = 0; cut < data.size(); cut += 7) {
+    std::stringstream trunc(data.substr(0, cut),
+                            std::ios::in | std::ios::out | std::ios::binary);
+    EXPECT_THROW(read_trace_binary(trunc), TraceFormatError) << cut;
+  }
+}
+
+TEST(TraceIo, BinaryRejectsOversizedRecordCount) {
+  // Header layout: magic(4) version(4) block(4) nthreads(4) tid(4)
+  // native(4) count(8).  A count of 2^60 must not allocate 2^60 records
+  // up front — the reader's reserve is capped and the stream runs dry.
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+  const std::string data = patched_binary(24, &huge, sizeof huge);
+  std::stringstream ss(data,
+                       std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_THROW(read_trace_binary(ss), TraceFormatError);
+}
+
+TEST(TraceIo, BinaryRejectsImplausibleThreadCount) {
+  const std::uint32_t huge = 0xffffffffu;
+  const std::string data = patched_binary(12, &huge, sizeof huge);
+  std::stringstream ss(data,
+                       std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_THROW(read_trace_binary(ss), TraceFormatError);
+}
+
+TEST(TraceIo, BinaryRejectsBadBlockBytes) {
+  const std::uint32_t bad = 48;
+  const std::string data = patched_binary(8, &bad, sizeof bad);
+  std::stringstream ss(data,
+                       std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_THROW(read_trace_binary(ss), TraceFormatError);
+}
+
+TEST(TraceIo, BinaryRejectsBadOpByte) {
+  // First access record of thread 0 starts after the 16-byte header plus
+  // tid(4) + native(4) + count(8); its op byte sits at +8+4 within it.
+  const std::uint8_t bad = 7;
+  const std::string data = patched_binary(32 + 12, &bad, sizeof bad);
+  std::stringstream ss(data,
+                       std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_THROW(read_trace_binary(ss), TraceFormatError);
+}
+
+TEST(TraceIo, BinaryRejectsNonDenseThreadIds) {
+  // Thread 0's tid field (offset 16) patched to 5: used to hit the
+  // dense-id assert in TraceSet::add_thread.
+  const std::int32_t bad = 5;
+  const std::string data = patched_binary(16, &bad, sizeof bad);
+  std::stringstream ss(data,
+                       std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_THROW(read_trace_binary(ss), TraceFormatError);
+}
+
+TEST(TraceIo, BinaryRejectsUnsupportedVersion) {
+  const std::uint32_t bad = 99;
+  const std::string data = patched_binary(4, &bad, sizeof bad);
+  std::stringstream ss(data,
+                       std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_THROW(read_trace_binary(ss), TraceFormatError);
 }
 
 TEST(TraceIo, EmptyTraceSetRoundTrips) {
   const TraceSet empty(128);
   std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
   ASSERT_TRUE(write_trace_binary(ss, empty));
-  const auto loaded = read_trace_binary(ss);
-  ASSERT_TRUE(loaded.has_value());
-  EXPECT_EQ(loaded->num_threads(), 0u);
-  EXPECT_EQ(loaded->block_bytes(), 128u);
+  const TraceSet loaded = read_trace_binary(ss);
+  EXPECT_EQ(loaded.num_threads(), 0u);
+  EXPECT_EQ(loaded.block_bytes(), 128u);
+}
+
+TEST(TraceIo, LoadTraceThrowsOnMissingFile) {
+  EXPECT_THROW(load_trace("/nonexistent/path/to/trace.bin"),
+               TraceFormatError);
+}
+
+TEST(TraceIo, ErrorMessagesNameTheDefect) {
+  std::stringstream ss;
+  ss << "blocksize 48\n";
+  try {
+    (void)read_trace_text(ss);
+    FAIL() << "expected TraceFormatError";
+  } catch (const TraceFormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("power of two"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace
