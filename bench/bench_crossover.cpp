@@ -212,7 +212,7 @@ int main(int argc, char** argv) {
     std::printf("Crossover (%s-corrected): %s", em2::to_string(contention),
                 cross_corr ? "" : "none in sweep range\n");
     if (cross_corr) {
-      std::printf("mean run length %.2f\n", *cross_corr);
+      std::printf("mean run length %.2f\n", cross_corr.value_or(0.0));
     }
     std::printf("Contexts are 9-flit packets, remote requests 1-flit: "
                 "pricing saturation in moves the crossover toward longer "

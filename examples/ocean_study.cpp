@@ -63,12 +63,12 @@ int main(int argc, char** argv) {
       {.arch = em2::MemArch::kEm2Ra, .policy = "history"},
       {.arch = em2::MemArch::kEm2Ra, .policy = "cost-estimate"}};
   for (const em2::RunSpec& spec : specs) {
-    const em2::RunReport r = sys.run(traces, spec);
+    const em2::RunReport row = sys.run(traces, spec);
     t.begin_row()
-        .add_cell(r.arch_label)
-        .add_cell(r.cost_per_access, 2)
-        .add_cell(r.migrations)
-        .add_cell(r.remote_accesses);
+        .add_cell(row.arch_label)
+        .add_cell(row.cost_per_access, 2)
+        .add_cell(row.migrations)
+        .add_cell(row.remote_accesses);
   }
   t.print(std::cout);
   return 0;

@@ -36,7 +36,6 @@
 
 #include <array>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -55,6 +54,7 @@
 #include "sim/sweep.hpp"
 #include "trace/run_length.hpp"
 #include "trace/trace.hpp"
+#include "util/thread_annotations.hpp"
 #include "workload/workload.hpp"
 
 namespace em2 {
@@ -373,7 +373,7 @@ class System {
                        const std::shared_ptr<const TraceSet>& pin,
                        Build&& build) {
       {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         const auto it = entries_.find(key);
         if (it != entries_.end()) {
           if (it->second.pin.lock() == pin) {
@@ -383,9 +383,12 @@ class System {
         }
       }
       Value built = build();
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       // Prune entries whose traces died so dropped workloads don't leak
       // cached values across a long-lived System.
+      // determinism: erase-only walk — which entries survive depends on
+      // pin liveness, not visit order, and cache hits/misses never change
+      // a computed value (the memoized build is a pure function of key).
       for (auto it = entries_.begin(); it != entries_.end();) {
         it = it->second.pin.expired() ? entries_.erase(it)
                                       : std::next(it);
@@ -406,8 +409,8 @@ class System {
       Value value;
       std::weak_ptr<const TraceSet> pin;
     };
-    std::mutex mutex_;
-    std::unordered_map<std::string, Entry> entries_;
+    Mutex mutex_;
+    std::unordered_map<std::string, Entry> entries_ EM2_GUARDED_BY(mutex_);
   };
 
   /// Placements keyed by (scheme, trace object); shared across runs and

@@ -230,6 +230,8 @@ std::uint64_t DirectoryCC::total_valid_lines() const {
 
 std::uint64_t DirectoryCC::distinct_resident_lines() const {
   std::unordered_set<Addr> distinct;
+  // determinism: membership-only — the set's final contents (and the
+  // returned size) are independent of directory_ iteration order.
   for (const auto& [line, entry] : directory_) {
     if (entry.state != MsiState::kInvalid && !entry.sharers.empty()) {
       distinct.insert(line);
@@ -240,6 +242,7 @@ std::uint64_t DirectoryCC::distinct_resident_lines() const {
 
 std::uint64_t DirectoryCC::directory_bits() const {
   std::uint64_t tracked = 0;
+  // determinism: order-insensitive integer count over the entries.
   for (const auto& [line, entry] : directory_) {
     if (entry.state != MsiState::kInvalid) {
       ++tracked;

@@ -156,7 +156,7 @@ bool Em2Machine::apply_migration_faults(ThreadId t, CoreId from,
   }
   ++st.recovered;
   st.recovery_cost += p;
-  st.recovery_latency.add(static_cast<double>(p));
+  st.recovery_latency.add(p);
   penalty += p;
   return true;
 }
@@ -189,7 +189,7 @@ Cost Em2Machine::apply_remote_faults(ThreadId t, CoreId at, CoreId home,
   ++st.remote_retries;
   ++st.recovered;
   st.recovery_cost += p;
-  st.recovery_latency.add(static_cast<double>(p));
+  st.recovery_latency.add(p);
   faults_->record(FaultEvent{FaultEventKind::kRemoteRetry, faults_->now(),
                              t, home, plan.failed_attempts});
   return p;
@@ -243,7 +243,7 @@ std::vector<Em2Machine::Evacuation> Em2Machine::fail_core(CoreId dead) {
     counters_.inc(Counter::kEvacuations);
     ++st.threads_evacuated;
     st.recovery_cost += cost;
-    st.recovery_latency.add(static_cast<double>(cost));
+    st.recovery_latency.add(cost);
     faults_->record(
         FaultEvent{FaultEventKind::kEvacuation, faults_->now(), t, nat, 0});
     if (move_observer_ != nullptr) {

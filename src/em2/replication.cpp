@@ -25,6 +25,8 @@ std::unordered_set<Addr> replicable_blocks(const TraceSet& traces,
           ? static_cast<std::uint32_t>(
                 std::countr_zero(traces.block_bytes() / 4))
           : 0;
+  // determinism: membership-only — `bad`'s final contents are the same
+  // for any iteration order over the per-word counts.
   for (const auto& [word, count] : word_writes) {
     if (count > max_writes) {
       bad.insert(word >> word_shift);

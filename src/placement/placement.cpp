@@ -59,6 +59,8 @@ void TablePlacement::assign(Addr block, CoreId home) {
 std::vector<std::uint64_t> TablePlacement::blocks_per_core() const {
   std::vector<std::uint64_t> counts(
       static_cast<std::size_t>(num_cores_), 0);
+  // determinism: order-insensitive integer accumulation — each entry
+  // bumps its own core's counter exactly once, in any iteration order.
   for (const auto& [block, core] : table_) {
     ++counts[static_cast<std::size_t>(core)];
   }
@@ -103,6 +105,10 @@ ProfileGreedyPlacement::ProfileGreedyPlacement(const TraceSet& traces,
       ++counts[traces.block_of(a.addr)][native];
     }
   }
+  // determinism: each block's argmax is computed independently (the inner
+  // scan walks cores in ascending order, which fixes the tie-break), and
+  // table_ emplacement is keyed — the final table is the same map for any
+  // iteration order over `counts`.
   for (const auto& [block, per_core] : counts) {
     CoreId best = kNoCore;
     std::uint64_t best_count = 0;

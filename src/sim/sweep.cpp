@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <exception>
-#include <mutex>
 
 #include "util/assert.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace em2::sweep {
 
@@ -82,6 +82,39 @@ std::int64_t steal_half(std::atomic<std::uint64_t>& victim,
   }
 }
 
+/// First-exception capture shared by the pool workers: `failed()` is the
+/// lock-free stop signal the claim loops poll, and the mutex arbitrates
+/// which worker's exception is "first" (every later one is dropped, as
+/// the serial loop would never have reached its point).  The pointer is
+/// only read back on the calling thread after every worker joined.
+class ErrorCapture {
+ public:
+  bool failed() const noexcept {
+    return failed_.load(std::memory_order_acquire);
+  }
+
+  void capture(std::exception_ptr error) EM2_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    if (!failed_.exchange(true, std::memory_order_release)) {
+      first_ = std::move(error);
+    }
+  }
+
+  /// Rethrows the captured exception, if any.  Call only after join():
+  /// the joins order every capture() before this read.
+  void rethrow_if_any() EM2_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    if (first_ != nullptr) {
+      std::rethrow_exception(first_);
+    }
+  }
+
+ private:
+  std::atomic<bool> failed_{false};
+  Mutex mutex_;
+  std::exception_ptr first_ EM2_GUARDED_BY(mutex_);
+};
+
 }  // namespace
 
 void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body,
@@ -114,11 +147,9 @@ void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body,
   // and call std::terminate.  Instead the first exception is captured, the
   // pool stops claiming new points (in-flight points finish), and the
   // exception is rethrown on the calling thread after all workers joined.
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  ErrorCapture errors;
   auto worker = [&](unsigned w) {
-    while (!failed.load(std::memory_order_acquire)) {
+    while (!errors.failed()) {
       std::int64_t i = claim_front(chunks[w].range);
       if (i < 0) {
         // Own chunk dry: scan the others round-robin for work to steal.
@@ -133,10 +164,7 @@ void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body,
       try {
         body(static_cast<std::size_t>(i));
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!failed.exchange(true, std::memory_order_release)) {
-          first_error = std::current_exception();
-        }
+        errors.capture(std::current_exception());
       }
     }
   };
@@ -149,9 +177,7 @@ void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body,
   for (std::thread& th : pool) {
     th.join();
   }
-  if (first_error != nullptr) {
-    std::rethrow_exception(first_error);
-  }
+  errors.rethrow_if_any();
 }
 
 }  // namespace detail

@@ -3,10 +3,20 @@
 #include <atomic>
 #include <cstdio>
 
+#include "util/thread_annotations.hpp"
+
 namespace em2 {
 namespace {
 
+// The level check stays a relaxed atomic load — it is the only part of
+// logging on hot paths (a disabled log_line is one load + compare).
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+// Serializes the actual stderr write so lines from concurrent sweep
+// workers never interleave mid-line.  It guards the stream itself, which
+// the analysis cannot name in a GUARDED_BY, so the lock scope in
+// log_line is the whole contract.
+Mutex g_sink_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -36,6 +46,7 @@ void log_line(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed)) {
     return;
   }
+  const MutexLock lock(g_sink_mutex);
   std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
                static_cast<int>(message.size()), message.data());
 }

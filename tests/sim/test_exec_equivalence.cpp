@@ -134,10 +134,11 @@ TEST_P(ExecEquivalence, TimeoutReportsMatch) {
 INSTANTIATE_TEST_SUITE_P(AllArches, ExecEquivalence,
                          ::testing::Values(MemArch::kEm2, MemArch::kEm2Ra,
                                            MemArch::kCc),
-                         [](const auto& info) {
-                           return std::string(to_string(info.param)) == "em2-ra"
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param)) ==
+                                          "em2-ra"
                                       ? "em2ra"
-                                      : to_string(info.param);
+                                      : to_string(param_info.param);
                          });
 
 // Idle-cycle skipping must not change the clock: a lone far-corner thread

@@ -52,7 +52,7 @@ TEST(Sweep, WorkStealingCoversSkewedPointsExactlyOnce) {
         volatile std::uint64_t sink = 0;
         const std::uint64_t spin = i < 8 ? 200000 : 200;
         for (std::uint64_t k = 0; k < spin; ++k) {
-          sink += k;
+          sink = sink + k;
         }
         return i * 3 + 1;
       },

@@ -1,0 +1,25 @@
+// NEGATIVE compile case: touching an EM2_GUARDED_BY(mutex_) field with
+// no lock held.  Under clang with `-Werror=thread-safety` this MUST
+// fail to compile (WILL_FAIL ctest case
+// `static.thread_safety_guarded_by_violation`).
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  int read_unlocked() {
+    return balance_;  // BUG under analysis: mutex_ not held
+  }
+
+ private:
+  em2::Mutex mutex_;
+  int balance_ EM2_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  return account.read_unlocked();
+}

@@ -1,0 +1,45 @@
+// POSITIVE control for the thread-safety negative-compile harness: a
+// correct lock protocol over the annotated wrappers.  This file must
+// compile clean under `-Werror=thread-safety` (and under non-clang
+// compilers, where the annotations are no-ops) — if it ever fails, the
+// harness is broken, not the code under test.  Registered by CMake as
+// the `static.thread_safety_positive` ctest case on clang builds.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) EM2_EXCLUDES(mutex_) {
+    const em2::MutexLock lock(mutex_);
+    balance_ += amount;
+  }
+
+  int balance() EM2_EXCLUDES(mutex_) {
+    const em2::MutexLock lock(mutex_);
+    return balance_;
+  }
+
+  void deposit_locked(int amount) EM2_REQUIRES(mutex_) {
+    balance_ += amount;
+  }
+
+  em2::Mutex& mutex() EM2_RETURN_CAPABILITY(mutex_) { return mutex_; }
+
+ private:
+  em2::Mutex mutex_;
+  int balance_ EM2_GUARDED_BY(mutex_) = 0;
+};
+
+int use() {
+  Account account;
+  account.deposit(3);
+  account.mutex().lock();
+  account.deposit_locked(4);  // holding the capability: REQUIRES satisfied
+  account.mutex().unlock();
+  return account.balance();
+}
+
+}  // namespace
+
+int main() { return use() == 7 ? 0 : 1; }

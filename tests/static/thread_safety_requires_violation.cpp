@@ -1,0 +1,32 @@
+// NEGATIVE compile case: calling an EM2_REQUIRES(mutex_) function
+// without holding the mutex.  Under clang with `-Werror=thread-safety`
+// this file MUST fail to compile — CMake registers it as a WILL_FAIL
+// ctest case (`static.thread_safety_requires_violation`), so the test
+// going green means the violation was rejected.  If this ever compiles
+// on clang, the thread-safety gate is silently off.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit_locked(int amount) EM2_REQUIRES(mutex_) {
+    balance_ += amount;
+  }
+
+ private:
+  em2::Mutex mutex_;
+  int balance_ EM2_GUARDED_BY(mutex_) = 0;
+};
+
+void use() {
+  Account account;
+  account.deposit_locked(1);  // BUG under analysis: mutex_ not held
+}
+
+}  // namespace
+
+int main() {
+  use();
+  return 0;
+}

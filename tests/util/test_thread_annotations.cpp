@@ -1,0 +1,121 @@
+// Runtime behavior of the annotated synchronization wrappers
+// (util/thread_annotations.hpp).  The static half of the contract — a
+// GUARDED_BY/REQUIRES violation failing the clang build — lives in
+// tests/static/, registered by CMake as negative-compile cases.
+#include "util/thread_annotations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace em2 {
+namespace {
+
+TEST(Mutex, TryLockReflectsOwnership) {
+  Mutex mu;
+  ASSERT_TRUE(mu.try_lock());
+  // Contended try_lock must fail while another thread holds the mutex.
+  // (try_lock from the owning thread would be UB on std::mutex.)
+  bool contended_result = true;
+  std::thread other([&] { contended_result = mu.try_lock(); });
+  other.join();
+  EXPECT_FALSE(contended_result);
+  mu.unlock();
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(MutexLock, MutualExclusionUnderContention) {
+  Mutex mu;
+  std::uint64_t counter = 0;  // guarded by mu (a local cannot be annotated)
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        const MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& th : pool) {
+    th.join();
+  }
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(CondVar, PredicateWaitSeesNotifiedState) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int observed = 0;
+  std::thread consumer([&] {
+    mu.lock();
+    cv.wait(mu, [&] { return ready; });
+    observed = 42;
+    mu.unlock();
+  });
+  {
+    const MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  consumer.join();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(CondVar, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int woke = 0;
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> pool;
+  pool.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    pool.emplace_back([&] {
+      mu.lock();
+      cv.wait(mu, [&] { return go; });
+      ++woke;  // still holding mu: increments serialize
+      mu.unlock();
+    });
+  }
+  {
+    const MutexLock lock(mu);
+    go = true;
+  }
+  cv.notify_all();
+  for (std::thread& th : pool) {
+    th.join();
+  }
+  EXPECT_EQ(woke, kWaiters);
+}
+
+TEST(CondVar, UnpredicatedWaitWakesOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool parked = false;
+  std::thread waiter([&] {
+    mu.lock();
+    parked = true;
+    cv.wait(mu);  // spurious wakeups only end the wait early — fine here
+    mu.unlock();
+  });
+  // Wait until the waiter holds the mutex and parks; if wait() failed to
+  // release the mutex, this loop's MutexLock would deadlock instead of
+  // observing parked == true.
+  for (bool seen = false; !seen;) {
+    const MutexLock lock(mu);
+    seen = parked;
+  }
+  cv.notify_one();
+  waiter.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace em2

@@ -155,7 +155,7 @@ TEST(RegistryExec, Em2RaExecMixTracksTraceMix) {
   cfg.threads = 16;
   cfg.em2.guest_contexts = 16;  // eviction-free: see the EM2 smoke above
   System sys(cfg);
-  for (const std::string& name : {"ocean", "uniform"}) {
+  for (const char* name : {"ocean", "uniform"}) {
     const auto w = workload::make_workload(name, 16, 1, 1);
     const RunSpec trace_spec{.arch = MemArch::kEm2Ra, .policy = "distance:4"};
     RunSpec exec_spec = trace_spec;

@@ -1,0 +1,362 @@
+#!/usr/bin/env python3
+"""Determinism lint: machine-check the repo's written invariants over src/.
+
+The simulator's core contract is bit-identical RunReports for a fixed
+(config, seed) across schedulers, sweep interleavings, and fault replays.
+That only holds if no code path consults an ambient source of
+nondeterminism or lets container hash order leak into results.  This lint
+turns those rules — until now prose in README/sweep.hpp — into a CI gate:
+
+  D1  banned nondeterminism sources: rand()/srand(), std::random_device,
+      <random> (engine/distribution behavior differs across standard
+      libraries), wall-clock time (time(), clock(), gettimeofday,
+      clock_gettime, std::chrono::{steady,system,high_resolution}_clock,
+      localtime/gmtime).  All randomness must flow through util/rng.hpp's
+      explicitly seeded xoshiro generator (the one sanctioned file).
+  D2  no std::hash over pointer types: pointer values differ per run
+      (ASLR), so hashing them makes order/placement run-dependent.
+  D3  iteration over std::unordered_map/std::unordered_set: hash-order
+      iteration feeding a report, counter, or ordering is the classic
+      silent nondeterminism.  Every range-for or explicit .begin() walk
+      over an identifier declared as an unordered container must either
+      be rewritten over a sorted/flat container or carry an explicit
+      `// determinism: <reason>` annotation on the line or within the
+      five preceding lines, stating why the result is order-insensitive.
+  D4  float accumulation across unordered iteration: `f += ...` on a
+      float/double inside an unordered-container loop is order-sensitive
+      even when the loop is annotated (FP addition does not associate),
+      so it needs its own `// determinism:` on the accumulating line.
+
+Suppressions: a `// determinism:` comment must carry a non-empty reason;
+bare annotations are themselves findings.  The audit trail is printable
+with --list-suppressions.
+
+Scope: src/**/*.{hpp,cpp} (benches, examples, and tests time themselves
+and seed ad hoc — that is fine; only the library owes the contract).
+
+Exit status: 0 on zero findings, 1 otherwise.  Run from anywhere:
+    python3 tools/check_determinism.py [--root REPO] [--list-suppressions]
+
+This is a token-level lint, not a compiler: it strips comments and
+string literals, then pattern-matches declarations and loops.  It is
+deliberately conservative — it flags what it cannot prove harmless and
+lets a human write down the reason.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+# Files allowed to mention otherwise-banned randomness machinery: the
+# single sanctioned PRNG implementation.
+SANCTIONED = {
+    "src/util/rng.hpp",
+}
+
+ANNOTATION = re.compile(r"//\s*determinism:\s*(\S.*)?$")
+# How far above a flagged loop an annotation may sit (a comment block
+# directly over the `for`).
+ANNOTATION_WINDOW = 5
+
+BANNED = [
+    # (rule, regex over code (comments/strings stripped), message)
+    ("D1", re.compile(r"(?<![A-Za-z0-9_])s?rand\s*\("),
+     "rand()/srand(): use an explicitly seeded em2::Rng (util/rng.hpp)"),
+    ("D1", re.compile(r"std::random_device|(?<![A-Za-z0-9_:])random_device"),
+     "std::random_device is nondeterministic by design; seed an em2::Rng"),
+    ("D1", re.compile(r"#\s*include\s*<random>"),
+     "<random>: stdlib engine/distribution sequences differ across "
+     "standard libraries; use em2::Rng (util/rng.hpp)"),
+    ("D1", re.compile(r"(?<![A-Za-z0-9_])time\s*\(\s*(?:NULL|nullptr|0|&)"),
+     "wall-clock time() in the simulator: results must not depend on "
+     "when a run happens"),
+    ("D1", re.compile(r"(?<![A-Za-z0-9_])(gettimeofday|clock_gettime|"
+                      r"localtime(_r)?|gmtime(_r)?|strftime)\s*\("),
+     "wall-clock query: results must not depend on when a run happens"),
+    ("D1", re.compile(r"(?<![A-Za-z0-9_])clock\s*\(\s*\)"),
+     "clock(): CPU/wall time must not feed simulation state"),
+    ("D1", re.compile(r"std::chrono::(steady_clock|system_clock|"
+                      r"high_resolution_clock)"),
+     "std::chrono clock in src/: timing belongs in bench/, not in "
+     "simulation state"),
+    ("D2", re.compile(r"std::hash\s*<[^<>]*\*\s*>"),
+     "std::hash of a pointer type: pointer values change per run (ASLR), "
+     "so hash order becomes run-dependent"),
+]
+
+UNORDERED_DECL = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*?>\s*&?\s*"
+    r"(?:const\s+)?([A-Za-z_][A-Za-z0-9_]*)\s*(?:[;,={(\[]|EM2_[A-Z_]+|$)")
+RANGE_FOR = re.compile(
+    r"for\s*\([^;]*?:\s*&?\s*(?:\w+\s*\.\s*)*([A-Za-z_][A-Za-z0-9_]*)\s*\)")
+# .begin()/.cbegin() start a walk; a bare .end() is the find-lookup
+# sentinel (`it == m.end()`), which is order-independent.
+EXPLICIT_ITER = re.compile(
+    r"([A-Za-z_][A-Za-z0-9_]*)\s*\.\s*c?begin\s*\(")
+FLOAT_DECL = re.compile(
+    r"(?<![A-Za-z0-9_])(?:double|float)\s+([A-Za-z_][A-Za-z0-9_]*)")
+FLOAT_ACCUM = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*\+=")
+
+
+def strip_code(text: str) -> list[tuple[str, str]]:
+    """Returns per-line (code, comment) with strings/chars blanked out of
+    `code` and block comments removed (their text is not an annotation
+    carrier; only // comments are)."""
+    out_code: list[list[str]] = [[]]
+    out_comment: list[list[str]] = [[]]
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            out_code.append([])
+            out_comment.append([])
+            if state == "line_comment":
+                state = "code"
+            i += 1
+            continue
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out_comment[-1].append("//")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+                continue
+            if c == '"':
+                # Raw strings: skip to the matching delimiter wholesale.
+                if out_code[-1] and out_code[-1][-1] == "R":
+                    m = re.match(r'"([^ ()\\\n]*)\(', text[i:])
+                    if m:
+                        end = text.find(")" + m.group(1) + '"', i)
+                        if end != -1:
+                            skipped = text.count("\n", i, end)
+                            for _ in range(skipped):
+                                out_code.append([])
+                                out_comment.append([])
+                            i = end + len(m.group(1)) + 2
+                            continue
+                state = "string"
+                out_code[-1].append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out_code[-1].append("'")
+                i += 1
+                continue
+            out_code[-1].append(c)
+            i += 1
+            continue
+        if state == "line_comment":
+            out_comment[-1].append(c)
+            i += 1
+            continue
+        if state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+            i += 1
+            continue
+        if state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                i += 2
+                continue
+            if c == quote:
+                out_code[-1].append(quote)
+                state = "code"
+            i += 1
+            continue
+    return [("".join(cs), "".join(ms))
+            for cs, ms in zip(out_code, out_comment)]
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = (
+            path, line, rule, message)
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def annotation_near(lines: list[tuple[str, str]], idx: int):
+    """Returns the `// determinism:` reason on line idx or within the
+    window above it, or None.  An empty reason returns ""."""
+    for back in range(0, ANNOTATION_WINDOW + 1):
+        j = idx - back
+        if j < 0:
+            break
+        m = ANNOTATION.search(lines[j][1])
+        if m:
+            return (m.group(1) or "").strip()
+        # Stop scanning upward once we leave the contiguous comment block
+        # over the loop (other code lines break the association).
+        if back > 0 and lines[j][0].strip():
+            break
+    return None
+
+
+def loop_body_span(lines: list[tuple[str, str]], idx: int) -> range:
+    """Lines covered by the loop starting at idx (brace-matched; a
+    braceless loop body is the next nonempty line)."""
+    depth = 0
+    opened = False
+    for j in range(idx, min(idx + 200, len(lines))):
+        code = lines[j][0]
+        depth += code.count("{") - code.count("}")
+        if "{" in code:
+            opened = True
+        if opened and depth <= 0:
+            return range(idx, j + 1)
+        if not opened and j > idx and code.strip():
+            return range(idx, j + 1)  # braceless single-statement body
+    return range(idx, min(idx + 200, len(lines)))
+
+
+def declared_names(root: str, rel: str) -> tuple[set[str], set[str]]:
+    """(unordered container names, float/double names) declared in rel."""
+    with open(os.path.join(root, rel), "r", encoding="utf-8") as f:
+        lines = strip_code(f.read())
+    unordered: set[str] = set()
+    floats: set[str] = set()
+    for code, _ in lines:
+        for m in UNORDERED_DECL.finditer(code):
+            unordered.add(m.group(1))
+        for m in FLOAT_DECL.finditer(code):
+            floats.add(m.group(1))
+    return unordered, floats
+
+
+def check_file(root: str, rel: str) -> tuple[list[Finding], list[str]]:
+    with open(os.path.join(root, rel), "r", encoding="utf-8") as f:
+        text = f.read()
+    lines = strip_code(text)
+    findings: list[Finding] = []
+    suppressions: list[str] = []
+
+    unordered_names, float_names = declared_names(root, rel)
+    # Members are declared in the class's header but iterated in the
+    # .cpp: fold in the same-stem header's declarations.
+    if rel.endswith((".cpp", ".cc")):
+        for ext in (".hpp", ".h"):
+            header = os.path.splitext(rel)[0] + ext
+            if os.path.exists(os.path.join(root, header)):
+                header_unordered, header_floats = declared_names(
+                    root, header)
+                unordered_names |= header_unordered
+                float_names |= header_floats
+
+    sanctioned = rel in SANCTIONED
+    unordered_loop_lines: set[int] = set()
+
+    for idx, (code, comment) in enumerate(lines):
+        lineno = idx + 1
+        # Bare annotations are findings too: a suppression must say why.
+        m = ANNOTATION.search(comment)
+        if m and not (m.group(1) or "").strip():
+            findings.append(Finding(
+                rel, lineno, "D0",
+                "empty `// determinism:` annotation — write the reason"))
+
+        if not sanctioned:
+            for rule, pattern, message in BANNED:
+                if pattern.search(code):
+                    reason = annotation_near(lines, idx)
+                    if reason:
+                        suppressions.append(
+                            f"{rel}:{lineno}: [{rule}] {reason}")
+                    else:
+                        findings.append(Finding(rel, lineno, rule, message))
+
+        # D3: iteration over an unordered container.
+        iterated: set[str] = set()
+        fm = RANGE_FOR.search(code)
+        if fm and fm.group(1) in unordered_names:
+            iterated.add(fm.group(1))
+        for em in EXPLICIT_ITER.finditer(code):
+            if em.group(1) in unordered_names:
+                iterated.add(em.group(1))
+        if iterated:
+            unordered_loop_lines.update(loop_body_span(lines, idx))
+            reason = annotation_near(lines, idx)
+            if reason:
+                suppressions.append(f"{rel}:{lineno}: [D3] {reason}")
+            else:
+                names = ", ".join(sorted(iterated))
+                findings.append(Finding(
+                    rel, lineno, "D3",
+                    f"iteration over unordered container(s) {names}: "
+                    "rewrite over a sorted/flat container or annotate "
+                    "`// determinism: <why order cannot leak>`"))
+
+    # D4: float accumulation inside unordered loops (annotated or not) —
+    # FP addition is order-sensitive even when membership is not.
+    for idx in sorted(unordered_loop_lines):
+        code, _ = lines[idx]
+        for m in FLOAT_ACCUM.finditer(code):
+            if m.group(1) in float_names:
+                reason = annotation_near(lines, idx)
+                if reason:
+                    suppressions.append(f"{rel}:{idx + 1}: [D4] {reason}")
+                else:
+                    findings.append(Finding(
+                        rel, idx + 1, "D4",
+                        f"float accumulation `{m.group(1)} +=` across "
+                        "unordered iteration: FP addition does not "
+                        "associate, so hash order changes the sum"))
+    return findings, suppressions
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: the lint's parent dir)")
+    parser.add_argument("--list-suppressions", action="store_true",
+                        help="print the audited `// determinism:` trail")
+    args = parser.parse_args()
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+
+    files = []
+    for dirpath, _, names in os.walk(os.path.join(root, "src")):
+        for name in sorted(names):
+            if name.endswith((".hpp", ".cpp", ".h", ".cc")):
+                files.append(os.path.relpath(
+                    os.path.join(dirpath, name), root))
+    files.sort()
+
+    all_findings: list[Finding] = []
+    all_suppressions: list[str] = []
+    for rel in files:
+        findings, suppressions = check_file(root, rel)
+        all_findings.extend(findings)
+        all_suppressions.extend(suppressions)
+
+    if args.list_suppressions:
+        print(f"{len(all_suppressions)} audited suppression(s):")
+        for s in all_suppressions:
+            print("  " + s)
+    for finding in all_findings:
+        print(finding)
+    if all_findings:
+        print(f"\n{len(all_findings)} determinism finding(s) over "
+              f"{len(files)} files.  Rewrite, or annotate with "
+              "`// determinism: <reason>` (see tools/check_determinism.py "
+              "and CONTRIBUTING.md).")
+        return 1
+    print(f"determinism lint: OK ({len(files)} files, "
+          f"{len(all_suppressions)} audited suppressions, 0 findings)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
