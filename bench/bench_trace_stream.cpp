@@ -1,0 +1,186 @@
+// Streaming trace frontend benchmark: end-to-end trace-mode System::run
+// throughput with the trace streamed from an EM2S file, next to the same
+// run from memory — the price of out-of-core ingestion.
+//
+// Two CI-tracked rows per invocation ("path":"memory" and
+// "path":"stream"); the stream row also carries the equivalence verdict
+// (the streamed RunReport must match the in-memory one field for field),
+// the reader's peak resident bytes against the window, and the
+// slowdown ratio the acceptance bound (streamed within 2x of in-memory)
+// is judged on.
+//
+//   --workload=NAME   workload registry name, default ocean
+//   --arch=A          em2|em2ra|cc, default em2
+//   --cores=N         threads == cores, default 16
+//   --scale=S         workload size scale, default 4
+//   --window=BYTES    RunSpec::stream_window for the streamed runs
+//                     (0 = unlimited), default 4 MiB
+//   --seconds=S       time budget per path, default 1
+//   --file=PATH       where to spill the EM2S file (default: temp dir)
+//   --json            two JSON rows ("bench":"trace_stream") instead of
+//                     the text report; fold into BENCH_hot_path.json and
+//                     tools/check_bench_regression tracks them
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <string>
+
+#include "api/system.hpp"
+#include "sim/modes.hpp"
+#include "trace/stream/convert.hpp"
+#include "trace/stream/reader.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
+#include "workload/registry.hpp"
+
+namespace {
+
+struct Timed {
+  std::uint64_t runs = 0;
+  std::uint64_t accesses = 0;
+  double elapsed = 0.0;
+  em2::RunReport last;
+};
+
+template <typename RunOnce>
+Timed time_runs(double seconds, RunOnce&& run_once) {
+  Timed t;
+  const auto start = std::chrono::steady_clock::now();
+  do {
+    t.last = run_once();
+    ++t.runs;
+    t.accesses += t.last.accesses;
+    t.elapsed = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  } while (t.elapsed < seconds);
+  return t;
+}
+
+/// The equivalence the acceptance demands: every counter the trace-mode
+/// engines fill, including the run-length histograms.
+bool reports_equal(const em2::RunReport& a, const em2::RunReport& b) {
+  return a.accesses == b.accesses && a.migrations == b.migrations &&
+         a.evictions == b.evictions &&
+         a.remote_accesses == b.remote_accesses &&
+         a.replicated_reads == b.replicated_reads &&
+         a.network_cost == b.network_cost &&
+         a.traffic_bits == b.traffic_bits && a.messages == b.messages &&
+         a.cost_per_access == b.cost_per_access &&
+         a.run_lengths.accesses_by_run_length.bins() ==
+             b.run_lengths.accesses_by_run_length.bins() &&
+         a.run_lengths.runs_by_run_length.bins() ==
+             b.run_lengths.runs_by_run_length.bins();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const em2::Args args(argc, argv);
+  const std::string workload_name = args.get_string("workload", "ocean");
+  const std::string arch_name = args.get_string("arch", "em2");
+  const auto cores = static_cast<std::int32_t>(args.get_int("cores", 16));
+  const auto scale = static_cast<std::int32_t>(args.get_int("scale", 4));
+  const auto window =
+      static_cast<std::uint64_t>(args.get_int("window", 4 << 20));
+  const double seconds = args.get_double("seconds", 1.0);
+  const bool json = args.has("json");
+
+  const auto arch = em2::parse_mem_arch(arch_name);
+  if (!arch) {
+    std::fprintf(stderr, "unknown arch '%s' (known: em2, em2-ra, cc)\n",
+                 arch_name.c_str());
+    return 1;
+  }
+
+  try {
+    const std::string path = args.get_string(
+        "file", (std::filesystem::temp_directory_path() /
+                 "bench_trace_stream.em2s")
+                    .string());
+    em2::SystemConfig cfg;
+    cfg.threads = cores;
+    const em2::System sys(cfg);
+    const auto traces =
+        em2::workload::make_by_name(workload_name, cores, scale, 1);
+    if (!traces) {
+      std::fprintf(stderr, "unknown workload '%s'\n",
+                   workload_name.c_str());
+      return 1;
+    }
+    if (!em2::write_trace_stream(path, *traces)) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    const em2::TraceStream stream(path);
+
+    em2::RunSpec spec;
+    spec.arch = *arch;
+    spec.policy = "history";
+    spec.stream_window = window;
+
+    const Timed memory =
+        time_runs(seconds, [&] { return sys.run(*traces, spec); });
+    const Timed streamed =
+        time_runs(seconds, [&] { return sys.run(stream, spec); });
+    std::filesystem::remove(path);
+
+    const double mem_rate =
+        static_cast<double>(memory.accesses) / memory.elapsed;
+    const double stream_rate =
+        static_cast<double>(streamed.accesses) / streamed.elapsed;
+    const bool equal = reports_equal(memory.last, streamed.last);
+    const double slowdown = stream_rate > 0 ? mem_rate / stream_rate : 0.0;
+
+    if (json) {
+      const auto row = [&](const char* which, const Timed& t,
+                           double rate) {
+        em2::JsonWriter out;
+        out.add("bench", "trace_stream")
+            .add("path", which)
+            .add("workload", workload_name)
+            .add("arch", std::string(em2::to_string(*arch)))
+            .add("cores", static_cast<std::int64_t>(cores))
+            .add("scale", static_cast<std::int64_t>(scale))
+            .add("window", window)
+            .add("runs", t.runs)
+            .add("accesses", t.accesses)
+            .add("seconds", t.elapsed)
+            .add("accesses_per_sec", rate)
+            .add("reports_equal", equal)
+            .add("stream_slowdown", slowdown)
+            .add("file_bytes", stream.file_bytes())
+            .add("peak_resident_bytes",
+                 stream.peak_resident_trace_bytes());
+        out.print();
+      };
+      row("memory", memory, mem_rate);
+      row("stream", streamed, stream_rate);
+    } else {
+      std::printf("=== trace-stream ingestion (%s, %s, %d cores, "
+                  "scale %d) ===\n",
+                  workload_name.c_str(), em2::to_string(*arch), cores,
+                  scale);
+      std::printf("trace:           %llu accesses, %llu bytes on disk\n",
+                  static_cast<unsigned long long>(traces->total_accesses()),
+                  static_cast<unsigned long long>(stream.file_bytes()));
+      std::printf("stream window:   %llu bytes (peak resident %llu)\n",
+                  static_cast<unsigned long long>(window),
+                  static_cast<unsigned long long>(
+                      stream.peak_resident_trace_bytes()));
+      std::printf("in-memory:       %.0f accesses/sec (%llu runs)\n",
+                  mem_rate, static_cast<unsigned long long>(memory.runs));
+      std::printf("streamed:        %.0f accesses/sec (%llu runs)\n",
+                  stream_rate,
+                  static_cast<unsigned long long>(streamed.runs));
+      std::printf("slowdown:        %.2fx (acceptance bound: 2x)\n",
+                  slowdown);
+      std::printf("reports equal:   %s\n", equal ? "yes" : "NO");
+    }
+    return equal ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

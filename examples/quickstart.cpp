@@ -17,9 +17,11 @@
 //   arch:      "em2" | "em2-ra" | "cc"      (aliases: em2ra, cc-msi, msi)
 //   mode:      "trace" | "exec" | "optimal"
 //   scheduler: "event" | "scan"
+#include <cstddef>
 #include <cstdio>
 #include <exception>
 #include <iostream>
+#include <vector>
 
 #include "api/system.hpp"
 #include "util/args.hpp"
@@ -86,7 +88,10 @@ int main(int argc, char** argv) {
     }
 
     // 3. The three architectures on the identical logical workload — one
-    //    RunSpec per row, one run() for all of them.
+    //    RunSpec per row, one run_matrix() for all of them, with the
+    //    sweep runner's per-point progress callback reporting each cell
+    //    as it lands (any worker may fire it, so it writes one atomic
+    //    fprintf and nothing else).
     em2::RunSpec spec;
     spec.mode = *mode;
     spec.scheduler = *scheduler;
@@ -94,13 +99,22 @@ int main(int argc, char** argv) {
         args.get_int("max-cycles", 50'000'000));
     const double n = static_cast<double>(w.traces().total_accesses());
     if (*mode == em2::RunMode::kTrace) {
-      em2::Table t({"arch", "migrations", "remote_accesses",
-                    "net_cost/access", "traffic_bits/access"});
+      std::vector<em2::RunSpec> specs;
       for (const em2::MemArch arch :
            {em2::MemArch::kEm2, em2::MemArch::kEm2Ra, em2::MemArch::kCc}) {
         spec.arch = arch;
         spec.policy = "history";
-        const em2::RunReport r = sys.run(w, spec);
+        specs.push_back(spec);
+      }
+      em2::sweep::Options sweep_opts;
+      sweep_opts.progress = [](std::size_t done, std::size_t total) {
+        std::fprintf(stderr, "  [%zu/%zu] cells done\n", done, total);
+      };
+      const std::vector<em2::RunReport> grid =
+          sys.run_matrix({w}, specs, sweep_opts);
+      em2::Table t({"arch", "migrations", "remote_accesses",
+                    "net_cost/access", "traffic_bits/access"});
+      for (const em2::RunReport& r : grid) {
         t.begin_row()
             .add_cell(r.arch_label)
             .add_cell(r.migrations)

@@ -6,6 +6,7 @@
 
 #include "em2/replication.hpp"
 #include "optimal/policy_eval.hpp"
+#include "trace/stream/convert.hpp"
 #include "util/assert.hpp"
 #include "util/error.hpp"
 
@@ -80,7 +81,7 @@ void System::validate(const RunSpec& spec) const {
 }
 
 std::shared_ptr<const Placement> System::build_placement(
-    const std::string& scheme, const TraceSet& traces) const {
+    const std::string& scheme, const TraceSource& traces) const {
   auto placement = make_placement(scheme, traces, mesh_.num_cores());
   if (placement == nullptr) {
     fail_unknown("placement", scheme, placement_names());
@@ -102,7 +103,7 @@ std::shared_ptr<const Placement> System::placement_for(
                 static_cast<const void*>(traces.get()));
   const std::string key = scheme + "|" + ptr_key;
   return placement_cache_.get_or_build(key, traces, [&] {
-    return build_placement(scheme, *traces);
+    return build_placement(scheme, MemoryTraceSource(*traces));
   });
 }
 
@@ -121,11 +122,21 @@ RunReport System::run(const workload::Workload& workload,
   validate(spec);
   const std::shared_ptr<const Placement> placement =
       placement_for(workload, spec);
-  return run_with_placement(workload.traces(), spec, *placement, &workload);
+  return run_with_placement(MemoryTraceSource(workload.traces()), spec,
+                            *placement, &workload);
 }
 
 RunReport System::run(const TraceSet& traces, const RunSpec& spec) const {
+  return run(MemoryTraceSource(traces), spec);
+}
+
+RunReport System::run(const TraceSource& traces,
+                      const RunSpec& spec) const {
   validate(spec);
+  // The memory budget applies from the very first cursor — placement
+  // construction streams the trace too.  Throws std::invalid_argument
+  // for a non-zero window below the source's minimum.
+  traces.set_stream_window(spec.stream_window);
   const std::string& scheme =
       spec.placement.empty() ? config_.placement : spec.placement;
   const std::shared_ptr<const Placement> placement =
@@ -169,8 +180,8 @@ std::vector<RunReport> System::run_matrix(
 }
 
 RunReport System::run_with_placement(
-    const TraceSet& traces, const RunSpec& spec, const Placement& placement,
-    const workload::Workload* workload) const {
+    const TraceSource& traces, const RunSpec& spec,
+    const Placement& placement, const workload::Workload* workload) const {
   // One injector per run: the fault draws are stateless hashes of the
   // seeded spec, but the injector carries per-run accounting (sequence
   // counters, the failed-core map, the event log).  A default spec
@@ -214,7 +225,7 @@ RunReport System::run_with_placement(
   return out;
 }
 
-System::Calibration System::calibrate(const TraceSet& traces,
+System::Calibration System::calibrate(const TraceSource& traces,
                                       const RunSpec& spec,
                                       const Placement& placement) const {
   // Pass 1 captures the protocol's packets against the uncontended tables
@@ -294,7 +305,7 @@ System::Calibration System::calibrate(const TraceSet& traces,
 }
 
 System::Calibration System::calibration_for(
-    const workload::Workload* workload, const TraceSet& traces,
+    const workload::Workload* workload, const TraceSource& traces,
     const RunSpec& spec, const Placement& placement) const {
   if (workload == nullptr) {
     // Raw TraceSet: no shared_ptr identity to key on; calibrate directly.
@@ -327,23 +338,35 @@ System::Calibration System::calibration_for(
   });
 }
 
-RunReport System::dispatch(const TraceSet& traces, const RunSpec& spec,
+RunReport System::dispatch(const TraceSource& traces, const RunSpec& spec,
                            const Placement& placement,
                            const workload::Workload* workload,
                            const CostModel& cost,
                            FaultInjector* faults) const {
+  if (spec.mode == RunMode::kTrace) {
+    return run_trace(traces, spec, placement, cost, nullptr, faults);
+  }
+  // Exec and optimal are whole-trace consumers (program compilation, DP
+  // over full sequences): a streamed source without a backing TraceSet is
+  // materialized once here — bounded memory is a trace-mode property.
+  const TraceSet* backing = traces.backing_traces();
+  std::optional<TraceSet> owned;
+  if (backing == nullptr) {
+    owned.emplace(materialize(traces));
+    backing = &*owned;
+  }
   switch (spec.mode) {
-    case RunMode::kTrace:
-      return run_trace(traces, spec, placement, cost, nullptr, faults);
     case RunMode::kExec:
-      return run_exec(traces, spec, placement, workload, cost, faults);
+      return run_exec(*backing, spec, placement, workload, cost, faults);
     case RunMode::kOptimal:
-      return run_optimal_mode(traces, spec, placement, cost);
+      return run_optimal_mode(*backing, spec, placement, cost);
+    case RunMode::kTrace:
+      break;  // handled above
   }
   return {};
 }
 
-RunReport System::run_trace(const TraceSet& traces, const RunSpec& spec,
+RunReport System::run_trace(const TraceSource& traces, const RunSpec& spec,
                             const Placement& placement,
                             const CostModel& cost,
                             TrafficRecorder* recorder,

@@ -114,6 +114,14 @@ struct RunSpec {
   /// max_cycles.  0 disables; the default is generous enough that only a
   /// genuinely wedged configuration trips it.
   Cycle watchdog_cycles = 1'000'000;
+  /// Streamed (TraceStream) sources only: hard budget in bytes for the
+  /// reader's resident trace buffers, divided across per-thread cursors —
+  /// the knob that makes trace-mode runs out-of-core.  0 = unlimited
+  /// (cursors use a fixed default batch size).  In-memory sources ignore
+  /// it; a non-zero window below the source's minimum
+  /// (threads x TraceStream::kMinCursorBytes) throws
+  /// std::invalid_argument at entry.
+  std::uint64_t stream_window = 64ull << 20;
 };
 
 /// run_matrix error handling.  kRethrow (historical default) propagates
@@ -269,6 +277,14 @@ class System {
   /// compiles the traces into replay programs on the fly.
   RunReport run(const TraceSet& traces, const RunSpec& spec = {}) const;
 
+  /// Same over any TraceSource — the out-of-core entry point: an on-disk
+  /// TraceStream runs the trace-mode engines under spec.stream_window
+  /// bytes of resident trace memory, with a report byte-identical to the
+  /// same trace run in memory (one engine loop serves both).  Exec and
+  /// optimal modes need the whole trace and materialize a sourced stream
+  /// first (in-memory sources are used as-is).
+  RunReport run(const TraceSource& traces, const RunSpec& spec = {}) const;
+
   /// The full workloads x specs grid, fanned out over the parallel sweep
   /// runner (sim/sweep.hpp).  Result is workload-major:
   /// reports[w * specs.size() + s].  All placements go through the shared
@@ -297,11 +313,12 @@ class System {
   std::shared_ptr<const Placement> placement_for(
       const workload::Workload& workload, const RunSpec& spec) const;
   std::shared_ptr<const Placement> build_placement(
-      const std::string& scheme, const TraceSet& traces) const;
+      const std::string& scheme, const TraceSource& traces) const;
   /// Fails fast on unknown policy/placement names in `spec`.
   void validate(const RunSpec& spec) const;
 
-  RunReport run_with_placement(const TraceSet& traces, const RunSpec& spec,
+  RunReport run_with_placement(const TraceSource& traces,
+                               const RunSpec& spec,
                                const Placement& placement,
                                const workload::Workload* workload) const;
   /// Pass 1 of the contention flow: captures the protocol's packets and
@@ -315,7 +332,7 @@ class System {
     HopLatencies hop;
     RunReport::NocUtilization section;
   };
-  Calibration calibrate(const TraceSet& traces, const RunSpec& spec,
+  Calibration calibrate(const TraceSource& traces, const RunSpec& spec,
                         const Placement& placement) const;
   /// Memoizing front end over calibrate() for workload runs (same
   /// weak_ptr-pinned pattern as the placement cache): corrected
@@ -323,20 +340,23 @@ class System {
   /// policy, ...) row instead of once per cell.  Raw-TraceSet runs
   /// bypass the cache (no stable identity to pin).
   Calibration calibration_for(const workload::Workload* workload,
-                              const TraceSet& traces, const RunSpec& spec,
+                              const TraceSource& traces,
+                              const RunSpec& spec,
                               const Placement& placement) const;
   /// Mode dispatch against an explicit cost model — `cost_` for kNone,
   /// the contention-corrected rebuild otherwise.  `faults` (nullable) is
   /// the run's injector; null keeps every engine bit-identical to the
-  /// fault-free build.
-  RunReport dispatch(const TraceSet& traces, const RunSpec& spec,
+  /// fault-free build.  Trace mode streams through the source's cursors;
+  /// exec and optimal modes materialize sources without a backing
+  /// TraceSet (program compilation / DP need whole sequences).
+  RunReport dispatch(const TraceSource& traces, const RunSpec& spec,
                      const Placement& placement,
                      const workload::Workload* workload,
                      const CostModel& cost, FaultInjector* faults) const;
   /// `recorder` (nullable) captures the protocol's packets — the
   /// calibration pass is run_trace against the uncontended tables with a
   /// recorder attached, so pass 1 and pass 2 share ONE per-arch dispatch.
-  RunReport run_trace(const TraceSet& traces, const RunSpec& spec,
+  RunReport run_trace(const TraceSource& traces, const RunSpec& spec,
                       const Placement& placement, const CostModel& cost,
                       TrafficRecorder* recorder = nullptr,
                       FaultInjector* faults = nullptr) const;

@@ -18,33 +18,40 @@ double CcRunReport::messages_per_access() const noexcept {
                              static_cast<double>(accesses);
 }
 
-CcRunReport run_cc(const TraceSet& traces, const Placement& placement,
+CcRunReport run_cc(const TraceSource& traces, const Placement& placement,
                    const Mesh& mesh, const CostModel& cost,
                    const DirCcParams& params, TrafficRecorder* recorder) {
   EM2_ASSERT(params.private_cache.line_bytes == traces.block_bytes(),
              "CC line size must match the trace block size so the "
              "directory and the placement agree on line identity");
+  const std::size_t nthreads = traces.num_threads();
   DirectoryCC cc(mesh, cost, params, placement);
 
   std::vector<Cycle> clock;
   if (recorder != nullptr) {
     cc.set_traffic_sink(recorder);
-    clock.assign(traces.num_threads(), 0);
+    clock.assign(nthreads, 0);
   }
 
-  std::vector<std::size_t> cursor(traces.num_threads(), 0);
+  std::vector<std::unique_ptr<AccessCursor>> cursor;
+  cursor.reserve(nthreads);
+  std::vector<CoreId> native;
+  native.reserve(nthreads);
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    cursor.push_back(traces.make_cursor(t));
+    native.push_back(traces.native_core(t));
+  }
   bool progressed = true;
   while (progressed) {
     progressed = false;
-    for (std::size_t t = 0; t < traces.num_threads(); ++t) {
-      const ThreadTrace& trace = traces.thread(t);
-      if (cursor[t] >= trace.size()) {
+    for (std::size_t t = 0; t < nthreads; ++t) {
+      const Access* ap = cursor[t]->next();
+      if (ap == nullptr) {
         continue;
       }
-      const Access& a = trace[cursor[t]];
-      ++cursor[t];
+      const Access& a = *ap;
       progressed = true;
-      const CcAccessResult r = cc.access(trace.native_core(), a.addr, a.op);
+      const CcAccessResult r = cc.access(native[t], a.addr, a.op);
       if (recorder != nullptr) {
         recorder->stamp(clock[t]);
         clock[t] += 1 + r.latency;
@@ -61,6 +68,13 @@ CcRunReport run_cc(const TraceSet& traces, const Placement& placement,
   report.distinct_lines = cc.distinct_resident_lines();
   report.valid_lines = cc.total_valid_lines();
   return report;
+}
+
+CcRunReport run_cc(const TraceSet& traces, const Placement& placement,
+                   const Mesh& mesh, const CostModel& cost,
+                   const DirCcParams& params, TrafficRecorder* recorder) {
+  return run_cc(MemoryTraceSource(traces), placement, mesh, cost, params,
+                recorder);
 }
 
 }  // namespace em2

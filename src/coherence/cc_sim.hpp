@@ -9,6 +9,7 @@
 
 #include "coherence/directory.hpp"
 #include "placement/placement.hpp"
+#include "trace/stream/source.hpp"
 #include "trace/trace.hpp"
 
 namespace em2 {
@@ -28,9 +29,16 @@ struct CcRunReport {
 };
 
 /// Runs the MSI directory protocol over `traces` (round-robin thread
-/// interleave; thread t issues from its native core — threads do not move
-/// under CC).  A non-null `recorder` captures every protocol message as a
-/// packet for the contention calibration pass.
+/// interleave over TraceSource cursors; thread t issues from its native
+/// core — threads do not move under CC).  A non-null `recorder` captures
+/// every protocol message as a packet for the contention calibration
+/// pass.
+CcRunReport run_cc(const TraceSource& traces, const Placement& placement,
+                   const Mesh& mesh, const CostModel& cost,
+                   const DirCcParams& params,
+                   TrafficRecorder* recorder = nullptr);
+
+/// Convenience wrapper over an in-memory TraceSet.
 CcRunReport run_cc(const TraceSet& traces, const Placement& placement,
                    const Mesh& mesh, const CostModel& cost,
                    const DirCcParams& params,

@@ -7,14 +7,15 @@
 
 namespace em2 {
 
-std::unordered_set<Addr> replicable_blocks(const TraceSet& traces,
+std::unordered_set<Addr> replicable_blocks(const TraceSource& traces,
                                            std::uint32_t max_writes) {
   // Per-word write counts (word = 4-byte granule).
   std::unordered_map<Addr, std::uint32_t> word_writes;
-  for (const auto& thread : traces.threads()) {
-    for (const auto& a : thread.accesses()) {
-      if (a.op == MemOp::kWrite) {
-        ++word_writes[a.addr >> 2];
+  for (std::size_t t = 0; t < traces.num_threads(); ++t) {
+    auto cursor = traces.make_cursor(t);
+    while (const Access* a = cursor->next()) {
+      if (a->op == MemOp::kWrite) {
+        ++word_writes[a->addr >> 2];
       }
     }
   }
@@ -33,9 +34,10 @@ std::unordered_set<Addr> replicable_blocks(const TraceSet& traces,
     }
   }
   std::unordered_set<Addr> result;
-  for (const auto& thread : traces.threads()) {
-    for (const auto& a : thread.accesses()) {
-      const Addr block = traces.block_of(a.addr);
+  for (std::size_t t = 0; t < traces.num_threads(); ++t) {
+    auto cursor = traces.make_cursor(t);
+    while (const Access* a = cursor->next()) {
+      const Addr block = traces.block_of(a->addr);
       if (bad.count(block) == 0) {
         result.insert(block);
       }
@@ -44,36 +46,54 @@ std::unordered_set<Addr> replicable_blocks(const TraceSet& traces,
   return result;
 }
 
+std::unordered_set<Addr> replicable_blocks(const TraceSet& traces,
+                                           std::uint32_t max_writes) {
+  return replicable_blocks(MemoryTraceSource(traces), max_writes);
+}
+
 Em2RunReport run_em2_replicated(
-    const TraceSet& traces, const Placement& placement, const Mesh& mesh,
+    const TraceSource& traces, const Placement& placement, const Mesh& mesh,
     const CostModel& cost, const Em2Params& params,
     const std::unordered_set<Addr>& replicable,
     TrafficRecorder* recorder) {
+  const std::size_t nthreads = traces.num_threads();
   std::vector<CoreId> native;
-  native.reserve(traces.num_threads());
-  for (const auto& t : traces.threads()) {
-    native.push_back(t.native_core());
+  native.reserve(nthreads);
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    native.push_back(traces.native_core(t));
   }
   Em2Machine machine(mesh, cost, params, std::move(native));
 
   std::vector<Cycle> clock;
   if (recorder != nullptr) {
     machine.set_traffic_sink(recorder);
-    clock.assign(traces.num_threads(), 0);
+    clock.assign(nthreads, 0);
   }
 
+  // Run-length analysis folds into the loop with replicated reads
+  // removed from the home sequence (they no longer cause migrations): a
+  // replicated read is "wherever the thread already is", modeled as
+  // continuing the previous run by simply not observing the access.
+  RunLengthAnalyzer analyzer;
+  std::vector<RunLengthAnalyzer::ThreadState> rl;
+  rl.reserve(nthreads);
+
   CounterSet extra;
-  std::vector<std::size_t> cursor(traces.num_threads(), 0);
+  std::vector<std::unique_ptr<AccessCursor>> cursor;
+  cursor.reserve(nthreads);
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    cursor.push_back(traces.make_cursor(t));
+    rl.push_back(RunLengthAnalyzer::begin_thread(traces.native_core(t)));
+  }
   bool progressed = true;
   while (progressed) {
     progressed = false;
-    for (std::size_t t = 0; t < traces.num_threads(); ++t) {
-      const ThreadTrace& trace = traces.thread(t);
-      if (cursor[t] >= trace.size()) {
+    for (std::size_t t = 0; t < nthreads; ++t) {
+      const Access* ap = cursor[t]->next();
+      if (ap == nullptr) {
         continue;
       }
-      const Access& a = trace[cursor[t]];
-      ++cursor[t];
+      const Access& a = *ap;
       progressed = true;
       const Addr block = traces.block_of(a.addr);
       if (a.op == MemOp::kRead && replicable.count(block) != 0) {
@@ -94,6 +114,7 @@ Em2RunReport run_em2_replicated(
       // is updated before any replica is read in the steady state under
       // the profile's definition).
       const CoreId home = placement.home_of_block(block);
+      analyzer.observe(rl[t], home);
       const AccessOutcome out =
           machine.access(static_cast<ThreadId>(t), home, a.op, a.addr);
       if (recorder != nullptr) {
@@ -102,14 +123,17 @@ Em2RunReport run_em2_replicated(
       }
     }
   }
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    analyzer.finish_thread(rl[t]);
+  }
 
   Em2RunReport report;
   report.counters = machine.counters().named();
   report.counters.merge(extra);
   report.total_thread_cost = machine.total_thread_cost();
   report.total_eviction_cost = machine.total_eviction_cost();
-  report.per_thread_cost.reserve(traces.num_threads());
-  for (std::size_t t = 0; t < traces.num_threads(); ++t) {
+  report.per_thread_cost.reserve(nthreads);
+  for (std::size_t t = 0; t < nthreads; ++t) {
     report.per_thread_cost.push_back(
         machine.thread_cost(static_cast<ThreadId>(t)));
   }
@@ -117,26 +141,17 @@ Em2RunReport run_em2_replicated(
     report.vnet_bits[static_cast<std::size_t>(vn)] = machine.vnet_bits(vn);
   }
   report.cache_totals = machine.cache_totals();
-
-  // Run-length analysis with replicated reads removed from the home
-  // sequence (they no longer cause migrations).
-  RunLengthAnalyzer analyzer;
-  for (const auto& trace : traces.threads()) {
-    std::vector<CoreId> homes;
-    homes.reserve(trace.size());
-    // A replicated read is "wherever the thread already is"; model it as
-    // continuing the previous run by skipping the access.
-    for (const auto& a : trace.accesses()) {
-      const Addr block = traces.block_of(a.addr);
-      if (a.op == MemOp::kRead && replicable.count(block) != 0) {
-        continue;
-      }
-      homes.push_back(placement.home_of_block(block));
-    }
-    analyzer.add_thread(trace.native_core(), homes);
-  }
   report.run_lengths = analyzer.report();
   return report;
+}
+
+Em2RunReport run_em2_replicated(
+    const TraceSet& traces, const Placement& placement, const Mesh& mesh,
+    const CostModel& cost, const Em2Params& params,
+    const std::unordered_set<Addr>& replicable,
+    TrafficRecorder* recorder) {
+  return run_em2_replicated(MemoryTraceSource(traces), placement, mesh,
+                            cost, params, replicable, recorder);
 }
 
 }  // namespace em2

@@ -27,7 +27,11 @@ namespace em2 {
 /// written more than `max_writes` times across all threads (default 1:
 /// each word written only by its initialization).  Write-once-then-read
 /// data — lookup tables, program constants — classifies as replicable;
-/// anything iteratively updated does not.
+/// anything iteratively updated does not.  The TraceSource form streams
+/// the trace twice through fresh cursors (profile, then collect), so the
+/// classification also runs out-of-core.
+std::unordered_set<Addr> replicable_blocks(const TraceSource& traces,
+                                           std::uint32_t max_writes = 1);
 std::unordered_set<Addr> replicable_blocks(const TraceSet& traces,
                                            std::uint32_t max_writes = 1);
 
@@ -35,6 +39,11 @@ std::unordered_set<Addr> replicable_blocks(const TraceSet& traces,
 /// are served at the reading thread's current core (no migration); all
 /// other accesses follow the normal Figure-1 flow.  The report gains a
 /// "replicated_reads" counter.
+Em2RunReport run_em2_replicated(
+    const TraceSource& traces, const Placement& placement, const Mesh& mesh,
+    const CostModel& cost, const Em2Params& params,
+    const std::unordered_set<Addr>& replicable,
+    TrafficRecorder* recorder = nullptr);
 Em2RunReport run_em2_replicated(
     const TraceSet& traces, const Placement& placement, const Mesh& mesh,
     const CostModel& cost, const Em2Params& params,

@@ -19,14 +19,15 @@ double Em2RunReport::mean_cost_per_access() const noexcept {
                              static_cast<double>(accesses);
 }
 
-Em2RunReport run_em2(const TraceSet& traces, const Placement& placement,
+Em2RunReport run_em2(const TraceSource& traces, const Placement& placement,
                      const Mesh& mesh, const CostModel& cost,
                      const Em2Params& params, TrafficRecorder* recorder,
                      FaultInjector* faults) {
+  const std::size_t nthreads = traces.num_threads();
   std::vector<CoreId> native;
-  native.reserve(traces.num_threads());
-  for (const auto& t : traces.threads()) {
-    native.push_back(t.native_core());
+  native.reserve(nthreads);
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    native.push_back(traces.native_core(t));
   }
   Em2Machine machine(mesh, cost, params, std::move(native));
   machine.set_fault_injector(faults);
@@ -37,24 +38,38 @@ Em2RunReport run_em2(const TraceSet& traces, const Placement& placement,
   std::vector<Cycle> clock;
   if (recorder != nullptr) {
     machine.set_traffic_sink(recorder);
-    clock.assign(traces.num_threads(), 0);
+    clock.assign(nthreads, 0);
   }
 
+  // Figure 2 analysis folds into the main loop: one incremental observer
+  // per thread, fed the pre-fault-remap home of each access.  The
+  // per-thread states are independent and the report accumulation is
+  // commutative, so this interleaved order is bit-identical to the old
+  // whole-thread second pass.
+  RunLengthAnalyzer analyzer;
+  std::vector<RunLengthAnalyzer::ThreadState> rl;
+  rl.reserve(nthreads);
+
   // Round-robin interleaving: one access per live thread per round.
-  std::vector<std::size_t> cursor(traces.num_threads(), 0);
+  std::vector<std::unique_ptr<AccessCursor>> cursor;
+  cursor.reserve(nthreads);
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    cursor.push_back(traces.make_cursor(t));
+    rl.push_back(RunLengthAnalyzer::begin_thread(traces.native_core(t)));
+  }
   std::uint64_t tick = 0;  // global access index: trace-mode fault time
   bool progressed = true;
   while (progressed) {
     progressed = false;
-    for (std::size_t t = 0; t < traces.num_threads(); ++t) {
-      const ThreadTrace& trace = traces.thread(t);
-      if (cursor[t] >= trace.size()) {
+    for (std::size_t t = 0; t < nthreads; ++t) {
+      const Access* ap = cursor[t]->next();
+      if (ap == nullptr) {
         continue;
       }
-      const Access& a = trace[cursor[t]];
-      ++cursor[t];
+      const Access& a = *ap;
       progressed = true;
       CoreId home = placement.home_of_block(traces.block_of(a.addr));
+      analyzer.observe(rl[t], home);
       if (faults != nullptr) {
         faults->set_now(tick);
         if (faults->next_failure_at() <= tick) {
@@ -74,13 +89,16 @@ Em2RunReport run_em2(const TraceSet& traces, const Placement& placement,
       }
     }
   }
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    analyzer.finish_thread(rl[t]);
+  }
 
   Em2RunReport report;
   report.counters = machine.counters().named();
   report.total_thread_cost = machine.total_thread_cost();
   report.total_eviction_cost = machine.total_eviction_cost();
-  report.per_thread_cost.reserve(traces.num_threads());
-  for (std::size_t t = 0; t < traces.num_threads(); ++t) {
+  report.per_thread_cost.reserve(nthreads);
+  for (std::size_t t = 0; t < nthreads; ++t) {
     report.per_thread_cost.push_back(
         machine.thread_cost(static_cast<ThreadId>(t)));
   }
@@ -89,16 +107,16 @@ Em2RunReport run_em2(const TraceSet& traces, const Placement& placement,
   }
   report.cache_totals = machine.cache_totals();
   report.thread_conservation_ok = machine.verify_thread_conservation();
-
-  // Figure 2 analysis over the same placement.
-  RunLengthAnalyzer analyzer;
-  for (const auto& trace : traces.threads()) {
-    const std::vector<CoreId> homes =
-        home_sequence(trace, traces, placement);
-    analyzer.add_thread(trace.native_core(), homes);
-  }
   report.run_lengths = analyzer.report();
   return report;
+}
+
+Em2RunReport run_em2(const TraceSet& traces, const Placement& placement,
+                     const Mesh& mesh, const CostModel& cost,
+                     const Em2Params& params, TrafficRecorder* recorder,
+                     FaultInjector* faults) {
+  return run_em2(MemoryTraceSource(traces), placement, mesh, cost, params,
+                 recorder, faults);
 }
 
 }  // namespace em2

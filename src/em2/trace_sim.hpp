@@ -11,6 +11,7 @@
 #include "noc/cost_model.hpp"
 #include "placement/placement.hpp"
 #include "trace/run_length.hpp"
+#include "trace/stream/source.hpp"
 #include "trace/trace.hpp"
 #include "util/stats.hpp"
 
@@ -42,13 +43,23 @@ struct Em2RunReport {
 
 /// Runs pure EM2 over `traces` with `placement`, interleaving threads
 /// round-robin (one access per live thread per round — the deterministic
-/// stand-in for concurrent execution).  A non-null `recorder` captures
-/// every protocol packet stamped with the issuing thread's virtual clock
-/// (the contention calibration pass); recording never changes the report.
-/// A non-null `faults` injects that run's fault schedule (trace-mode
-/// fault time is the global processed-access index) and homes are
-/// remapped around failed cores; null stays bit-identical to before
-/// fault injection existed.
+/// stand-in for concurrent execution).  The trace arrives through the
+/// TraceSource cursor interface, so in-memory sets and bounded-memory
+/// EM2S streams run the identical loop (and the Figure 2 analysis folds
+/// into it incrementally — no buffered home sequences).  A non-null
+/// `recorder` captures every protocol packet stamped with the issuing
+/// thread's virtual clock (the contention calibration pass); recording
+/// never changes the report.  A non-null `faults` injects that run's
+/// fault schedule (trace-mode fault time is the global processed-access
+/// index) and homes are remapped around failed cores; null stays
+/// bit-identical to before fault injection existed.
+Em2RunReport run_em2(const TraceSource& traces, const Placement& placement,
+                     const Mesh& mesh, const CostModel& cost,
+                     const Em2Params& params,
+                     TrafficRecorder* recorder = nullptr,
+                     FaultInjector* faults = nullptr);
+
+/// Convenience wrapper over an in-memory TraceSet.
 Em2RunReport run_em2(const TraceSet& traces, const Placement& placement,
                      const Mesh& mesh, const CostModel& cost,
                      const Em2Params& params,

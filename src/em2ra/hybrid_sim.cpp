@@ -21,16 +21,17 @@ namespace {
 /// decide()/observe() inside access_hybrid is a direct call.  Policy =
 /// DecisionPolicy instantiates the retained virtual path.
 template <typename Policy>
-HybridRunReport run_em2ra_impl(const TraceSet& traces,
+HybridRunReport run_em2ra_impl(const TraceSource& traces,
                                const Placement& placement, const Mesh& mesh,
                                const CostModel& cost,
                                const Em2Params& params, Policy& policy,
                                TrafficRecorder* recorder,
                                FaultInjector* faults) {
+  const std::size_t nthreads = traces.num_threads();
   std::vector<CoreId> native;
-  native.reserve(traces.num_threads());
-  for (const auto& t : traces.threads()) {
-    native.push_back(t.native_core());
+  native.reserve(nthreads);
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    native.push_back(traces.native_core(t));
   }
   HybridMachine machine(mesh, cost, params, std::move(native));
   machine.set_fault_injector(faults);
@@ -38,24 +39,34 @@ HybridRunReport run_em2ra_impl(const TraceSet& traces,
   std::vector<Cycle> clock;
   if (recorder != nullptr) {
     machine.set_traffic_sink(recorder);
-    clock.assign(traces.num_threads(), 0);
+    clock.assign(nthreads, 0);
   }
 
-  std::vector<std::size_t> cursor(traces.num_threads(), 0);
+  // Figure 2 analysis folds into the loop (see run_em2): incremental
+  // per-thread observers fed the pre-fault-remap home.
+  RunLengthAnalyzer analyzer;
+  std::vector<RunLengthAnalyzer::ThreadState> rl;
+  rl.reserve(nthreads);
+  std::vector<std::unique_ptr<AccessCursor>> cursor;
+  cursor.reserve(nthreads);
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    cursor.push_back(traces.make_cursor(t));
+    rl.push_back(RunLengthAnalyzer::begin_thread(traces.native_core(t)));
+  }
   std::uint64_t tick = 0;  // global access index: trace-mode fault time
   bool progressed = true;
   while (progressed) {
     progressed = false;
-    for (std::size_t t = 0; t < traces.num_threads(); ++t) {
-      const ThreadTrace& trace = traces.thread(t);
-      if (cursor[t] >= trace.size()) {
+    for (std::size_t t = 0; t < nthreads; ++t) {
+      const Access* ap = cursor[t]->next();
+      if (ap == nullptr) {
         continue;
       }
-      const Access& a = trace[cursor[t]];
-      ++cursor[t];
+      const Access& a = *ap;
       progressed = true;
       const Addr block = traces.block_of(a.addr);
       CoreId home = placement.home_of_block(block);
+      analyzer.observe(rl[t], home);
       if (faults != nullptr) {
         faults->set_now(tick);
         if (faults->next_failure_at() <= tick) {
@@ -74,14 +85,17 @@ HybridRunReport run_em2ra_impl(const TraceSet& traces,
       }
     }
   }
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    analyzer.finish_thread(rl[t]);
+  }
 
   HybridRunReport report;
   report.policy_name = policy.name();
   report.em2.counters = machine.counters().named();
   report.em2.total_thread_cost = machine.total_thread_cost();
   report.em2.total_eviction_cost = machine.total_eviction_cost();
-  report.em2.per_thread_cost.reserve(traces.num_threads());
-  for (std::size_t t = 0; t < traces.num_threads(); ++t) {
+  report.em2.per_thread_cost.reserve(nthreads);
+  for (std::size_t t = 0; t < nthreads; ++t) {
     report.em2.per_thread_cost.push_back(
         machine.thread_cost(static_cast<ThreadId>(t)));
   }
@@ -94,23 +108,17 @@ HybridRunReport run_em2ra_impl(const TraceSet& traces,
   report.remote_accesses = machine.counters().get("remote_accesses");
   report.remote_request_bits = machine.remote_request_bits();
   report.remote_reply_bits = machine.remote_reply_bits();
-
-  RunLengthAnalyzer analyzer;
-  for (const auto& trace : traces.threads()) {
-    const std::vector<CoreId> homes =
-        home_sequence(trace, traces, placement);
-    analyzer.add_thread(trace.native_core(), homes);
-  }
   report.em2.run_lengths = analyzer.report();
   return report;
 }
 
 }  // namespace
 
-HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
-                          const Mesh& mesh, const CostModel& cost,
-                          const Em2Params& params, StandardPolicy& policy,
-                          TrafficRecorder* recorder, FaultInjector* faults) {
+HybridRunReport run_em2ra(const TraceSource& traces,
+                          const Placement& placement, const Mesh& mesh,
+                          const CostModel& cost, const Em2Params& params,
+                          StandardPolicy& policy, TrafficRecorder* recorder,
+                          FaultInjector* faults) {
   // ONE dispatch for the whole run: the visit hoists the policy's
   // concrete type out of the trace loop.
   return policy.visit([&](auto& p) {
@@ -121,10 +129,27 @@ HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
 
 HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
                           const Mesh& mesh, const CostModel& cost,
-                          const Em2Params& params, DecisionPolicy& policy,
+                          const Em2Params& params, StandardPolicy& policy,
                           TrafficRecorder* recorder, FaultInjector* faults) {
+  return run_em2ra(MemoryTraceSource(traces), placement, mesh, cost, params,
+                   policy, recorder, faults);
+}
+
+HybridRunReport run_em2ra(const TraceSource& traces,
+                          const Placement& placement, const Mesh& mesh,
+                          const CostModel& cost, const Em2Params& params,
+                          DecisionPolicy& policy, TrafficRecorder* recorder,
+                          FaultInjector* faults) {
   return run_em2ra_impl(traces, placement, mesh, cost, params, policy,
                         recorder, faults);
+}
+
+HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
+                          const Mesh& mesh, const CostModel& cost,
+                          const Em2Params& params, DecisionPolicy& policy,
+                          TrafficRecorder* recorder, FaultInjector* faults) {
+  return run_em2ra(MemoryTraceSource(traces), placement, mesh, cost, params,
+                   policy, recorder, faults);
 }
 
 }  // namespace em2

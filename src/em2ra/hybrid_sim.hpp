@@ -23,14 +23,21 @@ struct HybridRunReport {
 };
 
 /// Runs EM2-RA over `traces` with `placement` and `policy` (round-robin
-/// thread interleaving, as in run_em2).  A non-null `recorder` captures
-/// every protocol packet — migrations, evictions, and remote
+/// thread interleaving over TraceSource cursors, as in run_em2; streamed
+/// and in-memory sources share the loop).  A non-null `recorder`
+/// captures every protocol packet — migrations, evictions, and remote
 /// request/reply pairs — for the contention calibration pass.
 ///
 /// The whole trace loop is specialized on the policy's concrete type by
 /// ONE StandardPolicy::visit hoisted outside it: a sealed scheme pays no
 /// virtual call per access, the kCustom alternative runs the same loop
 /// against the DecisionPolicy interface (the retained virtual path).
+HybridRunReport run_em2ra(const TraceSource& traces,
+                          const Placement& placement, const Mesh& mesh,
+                          const CostModel& cost, const Em2Params& params,
+                          StandardPolicy& policy,
+                          TrafficRecorder* recorder = nullptr,
+                          FaultInjector* faults = nullptr);
 HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
                           const Mesh& mesh, const CostModel& cost,
                           const Em2Params& params, StandardPolicy& policy,
@@ -41,6 +48,12 @@ HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
 /// dispatch the sealed path is diffed against (bit-identical reports,
 /// tests/em2ra/test_dispatch_equivalence.cpp) and the overload custom
 /// policies use directly.
+HybridRunReport run_em2ra(const TraceSource& traces,
+                          const Placement& placement, const Mesh& mesh,
+                          const CostModel& cost, const Em2Params& params,
+                          DecisionPolicy& policy,
+                          TrafficRecorder* recorder = nullptr,
+                          FaultInjector* faults = nullptr);
 HybridRunReport run_em2ra(const TraceSet& traces, const Placement& placement,
                           const Mesh& mesh, const CostModel& cost,
                           const Em2Params& params, DecisionPolicy& policy,

@@ -67,25 +67,28 @@ std::vector<std::uint64_t> TablePlacement::blocks_per_core() const {
   return counts;
 }
 
-FirstTouchPlacement::FirstTouchPlacement(const TraceSet& traces,
+FirstTouchPlacement::FirstTouchPlacement(const TraceSource& traces,
                                          std::int32_t num_cores)
     : TablePlacement(num_cores) {
   // Deterministic round-robin interleaving: one access per live thread per
   // round, threads in id order.
-  std::vector<std::size_t> cursor(traces.num_threads(), 0);
+  std::vector<std::unique_ptr<AccessCursor>> cursor;
+  cursor.reserve(traces.num_threads());
+  for (std::size_t t = 0; t < traces.num_threads(); ++t) {
+    cursor.push_back(traces.make_cursor(t));
+  }
   bool progressed = true;
   while (progressed) {
     progressed = false;
     for (std::size_t t = 0; t < traces.num_threads(); ++t) {
-      const ThreadTrace& trace = traces.thread(t);
-      if (cursor[t] >= trace.size()) {
+      const Access* a = cursor[t]->next();
+      if (a == nullptr) {
         continue;
       }
-      const Addr block = traces.block_of(trace[cursor[t]].addr);
-      ++cursor[t];
+      const Addr block = traces.block_of(a->addr);
       progressed = true;
       if (table_.find(block) == table_.end()) {
-        CoreId native = trace.native_core();
+        CoreId native = traces.native_core(t);
         EM2_ASSERT(native >= 0 && native < num_cores_,
                    "thread native core outside the mesh");
         table_.emplace(block, native);
@@ -94,15 +97,16 @@ FirstTouchPlacement::FirstTouchPlacement(const TraceSet& traces,
   }
 }
 
-ProfileGreedyPlacement::ProfileGreedyPlacement(const TraceSet& traces,
+ProfileGreedyPlacement::ProfileGreedyPlacement(const TraceSource& traces,
                                                std::int32_t num_cores)
     : TablePlacement(num_cores) {
   // Count per-(block, native core) accesses, then pick the argmax.
   std::unordered_map<Addr, std::unordered_map<CoreId, std::uint64_t>> counts;
-  for (const auto& trace : traces.threads()) {
-    const CoreId native = trace.native_core();
-    for (const auto& a : trace.accesses()) {
-      ++counts[traces.block_of(a.addr)][native];
+  for (std::size_t t = 0; t < traces.num_threads(); ++t) {
+    const CoreId native = traces.native_core(t);
+    auto cursor = traces.make_cursor(t);
+    while (const Access* a = cursor->next()) {
+      ++counts[traces.block_of(a->addr)][native];
     }
   }
   // determinism: each block's argmax is computed independently (the inner
@@ -138,7 +142,7 @@ std::vector<CoreId> home_sequence(const ThreadTrace& thread,
 }
 
 std::unique_ptr<Placement> make_placement(const std::string& scheme,
-                                          const TraceSet& traces,
+                                          const TraceSource& traces,
                                           std::int32_t num_cores) {
   if (scheme == "striped") {
     return std::make_unique<StripedPlacement>(num_cores);
@@ -153,6 +157,12 @@ std::unique_ptr<Placement> make_placement(const std::string& scheme,
     return std::make_unique<ProfileGreedyPlacement>(traces, num_cores);
   }
   return nullptr;
+}
+
+std::unique_ptr<Placement> make_placement(const std::string& scheme,
+                                          const TraceSet& traces,
+                                          std::int32_t num_cores) {
+  return make_placement(scheme, MemoryTraceSource(traces), num_cores);
 }
 
 std::vector<std::string> placement_names() {

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "trace/stream/source.hpp"
 #include "trace/trace.hpp"
 #include "util/types.hpp"
 
@@ -96,7 +97,9 @@ class TablePlacement : public Placement {
 /// reproducible.
 class FirstTouchPlacement final : public TablePlacement {
  public:
-  FirstTouchPlacement(const TraceSet& traces, std::int32_t num_cores);
+  FirstTouchPlacement(const TraceSource& traces, std::int32_t num_cores);
+  FirstTouchPlacement(const TraceSet& traces, std::int32_t num_cores)
+      : FirstTouchPlacement(MemoryTraceSource(traces), num_cores) {}
   std::string name() const override { return "first-touch"; }
 };
 
@@ -106,7 +109,9 @@ class FirstTouchPlacement final : public TablePlacement {
 /// the "good placement" pole in ablations.
 class ProfileGreedyPlacement final : public TablePlacement {
  public:
-  ProfileGreedyPlacement(const TraceSet& traces, std::int32_t num_cores);
+  ProfileGreedyPlacement(const TraceSource& traces, std::int32_t num_cores);
+  ProfileGreedyPlacement(const TraceSet& traces, std::int32_t num_cores)
+      : ProfileGreedyPlacement(MemoryTraceSource(traces), num_cores) {}
   std::string name() const override { return "profile-greedy"; }
 };
 
@@ -117,7 +122,12 @@ std::vector<CoreId> home_sequence(const ThreadTrace& thread,
                                   const Placement& placement);
 
 /// Factory by name ("striped" | "hashed" | "first-touch" |
-/// "profile-greedy"); returns nullptr for unknown names.
+/// "profile-greedy"); returns nullptr for unknown names.  The
+/// TraceSource form streams the trace through cursors, so trace-derived
+/// schemes also build out-of-core.
+std::unique_ptr<Placement> make_placement(const std::string& scheme,
+                                          const TraceSource& traces,
+                                          std::int32_t num_cores);
 std::unique_ptr<Placement> make_placement(const std::string& scheme,
                                           const TraceSet& traces,
                                           std::int32_t num_cores);

@@ -120,9 +120,18 @@ class ErrorCapture {
 void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body,
                  const Options& opts) {
   const unsigned workers = resolve_threads(opts);
+  std::atomic<std::size_t> completed{0};
+  const auto report_done = [&] {
+    if (opts.progress) {
+      const std::size_t done =
+          completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+      opts.progress(done, n);
+    }
+  };
   if (workers <= 1 || n <= 1) {
     for (std::size_t i = 0; i < n; ++i) {
       body(i);
+      report_done();
     }
     return;
   }
@@ -166,6 +175,7 @@ void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body,
       } catch (...) {
         errors.capture(std::current_exception());
       }
+      report_done();
     }
   };
   std::vector<std::thread> pool;

@@ -31,6 +31,14 @@ namespace em2::sweep {
 struct Options {
   /// Worker threads; 0 means one per hardware thread.
   unsigned num_threads = 0;
+  /// Optional per-point progress callback: invoked as progress(done,
+  /// total) after each point completes, with `done` counting completed
+  /// points (1..total).  Called from whichever worker finished the point
+  /// — the callback MUST be thread-safe (the counter itself is atomic;
+  /// only the callback body needs care).  Points that throw still count
+  /// as done, so a capture-mode matrix reports every cell.  Keep it
+  /// cheap: it runs inside the pool, on the sweep's critical path.
+  std::function<void(std::size_t done, std::size_t total)> progress;
 };
 
 /// Worker-thread count `opts` resolves to on this machine (>= 1).

@@ -1,7 +1,5 @@
 #include "trace/run_length.hpp"
 
-#include <vector>
-
 namespace em2 {
 
 double RunLengthReport::fraction_accesses_in_len1_runs() const noexcept {
@@ -40,59 +38,49 @@ RunLengthAnalyzer::RunLengthAnalyzer(std::uint64_t max_tracked_run) {
 
 void RunLengthAnalyzer::add_thread(CoreId native,
                                    std::span<const CoreId> home_sequence) {
-  if (home_sequence.empty()) {
-    return;
-  }
-  report_.total_accesses += home_sequence.size();
-
-  // Compress the home sequence into maximal (core, length) runs.
-  struct Run {
-    CoreId core;
-    std::uint64_t length;
-  };
-  std::vector<Run> runs;
+  ThreadState s = begin_thread(native);
   for (const CoreId home : home_sequence) {
-    if (!runs.empty() && runs.back().core == home) {
-      ++runs.back().length;
-    } else {
-      runs.push_back(Run{home, 1});
-    }
+    observe(s, home);
   }
+  finish_thread(s);
+}
 
-  // Walk the runs with pure-EM2 thread-location semantics: the thread
-  // starts at its native core and moves to each run's home core.
-  CoreId location = native;
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const Run& run = runs[i];
-    const bool moved_in = run.core != location;
-    const CoreId origin = location;
-    if (moved_in) {
-      ++report_.migrations;
-    }
-    if (run.core != native) {
-      ++report_.nonnative_runs;
-      report_.nonnative_accesses += run.length;
-      report_.accesses_by_run_length.add(run.length, run.length);
-      report_.runs_by_run_length.add(run.length, 1);
-      // Where does the thread go when the run ends?  Under EM2 it migrates
-      // to the next run's home (or is considered parked if the trace ends).
-      const CoreId next_core =
-          i + 1 < runs.size() ? runs[i + 1].core : kNoCore;
-      const bool returns = moved_in && next_core == origin;
-      if (returns) {
-        ++report_.return_to_origin_runs;
-      }
-      if (run.length == 1) {
-        ++report_.nonnative_runs_len1;
-        if (returns) {
-          ++report_.return_to_origin_runs_len1;
-        }
-      }
-    } else {
-      report_.native_accesses += run.length;
-    }
-    location = run.core;
+void RunLengthAnalyzer::finish_thread(ThreadState& s) {
+  if (s.run_length != 0) {
+    // The trace ended, so there is no next home: the thread is
+    // considered parked.
+    finalize_run(s, kNoCore);
+    s.run_length = 0;
   }
+}
+
+// Books one maximal run with pure-EM2 thread-location semantics: the
+// thread starts at its native core and moves to each run's home core.
+void RunLengthAnalyzer::finalize_run(ThreadState& s, CoreId next_core) {
+  const bool moved_in = s.run_core != s.location;
+  const CoreId origin = s.location;
+  if (moved_in) {
+    ++report_.migrations;
+  }
+  if (s.run_core != s.native) {
+    ++report_.nonnative_runs;
+    report_.nonnative_accesses += s.run_length;
+    report_.accesses_by_run_length.add(s.run_length, s.run_length);
+    report_.runs_by_run_length.add(s.run_length, 1);
+    const bool returns = moved_in && next_core == origin;
+    if (returns) {
+      ++report_.return_to_origin_runs;
+    }
+    if (s.run_length == 1) {
+      ++report_.nonnative_runs_len1;
+      if (returns) {
+        ++report_.return_to_origin_runs_len1;
+      }
+    }
+  } else {
+    report_.native_accesses += s.run_length;
+  }
+  s.location = s.run_core;
 }
 
 }  // namespace em2

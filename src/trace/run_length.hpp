@@ -51,7 +51,13 @@ struct RunLengthReport {
   void merge(const RunLengthReport& other);
 };
 
-/// Streaming analyzer: feed one thread at a time.
+/// Streaming analyzer: feed one thread at a time, either whole
+/// (add_thread) or access-by-access (begin_thread / observe /
+/// finish_thread).  The incremental interface lets the trace-mode
+/// engines fold the analysis into their main loop without buffering a
+/// home sequence per thread — essential for out-of-core streamed runs —
+/// and produces bit-identical reports: add_thread is implemented on top
+/// of it.
 class RunLengthAnalyzer {
  public:
   /// `max_tracked_run`: run lengths above this land in the histogram
@@ -62,9 +68,44 @@ class RunLengthAnalyzer {
   /// maps each access (in program order) to the home core of its address.
   void add_thread(CoreId native, std::span<const CoreId> home_sequence);
 
+  /// Per-thread cursor state for the incremental interface.  `location`
+  /// is where the thread sat before the currently open run.
+  struct ThreadState {
+    CoreId native = kNoCore;
+    CoreId location = kNoCore;
+    CoreId run_core = kNoCore;
+    std::uint64_t run_length = 0;
+  };
+
+  static ThreadState begin_thread(CoreId native) noexcept {
+    return ThreadState{native, native, kNoCore, 0};
+  }
+
+  /// Feeds the home core of the thread's next access in program order.
+  void observe(ThreadState& s, CoreId home) {
+    ++report_.total_accesses;
+    if (s.run_length != 0 && home == s.run_core) {
+      ++s.run_length;
+      return;
+    }
+    if (s.run_length != 0) {
+      finalize_run(s, home);
+    }
+    s.run_core = home;
+    s.run_length = 1;
+  }
+
+  /// Closes the thread's trailing run (the trace ended, so there is no
+  /// next home: the thread is considered parked).
+  void finish_thread(ThreadState& s);
+
   const RunLengthReport& report() const noexcept { return report_; }
 
  private:
+  /// Books the open run [s.run_core x s.run_length] given the core the
+  /// thread moves to next, and advances s.location.
+  void finalize_run(ThreadState& s, CoreId next_core);
+
   RunLengthReport report_;
 };
 

@@ -1,0 +1,70 @@
+#include "trace/stream/format.hpp"
+
+#include <cstring>
+
+namespace em2::em2s {
+namespace {
+
+/// Slice-by-8 tables: table[0] is the classic byte-at-a-time CRC table;
+/// table[k] advances a byte through k additional zero bytes, so eight
+/// bytes fold in one step instead of eight dependent lookups — chunk
+/// verification sits on the streamed-ingestion hot path, where the
+/// byte-serial loop's ~1 B/cycle becomes the bottleneck.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    tables[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = tables[0][i];
+    for (std::size_t k = 1; k < 8; ++k) {
+      c = tables[0][c & 0xFFu] ^ (c >> 8);
+      tables[k][i] = c;
+    }
+  }
+  return tables;
+}
+
+constexpr std::array<std::array<std::uint32_t, 256>, 8> kCrc =
+    make_crc_tables();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes,
+                    std::uint32_t seed) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const std::uint8_t* p = bytes.data();
+  std::size_t n = bytes.size();
+  while (n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = kCrc[7][lo & 0xFFu] ^ kCrc[6][(lo >> 8) & 0xFFu] ^
+        kCrc[5][(lo >> 16) & 0xFFu] ^ kCrc[4][lo >> 24] ^
+        kCrc[3][hi & 0xFFu] ^ kCrc[2][(hi >> 8) & 0xFFu] ^
+        kCrc[1][(hi >> 16) & 0xFFu] ^ kCrc[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    c = kCrc[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+    --n;
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80u) {
+    out.push_back(static_cast<std::uint8_t>(value | 0x80u));
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+}  // namespace em2::em2s

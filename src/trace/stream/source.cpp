@@ -1,0 +1,26 @@
+#include "trace/stream/source.hpp"
+
+namespace em2 {
+namespace {
+
+/// The whole thread is one batch: next() never leaves the inline fast
+/// path until the stream ends.
+class MemoryCursor final : public AccessCursor {
+ public:
+  explicit MemoryCursor(std::span<const Access> accesses) {
+    cur_ = accesses.data();
+    end_ = accesses.data() + accesses.size();
+  }
+
+ protected:
+  void refill() override {}  // one batch; nothing more to load
+};
+
+}  // namespace
+
+std::unique_ptr<AccessCursor> MemoryTraceSource::make_cursor(
+    std::size_t thread) const {
+  return std::make_unique<MemoryCursor>(traces_.thread(thread).accesses());
+}
+
+}  // namespace em2

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <cctype>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <optional>
 #include <ostream>
 #include <sstream>
+
+#include "trace/stream/convert.hpp"
 
 namespace em2 {
 namespace {
@@ -223,9 +226,68 @@ TraceSet read_trace_binary(std::istream& is) {
   return traces;
 }
 
+namespace {
+
+bool has_suffix(const std::string& path, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return path.size() >= n &&
+         path.compare(path.size() - n, n, suffix) == 0;
+}
+
+enum class SniffedFormat { kText, kBinary, kStream, kUnknown };
+
+const char* format_name(SniffedFormat f) {
+  switch (f) {
+    case SniffedFormat::kText:
+      return "text";
+    case SniffedFormat::kBinary:
+      return "EM2T binary";
+    case SniffedFormat::kStream:
+      return "EM2S stream";
+    case SniffedFormat::kUnknown:
+      break;
+  }
+  return "unknown";
+}
+
+/// What the leading bytes say the file is.  The magics are decisive; a
+/// run of printable/whitespace bytes reads as the text format; anything
+/// else is unidentifiable.
+SniffedFormat sniff_format(const char* head, std::size_t n) {
+  if (n >= 4 && std::memcmp(head, kMagic.data(), 4) == 0) {
+    return SniffedFormat::kBinary;
+  }
+  if (n >= 4 && std::memcmp(head, em2s::kMagic.data(), 4) == 0) {
+    return SniffedFormat::kStream;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned char c = static_cast<unsigned char>(head[i]);
+    if (std::isprint(c) == 0 && std::isspace(c) == 0) {
+      return SniffedFormat::kUnknown;
+    }
+  }
+  return SniffedFormat::kText;
+}
+
+/// What the extension promises — used only as the tiebreaker in error
+/// messages, never to override what the content says.
+SniffedFormat extension_hint(const std::string& path) {
+  if (has_suffix(path, ".em2t")) {
+    return SniffedFormat::kText;
+  }
+  if (has_suffix(path, ".em2s")) {
+    return SniffedFormat::kStream;
+  }
+  return SniffedFormat::kBinary;
+}
+
+}  // namespace
+
 bool save_trace(const std::string& path, const TraceSet& traces) {
-  const bool text = path.size() >= 5 &&
-                    path.compare(path.size() - 5, 5, ".em2t") == 0;
+  if (has_suffix(path, ".em2s")) {
+    return write_trace_stream(path, traces);
+  }
+  const bool text = has_suffix(path, ".em2t");
   std::ofstream out(path, text ? std::ios::out : std::ios::binary);
   if (!out) {
     return false;
@@ -235,13 +297,33 @@ bool save_trace(const std::string& path, const TraceSet& traces) {
 }
 
 TraceSet load_trace(const std::string& path) {
-  const bool text = path.size() >= 5 &&
-                    path.compare(path.size() - 5, 5, ".em2t") == 0;
-  std::ifstream in(path, text ? std::ios::in : std::ios::binary);
+  // Dispatch on what the file IS, not what it is called: sniff the
+  // leading bytes and only consult the extension to phrase the error
+  // when the content is unidentifiable.  Text saved under a binary name
+  // (or vice versa) therefore loads correctly instead of mis-parsing.
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     fail("cannot open " + path);
   }
-  return text ? read_trace_text(in) : read_trace_binary(in);
+  std::array<char, 16> head{};
+  in.read(head.data(), head.size());
+  const std::size_t got = static_cast<std::size_t>(in.gcount());
+  const SniffedFormat content = sniff_format(head.data(), got);
+  if (content == SniffedFormat::kUnknown) {
+    fail("cannot identify the format of " + path +
+         ": the leading bytes carry no EM2T/EM2S magic and are not "
+         "text, but the extension suggests " +
+         format_name(extension_hint(path)) +
+         " (candidates: text, EM2T binary, EM2S stream)");
+  }
+  if (content == SniffedFormat::kStream) {
+    in.close();
+    return read_trace_stream(path);
+  }
+  in.clear();  // a file shorter than the sniff buffer set eofbit
+  in.seekg(0);
+  return content == SniffedFormat::kText ? read_trace_text(in)
+                                         : read_trace_binary(in);
 }
 
 }  // namespace em2

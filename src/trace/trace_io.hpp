@@ -49,9 +49,14 @@ bool write_trace_binary(std::ostream& os, const TraceSet& traces);
 /// truncated, or oversized input.
 TraceSet read_trace_binary(std::istream& is);
 
-/// File-path conveniences; format chosen by extension (".em2t" text,
-/// anything else binary).  load_trace throws TraceFormatError when the
-/// file cannot be opened or its content fails to parse.
+/// File-path conveniences.  save_trace chooses the format by extension:
+/// ".em2t" text, ".em2s" streaming EM2S (trace/stream/), anything else
+/// packed binary.  load_trace dispatches on the file's CONTENT — the
+/// EM2T/EM2S magics are decisive, leading printable bytes mean text —
+/// so a trace saved under a misleading extension still loads correctly;
+/// unidentifiable content throws TraceFormatError naming both what the
+/// sniff found and what the extension suggested.  Also throws when the
+/// file cannot be opened or fails to parse.
 bool save_trace(const std::string& path, const TraceSet& traces);
 TraceSet load_trace(const std::string& path);
 

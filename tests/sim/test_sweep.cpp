@@ -2,10 +2,13 @@
 // same order, byte-identical counters, no matter how many workers run.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/system.hpp"
@@ -206,6 +209,51 @@ TEST(Sweep, MergedCounterShardsEqualSequentialTotals) {
   for (const auto& [name, value] : sequential.all()) {
     EXPECT_EQ(merged.get(name), value) << name;
   }
+}
+
+TEST(Sweep, ProgressReportsEveryPointInOrderWhenSerial) {
+  std::vector<std::pair<std::size_t, std::size_t>> calls;
+  sweep::Options opts;
+  opts.num_threads = 1;
+  opts.progress = [&](std::size_t done, std::size_t total) {
+    calls.emplace_back(done, total);
+  };
+  (void)sweep::run(5, [](std::size_t i) { return i; }, opts);
+  ASSERT_EQ(calls.size(), 5u);
+  for (std::size_t k = 0; k < calls.size(); ++k) {
+    EXPECT_EQ(calls[k].first, k + 1);
+    EXPECT_EQ(calls[k].second, 5u);
+  }
+}
+
+TEST(Sweep, ProgressCoversEveryPointExactlyOnceAcrossWorkers) {
+  // Parallel: `done` values arrive in completion order, but the atomic
+  // counter guarantees the multiset is exactly {1..n} with total == n
+  // on every call.
+  std::mutex mu;
+  std::vector<std::size_t> dones;
+  sweep::Options opts;
+  opts.num_threads = 4;
+  opts.progress = [&](std::size_t done, std::size_t total) {
+    const std::lock_guard<std::mutex> lock(mu);
+    EXPECT_EQ(total, 64u);
+    dones.push_back(done);
+  };
+  (void)sweep::run(64, [](std::size_t i) { return i * 3; }, opts);
+  ASSERT_EQ(dones.size(), 64u);
+  std::sort(dones.begin(), dones.end());
+  for (std::size_t k = 0; k < dones.size(); ++k) {
+    EXPECT_EQ(dones[k], k + 1);
+  }
+}
+
+TEST(Sweep, NoProgressCallbackMeansNoOverheadOrCrash) {
+  // Default-constructed Options: the progress hook is empty and must
+  // simply be skipped on both the serial and the pooled paths.
+  (void)sweep::run(8, [](std::size_t i) { return i; },
+                   sweep::Options{.num_threads = 1});
+  (void)sweep::run(8, [](std::size_t i) { return i; },
+                   sweep::Options{.num_threads = 4});
 }
 
 }  // namespace

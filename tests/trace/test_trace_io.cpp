@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -199,6 +201,82 @@ TEST(TraceIo, EmptyTraceSetRoundTrips) {
 TEST(TraceIo, LoadTraceThrowsOnMissingFile) {
   EXPECT_THROW(load_trace("/nonexistent/path/to/trace.bin"),
                TraceFormatError);
+}
+
+// ---------------------------------------------------------------------
+// load_trace dispatches on content, not extension: the EM2T/EM2S magics
+// and a printable prefix decide; the extension is only a hint in the
+// error message for unidentifiable bytes.
+
+std::string io_tmp_path(const std::string& name) {
+  return testing::TempDir() + "trace_io_" + name;
+}
+
+TEST(TraceIo, LoadTraceSniffsTextUnderABinaryExtension) {
+  const std::string path = io_tmp_path("text_as.bin");
+  std::ofstream out(path);
+  ASSERT_TRUE(write_trace_text(out, sample_traces()));
+  out.close();
+  // Extension says packed binary; the bytes say text.  Content wins.
+  expect_equal(sample_traces(), load_trace(path));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadTraceSniffsBinaryUnderATextExtension) {
+  const std::string path = io_tmp_path("binary_as.em2t");
+  std::ofstream out(path, std::ios::binary);
+  ASSERT_TRUE(write_trace_binary(out, sample_traces()));
+  out.close();
+  expect_equal(sample_traces(), load_trace(path));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadTraceSniffsStreamUnderAForeignExtension) {
+  const std::string path = io_tmp_path("stream_as.trace");
+  const TraceSet original = sample_traces();
+  ASSERT_TRUE(save_trace(io_tmp_path("stream_as.em2s"), original));
+  // Rename-by-rewrite: save under the canonical name, copy the bytes to
+  // a name that hints "binary".
+  {
+    std::ifstream in(io_tmp_path("stream_as.em2s"), std::ios::binary);
+    std::ofstream out(path, std::ios::binary);
+    out << in.rdbuf();
+  }
+  expect_equal(original, load_trace(path));
+  std::remove(path.c_str());
+  std::remove(io_tmp_path("stream_as.em2s").c_str());
+}
+
+TEST(TraceIo, SaveTraceEm2sExtensionRoundTrips) {
+  const std::string path = io_tmp_path("canonical.em2s");
+  const TraceSet original = sample_traces();
+  ASSERT_TRUE(save_trace(path, original));
+  expect_equal(original, load_trace(path));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadTraceNamesBothCandidatesOnUnidentifiableBytes) {
+  // No magic, not printable: the error must say what the sniff found
+  // AND what the (here misleading) extension suggested.
+  const std::string path = io_tmp_path("garbage.em2s");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const unsigned char junk[16] = {0xfe, 0x01, 0x9a, 0x00, 0x7f, 0xc3,
+                                    0x11, 0x80, 0x55, 0xaa, 0x03, 0xe9,
+                                    0x42, 0x00, 0xff, 0x10};
+    out.write(reinterpret_cast<const char*>(junk), sizeof junk);
+  }
+  try {
+    (void)load_trace(path);
+    FAIL() << "expected TraceFormatError";
+  } catch (const TraceFormatError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cannot identify the format"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("EM2S stream"), std::string::npos) << what;
+    EXPECT_NE(what.find("candidates"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
 }
 
 TEST(TraceIo, ErrorMessagesNameTheDefect) {
