@@ -114,6 +114,24 @@ struct RunSpec {
   /// max_cycles.  0 disables; the default is generous enough that only a
   /// genuinely wedged configuration trips it.
   Cycle watchdog_cycles = 1'000'000;
+  /// Exec mode: host-parallel execution of this single run.  The mesh is
+  /// partitioned into `shards` contiguous core ranges, each advanced by
+  /// (up to) one worker thread leased from the shared process budget
+  /// (util/thread_budget.hpp) — a run granted fewer helpers simulates the
+  /// same shard count on fewer threads and reports identically.
+  /// 1 = the sequential engine; 0 = auto (the thread budget, clamped to
+  /// the core count).  shards > 1 requires mode == kExec and the
+  /// event-driven scheduler (std::invalid_argument at entry).
+  std::uint32_t shards = 1;
+  /// Relaxed-synchronization quantum in cycles for sharded exec runs.
+  /// 0 (default): the sharded run is BIT-IDENTICAL to the sequential
+  /// event scheduler at any shard count.  >0: shards run up to `skew`
+  /// cycles ahead between barriers — deterministic for a fixed
+  /// (shards, skew) but a different valid interleaving; requires an
+  /// explicit shards > 1 (auto would make the result machine-dependent),
+  /// EM2/EM2-RA, no faults, kNone contention, and a stateless decision
+  /// policy (std::invalid_argument at entry otherwise).
+  Cycle skew = 0;
   /// Streamed (TraceStream) sources only: hard budget in bytes for the
   /// reader's resident trace buffers, divided across per-thread cursors —
   /// the knob that makes trace-mode runs out-of-core.  0 = unlimited

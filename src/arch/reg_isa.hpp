@@ -83,6 +83,12 @@ class FunctionalMemory {
   std::uint32_t load(Addr addr) const;
   void store(Addr addr, std::uint32_t value);
   std::size_t words_written() const noexcept { return mem_.size(); }
+  /// Snapshot view of every written word, keyed by word-aligned address
+  /// — the sharded engines fold owner-shard partitions back into the
+  /// system memory from this after a run.
+  const std::unordered_map<Addr, std::uint32_t>& words() const noexcept {
+    return mem_;
+  }
 
  private:
   // Word-granular sparse storage keyed by word-aligned address.

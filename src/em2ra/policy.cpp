@@ -279,13 +279,38 @@ StandardPolicy StandardPolicy::make(const std::string& spec,
                                     const CostModel& cost) {
   constexpr std::string_view kCustomPrefix = "custom:";
   if (spec.rfind(kCustomPrefix, 0) == 0) {
-    auto inner = make_policy(spec.substr(kCustomPrefix.size()), mesh, cost);
-    if (inner == nullptr) {
+    const ParsedSpec p = parse_spec(spec.substr(kCustomPrefix.size()));
+    if (!p.ok) {
       auto known = standard_policy_specs();
       known.push_back("custom:<spec>");
       fail_unknown("policy", spec, known);
     }
-    return custom(std::move(inner));
+    // Bind the erased table to the CONCRETE scheme, not to the base
+    // interface: of<Scheme>'s thunks call the final class directly, so
+    // the "custom:" reference path the dispatch-equivalence matrix diffs
+    // against differs from static dispatch only at the indirect-call
+    // boundary, never in behaviour or per-access vtable traffic.
+    switch (p.kind) {
+      case StandardPolicyKind::kAlwaysMigrate:
+        return StandardPolicy(
+            Impl(ErasedPolicy::of(std::make_unique<AlwaysMigratePolicy>())));
+      case StandardPolicyKind::kAlwaysRemote:
+        return StandardPolicy(
+            Impl(ErasedPolicy::of(std::make_unique<AlwaysRemotePolicy>())));
+      case StandardPolicyKind::kDistance:
+        return StandardPolicy(Impl(ErasedPolicy::of(
+            std::make_unique<DistanceThresholdPolicy>(mesh, p.hops))));
+      case StandardPolicyKind::kHistory:
+        return StandardPolicy(Impl(ErasedPolicy::of(
+            std::make_unique<HistoryPolicy>(p.long_run, p.capacity))));
+      case StandardPolicyKind::kCostEstimate:
+        return StandardPolicy(
+            Impl(ErasedPolicy::of(std::make_unique<CostEstimatePolicy>(cost))));
+      case StandardPolicyKind::kCustom:
+        break;
+    }
+    EM2_ASSERT(false, "parse_spec admits only sealed kinds");
+    std::abort();  // unreachable
   }
   const ParsedSpec p = parse_spec(spec);
   if (!p.ok) {
@@ -318,9 +343,9 @@ StandardPolicy StandardPolicy::custom(
     std::unique_ptr<DecisionPolicy> policy) {
   EM2_ASSERT(policy != nullptr,
              "the kCustom escape hatch needs a non-null DecisionPolicy");
-  return StandardPolicy(
-      Impl(std::in_place_type<std::unique_ptr<DecisionPolicy>>,
-           std::move(policy)));
+  // Base-typed erasure: the caller's scheme is opaque here, so each thunk
+  // keeps the one unavoidable virtual hop.
+  return StandardPolicy(Impl(ErasedPolicy::of(std::move(policy))));
 }
 
 void StandardPolicy::validate_spec(const std::string& spec) {
@@ -353,13 +378,27 @@ std::string StandardPolicy::name() const {
     case 4:
       return std::get<4>(impl_).name();
     default:
-      return std::get<5>(impl_)->name();
+      return std::get<5>(impl_).name();
   }
 }
 
 std::vector<std::string> standard_policy_specs() {
   return {"always-migrate", "always-remote", "distance:4",
           "history",        "cost-estimate"};
+}
+
+bool policy_spec_is_stateless(const std::string& spec) {
+  constexpr std::string_view kCustomPrefix = "custom:";
+  const std::string inner = spec.rfind(kCustomPrefix, 0) == 0
+                                ? spec.substr(kCustomPrefix.size())
+                                : spec;
+  const ParsedSpec p = parse_spec(inner);
+  if (!p.ok) {
+    return false;
+  }
+  return p.kind == StandardPolicyKind::kAlwaysMigrate ||
+         p.kind == StandardPolicyKind::kAlwaysRemote ||
+         p.kind == StandardPolicyKind::kDistance;
 }
 
 }  // namespace em2

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "util/assert.hpp"
+#include "util/thread_budget.hpp"
 
 namespace em2 {
 
@@ -33,6 +34,7 @@ ThreadId ExecSystem::add_thread(RProgram program, CoreId native) {
 
 void ExecSystem::poke(Addr addr, std::uint32_t value) {
   memory_.store(addr, value);
+  poke_log_.emplace_back(addr, value);
   const CoreId home = home_of(addr);
   checker_.on_store(kNoThread, addr, value, home, home);
 }
@@ -269,6 +271,11 @@ void ExecSystem::on_thread_moved(ThreadId t, CoreId from, CoreId to) {
 void ExecSystem::step_thread(ThreadId chosen) {
   Thread& th = threads_[static_cast<std::size_t>(chosen)];
   const StepResult r = th.interp->step(th.ctx);
+  finish_step(chosen, r);
+}
+
+void ExecSystem::finish_step(ThreadId chosen, const StepResult& r) {
+  Thread& th = threads_[static_cast<std::size_t>(chosen)];
   ++report_.instructions;
   last_progress_ = now_;
   switch (r.kind) {
@@ -315,7 +322,7 @@ ThreadId ExecSystem::select_ready_resident(CoreId core) const {
   return kNoThread;
 }
 
-void ExecSystem::run_event(Cycle max_cycles) {
+void ExecSystem::init_event_structures() {
   const std::size_t n_threads = threads_.size();
   const auto n_cores = static_cast<std::size_t>(mesh_.num_cores());
   residents_.assign(n_cores, {});
@@ -333,6 +340,11 @@ void ExecSystem::run_event(Cycle max_cycles) {
   for (std::size_t t = 0; t < n_threads; ++t) {
     mark_ready(static_cast<ThreadId>(t));  // every thread starts ready
   }
+}
+
+void ExecSystem::run_event(Cycle max_cycles) {
+  const std::size_t n_threads = threads_.size();
+  init_event_structures();
 
   while (halted_count_ < n_threads) {
     if (now_ >= max_cycles) {
@@ -482,6 +494,20 @@ void ExecSystem::run_scan(Cycle max_cycles) {
   }
 }
 
+std::uint32_t ExecSystem::resolve_shards() const {
+  std::uint32_t s = params_.shards;
+  if (s == 0) {
+    // Auto: the shared process thread budget.  At skew=0 the shard count
+    // never affects the report, so auto is always safe; at skew>0 the
+    // resolved count is part of the simulated configuration and therefore
+    // machine-dependent — pin shards explicitly for reproducible relaxed
+    // runs (System::validate enforces this).
+    s = static_cast<std::uint32_t>(thread_budget_total());
+  }
+  const auto cores = static_cast<std::uint32_t>(mesh_.num_cores());
+  return std::min(std::max<std::uint32_t>(s, 1), cores);
+}
+
 ExecReport ExecSystem::run(Cycle max_cycles) {
   EM2_ASSERT(!started_,
              "ExecSystem::run is single-shot: build a new system to re-run "
@@ -491,12 +517,27 @@ ExecReport ExecSystem::run(Cycle max_cycles) {
   faults_ = params_.faults;
   EM2_ASSERT(faults_ == nullptr || params_.arch != MemArch::kCc,
              "fault injection is EM2/EM2-RA only (no CC fault model)");
+  const std::uint32_t nshards = resolve_shards();
+  EM2_ASSERT(nshards <= 1 || event_mode_,
+             "sharded execution requires the event-driven scheduler");
+  if (nshards > 1 && params_.skew > 0) {
+    EM2_ASSERT(params_.arch != MemArch::kCc,
+               "relaxed-sync sharding (skew > 0) has no CC partition");
+    EM2_ASSERT(faults_ == nullptr,
+               "relaxed-sync sharding (skew > 0) rejects fault injection "
+               "(the injector's accounting is order-dependent)");
+    EM2_ASSERT(!params_.em2.model_caches,
+               "relaxed-sync sharding (skew > 0) rejects modelled caches");
+    return run_relaxed(max_cycles, nshards);
+  }
   init_machines();
 
   report_ = ExecReport{};
   report_.finish_cycle.assign(threads_.size(), 0);
 
-  if (event_mode_) {
+  if (event_mode_ && nshards > 1) {
+    run_event_parallel(max_cycles, nshards);
+  } else if (event_mode_) {
     run_event(max_cycles);
   } else {
     run_scan(max_cycles);

@@ -72,6 +72,24 @@ struct ExecParams {
   /// the run terminates with a structured diagnosis instead of spinning
   /// (or, in event mode, jumping) toward max_cycles.  0 disables.
   Cycle watchdog_cycles = 0;
+  /// Host-parallel execution: the mesh is partitioned into this many
+  /// contiguous shards, each advanced by (up to) one host thread.
+  /// 1 = the sequential engine; 0 = auto (the shared thread budget,
+  /// clamped to the core count); >1 requires kEventDriven.  Worker
+  /// threads are leased from the process thread budget — a run that gets
+  /// fewer (or zero) helpers still simulates the configured shard count
+  /// and produces the identical report.
+  std::uint32_t shards = 1;
+  /// Relaxed-synchronization quantum in cycles.  0 (the default) keeps
+  /// the sharded run BIT-IDENTICAL to the sequential event scheduler
+  /// (speculate-in-parallel, commit-in-order).  >0 lets each shard run
+  /// ahead up to `skew` cycles between barriers, with cross-shard
+  /// migrations, evictions, and remote accesses delivered at the next
+  /// barrier — deterministic for a fixed (shards, skew), but a different
+  /// (still protocol-valid) interleaving than the sequential engine.
+  /// Requires EM2/EM2-RA (no CC), no fault injection, no modelled
+  /// caches, and a stateless decision policy; ignored when shards <= 1.
+  Cycle skew = 0;
 };
 
 /// End-of-run report.
@@ -196,6 +214,24 @@ class ExecSystem final : private ThreadMoveObserver {
   void run_scan(Cycle max_cycles);
   void run_event(Cycle max_cycles);
 
+  // Sharded execution (sim/exec_parallel.cpp).  Exact mode (skew=0)
+  // speculates instruction steps across a worker pool and commits them
+  // serially in the sequential scheduler's order — bit-identical by
+  // construction.  Relaxed mode (skew>0) gives each shard its own
+  // machine/memory/checker partition and exchanges cross-shard traffic at
+  // quantum barriers.
+  /// Builds the event-scheduler residency/ready structures (shared by
+  /// run_event and the exact-mode parallel walk).
+  void init_event_structures();
+  /// Everything step_thread does after the interpreter step itself —
+  /// lets the exact-mode engine commit a speculated StepResult.
+  void finish_step(ThreadId chosen, const StepResult& r);
+  /// Shard count this run resolves to (params_.shards, with 0 = auto).
+  std::uint32_t resolve_shards() const;
+  void run_event_parallel(Cycle max_cycles, std::uint32_t nshards);
+  ExecReport run_relaxed(Cycle max_cycles, std::uint32_t nshards);
+  friend struct RelaxedEngine;
+
   Mesh mesh_;
   CostModel cost_;
   ExecParams params_;
@@ -213,6 +249,9 @@ class ExecSystem final : private ThreadMoveObserver {
   std::vector<Thread> threads_;
   std::vector<std::uint32_t> rr_;  // per-core round-robin cursor
   FunctionalMemory memory_;
+  /// Replay log of poke() calls: relaxed mode seeds each shard's memory
+  /// partition and consistency checker from it.
+  std::vector<std::pair<Addr, std::uint32_t>> poke_log_;
   ConsistencyChecker checker_;
   ExecReport report_;
   Cycle now_ = 0;

@@ -6,6 +6,7 @@
 
 #include "util/assert.hpp"
 #include "util/thread_annotations.hpp"
+#include "util/thread_budget.hpp"
 
 namespace em2::sweep {
 
@@ -13,8 +14,11 @@ unsigned resolve_threads(const Options& opts) noexcept {
   if (opts.num_threads != 0) {
     return opts.num_threads;
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  // Default width comes from the shared process budget (EM2_THREAD_BUDGET
+  // or hardware_concurrency) rather than hardware_concurrency directly,
+  // so the sweep runner and the sharded single-run engine draw from one
+  // pool instead of each claiming the whole machine.
+  return static_cast<unsigned>(thread_budget_total());
 }
 
 namespace detail {
@@ -128,7 +132,15 @@ void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body,
       opts.progress(done, n);
     }
   };
-  if (workers <= 1 || n <= 1) {
+  // Helper threads are leased from the shared process budget: a sweep
+  // running inside an already-parallel context (or alongside sharded
+  // runs) gets however many helpers are still unclaimed and degrades to
+  // the serial loop when the budget is spent — never workers x shards
+  // oversubscription.  The lease is released when the sweep returns.
+  const std::size_t want = std::min<std::size_t>(workers, std::max<std::size_t>(n, 1));
+  const ThreadBudgetLease lease(want > 0 ? want - 1 : 0);
+  const unsigned spawned = static_cast<unsigned>(1 + lease.granted());
+  if (spawned <= 1 || n <= 1) {
     for (std::size_t i = 0; i < n; ++i) {
       body(i);
       report_done();
@@ -137,8 +149,6 @@ void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body,
   }
   EM2_ASSERT(n <= 0xffffffffull,
              "sweep point indices are packed into 32 bits");
-  const unsigned spawned =
-      static_cast<unsigned>(std::min<std::size_t>(workers, n));
   // Work-stealing chunked scheduler: the point space splits into one
   // contiguous chunk per worker; owners drain their chunk from the front,
   // and a worker that runs dry steals the upper half of another's

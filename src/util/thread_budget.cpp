@@ -1,0 +1,91 @@
+#include "util/thread_budget.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace em2 {
+
+namespace {
+
+std::size_t default_total() noexcept {
+  // Determinism note (tools/check_determinism.py): the budget shapes only
+  // how many helper threads run, never any simulation result.
+  if (const char* env = std::getenv("EM2_THREAD_BUDGET")) {
+    const long v = std::atol(env);
+    if (v >= 1) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// 0 means "use the environment/hardware default" (resolved lazily so the
+/// env var is honored even before any lease).
+std::atomic<std::size_t> g_total_override{0};
+/// Leased threads; the calling thread of the process counts as 1.
+std::atomic<std::size_t> g_claimed{1};
+std::atomic<std::size_t> g_peak{1};
+
+void note_peak(std::size_t claimed) noexcept {
+  std::size_t peak = g_peak.load(std::memory_order_relaxed);
+  while (claimed > peak &&
+         !g_peak.compare_exchange_weak(peak, claimed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::size_t thread_budget_total() noexcept {
+  const std::size_t o = g_total_override.load(std::memory_order_relaxed);
+  if (o != 0) {
+    return o;
+  }
+  static const std::size_t resolved = default_total();
+  return resolved;
+}
+
+std::size_t thread_budget_claimed() noexcept {
+  return g_claimed.load(std::memory_order_relaxed);
+}
+
+std::size_t thread_budget_peak() noexcept {
+  return g_peak.load(std::memory_order_relaxed);
+}
+
+void set_thread_budget_for_testing(std::size_t total) noexcept {
+  g_total_override.store(total, std::memory_order_relaxed);
+  g_peak.store(g_claimed.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+}
+
+ThreadBudgetLease::ThreadBudgetLease(std::size_t want) noexcept {
+  if (want == 0) {
+    return;
+  }
+  const std::size_t total = thread_budget_total();
+  std::size_t cur = g_claimed.load(std::memory_order_relaxed);
+  while (true) {
+    const std::size_t room = cur < total ? total - cur : 0;
+    const std::size_t take = want < room ? want : room;
+    if (take == 0) {
+      return;
+    }
+    if (g_claimed.compare_exchange_weak(cur, cur + take,
+                                        std::memory_order_acq_rel)) {
+      granted_ = take;
+      note_peak(cur + take);
+      return;
+    }
+  }
+}
+
+ThreadBudgetLease::~ThreadBudgetLease() {
+  if (granted_ != 0) {
+    g_claimed.fetch_sub(granted_, std::memory_order_acq_rel);
+  }
+}
+
+}  // namespace em2

@@ -1,0 +1,60 @@
+// Process-wide host-thread budget shared by every parallelism layer.
+//
+// Two layers spawn OS threads: the sweep runner (one worker per point
+// chunk) and the sharded single-run engine (one worker per mesh shard).
+// Before this module each resolved its width from hardware_concurrency()
+// independently, so a sharded run inside a sweep could oversubscribe the
+// host by workers x shards.  Now every layer leases its extra threads
+// from one shared counter: the process starts with one implicitly-claimed
+// thread (the caller), a layer that wants W-1 helpers acquires them here
+// and gets however many the budget still holds, and nested parallelism
+// degrades gracefully — inner layers simply run with fewer (or zero)
+// helpers instead of stacking pools.
+//
+// Leases cap EXECUTION width only, never simulation semantics: a 4-shard
+// run that leases 0 helpers still simulates 4 shards (on one thread) and
+// produces the identical report.
+//
+// The budget defaults to hardware_concurrency() and can be pinned with
+// the EM2_THREAD_BUDGET environment variable (read once) or, for tests,
+// set_thread_budget_for_testing().
+#pragma once
+
+#include <cstddef>
+
+namespace em2 {
+
+/// Total concurrent OS threads the process aims to stay within (>= 1).
+std::size_t thread_budget_total() noexcept;
+
+/// Currently leased threads, including the caller's implicit one.
+std::size_t thread_budget_claimed() noexcept;
+
+/// High-water mark of thread_budget_claimed() since the last reset — the
+/// oversubscription witness the budget tests assert on.
+std::size_t thread_budget_peak() noexcept;
+
+/// Pins the total for tests (0 restores the environment/hardware default)
+/// and resets the peak.  Not thread-safe against concurrent leases; call
+/// from a quiesced test body only.
+void set_thread_budget_for_testing(std::size_t total) noexcept;
+
+/// RAII lease of up to `want` EXTRA threads (beyond the calling thread,
+/// which is always implicitly budgeted).  `granted()` is how many the
+/// budget actually had; spawn at most that many helpers.  Releases on
+/// destruction.
+class ThreadBudgetLease {
+ public:
+  explicit ThreadBudgetLease(std::size_t want) noexcept;
+  ~ThreadBudgetLease();
+
+  ThreadBudgetLease(const ThreadBudgetLease&) = delete;
+  ThreadBudgetLease& operator=(const ThreadBudgetLease&) = delete;
+
+  std::size_t granted() const noexcept { return granted_; }
+
+ private:
+  std::size_t granted_ = 0;
+};
+
+}  // namespace em2

@@ -5,12 +5,22 @@
 // finish times.  This file is the equivalence matrix the ISSUE demands,
 // plus a 1024-core smoke run that only the event-driven scheduler could
 // finish in test-suite time.
+//
+// The matrix is two-dimensional: arch x host shard count.  shards > 1
+// runs the speculate-parallel/commit-serial engine (skew = 0), whose
+// contract is the same bit-identity — worker threads may only ever
+// change wall-clock time, never a report field.  Under TSan the sharded
+// columns double as the data-race probe for the speculation buffers.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <optional>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "sim/exec_system.hpp"
+#include "sim/faults.hpp"
 
 namespace em2 {
 namespace {
@@ -51,6 +61,8 @@ struct WorkloadSpec {
   std::int32_t blocks_per_thread = 8;
   std::int32_t guest_contexts = 2;
   Cycle max_cycles = 1'000'000;
+  std::uint32_t shards = 1;
+  std::string fault_spec;  // empty = no injector
 };
 
 /// Builds the same multi-thread gather workload twice and runs it under
@@ -61,10 +73,17 @@ ExecReport run_workload(MemArch arch, SchedulerKind sched,
   const Mesh mesh(spec.mesh_w, spec.mesh_h);
   const CostModel cost(mesh, CostModelParams{});
   StripedPlacement placement(mesh.num_cores());
+  std::optional<FaultInjector> faults;
+  if (!spec.fault_spec.empty()) {
+    faults.emplace(fault_spec_from_string(spec.fault_spec),
+                   mesh.num_cores());
+  }
   ExecParams params;
   params.arch = arch;
   params.scheduler = sched;
   params.em2.guest_contexts = spec.guest_contexts;
+  params.shards = spec.shards;
+  params.faults = faults ? &*faults : nullptr;
   ExecSystem sys(mesh, cost, params, placement);
   for (std::int32_t t = 0; t < spec.threads; ++t) {
     const Addr base = 0x10000 + static_cast<Addr>(t) * 0x4000;
@@ -80,16 +99,27 @@ ExecReport run_workload(MemArch arch, SchedulerKind sched,
   return sys.run(spec.max_cycles);
 }
 
-class ExecEquivalence : public ::testing::TestWithParam<MemArch> {};
+/// (arch, host shard count): every cell must match the scan reference.
+class ExecEquivalence
+    : public ::testing::TestWithParam<std::tuple<MemArch, std::uint32_t>> {
+ protected:
+  MemArch arch() const { return std::get<0>(GetParam()); }
+  std::uint32_t shards() const { return std::get<1>(GetParam()); }
+  std::string label() const {
+    return std::string(to_string(arch())) + " shards=" +
+           std::to_string(shards());
+  }
+};
 
 TEST_P(ExecEquivalence, SmallMeshMultiThread) {
   WorkloadSpec spec;
   const ExecReport scan =
-      run_workload(GetParam(), SchedulerKind::kScan, spec);
+      run_workload(arch(), SchedulerKind::kScan, spec);
+  spec.shards = shards();
   const ExecReport event =
-      run_workload(GetParam(), SchedulerKind::kEventDriven, spec);
+      run_workload(arch(), SchedulerKind::kEventDriven, spec);
   EXPECT_TRUE(scan.consistent);
-  expect_identical(scan, event, to_string(GetParam()));
+  expect_identical(scan, event, label().c_str());
 }
 
 TEST_P(ExecEquivalence, TinyMeshMoreThreadsThanCores) {
@@ -99,11 +129,12 @@ TEST_P(ExecEquivalence, TinyMeshMoreThreadsThanCores) {
   spec.threads = 7;  // oversubscribed: several threads share a native core
   spec.blocks_per_thread = 6;
   const ExecReport scan =
-      run_workload(GetParam(), SchedulerKind::kScan, spec);
+      run_workload(arch(), SchedulerKind::kScan, spec);
+  spec.shards = shards();
   const ExecReport event =
-      run_workload(GetParam(), SchedulerKind::kEventDriven, spec);
+      run_workload(arch(), SchedulerKind::kEventDriven, spec);
   EXPECT_TRUE(scan.consistent);
-  expect_identical(scan, event, to_string(GetParam()));
+  expect_identical(scan, event, label().c_str());
 }
 
 TEST_P(ExecEquivalence, EvictionStormSingleGuestContext) {
@@ -112,11 +143,12 @@ TEST_P(ExecEquivalence, EvictionStormSingleGuestContext) {
   spec.threads = 6;
   spec.blocks_per_thread = 10;
   const ExecReport scan =
-      run_workload(GetParam(), SchedulerKind::kScan, spec);
+      run_workload(arch(), SchedulerKind::kScan, spec);
+  spec.shards = shards();
   const ExecReport event =
-      run_workload(GetParam(), SchedulerKind::kEventDriven, spec);
+      run_workload(arch(), SchedulerKind::kEventDriven, spec);
   EXPECT_TRUE(scan.consistent);
-  expect_identical(scan, event, to_string(GetParam()));
+  expect_identical(scan, event, label().c_str());
 }
 
 TEST_P(ExecEquivalence, TimeoutReportsMatch) {
@@ -124,22 +156,49 @@ TEST_P(ExecEquivalence, TimeoutReportsMatch) {
   spec.blocks_per_thread = 64;
   spec.max_cycles = 137;  // cut the run off mid-flight
   const ExecReport scan =
-      run_workload(GetParam(), SchedulerKind::kScan, spec);
+      run_workload(arch(), SchedulerKind::kScan, spec);
+  spec.shards = shards();
   const ExecReport event =
-      run_workload(GetParam(), SchedulerKind::kEventDriven, spec);
+      run_workload(arch(), SchedulerKind::kEventDriven, spec);
   EXPECT_TRUE(scan.timed_out);
-  expect_identical(scan, event, to_string(GetParam()));
+  expect_identical(scan, event, label().c_str());
 }
 
-INSTANTIATE_TEST_SUITE_P(AllArches, ExecEquivalence,
-                         ::testing::Values(MemArch::kEm2, MemArch::kEm2Ra,
-                                           MemArch::kCc),
-                         [](const auto& param_info) {
-                           return std::string(to_string(param_info.param)) ==
-                                          "em2-ra"
-                                      ? "em2ra"
-                                      : to_string(param_info.param);
-                         });
+TEST_P(ExecEquivalence, FaultScenariosMatchSequential) {
+  // Drop / stall / kill each draw from the injector's stateless hash
+  // streams in issue order, so the parallel engine must preserve the
+  // sequential engine's exact draw sequence — any reordering shows up as
+  // a diverging fault count or finish time.
+  if (arch() == MemArch::kCc) {
+    GTEST_SKIP() << "fault injection is EM2/EM2-RA only (no CC fault model)";
+  }
+  for (const char* faults :
+       {"drop=0.4,seed=11", "stall=0.3:40,seed=5", "kill=2@700"}) {
+    WorkloadSpec spec;
+    spec.threads = 6;
+    spec.blocks_per_thread = 10;
+    spec.fault_spec = faults;
+    const ExecReport scan =
+        run_workload(arch(), SchedulerKind::kScan, spec);
+    spec.shards = shards();
+    const ExecReport event =
+        run_workload(arch(), SchedulerKind::kEventDriven, spec);
+    expect_identical(scan, event, (label() + " " + faults).c_str());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArchByShards, ExecEquivalence,
+    ::testing::Combine(::testing::Values(MemArch::kEm2, MemArch::kEm2Ra,
+                                         MemArch::kCc),
+                       ::testing::Values(1u, 2u, 4u, 8u)),
+    [](const auto& param_info) {
+      const std::string arch =
+          std::string(to_string(std::get<0>(param_info.param))) == "em2-ra"
+              ? "em2ra"
+              : to_string(std::get<0>(param_info.param));
+      return arch + "_shards" + std::to_string(std::get<1>(param_info.param));
+    });
 
 // Idle-cycle skipping must not change the clock: a lone far-corner thread
 // spends most cycles stalled on migrations, which the event scheduler

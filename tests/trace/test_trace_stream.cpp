@@ -13,6 +13,7 @@
 #include <fstream>
 #include <iterator>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -424,6 +425,55 @@ TEST(TraceStream, MiniFileBuilderProducesAValidStream) {
   ASSERT_EQ(loaded.thread(0).size(), 2u);
   EXPECT_EQ(loaded.thread(0)[0], records[0]);
   EXPECT_EQ(loaded.thread(0)[1], records[1]);
+  std::remove(path.c_str());
+}
+
+TEST(TraceStream, EmptyAndHeaderOnlyFilesAreRejectedByBothBackends) {
+  // mmap(len = 0) fails with EINVAL on Linux, so a zero-length file must
+  // be rejected by the size gate BEFORE any mapping is attempted — and
+  // the failure must name the truncation, not echo errno.  Same for a
+  // header-only file: 16 valid bytes cannot carry a trailer.  Both
+  // backends (the mmap default and the forced-ifstream fallback) must
+  // agree, since the gate runs before the backend choice.
+  const std::string path = tmp_path("tiny.em2s");
+  TraceStream::Options istream_only;
+  istream_only.force_istream = true;
+
+  write_file(path, "");  // zero-length
+  expect_defect([&] { (void)TraceStream(path); }, "truncated file");
+  expect_defect([&] { (void)TraceStream(path, istream_only); },
+                "truncated file");
+
+  MiniSpec s;
+  s.payload = encode_records({{0x40, MemOp::kRead, 0}});
+  const std::string full = build_mini(s);
+  write_file(path, full.substr(0, em2s::kHeaderBytes));  // header only
+  expect_defect([&] { (void)TraceStream(path); }, "truncated file");
+  expect_defect([&] { (void)TraceStream(path, istream_only); },
+                "truncated file");
+  std::remove(path.c_str());
+}
+
+TEST(TraceStream, HeaderPlusTrailerWithNoFooterIsRejected) {
+  // The smallest file the size gate admits: a valid header butted
+  // directly against a valid trailer (footer_offset == kHeaderBytes,
+  // CRC of zero footer bytes).  The footer parser must then report the
+  // truncation by the field it could not read, on both backends.
+  Blob file;
+  file.bytes(em2s::kMagic.data(), 4);
+  file.put<std::uint32_t>(em2s::kVersion);
+  file.put<std::uint32_t>(64);  // block_bytes
+  file.put<std::uint32_t>(0);   // nthreads
+  file.put<std::uint64_t>(em2s::kHeaderBytes);  // footer offset
+  file.put<std::uint32_t>(em2s::crc32(std::span<const std::uint8_t>{}));
+  file.bytes(em2s::kTrailerMagic.data(), 4);
+  const std::string path = tmp_path("header_trailer_only.em2s");
+  write_file(path, file.data);
+  expect_defect([&] { (void)TraceStream(path); }, "truncated footer");
+  TraceStream::Options istream_only;
+  istream_only.force_istream = true;
+  expect_defect([&] { (void)TraceStream(path, istream_only); },
+                "truncated footer");
   std::remove(path.c_str());
 }
 
