@@ -24,12 +24,25 @@
 //   --skew=N                relaxed-mode quantum in cycles, default 1000
 //   --max-cycles=N          cycle budget, default 50000000
 //   --arch=em2|em2ra        memory architecture, default em2
+//   --policy=SPEC           em2ra decision policy, default distance:4;
+//                           stateful specs (history:N[:C], cost-estimate)
+//                           exercise the fork/merge shard contract on the
+//                           relaxed legs
 //   --shards=a,b,c          shard counts to run, default 2,4,8
 //   --skip-relaxed          exact-mode legs only (CI smoke)
 //   --json                  one flat JSON object per row
+//
+// Each relaxed leg runs twice and the two reports must match — the
+// fixed-(shards, skew) determinism the relaxed engine promises — emitted
+// as "relaxed_deterministic".  On a host with one hardware thread the
+// worker pool degenerates to the calling thread, so sharded legs can
+// only lose; such rows carry "serialized": true, which the regression
+// checker treats as exempt (tools/check_bench_regression) — the numbers
+// are still printed, they just stop gating.
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/exec_system.hpp"
@@ -76,6 +89,7 @@ em2::RProgram gather_program(em2::Addr local_base, std::int32_t n_local,
 
 struct BenchConfig {
   em2::MemArch arch = em2::MemArch::kEm2;
+  std::string policy = "distance:4";
   std::int32_t cores = 1024;
   std::int32_t threads = 256;
   std::int32_t blocks = 224;
@@ -83,6 +97,7 @@ struct BenchConfig {
   std::int32_t repeats = 24;
   em2::Cycle skew = 1000;
   em2::Cycle max_cycles = 50'000'000;
+  bool serialized = false;  // host has one hardware thread
 };
 
 struct RunResult {
@@ -132,6 +147,7 @@ RunResult run_once(const BenchConfig& cfg, std::uint32_t shards,
   em2::StripedPlacement placement(mesh.num_cores());
   em2::ExecParams params;
   params.arch = cfg.arch;
+  params.ra_policy = cfg.policy;
   params.scheduler = em2::SchedulerKind::kEventDriven;
   params.shards = shards;
   params.skew = skew;
@@ -169,7 +185,8 @@ bool reports_match(const em2::ExecReport& a, const em2::ExecReport& b) {
 }
 
 void emit(const BenchConfig& cfg, std::uint32_t shards, em2::Cycle skew,
-          const RunResult& r, bool json, double speedup, int identical) {
+          const RunResult& r, bool json, double speedup, int identical,
+          int deterministic = -1) {
   const std::uint64_t accesses = r.report.counters.get("accesses");
   const double rate =
       r.seconds > 0.0 ? static_cast<double>(accesses) / r.seconds : 0.0;
@@ -180,8 +197,14 @@ void emit(const BenchConfig& cfg, std::uint32_t shards, em2::Cycle skew,
         .add("cores", static_cast<std::int64_t>(cfg.cores))
         .add("threads", static_cast<std::int64_t>(cfg.threads))
         .add("shards", static_cast<std::int64_t>(shards))
-        .add("skew", static_cast<std::int64_t>(skew))
-        .add("cycles", r.report.cycles)
+        .add("skew", static_cast<std::int64_t>(skew));
+    if (cfg.arch == em2::MemArch::kEm2Ra) {
+      w.add("policy", cfg.policy);
+    }
+    if (cfg.serialized) {
+      w.add("serialized", true);
+    }
+    w.add("cycles", r.report.cycles)
         .add("instructions", r.report.instructions)
         .add("consistent", r.report.consistent)
         .add("wall_seconds", r.seconds)
@@ -191,6 +214,9 @@ void emit(const BenchConfig& cfg, std::uint32_t shards, em2::Cycle skew,
     }
     if (identical >= 0) {
       w.add("report_identical_to_sequential", identical != 0);
+    }
+    if (deterministic >= 0) {
+      w.add("relaxed_deterministic", deterministic != 0);
     }
     w.print();
   } else {
@@ -204,6 +230,10 @@ void emit(const BenchConfig& cfg, std::uint32_t shards, em2::Cycle skew,
     }
     if (identical >= 0) {
       std::printf("   report %s", identical != 0 ? "identical" : "DIVERGED");
+    }
+    if (deterministic >= 0) {
+      std::printf("   repeat %s",
+                  deterministic != 0 ? "deterministic" : "NONDETERMINISTIC");
     }
     std::printf("\n");
   }
@@ -226,6 +256,8 @@ int main(int argc, char** argv) {
       static_cast<em2::Cycle>(args.get_int("max-cycles", 50'000'000));
   const bool skip_relaxed = args.has("skip-relaxed");
   const bool json = args.has("json");
+  cfg.policy = args.get_string("policy", "distance:4");
+  cfg.serialized = std::thread::hardware_concurrency() <= 1;
   const std::string arch_name = args.get_string("arch", "em2");
   const auto parsed_arch = em2::parse_mem_arch(arch_name);
   if (!parsed_arch || *parsed_arch == em2::MemArch::kCc) {
@@ -263,6 +295,13 @@ int main(int argc, char** argv) {
         "(%d+%d)x%d loads each) ===\n",
         em2::to_string(cfg.arch), cfg.cores, cfg.threads, cfg.blocks,
         cfg.far_blocks, cfg.repeats);
+    if (cfg.arch == em2::MemArch::kEm2Ra) {
+      std::printf("policy: %s\n", cfg.policy.c_str());
+    }
+    if (cfg.serialized) {
+      std::printf("NOTE: one hardware thread — shard workers run "
+                  "serialized; speedups are not meaningful here\n");
+    }
   }
 
   const RunResult seq = run_once(cfg, 1, 0);
@@ -287,11 +326,17 @@ int main(int argc, char** argv) {
     }
     // Relaxed leg: a different simulated configuration (barrier-quantized
     // cross-shard traffic), measured for throughput and checked for
-    // consistency, not for report identity.
+    // consistency and repeat determinism, not for report identity with
+    // the sequential reference.
     const RunResult relaxed = run_once(cfg, shards, cfg.skew);
+    const RunResult again = run_once(cfg, shards, cfg.skew);
+    const bool deterministic =
+        reports_match(relaxed.report, again.report);
     emit(cfg, shards, cfg.skew, relaxed, json,
-         relaxed.seconds > 0.0 ? seq.seconds / relaxed.seconds : 0.0, -1);
-    ok = ok && relaxed.report.consistent && !relaxed.report.timed_out;
+         relaxed.seconds > 0.0 ? seq.seconds / relaxed.seconds : 0.0, -1,
+         deterministic ? 1 : 0);
+    ok = ok && relaxed.report.consistent && !relaxed.report.timed_out &&
+         deterministic;
   }
 
   if (!ok) {

@@ -2,12 +2,13 @@
 // throughput with the trace streamed from an EM2S file, next to the same
 // run from memory — the price of out-of-core ingestion.
 //
-// Two CI-tracked rows per invocation ("path":"memory" and
-// "path":"stream"); the stream row also carries the equivalence verdict
-// (the streamed RunReport must match the in-memory one field for field),
-// the reader's peak resident bytes against the window, and the
-// slowdown ratio the acceptance bound (streamed within 2x of in-memory)
-// is judged on.
+// Three CI-tracked rows per invocation ("path":"memory", "path":"stream",
+// and "path":"stream-em2z" — the same streamed run from an
+// em2z-compressed file, whose row adds the on-disk compression ratio);
+// every stream row also carries the equivalence verdict (the streamed
+// RunReport must match the in-memory one field for field), the reader's
+// peak resident bytes against the window, and the slowdown ratio the
+// acceptance bound (streamed within 2x of in-memory) is judged on.
 //
 //   --workload=NAME   workload registry name, default ocean
 //   --arch=A          em2|em2ra|cc, default em2
@@ -28,6 +29,7 @@
 
 #include "api/system.hpp"
 #include "sim/modes.hpp"
+#include "trace/stream/codec.hpp"
 #include "trace/stream/convert.hpp"
 #include "trace/stream/reader.hpp"
 #include "util/args.hpp"
@@ -113,7 +115,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", path.c_str());
       return 1;
     }
+    const std::string path_z = path + "z";
+    const em2::em2s::Em2zCodec em2z;
+    em2::TraceWriter::Options zopts;
+    zopts.codec = &em2z;
+    if (!em2::write_trace_stream(path_z, *traces, zopts)) {
+      std::fprintf(stderr, "cannot write %s\n", path_z.c_str());
+      return 1;
+    }
     const em2::TraceStream stream(path);
+    // No codec registration: em2z is built into the reader.
+    const em2::TraceStream stream_z(path_z);
 
     em2::RunSpec spec;
     spec.arch = *arch;
@@ -124,18 +136,32 @@ int main(int argc, char** argv) {
         time_runs(seconds, [&] { return sys.run(*traces, spec); });
     const Timed streamed =
         time_runs(seconds, [&] { return sys.run(stream, spec); });
+    const Timed zstreamed =
+        time_runs(seconds, [&] { return sys.run(stream_z, spec); });
     std::filesystem::remove(path);
+    std::filesystem::remove(path_z);
 
     const double mem_rate =
         static_cast<double>(memory.accesses) / memory.elapsed;
     const double stream_rate =
         static_cast<double>(streamed.accesses) / streamed.elapsed;
-    const bool equal = reports_equal(memory.last, streamed.last);
+    const double zstream_rate =
+        static_cast<double>(zstreamed.accesses) / zstreamed.elapsed;
+    const bool equal = reports_equal(memory.last, streamed.last) &&
+                       reports_equal(memory.last, zstreamed.last);
     const double slowdown = stream_rate > 0 ? mem_rate / stream_rate : 0.0;
+    const double zslowdown =
+        zstream_rate > 0 ? mem_rate / zstream_rate : 0.0;
+    const double ratio =
+        stream.file_bytes() > 0
+            ? static_cast<double>(stream_z.file_bytes()) /
+                  static_cast<double>(stream.file_bytes())
+            : 0.0;
 
     if (json) {
-      const auto row = [&](const char* which, const Timed& t,
-                           double rate) {
+      const auto row = [&](const char* which, const Timed& t, double rate,
+                           const em2::TraceStream& s, double down,
+                           double zratio) {
         em2::JsonWriter out;
         out.add("bench", "trace_stream")
             .add("path", which)
@@ -149,14 +175,18 @@ int main(int argc, char** argv) {
             .add("seconds", t.elapsed)
             .add("accesses_per_sec", rate)
             .add("reports_equal", equal)
-            .add("stream_slowdown", slowdown)
-            .add("file_bytes", stream.file_bytes())
-            .add("peak_resident_bytes",
-                 stream.peak_resident_trace_bytes());
+            .add("stream_slowdown", down)
+            .add("file_bytes", s.file_bytes())
+            .add("peak_resident_bytes", s.peak_resident_trace_bytes());
+        if (zratio > 0.0) {
+          out.add("compressed_ratio", zratio);
+        }
         out.print();
       };
-      row("memory", memory, mem_rate);
-      row("stream", streamed, stream_rate);
+      row("memory", memory, mem_rate, stream, slowdown, 0.0);
+      row("stream", streamed, stream_rate, stream, slowdown, 0.0);
+      row("stream-em2z", zstreamed, zstream_rate, stream_z, zslowdown,
+          ratio);
     } else {
       std::printf("=== trace-stream ingestion (%s, %s, %d cores, "
                   "scale %d) ===\n",
@@ -169,11 +199,19 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(window),
                   static_cast<unsigned long long>(
                       stream.peak_resident_trace_bytes()));
+      std::printf("em2z file:       %llu bytes (%.1f%% of verbatim)\n",
+                  static_cast<unsigned long long>(stream_z.file_bytes()),
+                  100.0 * ratio);
       std::printf("in-memory:       %.0f accesses/sec (%llu runs)\n",
                   mem_rate, static_cast<unsigned long long>(memory.runs));
       std::printf("streamed:        %.0f accesses/sec (%llu runs)\n",
                   stream_rate,
                   static_cast<unsigned long long>(streamed.runs));
+      std::printf("streamed em2z:   %.0f accesses/sec (%llu runs, "
+                  "%.2fx slowdown)\n",
+                  zstream_rate,
+                  static_cast<unsigned long long>(zstreamed.runs),
+                  zslowdown);
       std::printf("slowdown:        %.2fx (acceptance bound: 2x)\n",
                   slowdown);
       std::printf("reports equal:   %s\n", equal ? "yes" : "NO");

@@ -9,6 +9,7 @@
 #include "trace/stream/convert.hpp"
 #include "util/assert.hpp"
 #include "util/error.hpp"
+#include "workload/registry.hpp"
 
 namespace em2 {
 
@@ -126,11 +127,13 @@ void System::validate(const RunSpec& spec) const {
           "at a barrier)");
     }
     if (spec.arch == MemArch::kEm2Ra &&
-        !policy_spec_is_stateless(spec.policy)) {
+        !policy_spec_is_shardable(spec.policy)) {
       throw std::invalid_argument(
-          "RunSpec: relaxed-sync sharding (skew > 0) requires a stateless "
-          "decision policy (always-migrate, always-remote, or "
-          "distance:<hops>); per-shard predictor state would diverge");
+          "RunSpec: relaxed-sync sharding (skew > 0) requires a "
+          "shard-partitionable decision policy (every standard scheme "
+          "qualifies under the fork/merge contract; a custom: wrapper "
+          "only around a stateless scheme — opaque predictor state can "
+          "be neither forked nor merged)");
     }
   }
 }
@@ -222,6 +225,71 @@ std::vector<RunReport> System::run_matrix(
         // fails its own row of cells, not the whole grid.
         try {
           return run(w, spec);
+        } catch (const std::exception& e) {
+          RunReport failed;
+          failed.arch = spec.arch;
+          failed.mode = spec.mode;
+          failed.workload = w.name();
+          failed.error = e.what();
+          return failed;
+        }
+      },
+      opts);
+}
+
+std::vector<RunReport> System::run_mesh_matrix(
+    const SystemConfig& config,
+    const std::vector<std::int32_t>& mesh_threads,
+    const std::vector<std::string>& workload_names,
+    const std::vector<RunSpec>& specs, const sweep::Options& opts,
+    MatrixErrorPolicy errors) {
+  // Build every per-mesh System and materialize every workload up front,
+  // outside the fan-out: axis construction is cheap next to the runs,
+  // and it keeps the sweep cells pure (workers share only const state).
+  // Unknown workload names fail fast here under either error policy —
+  // the grid's axes must name real things; kCapture is about per-cell
+  // run/spec failures.
+  std::vector<std::unique_ptr<System>> systems;
+  systems.reserve(mesh_threads.size());
+  std::vector<std::vector<workload::Workload>> grids;  // [mesh][workload]
+  grids.reserve(mesh_threads.size());
+  for (const std::int32_t threads : mesh_threads) {
+    SystemConfig c = config;
+    c.threads = threads;
+    systems.push_back(std::make_unique<System>(c));
+    std::vector<workload::Workload> row;
+    row.reserve(workload_names.size());
+    for (const std::string& name : workload_names) {
+      row.push_back(workload::make_workload(name, threads));
+    }
+    grids.push_back(std::move(row));
+  }
+  if (errors == MatrixErrorPolicy::kRethrow) {
+    // Fail fast on any bad spec before fanning out (validation is
+    // per-System: e.g. fault kill lists check against each mesh).
+    for (const auto& sys : systems) {
+      for (const RunSpec& spec : specs) {
+        sys->validate(spec);
+      }
+    }
+  }
+  // ONE sweep::run over the whole cross product: a single
+  // ThreadBudgetLease worth of workers serves every mesh size, and the
+  // per-point progress callback counts all mesh x workload x spec cells.
+  const std::size_t wstride = workload_names.size();
+  const std::size_t sstride = specs.size();
+  return sweep::run(
+      mesh_threads.size() * wstride * sstride,
+      [&](std::size_t i) {
+        const System& sys = *systems[i / (wstride * sstride)];
+        const workload::Workload& w = grids[i / (wstride * sstride)]
+                                           [(i / sstride) % wstride];
+        const RunSpec& spec = specs[i % sstride];
+        if (errors == MatrixErrorPolicy::kRethrow) {
+          return sys.run(w, spec);
+        }
+        try {
+          return sys.run(w, spec);
         } catch (const std::exception& e) {
           RunReport failed;
           failed.arch = spec.arch;
@@ -458,7 +526,7 @@ RunReport System::run_trace(const TraceSource& traces, const RunSpec& spec,
       StandardPolicy policy = StandardPolicy::make(spec.policy, mesh_, cost);
       const HybridRunReport r =
           em2::run_em2ra(traces, placement, mesh_, cost, config_.em2,
-                         policy, recorder, faults);
+                         policy, recorder, faults, spec.pipeline);
       out.arch_label = "em2-ra(" + r.policy_name + ")";
       fill_from_em2_report(out, r.em2);
       out.remote_accesses = r.remote_accesses;

@@ -129,9 +129,20 @@ struct RunSpec {
   /// cycles ahead between barriers — deterministic for a fixed
   /// (shards, skew) but a different valid interleaving; requires an
   /// explicit shards > 1 (auto would make the result machine-dependent),
-  /// EM2/EM2-RA, no faults, kNone contention, and a stateless decision
-  /// policy (std::invalid_argument at entry otherwise).
+  /// EM2/EM2-RA, no faults, kNone contention, and a shard-partitionable
+  /// decision policy (policy_spec_is_shardable — every standard scheme
+  /// qualifies under the fork/merge contract; "custom:" wrappers only
+  /// around stateless inner schemes; std::invalid_argument at entry
+  /// otherwise).
   Cycle skew = 0;
+  /// Trace-mode EM2-RA only: which loop shape run_em2ra uses.  kScalar
+  /// (default) is the per-access reference loop; kBatched is the
+  /// two-phase decide-then-apply tile pipeline, bit-identical to it and
+  /// A/B-measured by bench_hot_path — it wins when decision cost
+  /// dominates the per-access body and loses on memory-bound streams,
+  /// so it stays opt-in (fault-injection runs always take the scalar
+  /// loop).  Other arches and modes ignore the knob.
+  RaPipeline pipeline = RaPipeline::kScalar;
   /// Streamed (TraceStream) sources only: hard budget in bytes for the
   /// reader's resident trace buffers, divided across per-thread cursors —
   /// the knob that makes trace-mode runs out-of-core.  0 = unlimited
@@ -315,6 +326,23 @@ class System {
       const std::vector<workload::Workload>& workloads,
       const std::vector<RunSpec>& specs, const sweep::Options& opts = {},
       MatrixErrorPolicy errors = MatrixErrorPolicy::kRethrow) const;
+
+  /// The nested (mesh x workload x spec) grid: one System per mesh size
+  /// (each built from `config` with `threads` overridden), every named
+  /// workload materialized at that size, and the FULL cross product
+  /// fanned out over ONE sweep::run call — a single ThreadBudgetLease
+  /// worth of workers for the whole grid, with Options::progress counting
+  /// every (mesh, workload, spec) point of the cross product.  Workload
+  /// names resolve via workload::make_workload at each size.  Result is
+  /// mesh-major, then workload-major, then spec:
+  /// reports[(m * names.size() + w) * specs.size() + s] — the same
+  /// nesting as stacked per-mesh run_matrix calls, bit-identical to them.
+  static std::vector<RunReport> run_mesh_matrix(
+      const SystemConfig& config,
+      const std::vector<std::int32_t>& mesh_threads,
+      const std::vector<std::string>& workload_names,
+      const std::vector<RunSpec>& specs, const sweep::Options& opts = {},
+      MatrixErrorPolicy errors = MatrixErrorPolicy::kRethrow);
 
   /// Builds the configured placement for `traces` (first-touch and
   /// profile-greedy derive from the trace itself).  Uncached.

@@ -34,22 +34,6 @@ HistoryPolicy::HistoryPolicy(std::uint32_t long_run, std::uint32_t capacity)
   EM2_ASSERT(long_run >= 1, "long-run threshold must be at least 1");
 }
 
-std::uint8_t HistoryPolicy::lookup(const ThreadState& st,
-                                   CoreId home) const {
-  if (capacity_ == 0) {
-    const auto h = static_cast<std::size_t>(home);
-    return h < st.by_core.size() ? st.by_core[h] : 0;
-  }
-  // Fully-associative file: a linear scan over `capacity` slots — the CAM
-  // probe a hardware predictor table would do in parallel.
-  for (std::size_t i = 0; i < st.keys.size(); ++i) {
-    if (st.keys[i] == home) {
-      return st.ctrs[i];
-    }
-  }
-  return 0;  // absent: starts weakly-short
-}
-
 void HistoryPolicy::train(ThreadState& st, CoreId ended_home,
                           std::uint64_t run_len) {
   std::uint8_t* ctr = nullptr;
@@ -128,24 +112,33 @@ void HistoryPolicy::observe(ThreadId thread, CoreId home, CoreId native) {
   st.run_len = 1;
 }
 
-RaDecision HistoryPolicy::decide(const DecisionQuery& q) {
-  ThreadState& st = state_for(q.thread);
-  // The native core has its own dedicated predictor register, biased
-  // toward "long" (going home usually starts a long local phase).
-  if (q.home == q.native) {
-    return st.native_ctr >= 2 ? RaDecision::kMigrate
-                              : RaDecision::kRemoteAccess;
-  }
-  return lookup(st, q.home) >= 2 ? RaDecision::kMigrate
-                                 : RaDecision::kRemoteAccess;
-}
-
 std::string HistoryPolicy::name() const {
   std::string n = "history:" + std::to_string(long_run_);
   if (capacity_ != 0) {
     n += ":" + std::to_string(capacity_);
   }
   return n;
+}
+
+void HistoryPolicy::export_thread_state(ThreadId t, PolicyThreadState& out) {
+  ThreadState& st = state_for(t);
+  out.run_home = st.run_home;
+  out.run_len = st.run_len;
+  out.native_ctr = st.native_ctr;
+  out.by_core = std::move(st.by_core);
+  out.keys = std::move(st.keys);
+  out.ctrs = std::move(st.ctrs);
+  st = ThreadState{};
+}
+
+void HistoryPolicy::import_thread_state(ThreadId t, PolicyThreadState&& in) {
+  ThreadState& st = state_for(t);
+  st.run_home = in.run_home;
+  st.run_len = in.run_len;
+  st.native_ctr = in.native_ctr;
+  st.by_core = std::move(in.by_core);
+  st.keys = std::move(in.keys);
+  st.ctrs = std::move(in.ctrs);
 }
 
 CostEstimatePolicy::CostEstimatePolicy(const CostModel& cost,
@@ -171,10 +164,38 @@ void CostEstimatePolicy::observe(ThreadId thread, CoreId home,
     } else {
       predicted_run_ = (1.0 - ewma_alpha_) * predicted_run_ +
                        ewma_alpha_ * static_cast<double>(st.run_len);
+      if (log_samples_) {
+        samples_.push_back(static_cast<double>(st.run_len));
+      }
     }
   }
   st.run_home = home;
   st.run_len = 1;
+}
+
+void CostEstimatePolicy::export_thread_state(ThreadId t,
+                                             PolicyThreadState& out) {
+  ThreadState& st = state_for(t);
+  out.run_home = st.run_home;
+  out.run_len = st.run_len;
+  out.native_run_ewma = st.native_run_ewma;
+  st = ThreadState{};
+}
+
+void CostEstimatePolicy::import_thread_state(ThreadId t,
+                                             PolicyThreadState&& in) {
+  ThreadState& st = state_for(t);
+  st.run_home = in.run_home;
+  st.run_len = in.run_len;
+  st.native_run_ewma = in.native_run_ewma;
+}
+
+double CostEstimatePolicy::fold_samples_into(double base) {
+  for (const double sample : samples_) {
+    base = (1.0 - ewma_alpha_) * base + ewma_alpha_ * sample;
+  }
+  samples_.clear();
+  return base;
 }
 
 RaDecision CostEstimatePolicy::decide(const DecisionQuery& q) {
@@ -382,6 +403,79 @@ std::string StandardPolicy::name() const {
   }
 }
 
+StandardPolicy StandardPolicy::fork_shard(std::uint32_t shard,
+                                          std::uint32_t count) const {
+  switch (impl_.index()) {
+    case 0:
+      return StandardPolicy(Impl(std::in_place_type<AlwaysMigratePolicy>));
+    case 1:
+      return StandardPolicy(Impl(std::in_place_type<AlwaysRemotePolicy>));
+    case 2:
+      // The per-pair bit table is immutable after construction: a plain
+      // copy shares no mutable state with the base or other shards.
+      return StandardPolicy(Impl(std::get<2>(impl_)));
+    case 3:
+      return StandardPolicy(Impl(std::get<3>(impl_).fork_shard_twin()));
+    case 4:
+      return StandardPolicy(Impl(std::get<4>(impl_).fork_shard_twin()));
+    default: {
+      std::optional<ErasedPolicy> forked =
+          std::get<5>(impl_).fork_shard(shard, count);
+      EM2_ASSERT(forked.has_value(),
+                 "custom policy is not shardable (fork_shard returned "
+                 "nullptr); policy_spec_is_shardable rejects such specs");
+      return StandardPolicy(Impl(std::move(*forked)));
+    }
+  }
+}
+
+void StandardPolicy::export_thread_state(ThreadId t, PolicyThreadState& out) {
+  visit([&](auto& p) {
+    using P = std::decay_t<decltype(p)>;
+    if constexpr (std::is_same_v<P, HistoryPolicy> ||
+                  std::is_same_v<P, CostEstimatePolicy>) {
+      p.export_thread_state(t, out);
+    } else {
+      (void)p;
+      out = PolicyThreadState{};
+    }
+  });
+}
+
+void StandardPolicy::import_thread_state(ThreadId t, PolicyThreadState&& in) {
+  visit([&](auto& p) {
+    using P = std::decay_t<decltype(p)>;
+    if constexpr (std::is_same_v<P, HistoryPolicy> ||
+                  std::is_same_v<P, CostEstimatePolicy>) {
+      p.import_thread_state(t, std::move(in));
+    } else {
+      (void)p;
+      (void)in;
+    }
+  });
+}
+
+void StandardPolicy::merge_shard_predictors(
+    std::span<StandardPolicy* const> shards) {
+  if (kind() != StandardPolicyKind::kCostEstimate) {
+    // History state travels with its thread; stateless kinds share
+    // nothing — only the cost-estimate EWMA is cross-thread.
+    return;
+  }
+  CostEstimatePolicy& base = std::get<4>(impl_);
+  double merged = base.predicted_run();
+  for (StandardPolicy* shard : shards) {
+    EM2_ASSERT(shard != nullptr &&
+                   shard->kind() == StandardPolicyKind::kCostEstimate,
+               "shard forks must match the base policy kind");
+    merged = std::get<4>(shard->impl_).fold_samples_into(merged);
+  }
+  base.set_predicted_run(merged);
+  for (StandardPolicy* shard : shards) {
+    std::get<4>(shard->impl_).set_predicted_run(merged);
+  }
+}
+
 std::vector<std::string> standard_policy_specs() {
   return {"always-migrate", "always-remote", "distance:4",
           "history",        "cost-estimate"};
@@ -399,6 +493,19 @@ bool policy_spec_is_stateless(const std::string& spec) {
   return p.kind == StandardPolicyKind::kAlwaysMigrate ||
          p.kind == StandardPolicyKind::kAlwaysRemote ||
          p.kind == StandardPolicyKind::kDistance;
+}
+
+bool policy_spec_is_shardable(const std::string& spec) {
+  constexpr std::string_view kCustomPrefix = "custom:";
+  if (spec.rfind(kCustomPrefix, 0) == 0) {
+    // The erased wrapper forks through the virtual DecisionPolicy hook,
+    // which only the stateless schemes implement: a stateful scheme's
+    // predictor state is opaque behind the escape hatch, so the engine
+    // could neither move per-thread entries with a migrating thread nor
+    // merge shared estimators at barriers.
+    return policy_spec_is_stateless(spec);
+  }
+  return parse_spec(spec).ok;
 }
 
 }  // namespace em2

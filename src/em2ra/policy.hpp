@@ -26,6 +26,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <variant>
@@ -41,6 +43,22 @@ namespace em2 {
 enum class RaDecision : std::uint8_t {
   kMigrate = 0,
   kRemoteAccess = 1,
+};
+
+/// Per-thread predictor state in transit between shard-forked policy
+/// instances (the relaxed-sync parallel engine): when a thread crosses a
+/// shard boundary its predictor state rides along, exactly as the
+/// hardware table contents would travel with the migration context.  One
+/// struct covers the union of the sealed schemes' per-thread fields;
+/// each scheme reads and writes only the fields it owns.
+struct PolicyThreadState {
+  CoreId run_home = kNoCore;
+  std::uint64_t run_len = 0;
+  std::uint8_t native_ctr = 2;        // HistoryPolicy native register
+  double native_run_ewma = 8.0;       // CostEstimatePolicy local phases
+  std::vector<std::uint8_t> by_core;  // HistoryPolicy direct-mapped table
+  std::vector<CoreId> keys;           // HistoryPolicy counter file keys
+  std::vector<std::uint8_t> ctrs;     // HistoryPolicy counter file values
 };
 
 /// Decision-relevant facts about one non-local access.
@@ -71,6 +89,16 @@ class DecisionPolicy {
     (void)native;
   }
   virtual std::string name() const = 0;
+  /// Relaxed-sync fork hook: return a fresh instance for shard `shard` of
+  /// `count`, or nullptr when the policy cannot be shard-partitioned (the
+  /// default — an opaque policy's predictor state cannot be forked or
+  /// merged).  Stateless policies return a plain copy.
+  virtual std::unique_ptr<DecisionPolicy> fork_shard(std::uint32_t shard,
+                                                     std::uint32_t count) const {
+    (void)shard;
+    (void)count;
+    return nullptr;
+  }
 };
 
 /// Pure EM2: always migrate (the paper's baseline architecture).
@@ -80,6 +108,10 @@ class AlwaysMigratePolicy final : public DecisionPolicy {
     return RaDecision::kMigrate;
   }
   std::string name() const override { return "always-migrate"; }
+  std::unique_ptr<DecisionPolicy> fork_shard(std::uint32_t,
+                                             std::uint32_t) const override {
+    return std::make_unique<AlwaysMigratePolicy>();
+  }
 };
 
 /// Pure remote-access coherence (the Fensch-Cintra-style comparison point
@@ -90,6 +122,10 @@ class AlwaysRemotePolicy final : public DecisionPolicy {
     return RaDecision::kRemoteAccess;
   }
   std::string name() const override { return "always-remote"; }
+  std::unique_ptr<DecisionPolicy> fork_shard(std::uint32_t,
+                                             std::uint32_t) const override {
+    return std::make_unique<AlwaysRemotePolicy>();
+  }
 };
 
 /// Distance threshold: remote-access nearby homes (a short round trip is
@@ -113,6 +149,10 @@ class DistanceThresholdPolicy final : public DecisionPolicy {
                                    1);
   }
   std::string name() const override;
+  std::unique_ptr<DecisionPolicy> fork_shard(std::uint32_t,
+                                             std::uint32_t) const override {
+    return std::make_unique<DistanceThresholdPolicy>(*this);
+  }
 
  private:
   std::size_t num_cores_;
@@ -139,9 +179,34 @@ class HistoryPolicy final : public DecisionPolicy {
  public:
   explicit HistoryPolicy(std::uint32_t long_run = 2,
                          std::uint32_t capacity = 0);
-  RaDecision decide(const DecisionQuery& q) override;
+  // In-class so the devirtualized loops (and the batched pre-pass, which
+  // runs the predictor read on every gathered access) inline the table
+  // probe instead of paying a call per access.
+  RaDecision decide(const DecisionQuery& q) override {
+    ThreadState& st = state_for(q.thread);
+    // The native core has its own dedicated predictor register, biased
+    // toward "long" (going home usually starts a long local phase).
+    if (q.home == q.native) {
+      return st.native_ctr >= 2 ? RaDecision::kMigrate
+                                : RaDecision::kRemoteAccess;
+    }
+    return lookup(st, q.home) >= 2 ? RaDecision::kMigrate
+                                   : RaDecision::kRemoteAccess;
+  }
   void observe(ThreadId thread, CoreId home, CoreId native) override;
   std::string name() const override;
+
+  /// Relaxed-sync shard support.  A forked twin shares the configuration
+  /// but starts with an empty table: per-thread predictor state TRAVELS
+  /// with each thread via export/import (a thread trains exactly one
+  /// shard's table at a time, so there is nothing to merge at barriers).
+  HistoryPolicy fork_shard_twin() const {
+    return HistoryPolicy(long_run_, capacity_);
+  }
+  /// Moves thread `t`'s predictor state out, resetting the local slot.
+  void export_thread_state(ThreadId t, PolicyThreadState& out);
+  /// Installs predictor state for thread `t` (from export_thread_state).
+  void import_thread_state(ThreadId t, PolicyThreadState&& in);
 
  private:
   /// Flat per-thread predictor state (indexed by ThreadId, grown on
@@ -171,7 +236,20 @@ class HistoryPolicy final : public DecisionPolicy {
     return state_[i];
   }
   /// Counter for `home` in `st`'s table (0 when absent).
-  std::uint8_t lookup(const ThreadState& st, CoreId home) const;
+  std::uint8_t lookup(const ThreadState& st, CoreId home) const {
+    if (capacity_ == 0) {
+      const auto h = static_cast<std::size_t>(home);
+      return h < st.by_core.size() ? st.by_core[h] : 0;
+    }
+    // Fully-associative file: a linear scan over `capacity` slots — the
+    // CAM probe a hardware predictor table would do in parallel.
+    for (std::size_t i = 0; i < st.keys.size(); ++i) {
+      if (st.keys[i] == home) {
+        return st.ctrs[i];
+      }
+    }
+    return 0;  // absent: starts weakly-short
+  }
   void train(ThreadState& st, CoreId ended_home, std::uint64_t run_len);
 
   std::uint32_t long_run_;
@@ -190,11 +268,36 @@ class CostEstimatePolicy final : public DecisionPolicy {
   void observe(ThreadId thread, CoreId home, CoreId native) override;
   std::string name() const override { return "cost-estimate"; }
 
+  /// Relaxed-sync shard support.  Per-thread state (run tracking, the
+  /// native-phase EWMA) travels with the thread via export/import; the
+  /// cross-thread `predicted_run_` EWMA is the shared half of the
+  /// contract: a forked twin starts from the current shared value and
+  /// LOGS every sample it folds locally, and at each quantum barrier the
+  /// engine replays all shards' logs into the global base in shard index
+  /// order (fold_samples_into) and rebroadcasts (set_predicted_run) —
+  /// deterministic regardless of worker threading.
+  CostEstimatePolicy fork_shard_twin() const {
+    CostEstimatePolicy twin(cost_, ewma_alpha_);
+    twin.predicted_run_ = predicted_run_;
+    twin.log_samples_ = true;
+    return twin;
+  }
+  void export_thread_state(ThreadId t, PolicyThreadState& out);
+  void import_thread_state(ThreadId t, PolicyThreadState&& in);
+  /// Replays this instance's sample log into `base` with the policy's own
+  /// EWMA weight, clearing the log; returns the updated base.
+  double fold_samples_into(double base);
+  double predicted_run() const { return predicted_run_; }
+  void set_predicted_run(double v) { predicted_run_ = v; }
+
  private:
   CostModel cost_;  // by value: the model is two ints + a param block
   double ewma_alpha_;
   /// EWMA of remote (non-native) run lengths, shared across threads.
   double predicted_run_ = 1.0;
+  /// Shard-fork sample log (see fork_shard_twin).
+  bool log_samples_ = false;
+  std::vector<double> samples_;
   struct ThreadState {
     CoreId run_home = kNoCore;
     std::uint64_t run_len = 0;
@@ -210,6 +313,60 @@ class CostEstimatePolicy final : public DecisionPolicy {
     return state_[i];
   }
   std::vector<ThreadState> state_;  // flat per-thread state, grown on demand
+};
+
+/// Which loop shape an EM2-RA trace run uses.  kScalar (the RunSpec
+/// default) is the per-access reference loop; kBatched is the two-phase
+/// decide-then-apply pipeline (tiles of one access per thread, decisions
+/// hoisted into a mutation-free phase-1 loop), bit-identical to the
+/// scalar loop and worth opting into when decision cost dominates the
+/// per-access body.  Fault-injection runs always take the scalar loop
+/// (fault ticks interleave with accesses).
+enum class RaPipeline : std::uint8_t {
+  kBatched = 0,
+  kScalar = 1,
+};
+
+/// Compile-time traits for the two-phase decide-then-apply pipeline.
+///
+/// A tile is one round-robin pass — each thread contributes at most one
+/// access — so a policy's PER-THREAD state cannot change between its
+/// phase-1 decision and its phase-2 apply (observes run in phase 2, in
+/// exact scalar order).  kBatchSafeDecide therefore asks only whether
+/// decide() reads state OTHER threads' observes could move within the
+/// same pass: true for the stateless schemes and for HistoryPolicy
+/// (decide reads nothing but the querying thread's own table), false for
+/// CostEstimatePolicy (decide reads the cross-thread run-length EWMA,
+/// which earlier entries' observes update) and for anything opaque.
+/// kDecideReadsLocation flags schemes whose decision depends on
+/// q.current: their phase-1 verdict must be recomputed at apply time if
+/// an eviction moved the thread mid-tile (evictions are the only
+/// intra-pass movers).  Defaults are the conservative pair, so a custom
+/// policy is scalar-ordered unless it opts in via a specialization.
+template <typename P>
+struct PolicyBatchTraits {
+  static constexpr bool kBatchSafeDecide = false;
+  static constexpr bool kDecideReadsLocation = true;
+};
+template <>
+struct PolicyBatchTraits<AlwaysMigratePolicy> {
+  static constexpr bool kBatchSafeDecide = true;
+  static constexpr bool kDecideReadsLocation = false;
+};
+template <>
+struct PolicyBatchTraits<AlwaysRemotePolicy> {
+  static constexpr bool kBatchSafeDecide = true;
+  static constexpr bool kDecideReadsLocation = false;
+};
+template <>
+struct PolicyBatchTraits<DistanceThresholdPolicy> {
+  static constexpr bool kBatchSafeDecide = true;
+  static constexpr bool kDecideReadsLocation = true;
+};
+template <>
+struct PolicyBatchTraits<HistoryPolicy> {
+  static constexpr bool kBatchSafeDecide = true;
+  static constexpr bool kDecideReadsLocation = false;
 };
 
 /// Flat type-erased dispatch table for the kCustom escape hatch.
@@ -272,6 +429,18 @@ class ErasedPolicy {
     observe_(obj_.get(), thread, home, native);
   }
   std::string name() const { return name_(obj_.get()); }
+  /// Relaxed-sync fork: delegates to the wrapped policy's virtual
+  /// fork_shard hook.  Disengaged when the inner policy is not shardable.
+  /// The fork is wrapped base-typed (one virtual hop per entry point),
+  /// exactly what StandardPolicy::custom builds.
+  std::optional<ErasedPolicy> fork_shard(std::uint32_t shard,
+                                         std::uint32_t count) const {
+    auto forked = obj_->fork_shard(shard, count);
+    if (forked == nullptr) {
+      return std::nullopt;
+    }
+    return ErasedPolicy::of<DecisionPolicy>(std::move(forked));
+  }
 
  private:
   using DecideFn = RaDecision (*)(DecisionPolicy*, const DecisionQuery&);
@@ -382,6 +551,32 @@ class StandardPolicy {
     visit([&](auto& p) { p.observe(thread, home, native); });
   }
 
+  /// Forks a per-shard instance under the relaxed-sync merge contract:
+  /// stateless kinds copy themselves; history forks an empty-state twin
+  /// (per-thread predictor state then travels with each thread via
+  /// export/import_thread_state); cost-estimate forks a twin seeded with
+  /// the current shared EWMA and sample logging enabled (folded back at
+  /// quantum barriers by merge_shard_predictors); kCustom forks through
+  /// DecisionPolicy::fork_shard — a custom policy that returns nullptr is
+  /// not shardable (EM2_ASSERT; System::validate rejects such specs up
+  /// front via policy_spec_is_shardable).
+  StandardPolicy fork_shard(std::uint32_t shard, std::uint32_t count) const;
+
+  /// Moves thread `t`'s per-thread predictor state out of / into this
+  /// instance (no-ops for kinds with none).  The relaxed engine calls the
+  /// pair when a migration or eviction delivers a thread across a shard
+  /// boundary, before the destination shard resumes it.
+  void export_thread_state(ThreadId t, PolicyThreadState& out);
+  void import_thread_state(ThreadId t, PolicyThreadState&& in);
+
+  /// Barrier-merge for shared predictor state (today: cost-estimate's
+  /// cross-thread run-length EWMA).  Called on the unsharded base policy
+  /// with every per-shard fork, in shard index order, single-threaded at
+  /// the quantum barrier: replays each shard's sample log into the global
+  /// EWMA and rebroadcasts the merged value to all shards.  A no-op for
+  /// every other kind.
+  void merge_shard_predictors(std::span<StandardPolicy* const> shards);
+
  private:
   using Impl = std::variant<AlwaysMigratePolicy, AlwaysRemotePolicy,
                             DistanceThresholdPolicy, HistoryPolicy,
@@ -408,5 +603,15 @@ std::vector<std::string> standard_policy_specs();
 /// per-shard access subsequences and diverge from any single-policy run.
 /// False for unknown specs (validation reports those separately).
 bool policy_spec_is_stateless(const std::string& spec);
+
+/// True iff `spec` names a policy the relaxed-sync engine can
+/// shard-partition under the fork/merge contract: every sealed standard
+/// scheme qualifies (stateless kinds replicate; history's per-thread
+/// tables travel with the thread; cost-estimate's shared EWMA merges
+/// deterministically at quantum barriers), while a "custom:" wrapper
+/// qualifies only around a stateless inner scheme — an opaque policy's
+/// state cannot be forked or merged.  False for unknown specs
+/// (validation reports those separately).
+bool policy_spec_is_shardable(const std::string& spec);
 
 }  // namespace em2

@@ -15,6 +15,47 @@ MigrateRaSolution evaluate_policy_model_impl(const ModelTrace& trace,
   sol.actions.resize(n);
   sol.locations.resize(n);
 
+  // Model flavour of the decide-then-apply pipeline.  The single-thread
+  // model couples every decision to the location its own predecessors
+  // produced, so a tile-wide phase 1 is only possible for schemes whose
+  // action stream is a pure function of the home sequence: always-remote
+  // pins the thread at trace.start, always-migrate pins it at the
+  // previous home.  Those two run a branch-light single pass below
+  // (their observe() is the inherited no-op, so eliding it changes
+  // nothing); every other scheme — and the erased/virtual paths, which
+  // reach here type-opaque — keeps the sequential decide-apply loop.
+  if constexpr (std::is_same_v<Policy, AlwaysRemotePolicy>) {
+    (void)policy;
+    for (std::size_t k = 0; k < n; ++k) {
+      const CoreId home = trace.homes[k];
+      sol.locations[k] = trace.start;
+      if (home == trace.start) {
+        sol.actions[k] = AccessAction::kLocal;
+      } else {
+        sol.actions[k] = AccessAction::kRemote;
+        ++sol.remote_accesses;
+        sol.total_cost += cost.remote_access(trace.start, home, trace.ops[k]);
+      }
+    }
+    return sol;
+  } else if constexpr (std::is_same_v<Policy, AlwaysMigratePolicy>) {
+    (void)policy;
+    CoreId prev = trace.start;
+    for (std::size_t k = 0; k < n; ++k) {
+      const CoreId home = trace.homes[k];
+      sol.locations[k] = home;
+      if (home == prev) {
+        sol.actions[k] = AccessAction::kLocal;
+      } else {
+        sol.actions[k] = AccessAction::kMigrate;
+        ++sol.migrations;
+        sol.total_cost += cost.migration_to(prev, home, trace.start);
+        prev = home;
+      }
+    }
+    return sol;
+  }
+
   CoreId at = trace.start;
   for (std::size_t k = 0; k < n; ++k) {
     const CoreId home = trace.homes[k];

@@ -345,7 +345,7 @@ struct RelaxedEngine {
     CoreId end = 0;  // [begin, end)
     std::unique_ptr<Em2Machine> machine;
     HybridMachine* hybrid = nullptr;      // non-owning view when kEm2Ra
-    std::optional<StandardPolicy> policy; // per-shard (stateless kinds)
+    std::optional<StandardPolicy> policy; // shard fork of sys.ra_policy_
     FunctionalMemory memory;              // authoritative for in-range homes
     ConsistencyChecker checker;
     ShardObserver observer;
@@ -371,6 +371,9 @@ struct RelaxedEngine {
   std::uint32_t nshards;
   std::vector<Shard> shards;
   std::vector<std::uint32_t> shard_of_core;
+  /// Shard policies in index order, for the barrier predictor merge
+  /// (empty unless kEm2Ra).
+  std::vector<StandardPolicy*> policy_ptrs;
   /// owner[t]: the shard whose machine/scheduler currently holds t.
   /// Written ONLY between quanta (init, barrier); shards read it to
   /// discard wakeup entries for threads that moved away.
@@ -557,7 +560,10 @@ struct RelaxedEngine {
     q.op = mem.op;
     q.block = block;
     const RaDecision d = s.policy->decide(q);
-    s.policy->observe(t, home, q.native);  // stateless kinds: a no-op
+    // Shard-local observe: a no-op for stateless kinds; stateful kinds
+    // update the querying thread's per-thread state, which rides with
+    // the thread at delivery (kMigrate) or stays put (kRemote).
+    s.policy->observe(t, home, q.native);
     if (d == RaDecision::kMigrate) {
       const Cost cost = s.machine->depart_for_migration(t, home, mem.op);
       detach(s, t, home);
@@ -685,6 +691,18 @@ struct RelaxedEngine {
   void deliver(ThreadId t, CoreId dest, Cycle ready, Cycle cause_cycle,
                Cycle t_end) {
     Shard& d = shard_at(dest);
+    // Per-thread policy state rides with the thread: export from the
+    // shard that decided for it so far, import into the adopter.  Must
+    // precede the owner[] update — owner[t] still names the source (the
+    // eviction-cascade recursion below relies on the same invariant).
+    if (sys.params_.arch == MemArch::kEm2Ra) {
+      Shard& src = shards[owner[static_cast<std::size_t>(t)]];
+      if (src.index != d.index) {
+        PolicyThreadState st;
+        src.policy->export_thread_state(t, st);
+        d.policy->import_thread_state(t, std::move(st));
+      }
+    }
     const Em2Machine::Adoption a = d.machine->adopt_thread(t, dest);
     owner[static_cast<std::size_t>(t)] = d.index;
     sys.core_of_[static_cast<std::size_t>(t)] = dest;
@@ -751,6 +769,12 @@ struct RelaxedEngine {
         }
       }
     }
+    // Predictor merge point: fold every shard's run-length samples into
+    // the base policy in shard-index order, then rebroadcast the folded
+    // estimate (a no-op for every kind but cost-estimate).
+    if (!policy_ptrs.empty()) {
+      sys.ra_policy_->merge_shard_predictors(policy_ptrs);
+    }
   }
 
   /// Earliest cycle any shard can make progress at (kFarFuture if none).
@@ -813,8 +837,8 @@ struct RelaxedEngine {
         shard_of_core[static_cast<std::size_t>(c)] = i;
       }
       if (sys.params_.arch == MemArch::kEm2Ra) {
-        s.policy.emplace(
-            StandardPolicy::make(sys.params_.ra_policy, sys.mesh_, sys.cost_));
+        s.policy.emplace(sys.ra_policy_->fork_shard(i, nshards));
+        policy_ptrs.push_back(&*s.policy);
         auto hybrid = std::make_unique<HybridMachine>(
             sys.mesh_, sys.cost_, sys.params_.em2, native);
         s.hybrid = hybrid.get();
@@ -963,12 +987,13 @@ ExecReport ExecSystem::run_relaxed(Cycle max_cycles, std::uint32_t nshards) {
   EM2_ASSERT(params_.skew > 0 && nshards > 1,
              "run_relaxed requires skew > 0 and more than one shard");
   if (params_.arch == MemArch::kEm2Ra) {
-    EM2_ASSERT(policy_spec_is_stateless(params_.ra_policy),
-               "relaxed-sync sharding (skew > 0) requires a stateless "
-               "decision policy (always-migrate, always-remote, or "
-               "distance:<hops>): predictor state cannot be partitioned "
-               "without changing every decision");
-    // Resolved for ra_policy_name() labels; the shards build their own.
+    EM2_ASSERT(policy_spec_is_shardable(params_.ra_policy),
+               "relaxed-sync sharding (skew > 0) requires a "
+               "shard-partitionable decision policy: every standard "
+               "scheme qualifies under the fork/merge contract; custom: "
+               "wrappers only around stateless inner schemes");
+    // Base instance: shard policies fork from it, barrier predictor
+    // merges fold back into it, and ra_policy_name() labels read it.
     ra_policy_.emplace(StandardPolicy::make(params_.ra_policy, mesh_, cost_));
   }
   report_ = ExecReport{};

@@ -74,8 +74,24 @@ Cost ExecSystem::serve_access(ThreadId t, const PendingAccess& mem) {
       const Addr block = mem.addr >> block_shift_;
       // Sealed-policy dispatch: a switch over the concrete scheme, every
       // branch a direct inlinable call (kCustom alone stays virtual).
+      // Inside runs the decide-then-apply split at tile size one:
+      // classify + decide first, with no machine mutation, then apply
+      // through the same leg primitives the batched trace pipeline uses —
+      // so exec mode shares the trace loops' decision/apply seam.
       const HybridOutcome out = ra_policy_->visit([&](auto& p) {
-        return hybrid_->access_hybrid(p, t, home, mem.op, mem.addr, block);
+        const CoreId at = hybrid_->location(t);
+        if (at == home) {
+          return hybrid_->access_local(p, t, home, mem.op, mem.addr);
+        }
+        DecisionQuery q;
+        q.thread = t;
+        q.current = at;
+        q.home = home;
+        q.native = hybrid_->native(t);
+        q.op = mem.op;
+        q.block = block;
+        return hybrid_->access_nonlocal(p, p.decide(q), t, home, mem.op,
+                                        mem.addr);
       });
       latency = out.base.thread_cost + out.base.memory_latency;
       if (out.base.evicted_thread != kNoThread) {

@@ -88,7 +88,11 @@ struct ExecParams {
   /// barrier — deterministic for a fixed (shards, skew), but a different
   /// (still protocol-valid) interleaving than the sequential engine.
   /// Requires EM2/EM2-RA (no CC), no fault injection, no modelled
-  /// caches, and a stateless decision policy; ignored when shards <= 1.
+  /// caches, and a shard-partitionable decision policy (every standard
+  /// scheme qualifies: stateless kinds are copied per shard; history
+  /// state rides with its thread across shard crossings; cost-estimate
+  /// shards log run-length samples locally and fold them into one EWMA
+  /// at each barrier, in shard-index order); ignored when shards <= 1.
   Cycle skew = 0;
 };
 

@@ -1,0 +1,147 @@
+#include "trace/stream/codec.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "trace/trace_io.hpp"
+
+namespace em2::em2s {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 131;   // (127 >> 0) + kMinMatch
+constexpr std::size_t kMaxLiteralRun = 128;
+constexpr std::uint32_t kHashBits = 15;
+constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
+
+std::uint32_t hash4(const std::uint8_t* p) {
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16) |
+                          (static_cast<std::uint32_t>(p[3]) << 24);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw TraceFormatError("em2z: " + what);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Em2zCodec::compress(
+    std::span<const std::uint8_t> raw) const {
+  const std::size_t n = raw.size();
+  std::vector<std::uint8_t> out;
+  out.reserve(n / 2 + 16);
+  // Greedy single-probe matcher: table[h] remembers the most recent
+  // position whose 4-byte prefix hashed to h.  Good ratios on the
+  // stride-repeat payloads this codec exists for, and cheap enough to
+  // run on every flushed chunk.
+  std::vector<std::uint32_t> table(1u << kHashBits, kNoPos);
+  std::size_t lit_start = 0;  // first byte not yet emitted as a literal
+  const auto flush_literals = [&](std::size_t end) {
+    while (lit_start < end) {
+      const std::size_t run = std::min(end - lit_start, kMaxLiteralRun);
+      out.push_back(static_cast<std::uint8_t>((run - 1) << 1));
+      out.insert(out.end(), raw.begin() + static_cast<std::ptrdiff_t>(lit_start),
+                 raw.begin() + static_cast<std::ptrdiff_t>(lit_start + run));
+      lit_start += run;
+    }
+  };
+  std::size_t i = 0;
+  while (i + kMinMatch <= n) {
+    const std::uint32_t h = hash4(raw.data() + i);
+    const std::uint32_t cand = table[h];
+    table[h] = static_cast<std::uint32_t>(i);
+    if (cand == kNoPos ||
+        !std::equal(raw.begin() + static_cast<std::ptrdiff_t>(i),
+                    raw.begin() + static_cast<std::ptrdiff_t>(i + kMinMatch),
+                    raw.begin() + cand)) {
+      ++i;
+      continue;
+    }
+    std::size_t len = kMinMatch;
+    const std::size_t cap = std::min(kMaxMatch, n - i);
+    while (len < cap && raw[cand + len] == raw[i + len]) {
+      ++len;
+    }
+    flush_literals(i);
+    out.push_back(static_cast<std::uint8_t>(((len - kMinMatch) << 1) | 1));
+    put_varint(out, static_cast<std::uint64_t>(i) - cand);
+    // Seed the skipped positions too: the next stride repeat wants to
+    // land just past this match, not back at its start.
+    const std::size_t stop = std::min(i + len, n - kMinMatch + 1);
+    for (std::size_t j = i + 1; j < stop; ++j) {
+      table[hash4(raw.data() + j)] = static_cast<std::uint32_t>(j);
+    }
+    i += len;
+    lit_start = i;
+  }
+  flush_literals(n);
+  return out;
+}
+
+std::vector<std::uint8_t> Em2zCodec::decompress(
+    std::span<const std::uint8_t> stored, std::size_t raw_bytes) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(raw_bytes);
+  std::size_t p = 0;
+  const auto need = [&](std::size_t k) {
+    if (stored.size() - p < k) {
+      fail("truncated token stream");
+    }
+  };
+  while (out.size() < raw_bytes) {
+    need(1);
+    const std::uint8_t c = stored[p++];
+    if ((c & 1) == 0) {
+      const std::size_t run = static_cast<std::size_t>(c >> 1) + 1;
+      need(run);
+      if (raw_bytes - out.size() < run) {
+        fail("literal run overruns the declared raw size");
+      }
+      out.insert(out.end(), stored.begin() + static_cast<std::ptrdiff_t>(p),
+                 stored.begin() + static_cast<std::ptrdiff_t>(p + run));
+      p += run;
+      continue;
+    }
+    const std::size_t len = static_cast<std::size_t>(c >> 1) + kMinMatch;
+    std::uint64_t dist = 0;
+    for (std::uint32_t shift = 0;; shift += 7) {
+      need(1);
+      const std::uint8_t b = stored[p++];
+      if (shift >= 63 && (shift > 63 || b > 1)) {
+        fail("match distance varint overflows 64 bits");
+      }
+      dist |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) {
+        break;
+      }
+    }
+    if (dist == 0 || dist > out.size()) {
+      fail("match distance of " + std::to_string(dist) +
+           " reaches outside the produced output");
+    }
+    if (raw_bytes - out.size() < len) {
+      fail("match overruns the declared raw size");
+    }
+    // Byte-by-byte on purpose: dist < len is the legal RLE-style overlap.
+    const std::size_t src = out.size() - static_cast<std::size_t>(dist);
+    for (std::size_t k = 0; k < len; ++k) {
+      out.push_back(out[src + k]);
+    }
+  }
+  if (p != stored.size()) {
+    fail("trailing bytes after the final token");
+  }
+  return out;
+}
+
+std::span<const ChunkCodec* const> builtin_codecs() {
+  static const Em2zCodec em2z;
+  static const ChunkCodec* const list[] = {&em2z};
+  return list;
+}
+
+}  // namespace em2::em2s

@@ -1,0 +1,54 @@
+// em2z: the built-in EM2S chunk codec (id 1).
+//
+// A chunk's raw payload is already delta/varint coded, so general-purpose
+// entropy coding has little left to squeeze — but trace loops revisit the
+// same address strides over and over, which leaves long *repeats* of the
+// exact varint byte sequences.  em2z is a byte-oriented LZSS that targets
+// exactly that: back-references into the bytes already produced, literals
+// for everything else.
+//
+// Token stream (decoded until exactly raw_bytes have been produced):
+//
+//   control byte c
+//     c & 1 == 0   literal run: the next (c >> 1) + 1 bytes (1..128)
+//                  are copied to the output verbatim
+//     c & 1 == 1   match: (c >> 1) + 4 bytes (4..131) are copied from
+//                  `dist` bytes behind the current output position,
+//                  where `dist` is the LEB128 varint that follows the
+//                  control byte (dist >= 1; overlapping copies are legal
+//                  and proceed byte-by-byte, RLE-style)
+//
+// Hostile input is rejected with TraceFormatError: a truncated token,
+// a run or match that would overrun raw_bytes, a distance of zero or
+// beyond the produced output, a varint that overruns or overflows, and
+// trailing bytes after the final token are all named defects.  The
+// stream reader additionally enforces the exact-raw_bytes contract and
+// the stored-payload CRC before the codec ever sees the bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/stream/format.hpp"
+
+namespace em2::em2s {
+
+class Em2zCodec final : public ChunkCodec {
+ public:
+  static constexpr std::uint8_t kId = 1;
+  std::uint8_t id() const override { return kId; }
+  std::vector<std::uint8_t> compress(
+      std::span<const std::uint8_t> raw) const override;
+  std::vector<std::uint8_t> decompress(
+      std::span<const std::uint8_t> stored,
+      std::size_t raw_bytes) const override;
+};
+
+/// Codecs every TraceStream accepts without registration (currently just
+/// em2z), so a compressed file opens anywhere a verbatim one does.
+/// Caller-supplied Options::codecs are consulted first and may shadow a
+/// built-in id.
+std::span<const ChunkCodec* const> builtin_codecs();
+
+}  // namespace em2::em2s

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "trace/stream/codec.hpp"
 #include "trace/trace_io.hpp"
 #include "util/assert.hpp"
 
@@ -627,8 +628,15 @@ const em2s::ChunkCodec* TraceStream::codec_for(std::uint8_t id) const {
       return codec;
     }
   }
+  // Built-in codecs need no registration (caller-supplied ones above may
+  // shadow them): an em2z file opens anywhere a verbatim one does.
+  for (const em2s::ChunkCodec* codec : em2s::builtin_codecs()) {
+    if (codec->id() == id) {
+      return codec;
+    }
+  }
   fail("unknown chunk codec id " + std::to_string(id) +
-       " (no matching codec registered with the reader)");
+       " (neither built in nor registered with the reader)");
 }
 
 void TraceStream::charge(std::uint64_t bytes) const {

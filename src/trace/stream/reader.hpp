@@ -41,9 +41,11 @@ class TraceStream final : public TraceSource {
     /// Skip the mmap backend even where available (parity testing,
     /// diagnostics).
     bool force_istream = false;
-    /// Codecs accepted for compressed chunks (id != 0).  Pointees must
-    /// outlive the stream.  A chunk with an id not in this list fails at
-    /// open with TraceFormatError.
+    /// Extra codecs accepted for compressed chunks (id != 0).  Pointees
+    /// must outlive the stream.  Built-in codecs (codec.hpp) are always
+    /// accepted; entries here are consulted first and may shadow a
+    /// built-in id.  A chunk whose id matches neither fails at open with
+    /// TraceFormatError.
     std::vector<const em2s::ChunkCodec*> codecs;
   };
 

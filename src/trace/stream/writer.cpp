@@ -64,8 +64,15 @@ void TraceWriter::flush_chunk(std::size_t thread) {
   std::uint8_t codec = 0;
   if (opts_.codec != nullptr) {
     compressed = opts_.codec->compress(pt.raw);
-    stored = &compressed;
-    codec = opts_.codec->id();
+    if (compressed.size() <= pt.raw.size()) {
+      stored = &compressed;
+      codec = opts_.codec->id();
+    }
+    // else: incompressible chunk (the codec's tokens only added
+    // overhead) — stored verbatim under codec id 0, so a codec can never
+    // make a file larger than the uncompressed one.  Size-preserving
+    // output keeps the codec's id: transforms like the test XOR codec
+    // are round-trips too, and the id is what routes their decode.
   }
   em2s::ChunkMeta meta;
   meta.offset = file_offset_;

@@ -1,0 +1,120 @@
+// The nested (mesh x workload x spec) sweep: System::run_mesh_matrix
+// fans the FULL cross product out over one sweep::run call (one
+// ThreadBudgetLease worth of workers for the whole grid).  Contract:
+// results are bit-identical to stacked per-mesh run_matrix calls, the
+// progress callback counts every point of the cross product, kCapture
+// turns failing cells into error rows without sinking the grid, and
+// unknown workload names fail eagerly under either policy (grid axes
+// must name real things).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/system.hpp"
+#include "sim/sweep.hpp"
+#include "util/error.hpp"
+#include "workload/registry.hpp"
+
+namespace em2 {
+namespace {
+
+const std::vector<std::int32_t> kMeshes = {16, 64};
+const std::vector<std::string> kWorkloads = {"ocean", "sharing-mix"};
+const std::vector<RunSpec> kSpecs = {
+    RunSpec{.arch = MemArch::kEm2},
+    RunSpec{.arch = MemArch::kEm2Ra, .policy = "history"}};
+
+TEST(MeshMatrix, MatchesStackedPerMeshRunMatrixCalls) {
+  const SystemConfig base;  // threads overridden per mesh size
+  const auto grid =
+      System::run_mesh_matrix(base, kMeshes, kWorkloads, kSpecs);
+  ASSERT_EQ(grid.size(), kMeshes.size() * kWorkloads.size() * kSpecs.size());
+  for (std::size_t m = 0; m < kMeshes.size(); ++m) {
+    SystemConfig cfg = base;
+    cfg.threads = kMeshes[m];
+    const System sys(cfg);
+    std::vector<workload::Workload> workloads;
+    for (const std::string& name : kWorkloads) {
+      workloads.push_back(workload::make_workload(name, kMeshes[m]));
+    }
+    const auto flat = sys.run_matrix(workloads, kSpecs);
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      const RunReport& cell =
+          grid[m * kWorkloads.size() * kSpecs.size() + i];
+      const std::string label = std::to_string(kMeshes[m]) + " cores, cell " +
+                                std::to_string(i);
+      EXPECT_EQ(cell.workload, flat[i].workload) << label;
+      EXPECT_EQ(cell.arch_label, flat[i].arch_label) << label;
+      EXPECT_EQ(cell.accesses, flat[i].accesses) << label;
+      EXPECT_EQ(cell.migrations, flat[i].migrations) << label;
+      EXPECT_EQ(cell.network_cost, flat[i].network_cost) << label;
+      EXPECT_EQ(cell.cost_per_access, flat[i].cost_per_access) << label;
+    }
+  }
+}
+
+TEST(MeshMatrix, ProgressCountsTheFullCrossProduct) {
+  const std::size_t total =
+      kMeshes.size() * kWorkloads.size() * kSpecs.size();
+  std::atomic<std::size_t> calls{0};
+  std::atomic<std::size_t> seen_total{0};
+  std::atomic<std::size_t> max_done{0};
+  sweep::Options opts;
+  opts.progress = [&](std::size_t done, std::size_t n) {
+    calls.fetch_add(1);
+    seen_total.store(n);
+    std::size_t prev = max_done.load();
+    while (done > prev && !max_done.compare_exchange_weak(prev, done)) {
+    }
+  };
+  const auto grid = System::run_mesh_matrix(SystemConfig{}, kMeshes,
+                                            kWorkloads, kSpecs, opts);
+  EXPECT_EQ(grid.size(), total);
+  EXPECT_EQ(calls.load(), total);
+  EXPECT_EQ(seen_total.load(), total);
+  EXPECT_EQ(max_done.load(), total);
+}
+
+TEST(MeshMatrix, CaptureTurnsFailingCellsIntoErrorRows) {
+  const std::vector<RunSpec> specs = {
+      RunSpec{.arch = MemArch::kEm2},
+      RunSpec{.arch = MemArch::kEm2Ra, .policy = "not-a-policy"}};
+  const auto grid = System::run_mesh_matrix(
+      SystemConfig{}, kMeshes, kWorkloads, specs, {},
+      MatrixErrorPolicy::kCapture);
+  ASSERT_EQ(grid.size(), kMeshes.size() * kWorkloads.size() * specs.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const bool bad_spec = (i % specs.size()) == 1;
+    EXPECT_EQ(!grid[i].error.empty(), bad_spec) << "cell " << i;
+    if (bad_spec) {
+      EXPECT_NE(grid[i].error.find("not-a-policy"), std::string::npos);
+    }
+  }
+}
+
+TEST(MeshMatrix, RethrowFailsFastOnBadSpec) {
+  const std::vector<RunSpec> specs = {
+      RunSpec{.arch = MemArch::kEm2Ra, .policy = "not-a-policy"}};
+  EXPECT_THROW(System::run_mesh_matrix(SystemConfig{}, kMeshes, kWorkloads,
+                                       specs),
+               UnknownNameError);
+}
+
+TEST(MeshMatrix, UnknownWorkloadNameThrowsUnderEitherPolicy) {
+  // Axis names are materialized up front: a typo in the workload axis is
+  // a caller bug, not a per-cell failure, so kCapture rejects it too.
+  const std::vector<std::string> bogus = {"ocean", "bogus"};
+  EXPECT_THROW(System::run_mesh_matrix(SystemConfig{}, kMeshes, bogus,
+                                       kSpecs),
+               UnknownNameError);
+  EXPECT_THROW(System::run_mesh_matrix(SystemConfig{}, kMeshes, bogus,
+                                       kSpecs, {},
+                                       MatrixErrorPolicy::kCapture),
+               UnknownNameError);
+}
+
+}  // namespace
+}  // namespace em2

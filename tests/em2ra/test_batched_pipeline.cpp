@@ -1,0 +1,165 @@
+// Batched decide-then-apply equivalence: the tiled two-phase EM2-RA
+// pipeline (RaPipeline::kBatched, opt-in) must produce bit-identical
+// RunReports to the scalar decide+apply loop (RaPipeline::kScalar) for
+// every standard policy, the custom: escape hatch, both run modes, and
+// fault-injected runs.  The batching is a pure scheduling transform: the
+// apply phase re-decides whenever a decision could have been staled by an
+// earlier access in the tile, so results must be indistinguishable.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/system.hpp"
+#include "em2ra/policy.hpp"
+#include "sim/faults.hpp"
+#include "workload/registry.hpp"
+
+namespace em2 {
+namespace {
+
+void expect_reports_equal(const RunReport& a, const RunReport& b,
+                          const std::string& label) {
+  EXPECT_EQ(a.arch_label, b.arch_label) << label;
+  EXPECT_EQ(a.workload, b.workload) << label;
+  EXPECT_EQ(a.placement, b.placement) << label;
+  EXPECT_EQ(a.accesses, b.accesses) << label;
+  EXPECT_EQ(a.migrations, b.migrations) << label;
+  EXPECT_EQ(a.evictions, b.evictions) << label;
+  EXPECT_EQ(a.remote_accesses, b.remote_accesses) << label;
+  EXPECT_EQ(a.replicated_reads, b.replicated_reads) << label;
+  EXPECT_EQ(a.network_cost, b.network_cost) << label;
+  EXPECT_EQ(a.traffic_bits, b.traffic_bits) << label;
+  EXPECT_EQ(a.messages, b.messages) << label;
+  // Identical integer inputs through identical arithmetic: the doubles
+  // must match bit for bit, not within a tolerance.
+  EXPECT_EQ(a.cost_per_access, b.cost_per_access) << label;
+  EXPECT_EQ(a.run_lengths.total_accesses, b.run_lengths.total_accesses)
+      << label;
+  EXPECT_EQ(a.run_lengths.nonnative_runs, b.run_lengths.nonnative_runs)
+      << label;
+  EXPECT_EQ(a.run_lengths.accesses_by_run_length.bins(),
+            b.run_lengths.accesses_by_run_length.bins())
+      << label;
+  EXPECT_EQ(a.run_lengths.runs_by_run_length.bins(),
+            b.run_lengths.runs_by_run_length.bins())
+      << label;
+  ASSERT_EQ(a.exec.has_value(), b.exec.has_value()) << label;
+  if (a.exec) {
+    EXPECT_EQ(a.exec->cycles, b.exec->cycles) << label;
+    EXPECT_EQ(a.exec->instructions, b.exec->instructions) << label;
+    EXPECT_EQ(a.exec->consistent, b.exec->consistent) << label;
+    EXPECT_EQ(a.exec->timed_out, b.exec->timed_out) << label;
+    EXPECT_EQ(a.exec->finish_cycle, b.exec->finish_cycle) << label;
+  }
+}
+
+/// Every standard scheme, a capacity-bounded history variant, a second
+/// distance threshold, and every custom: twin — the full dispatch matrix
+/// the batched pipeline must be transparent across (custom policies take
+/// the not-batch-safe scalar fallback inside the batched loop; that
+/// fallback is exactly what this matrix pins down).
+std::vector<std::string> matrix_specs() {
+  auto specs = standard_policy_specs();
+  specs.push_back("history:2:4");
+  specs.push_back("distance:2");
+  const std::size_t n = specs.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    specs.push_back("custom:" + specs[i]);
+  }
+  return specs;
+}
+
+TEST(BatchedPipeline, BitIdenticalToScalarAcrossPolicyMatrix) {
+  SystemConfig cfg;
+  cfg.threads = 16;
+  const System sys(cfg);
+  for (const char* workload : {"ocean", "sharing-mix"}) {
+    const auto w = workload::make_workload(workload, 16);
+    for (const std::string& spec : matrix_specs()) {
+      for (const RunMode mode : {RunMode::kTrace, RunMode::kExec}) {
+        RunSpec scalar;
+        scalar.arch = MemArch::kEm2Ra;
+        scalar.mode = mode;
+        scalar.policy = spec;
+        scalar.pipeline = RaPipeline::kScalar;
+        RunSpec batched = scalar;
+        batched.pipeline = RaPipeline::kBatched;
+        const RunReport a = sys.run(w, scalar);
+        const RunReport b = sys.run(w, batched);
+        expect_reports_equal(
+            a, b,
+            std::string(workload) + " / " + spec + " / " +
+                to_string(mode));
+      }
+    }
+  }
+}
+
+TEST(BatchedPipeline, DefaultPipelineIsScalar) {
+  // The default must be the scalar reference loop: batched is the
+  // opt-in measured path (it wins only when decision cost dominates the
+  // per-access body), so an unspecified RunSpec keeps the seed's loop —
+  // and, because the two are bit-identical, opting in changes nothing
+  // observable.
+  EXPECT_EQ(RunSpec{}.pipeline, RaPipeline::kScalar);
+  SystemConfig cfg;
+  cfg.threads = 16;
+  const System sys(cfg);
+  const auto w = workload::make_workload("sharing-mix", 16);
+  RunSpec dflt;
+  dflt.arch = MemArch::kEm2Ra;
+  dflt.policy = "history";
+  RunSpec batched = dflt;
+  batched.pipeline = RaPipeline::kBatched;
+  expect_reports_equal(sys.run(w, dflt), sys.run(w, batched), "default");
+}
+
+TEST(BatchedPipeline, FaultInjectedRunsTakeTheScalarPathIdentically) {
+  // Fault-injected accesses always run the scalar loop (each access can
+  // perturb the machine in ways no staleness recheck models), under
+  // either pipeline setting — so the two settings must agree exactly.
+  SystemConfig cfg;
+  cfg.threads = 16;
+  const System sys(cfg);
+  const auto w = workload::make_workload("sharing-mix", 16);
+  for (const std::string& spec :
+       {std::string("history"), std::string("distance:4")}) {
+    RunSpec scalar;
+    scalar.arch = MemArch::kEm2Ra;
+    scalar.policy = spec;
+    scalar.faults = fault_spec_from_string("drop=0.05");
+    scalar.pipeline = RaPipeline::kScalar;
+    RunSpec batched = scalar;
+    batched.pipeline = RaPipeline::kBatched;
+    expect_reports_equal(sys.run(w, scalar), sys.run(w, batched),
+                         "faults / " + spec);
+  }
+}
+
+TEST(BatchedPipeline, ContentionMeasuredRunsAreBatchInvariant) {
+  // The calibration pass and corrected rerun both flow through the tiled
+  // loop; the NocUtilization section must not notice the tiling.
+  SystemConfig cfg;
+  cfg.threads = 16;
+  const System sys(cfg);
+  const auto w = workload::make_workload("sharing-mix", 16);
+  RunSpec scalar;
+  scalar.arch = MemArch::kEm2Ra;
+  scalar.policy = "cost-estimate";
+  scalar.contention = ContentionMode::kMeasured;
+  scalar.pipeline = RaPipeline::kScalar;
+  RunSpec batched = scalar;
+  batched.pipeline = RaPipeline::kBatched;
+  const RunReport a = sys.run(w, scalar);
+  const RunReport b = sys.run(w, batched);
+  expect_reports_equal(a, b, "contention-measured");
+  ASSERT_TRUE(a.noc && b.noc);
+  EXPECT_EQ(a.noc->calibration_cycles, b.noc->calibration_cycles);
+  EXPECT_EQ(a.noc->measured_total_latency, b.noc->measured_total_latency);
+  EXPECT_EQ(a.noc->predicted_total_latency,
+            b.noc->predicted_total_latency);
+}
+
+}  // namespace
+}  // namespace em2

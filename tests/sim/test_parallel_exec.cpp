@@ -211,8 +211,10 @@ TEST(RunSpecSharding, RejectsMachineDependentOrUnpartitionableSpecs) {
   // sequential 1 would both make the result depend on the host).
   rejects({.mode = RunMode::kExec, .shards = 1, .skew = 100});
   rejects({.mode = RunMode::kExec, .shards = 0, .skew = 100});
-  // No CC partition, no faults, no contention correction, no stateful
-  // policy under relaxed sync.
+  // No CC partition, no faults, no contention correction, and no custom
+  // wrapper around a stateful scheme under relaxed sync (opaque predictor
+  // state cannot be forked or merged; every STANDARD scheme — history and
+  // cost-estimate included — is shardable now, see the accepts test).
   rejects({.arch = MemArch::kCc,
            .mode = RunMode::kExec,
            .shards = 2,
@@ -227,12 +229,17 @@ TEST(RunSpecSharding, RejectsMachineDependentOrUnpartitionableSpecs) {
            .skew = 100});
   rejects({.arch = MemArch::kEm2Ra,
            .mode = RunMode::kExec,
-           .policy = "history",
+           .policy = "custom:history",
+           .shards = 2,
+           .skew = 100});
+  rejects({.arch = MemArch::kEm2Ra,
+           .mode = RunMode::kExec,
+           .policy = "custom:cost-estimate",
            .shards = 2,
            .skew = 100});
 }
 
-TEST(RunSpecSharding, AcceptsShardedExactAndStatelessRelaxedRuns) {
+TEST(RunSpecSharding, AcceptsShardedExactAndShardableRelaxedRuns) {
   System sys(SystemConfig{.threads = 16});
   const auto w = workload::make_workload("sharing-mix", 16);
   for (const RunSpec& spec :
@@ -244,6 +251,17 @@ TEST(RunSpecSharding, AcceptsShardedExactAndStatelessRelaxedRuns) {
                 .policy = "distance:4",
                 .shards = 4,
                 .skew = 128},
+        // Stateful standard schemes shard under the fork/merge contract.
+        RunSpec{.arch = MemArch::kEm2Ra,
+                .mode = RunMode::kExec,
+                .policy = "history:2:4",
+                .shards = 4,
+                .skew = 128},
+        RunSpec{.arch = MemArch::kEm2Ra,
+                .mode = RunMode::kExec,
+                .policy = "cost-estimate",
+                .shards = 2,
+                .skew = 64},
         RunSpec{.arch = MemArch::kEm2Ra,
                 .mode = RunMode::kExec,
                 .policy = "custom:always-remote",
